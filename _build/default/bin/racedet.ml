@@ -1,0 +1,469 @@
+(* racedet — command-line driver for the datarace detection pipeline.
+
+   Subcommands:
+     run      compile + execute a MiniJava program (file or built-in
+              benchmark) under a detector configuration and print the
+              race reports;
+     analyze  run only the static datarace analysis and report its
+              statistics;
+     ir       dump the (optionally instrumented/optimized) IR;
+     list     list built-in benchmarks and configurations. *)
+
+module H = Drd_harness
+module Ir = Drd_ir.Ir
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_source file benchmark =
+  match (file, benchmark) with
+  | Some f, None -> Ok (read_file f)
+  | None, Some "figure2" -> Ok (H.Programs.figure2 ())
+  | None, Some "figure2-samelock" -> Ok (H.Programs.figure2 ~same_pq:true ())
+  | None, Some b -> (
+      match H.Programs.find b with
+      | Some bench -> Ok bench.H.Programs.b_source
+      | None ->
+          Error
+            (Printf.sprintf "unknown benchmark %s (try: racedet list)" b))
+  | Some _, Some _ -> Error "give either FILE or --benchmark, not both"
+  | None, None -> Error "give a FILE or --benchmark NAME"
+
+let config_of_name name seed =
+  match H.Config.by_name name with
+  | Some c -> Ok { c with H.Config.seed }
+  | None -> Error (Printf.sprintf "unknown configuration %s" name)
+
+(* ---- common arguments ---- *)
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniJava source file.")
+
+let benchmark_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "b"; "benchmark" ] ~docv:"NAME"
+        ~doc:"Use a built-in benchmark instead of a file.")
+
+let config_arg =
+  Arg.(
+    value & opt string "Full"
+    & info [ "c"; "config" ] ~docv:"CONFIG"
+        ~doc:"Detector configuration (see $(b,racedet list)).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Scheduler seed.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print detector statistics.")
+
+(* ---- JSON rendering (hand-rolled; no JSON library in the sealed
+   environment) ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+
+let jlist items = "[" ^ String.concat "," items ^ "]"
+
+let jobj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields) ^ "}"
+
+let run_json compiled (r : H.Pipeline.result) =
+  let names = H.Pipeline.names_of compiled r in
+  let race_json (race : Drd_core.Report.race) =
+    let e = race.Drd_core.Report.current in
+    let p = race.Drd_core.Report.prior in
+    let lockset ls =
+      jlist
+        (List.map
+           (fun l -> jstr (Drd_core.Names.lock_name names l))
+           (Drd_core.Event.Lockset.to_sorted_list ls))
+    in
+    jobj
+      [
+        ("location", jstr (Drd_core.Names.loc_name names race.Drd_core.Report.loc));
+        ( "current",
+          jobj
+            [
+              ("thread", string_of_int e.Drd_core.Event.thread);
+              ( "kind",
+                jstr
+                  (match e.Drd_core.Event.kind with
+                  | Drd_core.Event.Read -> "read"
+                  | Drd_core.Event.Write -> "write") );
+              ("site", jstr (Drd_core.Names.site_name names e.Drd_core.Event.site));
+              ("locks", lockset e.Drd_core.Event.locks);
+            ] );
+        ( "prior",
+          jobj
+            [
+              ( "thread",
+                match p.Drd_core.Trie.p_thread with
+                | Drd_core.Event.Thread t -> string_of_int t
+                | _ -> jstr "multiple" );
+              ( "kind",
+                jstr
+                  (match p.Drd_core.Trie.p_kind with
+                  | Drd_core.Event.Read -> "read"
+                  | Drd_core.Event.Write -> "write") );
+              ("site", jstr (Drd_core.Names.site_name names p.Drd_core.Trie.p_site));
+              ("locks", lockset p.Drd_core.Trie.p_locks);
+            ] );
+        ( "static_peers",
+          jlist
+            (List.map jstr
+               (H.Pipeline.static_peers_of_site compiled
+                  e.Drd_core.Event.site)) );
+      ]
+  in
+  let races =
+    match r.H.Pipeline.report with
+    | Some coll -> List.map race_json (Drd_core.Report.races coll)
+    | None -> List.map (fun l -> jobj [ ("location", jstr l) ]) r.H.Pipeline.races
+  in
+  let deadlocks =
+    List.map
+      (fun (d : Drd_core.Lock_order.report) ->
+        jobj
+          [
+            ("locks", jlist (List.map string_of_int d.Drd_core.Lock_order.dl_locks));
+            ("threads", jlist (List.map string_of_int d.Drd_core.Lock_order.dl_threads));
+          ])
+      r.H.Pipeline.deadlocks
+  in
+  print_endline
+    (jobj
+       [
+         ("races", jlist races);
+         ("potential_deadlocks", jlist deadlocks);
+         ("events", string_of_int r.H.Pipeline.events);
+         ("steps", string_of_int r.H.Pipeline.steps);
+         ("threads", string_of_int r.H.Pipeline.threads);
+         ("wall_time_s", Printf.sprintf "%.6f" r.H.Pipeline.wall_time);
+       ])
+
+(* ---- run ---- *)
+
+let run_cmd_impl file benchmark config_name seed verbose json =
+  match load_source file benchmark with
+  | Error e -> `Error (false, e)
+  | Ok source -> (
+      match config_of_name config_name seed with
+      | Error e -> `Error (false, e)
+      | Ok config when json ->
+          let compiled = H.Pipeline.compile config ~source in
+          let r = H.Pipeline.run compiled in
+          run_json compiled r;
+          `Ok ()
+      | Ok config ->
+          let compiled = H.Pipeline.compile config ~source in
+          let r = H.Pipeline.run compiled in
+          List.iter
+            (fun (tag, v) ->
+              match v with
+              | Some v -> Fmt.pr "[out] %s = %a@." tag Drd_vm.Value.pp v
+              | None -> Fmt.pr "[out] %s@." tag)
+            r.H.Pipeline.prints;
+          (match r.H.Pipeline.report with
+          | Some coll when Drd_core.Report.count coll > 0 ->
+              let names = H.Pipeline.names_of compiled r in
+              List.iter
+                (fun (race : Drd_core.Report.race) ->
+                  Fmt.pr "@.%a@." (Drd_core.Report.pp_race names) race;
+                  match
+                    H.Pipeline.static_peers_of_site compiled
+                      race.Drd_core.Report.current.Drd_core.Event.site
+                  with
+                  | [] -> ()
+                  | peers ->
+                      Fmt.pr "  statically possible racing statements:@.";
+                      List.iter (Fmt.pr "    %s@.") peers)
+                (Drd_core.Report.races coll)
+          | Some _ -> Fmt.pr "@.No dataraces detected.@."
+          | None ->
+              if r.H.Pipeline.races = [] then
+                Fmt.pr "@.No dataraces detected (%s).@." config.H.Config.name
+              else begin
+                Fmt.pr "@.Dataraces reported by %s on:@." config.H.Config.name;
+                List.iter (Fmt.pr "  %s@.") r.H.Pipeline.races
+              end);
+          (match r.H.Pipeline.deadlocks with
+          | [] -> ()
+          | dls ->
+              Fmt.pr "@.Potential deadlocks (lock-order cycles):@.";
+              List.iter
+                (fun (d : Drd_core.Lock_order.report) ->
+                  Fmt.pr "  locks {%a} acquired in conflicting order by threads {%a}@."
+                    Fmt.(list ~sep:(any ", ") int)
+                    d.Drd_core.Lock_order.dl_locks
+                    Fmt.(list ~sep:(any ", ") int)
+                    d.Drd_core.Lock_order.dl_threads)
+                dls);
+          if verbose then begin
+            Fmt.pr "@.--- pipeline statistics ---@.";
+            Fmt.pr "compile time:      %.3fs@." compiled.H.Pipeline.compile_time;
+            (match compiled.H.Pipeline.static_stats with
+            | Some s -> Fmt.pr "%a@." Drd_static.Race_set.pp_stats s
+            | None -> ());
+            Fmt.pr "traces inserted:   %d@." compiled.H.Pipeline.traces_inserted;
+            Fmt.pr "traces eliminated: %d@." compiled.H.Pipeline.traces_eliminated;
+            Fmt.pr "threads:           %d@." r.H.Pipeline.threads;
+            Fmt.pr "steps:             %d@." r.H.Pipeline.steps;
+            Fmt.pr "events:            %d@." r.H.Pipeline.events;
+            Fmt.pr "wall time:         %.3fs@." r.H.Pipeline.wall_time;
+            (match r.H.Pipeline.immutability with
+            | Some s ->
+                Fmt.pr "immutability:      %a@." Drd_core.Immutability.pp_summary s
+            | None -> ());
+            match r.H.Pipeline.detector_stats with
+            | Some s -> Fmt.pr "%a@." Drd_core.Detector.pp_stats s
+            | None -> ()
+          end;
+          `Ok ())
+
+let run_cmd =
+  let doc = "run a program under a datarace detector" in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      ret
+        (const run_cmd_impl $ file_arg $ benchmark_arg $ config_arg $ seed_arg
+       $ verbose_arg $ json_arg))
+
+(* ---- analyze ---- *)
+
+let analyze_impl file benchmark =
+  match load_source file benchmark with
+  | Error e -> `Error (false, e)
+  | Ok source ->
+      let ast = Drd_lang.Parser.parse_program source in
+      let tprog = Drd_lang.Typecheck.check ast in
+      let prog = Drd_ir.Lower.lower_program tprog in
+      let rs = Drd_static.Race_set.compute prog in
+      Fmt.pr "%a@." Drd_static.Race_set.pp_stats (Drd_static.Race_set.stats rs);
+      `Ok ()
+
+let analyze_cmd =
+  let doc = "run the static datarace analysis only" in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(ret (const analyze_impl $ file_arg $ benchmark_arg))
+
+(* ---- ir ---- *)
+
+let ir_impl file benchmark config_name meth =
+  match load_source file benchmark with
+  | Error e -> `Error (false, e)
+  | Ok source -> (
+      match config_of_name config_name 42 with
+      | Error e -> `Error (false, e)
+      | Ok config ->
+          let compiled = H.Pipeline.compile config ~source in
+          let prog = compiled.H.Pipeline.prog in
+          (match meth with
+          | Some key -> (
+              match Ir.find_mir prog key with
+              | Some m -> Fmt.pr "%a@." Drd_ir.Pretty.pp_mir m
+              | None -> Fmt.pr "no method %s@." key)
+          | None -> Fmt.pr "%a@." Drd_ir.Pretty.pp_program prog);
+          `Ok ())
+
+let ir_cmd =
+  let doc = "dump the (instrumented) intermediate representation" in
+  let meth =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "m"; "method" ] ~docv:"Class.method" ~doc:"Dump one method only.")
+  in
+  Cmd.v
+    (Cmd.info "ir" ~doc)
+    Term.(ret (const ir_impl $ file_arg $ benchmark_arg $ config_arg $ meth))
+
+(* ---- record / detect: post-mortem mode (paper Section 1) ---- *)
+
+let record_impl file benchmark out =
+  match load_source file benchmark with
+  | Error e -> `Error (false, e)
+  | Ok source ->
+      let compiled = H.Pipeline.compile H.Config.full ~source in
+      let log, result = H.Pipeline.record_log compiled in
+      let oc = open_out out in
+      Drd_core.Event_log.to_channel oc log;
+      close_out oc;
+      Fmt.pr "recorded %d events (%d threads, %d steps) to %s@."
+        (Drd_core.Event_log.length log)
+        result.Drd_vm.Interp.r_max_threads result.Drd_vm.Interp.r_steps out;
+      `Ok ()
+
+let record_cmd =
+  let doc = "execute a program recording its event log (post-mortem phase 1)" in
+  let out =
+    Arg.(
+      value & opt string "events.log"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Log file to write.")
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc)
+    Term.(ret (const record_impl $ file_arg $ benchmark_arg $ out))
+
+let detect_impl log_file config_name pairs benchmark =
+  match config_of_name config_name 42 with
+  | Error e -> `Error (false, e)
+  | Ok config ->
+      let ic = open_in log_file in
+      let log = Drd_core.Event_log.of_channel ic in
+      close_in ic;
+      let coll, stats = H.Pipeline.detect_post_mortem config log in
+      Fmt.pr "replayed %d log entries@." (Drd_core.Event_log.length log);
+      Fmt.pr "%a@." Drd_core.Detector.pp_stats stats;
+      let racy = Drd_core.Report.racy_locs coll in
+      (* Site names are available when the recorded program is known
+         (record always compiles with the Full configuration). *)
+      let site_name =
+        match benchmark with
+        | None -> fun s -> Printf.sprintf "site %d" s
+        | Some b -> (
+            match H.Programs.find b with
+            | None -> fun s -> Printf.sprintf "site %d" s
+            | Some bench ->
+                let compiled =
+                  H.Pipeline.compile H.Config.full
+                    ~source:bench.H.Programs.b_source
+                in
+                fun s ->
+                  if s < 0 then "<unknown>"
+                  else
+                    Drd_ir.Site_table.name
+                      compiled.H.Pipeline.prog.Drd_ir.Ir.p_sites s)
+      in
+      if racy = [] then Fmt.pr "@.No dataraces detected.@."
+      else begin
+        Fmt.pr "@.Dataraces on %d locations:@." (List.length racy);
+        List.iter (Fmt.pr "  location %d@.") racy;
+        if pairs then begin
+          Fmt.pr
+            "@.FullRace reconstruction (all racing site pairs, Section 2.5):@.";
+          List.iter
+            (fun (loc, ps) ->
+              Fmt.pr "  location %d:@." loc;
+              List.iter
+                (fun (p : Drd_core.Full_race.pair) ->
+                  Fmt.pr "    %5d× %a at %s  vs  %a at %s@." p.Drd_core.Full_race.fr_count
+                    Drd_core.Event.pp_kind p.Drd_core.Full_race.fr_kind_a
+                    (site_name p.Drd_core.Full_race.fr_site_a)
+                    Drd_core.Event.pp_kind p.Drd_core.Full_race.fr_kind_b
+                    (site_name p.Drd_core.Full_race.fr_site_b))
+                ps)
+            (Drd_core.Full_race.reconstruct log ~locs:racy)
+        end
+      end;
+      `Ok ()
+
+let detect_cmd =
+  let doc = "run the detection phase offline over a recorded log (phase 2)" in
+  let log_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"LOG" ~doc:"Event log produced by $(b,racedet record).")
+  in
+  let pairs =
+    Arg.(
+      value & flag
+      & info [ "pairs" ]
+          ~doc:"Reconstruct the full set of racing site pairs (FullRace) \
+                for each detected location.")
+  in
+  let bench_for_names =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "b"; "benchmark" ] ~docv:"NAME"
+          ~doc:"The recorded benchmark, to resolve site names.")
+  in
+  Cmd.v
+    (Cmd.info "detect" ~doc)
+    Term.(ret (const detect_impl $ log_file $ config_arg $ pairs $ bench_for_names))
+
+(* ---- sweep: schedule exploration ---- *)
+
+let sweep_impl file benchmark config_name nseeds =
+  match load_source file benchmark with
+  | Error e -> `Error (false, e)
+  | Ok source -> (
+      match config_of_name config_name 42 with
+      | Error e -> `Error (false, e)
+      | Ok config ->
+          let seeds = List.init nseeds (fun i -> i + 1) in
+          let rows, failures = H.Pipeline.sweep config ~source ~seeds in
+          Fmt.pr "racy objects over %d schedules (%s):@." nseeds
+            config.H.Config.name;
+          if rows = [] then Fmt.pr "  (none)@.";
+          List.iter
+            (fun (obj, n) -> Fmt.pr "  %4d/%d  %s@." n nseeds obj)
+            rows;
+          List.iter
+            (fun (seed, e) -> Fmt.pr "  seed %d FAILED: %s@." seed e)
+            failures;
+          `Ok ())
+
+let sweep_cmd =
+  let doc = "run across many scheduler seeds and aggregate the reports" in
+  let nseeds =
+    Arg.(
+      value & opt int 10
+      & info [ "n"; "seeds" ] ~docv:"N" ~doc:"Number of seeds to sweep.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc)
+    Term.(ret (const sweep_impl $ file_arg $ benchmark_arg $ config_arg $ nseeds))
+
+(* ---- list ---- *)
+
+let list_impl () =
+  Fmt.pr "Benchmarks (plus the paper's 'figure2' / 'figure2-samelock' examples):@.";
+  List.iter
+    (fun (b : H.Programs.benchmark) ->
+      Fmt.pr "  %-10s %s@." b.H.Programs.b_name b.H.Programs.b_description)
+    H.Programs.benchmarks;
+  Fmt.pr "@.Configurations:@.";
+  List.iter
+    (fun (c : H.Config.t) ->
+      Fmt.pr "  %-14s static=%b weaker=%b peel=%b cache=%b ownership=%b@."
+        c.H.Config.name c.H.Config.static_analysis c.H.Config.weaker_elim
+        c.H.Config.loop_peel c.H.Config.use_cache c.H.Config.use_ownership)
+    H.Config.all;
+  `Ok ()
+
+let list_cmd =
+  let doc = "list built-in benchmarks and configurations" in
+  Cmd.v (Cmd.info "list" ~doc) Term.(ret (const list_impl $ const ()))
+
+let () =
+  let doc = "efficient and precise datarace detection (PLDI 2002)" in
+  let info = Cmd.info "racedet" ~version:"1.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; analyze_cmd; ir_cmd; record_cmd; detect_cmd; sweep_cmd; list_cmd ]))

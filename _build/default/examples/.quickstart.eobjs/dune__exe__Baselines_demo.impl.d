@@ -1,0 +1,1 @@
+examples/baselines_demo.ml: Drd_harness Fmt List Option String

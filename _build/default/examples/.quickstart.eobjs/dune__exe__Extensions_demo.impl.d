@@ -1,0 +1,1 @@
+examples/extensions_demo.ml: Detector Drd_core Drd_harness Event_log Fmt Immutability List Lock_order Option Report

@@ -1,0 +1,1 @@
+examples/figure2.ml: Drd_core Drd_harness Fmt String

@@ -1,0 +1,1 @@
+examples/ownership_demo.ml: Drd_harness Fmt List String

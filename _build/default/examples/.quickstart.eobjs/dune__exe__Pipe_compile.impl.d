@@ -1,0 +1,1 @@
+examples/pipe_compile.ml: Drd_ir Drd_lang

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Drd_core Drd_harness Drd_vm Fmt List

@@ -1,0 +1,1 @@
+examples/static_demo.ml: Drd_harness Drd_instr Drd_static Fmt Pipe_compile String

@@ -1,0 +1,1 @@
+examples/tsp_race.ml: Drd_core Drd_harness Drd_vm Fmt List Option String

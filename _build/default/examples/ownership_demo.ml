@@ -1,0 +1,65 @@
+(* The ownership model (paper Sections 2.3 and 7): data initialized by
+   one thread and handed to a child through start() is not racy, but a
+   pure lockset view flags it.  This demo runs the same program with
+   the ownership filter on and off, and also shows that real races
+   survive the filter.
+
+   Run with:  dune exec examples/ownership_demo.exe *)
+
+module H = Drd_harness
+
+let handoff =
+  {|
+  class Job {
+    int input; int[] data; int result;
+  }
+  class Crunch extends Thread {
+    Job job;
+    Crunch(Job j) { job = j; }
+    void run() {
+      int acc = job.input;
+      for (int i = 0; i < job.data.length; i = i + 1) {
+        acc = acc + job.data[i];
+      }
+      job.result = acc;       // still single-threaded at a time
+    }
+  }
+  class Main {
+    static void main() {
+      Job j = new Job();
+      j.input = 17;           // initialize ...
+      j.data = new int[50];
+      for (int i = 0; i < 50; i = i + 1) { j.data[i] = i; }
+      Crunch c = new Crunch(j);
+      c.start();              // ... then hand off
+      c.join();
+      print("result", j.result);
+    }
+  }
+|}
+
+let count config = (snd (H.Pipeline.run_source config handoff)).H.Pipeline.racy_objects
+
+let () =
+  Fmt.pr "initialize-then-hand-off program:@.";
+  Fmt.pr "  Full (ownership on):  %d racy objects@."
+    (List.length (count H.Config.full));
+  let noown = count H.Config.no_ownership in
+  Fmt.pr "  NoOwnership:          %d racy objects (%s)@." (List.length noown)
+    (String.concat ", " noown);
+  Fmt.pr
+    "@.The ownership model treats the first accessing thread as the@.";
+  Fmt.pr "owner and starts monitoring only when a second thread appears —@.";
+  Fmt.pr "approximating the happened-before edge of Thread.start().@.";
+  (* Across the whole benchmark suite. *)
+  Fmt.pr "@.Across the benchmark suite (racy objects, Full vs NoOwnership):@.";
+  List.iter
+    (fun (b : H.Programs.benchmark) ->
+      let n config =
+        List.length
+          (snd (H.Pipeline.run_source config b.H.Programs.b_source))
+            .H.Pipeline.racy_objects
+      in
+      Fmt.pr "  %-10s %3d vs %3d@." b.H.Programs.b_name (n H.Config.full)
+        (n H.Config.no_ownership))
+    H.Programs.benchmarks

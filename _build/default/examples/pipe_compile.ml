@@ -1,0 +1,6 @@
+(* Shared helper for the examples: parse → typecheck → lower. *)
+
+let compile source =
+  Drd_lang.Parser.parse_program source
+  |> Drd_lang.Typecheck.check
+  |> Drd_ir.Lower.lower_program

@@ -1,0 +1,53 @@
+(* Quickstart: compile a small multithreaded MiniJava program, run it
+   under the full detector, and print the datarace reports.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module H = Drd_harness
+
+let source =
+  {|
+  class Account {
+    int balance;
+    // deposit is synchronized ...
+    synchronized void deposit(int amount) { balance = balance + amount; }
+    // ... but the balance check is not: a datarace.
+    boolean overdrawn() { return balance < 0; }
+  }
+  class Teller extends Thread {
+    Account account; int rounds;
+    Teller(Account a, int n) { account = a; rounds = n; }
+    void run() {
+      for (int i = 0; i < rounds; i = i + 1) {
+        account.deposit(10);
+        if (account.overdrawn()) { print("overdrawn", i); }
+      }
+    }
+  }
+  class Main {
+    static void main() {
+      Account a = new Account();
+      Teller t1 = new Teller(a, 100);
+      Teller t2 = new Teller(a, 100);
+      t1.start(); t2.start();
+      t1.join(); t2.join();
+      print("balance", a.balance);
+    }
+  }
+|}
+
+let () =
+  let compiled, result = H.Pipeline.run_source H.Config.full source in
+  Fmt.pr "Program output:@.";
+  List.iter
+    (fun (tag, v) ->
+      Fmt.pr "  %s = %a@." tag Fmt.(option Drd_vm.Value.pp) v)
+    result.H.Pipeline.prints;
+  Fmt.pr "@.";
+  match result.H.Pipeline.report with
+  | Some coll when Drd_core.Report.count coll > 0 ->
+      let names = H.Pipeline.names_of compiled result in
+      Fmt.pr "%a@." (Drd_core.Report.pp names) coll;
+      Fmt.pr "@.The unsynchronized overdrawn() read races with the@.";
+      Fmt.pr "synchronized deposit() write: their locksets are disjoint.@."
+  | _ -> Fmt.pr "No dataraces detected.@."

@@ -1,0 +1,69 @@
+(* The static datarace analysis (paper Section 5): what the points-to
+   based may-race computation, the must-held-lock analysis and the
+   thread-specific escape extension each remove before any code runs.
+
+   Run with:  dune exec examples/static_demo.exe *)
+
+module H = Drd_harness
+module Race_set = Drd_static.Race_set
+module Insert = Drd_instr.Insert
+
+let source =
+  {|
+  class Counter {
+    int hits;                       // protected by this (must-sync)
+    synchronized void hit() { hits = hits + 1; }
+  }
+  class Logger {
+    static int lines;               // unprotected static: may race
+  }
+  class Crawler extends Thread {
+    Counter shared;
+    int[] scratch;                  // thread-specific: ctor + run only
+    int pages;
+    Crawler(Counter c, int n) {
+      shared = c; pages = n;
+      scratch = new int[64];
+    }
+    void run() {
+      for (int p = 0; p < pages; p = p + 1) {
+        scratch[p % 64] = p;        // provably single-threaded
+        shared.hit();               // protected
+        Logger.lines = Logger.lines + 1;   // datarace
+      }
+    }
+  }
+  class Main {
+    static void main() {
+      Counter c = new Counter();
+      Crawler a = new Crawler(c, 40);
+      Crawler b = new Crawler(c, 40);
+      a.start(); b.start(); a.join(); b.join();
+      print("hits", c.hits);
+      print("lines", Logger.lines);
+    }
+  }
+|}
+
+let () =
+  let prog = Pipe_compile.compile source in
+  let rs = Race_set.compute prog in
+  Fmt.pr "Static datarace analysis:@.%a@.@." Race_set.pp_stats
+    (Race_set.stats rs);
+  (* Instrument twice to compare. *)
+  let all = Pipe_compile.compile source in
+  Insert.instrument all;
+  Insert.instrument ~keep:(Race_set.may_race rs) prog;
+  Fmt.pr "trace statements without static analysis: %d@."
+    (Insert.count_traces all);
+  Fmt.pr "trace statements with static analysis:    %d@."
+    (Insert.count_traces prog);
+  Fmt.pr
+    "@.The scratch array is thread-specific (reachable only from the@.";
+  Fmt.pr "constructor and run of a safe thread), the counter is must-@.";
+  Fmt.pr "protected by its lock, and only the Logger.lines accesses —@.";
+  Fmt.pr "the real datarace — plus a few hand-off reads stay instrumented.@.";
+  (* And the dynamic confirmation: *)
+  let _, r = H.Pipeline.run_source H.Config.full source in
+  Fmt.pr "@.Dynamic run reports: %s@."
+    (String.concat ", " r.H.Pipeline.racy_objects)

@@ -1,0 +1,1 @@
+lib/baselines/eraser.ml: Drd_core Hashtbl List Option

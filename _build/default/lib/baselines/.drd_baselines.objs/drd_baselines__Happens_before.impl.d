@@ -1,0 +1,1 @@
+lib/baselines/happens_before.ml: Array Drd_core Hashtbl List Vclock

@@ -1,0 +1,1 @@
+lib/baselines/happens_before.mli: Drd_core

@@ -1,0 +1,1 @@
+lib/baselines/objrace.ml: Drd_core Hashtbl List

@@ -1,0 +1,1 @@
+lib/baselines/objrace.mli: Drd_core

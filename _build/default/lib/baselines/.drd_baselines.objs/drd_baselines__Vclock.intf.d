@@ -1,0 +1,1 @@
+lib/baselines/vclock.mli: Fmt

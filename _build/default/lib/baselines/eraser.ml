@@ -1,0 +1,92 @@
+module Event = Drd_core.Event
+open Drd_core
+
+(* The Eraser lockset algorithm (Savage et al., TOCS 1997), the main
+   dynamic baseline the paper compares against (Sections 8.3 and 9).
+
+   Each location carries a state machine and a candidate lockset
+   [C(m)]:
+
+   - [Virgin] until first accessed;
+   - [Exclusive t] while only thread [t] has touched it (initialization
+     is exempt, like our ownership model);
+   - [Shared] once a second thread reads it: [C(m)] is refined on every
+     access but empty [C(m)] is not yet an error (read-shared data);
+   - [Shared_modified] once a second thread is involved and a write
+     occurs: empty [C(m)] reports a race.
+
+   Crucially, Eraser demands ONE lock held across all accesses — where
+   our detector accepts mutually-intersecting locksets (e.g. the mtrt
+   join idiom {S1,sync},{S2,sync},{S1,S2}), Eraser reports a spurious
+   race.  Eraser also has no modeling of [join], so it must be fed
+   locksets without our join pseudo-locks. *)
+
+type state =
+  | Virgin
+  | Exclusive of Event.thread_id
+  | Shared of Event.Lockset.t
+  | Shared_modified of Event.Lockset.t
+
+type race = {
+  loc : Event.loc_id;
+  access : Event.t; (* the access that emptied the candidate set *)
+}
+
+type t = {
+  states : (Event.loc_id, state) Hashtbl.t;
+  mutable races : race list; (* reverse order *)
+  reported : (Event.loc_id, unit) Hashtbl.t;
+  mutable events : int;
+}
+
+let create () =
+  {
+    states = Hashtbl.create 1024;
+    races = [];
+    reported = Hashtbl.create 64;
+    events = 0;
+  }
+
+let report d loc access =
+  if not (Hashtbl.mem d.reported loc) then begin
+    Hashtbl.replace d.reported loc ();
+    d.races <- { loc; access } :: d.races
+  end
+
+let on_access d (e : Event.t) =
+  d.events <- d.events + 1;
+  let st =
+    Option.value (Hashtbl.find_opt d.states e.loc) ~default:Virgin
+  in
+  let st' =
+    match st with
+    | Virgin -> Exclusive e.thread
+    | Exclusive t when t = e.thread -> st
+    | Exclusive _ -> (
+        (* First contact by a second thread: C(m) starts as its locks. *)
+        match e.kind with
+        | Event.Read -> Shared e.locks
+        | Event.Write ->
+            if Event.Lockset.is_empty e.locks then report d e.loc e;
+            Shared_modified e.locks)
+    | Shared c -> (
+        let c = Event.Lockset.inter c e.locks in
+        match e.kind with
+        | Event.Read -> Shared c
+        | Event.Write ->
+            if Event.Lockset.is_empty c then report d e.loc e;
+            Shared_modified c)
+    | Shared_modified c ->
+        let c = Event.Lockset.inter c e.locks in
+        if Event.Lockset.is_empty c then report d e.loc e;
+        Shared_modified c
+  in
+  Hashtbl.replace d.states e.loc st'
+
+let races d = List.rev d.races
+
+let racy_locs d = List.rev_map (fun r -> r.loc) d.races
+
+let race_count d = Hashtbl.length d.reported
+
+let events_seen d = d.events

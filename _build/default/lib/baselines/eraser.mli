@@ -1,0 +1,42 @@
+module Event = Drd_core.Event
+
+(** The Eraser lockset algorithm (Savage, Burrows, Nelson, Sobalvarro,
+    Anderson — TOCS 1997), the principal dynamic baseline of the paper's
+    Sections 8.3 and 9.
+
+    Eraser enforces a stricter discipline than the paper's detector: a
+    single lock must be held consistently across {e all} accesses to a
+    shared location.  Mutually-intersecting locksets with no common
+    member (the mtrt join idiom) are therefore reported as races, and
+    Eraser has no join modeling at all — feed it locksets without the
+    join pseudo-locks. *)
+
+type state =
+  | Virgin  (** Never accessed. *)
+  | Exclusive of Event.thread_id
+      (** Only one thread has touched it (initialization is exempt). *)
+  | Shared of Event.Lockset.t
+      (** Read by a second thread; the candidate set is refined but an
+          empty set is not yet an error (read-shared data). *)
+  | Shared_modified of Event.Lockset.t
+      (** Written while shared: an empty candidate set reports a race. *)
+
+type race = {
+  loc : Event.loc_id;
+  access : Event.t;  (** The access that emptied the candidate set. *)
+}
+
+type t
+
+val create : unit -> t
+
+val on_access : t -> Event.t -> unit
+
+val races : t -> race list
+(** First report per location, in detection order. *)
+
+val racy_locs : t -> Event.loc_id list
+
+val race_count : t -> int
+
+val events_seen : t -> int

@@ -1,0 +1,41 @@
+module Event = Drd_core.Event
+
+(** A vector-clock happens-before race detector in the style of Djit /
+    TRaDe (paper Section 9).
+
+    Precise with respect to the {e observed} ordering — which is exactly
+    the imprecision the paper's Section 2.2 criticizes: a feasible race
+    hidden by the accidental order of two critical sections is missed,
+    and whether a race is reported depends on the schedule.
+
+    Clocks are transferred through per-lock release/acquire pairs and
+    explicit thread start/join edges; each location keeps the last-write
+    epoch and per-thread last-read clocks. *)
+
+type race = { loc : Event.loc_id; access : Event.t }
+
+type t
+
+val create : unit -> t
+
+val on_access : t -> Event.t -> unit
+(** Locksets in the event are ignored; ordering comes entirely from the
+    synchronization callbacks below. *)
+
+val on_acquire : t -> thread:Event.thread_id -> lock:Event.lock_id -> unit
+
+val on_release : t -> thread:Event.thread_id -> lock:Event.lock_id -> unit
+
+val on_thread_start :
+  t -> parent:Event.thread_id -> child:Event.thread_id -> unit
+
+val on_thread_join :
+  t -> joiner:Event.thread_id -> joinee:Event.thread_id -> unit
+
+val races : t -> race list
+
+val racy_locs : t -> Event.loc_id list
+
+val race_count : t -> int
+
+val events_seen : t -> int

@@ -1,0 +1,73 @@
+module Event = Drd_core.Event
+open Drd_core
+
+(* Object race detection (Praun & Gross, OOPSLA 2001), the baseline
+   whose performance the paper beats and whose precision it criticizes
+   (Sections 8.3 and 9): dataraces are tracked per OBJECT, not per
+   field, and a method invocation on an object counts as a write to it.
+
+   The detection discipline is Eraser-style lockset refinement with an
+   ownership (first-owner) phase.  The caller is responsible for
+   feeding object-granularity location ids (every field of an object
+   maps to the object) and for forwarding virtual-call receiver events
+   as writes. *)
+
+type state =
+  | Owned of Event.thread_id
+  | Tracked of Event.Lockset.t * bool (* candidate set, write seen *)
+
+type race = { loc : Event.loc_id; access : Event.t }
+
+type t = {
+  states : (Event.loc_id, state) Hashtbl.t;
+  mutable races : race list;
+  reported : (Event.loc_id, unit) Hashtbl.t;
+  mutable events : int;
+}
+
+let create () =
+  {
+    states = Hashtbl.create 1024;
+    races = [];
+    reported = Hashtbl.create 64;
+    events = 0;
+  }
+
+let report d loc access =
+  if not (Hashtbl.mem d.reported loc) then begin
+    Hashtbl.replace d.reported loc ();
+    d.races <- { loc; access } :: d.races
+  end
+
+let on_access d (e : Event.t) =
+  d.events <- d.events + 1;
+  let st =
+    match Hashtbl.find_opt d.states e.loc with
+    | Some s -> s
+    | None -> Owned e.thread
+  in
+  let st' =
+    match st with
+    | Owned t when t = e.thread -> st
+    | Owned _ -> Tracked (e.locks, e.kind = Event.Write)
+    | Tracked (c, wrote) ->
+        let c = Event.Lockset.inter c e.locks in
+        let wrote = wrote || e.kind = Event.Write in
+        if wrote && Event.Lockset.is_empty c then report d e.loc e;
+        Tracked (c, wrote)
+  in
+  Hashtbl.replace d.states e.loc st'
+
+(* A virtual method invocation on a receiver object is treated as a
+   write access to the object. *)
+let on_call d ~thread ~obj_loc ~locks ~site =
+  on_access d
+    (Event.make ~loc:obj_loc ~thread ~locks ~kind:Event.Write ~site)
+
+let races d = List.rev d.races
+
+let racy_locs d = List.rev_map (fun r -> r.loc) d.races
+
+let race_count d = Hashtbl.length d.reported
+
+let events_seen d = d.events

@@ -1,0 +1,43 @@
+module Event = Drd_core.Event
+
+(** Object race detection (von Praun & Gross — OOPSLA 2001), the
+    baseline whose performance the paper matches and whose precision it
+    improves on (Sections 8.3 and 9).
+
+    Races are tracked per {e object} rather than per field — the caller
+    must supply object-granularity location ids — and a virtual method
+    invocation counts as a write to the receiver, which is what floods
+    hedc with spurious reports in the paper's comparison.  The
+    discipline itself is Eraser-style lockset refinement behind a
+    first-owner phase. *)
+
+type state =
+  | Owned of Event.thread_id
+  | Tracked of Event.Lockset.t * bool
+      (** Candidate lockset and whether a write has been seen. *)
+
+type race = { loc : Event.loc_id; access : Event.t }
+
+type t
+
+val create : unit -> t
+
+val on_access : t -> Event.t -> unit
+
+val on_call :
+  t ->
+  thread:Event.thread_id ->
+  obj_loc:Event.loc_id ->
+  locks:Event.Lockset.t ->
+  site:Event.site_id ->
+  unit
+(** A virtual method invocation on a receiver: treated as a write to the
+    whole object. *)
+
+val races : t -> race list
+
+val racy_locs : t -> Event.loc_id list
+
+val race_count : t -> int
+
+val events_seen : t -> int

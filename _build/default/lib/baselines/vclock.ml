@@ -1,0 +1,33 @@
+(* Vector clocks for the happens-before baseline. *)
+
+type t = int array
+
+let size = 64 (* max threads tracked; grown on demand by the detector *)
+
+let create ?(n = size) () = Array.make n 0
+
+let copy = Array.copy
+
+let get (v : t) i = if i < Array.length v then v.(i) else 0
+
+let tick (v : t) i = v.(i) <- v.(i) + 1
+
+(* v := v ⊔ w *)
+let join (v : t) (w : t) =
+  for i = 0 to Array.length v - 1 do
+    if get w i > v.(i) then v.(i) <- get w i
+  done
+
+(* Does epoch (thread [i] at clock [c]) happen-before the point
+   described by [v]? *)
+let epoch_leq ~thread ~clock (v : t) = clock <= get v thread
+
+let leq (v : t) (w : t) =
+  let ok = ref true in
+  for i = 0 to Array.length v - 1 do
+    if v.(i) > get w i then ok := false
+  done;
+  !ok
+
+let pp ppf (v : t) =
+  Fmt.pf ppf "<%a>" Fmt.(array ~sep:comma int) v

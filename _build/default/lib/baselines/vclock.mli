@@ -1,0 +1,27 @@
+(** Fixed-width vector clocks for the happens-before baseline. *)
+
+type t = int array
+
+val size : int
+(** Default width (threads beyond it are grown by the detector). *)
+
+val create : ?n:int -> unit -> t
+
+val copy : t -> t
+
+val get : t -> int -> int
+(** Reads beyond the width return 0. *)
+
+val tick : t -> int -> unit
+(** Increment one component in place. *)
+
+val join : t -> t -> unit
+(** [join v w] sets [v := v ⊔ w] (componentwise max) in place. *)
+
+val epoch_leq : thread:int -> clock:int -> t -> bool
+(** Does the epoch (event at [clock] in [thread]) happen-before the
+    point described by the vector? *)
+
+val leq : t -> t -> bool
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/core/detector.ml: Cache Event Fmt Hashtbl Ownership Report Trie Trie_packed

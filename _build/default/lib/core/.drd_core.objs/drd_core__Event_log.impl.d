@@ -1,0 +1,1 @@
+lib/core/event_log.ml: Detector Event Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/core/full_race.ml: Array Detector Event Event_log Hashtbl List Ownership Report

@@ -1,0 +1,1 @@
+lib/core/full_race.mli: Event Event_log

@@ -1,0 +1,1 @@
+lib/core/immutability.ml: Event Fmt Hashtbl List

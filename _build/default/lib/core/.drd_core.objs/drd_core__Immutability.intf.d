@@ -1,0 +1,1 @@
+lib/core/immutability.mli: Event Fmt

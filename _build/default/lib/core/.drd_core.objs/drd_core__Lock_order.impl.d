@@ -1,0 +1,1 @@
+lib/core/lock_order.ml: Event Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/core/ownership.ml: Event Hashtbl

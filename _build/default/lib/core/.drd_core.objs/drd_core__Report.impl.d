@@ -1,0 +1,1 @@
+lib/core/report.ml: Event Fmt Hashtbl List Names Trie

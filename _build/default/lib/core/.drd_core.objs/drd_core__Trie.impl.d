@@ -1,0 +1,1 @@
+lib/core/trie.ml: Event Fmt List Lockset

@@ -1,0 +1,1 @@
+lib/core/trie.mli: Event Fmt

@@ -1,0 +1,1 @@
+lib/core/trie_packed.ml: Event Hashtbl List Lockset Trie

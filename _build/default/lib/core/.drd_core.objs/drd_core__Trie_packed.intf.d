@@ -1,0 +1,1 @@
+lib/core/trie_packed.mli: Event Trie

@@ -1,0 +1,82 @@
+type entry = { mutable loc : int; mutable stamp : int }
+(* [loc = -1] marks an invalid entry.  [stamp] is bumped every time the
+   entry is reused for a new location, so that the (entry, stamp) pairs
+   recorded on lock frames can detect that their entry was since
+   replaced and must not be evicted again. *)
+
+type frame = { lock : int; mutable inserted : (entry * int) list }
+
+type t = {
+  read : entry array;
+  write : entry array;
+  mask : int;
+  mutable lock_stack : frame list; (* innermost (last acquired) first *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(size = 256) () =
+  if size <= 0 || size land (size - 1) <> 0 then
+    invalid_arg "Cache.create: size must be a positive power of two";
+  let mk () = Array.init size (fun _ -> { loc = -1; stamp = 0 }) in
+  { read = mk (); write = mk (); mask = size - 1; lock_stack = [];
+    hits = 0; misses = 0 }
+
+(* Knuth multiplicative hash, as in the paper's implementation note. *)
+let index c loc = (loc * 0x9E3779B1) lsr 16 land c.mask
+
+let lookup_or_add c ~kind ~loc =
+  let arr = match (kind : Event.kind) with Read -> c.read | Write -> c.write in
+  let e = arr.(index c loc) in
+  if e.loc = loc then begin
+    c.hits <- c.hits + 1;
+    true
+  end
+  else begin
+    c.misses <- c.misses + 1;
+    e.loc <- loc;
+    e.stamp <- e.stamp + 1;
+    (match c.lock_stack with
+    | f :: _ -> f.inserted <- (e, e.stamp) :: f.inserted
+    | [] -> ());
+    false
+  end
+
+let acquired c lock = c.lock_stack <- { lock; inserted = [] } :: c.lock_stack
+
+let evict_frame f =
+  List.iter (fun (e, st) -> if e.stamp = st then e.loc <- -1) f.inserted;
+  f.inserted <- []
+
+let released c lock =
+  (* The source language's synchronized blocks release in LIFO order,
+     but [wait()] releases an arbitrary owned monitor.  For a
+     non-innermost release we evict every frame from the top down
+     through the released lock's frame — over-eviction is always safe —
+     and keep the (flushed) frames of the locks that remain held, so
+     later releases still find them. *)
+  let rec split acc = function
+    | [] -> invalid_arg "Cache.released: lock not held"
+    | f :: rest ->
+        evict_frame f;
+        if f.lock = lock then (List.rev acc, rest)
+        else split (f :: acc) rest
+  in
+  let kept_above, below = split [] c.lock_stack in
+  c.lock_stack <- kept_above @ below
+
+let evict_loc c loc =
+  let kill arr =
+    let e = arr.(index c loc) in
+    if e.loc = loc then e.loc <- -1
+  in
+  kill c.read;
+  kill c.write
+
+let clear c =
+  let kill arr = Array.iter (fun e -> e.loc <- -1) arr in
+  kill c.read;
+  kill c.write
+
+let hits c = c.hits
+let misses c = c.misses

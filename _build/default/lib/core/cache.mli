@@ -1,0 +1,58 @@
+(** Per-thread access caches — the runtime optimizer (paper Section 4).
+
+    Each thread owns two direct-mapped caches indexed by memory location,
+    one for reads and one for writes.  The eviction policy guarantees
+    that a cache hit implies a weaker access has already been recorded by
+    the detector, so the event can be dropped without further checks:
+
+    - per-thread caches guarantee [p.t = q.t];
+    - separate read/write caches guarantee [p.a = q.a];
+    - evicting, at each outermost [monitorexit] of lock [l], every entry
+      whose lockset contained [l] guarantees [p.L ⊆ q.L].
+
+    Eviction uses the nested (LIFO) locking discipline of the source
+    language: each currently-held lock keeps the list of entries that
+    were inserted while it was the most recently acquired lock, and that
+    whole list is evicted when the lock is released.  Join pseudo-locks
+    (Section 2.3) are never released and must {e not} be pushed through
+    {!acquired}/{!released}; because a thread's pseudo-lockset only
+    grows, the subset guarantee holds for them without eviction. *)
+
+type t
+(** The pair of caches (read and write) of one thread. *)
+
+val create : ?size:int -> unit -> t
+(** [create ?size ()] makes an empty cache pair.  [size] is the number of
+    entries per cache and must be a power of two; it defaults to 256,
+    the configuration measured in the paper (Section 4.3). *)
+
+val lookup_or_add : t -> kind:Event.kind -> loc:Event.loc_id -> bool
+(** [lookup_or_add c ~kind ~loc] is [true] on a hit — the access is
+    redundant and must not be forwarded to the detector.  On a miss the
+    access is inserted (attached to the most recently acquired held lock,
+    if any) and the caller must forward the event. *)
+
+val acquired : t -> Event.lock_id -> unit
+(** Note an outermost acquisition of a real lock.  Reentrant
+    re-acquisitions must be filtered out by the caller. *)
+
+val released : t -> Event.lock_id -> unit
+(** Note an outermost release of a real lock; evicts the entries
+    inserted under it.  Synchronized blocks release in LIFO order, but
+    [wait()] may release a non-innermost monitor: in that case every
+    frame above it is conservatively flushed (over-eviction is safe)
+    while remaining on the stack for its own later release.  Raises
+    [Invalid_argument] if the lock was never acquired. *)
+
+val evict_loc : t -> Event.loc_id -> unit
+(** Forcibly evict one location from both caches; used when the location
+    transitions from owned to shared (Section 7.2). *)
+
+val clear : t -> unit
+(** Drop every entry (the lock stack is preserved). *)
+
+val hits : t -> int
+(** Number of lookups answered by a hit since creation. *)
+
+val misses : t -> int
+(** Number of lookups that missed and inserted. *)

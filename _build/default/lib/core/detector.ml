@@ -1,0 +1,158 @@
+type history_impl = Per_location | Packed
+
+type config = {
+  use_cache : bool;
+  cache_size : int;
+  use_ownership : bool;
+  history : history_impl;
+}
+
+let default_config =
+  {
+    use_cache = true;
+    cache_size = 256;
+    use_ownership = true;
+    history = Per_location;
+  }
+
+type stats = {
+  events_in : int;
+  cache_hits : int;
+  ownership_filtered : int;
+  weaker_filtered : int;
+  race_checks : int;
+  races_reported : int;
+  locations_tracked : int;
+  trie_nodes : int;
+}
+
+type history = Htries of (Event.loc_id, Trie.t) Hashtbl.t | Hpacked of Trie_packed.t
+
+type t = {
+  config : config;
+  history : history;
+  caches : (Event.thread_id, Cache.t) Hashtbl.t;
+  own : Ownership.t;
+  collector : Report.collector;
+  mutable events_in : int;
+  mutable cache_hits : int;
+  mutable ownership_filtered : int;
+  mutable weaker_filtered : int;
+  mutable race_checks : int;
+}
+
+let create ?(config = default_config) collector =
+  {
+    config;
+    history =
+      (match config.history with
+      | Per_location -> Htries (Hashtbl.create 1024)
+      | Packed -> Hpacked (Trie_packed.create ()));
+    caches = Hashtbl.create 16;
+    own = Ownership.create ();
+    collector;
+    events_in = 0;
+    cache_hits = 0;
+    ownership_filtered = 0;
+    weaker_filtered = 0;
+    race_checks = 0;
+  }
+
+let cache_of d thread =
+  match Hashtbl.find_opt d.caches thread with
+  | Some c -> c
+  | None ->
+      let c = Cache.create ~size:d.config.cache_size () in
+      Hashtbl.add d.caches thread c;
+      c
+
+let process_history d (e : Event.t) =
+  match d.history with
+  | Hpacked h -> Trie_packed.process h e
+  | Htries tries ->
+      let trie =
+        match Hashtbl.find_opt tries e.loc with
+        | Some t -> t
+        | None ->
+            let t = Trie.create () in
+            Hashtbl.add tries e.loc t;
+            t
+      in
+      Trie.process trie e
+
+let on_access d (e : Event.t) =
+  d.events_in <- d.events_in + 1;
+  let filtered_by_cache =
+    d.config.use_cache
+    && Cache.lookup_or_add (cache_of d e.thread) ~kind:e.kind ~loc:e.loc
+  in
+  if filtered_by_cache then d.cache_hits <- d.cache_hits + 1
+  else
+    let pass =
+      if not d.config.use_ownership then true
+      else
+        match Ownership.check d.own ~thread:e.thread ~loc:e.loc with
+        | Ownership.Owned_skip ->
+            d.ownership_filtered <- d.ownership_filtered + 1;
+            false
+        | Ownership.Became_shared ->
+            (* Section 7.2: the owner's cached entries for this location
+               no longer justify suppression; evict everywhere.  The
+               transitioning thread's own entry was inserted by the
+               lookup just above for this very event, which is being
+               forwarded, so it stays valid. *)
+            if d.config.use_cache then
+              Hashtbl.iter
+                (fun t c -> if t <> e.thread then Cache.evict_loc c e.loc)
+                d.caches;
+            true
+        | Ownership.Already_shared -> true
+    in
+    if pass then begin
+      d.race_checks <- d.race_checks + 1;
+      let race, redundant = process_history d e in
+      if redundant then d.weaker_filtered <- d.weaker_filtered + 1;
+      match race with
+      | Some prior ->
+          Report.add d.collector { Report.loc = e.loc; current = e; prior }
+      | None -> ()
+    end
+
+let on_acquire d ~thread ~lock =
+  if d.config.use_cache then Cache.acquired (cache_of d thread) lock
+
+let on_release d ~thread ~lock =
+  if d.config.use_cache then Cache.released (cache_of d thread) lock
+
+let on_thread_exit d ~thread = Hashtbl.remove d.caches thread
+
+let stats d =
+  let trie_nodes =
+    match d.history with
+    | Htries tries ->
+        Hashtbl.fold (fun _ t acc -> acc + Trie.node_count t) tries 0
+    | Hpacked h -> Trie_packed.node_count h
+  in
+  let locations =
+    match d.history with
+    | Htries tries -> Hashtbl.length tries
+    | Hpacked h -> Trie_packed.locations h
+  in
+  {
+    events_in = d.events_in;
+    cache_hits = d.cache_hits;
+    ownership_filtered = d.ownership_filtered;
+    weaker_filtered = d.weaker_filtered;
+    race_checks = d.race_checks;
+    races_reported = Report.count d.collector;
+    locations_tracked = locations;
+    trie_nodes;
+  }
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf
+    "@[<v>events in:          %d@ cache hits:         %d@ ownership \
+     filtered: %d@ weaker filtered:    %d@ race checks:        %d@ races \
+     reported:     %d@ locations tracked:  %d@ trie nodes:         %d@]"
+    s.events_in s.cache_hits s.ownership_filtered s.weaker_filtered
+    s.race_checks s.races_reported s.locations_tracked s.trie_nodes

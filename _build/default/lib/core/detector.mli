@@ -1,0 +1,65 @@
+(** The on-the-fly datarace detector: runtime optimizer (per-thread
+    caches), ownership filter and trie-based detection assembled into the
+    pipeline of the paper's Figure 1 (right half).
+
+    The event source (the instrumented VM) feeds it access events plus
+    outermost lock acquire/release and thread-exit notifications; races
+    are pushed into a {!Report.collector}. *)
+
+(** Storage strategy for the access histories. *)
+type history_impl =
+  | Per_location  (** One trie per memory location (paper Section 3.2). *)
+  | Packed
+      (** One shared trie for all locations — the packing scheme alluded
+          to in Section 8.2; observationally identical, smaller. *)
+
+type config = {
+  use_cache : bool;
+      (** Enable the per-thread access caches of Section 4.  Disabling
+          reproduces the paper's "NoCache" configuration. *)
+  cache_size : int;  (** Entries per direct-mapped cache (power of two). *)
+  use_ownership : bool;
+      (** Enable the ownership filter of Section 7.  Disabling reproduces
+          the "NoOwnership" configuration of Table 3. *)
+  history : history_impl;
+}
+
+val default_config : config
+(** Caches of 256 entries and the ownership model enabled — the paper's
+    "Full" runtime configuration. *)
+
+type stats = {
+  events_in : int;  (** Access events received from the program. *)
+  cache_hits : int;  (** Dropped by the runtime optimizer. *)
+  ownership_filtered : int;  (** Dropped because the location was owned. *)
+  weaker_filtered : int;
+      (** Events found redundant by the trie weakness check: their
+          history update was skipped (the race check still ran; see the
+          fidelity note on {!Trie.process}). *)
+  race_checks : int;  (** Events that reached the trie. *)
+  races_reported : int;  (** Distinct racy locations reported. *)
+  locations_tracked : int;  (** Locations with an allocated trie. *)
+  trie_nodes : int;  (** Total trie nodes over all locations. *)
+}
+
+type t
+
+val create : ?config:config -> Report.collector -> t
+
+val on_access : t -> Event.t -> unit
+(** Process one access event end-to-end: cache, ownership, weakness
+    check, race check, history update. *)
+
+val on_acquire : t -> thread:Event.thread_id -> lock:Event.lock_id -> unit
+(** Outermost acquisition of a real lock by [thread] (reentrant
+    re-acquisitions must not be reported). *)
+
+val on_release : t -> thread:Event.thread_id -> lock:Event.lock_id -> unit
+(** Outermost release of a real lock; triggers cache eviction. *)
+
+val on_thread_exit : t -> thread:Event.thread_id -> unit
+(** Discard the thread's caches. *)
+
+val stats : t -> stats
+
+val pp_stats : stats Fmt.t

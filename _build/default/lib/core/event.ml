@@ -1,0 +1,90 @@
+type thread_id = int
+type lock_id = int
+type loc_id = int
+type site_id = int
+
+type kind = Read | Write
+
+type thread_info = Thread of thread_id | Bot | Top
+
+module Lockset = struct
+  module S = Set.Make (Int)
+
+  type t = S.t
+
+  let empty = S.empty
+  let is_empty = S.is_empty
+  let singleton = S.singleton
+  let add = S.add
+  let remove = S.remove
+  let mem = S.mem
+  let subset = S.subset
+  let disjoint = S.disjoint
+  let inter = S.inter
+  let union = S.union
+  let equal = S.equal
+  let cardinal = S.cardinal
+  let of_list ls = List.fold_left (fun s l -> S.add l s) S.empty ls
+  let to_sorted_list = S.elements
+  let fold = S.fold
+
+  let pp ppf s =
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") int) (to_sorted_list s)
+end
+
+type t = {
+  loc : loc_id;
+  thread : thread_id;
+  locks : Lockset.t;
+  kind : kind;
+  site : site_id;
+}
+
+let make ~loc ~thread ~locks ~kind ~site = { loc; thread; locks; kind; site }
+
+let equal e1 e2 =
+  e1.loc = e2.loc && e1.thread = e2.thread && e1.kind = e2.kind
+  && e1.site = e2.site
+  && Lockset.equal e1.locks e2.locks
+
+let is_race e1 e2 =
+  e1.loc = e2.loc
+  && e1.thread <> e2.thread
+  && Lockset.disjoint e1.locks e2.locks
+  && (e1.kind = Write || e2.kind = Write)
+
+let kind_leq a1 a2 = a1 = Write || a1 = a2
+
+let thread_leq t1 t2 = t1 = Bot || t1 = t2
+
+let kind_meet a1 a2 = if a1 = a2 then a1 else Write
+
+let thread_meet t1 t2 =
+  match (t1, t2) with
+  | Top, t | t, Top -> t
+  | Thread i, Thread j when i = j -> t1
+  | _ -> Bot
+
+let weaker_than p q =
+  p.loc = q.loc
+  && Lockset.subset p.locks q.locks
+  && p.thread = q.thread
+  && kind_leq p.kind q.kind
+
+let stored_weaker_than ~thread ~kind ~locks q =
+  Lockset.subset locks q.locks
+  && thread_leq thread (Thread q.thread)
+  && kind_leq kind q.kind
+
+let pp_kind ppf = function
+  | Read -> Fmt.string ppf "read"
+  | Write -> Fmt.string ppf "write"
+
+let pp_thread_info ppf = function
+  | Thread i -> Fmt.pf ppf "T%d" i
+  | Bot -> Fmt.string ppf "t_bot"
+  | Top -> Fmt.string ppf "t_top"
+
+let pp ppf e =
+  Fmt.pf ppf "(m=%d, t=T%d, L=%a, a=%a, s=%d)" e.loc e.thread Lockset.pp
+    e.locks pp_kind e.kind e.site

@@ -1,0 +1,146 @@
+(** Access events and the weaker-than lattice (paper Sections 2.4 and 3.1).
+
+    An access event is the 5-tuple [(m, t, L, a, s)]: memory location,
+    thread, lockset, access kind and source site.  This module defines the
+    event representation shared by the whole detector pipeline, together
+    with the [IsRace] predicate and the weaker-than partial order that
+    justifies discarding redundant events. *)
+
+type thread_id = int
+(** Identity of a program thread.  Thread ids are small non-negative
+    integers assigned by the VM in creation order; id [0] is the main
+    thread. *)
+
+type lock_id = int
+(** Identity of a lock.  Real locks are identified by the heap id of the
+    monitor object; per-thread join pseudo-locks (Section 2.3) are
+    hidden heap objects allocated by the VM, so they live in the same
+    non-negative id space without colliding — see {!Pseudo_lock}. *)
+
+type loc_id = int
+(** Identity of a logical memory location: an (object, field) pair, a
+    static field, or a whole array (the paper's footnote 1 merges all
+    elements of an array into one location).  The mapping from concrete
+    locations to ids is owned by the event source; see
+    {!Names.register_loc}. *)
+
+type site_id = int
+(** Identity of a source location (statement) used only for race
+    reporting, see {!Names.register_site}. *)
+
+(** Access kind; the paper's [a] component. *)
+type kind =
+  | Read
+  | Write
+
+(** Thread lattice element stored in access-history trie nodes
+    (Section 3.1/3.2).  [Bot] is the pseudothread [t_bot], "at least two
+    distinct threads"; [Top] is [t_top], "no threads", used for internal
+    trie nodes holding no access. *)
+type thread_info =
+  | Thread of thread_id
+  | Bot
+  | Top
+
+module Lockset : sig
+  (** Sets of lock identities held at the time of an access. *)
+
+  type t
+
+  val empty : t
+
+  val is_empty : t -> bool
+
+  val singleton : lock_id -> t
+
+  val add : lock_id -> t -> t
+
+  val remove : lock_id -> t -> t
+
+  val mem : lock_id -> t -> bool
+
+  val subset : t -> t -> bool
+  (** [subset a b] is [true] iff every lock of [a] is in [b]. *)
+
+  val disjoint : t -> t -> bool
+  (** [disjoint a b] is [true] iff [a] and [b] share no lock; this is the
+      third datarace condition, [a.L] ∩ [b.L] = ∅. *)
+
+  val inter : t -> t -> t
+
+  val union : t -> t -> t
+
+  val equal : t -> t -> bool
+
+  val cardinal : t -> int
+
+  val of_list : lock_id list -> t
+
+  val to_sorted_list : t -> lock_id list
+  (** Elements in strictly increasing order; this is the canonical trie
+      path for the lockset. *)
+
+  val fold : (lock_id -> 'a -> 'a) -> t -> 'a -> 'a
+
+  val pp : t Fmt.t
+end
+
+type t = {
+  loc : loc_id;
+  thread : thread_id;
+  locks : Lockset.t;
+  kind : kind;
+  site : site_id;
+}
+(** An access event.  New events always carry a concrete thread; only
+    stored history entries can degrade to {!Bot}. *)
+
+val make :
+  loc:loc_id ->
+  thread:thread_id ->
+  locks:Lockset.t ->
+  kind:kind ->
+  site:site_id ->
+  t
+
+val equal : t -> t -> bool
+(** Componentwise equality (locksets compared as sets). *)
+
+val is_race : t -> t -> bool
+(** [is_race e1 e2] is the paper's [IsRace] predicate: same location,
+    different threads, disjoint locksets, and at least one write. *)
+
+val kind_leq : kind -> kind -> bool
+(** [kind_leq a1 a2] is the access-kind order [a1 ⊑ a2]: [a1 = a2] or
+    [a1 = Write].  A write is weaker than (covers) a read at the same
+    location because it can race with strictly more future accesses. *)
+
+val thread_leq : thread_info -> thread_info -> bool
+(** [thread_leq t1 t2] is the thread order [t1 ⊑ t2]: [t1 = t2] or
+    [t1 = Bot].  [Top] is weaker than nothing (it represents no access)
+    and nothing but [Top] is weaker than it. *)
+
+val kind_meet : kind -> kind -> kind
+(** Meet in the access-kind lattice: equal kinds stay, differing kinds
+    become [Write]. *)
+
+val thread_meet : thread_info -> thread_info -> thread_info
+(** Meet in the thread lattice: [Top] is the identity, differing concrete
+    threads become [Bot]. *)
+
+val weaker_than : t -> t -> bool
+(** [weaker_than p q] is Definition 2: [p.m = q.m ∧ p.L ⊆ q.L ∧ p.t ⊑ q.t
+    ∧ p.a ⊑ q.a], treating both events' threads as concrete.  When it
+    holds, every future race with [q] is also a race with [p]
+    (Theorem 1), so [q] carries no information for detection. *)
+
+val stored_weaker_than :
+  thread:thread_info -> kind:kind -> locks:Lockset.t -> t -> bool
+(** Weaker-than where the earlier access is a stored history entry whose
+    thread may have degraded to {!Bot}. *)
+
+val pp_kind : kind Fmt.t
+
+val pp_thread_info : thread_info Fmt.t
+
+val pp : t Fmt.t

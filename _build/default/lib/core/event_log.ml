@@ -1,0 +1,101 @@
+type entry =
+  | Access of Event.t
+  | Acquire of Event.thread_id * Event.lock_id
+  | Release of Event.thread_id * Event.lock_id
+  | Thread_start of Event.thread_id * Event.thread_id
+  | Thread_join of Event.thread_id * Event.thread_id
+  | Thread_exit of Event.thread_id
+
+type t = { mutable rev : entry list; mutable n : int }
+
+let create () = { rev = []; n = 0 }
+
+let record t e =
+  t.rev <- e :: t.rev;
+  t.n <- t.n + 1
+
+let length t = t.n
+
+let entries t = List.rev t.rev
+
+let replay t det =
+  List.iter
+    (function
+      | Access e -> Detector.on_access det e
+      | Acquire (thread, lock) -> Detector.on_acquire det ~thread ~lock
+      | Release (thread, lock) -> Detector.on_release det ~thread ~lock
+      | Thread_start _ | Thread_join _ -> ()
+      | Thread_exit thread -> Detector.on_thread_exit det ~thread)
+    (entries t)
+
+(* Text serialization: one entry per line.
+     A <loc> <thread> <R|W> <site> <lock>*      access
+     L <thread> <lock>                          acquire
+     U <thread> <lock>                          release
+     S <parent> <child>                         thread start
+     J <joiner> <joinee>                        thread join
+     X <thread>                                 thread exit *)
+
+let to_channel oc t =
+  List.iter
+    (fun e ->
+      (match e with
+      | Access e ->
+          Printf.fprintf oc "A %d %d %c %d" e.Event.loc e.Event.thread
+            (match e.Event.kind with Event.Read -> 'R' | Event.Write -> 'W')
+            e.Event.site;
+          List.iter (Printf.fprintf oc " %d")
+            (Event.Lockset.to_sorted_list e.Event.locks)
+      | Acquire (t, l) -> Printf.fprintf oc "L %d %d" t l
+      | Release (t, l) -> Printf.fprintf oc "U %d %d" t l
+      | Thread_start (p, c) -> Printf.fprintf oc "S %d %d" p c
+      | Thread_join (j, e) -> Printf.fprintf oc "J %d %d" j e
+      | Thread_exit t -> Printf.fprintf oc "X %d" t);
+      output_char oc '\n')
+    (entries t)
+
+let of_channel ic =
+  let t = create () in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         let parts = String.split_on_char ' ' (String.trim line) in
+         let entry =
+           match parts with
+           | "A" :: loc :: thread :: kind :: site :: locks ->
+               let kind =
+                 match kind with
+                 | "R" -> Event.Read
+                 | "W" -> Event.Write
+                 | k -> failwith ("Event_log: bad access kind " ^ k)
+               in
+               Access
+                 (Event.make ~loc:(int_of_string loc)
+                    ~thread:(int_of_string thread)
+                    ~locks:(Event.Lockset.of_list (List.map int_of_string locks))
+                    ~kind ~site:(int_of_string site))
+           | [ "L"; t; l ] -> Acquire (int_of_string t, int_of_string l)
+           | [ "U"; t; l ] -> Release (int_of_string t, int_of_string l)
+           | [ "S"; p; c ] -> Thread_start (int_of_string p, int_of_string c)
+           | [ "J"; j; e ] -> Thread_join (int_of_string j, int_of_string e)
+           | [ "X"; t ] -> Thread_exit (int_of_string t)
+           | _ -> failwith ("Event_log: malformed line: " ^ line)
+         in
+         record t entry
+     done
+   with End_of_file -> ());
+  t
+
+let equal_entry a b =
+  match (a, b) with
+  | Access x, Access y -> Event.equal x y
+  | x, y -> x = y
+
+let pp_entry ppf = function
+  | Access e -> Fmt.pf ppf "access %a" Event.pp e
+  | Acquire (t, l) -> Fmt.pf ppf "T%d acquires %d" t l
+  | Release (t, l) -> Fmt.pf ppf "T%d releases %d" t l
+  | Thread_start (p, c) -> Fmt.pf ppf "T%d starts T%d" p c
+  | Thread_join (j, e) -> Fmt.pf ppf "T%d joins T%d" j e
+  | Thread_exit t -> Fmt.pf ppf "T%d exits" t

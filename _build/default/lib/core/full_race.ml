@@ -1,0 +1,84 @@
+type pair = {
+  fr_site_a : Event.site_id;
+  fr_site_b : Event.site_id;
+  fr_kind_a : Event.kind;
+  fr_kind_b : Event.kind;
+  fr_count : int;
+  fr_example : Event.t * Event.t;
+}
+
+let reconstruct ?(ownership = true) log ~locs =
+  let wanted = Hashtbl.create 8 in
+  List.iter (fun l -> Hashtbl.replace wanted l ()) locs;
+  (* Collect the access events of the requested locations, in order,
+     applying the same ownership filter as the detector (Section 7):
+     accesses made while a location is still owned by its first thread
+     are ordered by Thread.start and are not race material. *)
+  let own = Ownership.create () in
+  let per_loc : (Event.loc_id, Event.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Event_log.Access e when Hashtbl.mem wanted e.Event.loc ->
+          let keep =
+            (not ownership)
+            ||
+            match Ownership.check own ~thread:e.Event.thread ~loc:e.Event.loc with
+            | Ownership.Owned_skip -> false
+            | Ownership.Became_shared | Ownership.Already_shared -> true
+          in
+          if keep then begin
+            let r =
+              match Hashtbl.find_opt per_loc e.Event.loc with
+              | Some r -> r
+              | None ->
+                  let r = ref [] in
+                  Hashtbl.add per_loc e.Event.loc r;
+                  r
+            in
+            r := e :: !r
+          end
+      | _ -> ())
+    (Event_log.entries log);
+  List.map
+    (fun loc ->
+      let events =
+        match Hashtbl.find_opt per_loc loc with
+        | Some r -> Array.of_list (List.rev !r)
+        | None -> [||]
+      in
+      let agg : (Event.site_id * Event.site_id, pair) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let n = Array.length events in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let a = events.(i) and b = events.(j) in
+          if Event.is_race a b then begin
+            let key = (a.Event.site, b.Event.site) in
+            match Hashtbl.find_opt agg key with
+            | Some p -> Hashtbl.replace agg key { p with fr_count = p.fr_count + 1 }
+            | None ->
+                Hashtbl.replace agg key
+                  {
+                    fr_site_a = a.Event.site;
+                    fr_site_b = b.Event.site;
+                    fr_kind_a = a.Event.kind;
+                    fr_kind_b = b.Event.kind;
+                    fr_count = 1;
+                    fr_example = (a, b);
+                  }
+          end
+        done
+      done;
+      let pairs =
+        Hashtbl.fold (fun _ p acc -> p :: acc) agg []
+        |> List.sort (fun a b -> compare (b.fr_count, a.fr_site_a) (a.fr_count, b.fr_site_a))
+      in
+      (loc, pairs))
+    locs
+
+let racy_locs_of_log log =
+  let collector = Report.collector () in
+  let det = Detector.create collector in
+  Event_log.replay log det;
+  Report.racy_locs collector

@@ -1,0 +1,39 @@
+(** FullRace reconstruction (paper Sections 2.5 and 2.6).
+
+    The on-the-fly detector deliberately reports only one access per
+    racy location, because enumerating the set [FullRace] of {e all}
+    racing pairs is O(N²).  The paper's suggested workflow pairs the
+    detector with deterministic replay: record the execution, then
+    reconstruct the full pair set off-line — but only for the locations
+    the detector already proved racy, which keeps the quadratic cost
+    confined to the (few) interesting locations.
+
+    Pairs are aggregated per source-site pair: the user cares about
+    which {e statements} race, not about the thousands of dynamic
+    instances. *)
+
+type pair = {
+  fr_site_a : Event.site_id;  (** Site of the earlier access. *)
+  fr_site_b : Event.site_id;  (** Site of the later access. *)
+  fr_kind_a : Event.kind;
+  fr_kind_b : Event.kind;
+  fr_count : int;  (** Dynamic racing instances with this site pair. *)
+  fr_example : Event.t * Event.t;  (** One concrete racing pair. *)
+}
+
+val reconstruct :
+  ?ownership:bool ->
+  Event_log.t ->
+  locs:Event.loc_id list ->
+  (Event.loc_id * pair list) list
+(** [reconstruct log ~locs] computes, for each requested location, every
+    racing site pair among its accesses in the log (quadratic in the
+    per-location access count only).  Locations with no racing pair are
+    returned with an empty list.  By default the detector's ownership
+    filter is applied first, so pairs ordered by [Thread.start]
+    initialization hand-offs are excluded, as in the online detector;
+    pass [~ownership:false] for the raw IsRace closure. *)
+
+val racy_locs_of_log : Event_log.t -> Event.loc_id list
+(** Convenience: run the (linear, trie-based) detector over the log
+    first to find which locations deserve reconstruction. *)

@@ -1,0 +1,56 @@
+type cls = Thread_local | Shared_immutable | Shared_mutable
+
+type state =
+  | Local of Event.thread_id (* single thread so far *)
+  | Shared of bool (* true = written after publication *)
+
+type t = { tbl : (Event.loc_id, state) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 1024 }
+
+let on_access t (e : Event.t) =
+  match Hashtbl.find_opt t.tbl e.loc with
+  | None -> Hashtbl.replace t.tbl e.loc (Local e.thread)
+  | Some (Local owner) when owner = e.thread -> ()
+  | Some (Local _) ->
+      (* Publication: the access that shares the location counts as a
+         post-publication access. *)
+      Hashtbl.replace t.tbl e.loc (Shared (e.kind = Event.Write))
+  | Some (Shared true) -> ()
+  | Some (Shared false) ->
+      if e.kind = Event.Write then Hashtbl.replace t.tbl e.loc (Shared true)
+
+let classify t loc =
+  match Hashtbl.find_opt t.tbl loc with
+  | None -> None
+  | Some (Local _) -> Some Thread_local
+  | Some (Shared false) -> Some Shared_immutable
+  | Some (Shared true) -> Some Shared_mutable
+
+type summary = {
+  thread_local : int;
+  shared_immutable : int;
+  shared_mutable : int;
+}
+
+let summary t =
+  Hashtbl.fold
+    (fun _ st acc ->
+      match st with
+      | Local _ -> { acc with thread_local = acc.thread_local + 1 }
+      | Shared false ->
+          { acc with shared_immutable = acc.shared_immutable + 1 }
+      | Shared true -> { acc with shared_mutable = acc.shared_mutable + 1 })
+    t.tbl
+    { thread_local = 0; shared_immutable = 0; shared_mutable = 0 }
+
+let shared_mutable_locs t =
+  Hashtbl.fold
+    (fun loc st acc -> match st with Shared true -> loc :: acc | _ -> acc)
+    t.tbl []
+  |> List.sort compare
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "thread-local: %d, shared-immutable: %d, shared-mutable: %d"
+    s.thread_local s.shared_immutable s.shared_mutable

@@ -1,0 +1,30 @@
+type t = {
+  locs : (int, string) Hashtbl.t;
+  sites : (int, string) Hashtbl.t;
+  locks : (int, string) Hashtbl.t;
+}
+
+let create () =
+  {
+    locs = Hashtbl.create 256;
+    sites = Hashtbl.create 256;
+    locks = Hashtbl.create 64;
+  }
+
+let register_loc t id name = Hashtbl.replace t.locs id name
+let register_site t id name = Hashtbl.replace t.sites id name
+let register_lock t id name = Hashtbl.replace t.locks id name
+
+let find tbl prefix id =
+  match Hashtbl.find_opt tbl id with
+  | Some s -> s
+  | None -> Printf.sprintf "%s#%d" prefix id
+
+let loc_name t id = find t.locs "loc" id
+let site_name t id = if id < 0 then "<unknown>" else find t.sites "site" id
+let lock_name t id = find t.locks "lock" id
+
+let pp_lockset t ppf ls =
+  Fmt.pf ppf "{%a}"
+    Fmt.(list ~sep:(any ", ") string)
+    (List.map (lock_name t) (Event.Lockset.to_sorted_list ls))

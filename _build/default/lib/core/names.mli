@@ -1,0 +1,25 @@
+(** Registries mapping the integer identities carried by events back to
+    human-readable names, used only when rendering race reports
+    (Section 2.6).  Keeping events as plain integers keeps the hot path
+    allocation-free; the registries are populated once by the VM and the
+    compiler. *)
+
+type t
+
+val create : unit -> t
+
+val register_loc : t -> Event.loc_id -> string -> unit
+(** Name a memory location, e.g. ["Task#17.thread_"] or
+    ["TspSolver.MinTourLen"] or ["int[]#42"]. *)
+
+val register_site : t -> Event.site_id -> string -> unit
+(** Name a source site, e.g. ["Worker.run:12 (write a.f)"]. *)
+
+val register_lock : t -> Event.lock_id -> string -> unit
+(** Name a lock, e.g. ["Pool#3"] or ["S_2"] for a join pseudo-lock. *)
+
+val loc_name : t -> Event.loc_id -> string
+val site_name : t -> Event.site_id -> string
+val lock_name : t -> Event.lock_id -> string
+
+val pp_lockset : t -> Event.Lockset.t Fmt.t

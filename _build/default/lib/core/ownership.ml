@@ -1,0 +1,28 @@
+type state = Owned of Event.thread_id | Shared
+
+type t = { tbl : (Event.loc_id, state) Hashtbl.t; mutable shared : int }
+
+type verdict = Owned_skip | Became_shared | Already_shared
+
+let create () = { tbl = Hashtbl.create 1024; shared = 0 }
+
+let check o ~thread ~loc =
+  match Hashtbl.find_opt o.tbl loc with
+  | None ->
+      Hashtbl.replace o.tbl loc (Owned thread);
+      Owned_skip
+  | Some (Owned t) when t = thread -> Owned_skip
+  | Some (Owned _) ->
+      Hashtbl.replace o.tbl loc Shared;
+      o.shared <- o.shared + 1;
+      Became_shared
+  | Some Shared -> Already_shared
+
+let is_shared o loc =
+  match Hashtbl.find_opt o.tbl loc with Some Shared -> true | _ -> false
+
+let owner o loc =
+  match Hashtbl.find_opt o.tbl loc with Some (Owned t) -> Some t | _ -> None
+
+let shared_count o = o.shared
+let tracked_count o = Hashtbl.length o.tbl

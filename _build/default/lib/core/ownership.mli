@@ -1,0 +1,35 @@
+(** The ownership model (paper Sections 2.3 and 7).
+
+    The owner of a location is the first thread to access it.  Accesses
+    by the owner are invisible to the detector until a second thread
+    touches the location, at which point it becomes {e shared} and every
+    access from then on (starting with the one that caused the
+    transition) is forwarded.  This approximates the happened-before
+    ordering induced by [Thread.start] for the common initialize-then-
+    hand-off idiom without tracking start edges explicitly. *)
+
+type t
+
+val create : unit -> t
+
+(** Result of filtering one access. *)
+type verdict =
+  | Owned_skip  (** The current thread owns the location: drop the event. *)
+  | Became_shared
+      (** First access by a non-owner: forward the event, and evict the
+          location from every thread's cache (Section 7.2). *)
+  | Already_shared  (** The location is shared: forward the event. *)
+
+val check : t -> thread:Event.thread_id -> loc:Event.loc_id -> verdict
+
+val is_shared : t -> Event.loc_id -> bool
+
+val owner : t -> Event.loc_id -> Event.thread_id option
+(** [owner o loc] is the owning thread, or [None] if the location is
+    shared or was never accessed. *)
+
+val shared_count : t -> int
+(** Number of locations that have transitioned to the shared state. *)
+
+val tracked_count : t -> int
+(** Number of locations ever observed (owned or shared). *)

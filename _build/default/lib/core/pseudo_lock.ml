@@ -1,0 +1,23 @@
+type t = {
+  dummy : (Event.thread_id, Event.lock_id) Hashtbl.t;
+  held : (Event.thread_id, Event.Lockset.t) Hashtbl.t;
+}
+
+let create () = { dummy = Hashtbl.create 16; held = Hashtbl.create 16 }
+
+let locks_of t tid =
+  Option.value (Hashtbl.find_opt t.held tid) ~default:Event.Lockset.empty
+
+let add_lock t tid l =
+  Hashtbl.replace t.held tid (Event.Lockset.add l (locks_of t tid))
+
+let on_thread_start t tid s =
+  Hashtbl.replace t.dummy tid s;
+  add_lock t tid s
+
+let on_join t ~joiner ~joinee =
+  match Hashtbl.find_opt t.dummy joinee with
+  | Some s -> add_lock t joiner s
+  | None -> ()
+
+let dummy_of t tid = Hashtbl.find_opt t.dummy tid

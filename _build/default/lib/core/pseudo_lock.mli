@@ -1,0 +1,33 @@
+(** Join pseudo-locks (paper Section 2.3).
+
+    To model the happened-before ordering of [Thread.join] with pure
+    mutual exclusion, every thread [T_j] gets a dummy lock [S_j] that it
+    conceptually holds for its entire lifetime, and every thread that
+    joins on [T_j] acquires [S_j] (forever) once the join completes.
+    Accesses before a join and accesses inside the joined thread then
+    share [S_j], so they can never appear racy.
+
+    Pseudo-locks are never released, so a thread's pseudo-lockset only
+    grows; consequently they are exempt from the cache eviction machinery
+    (see {!Cache}). *)
+
+type t
+
+val create : unit -> t
+
+val on_thread_start : t -> Event.thread_id -> Event.lock_id -> unit
+(** Register [S_j] for a newly started thread [j] and add it to [j]'s
+    pseudo-lockset.  The caller supplies the lock identity, which must
+    be disjoint from every real lock (the VM allocates hidden heap
+    objects named "S_<j>"). *)
+
+val on_join : t -> joiner:Event.thread_id -> joinee:Event.thread_id -> unit
+(** After [joiner] successfully joins on [joinee], add [S_joinee] to
+    [joiner]'s pseudo-lockset. *)
+
+val locks_of : t -> Event.thread_id -> Event.Lockset.t
+(** The pseudo-locks currently attributed to a thread; the VM unions this
+    into the lockset of every access event of that thread. *)
+
+val dummy_of : t -> Event.thread_id -> Event.lock_id option
+(** [dummy_of t j] is [S_j] if thread [j] was registered. *)

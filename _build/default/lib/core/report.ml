@@ -1,0 +1,33 @@
+type race = { loc : Event.loc_id; current : Event.t; prior : Trie.prior }
+
+let pp_race names ppf (r : race) =
+  let open Event in
+  Fmt.pf ppf
+    "@[<v2>DATARACE on %s:@ current: T%d %a at %s holding %a@ earlier: %a %a \
+     at %s holding %a@]"
+    (Names.loc_name names r.loc) r.current.thread pp_kind r.current.kind
+    (Names.site_name names r.current.site)
+    (Names.pp_lockset names) r.current.locks pp_thread_info
+    r.prior.Trie.p_thread pp_kind r.prior.Trie.p_kind
+    (Names.site_name names r.prior.Trie.p_site)
+    (Names.pp_lockset names) r.prior.Trie.p_locks
+
+type collector = {
+  mutable acc : race list; (* reverse order *)
+  seen : (Event.loc_id, unit) Hashtbl.t;
+}
+
+let collector () = { acc = []; seen = Hashtbl.create 64 }
+
+let add c r =
+  if not (Hashtbl.mem c.seen r.loc) then begin
+    Hashtbl.replace c.seen r.loc ();
+    c.acc <- r :: c.acc
+  end
+
+let races c = List.rev c.acc
+let count c = Hashtbl.length c.seen
+let racy_locs c = List.rev_map (fun r -> r.loc) c.acc
+
+let pp names ppf c =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list (pp_race names)) (races c)

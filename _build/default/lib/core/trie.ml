@@ -1,0 +1,229 @@
+open Event
+
+type prior = {
+  p_thread : thread_info;
+  p_kind : kind;
+  p_locks : Lockset.t;
+  p_site : site_id;
+}
+
+type node = {
+  label : lock_id; (* incoming edge label; -1 for the root *)
+  mutable thread : thread_info; (* Top = no access stored here *)
+  mutable kind : kind;
+  mutable site : site_id;
+  mutable children : node list; (* sorted by increasing label *)
+}
+
+type t = { root : node; mutable count : int }
+
+let mk_node label =
+  { label; thread = Top; kind = Read; site = -1; children = [] }
+
+let create () = { root = mk_node (-1); count = 1 }
+
+let node_count h = h.count
+
+let node_weaker n (e : Event.t) =
+  n.thread <> Top
+  && thread_leq n.thread (Thread e.thread)
+  && kind_leq n.kind e.kind
+
+(* Weakness check: walk only edges labeled with locks of [e], so every
+   visited node's lockset is a subset of [e.locks]. *)
+let exists_weaker h e =
+  let rec go n =
+    node_weaker n e
+    || List.exists (fun c -> Lockset.mem c.label e.locks && go c) n.children
+  in
+  go h.root
+
+let find_race h (e : Event.t) =
+  let exception Found of prior in
+  let rec go n path =
+    (* Case II: at least two threads and at least one write. *)
+    if thread_meet (Thread e.thread) n.thread = Bot && kind_meet e.kind n.kind = Write
+    then
+      raise
+        (Found
+           {
+             p_thread = n.thread;
+             p_kind = n.kind;
+             p_locks = path;
+             p_site = n.site;
+           });
+    (* Case III: recurse, skipping Case-I subtrees (common lock). *)
+    List.iter
+      (fun c ->
+        if not (Lockset.mem c.label e.locks) then
+          go c (Lockset.add c.label path))
+      n.children
+  in
+  match go h.root Lockset.empty with
+  | () -> None
+  | exception Found p -> Some p
+
+(* Find or create the node addressed by the sorted lock list [path]. *)
+let rec descend h n path =
+  match path with
+  | [] -> n
+  | l :: rest ->
+      let rec find = function
+        | c :: _ when c.label = l -> Some c
+        | c :: tl when c.label < l -> find tl
+        | _ -> None
+      in
+      let child =
+        match find n.children with
+        | Some c -> c
+        | None ->
+            let c = mk_node l in
+            h.count <- h.count + 1;
+            let rec ins = function
+              | x :: tl when x.label < l -> x :: ins tl
+              | tl -> c :: tl
+            in
+            n.children <- ins n.children;
+            c
+      in
+      descend h child rest
+
+(* Remove stored accesses that [keep] (the just-updated node, holding
+   meet value [tv]/[av] for lockset [locks]) is weaker than, and
+   garbage-collect empty leaves.  [required] is the sorted list of locks
+   of the new access not yet seen on the current path; edge labels
+   increase along paths, so a label above the next required lock kills
+   the whole subtree. *)
+let prune_stronger h keep locks tv av =
+  let rec go n required =
+    let required' =
+      match required with
+      | r :: rest when n.label = r -> Some rest
+      | r :: _ when n.label > r -> None
+      | req -> Some req
+    in
+    match required' with
+    | None -> true
+    | Some req ->
+        if
+          req = [] && n != keep && n.thread <> Top
+          && thread_leq tv n.thread && kind_leq av n.kind
+        then begin
+          n.thread <- Top;
+          n.kind <- Read;
+          n.site <- -1
+        end;
+        let survivors =
+          List.filter
+            (fun c ->
+              let live = go c req in
+              if not live then h.count <- h.count - 1;
+              live)
+            n.children
+        in
+        n.children <- survivors;
+        n.thread <> Top || n.children <> [] || n == keep
+  in
+  ignore (go h.root (Lockset.to_sorted_list locks))
+
+let update h e =
+  let n = descend h h.root (Lockset.to_sorted_list e.locks) in
+  if n.thread = Top then begin
+    n.thread <- Thread e.thread;
+    n.kind <- e.kind;
+    n.site <- e.site
+  end
+  else begin
+    n.thread <- thread_meet n.thread (Thread e.thread);
+    (* Keep the site aligned with the strongest kind: once the summary
+       says WRITE, point at a write site. *)
+    if e.kind = Write && n.kind = Read then n.site <- e.site;
+    n.kind <- kind_meet n.kind e.kind
+  end;
+  prune_stronger h n e.locks n.thread n.kind
+
+(* One event end-to-end.  The race check runs unconditionally — see the
+   interface comment: gating it behind the weakness check, as the paper
+   describes, can silently drop an event's race with a still-stored past
+   access when a meet-merged (t_bot) node covers the event.  The
+   weakness check only decides whether the history needs updating.
+
+   The two traversals fuse into a single DFS: below the root, the
+   weakness check follows only edges labeled with locks of [e.L] (so
+   every visited lockset is a subset of [e.L]) while the race check
+   prunes exactly those edges (Case I), so they explore disjoint parts
+   of the trie. *)
+let process h (e : Event.t) =
+  let race = ref None in
+  let weaker = ref false in
+  let rec weak_dfs n =
+    (* Paths within e.L only. *)
+    if node_weaker n e then weaker := true
+    else
+      List.iter
+        (fun c -> if (not !weaker) && Lockset.mem c.label e.locks then weak_dfs c)
+        n.children
+  in
+  let rec race_dfs n path =
+    (* Paths disjoint from e.L only. *)
+    if
+      !race = None
+      && thread_meet (Thread e.thread) n.thread = Bot
+      && kind_meet e.kind n.kind = Write
+    then
+      race :=
+        Some
+          {
+            p_thread = n.thread;
+            p_kind = n.kind;
+            p_locks = path;
+            p_site = n.site;
+          }
+    else if !race = None then
+      List.iter
+        (fun c ->
+          if (not (Lockset.mem c.label e.locks)) && !race = None then
+            race_dfs c (Lockset.add c.label path))
+        n.children
+  in
+  (* The root participates in both: it is the ∅-lockset node. *)
+  if node_weaker h.root e then weaker := true;
+  if
+    thread_meet (Thread e.thread) h.root.thread = Bot
+    && kind_meet e.kind h.root.kind = Write
+  then
+    race :=
+      Some
+        {
+          p_thread = h.root.thread;
+          p_kind = h.root.kind;
+          p_locks = Lockset.empty;
+          p_site = h.root.site;
+        };
+  List.iter
+    (fun c ->
+      if Lockset.mem c.label e.locks then (if not !weaker then weak_dfs c)
+      else if !race = None then race_dfs c (Lockset.singleton c.label))
+    h.root.children;
+  if not !weaker then update h e;
+  (!race, !weaker)
+
+let fold_accesses f h init =
+  let rec go n path acc =
+    let acc =
+      if n.thread <> Top then
+        f ~locks:path ~thread:n.thread ~kind:n.kind ~site:n.site acc
+      else acc
+    in
+    List.fold_left
+      (fun acc c -> go c (Lockset.add c.label path) acc)
+      acc n.children
+  in
+  go h.root Lockset.empty init
+
+let pp ppf h =
+  fold_accesses
+    (fun ~locks ~thread ~kind ~site () ->
+      Fmt.pf ppf "@[L=%a t=%a a=%a s=%d@]@ " Lockset.pp locks pp_thread_info
+        thread pp_kind kind site)
+    h ()

@@ -1,0 +1,163 @@
+open Event
+
+(* One shared trie over lock identities; each node maps the locations
+   accessed with exactly that lockset to their meet summary.  The
+   algebra is identical to Trie's — only storage is shared. *)
+
+type summary = {
+  mutable s_thread : thread_info; (* never Top: absent instead *)
+  mutable s_kind : kind;
+  mutable s_site : site_id;
+}
+
+type node = {
+  label : lock_id; (* -1 for the root *)
+  summaries : (loc_id, summary) Hashtbl.t;
+  mutable children : node list; (* sorted by increasing label *)
+}
+
+type t = { root : node; mutable nodes : int }
+
+let mk_node label = { label; summaries = Hashtbl.create 4; children = [] }
+
+let create () = { root = mk_node (-1); nodes = 1 }
+
+let node_count h = h.nodes
+
+let summary_count h =
+  let rec go n acc =
+    List.fold_left (fun acc c -> go c acc) (acc + Hashtbl.length n.summaries) n.children
+  in
+  go h.root 0
+
+let locations h =
+  let locs = Hashtbl.create 64 in
+  let rec go n =
+    Hashtbl.iter (fun l _ -> Hashtbl.replace locs l ()) n.summaries;
+    List.iter go n.children
+  in
+  go h.root;
+  Hashtbl.length locs
+
+let summary_weaker s (e : Event.t) =
+  thread_leq s.s_thread (Thread e.thread) && kind_leq s.s_kind e.kind
+
+let rec descend h n = function
+  | [] -> n
+  | l :: rest ->
+      let rec find = function
+        | c :: _ when c.label = l -> Some c
+        | c :: tl when c.label < l -> find tl
+        | _ -> None
+      in
+      let child =
+        match find n.children with
+        | Some c -> c
+        | None ->
+            let c = mk_node l in
+            h.nodes <- h.nodes + 1;
+            let rec ins = function
+              | x :: tl when x.label < l -> x :: ins tl
+              | tl -> c :: tl
+            in
+            n.children <- ins n.children;
+            c
+      in
+      descend h child rest
+
+(* Remove summaries for [e.loc] that the just-updated node covers, then
+   garbage-collect nodes with no summaries and no children. *)
+let prune_stronger h keep (loc : loc_id) locks tv av =
+  let rec go n required =
+    let required' =
+      match required with
+      | r :: rest when n.label = r -> Some rest
+      | r :: _ when n.label > r -> None
+      | req -> Some req
+    in
+    match required' with
+    | None -> true (* the new lockset cannot be a subset here: keep *)
+    | Some req ->
+        (if req = [] && n != keep then
+           match Hashtbl.find_opt n.summaries loc with
+           | Some s when thread_leq tv s.s_thread && kind_leq av s.s_kind ->
+               Hashtbl.remove n.summaries loc
+           | _ -> ());
+        let survivors =
+          List.filter
+            (fun c ->
+              let live = go c req in
+              if not live then h.nodes <- h.nodes - 1;
+              live)
+            n.children
+        in
+        n.children <- survivors;
+        Hashtbl.length n.summaries > 0 || n.children <> [] || n == keep
+  in
+  ignore (go h.root (Lockset.to_sorted_list locks))
+
+let update h (e : Event.t) =
+  let n = descend h h.root (Lockset.to_sorted_list e.locks) in
+  let tv, av =
+    match Hashtbl.find_opt n.summaries e.loc with
+    | Some s ->
+        s.s_thread <- thread_meet s.s_thread (Thread e.thread);
+        if e.kind = Write && s.s_kind = Read then s.s_site <- e.site;
+        s.s_kind <- kind_meet s.s_kind e.kind;
+        (s.s_thread, s.s_kind)
+    | None ->
+        Hashtbl.replace n.summaries e.loc
+          { s_thread = Thread e.thread; s_kind = e.kind; s_site = e.site };
+        (Thread e.thread, e.kind)
+  in
+  prune_stronger h n e.loc e.locks tv av
+
+let process h (e : Event.t) =
+  let race = ref None in
+  let weaker = ref false in
+  let check_weak n =
+    match Hashtbl.find_opt n.summaries e.loc with
+    | Some s when summary_weaker s e -> weaker := true
+    | _ -> ()
+  in
+  let check_race n path =
+    if !race = None then
+      match Hashtbl.find_opt n.summaries e.loc with
+      | Some s
+        when thread_meet (Thread e.thread) s.s_thread = Bot
+             && kind_meet e.kind s.s_kind = Write ->
+          race :=
+            Some
+              {
+                Trie.p_thread = s.s_thread;
+                p_kind = s.s_kind;
+                p_locks = path;
+                p_site = s.s_site;
+              }
+      | _ -> ()
+  in
+  let rec weak_dfs n =
+    check_weak n;
+    if not !weaker then
+      List.iter
+        (fun c -> if (not !weaker) && Lockset.mem c.label e.locks then weak_dfs c)
+        n.children
+  in
+  let rec race_dfs n path =
+    check_race n path;
+    if !race = None then
+      List.iter
+        (fun c ->
+          if (not (Lockset.mem c.label e.locks)) && !race = None then
+            race_dfs c (Lockset.add c.label path))
+        n.children
+  in
+  check_weak h.root;
+  check_race h.root Lockset.empty;
+  List.iter
+    (fun c ->
+      if Lockset.mem c.label e.locks then (if not !weaker then weak_dfs c)
+      else if !race = None then race_dfs c (Lockset.singleton c.label))
+    h.root.children;
+  if not !weaker then update h e;
+  (!race, !weaker)

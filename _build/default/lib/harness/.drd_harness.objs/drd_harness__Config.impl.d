@@ -1,0 +1,1 @@
+lib/harness/config.ml: Drd_vm List String

@@ -1,0 +1,1 @@
+lib/harness/pipeline.mli: Config Detector Drd_core Drd_ir Drd_static Drd_vm Event_log Immutability Lock_order Names Report

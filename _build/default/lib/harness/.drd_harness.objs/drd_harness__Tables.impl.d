@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Config Drd_core Drd_ir Drd_static Format List Option Pipeline Printf Programs String

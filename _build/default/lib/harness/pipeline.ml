@@ -1,0 +1,383 @@
+module Ir = Drd_ir.Ir
+module Interp = Drd_vm.Interp
+module Value = Drd_vm.Value
+module Memloc = Drd_vm.Memloc
+module Sink = Drd_vm.Sink
+module Heap = Drd_vm.Heap
+module Parser = Drd_lang.Parser
+module Typecheck = Drd_lang.Typecheck
+module Lower = Drd_ir.Lower
+module Site_table = Drd_ir.Site_table
+module Insert = Drd_instr.Insert
+module Static_weaker = Drd_instr.Static_weaker
+module Peel = Drd_instr.Peel
+module Race_set = Drd_static.Race_set
+open Drd_core
+
+type compiled = {
+  prog : Ir.program;
+  config : Config.t;
+  traces_inserted : int;
+  traces_eliminated : int;
+  static_stats : Drd_static.Race_set.stats option;
+  race_set : Drd_static.Race_set.t option;
+  compile_time : float;
+}
+
+let compile (config : Config.t) ~source : compiled =
+  let t0 = Unix.gettimeofday () in
+  let ast = Parser.parse_program source in
+  let tprog = Typecheck.check ast in
+  let tprog = if config.Config.loop_peel then Peel.peel_program tprog else tprog in
+  let prog = Lower.lower_program tprog in
+  let static_stats = ref None in
+  let race_set = ref None in
+  let instrumented = config.Config.detector <> Config.NoDetect in
+  if instrumented then
+    if config.Config.static_analysis then begin
+      let rs = Race_set.compute prog in
+      static_stats := Some (Race_set.stats rs);
+      race_set := Some rs;
+      Insert.instrument ~keep:(Race_set.may_race rs) prog
+    end
+    else Insert.instrument prog;
+  let inserted = Insert.count_traces prog in
+  let eliminated =
+    if instrumented && config.Config.weaker_elim then
+      Static_weaker.eliminate prog
+    else 0
+  in
+  (* The rest of the compiler's optimizations run AFTER instrumentation
+     (Section 6.2); traces are unknown-side-effect and survive. *)
+  if config.Config.ir_optimize then ignore (Drd_ir.Optimize.optimize prog);
+  {
+    prog;
+    config;
+    traces_inserted = inserted;
+    traces_eliminated = eliminated;
+    static_stats = !static_stats;
+    race_set = !race_set;
+    compile_time = Unix.gettimeofday () -. t0;
+  }
+
+type result = {
+  races : string list;
+  racy_objects : string list;
+  report : Report.collector option;
+  detector_stats : Detector.stats option;
+  events : int;
+  prints : (string * Value.t option) list;
+  steps : int;
+  threads : int;
+  wall_time : float;
+  trie_nodes : int;
+  locations_tracked : int;
+  heap : Heap.t; (* final heap, for decoding identities in reports *)
+  deadlocks : Lock_order.report list;
+      (* potential deadlocks from the lock-order graph (Section 10
+         future work); tracked alongside our detector *)
+  immutability : Immutability.summary option;
+      (* dynamic immutability classification (Section 10 future work) *)
+}
+
+(* Group a location id to the identity Table 3 counts: the object (for
+   instance fields and arrays) or the static field itself. *)
+let object_of_loc (prog : Ir.program) heap loc =
+  if loc land 1 = 1 then Memloc.describe prog.Ir.p_tprog heap loc
+  else Heap.describe heap (loc lsr 11)
+
+let run (c : compiled) : result =
+  let config = c.config in
+  let events = ref 0 in
+  let count f = fun ~tid ~loc ~kind ~locks ~site ->
+    incr events;
+    f ~tid ~loc ~kind ~locks ~site
+  in
+  let collector = Report.collector () in
+  let lock_order = Lock_order.create () in
+  let immut = Immutability.create () in
+  let finishers = ref [] in
+  let sink =
+    match config.Config.detector with
+    | Config.NoDetect -> Sink.null
+    | Config.Ours ->
+        let det =
+          Detector.create
+            ~config:
+              {
+                Detector.default_config with
+                Detector.use_cache = config.Config.use_cache;
+                use_ownership = config.Config.use_ownership;
+              }
+            collector
+        in
+        finishers :=
+          [ (fun () -> `Ours (Detector.stats det)) ];
+        {
+          Sink.null with
+          Sink.access =
+            count (fun ~tid ~loc ~kind ~locks ~site ->
+                let e = Event.make ~loc ~thread:tid ~locks ~kind ~site in
+                Immutability.on_access immut e;
+                Detector.on_access det e);
+          acquire =
+            (fun ~tid ~lock ->
+              Lock_order.on_acquire lock_order ~thread:tid ~lock;
+              Detector.on_acquire det ~thread:tid ~lock);
+          release =
+            (fun ~tid ~lock ->
+              Lock_order.on_release lock_order ~thread:tid ~lock;
+              Detector.on_release det ~thread:tid ~lock);
+          thread_exit = (fun ~tid -> Detector.on_thread_exit det ~thread:tid);
+        }
+    | Config.Eraser ->
+        let d = Drd_baselines.Eraser.create () in
+        finishers := [ (fun () -> `Locs (Drd_baselines.Eraser.racy_locs d)) ];
+        {
+          Sink.null with
+          Sink.access =
+            count (fun ~tid ~loc ~kind ~locks ~site ->
+                Drd_baselines.Eraser.on_access d
+                  (Event.make ~loc ~thread:tid ~locks ~kind ~site));
+        }
+    | Config.ObjRace ->
+        let d = Drd_baselines.Objrace.create () in
+        finishers := [ (fun () -> `Locs (Drd_baselines.Objrace.racy_locs d)) ];
+        {
+          Sink.null with
+          Sink.access =
+            count (fun ~tid ~loc ~kind ~locks ~site ->
+                Drd_baselines.Objrace.on_access d
+                  (Event.make ~loc ~thread:tid ~locks ~kind ~site));
+          call =
+            Some
+              (fun ~tid ~obj ~locks ~site ->
+                Drd_baselines.Objrace.on_call d ~thread:tid
+                  ~obj_loc:(Memloc.whole_object ~obj)
+                  ~locks ~site);
+        }
+    | Config.HappensBefore ->
+        let module H = Drd_baselines.Happens_before in
+        let d = H.create () in
+        finishers := [ (fun () -> `Locs (H.racy_locs d)) ];
+        {
+          Sink.access =
+            count (fun ~tid ~loc ~kind ~locks:_ ~site ->
+                H.on_access d
+                  (Event.make ~loc ~thread:tid ~locks:Event.Lockset.empty
+                     ~kind ~site));
+          acquire = (fun ~tid ~lock -> H.on_acquire d ~thread:tid ~lock);
+          release = (fun ~tid ~lock -> H.on_release d ~thread:tid ~lock);
+          thread_start =
+            (fun ~parent ~child -> H.on_thread_start d ~parent ~child);
+          thread_join =
+            (fun ~joiner ~joinee -> H.on_thread_join d ~joiner ~joinee);
+          thread_exit = (fun ~tid:_ -> ());
+          call = None;
+        }
+  in
+  let vm_config =
+    {
+      Interp.default_config with
+      seed = config.Config.seed;
+      quantum = config.Config.quantum;
+      granularity = config.Config.granularity;
+      pseudo_locks = config.Config.pseudo_locks;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Interp.run ~config:vm_config ~sink c.prog in
+  let wall = Unix.gettimeofday () -. t0 in
+  let heap = r.Interp.r_heap in
+  let racy_locs, detector_stats =
+    match !finishers with
+    | [ f ] -> (
+        match f () with
+        | `Ours stats -> (Report.racy_locs collector, Some stats)
+        | `Locs locs -> (locs, None))
+    | _ -> ([], None)
+  in
+  let describe = Memloc.describe c.prog.Ir.p_tprog heap in
+  let races = List.map describe racy_locs |> List.sort compare in
+  let racy_objects =
+    List.map (object_of_loc c.prog heap) racy_locs
+    |> List.sort_uniq compare
+  in
+  {
+    races;
+    racy_objects;
+    report =
+      (match config.Config.detector with
+      | Config.Ours -> Some collector
+      | _ -> None);
+    detector_stats;
+    events = !events;
+    prints = r.Interp.r_prints;
+    steps = r.Interp.r_steps;
+    threads = r.Interp.r_max_threads;
+    wall_time = wall;
+    trie_nodes =
+      (match detector_stats with Some s -> s.Detector.trie_nodes | None -> 0);
+    locations_tracked =
+      (match detector_stats with
+      | Some s -> s.Detector.locations_tracked
+      | None -> 0);
+    heap;
+    deadlocks =
+      (match config.Config.detector with
+      | Config.Ours -> Lock_order.potential_deadlocks lock_order
+      | _ -> []);
+    immutability =
+      (match config.Config.detector with
+      | Config.Ours -> Some (Immutability.summary immut)
+      | _ -> None);
+  }
+
+(* Describe an access statement "Class.method:line (op)" for the
+   Section 2.6 static-peer listing. *)
+let describe_stmt (c : compiled) meth iid =
+  match Ir.find_mir c.prog meth with
+  | None -> Printf.sprintf "%s#%d" meth iid
+  | Some m ->
+      let found = ref None in
+      Ir.iter_instrs m (fun _ i -> if i.Ir.i_id = iid then found := Some i);
+      (match !found with
+      | Some i ->
+          let desc =
+            match i.Ir.i_op with
+            | Ir.GetField (_, _, fm) -> "read " ^ fm.Ir.fm_name
+            | Ir.PutField (_, fm, _) -> "write " ^ fm.Ir.fm_name
+            | Ir.GetStatic (_, sm) ->
+                "read " ^ sm.Ir.sm_class ^ "." ^ sm.Ir.sm_name
+            | Ir.PutStatic (sm, _) ->
+                "write " ^ sm.Ir.sm_class ^ "." ^ sm.Ir.sm_name
+            | Ir.ALoad _ -> "read []"
+            | Ir.AStore _ -> "write []"
+            | _ -> "statement"
+          in
+          Printf.sprintf "%s:%d (%s)" meth i.Ir.i_line desc
+      | None -> Printf.sprintf "%s#%d" meth iid)
+
+(* The statically-possible racing statements for a dynamic report's
+   site (Section 2.6). *)
+let static_peers_of_site (c : compiled) site =
+  match c.race_set with
+  | None -> []
+  | Some rs ->
+      if site < 0 || site >= Site_table.count c.prog.Ir.p_sites then []
+      else
+        let info = Site_table.get c.prog.Ir.p_sites site in
+        Drd_static.Race_set.peers_of rs ~meth:info.Site_table.s_method
+          ~iid:info.Site_table.s_iid
+        |> List.map (fun (m, iid) -> describe_stmt c m iid)
+        |> List.sort_uniq compare
+
+let run_source config source =
+  let c = compile config ~source in
+  (c, run c)
+
+(* ---- schedule sweep ---- *)
+
+(* Dynamic detection only covers one execution (Section 9's coverage
+   limitation); sweeping scheduler seeds explores alternate orderings.
+   Returns, per racy object, how many of the [seeds] runs reported it,
+   plus any run that failed outright. *)
+let sweep (config : Config.t) ~source ~seeds :
+    (string * int) list * (int * string) list =
+  let counts = Hashtbl.create 32 in
+  let failures = ref [] in
+  List.iter
+    (fun seed ->
+      let config = { config with Config.seed } in
+      match run_source config source with
+      | _, r ->
+          List.iter
+            (fun obj ->
+              Hashtbl.replace counts obj
+                (1 + Option.value (Hashtbl.find_opt counts obj) ~default:0))
+            r.racy_objects
+      | exception e -> failures := (seed, Printexc.to_string e) :: !failures)
+    seeds;
+  let rows =
+    Hashtbl.fold (fun obj n acc -> (obj, n) :: acc) counts []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  (rows, List.rev !failures)
+
+(* ---- post-mortem mode (paper Section 1) ---- *)
+
+(* Execute the instrumented program recording the event stream instead
+   of detecting online. *)
+let record_log (c : compiled) : Event_log.t * Interp.result =
+  let log = Event_log.create () in
+  let sink =
+    {
+      Sink.access =
+        (fun ~tid ~loc ~kind ~locks ~site ->
+          Event_log.record log
+            (Event_log.Access (Event.make ~loc ~thread:tid ~locks ~kind ~site)));
+      acquire =
+        (fun ~tid ~lock -> Event_log.record log (Event_log.Acquire (tid, lock)));
+      release =
+        (fun ~tid ~lock -> Event_log.record log (Event_log.Release (tid, lock)));
+      thread_start =
+        (fun ~parent ~child ->
+          Event_log.record log (Event_log.Thread_start (parent, child)));
+      thread_join =
+        (fun ~joiner ~joinee ->
+          Event_log.record log (Event_log.Thread_join (joiner, joinee)));
+      thread_exit =
+        (fun ~tid -> Event_log.record log (Event_log.Thread_exit tid));
+      call = None;
+    }
+  in
+  let vm_config =
+    {
+      Interp.default_config with
+      seed = c.config.Config.seed;
+      quantum = c.config.Config.quantum;
+      granularity = c.config.Config.granularity;
+      pseudo_locks = c.config.Config.pseudo_locks;
+    }
+  in
+  let r = Interp.run ~config:vm_config ~sink c.prog in
+  (log, r)
+
+(* Run the final detection phase off-line over a recorded log. *)
+let detect_post_mortem (config : Config.t) (log : Event_log.t) :
+    Report.collector * Detector.stats =
+  let collector = Report.collector () in
+  let det =
+    Detector.create
+      ~config:
+        {
+          Detector.default_config with
+          Detector.use_cache = config.Config.use_cache;
+          use_ownership = config.Config.use_ownership;
+        }
+      collector
+  in
+  Event_log.replay log det;
+  (collector, Detector.stats det)
+
+let names_of (c : compiled) (r : result) : Names.t =
+  let names = Names.create () in
+  Site_table.iter c.prog.Ir.p_sites (fun id _ ->
+      Names.register_site names id (Site_table.name c.prog.Ir.p_sites id));
+  (* Locations and locks mentioned in the reports. *)
+  (match r.report with
+  | Some coll ->
+      List.iter
+        (fun (race : Report.race) ->
+          Names.register_loc names race.Report.loc
+            (Memloc.describe c.prog.Ir.p_tprog r.heap race.Report.loc);
+          let register_locks ls =
+            Event.Lockset.fold
+              (fun l () -> Names.register_lock names l (Heap.describe r.heap l))
+              ls ()
+          in
+          register_locks race.Report.current.Event.locks;
+          register_locks race.Report.prior.Trie.p_locks)
+        (Report.races coll)
+  | None -> ());
+  names

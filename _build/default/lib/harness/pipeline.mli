@@ -1,0 +1,85 @@
+(** The end-to-end pipeline of the paper's Figure 1: static datarace
+    analysis → optimized instrumentation → execution with the runtime
+    optimizer and detector — assembled according to a {!Config.t}. *)
+
+module Ir = Drd_ir.Ir
+module Interp = Drd_vm.Interp
+module Value = Drd_vm.Value
+open Drd_core
+
+type compiled = {
+  prog : Ir.program;
+  config : Config.t;
+  traces_inserted : int;  (** Trace statements after static filtering. *)
+  traces_eliminated : int;  (** Removed by static weaker-than. *)
+  static_stats : Drd_static.Race_set.stats option;
+  race_set : Drd_static.Race_set.t option;
+      (** The static analysis results, kept for the Section 2.6
+          static-peer listing. *)
+  compile_time : float;  (** Seconds spent in analysis + instrumentation. *)
+}
+
+val compile : Config.t -> source:string -> compiled
+(** Parse, typecheck, (optionally) peel, lower, analyze and instrument
+    one program.  Raises the frontend/typechecker exceptions on invalid
+    source. *)
+
+type result = {
+  races : string list;
+      (** Decoded racy location names, sorted (one per location). *)
+  racy_objects : string list;
+      (** Racy locations grouped to their object (or static field), the
+          unit Table 3 counts. *)
+  report : Report.collector option;  (** Our detector's reports. *)
+  detector_stats : Detector.stats option;
+  events : int;  (** Access events emitted by the program. *)
+  prints : (string * Value.t option) list;
+  steps : int;  (** Instructions executed. *)
+  threads : int;  (** Dynamic thread count (Table 1). *)
+  wall_time : float;  (** Seconds of VM execution. *)
+  trie_nodes : int;
+  locations_tracked : int;
+  heap : Drd_vm.Heap.t;  (** Final heap, for decoding identities. *)
+  deadlocks : Lock_order.report list;
+      (** Potential deadlocks from the dynamic lock-order graph (the
+          paper's Section 10 future work), when running our detector. *)
+  immutability : Immutability.summary option;
+      (** Dynamic immutability classification of the traced locations
+          (Section 10 future work), when running our detector. *)
+}
+
+val run : compiled -> result
+(** Execute the compiled program under its configuration's detector. *)
+
+val run_source : Config.t -> string -> compiled * result
+
+val names_of : compiled -> result -> Names.t
+(** A names registry for pretty-printing this run's reports. *)
+
+val static_peers_of_site : compiled -> Drd_core.Event.site_id -> string list
+(** For a dynamic report's source site, the statically-possible racing
+    statements (paper Section 2.6), rendered as
+    ["Class.method:line (write f)"].  Empty when static analysis was
+    not run. *)
+
+val sweep :
+  Config.t ->
+  source:string ->
+  seeds:int list ->
+  (string * int) list * (int * string) list
+(** Run the program once per scheduler seed and aggregate the racy
+    objects: [(object, runs-that-reported-it)] sorted by frequency,
+    plus [(seed, error)] for runs that failed.  Dynamic detection only
+    covers the schedules it sees (Section 9); sweeping seeds explores
+    alternate orderings. *)
+
+val record_log : compiled -> Event_log.t * Interp.result
+(** Post-mortem mode, phase 1 (paper Section 1): execute the
+    instrumented program recording the full event stream instead of
+    detecting online. *)
+
+val detect_post_mortem :
+  Config.t -> Event_log.t -> Report.collector * Detector.stats
+(** Post-mortem mode, phase 2: run the detection phase off-line over a
+    recorded log.  Produces exactly the online reports for the same
+    configuration. *)

@@ -1,0 +1,770 @@
+(* MiniJava ports of the paper's benchmark programs (Table 1).  Each
+   port reproduces the concurrency structure and the specific datarace
+   bugs (or non-bugs) the paper reports for the original:
+
+   - mtrt      3 threads; races on RayTrace.threadCount and
+                ValidityCheckOutputStream.startOfLine; I/O statistics
+                protected by a common lock plus join (the Section 8.3
+                idiom that Eraser flags and we must not);
+   - tsp       3 threads; a real race on TspSolver.MinTourLen (unlocked
+                prune reads vs. locked updates) plus spurious races on
+                pooled TourElement objects protected by higher-level
+                queue synchronization;
+   - sor2      3 threads; barrier-synchronized grid relaxation with
+                hoisted row subscripts: the boundary-row races the paper
+                reports (not truly unsynchronized), and the loop
+                structure that makes dominators + peeling essential;
+   - elevator  5 threads; fully synchronized discrete-event simulation:
+                no races;
+   - hedc      8 threads; a task-pool web-crawler kernel: races on the
+                pool size field and on Task.thread_ (the null-assignment
+                bug the paper highlights), MetaSearchRequest objects
+                with mixed field disciplines that only FieldsMerged
+                flags.
+
+   Sizes are parameterized so the benches can sweep work while tests
+   use small instances. *)
+
+let figure2 ?(same_pq = false) () =
+  Printf.sprintf
+    {|
+    class Data { int f; int g; }
+    class T1 extends Thread {
+      Data a; Data b; Object p;
+      synchronized void foo() {
+        a.f = 50;
+        synchronized (p) { b.g = b.f; }
+      }
+      void run() { foo(); }
+    }
+    class T2 extends Thread {
+      Data d; Object q;
+      void bar() { synchronized (q) { d.f = 10; } }
+      void run() { bar(); }
+    }
+    class Main {
+      static void main() {
+        Data x = new Data();
+        x.f = 100;
+        Object shared = new Object();
+        T1 t1 = new T1(); t1.a = x; t1.b = x; t1.p = %s;
+        T2 t2 = new T2(); t2.d = x; t2.q = %s;
+        t1.start();
+        t2.start();
+        t1.join(); t2.join();
+        print("f", x.f);
+      }
+    }
+  |}
+    (if same_pq then "shared" else "new Object()")
+    (if same_pq then "shared" else "new Object()")
+
+(* ------------------------------------------------------------------ *)
+
+let mtrt ?(width = 24) ?(height = 24) ?(spheres = 6) () =
+  Printf.sprintf
+    {|
+    // MultiThreaded Ray Tracer (modeled on SPECJVM98 mtrt).
+    class Scene {
+      int n;
+      int[] cx; int[] cy; int[] cz; int[] r2;
+      Scene(int n0) {
+        n = n0;
+        cx = new int[n]; cy = new int[n]; cz = new int[n]; r2 = new int[n];
+        int seed = 987;
+        for (int i = 0; i < n; i = i + 1) {
+          seed = (seed * 1103515245 + 12345) %% 2147483647;
+          cx[i] = seed %% 100;
+          seed = (seed * 1103515245 + 12345) %% 2147483647;
+          cy[i] = seed %% 100;
+          seed = (seed * 1103515245 + 12345) %% 2147483647;
+          cz[i] = 100 + seed %% 100;
+          r2[i] = 400 + (i * 53) %% 600;
+        }
+      }
+    }
+    class RayTrace { static int threadCount; }
+    class ValidityCheckOutputStream { static boolean startOfLine; }
+    class Stats { int raysTraced; }
+    class RenderThread extends Thread {
+      // Thread-specific copies of the scene (the scratch state escape
+      // analysis is meant to prove single-threaded).
+      int n;
+      int[] cx; int[] cy; int[] cz; int[] r2;
+      int[][] fb; Stats stats; Object statsLock;
+      int fromRow; int toRow; int width;
+      int[] gamma;        // installed by main AFTER construction
+      RenderThread(Scene s, Stats st, Object l, int[][] fb0,
+                   int from, int to, int w) {
+        n = s.n;
+        cx = new int[n]; cy = new int[n]; cz = new int[n]; r2 = new int[n];
+        for (int i = 0; i < n; i = i + 1) {
+          cx[i] = s.cx[i]; cy[i] = s.cy[i]; cz[i] = s.cz[i]; r2[i] = s.r2[i];
+        }
+        stats = st; statsLock = l; fb = fb0;
+        fromRow = from; toRow = to; width = w;
+      }
+      int trace(int ox, int oy, int dx, int dy) {
+        int best = 1000000000;
+        int hit = 0 - 1;
+        for (int i = 0; i < n; i = i + 1) {
+          int lx = cx[i] - ox - dx;
+          int ly = cy[i] - oy - dy;
+          int d2 = lx * lx + ly * ly;
+          if (d2 < r2[i] * 4) {
+            int depth = cz[i] * 16 + d2;
+            if (depth < best) { best = depth; hit = i; }
+          }
+        }
+        if (hit < 0) { return 0; }
+        return gamma[(hit * 37 + best) %% 255];
+      }
+      void run() {
+        RayTrace.threadCount = RayTrace.threadCount + 1;   // datarace
+        int rays = 0;
+        for (int y = fromRow; y < toRow; y = y + 1) {
+          int[] row = fb[y];
+          ValidityCheckOutputStream.startOfLine = true;    // datarace
+          for (int x = 0; x < width; x = x + 1) {
+            row[x] = trace(x * 4, y * 4, x - width / 2, y - 16);
+            rays = rays + 1;
+          }
+          ValidityCheckOutputStream.startOfLine = false;   // datarace
+        }
+        synchronized (statsLock) {
+          stats.raysTraced = stats.raysTraced + rays;      // common lock
+        }
+        RayTrace.threadCount = RayTrace.threadCount - 1;   // datarace
+      }
+    }
+    class Main {
+      static void main() {
+        int width = %d;
+        int height = %d;
+        Scene s = new Scene(%d);
+        int[][] fb = new int[height][width];
+        Stats st = new Stats();
+        Object lock = new Object();
+        RenderThread t1 = new RenderThread(s, st, lock, fb, 0, height / 2, width);
+        RenderThread t2 = new RenderThread(s, st, lock, fb, height / 2, height, width);
+        // Display gamma tables are installed after construction — an
+        // initialize-then-hand-off that only the ownership model (not
+        // the thread-specific analysis) proves race-free.
+        t1.gamma = new int[256];
+        t2.gamma = new int[256];
+        for (int g = 0; g < 256; g = g + 1) {
+          t1.gamma[g] = (g * 219) / 255 + 16;
+          t2.gamma[g] = (g * 219) / 255 + 16;
+        }
+        t1.start();
+        t2.start();
+        t1.join();
+        t2.join();
+        // The post-join read of the common-lock statistics: our join
+        // pseudo-locks keep this quiet; Eraser reports it.
+        print("rays", st.raysTraced);
+        int checksum = 0;
+        for (int y = 0; y < height; y = y + 1) {
+          for (int x = 0; x < width; x = x + 1) {
+            checksum = (checksum + fb[y][x]) %% 65536;
+          }
+        }
+        print("checksum", checksum);
+      }
+    }
+  |}
+    width height spheres
+
+(* ------------------------------------------------------------------ *)
+
+let tsp ?(cities = 7) ?(bfs_depth = 3) () =
+  Printf.sprintf
+    {|
+    // Traveling Salesman branch-and-bound (modeled on the ETH tsp).
+    //
+    // Partial tours below a cutoff depth are expanded breadth-first
+    // through a shared queue; deeper tours are solved by recursion.
+    // TourElements are recycled through a free list, so over time the
+    // same element is mutated (without locks, but protected by the
+    // queue protocol) by different threads — the spurious TourElement
+    // reports of Table 3.  The real bug is TspSolver.MinTourLen: the
+    // pruning read takes no lock while updates hold minLock.
+    class TourElement {
+      int[] path; boolean[] visited;
+      int len; int cost;
+      TourElement(int ncities) {
+        path = new int[ncities];
+        visited = new boolean[ncities];
+      }
+    }
+    class TourQueue {
+      TourElement[] slots; int size;
+      TourQueue(int cap) { slots = new TourElement[cap]; }
+      synchronized void put(TourElement t) {
+        slots[size] = t;
+        size = size + 1;
+      }
+      synchronized TourElement take() {
+        if (size == 0) { return null; }
+        size = size - 1;
+        return slots[size];
+      }
+    }
+    class Progress {
+      int created; int finished;
+      synchronized void created1() { created = created + 1; }
+      synchronized void finished1() { finished = finished + 1; }
+      synchronized boolean allDone() { return created == finished; }
+    }
+    class Tsp {
+      static int MinTourLen;       // DATARACE: unlocked prune reads
+      static Object minLock;
+      static int ncities;
+      static int cutoff;
+      static int[][] dist;
+      static TourQueue queue;
+      static TourQueue free;
+      static Progress progress;
+      static TourElement alloc() {
+        TourElement t = free.take();
+        if (t == null) { return new TourElement(ncities); }
+        return t;
+      }
+    }
+    class TspSolver extends Thread {
+      int solved;
+      void run() {
+        while (true) {
+          TourElement t = Tsp.queue.take();
+          if (t == null) {
+            if (Tsp.progress.allDone()) { break; }
+            Thread.yield();
+          } else {
+            if (t.len < Tsp.cutoff) { expand(t); }
+            else { solve(t, t.len, t.cost); }
+            Tsp.progress.finished1();
+            Tsp.free.put(t);       // recycle across threads
+            solved = solved + 1;
+          }
+        }
+      }
+      // Breadth-first expansion: one level, children re-enqueued.
+      void expand(TourElement t) {
+        int last = t.path[t.len - 1];
+        for (int c = 0; c < Tsp.ncities; c = c + 1) {
+          if (!t.visited[c]) {
+            TourElement child = Tsp.alloc();
+            for (int i = 0; i < t.len; i = i + 1) {
+              child.path[i] = t.path[i];
+            }
+            for (int i = 0; i < Tsp.ncities; i = i + 1) {
+              child.visited[i] = t.visited[i];
+            }
+            child.path[t.len] = c;
+            child.visited[c] = true;
+            child.len = t.len + 1;
+            child.cost = t.cost + Tsp.dist[last][c];
+            Tsp.progress.created1();
+            Tsp.queue.put(child);
+          }
+        }
+      }
+      // Depth-first branch and bound.
+      void solve(TourElement t, int len, int cost) {
+        if (cost >= Tsp.MinTourLen) { return; }      // DATARACE (read)
+        if (len == Tsp.ncities) {
+          int total = cost + Tsp.dist[t.path[len - 1]][t.path[0]];
+          synchronized (Tsp.minLock) {
+            if (total < Tsp.MinTourLen) {
+              Tsp.MinTourLen = total;                // locked write
+            }
+          }
+          return;
+        }
+        int last = t.path[len - 1];
+        for (int c = 0; c < Tsp.ncities; c = c + 1) {
+          if (!t.visited[c]) {
+            t.visited[c] = true;
+            t.path[len] = c;
+            solve(t, len + 1, cost + Tsp.dist[last][c]);
+            t.visited[c] = false;
+          }
+        }
+      }
+    }
+    class Main {
+      static void main() {
+        int n = %d;
+        Tsp.ncities = n;
+        Tsp.cutoff = %d;
+        Tsp.minLock = new Object();
+        Tsp.MinTourLen = 1000000000;
+        Tsp.progress = new Progress();
+        Tsp.dist = new int[n][n];
+        int seed = 4321;
+        for (int i = 0; i < n; i = i + 1) {
+          for (int j = 0; j < n; j = j + 1) {
+            seed = (seed * 1103515245 + 12345) %% 2147483647;
+            if (i == j) { Tsp.dist[i][j] = 0; }
+            else { Tsp.dist[i][j] = 10 + seed %% 90; }
+          }
+        }
+        Tsp.queue = new TourQueue(n * n + 8);
+        Tsp.free = new TourQueue(n * n + 8);
+        TourElement t0 = new TourElement(n);
+        t0.path[0] = 0;
+        t0.visited[0] = true;
+        t0.len = 1;
+        Tsp.progress.created1();
+        Tsp.queue.put(t0);
+        TspSolver s1 = new TspSolver();
+        TspSolver s2 = new TspSolver();
+        s1.start(); s2.start();
+        s1.join(); s2.join();
+        print("min", Tsp.MinTourLen);
+        print("processed", s1.solved + s2.solved);
+      }
+    }
+  |}
+    cities bfs_depth
+
+(* ------------------------------------------------------------------ *)
+
+let sor2 ?(size = 24) ?(iterations = 12) () =
+  Printf.sprintf
+    {|
+    // Successive over-relaxation with hoisted row subscripts (sor2) and
+    // barrier synchronization (modeled on the ETH sor benchmark).
+    class Barrier {
+      int count; int gen; int parties;
+      Barrier(int n) { parties = n; }
+      synchronized int arrive() {
+        count = count + 1;
+        if (count == parties) {
+          count = 0;
+          gen = gen + 1;
+          return gen;
+        }
+        return gen + 1;
+      }
+      synchronized int generation() { return gen; }
+    }
+    class SorWorker extends Thread {
+      int[][] M; int from; int to; int iters; int width; Barrier bar;
+      SorWorker(int[][] m, int f, int t, int it, int w, Barrier b) {
+        M = m; from = f; to = t; iters = it; width = w; bar = b;
+      }
+      void run() {
+        for (int it = 0; it < iters; it = it + 1) {
+          for (int i = from; i < to; i = i + 1) {
+            int[] up = M[i - 1];
+            int[] row = M[i];
+            int[] down = M[i + 1];
+            for (int j = 1; j < width - 1; j = j + 1) {
+              row[j] = (up[j] + down[j] + row[j - 1] + row[j + 1]
+                        + row[j] * 2) / 6;
+            }
+          }
+          int target = bar.arrive();
+          while (bar.generation() < target) { Thread.yield(); }
+        }
+      }
+    }
+    class Main {
+      static void main() {
+        int n = %d;
+        int iters = %d;
+        int[][] M = new int[n][n];
+        for (int i = 0; i < n; i = i + 1) {
+          for (int j = 0; j < n; j = j + 1) {
+            M[i][j] = (i * 31 + j * 17) %% 1000;
+          }
+        }
+        Barrier b = new Barrier(2);
+        int half = n / 2;
+        SorWorker w1 = new SorWorker(M, 1, half, iters, n, b);
+        SorWorker w2 = new SorWorker(M, half, n - 1, iters, n, b);
+        w1.start(); w2.start();
+        w1.join(); w2.join();
+        int checksum = 0;
+        for (int i = 0; i < n; i = i + 1) {
+          for (int j = 0; j < n; j = j + 1) {
+            checksum = (checksum + M[i][j]) %% 65536;
+          }
+        }
+        print("checksum", checksum);
+      }
+    }
+  |}
+    size iterations
+
+(* The ORIGINAL sor, before the paper's manual hoisting of loop-
+   invariant subscript expressions (Section 8.1: "We derived sor2 from
+   the original sor benchmark by manually hoisting loop invariant array
+   subscript expressions out of inner loops ... it has significant
+   impact on the effectiveness of our optimizations").  Here the row
+   references M[i-1], M[i], M[i+1] are re-loaded on every inner
+   iteration, so their value numbers are fresh each time and the static
+   weaker-than relation cannot match the peeled copy's traces against
+   the loop body's. *)
+let sor ?(size = 24) ?(iterations = 12) () =
+  Printf.sprintf
+    {|
+    class Barrier {
+      int count; int gen; int parties;
+      Barrier(int n) { parties = n; }
+      synchronized int arrive() {
+        count = count + 1;
+        if (count == parties) {
+          count = 0;
+          gen = gen + 1;
+          return gen;
+        }
+        return gen + 1;
+      }
+      synchronized int generation() { return gen; }
+    }
+    class SorWorker extends Thread {
+      int[][] M; int from; int to; int iters; int width; Barrier bar;
+      SorWorker(int[][] m, int f, int t, int it, int w, Barrier b) {
+        M = m; from = f; to = t; iters = it; width = w; bar = b;
+      }
+      void run() {
+        for (int it = 0; it < iters; it = it + 1) {
+          for (int i = from; i < to; i = i + 1) {
+            for (int j = 1; j < width - 1; j = j + 1) {
+              // subscripts recomputed every iteration: no hoisting
+              M[i][j] = (M[i - 1][j] + M[i + 1][j] + M[i][j - 1]
+                         + M[i][j + 1] + M[i][j] * 2) / 6;
+            }
+          }
+          int target = bar.arrive();
+          while (bar.generation() < target) { Thread.yield(); }
+        }
+      }
+    }
+    class Main {
+      static void main() {
+        int n = %d;
+        int iters = %d;
+        int[][] M = new int[n][n];
+        for (int i = 0; i < n; i = i + 1) {
+          for (int j = 0; j < n; j = j + 1) {
+            M[i][j] = (i * 31 + j * 17) %% 1000;
+          }
+        }
+        Barrier b = new Barrier(2);
+        int half = n / 2;
+        SorWorker w1 = new SorWorker(M, 1, half, iters, n, b);
+        SorWorker w2 = new SorWorker(M, half, n - 1, iters, n, b);
+        w1.start(); w2.start();
+        w1.join(); w2.join();
+        int checksum = 0;
+        for (int i = 0; i < n; i = i + 1) {
+          for (int j = 0; j < n; j = j + 1) {
+            checksum = (checksum + M[i][j]) %% 65536;
+          }
+        }
+        print("checksum", checksum);
+      }
+    }
+  |}
+    size iterations
+
+(* ------------------------------------------------------------------ *)
+
+let elevator ?(floors = 8) ?(events = 12) () =
+  Printf.sprintf
+    {|
+    // A discrete-event elevator simulator (modeled on the eth/Praun
+    // "elevator"): fully synchronized shared state, hence no races.
+    class Controls {
+      boolean[] callUp; boolean[] callDown;
+      int pending; boolean finished;
+      Controls(int floors) {
+        callUp = new boolean[floors];
+        callDown = new boolean[floors];
+      }
+      synchronized void call(int floor, boolean up) {
+        if (up) {
+          if (!callUp[floor]) { callUp[floor] = true; pending = pending + 1; }
+        } else {
+          if (!callDown[floor]) { callDown[floor] = true; pending = pending + 1; }
+        }
+      }
+      synchronized int claim(int near) {
+        // Claim the closest outstanding call; -1 if none.
+        int bestFloor = 0 - 1;
+        int bestDist = 1000000;
+        for (int f = 0; f < callUp.length; f = f + 1) {
+          if (callUp[f] || callDown[f]) {
+            int d = f - near;
+            if (d < 0) { d = 0 - d; }
+            if (d < bestDist) { bestDist = d; bestFloor = f; }
+          }
+        }
+        if (bestFloor >= 0) {
+          callUp[bestFloor] = false;
+          callDown[bestFloor] = false;
+          pending = pending - 1;
+        }
+        return bestFloor;
+      }
+      synchronized void shutDown() { finished = true; }
+      synchronized boolean done() { return finished && pending == 0; }
+    }
+    class Lift extends Thread {
+      Controls controls; int floor; int served;
+      int home; int[] schedule;   // configured by main AFTER construction
+      Lift(Controls c) { controls = c; }
+      void run() {
+        floor = home;             // reads the post-construction hand-off
+        int warm = 0;
+        for (int i = 0; i < schedule.length; i = i + 1) {
+          warm = warm + schedule[i];
+        }
+        served = served + warm - warm;
+        while (true) {
+          int target = controls.claim(floor);
+          if (target < 0) {
+            if (controls.done()) { break; }
+            Thread.yield();
+          } else {
+            // travel one floor per step
+            while (floor != target) {
+              if (floor < target) { floor = floor + 1; }
+              else { floor = floor - 1; }
+              Thread.yield();
+            }
+            served = served + 1;
+          }
+        }
+      }
+    }
+    class Main {
+      static void main() {
+        int floors = %d;
+        Controls c = new Controls(floors);
+        Lift l1 = new Lift(c);
+        Lift l2 = new Lift(c);
+        Lift l3 = new Lift(c);
+        Lift l4 = new Lift(c);
+        // Post-construction configuration: initialized by main, read by
+        // the lift threads after start() — the initialize-then-hand-off
+        // idiom that only the ownership model keeps quiet.
+        l1.home = 0;            l1.schedule = new int[4];
+        l2.home = floors / 3;   l2.schedule = new int[4];
+        l3.home = floors / 2;   l3.schedule = new int[4];
+        l4.home = floors - 1;   l4.schedule = new int[4];
+        l1.schedule[0] = 1; l2.schedule[0] = 2; l3.schedule[0] = 3; l4.schedule[0] = 4;
+        l1.start(); l2.start(); l3.start(); l4.start();
+        int seed = 777;
+        for (int e = 0; e < %d; e = e + 1) {
+          seed = (seed * 1103515245 + 12345) %% 2147483647;
+          int f = seed %% floors;
+          c.call(f, seed %% 2 == 0);
+          Thread.yield();
+        }
+        c.shutDown();
+        l1.join(); l2.join(); l3.join(); l4.join();
+        print("served", l1.served + l2.served + l3.served + l4.served);
+      }
+    }
+  |}
+    floors events
+
+(* ------------------------------------------------------------------ *)
+
+let hedc ?(tasks = 12) ?(work = 150) () =
+  Printf.sprintf
+    {|
+    // A web-crawler task-pool kernel (modeled on the ETH hedc + Doug
+    // Lea's concurrency library usage).
+    class MetaSearchRequest {
+      int query;          // immutable after construction, read unlocked
+      int results;        // mutated only under the request's own lock
+      MetaSearchRequest(int q) { query = q; }
+    }
+    class Task {
+      Worker thread_;     // DATARACE: unlocked hand-shake with cancel()
+      MetaSearchRequest req;
+      int state;          // 0 new, 1 running, 2 done (under pool lock)
+      Task(MetaSearchRequest r) { req = r; }
+      void compute(int work) {
+        int acc = 0;
+        for (int i = 0; i < work; i = i + 1) {
+          acc = (acc + req.query * i) %% 9973;   // unlocked immutable reads
+        }
+        synchronized (req) { req.results = req.results + acc; }
+      }
+      void cancel() {
+        Worker w = thread_;                      // DATARACE (read)
+        if (w != null) { w.interrupts = w.interrupts + 1; }
+      }
+    }
+    // Doug Lea-style linked queue.  [item] is immutable once linked and
+    // is read OUTSIDE the lock by consumers, while [next] is mutated
+    // under the lock by later producers: per-field this is race-free,
+    // but FieldsMerged granularity flags the node objects (Section 8.3).
+    class Node {
+      Task item; Node next;
+      Node(Task t) { item = t; }
+    }
+    class LinkedQueue {
+      Node head; Node tail; // head is a dummy node
+      LinkedQueue() { head = new Node(null); tail = head; }
+      synchronized void put(Task t) {
+        Node n = new Node(t);
+        tail.next = n;
+        tail = n;
+      }
+      synchronized Node pollNode() {
+        Node first = head.next;
+        if (first == null) { return null; }
+        head = first;
+        return first;
+      }
+    }
+    class Pool {
+      int size;           // DATARACE: read and written without the lock
+      LinkedQueue hi; LinkedQueue lo;   // two priority lanes
+      boolean closed;
+      Pool() { hi = new LinkedQueue(); lo = new LinkedQueue(); }
+      void submit(Task t, boolean urgent) {
+        size = size + 1;              // unlocked
+        if (urgent) { hi.put(t); } else { lo.put(t); }
+      }
+      Node poll() {
+        Node n = hi.pollNode();
+        if (n == null) { return lo.pollNode(); }
+        return n;
+      }
+      synchronized void close() { closed = true; }
+      synchronized boolean isClosed() { return closed; }
+    }
+    class Worker extends Thread {
+      Pool pool; int interrupts; int done; int work;
+      Worker(Pool p, int w) { pool = p; work = w; }
+      void run() {
+        while (true) {
+          Node n = pool.poll();
+          if (n == null) {
+            if (pool.isClosed()) { break; }
+            Thread.yield();
+          } else {
+            Task t = n.item;         // unlocked read of the immutable field
+            t.thread_ = this;        // DATARACE (write)
+            t.state = 1;
+            t.compute(work);
+            t.state = 2;
+            t.thread_ = null;        // DATARACE (the null-assignment bug)
+            pool.size = pool.size - 1;   // unlocked
+            done = done + 1;
+          }
+        }
+      }
+    }
+    class Requester extends Thread {
+      Pool pool; int base; int ntasks; int work; Task lastTask;
+      Requester(Pool p, int b, int n, int w) {
+        pool = p; base = b; ntasks = n; work = w;
+      }
+      void run() {
+        Task[] mine = new Task[ntasks];
+        for (int i = 0; i < ntasks; i = i + 1) {
+          MetaSearchRequest r = new MetaSearchRequest(base + i);
+          Task t = new Task(r);
+          pool.submit(t, i %% 2 == 0);
+          mine[i] = t;
+          lastTask = t;
+          Thread.yield();
+          Thread.yield();
+          // Cancel a task submitted two rounds ago: a worker is likely
+          // mid-flight on it — the Task.thread_ hand-shake race.
+          if (i >= 2) { mine[i - 2].cancel(); }
+          Thread.yield();
+        }
+        if (lastTask != null) { lastTask.cancel(); }
+      }
+    }
+    class Main {
+      static void main() {
+        int perRequester = %d / 3;
+        int work = %d;
+        Pool pool = new Pool();
+        Worker w1 = new Worker(pool, work);
+        Worker w2 = new Worker(pool, work);
+        Worker w3 = new Worker(pool, work);
+        Worker w4 = new Worker(pool, work);
+        w1.start(); w2.start(); w3.start(); w4.start();
+        Requester r1 = new Requester(pool, 100, perRequester, work);
+        Requester r2 = new Requester(pool, 200, perRequester, work);
+        Requester r3 = new Requester(pool, 300, perRequester, work);
+        r1.start(); r2.start(); r3.start();
+        r1.join(); r2.join(); r3.join();
+        pool.close();
+        w1.join(); w2.join(); w3.join(); w4.join();
+        print("done", w1.done + w2.done + w3.done + w4.done);
+        print("size", pool.size);
+      }
+    }
+  |}
+    tasks work
+
+(* ------------------------------------------------------------------ *)
+
+type benchmark = {
+  b_name : string;
+  b_description : string;
+  b_source : string; (* default size, used by tests and Table 3 *)
+  b_perf_source : string; (* larger size, used by Table 2 timing *)
+  b_cpu_bound : bool; (* paper reports performance only for CPU-bound ones *)
+}
+
+let benchmarks =
+  [
+    {
+      b_name = "mtrt";
+      b_description = "MultiThreaded Ray Tracer (from SPECJVM98)";
+      b_source = mtrt ();
+      b_perf_source = mtrt ~width:96 ~height:96 ~spheres:16 ();
+      b_cpu_bound = true;
+    };
+    {
+      b_name = "tsp";
+      b_description = "Traveling Salesman Problem solver (from ETH)";
+      b_source = tsp ();
+      b_perf_source = tsp ~cities:9 ();
+      b_cpu_bound = true;
+    };
+    {
+      b_name = "sor2";
+      b_description = "Modified Successive Over-Relaxation (from ETH)";
+      b_source = sor2 ();
+      b_perf_source = sor2 ~size:96 ~iterations:30 ();
+      b_cpu_bound = true;
+    };
+    {
+      b_name = "elevator";
+      b_description = "Real-time discrete event elevator simulator";
+      b_source = elevator ();
+      b_perf_source = elevator ~floors:8 ~events:24 ();
+      b_cpu_bound = false;
+    };
+    {
+      b_name = "hedc";
+      b_description = "Web-crawler task-pool kernel (from ETH)";
+      b_source = hedc ();
+      b_perf_source = hedc ~tasks:24 ~work:300 ();
+      b_cpu_bound = false;
+    };
+  ]
+
+let find name = List.find_opt (fun b -> b.b_name = name) benchmarks
+
+let loc_of_source src =
+  String.split_on_char '\n' src
+  |> List.filter (fun l ->
+         let l = String.trim l in
+         String.length l > 0 && not (String.length l >= 2 && String.sub l 0 2 = "//"))
+  |> List.length

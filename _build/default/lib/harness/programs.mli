@@ -1,0 +1,56 @@
+(** MiniJava ports of the paper's benchmark programs (Table 1), with the
+    same concurrency structure and the same seeded bugs as the
+    originals; see the implementation header for the per-program notes
+    and `EXPERIMENTS.md` for how their reports compare to the paper's.
+
+    Every generator is pure: the same parameters produce the same
+    source text. *)
+
+val figure2 : ?same_pq:bool -> unit -> string
+(** The paper's Figure 2 three-thread example; [same_pq] aliases the two
+    inner locks to exhibit the feasible race of Section 2.2. *)
+
+val mtrt : ?width:int -> ?height:int -> ?spheres:int -> unit -> string
+(** Two render threads over a shared framebuffer; races on
+    [RayTrace.threadCount] and
+    [ValidityCheckOutputStream.startOfLine]; join+common-lock
+    statistics that must stay quiet. *)
+
+val tsp : ?cities:int -> ?bfs_depth:int -> unit -> string
+(** Branch-and-bound with a shared tour queue and recycled elements;
+    the real [MinTourLen] race plus protocol-protected TourElement
+    reports. *)
+
+val sor : ?size:int -> ?iterations:int -> unit -> string
+(** The ORIGINAL sor with subscripts recomputed in the inner loop —
+    the variant the paper says its optimizations cannot help (fresh
+    value numbers every iteration defeat the static weaker-than
+    match). *)
+
+val sor2 : ?size:int -> ?iterations:int -> unit -> string
+(** Barrier-synchronized grid relaxation with hoisted row subscripts —
+    the benchmark that makes dominators + loop peeling essential. *)
+
+val elevator : ?floors:int -> ?events:int -> unit -> string
+(** Fully synchronized discrete-event simulation: no races. *)
+
+val hedc : ?tasks:int -> ?work:int -> unit -> string
+(** Task-pool crawler kernel: [Pool.size] and [Task.thread_] races,
+    LinkedQueue nodes and requests with mixed per-field disciplines. *)
+
+type benchmark = {
+  b_name : string;
+  b_description : string;
+  b_source : string;  (** Default size: tests, Table 3. *)
+  b_perf_source : string;  (** Larger size: Table 2 timing. *)
+  b_cpu_bound : bool;
+      (** The paper reports performance only for CPU-bound programs. *)
+}
+
+val benchmarks : benchmark list
+(** mtrt, tsp, sor2, elevator, hedc — in Table 1 order. *)
+
+val find : string -> benchmark option
+
+val loc_of_source : string -> int
+(** Non-blank, non-comment lines (the Table 1 LoC metric). *)

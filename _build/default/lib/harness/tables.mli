@@ -1,0 +1,49 @@
+(** Regeneration of the paper's evaluation tables and figures
+    (Section 8), printed to stdout in the same row/column structure.
+    Each function also returns the raw numbers so benches and tests can
+    assert on them.  See `EXPERIMENTS.md` for paper-vs-measured. *)
+
+val contains_sub : string -> string -> bool
+(** [contains_sub needle haystack]. *)
+
+val table1 : unit -> unit
+(** Benchmark characteristics: LoC, dynamic threads, description. *)
+
+type t2_cell = { wall : float; overhead : float; events : int; steps : int }
+
+val table2 :
+  ?runs:int -> ?perf:bool -> unit -> (string * t2_cell list) list
+(** Runtime performance of the six Table 2 configurations on the
+    CPU-bound benchmarks: best-of-[runs] wall time, overhead vs Base,
+    and the deterministic access-event count (the machine-independent
+    reproduction metric).  [perf] selects the larger workload sizes. *)
+
+val table3 : unit -> (string * int list) list
+(** Racy objects reported under Full / FieldsMerged / NoOwnership. *)
+
+val figure1 : unit -> unit
+(** The architecture as a phase trace on tsp: static race set →
+    instrumentation → runtime funnel. *)
+
+val figure2 : unit -> unit
+(** The three-thread example, including the feasible-race variant and
+    the happens-before comparison. *)
+
+val figure3 : unit -> unit
+(** Loop peeling: trace counts and dynamic events before/after, plus
+    the optimized IR. *)
+
+val sor_vs_sor2 : unit -> ((string * string) * int) list
+(** Section 8.1's hoisting claim: Full/NoDominators trace and event
+    counts for the original sor vs the hoisted sor2. *)
+
+val space : unit -> int * int
+(** Section 8.2: (trie nodes, locations) for tsp. *)
+
+val join_example : unit -> unit
+(** Section 8.3: the join + common-lock statistics idiom, ours vs
+    Eraser. *)
+
+val baselines : unit -> (string * int list) list
+(** Section 9: racy objects under Full / Eraser / ObjRace /
+    HappensBefore for all five benchmarks. *)

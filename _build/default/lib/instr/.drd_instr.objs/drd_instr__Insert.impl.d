@@ -1,0 +1,1 @@
+lib/instr/insert.ml: Drd_core Drd_ir List

@@ -1,0 +1,1 @@
+lib/instr/peel.ml: Drd_lang Hashtbl List Option

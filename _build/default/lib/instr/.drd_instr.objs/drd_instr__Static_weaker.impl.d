@@ -1,0 +1,1 @@
+lib/instr/static_weaker.ml: Array Drd_core Drd_ir Event Hashtbl List Option

@@ -1,0 +1,78 @@
+module Ir = Drd_ir.Ir
+module Site_table = Drd_ir.Site_table
+open Ir
+
+(* Trace insertion (paper Section 6.1, first half): after every
+   instruction that accesses an object field, a static field or an array
+   element, insert the [trace(o, f, L, a)] pseudo-instruction — unless
+   static datarace analysis proved the access can never race.
+
+   [keep] decides whether a given access instruction is instrumented; it
+   is the hook for the static datarace set (Section 5): with no static
+   analysis every access is kept ("NoStatic" in Table 2). *)
+
+let trace_of_access m sites (i : instr) : instr option =
+  let mk target kind desc =
+    let site =
+      Site_table.add sites
+        {
+          Site_table.s_method = mir_key m;
+          s_line = i.i_line;
+          s_desc = desc;
+          s_iid = i.i_id;
+        }
+    in
+    Some
+      {
+        i_op = Trace { tr_target = target; tr_kind = kind; tr_site = site };
+        i_id = fresh_iid m;
+        i_line = i.i_line;
+        i_sync = i.i_sync;
+      }
+  in
+  match i.i_op with
+  | GetField (_, o, fm) ->
+      mk (Tr_field (o, fm)) Drd_core.Event.Read ("read " ^ fm.fm_name)
+  | PutField (o, fm, _) ->
+      mk (Tr_field (o, fm)) Drd_core.Event.Write ("write " ^ fm.fm_name)
+  | GetStatic (_, sm) ->
+      mk (Tr_static sm) Drd_core.Event.Read
+        ("read " ^ sm.sm_class ^ "." ^ sm.sm_name)
+  | PutStatic (sm, _) ->
+      mk (Tr_static sm) Drd_core.Event.Write
+        ("write " ^ sm.sm_class ^ "." ^ sm.sm_name)
+  | ALoad (_, a, idx) -> mk (Tr_array (a, idx)) Drd_core.Event.Read "read []"
+  | AStore (a, idx, _) ->
+      mk (Tr_array (a, idx)) Drd_core.Event.Write "write []"
+  | _ -> None
+
+let instrument_mir ?(keep = fun _ _ -> true) sites m =
+  iter_blocks m (fun b ->
+      let instrs =
+        List.concat_map
+          (fun i ->
+            if keep m i then
+              match trace_of_access m sites i with
+              | Some tr -> [ i; tr ]
+              | None -> [ i ]
+            else [ i ])
+          b.b_instrs
+      in
+      b.b_instrs <- instrs)
+
+(* Instrument a whole program in place.  [keep m i] is consulted only
+   for access instructions. *)
+let instrument ?keep (p : program) =
+  iter_mirs p (fun m -> instrument_mir ?keep p.p_sites m)
+
+(* Count the trace instructions currently present (for tests and for the
+   Table 2 instrumentation statistics). *)
+let count_traces_mir m =
+  let n = ref 0 in
+  iter_instrs m (fun _ i -> match i.i_op with Trace _ -> incr n | _ -> ());
+  !n
+
+let count_traces p =
+  let n = ref 0 in
+  iter_mirs p (fun m -> n := !n + count_traces_mir m);
+  !n

@@ -1,0 +1,141 @@
+module Tast = Drd_lang.Tast
+open Tast
+
+(* Loop peeling (paper Section 6.3).
+
+   The loop-invariant events of a loop body are redundant after the
+   first iteration, but the static weaker-than relation cannot remove
+   their traces: the first iteration's event is not redundant, and the
+   instrumentation cannot be hoisted past the potentially excepting
+   instructions (null/bounds checks) that Java-like code is full of.
+   Peeling the first iteration makes the peeled copy's traces statically
+   weaker than the loop-body copies, which the elimination pass then
+   removes.
+
+   We peel at the typed-AST level, which is semantically equivalent to
+   the paper's HIR-level transformation and considerably simpler:
+
+     while (c) { B }        becomes   if (c) { B; while (c) { B } }
+     for (i; c; u) { B }    becomes   i; if (c) { B; u; for (; c; u) { B } }
+
+   The produced statement sequences evaluate conditions, bodies and
+   updates in exactly the original order, so behaviour (including the
+   event stream, modulo which static site ids appear) is preserved.
+
+   A loop is peeled only when its body
+   - contains at least one memory access (otherwise there is nothing to
+     gain),
+   - has no top-level [break]/[continue] (they would re-bind to an outer
+     loop once the body is copied outside the loop), and
+   - is not too large (peeling nested loops multiplies code size). *)
+
+let max_peeled_size = 400
+
+let rec stmt_size s =
+  match s.ts with
+  | TIf (_, a, b) -> 1 + stmts_size a + stmts_size b
+  | TWhile (_, b) -> 1 + stmts_size b
+  | TFor (i, _, u, b) ->
+      1 + stmts_size (Option.to_list i) + stmts_size (Option.to_list u)
+      + stmts_size b
+  | TSync (_, b) -> 1 + stmts_size b
+  | _ -> 1
+
+and stmts_size l = List.fold_left (fun acc s -> acc + stmt_size s) 0 l
+
+(* Does the expression read memory (fields, statics, array elements)? *)
+let rec expr_has_access (e : texpr) =
+  match e.te with
+  | TGetField _ | TGetStatic _ | TIndex _ -> true
+  | TInt _ | TBool _ | TNull | TThis | TLocal _ -> false
+  | TLen a -> expr_has_access a
+  | TCall c -> (
+      match c with
+      | CVirtual (r, _, args, _) -> List.exists expr_has_access (r :: args)
+      | CStatic (_, _, args, _) -> List.exists expr_has_access args
+      | CStart r | CJoin r -> expr_has_access r
+      | CWait r | CNotify r | CNotifyAll r -> expr_has_access r
+      | CYield -> false)
+  | TNew (_, args) -> List.exists expr_has_access args
+  | TNewArray (_, dims) -> List.exists expr_has_access dims
+  | TBinop (_, a, b) -> expr_has_access a || expr_has_access b
+  | TUnop (_, a) -> expr_has_access a
+
+let rec stmt_has_access s =
+  match s.ts with
+  | TSetField _ | TSetStatic _ | TSetIndex _ -> true
+  | TDecl (_, _, e) -> Option.fold ~none:false ~some:expr_has_access e
+  | TAssignLocal (_, e) | TExpr e -> expr_has_access e
+  | TIf (c, a, b) ->
+      expr_has_access c || List.exists stmt_has_access a
+      || List.exists stmt_has_access b
+  | TWhile (c, b) -> expr_has_access c || List.exists stmt_has_access b
+  | TFor (i, c, u, b) ->
+      Option.fold ~none:false ~some:stmt_has_access i
+      || Option.fold ~none:false ~some:expr_has_access c
+      || Option.fold ~none:false ~some:stmt_has_access u
+      || List.exists stmt_has_access b
+  | TSync (e, b) -> expr_has_access e || List.exists stmt_has_access b
+  | TReturn e -> Option.fold ~none:false ~some:expr_has_access e
+  | TPrint (_, e) -> Option.fold ~none:false ~some:expr_has_access e
+  | TBreak | TContinue -> false
+
+(* Top-level break/continue: one that would bind to THIS loop. *)
+let rec has_loop_exit s =
+  match s.ts with
+  | TBreak | TContinue -> true
+  | TIf (_, a, b) -> List.exists has_loop_exit a || List.exists has_loop_exit b
+  | TSync (_, b) -> List.exists has_loop_exit b
+  | TWhile _ | TFor _ -> false (* binds to the inner loop *)
+  | _ -> false
+
+let peelable body =
+  List.exists stmt_has_access body
+  && (not (List.exists has_loop_exit body))
+  && stmts_size body <= max_peeled_size
+
+let rec peel_stmt s : tstmt list =
+  match s.ts with
+  | TWhile (c, body) ->
+      let body = peel_stmts body in
+      if peelable body then
+        [
+          {
+            s with
+            ts = TIf (c, body @ [ { s with ts = TWhile (c, body) } ], []);
+          };
+        ]
+      else [ { s with ts = TWhile (c, body) } ]
+  | TFor (init, Some c, update, body) ->
+      let body = peel_stmts body in
+      if peelable body then
+        Option.to_list init
+        @ [
+            {
+              s with
+              ts =
+                TIf
+                  ( c,
+                    body @ Option.to_list update
+                    @ [ { s with ts = TFor (None, Some c, update, body) } ],
+                    [] );
+            };
+          ]
+      else [ { s with ts = TFor (init, Some c, update, body) } ]
+  | TFor (init, None, update, body) ->
+      [ { s with ts = TFor (init, None, update, peel_stmts body) } ]
+  | TIf (c, a, b) -> [ { s with ts = TIf (c, peel_stmts a, peel_stmts b) } ]
+  | TSync (e, b) -> [ { s with ts = TSync (e, peel_stmts b) } ]
+  | _ -> [ s ]
+
+and peel_stmts stmts = List.concat_map peel_stmt stmts
+
+(* Peel every method body of a program, returning a fresh tprogram (the
+   input is not mutated). *)
+let peel_program (p : tprogram) : tprogram =
+  let methods = Hashtbl.create (Hashtbl.length p.methods) in
+  Hashtbl.iter
+    (fun key m ->
+      Hashtbl.replace methods key { m with tm_body = peel_stmts m.tm_body })
+    p.methods;
+  { p with methods }

@@ -1,0 +1,204 @@
+module Ir = Drd_ir.Ir
+module Dominance = Drd_ir.Dominance
+module Ssa = Drd_ir.Ssa
+module Vn = Drd_ir.Value_numbering
+open Drd_core
+open Ir
+
+(* Static weaker-than elimination (paper Section 6.1).
+
+   A trace statement [S_j] is removed when some trace [S_i] in the same
+   method is statically weaker: every event of [S_j] is preceded, in the
+   same execution, by an event of [S_i] with
+
+     e_i.t = e_j.t   (intraprocedural: same thread),
+     e_i.a ⊑ e_j.a   (checked directly on the trace kinds),
+     e_i.L ⊆ e_j.L   (via the [outer] synchronization-nesting check),
+     e_i.m = e_j.m   (same field and same value number for the object
+                      reference; for arrays the array reference's value
+                      number alone, since a whole array is one logical
+                      location),
+
+   and with no thread start/join between them (Definition 3).
+
+   The [Exec] predicate (Definition 4) is computed as a small dataflow
+   automaton per candidate [S_i]: a program point is in state "clean"
+   when every path to it passed [S_i] after the last call-like
+   instruction (calls, thread start/join, and monitor operations —
+   barring monitor operations also makes the lockset-subset argument
+   immediate, because the held lockset cannot change between the two
+   traces).  [S_j] qualifies iff its entry state is exactly {clean}.
+   This subsumes the paper's dominance test: a path reaching [S_j]
+   without passing [S_i] keeps its initial "dirty" state. *)
+
+type tr = { t_block : int; t_index : int; t_instr : instr; t_trace : trace }
+
+let collect_traces m =
+  let acc = ref [] in
+  iter_blocks m (fun b ->
+      List.iteri
+        (fun idx i ->
+          match i.i_op with
+          | Trace t ->
+              acc :=
+                { t_block = b.b_label; t_index = idx; t_instr = i; t_trace = t }
+                :: !acc
+          | _ -> ())
+        b.b_instrs);
+  List.rev !acc
+
+(* Grouping key for m-equality candidates. *)
+type group_key =
+  | Gfield of string * int (* declaring class, field index *)
+  | Gstatic of int
+  | Garray
+
+let group_key t =
+  match t.tr_target with
+  | Tr_field (_, fm) -> Gfield (fm.fm_class, fm.fm_index)
+  | Tr_static sm -> Gstatic sm.sm_slot
+  | Tr_array _ -> Garray
+
+(* Is [prefix] a prefix of [l]?  Used for outer(S_i, S_j): S_j is at the
+   same synchronization nesting as S_i or deeper within it. *)
+let rec is_prefix prefix l =
+  match (prefix, l) with
+  | [], _ -> true
+  | x :: xs, y :: ys -> x = y && is_prefix xs ys
+  | _ :: _, [] -> false
+
+(* m-equality given the value numbers of the object operands. *)
+let same_location vn si sj =
+  match (si.t_trace.tr_target, sj.t_trace.tr_target) with
+  | Tr_static a, Tr_static b -> a.sm_slot = b.sm_slot
+  | Tr_field (oi, fa), Tr_field (oj, fb) -> (
+      fa.fm_class = fb.fm_class
+      && fa.fm_index = fb.fm_index
+      &&
+      match
+        ( Vn.vn_of_use vn si.t_instr.i_id oi,
+          Vn.vn_of_use vn sj.t_instr.i_id oj )
+      with
+      | Some a, Some b -> a = b
+      | _ -> false)
+  | Tr_array (ai, _), Tr_array (aj, _) -> (
+      match
+        ( Vn.vn_of_use vn si.t_instr.i_id ai,
+          Vn.vn_of_use vn sj.t_instr.i_id aj )
+      with
+      | Some a, Some b -> a = b
+      | _ -> false)
+  | _ -> false
+
+(* Dataflow states as a bitmask: bit 0 = clean reachable, bit 1 = dirty
+   reachable. *)
+let clean = 1
+
+let dirty = 2
+
+let transfer_instr si_iid state (i : instr) =
+  if i.i_id = si_iid then if state = 0 then 0 else clean
+  else if is_barrier i.i_op then if state = 0 then 0 else dirty
+  else state
+
+(* For candidate [S_i], compute the automaton state at the entry of each
+   block, then decide [Exec(S_i, S_j)] for the given [S_j]s. *)
+let exec_states m si =
+  let n = n_blocks m in
+  let entry_state = Array.make n 0 in
+  entry_state.(m.mir_entry) <- dirty;
+  let transfer_block b state =
+    List.fold_left (transfer_instr si.t_instr.i_id) state
+      (block m b).b_instrs
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 0 to n - 1 do
+      if entry_state.(b) <> 0 then begin
+        let out = transfer_block b entry_state.(b) in
+        List.iter
+          (fun s ->
+            let merged = entry_state.(s) lor out in
+            if merged <> entry_state.(s) then begin
+              entry_state.(s) <- merged;
+              changed := true
+            end)
+          (successors m b)
+      end
+    done
+  done;
+  entry_state
+
+let exec_holds m entry_state si sj =
+  (* State just before S_j: transfer from its block entry through the
+     preceding instructions. *)
+  if si.t_instr.i_id = sj.t_instr.i_id then false
+  else
+    let blk = block m sj.t_block in
+    let rec walk idx state = function
+      | [] -> state
+      | _ when idx = sj.t_index -> state
+      | i :: rest -> walk (idx + 1) (transfer_instr si.t_instr.i_id state i) rest
+    in
+    let state = walk 0 entry_state.(sj.t_block) blk.b_instrs in
+    state = clean
+
+let kind_leq = Event.kind_leq
+
+(* Eliminate redundant traces in one method; returns the number of
+   traces removed. *)
+let eliminate_mir (m : mir) : int =
+  let traces = collect_traces m in
+  if List.length traces < 2 then 0
+  else begin
+    let ssa = Ssa.compute m in
+    let vn = Vn.compute m ssa in
+    (* Group by location signature. *)
+    let groups = Hashtbl.create 16 in
+    List.iter
+      (fun t ->
+        let k = group_key t.t_trace in
+        Hashtbl.replace groups k
+          (t :: Option.value (Hashtbl.find_opt groups k) ~default:[]))
+      traces;
+    let eliminated = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun _ group ->
+        let group = List.rev group in
+        List.iter
+          (fun si ->
+            (* Candidates S_j that S_i might cover. *)
+            let candidates =
+              List.filter
+                (fun sj ->
+                  sj.t_instr.i_id <> si.t_instr.i_id
+                  && (not (Hashtbl.mem eliminated sj.t_instr.i_id))
+                  && kind_leq si.t_trace.tr_kind sj.t_trace.tr_kind
+                  && is_prefix si.t_instr.i_sync sj.t_instr.i_sync
+                  && same_location vn si sj)
+                group
+            in
+            if candidates <> [] then begin
+              let states = exec_states m si in
+              List.iter
+                (fun sj ->
+                  if exec_holds m states si sj then
+                    Hashtbl.replace eliminated sj.t_instr.i_id ())
+                candidates
+            end)
+          group)
+      groups;
+    if Hashtbl.length eliminated > 0 then
+      iter_blocks m (fun b ->
+          b.b_instrs <-
+            List.filter
+              (fun i -> not (Hashtbl.mem eliminated i.i_id))
+              b.b_instrs);
+    Hashtbl.length eliminated
+  end
+
+let eliminate (p : program) : int =
+  let n = ref 0 in
+  iter_mirs p (fun m -> n := !n + eliminate_mir m);
+  !n

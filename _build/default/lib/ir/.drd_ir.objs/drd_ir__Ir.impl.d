@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Array Drd_core Drd_lang Hashtbl List Option Site_table

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Array Drd_lang Hashtbl Ir List Option Site_table

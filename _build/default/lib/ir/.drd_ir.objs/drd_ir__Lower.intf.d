@@ -1,0 +1,1 @@
+lib/ir/lower.mli: Drd_lang Ir Site_table

@@ -1,0 +1,1 @@
+lib/ir/optimize.ml: Array Ast Fun Hashtbl Int Ir List Option Set

@@ -1,0 +1,1 @@
+lib/ir/pretty.ml: Array Drd_core Drd_lang Fmt Ir

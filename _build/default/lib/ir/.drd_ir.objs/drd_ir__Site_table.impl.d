@@ -1,0 +1,1 @@
+lib/ir/site_table.ml: List Printf

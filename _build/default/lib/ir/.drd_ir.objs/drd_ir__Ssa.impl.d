@@ -1,0 +1,1 @@
+lib/ir/ssa.ml: Array Dominance Hashtbl Ir List Option

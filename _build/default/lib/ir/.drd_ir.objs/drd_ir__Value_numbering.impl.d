@@ -1,0 +1,1 @@
+lib/ir/value_numbering.ml: Array Drd_lang Hashtbl Ir List Ssa

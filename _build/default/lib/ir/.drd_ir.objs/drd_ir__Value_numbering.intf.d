@@ -1,0 +1,1 @@
+lib/ir/value_numbering.mli: Ir Ssa

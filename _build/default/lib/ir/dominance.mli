@@ -1,0 +1,40 @@
+(** Dominators over a method CFG (Cooper–Harvey–Kennedy), dominance
+    frontiers and natural loops.
+
+    This is the dominance relation the static weaker-than analysis uses
+    for its [Exec] predicate (paper Section 6.1) — [dom] rather than
+    [pdom], because explicit PEIs make post-dominance almost useless in
+    a Java-like language — and the substrate for SSA construction. *)
+
+type t = {
+  entry : int;
+  idom : int array;
+      (** Immediate dominator per block; [idom.(entry) = entry]; [-1]
+          for unreachable blocks. *)
+  rpo : int array;  (** Reachable blocks in reverse postorder. *)
+  pre : int array;  (** Dominator-tree preorder number; [-1] unreachable. *)
+  post : int array;  (** Dominator-tree postorder number. *)
+  children : int list array;
+      (** Dominator-tree children, sorted in reverse postorder so that
+          analysis walks see branch blocks before join blocks. *)
+}
+
+val compute : Ir.mir -> t
+
+val dominates : t -> int -> int -> bool
+(** [dominates d a b]: does block [a] dominate block [b]?  Reflexive;
+    O(1) via pre/post numbering. *)
+
+val strictly_dominates : t -> int -> int -> bool
+
+val idom : t -> int -> int option
+(** [None] for the entry block and unreachable blocks. *)
+
+val reachable : t -> int -> bool
+
+val frontiers : Ir.mir -> t -> int list array
+(** Dominance frontiers (Cytron et al.), for SSA phi placement. *)
+
+val natural_loops : Ir.mir -> t -> (int * int list) list
+(** [(header, body)] per back edge; the header is in the body and
+    dominates every body block. *)

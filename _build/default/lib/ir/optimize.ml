@@ -1,0 +1,281 @@
+open Ir
+
+(* Which instructions may be deleted when their result is dead?
+   - [Trace] never: the paper marks instrumentation as having an
+     unknown side effect (Section 6.2).
+   - Memory accesses never: they are the monitored events (and loads
+     could fault only via their separate PEIs, which also stay).
+   - PEIs, calls, monitors, prints, thread ops: effectful.
+   - [Binop] with Div/Mod can trap on zero: only removable when the
+     divisor is a known non-zero constant. *)
+let removable_if_dead op ~const_of =
+  match op with
+  | Const _ | Move _ | Unop _ | ArrLen _ | ClassObj _ -> true
+  | Binop ((Ast.Div | Ast.Mod), _, _, r) -> (
+      match const_of r with Some (Cint n) -> n <> 0 | _ -> false)
+  | Binop _ -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Local constant/copy propagation and folding, one block at a time.
+   The value state maps registers to a known constant or a copy source;
+   any other definition invalidates.  Copies are only propagated to
+   USES; definitions keep their registers so liveness stays simple. *)
+
+type lattice = Lconst of const | Lcopy of reg
+
+let fold_binop op a b =
+  match (op : Ast.binop) with
+  | Ast.Add -> Some (Cint (a + b))
+  | Ast.Sub -> Some (Cint (a - b))
+  | Ast.Mul -> Some (Cint (a * b))
+  | Ast.Div -> if b = 0 then None else Some (Cint (a / b))
+  | Ast.Mod -> if b = 0 then None else Some (Cint (a mod b))
+  | Ast.Lt -> Some (Cbool (a < b))
+  | Ast.Le -> Some (Cbool (a <= b))
+  | Ast.Gt -> Some (Cbool (a > b))
+  | Ast.Ge -> Some (Cbool (a >= b))
+  | Ast.Eq -> Some (Cbool (a = b))
+  | Ast.Ne -> Some (Cbool (a <> b))
+  | Ast.And | Ast.Or -> None (* expanded at lowering *)
+
+let propagate_block (b : block) =
+  let state : (reg, lattice) Hashtbl.t = Hashtbl.create 16 in
+  let resolve r =
+    match Hashtbl.find_opt state r with Some (Lcopy s) -> s | _ -> r
+  in
+  let const_of r =
+    match Hashtbl.find_opt state (resolve r) with
+    | Some (Lconst c) -> Some c
+    | _ -> (
+        match Hashtbl.find_opt state r with
+        | Some (Lconst c) -> Some c
+        | _ -> None)
+  in
+  let kill d =
+    Hashtbl.remove state d;
+    (* Any copy of d is now stale. *)
+    let stale =
+      Hashtbl.fold
+        (fun r v acc -> match v with Lcopy s when s = d -> r :: acc | _ -> acc)
+        state []
+    in
+    List.iter (Hashtbl.remove state) stale
+  in
+  let subst op =
+    let s = resolve in
+    match op with
+    | Const _ -> op
+    | Move (d, x) -> Move (d, s x)
+    | Binop (o, d, l, r) -> Binop (o, d, s l, s r)
+    | Unop (o, d, x) -> Unop (o, d, s x)
+    | GetField (d, o, fm) -> GetField (d, s o, fm)
+    | PutField (o, fm, x) -> PutField (s o, fm, s x)
+    | GetStatic _ -> op
+    | PutStatic (sm, x) -> PutStatic (sm, s x)
+    | ALoad (d, a, i) -> ALoad (d, s a, s i)
+    | AStore (a, i, x) -> AStore (s a, s i, s x)
+    | NewObj _ -> op
+    | NewArr (d, ty, dims) -> NewArr (d, ty, List.map s dims)
+    | ArrLen (d, a) -> ArrLen (d, s a)
+    | ClassObj _ -> op
+    | NullCheck r -> NullCheck (s r)
+    | BoundsCheck (a, i) -> BoundsCheck (s a, s i)
+    | Call (d, t, args) -> Call (d, t, List.map s args)
+    | MonitorEnter (r, id) -> MonitorEnter (s r, id)
+    | MonitorExit (r, id) -> MonitorExit (s r, id)
+    | ThreadStart r -> ThreadStart (s r)
+    | ThreadJoin r -> ThreadJoin (s r)
+    | Wait r -> Wait (s r)
+    | Notify (r, all) -> Notify (s r, all)
+    | Yield -> op
+    | Print (tag, r) -> Print (tag, Option.map s r)
+    | Trace t ->
+        Trace
+          {
+            t with
+            tr_target =
+              (match t.tr_target with
+              | Tr_field (o, fm) -> Tr_field (s o, fm)
+              | Tr_static sm -> Tr_static sm
+              | Tr_array (a, i) -> Tr_array (s a, s i));
+          }
+  in
+  List.iter
+    (fun (i : instr) ->
+      let op = subst i.i_op in
+      (* Fold arithmetic over known constants. *)
+      let op =
+        match op with
+        | Binop (o, d, l, r) -> (
+            match (const_of l, const_of r) with
+            | Some (Cint a), Some (Cint b) -> (
+                match fold_binop o a b with
+                | Some c -> Const (d, c)
+                | None -> op)
+            | _ -> op)
+        | Unop (Ast.Neg, d, x) -> (
+            match const_of x with
+            | Some (Cint a) -> Const (d, Cint (-a))
+            | _ -> op)
+        | Unop (Ast.Not, d, x) -> (
+            match const_of x with
+            | Some (Cbool v) -> Const (d, Cbool (not v))
+            | _ -> op)
+        | Move (d, x) -> (
+            match const_of x with Some c -> Const (d, c) | None -> op)
+        | _ -> op
+      in
+      i.i_op <- op;
+      (* Update the value state. *)
+      match op with
+      | Const (d, c) ->
+          kill d;
+          Hashtbl.replace state d (Lconst c)
+      | Move (d, x) ->
+          kill d;
+          if d <> x then Hashtbl.replace state d (Lcopy x)
+      | _ -> ( match def op with Some d -> kill d | None -> ()))
+    b.b_instrs;
+  (* Branch folding on a known condition. *)
+  (match b.b_term with
+  | If (c, t, f) -> (
+      match const_of (resolve c) with
+      | Some (Cbool v) -> b.b_term <- Goto (if v then t else f)
+      | _ -> b.b_term <- If (resolve c, t, f))
+  | Ret (Some r) -> b.b_term <- Ret (Some (resolve r))
+  | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Liveness-based dead-code elimination. *)
+
+module Rset = Set.Make (Int)
+
+let dce (m : mir) : int =
+  let n = n_blocks m in
+  (* Reachability after branch folding. *)
+  let reachable = Array.make n false in
+  let rec mark b =
+    if not reachable.(b) then begin
+      reachable.(b) <- true;
+      List.iter mark (successors m b)
+    end
+  in
+  mark m.mir_entry;
+  let live_in = Array.make n Rset.empty in
+  (* Registers with exactly one definition, and that definition a
+     constant: only those are safely known for the Div/Mod-removal
+     check. *)
+  let def_count = Hashtbl.create 32 in
+  iter_instrs m (fun _ i ->
+      match def i.i_op with
+      | Some d ->
+          Hashtbl.replace def_count d
+            (1 + Option.value (Hashtbl.find_opt def_count d) ~default:0)
+      | None -> ());
+  let const_env = Hashtbl.create 16 in
+  iter_instrs m (fun _ i ->
+      match i.i_op with
+      | Const (d, c) when Hashtbl.find_opt def_count d = Some 1 ->
+          Hashtbl.replace const_env d c
+      | _ -> ());
+  let const_of r = Hashtbl.find_opt const_env r in
+  let transfer b live_out =
+    let live = ref live_out in
+    List.iter
+      (fun (i : instr) ->
+        let keep =
+          (not (removable_if_dead i.i_op ~const_of))
+          ||
+          match def i.i_op with
+          | Some d -> Rset.mem d !live
+          | None -> true
+        in
+        if keep then begin
+          (match def i.i_op with
+          | Some d -> live := Rset.remove d !live
+          | None -> ());
+          List.iter (fun u -> live := Rset.add u !live) (uses i.i_op)
+        end
+        else
+          match def i.i_op with
+          | Some d -> live := Rset.remove d !live
+          | None -> ())
+      (List.rev b.b_instrs);
+    !live
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = n - 1 downto 0 do
+      if reachable.(b) then begin
+        let blk = block m b in
+        let live_out =
+          List.fold_left
+            (fun acc s -> Rset.union acc live_in.(s))
+            (Rset.of_list (term_uses blk.b_term))
+            (successors m b)
+        in
+        let li = transfer blk live_out in
+        if not (Rset.equal li live_in.(b)) then begin
+          live_in.(b) <- li;
+          changed := true
+        end
+      end
+    done
+  done;
+  (* Sweep. *)
+  let removed = ref 0 in
+  iter_blocks m (fun blk ->
+      if not reachable.(blk.b_label) then begin
+        removed := !removed + List.length blk.b_instrs;
+        blk.b_instrs <- [];
+        blk.b_term <- Trap "unreachable"
+      end
+      else begin
+        let live_out =
+          List.fold_left
+            (fun acc s -> Rset.union acc live_in.(s))
+            (Rset.of_list (term_uses blk.b_term))
+            (successors m blk.b_label)
+        in
+        let live = ref live_out in
+        let kept =
+          List.rev_map
+            (fun (i : instr) ->
+              let keep =
+                (not (removable_if_dead i.i_op ~const_of))
+                ||
+                match def i.i_op with
+                | Some d -> Rset.mem d !live
+                | None -> true
+              in
+              if keep then begin
+                (match def i.i_op with
+                | Some d -> live := Rset.remove d !live
+                | None -> ());
+                List.iter (fun u -> live := Rset.add u !live) (uses i.i_op);
+                Some i
+              end
+              else begin
+                (match def i.i_op with
+                | Some d -> live := Rset.remove d !live
+                | None -> ());
+                incr removed;
+                None
+              end)
+            (List.rev blk.b_instrs)
+          |> List.filter_map Fun.id
+        in
+        blk.b_instrs <- kept
+      end);
+  !removed
+
+let optimize_mir (m : mir) : int =
+  iter_blocks m (fun b -> propagate_block b);
+  dce m
+
+let optimize (p : program) : int =
+  let n = ref 0 in
+  iter_mirs p (fun m -> n := !n + optimize_mir m);
+  !n

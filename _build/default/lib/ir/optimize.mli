@@ -1,0 +1,20 @@
+(** Classical scalar optimizations over the register IR: local constant
+    and copy propagation, constant folding, branch folding, and
+    liveness-based dead-code elimination.
+
+    This models the "other optimization phases" of the Jalapeño
+    compiler the paper's instrumentation lives among (Section 6.2):
+    crucially, [Trace] pseudo-instructions are treated as having an
+    unknown side effect — exactly as the paper describes — so the
+    optimizer never deletes instrumentation, and memory accesses are
+    never removed either (they are the events being monitored).
+
+    Run after instrumentation and static weaker-than elimination;
+    semantics (including the access-event stream) are preserved. *)
+
+val optimize_mir : Ir.mir -> int
+(** Optimize one method in place; returns the number of instructions
+    removed. *)
+
+val optimize : Ir.program -> int
+(** Optimize every method; returns the total instructions removed. *)

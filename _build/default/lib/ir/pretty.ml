@@ -1,0 +1,117 @@
+module Ast = Drd_lang.Ast
+module Tast = Drd_lang.Tast
+(* Human-readable IR dumps, used by tests, the CLI's [--dump-ir] mode
+   and the Figure 3 (loop peeling) bench output. *)
+
+open Ir
+
+let pp_const ppf = function
+  | Cint n -> Fmt.int ppf n
+  | Cbool b -> Fmt.bool ppf b
+  | Cnull -> Fmt.string ppf "null"
+
+let pp_reg ppf r = Fmt.pf ppf "r%d" r
+
+let pp_target ppf = function
+  | Virtual (c, m) -> Fmt.pf ppf "virtual %s.%s" c m
+  | Static (c, m) -> Fmt.pf ppf "static %s.%s" c m
+  | Ctor c -> Fmt.pf ppf "ctor %s" c
+
+let pp_binop ppf (op : Ast.binop) =
+  Fmt.string ppf
+    (match op with
+    | Add -> "+"
+    | Sub -> "-"
+    | Mul -> "*"
+    | Div -> "/"
+    | Mod -> "%"
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">="
+    | Eq -> "=="
+    | Ne -> "!="
+    | And -> "&&"
+    | Or -> "||")
+
+let pp_op ppf = function
+  | Const (d, c) -> Fmt.pf ppf "%a := %a" pp_reg d pp_const c
+  | Move (d, s) -> Fmt.pf ppf "%a := %a" pp_reg d pp_reg s
+  | Binop (op, d, l, r) ->
+      Fmt.pf ppf "%a := %a %a %a" pp_reg d pp_reg l pp_binop op pp_reg r
+  | Unop (Ast.Neg, d, s) -> Fmt.pf ppf "%a := -%a" pp_reg d pp_reg s
+  | Unop (Ast.Not, d, s) -> Fmt.pf ppf "%a := !%a" pp_reg d pp_reg s
+  | GetField (d, o, fm) ->
+      Fmt.pf ppf "%a := %a.%s" pp_reg d pp_reg o fm.fm_name
+  | PutField (o, fm, s) ->
+      Fmt.pf ppf "%a.%s := %a" pp_reg o fm.fm_name pp_reg s
+  | GetStatic (d, sm) ->
+      Fmt.pf ppf "%a := %s.%s" pp_reg d sm.sm_class sm.sm_name
+  | PutStatic (sm, s) ->
+      Fmt.pf ppf "%s.%s := %a" sm.sm_class sm.sm_name pp_reg s
+  | ALoad (d, a, i) -> Fmt.pf ppf "%a := %a[%a]" pp_reg d pp_reg a pp_reg i
+  | AStore (a, i, s) -> Fmt.pf ppf "%a[%a] := %a" pp_reg a pp_reg i pp_reg s
+  | NewObj (d, c) -> Fmt.pf ppf "%a := new %s" pp_reg d c
+  | NewArr (d, ty, dims) ->
+      Fmt.pf ppf "%a := new %a%a" pp_reg d Ast.pp_ty ty
+        Fmt.(list (brackets pp_reg))
+        dims
+  | ArrLen (d, a) -> Fmt.pf ppf "%a := %a.length" pp_reg d pp_reg a
+  | ClassObj (d, c) -> Fmt.pf ppf "%a := classobj %s" pp_reg d c
+  | NullCheck r -> Fmt.pf ppf "nullcheck %a" pp_reg r
+  | BoundsCheck (a, i) -> Fmt.pf ppf "boundscheck %a[%a]" pp_reg a pp_reg i
+  | Call (Some d, t, args) ->
+      Fmt.pf ppf "%a := call %a(%a)" pp_reg d pp_target t
+        Fmt.(list ~sep:comma pp_reg)
+        args
+  | Call (None, t, args) ->
+      Fmt.pf ppf "call %a(%a)" pp_target t Fmt.(list ~sep:comma pp_reg) args
+  | MonitorEnter (r, id) -> Fmt.pf ppf "monitorenter %a @@%d" pp_reg r id
+  | MonitorExit (r, id) -> Fmt.pf ppf "monitorexit %a @@%d" pp_reg r id
+  | ThreadStart r -> Fmt.pf ppf "start %a" pp_reg r
+  | ThreadJoin r -> Fmt.pf ppf "join %a" pp_reg r
+  | Wait r -> Fmt.pf ppf "wait %a" pp_reg r
+  | Notify (r, false) -> Fmt.pf ppf "notify %a" pp_reg r
+  | Notify (r, true) -> Fmt.pf ppf "notifyAll %a" pp_reg r
+  | Yield -> Fmt.string ppf "yield"
+  | Print (tag, r) ->
+      Fmt.pf ppf "print %S%a" tag Fmt.(option (any ", " ++ pp_reg)) r
+  | Trace t -> (
+      let k =
+        match t.tr_kind with
+        | Drd_core.Event.Read -> "R"
+        | Drd_core.Event.Write -> "W"
+      in
+      match t.tr_target with
+      | Tr_field (o, fm) ->
+          Fmt.pf ppf "trace %s %a.%s [site %d]" k pp_reg o fm.fm_name t.tr_site
+      | Tr_static sm ->
+          Fmt.pf ppf "trace %s %s.%s [site %d]" k sm.sm_class sm.sm_name
+            t.tr_site
+      | Tr_array (a, i) ->
+          Fmt.pf ppf "trace %s %a[%a] [site %d]" k pp_reg a pp_reg i t.tr_site)
+
+let pp_term ppf = function
+  | Goto l -> Fmt.pf ppf "goto B%d" l
+  | If (c, t, f) -> Fmt.pf ppf "if %a then B%d else B%d" pp_reg c t f
+  | Ret None -> Fmt.string ppf "return"
+  | Ret (Some r) -> Fmt.pf ppf "return %a" pp_reg r
+  | Trap msg -> Fmt.pf ppf "trap %S" msg
+
+let pp_instr ppf i = Fmt.pf ppf "%4d: %a" i.i_id pp_op i.i_op
+
+let pp_block ppf b =
+  Fmt.pf ppf "@[<v2>B%d:@ %a%a@]" b.b_label
+    Fmt.(list ~sep:cut pp_instr ++ any "@ ")
+    b.b_instrs pp_term b.b_term
+
+let pp_mir ppf m =
+  Fmt.pf ppf "@[<v2>%s%s %s (%d params, %d regs):@ %a@]"
+    (if m.mir_static then "static " else "")
+    (if m.mir_sync then "synchronized" else "")
+    (mir_key m) m.mir_nparams m.mir_nregs
+    Fmt.(list ~sep:cut pp_block)
+    (Array.to_list m.mir_blocks)
+
+let pp_program ppf p =
+  iter_mirs p (fun m -> Fmt.pf ppf "%a@.@." pp_mir m)

@@ -1,0 +1,30 @@
+(* Source-site registry.  Every traced access gets a site id; the table
+   renders sites for race reports ("Class.method:line (write o.f)"). *)
+
+type info = {
+  s_method : string; (* "Class.name" *)
+  s_line : int;
+  s_desc : string; (* e.g. "write f" or "read [..]" *)
+  s_iid : int; (* id of the access instruction the trace observes *)
+}
+
+type t = { mutable infos : info list; mutable n : int }
+
+let create () = { infos = []; n = 0 }
+
+let add t info =
+  let id = t.n in
+  t.n <- t.n + 1;
+  t.infos <- info :: t.infos;
+  id
+
+let get t id = List.nth t.infos (t.n - 1 - id)
+
+let count t = t.n
+
+let name t id =
+  let i = get t id in
+  Printf.sprintf "%s:%d (%s)" i.s_method i.s_line i.s_desc
+
+let iter t f =
+  List.iteri (fun rev_idx info -> f (t.n - 1 - rev_idx) info) t.infos

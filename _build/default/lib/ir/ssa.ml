@@ -1,0 +1,160 @@
+(* SSA construction "on the side": the IR is not rewritten; instead we
+   compute, for every register use at every instruction, the SSA value
+   (definition instance) that reaches it.  Phi values are placed with
+   the standard iterated-dominance-frontier algorithm and renaming is a
+   dominator-tree walk.  The result feeds dominance-based value
+   numbering (paper Section 6.2: "conversion to SSA form is performed,
+   during which the dominance relation is computed"). *)
+
+type value = int (* SSA value id *)
+
+type def_site =
+  | Dparam of int (* register holding a parameter at entry *)
+  | Dinstr of int (* instruction id *)
+  | Dphi of int * int (* block, register *)
+
+type t = {
+  dom : Dominance.t;
+  nvalues : int;
+  def_site : def_site array; (* SSA value -> its definition site *)
+  use_val : (int * int, value) Hashtbl.t; (* (instr id, reg) -> value *)
+  phi_args : (int * int, (int * value) list) Hashtbl.t;
+      (* (block, reg) -> (pred block, incoming value) list *)
+  phis_of_block : (int, int list) Hashtbl.t; (* block -> regs with phis *)
+}
+
+let compute (m : Ir.mir) : t =
+  let dom = Dominance.compute m in
+  let nregs = m.Ir.mir_nregs in
+  let nblocks = Ir.n_blocks m in
+  (* Definition blocks per register. *)
+  let def_blocks = Array.make nregs [] in
+  for r = 0 to m.Ir.mir_nparams - 1 do
+    def_blocks.(r) <- [ m.Ir.mir_entry ]
+  done;
+  Ir.iter_blocks m (fun b ->
+      if Dominance.reachable dom b.Ir.b_label then
+        List.iter
+          (fun (i : Ir.instr) ->
+            match Ir.def i.Ir.i_op with
+            | Some d -> def_blocks.(d) <- b.Ir.b_label :: def_blocks.(d)
+            | None -> ())
+          b.Ir.b_instrs);
+  (* Phi placement via iterated dominance frontiers. *)
+  let df = Dominance.frontiers m dom in
+  let has_phi = Hashtbl.create 64 in
+  for r = 0 to nregs - 1 do
+    let work = ref def_blocks.(r) in
+    let in_work = Hashtbl.create 8 in
+    List.iter (fun b -> Hashtbl.replace in_work b ()) !work;
+    while !work <> [] do
+      match !work with
+      | [] -> ()
+      | b :: rest ->
+          work := rest;
+          List.iter
+            (fun f ->
+              if not (Hashtbl.mem has_phi (f, r)) then begin
+                Hashtbl.replace has_phi (f, r) ();
+                if not (Hashtbl.mem in_work f) then begin
+                  Hashtbl.replace in_work f ();
+                  work := f :: !work
+                end
+              end)
+            df.(b)
+    done
+  done;
+  let phis_of_block = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (b, r) () ->
+      let cur = Option.value (Hashtbl.find_opt phis_of_block b) ~default:[] in
+      Hashtbl.replace phis_of_block b (r :: cur))
+    has_phi;
+  (* Renaming. *)
+  let nvalues = ref 0 in
+  let def_sites = ref [] in
+  let fresh_value site =
+    let v = !nvalues in
+    incr nvalues;
+    def_sites := site :: !def_sites;
+    v
+  in
+  let stacks = Array.make nregs [] in
+  let use_val = Hashtbl.create 256 in
+  let phi_args = Hashtbl.create 32 in
+  let phi_val = Hashtbl.create 32 in
+  (* Parameters are defined at entry. *)
+  let param_vals =
+    List.init m.Ir.mir_nparams (fun r -> (r, fresh_value (Dparam r)))
+  in
+  let preds = Array.make nblocks [] in
+  Array.iter
+    (fun b ->
+      List.iter (fun s -> preds.(s) <- b :: preds.(s)) (Ir.successors m b))
+    dom.Dominance.rpo;
+  let top r = match stacks.(r) with v :: _ -> Some v | [] -> None in
+  let rec walk b =
+    let pushed = ref [] in
+    let push r v =
+      stacks.(r) <- v :: stacks.(r);
+      pushed := r :: !pushed
+    in
+    (* Phis of this block define first. *)
+    let phis = Option.value (Hashtbl.find_opt phis_of_block b) ~default:[] in
+    List.iter
+      (fun r ->
+        let v = fresh_value (Dphi (b, r)) in
+        Hashtbl.replace phi_val (b, r) v;
+        push r v)
+      phis;
+    if b = m.Ir.mir_entry then
+      List.iter (fun (r, v) -> push r v) param_vals;
+    let blk = Ir.block m b in
+    List.iter
+      (fun (i : Ir.instr) ->
+        List.iter
+          (fun r ->
+            match top r with
+            | Some v -> Hashtbl.replace use_val (i.Ir.i_id, r) v
+            | None -> ())
+          (Ir.uses i.Ir.i_op);
+        match Ir.def i.Ir.i_op with
+        | Some d -> push d (fresh_value (Dinstr i.Ir.i_id))
+        | None -> ())
+      blk.Ir.b_instrs;
+    (* Record phi arguments flowing along the edges to successors. *)
+    List.iter
+      (fun s ->
+        let sphis = Option.value (Hashtbl.find_opt phis_of_block s) ~default:[] in
+        List.iter
+          (fun r ->
+            match top r with
+            | Some v ->
+                let cur =
+                  Option.value (Hashtbl.find_opt phi_args (s, r)) ~default:[]
+                in
+                Hashtbl.replace phi_args (s, r) ((b, v) :: cur)
+            | None -> ())
+          sphis)
+      (Ir.successors m b);
+    List.iter walk dom.Dominance.children.(b);
+    List.iter (fun r -> stacks.(r) <- List.tl stacks.(r)) !pushed
+  in
+  walk m.Ir.mir_entry;
+  {
+    dom;
+    nvalues = !nvalues;
+    def_site = Array.of_list (List.rev !def_sites);
+    use_val;
+    phi_args;
+    phis_of_block;
+  }
+
+(* The SSA value reaching the use of register [r] at instruction [iid];
+   [None] for uses in unreachable code or of never-defined registers. *)
+let value_of_use t iid r = Hashtbl.find_opt t.use_val (iid, r)
+
+let def_site_of t v = t.def_site.(v)
+
+let phi_args_of t block r =
+  Option.value (Hashtbl.find_opt t.phi_args (block, r)) ~default:[]

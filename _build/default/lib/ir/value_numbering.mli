@@ -1,0 +1,18 @@
+(** Dominance-based global value numbering over the side-SSA form.
+
+    Two uses with the same value number hold the same value in every
+    execution — the property behind the static weaker-than check
+    [valnum(o_i) = valnum(o_j)] (paper Section 6.1).  Pure operations
+    (constants, copies, arithmetic with commutative normalization,
+    array length, class objects) are numbered by congruence; memory
+    reads, allocations and calls are fresh; phis reuse their arguments'
+    number only when all incoming values agree, so any loop-carried
+    value is fresh (the conservative choice). *)
+
+type t
+
+val compute : Ir.mir -> Ssa.t -> t
+
+val vn_of_use : t -> int -> int -> int option
+(** [vn_of_use t iid reg]: the value number of the use of [reg] at
+    instruction [iid]. *)

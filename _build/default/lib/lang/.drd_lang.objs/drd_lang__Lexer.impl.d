@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Ast Lexing List Printf Token

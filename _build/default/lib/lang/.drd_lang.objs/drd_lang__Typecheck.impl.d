@@ -1,0 +1,1 @@
+lib/lang/typecheck.ml: Array Ast Format Hashtbl List Option Seq Tast

@@ -1,0 +1,107 @@
+(* Abstract syntax of MiniJava, the concurrent object-oriented source
+   language of this reproduction.  It models the Java subset the paper's
+   benchmarks rely on: classes with single inheritance, instance/static
+   fields and methods, synchronized methods and blocks, threads
+   (subclasses of the built-in [Thread] with [start]/[join]), arrays,
+   and structured control flow. *)
+
+type pos = { line : int; col : int }
+
+let dummy_pos = { line = 0; col = 0 }
+
+let pp_pos ppf p = Fmt.pf ppf "%d:%d" p.line p.col
+
+type ty =
+  | Tint
+  | Tbool
+  | Tclass of string
+  | Tarray of ty
+  | Tvoid (* return types only *)
+
+let rec pp_ty ppf = function
+  | Tint -> Fmt.string ppf "int"
+  | Tbool -> Fmt.string ppf "boolean"
+  | Tclass c -> Fmt.string ppf c
+  | Tarray t -> Fmt.pf ppf "%a[]" pp_ty t
+  | Tvoid -> Fmt.string ppf "void"
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And (* short-circuit && *)
+  | Or (* short-circuit || *)
+
+type unop = Neg | Not
+
+type expr = { e : expr_kind; epos : pos }
+
+and expr_kind =
+  | Int of int
+  | Bool of bool
+  | Null
+  | This
+  | Ident of string (* local, field of this, static field, or class name *)
+  | Field of expr * string (* e.f; also e.length for arrays *)
+  | Index of expr * expr
+  | Call of expr option * string * expr list
+      (* receiver (None = unqualified: this-call or static in same class) *)
+  | New of string * expr list
+  | NewArray of ty * expr list (* element type, one length per dimension *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+
+type lvalue =
+  | LIdent of string
+  | LField of expr * string
+  | LIndex of expr * expr
+
+type stmt = { s : stmt_kind; spos : pos }
+
+and stmt_kind =
+  | Decl of ty * string * expr option
+  | Assign of lvalue * expr
+  | Expr of expr (* call for effect *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Return of expr option
+  | Sync of expr * stmt list (* synchronized (e) { ... } *)
+  | Print of string * expr option (* print("tag", e?) *)
+  | Break
+  | Continue
+
+type mdecl = {
+  m_name : string;
+  m_static : bool;
+  m_sync : bool;
+  m_ret : ty;
+  m_params : (ty * string) list;
+  m_body : stmt list;
+  m_pos : pos;
+}
+
+type fdecl = { f_name : string; f_static : bool; f_ty : ty; f_pos : pos }
+
+type cdecl = {
+  c_name : string;
+  c_super : string option; (* None = Object *)
+  c_fields : fdecl list;
+  c_methods : mdecl list;
+  c_ctors : mdecl list; (* constructors: m_name = class name, m_ret = Tvoid *)
+  c_pos : pos;
+}
+
+type program = cdecl list
+
+(* Names of the built-in root classes. *)
+let object_class = "Object"
+let thread_class = "Thread"

@@ -1,0 +1,97 @@
+{
+(* Lexer for MiniJava.  Produces [Token.t] values; tracks line/column
+   positions for error messages and race-report sites. *)
+
+open Token
+
+exception Error of string * Ast.pos
+
+let pos_of lexbuf =
+  let p = Lexing.lexeme_start_p lexbuf in
+  { Ast.line = p.Lexing.pos_lnum; col = p.Lexing.pos_cnum - p.Lexing.pos_bol + 1 }
+
+let keywords =
+  [
+    ("class", KW_CLASS);
+    ("extends", KW_EXTENDS);
+    ("static", KW_STATIC);
+    ("synchronized", KW_SYNCHRONIZED);
+    ("void", KW_VOID);
+    ("int", KW_INT);
+    ("boolean", KW_BOOLEAN);
+    ("if", KW_IF);
+    ("else", KW_ELSE);
+    ("while", KW_WHILE);
+    ("for", KW_FOR);
+    ("return", KW_RETURN);
+    ("new", KW_NEW);
+    ("null", KW_NULL);
+    ("true", KW_TRUE);
+    ("false", KW_FALSE);
+    ("this", KW_THIS);
+    ("break", KW_BREAK);
+    ("continue", KW_CONTINUE);
+    ("print", KW_PRINT);
+  ]
+
+let kind_of_word w =
+  match List.assoc_opt w keywords with Some k -> k | None -> IDENT w
+}
+
+let digit = ['0'-'9']
+let alpha = ['a'-'z' 'A'-'Z' '_']
+let ident = alpha (alpha | digit)*
+let ws = [' ' '\t' '\r']
+
+rule token = parse
+  | ws+            { token lexbuf }
+  | '\n'           { Lexing.new_line lexbuf; token lexbuf }
+  | "//" [^ '\n']* { token lexbuf }
+  | "/*"           { comment (pos_of lexbuf) lexbuf; token lexbuf }
+  | digit+ as n    { { kind = INT (int_of_string n); pos = pos_of lexbuf } }
+  | '"' ([^ '"' '\n']* as s) '"'
+                   { { kind = STRING s; pos = pos_of lexbuf } }
+  | ident as w     { { kind = kind_of_word w; pos = pos_of lexbuf } }
+  | "("            { { kind = LPAREN; pos = pos_of lexbuf } }
+  | ")"            { { kind = RPAREN; pos = pos_of lexbuf } }
+  | "{"            { { kind = LBRACE; pos = pos_of lexbuf } }
+  | "}"            { { kind = RBRACE; pos = pos_of lexbuf } }
+  | "["            { { kind = LBRACKET; pos = pos_of lexbuf } }
+  | "]"            { { kind = RBRACKET; pos = pos_of lexbuf } }
+  | ";"            { { kind = SEMI; pos = pos_of lexbuf } }
+  | ","            { { kind = COMMA; pos = pos_of lexbuf } }
+  | "."            { { kind = DOT; pos = pos_of lexbuf } }
+  | "=="           { { kind = EQ; pos = pos_of lexbuf } }
+  | "!="           { { kind = NE; pos = pos_of lexbuf } }
+  | "<="           { { kind = LE; pos = pos_of lexbuf } }
+  | ">="           { { kind = GE; pos = pos_of lexbuf } }
+  | "<"            { { kind = LT; pos = pos_of lexbuf } }
+  | ">"            { { kind = GT; pos = pos_of lexbuf } }
+  | "&&"           { { kind = ANDAND; pos = pos_of lexbuf } }
+  | "||"           { { kind = OROR; pos = pos_of lexbuf } }
+  | "!"            { { kind = BANG; pos = pos_of lexbuf } }
+  | "="            { { kind = ASSIGN; pos = pos_of lexbuf } }
+  | "+"            { { kind = PLUS; pos = pos_of lexbuf } }
+  | "-"            { { kind = MINUS; pos = pos_of lexbuf } }
+  | "*"            { { kind = STAR; pos = pos_of lexbuf } }
+  | "/"            { { kind = SLASH; pos = pos_of lexbuf } }
+  | "%"            { { kind = PERCENT; pos = pos_of lexbuf } }
+  | eof            { { kind = EOF; pos = pos_of lexbuf } }
+  | _ as c
+      { raise (Error (Printf.sprintf "unexpected character %C" c, pos_of lexbuf)) }
+
+and comment start = parse
+  | "*/"  { () }
+  | '\n'  { Lexing.new_line lexbuf; comment start lexbuf }
+  | eof   { raise (Error ("unterminated comment", start)) }
+  | _     { comment start lexbuf }
+
+{
+let tokenize source =
+  let lexbuf = Lexing.from_string source in
+  let rec go acc =
+    let t = token lexbuf in
+    if t.kind = EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []
+}

@@ -1,0 +1,11 @@
+(** Recursive-descent parser for MiniJava source text. *)
+
+exception Error of string * Ast.pos
+(** Syntax error with a message and the position of the offending token. *)
+
+val parse_program : string -> Ast.program
+(** Tokenize and parse a full compilation unit (a list of class
+    declarations).  Raises {!Error} or [Lexer.Error] on invalid input. *)
+
+val parse_expr_string : string -> Ast.expr
+(** Parse a single expression; used by tests. *)

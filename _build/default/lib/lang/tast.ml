@@ -1,0 +1,135 @@
+(* Typed abstract syntax.  The typechecker resolves every identifier to
+   a local slot, an instance field (with its layout index), a static
+   field slot, or a method, and annotates every expression with its
+   type.  This is the representation consumed by the IR compiler and by
+   the AST-level loop-peeling transformation. *)
+
+open Ast
+
+type field_info = {
+  fld_owner : string; (* declaring class *)
+  fld_name : string;
+  fld_ty : ty;
+  fld_index : int; (* index into the object's field array *)
+}
+
+type sfield_info = {
+  sf_class : string;
+  sf_name : string;
+  sf_ty : ty;
+  sf_slot : int; (* index into the global statics array *)
+}
+
+type texpr = { te : texpr_kind; tty : ty; tepos : pos }
+
+and texpr_kind =
+  | TInt of int
+  | TBool of bool
+  | TNull
+  | TThis
+  | TLocal of int (* slot; slot 0 is [this] in instance methods *)
+  | TGetField of texpr * field_info
+  | TGetStatic of sfield_info
+  | TIndex of texpr * texpr
+  | TLen of texpr (* e.length on arrays *)
+  | TCall of tcall
+  | TNew of string * texpr list (* class name; ctor checked separately *)
+  | TNewArray of ty * texpr list (* element type after peeling dims, sized dims *)
+  | TBinop of binop * texpr * texpr
+  | TUnop of unop * texpr
+
+and tcall =
+  | CVirtual of texpr * string * texpr list * ty
+      (* receiver, method name (dispatched on dynamic class), args, return type *)
+  | CStatic of string * string * texpr list * ty (* class, method, args, ret *)
+  | CStart of texpr (* Thread.start() *)
+  | CJoin of texpr (* Thread.join() *)
+  | CYield (* Thread.yield(): scheduling hint, static *)
+  | CWait of texpr (* o.wait(): release the monitor and sleep *)
+  | CNotify of texpr (* o.notify() *)
+  | CNotifyAll of texpr (* o.notifyAll() *)
+
+type tstmt = { ts : tstmt_kind; tspos : pos }
+
+and tstmt_kind =
+  | TDecl of int * ty * texpr option (* slot, declared type, initializer *)
+  | TAssignLocal of int * texpr
+  | TSetField of texpr * field_info * texpr
+  | TSetStatic of sfield_info * texpr
+  | TSetIndex of texpr * texpr * texpr (* array, index, value *)
+  | TExpr of texpr
+  | TIf of texpr * tstmt list * tstmt list
+  | TWhile of texpr * tstmt list
+  | TFor of tstmt option * texpr option * tstmt option * tstmt list
+  | TReturn of texpr option
+  | TSync of texpr * tstmt list
+  | TPrint of string * texpr option
+  | TBreak
+  | TContinue
+
+type tmethod = {
+  tm_class : string;
+  tm_name : string;
+  tm_static : bool;
+  tm_sync : bool;
+  tm_ret : ty;
+  tm_param_tys : ty list;
+  tm_nslots : int; (* total local slots incl. this and params *)
+  tm_body : tstmt list;
+  tm_pos : pos;
+  tm_is_ctor : bool;
+}
+
+(* Key identifying a method implementation: class that declares it plus
+   its name ("<init>" for constructors). *)
+let method_key cls name = cls ^ "." ^ name
+
+type class_info = {
+  cls_name : string;
+  cls_super : string option;
+  cls_fields : field_info array; (* full layout, inherited first *)
+  cls_vtable : (string * string) list;
+      (* method name -> implementing class (for dynamic dispatch) *)
+  cls_is_thread : bool; (* subclass of Thread *)
+  cls_pos : pos;
+}
+
+type tprogram = {
+  classes : (string, class_info) Hashtbl.t;
+  methods : (string, tmethod) Hashtbl.t; (* keyed by [method_key] *)
+  statics : sfield_info array;
+  main_class : string; (* class defining [static void main()] *)
+}
+
+let find_class p name = Hashtbl.find_opt p.classes name
+
+let find_method p cls name = Hashtbl.find_opt p.methods (method_key cls name)
+
+(* Dynamic dispatch resolution: the implementing class of [name] for an
+   object of dynamic class [cls]. *)
+let dispatch p cls name =
+  match find_class p cls with
+  | None -> None
+  | Some ci -> (
+      match List.assoc_opt name ci.cls_vtable with
+      | Some impl -> find_method p impl name
+      | None -> None)
+
+let rec is_subclass p sub super =
+  sub = super
+  ||
+  match find_class p sub with
+  | Some { cls_super = Some s; _ } -> is_subclass p s super
+  | _ -> false
+
+(* Iterate methods in a stable order (sorted by key) — analyses rely on
+   determinism. *)
+let iter_methods p f =
+  Hashtbl.fold (fun k m acc -> (k, m) :: acc) p.methods []
+  |> List.sort compare
+  |> List.iter (fun (_, m) -> f m)
+
+let fold_methods p f init =
+  Hashtbl.fold (fun k m acc -> (k, m) :: acc) p.methods []
+  |> List.sort compare
+  |> List.fold_left (fun acc (_, m) -> f acc m) init

@@ -1,0 +1,103 @@
+(* Tokens produced by the lexer; each carries its source position. *)
+
+type kind =
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  | KW_CLASS
+  | KW_EXTENDS
+  | KW_STATIC
+  | KW_SYNCHRONIZED
+  | KW_VOID
+  | KW_INT
+  | KW_BOOLEAN
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | KW_NEW
+  | KW_NULL
+  | KW_TRUE
+  | KW_FALSE
+  | KW_THIS
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_PRINT
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | DOT
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+type t = { kind : kind; pos : Ast.pos }
+
+let describe = function
+  | INT n -> Printf.sprintf "integer %d" n
+  | STRING s -> Printf.sprintf "string %S" s
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | KW_CLASS -> "'class'"
+  | KW_EXTENDS -> "'extends'"
+  | KW_STATIC -> "'static'"
+  | KW_SYNCHRONIZED -> "'synchronized'"
+  | KW_VOID -> "'void'"
+  | KW_INT -> "'int'"
+  | KW_BOOLEAN -> "'boolean'"
+  | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'"
+  | KW_WHILE -> "'while'"
+  | KW_FOR -> "'for'"
+  | KW_RETURN -> "'return'"
+  | KW_NEW -> "'new'"
+  | KW_NULL -> "'null'"
+  | KW_TRUE -> "'true'"
+  | KW_FALSE -> "'false'"
+  | KW_THIS -> "'this'"
+  | KW_BREAK -> "'break'"
+  | KW_CONTINUE -> "'continue'"
+  | KW_PRINT -> "'print'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | DOT -> "'.'"
+  | ASSIGN -> "'='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EQ -> "'=='"
+  | NE -> "'!='"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | BANG -> "'!'"
+  | EOF -> "end of input"

@@ -1,0 +1,766 @@
+open Ast
+open Tast
+
+exception Error of string * Ast.pos
+
+let err pos fmt = Format.kasprintf (fun msg -> raise (Error (msg, pos))) fmt
+
+(* The type of the [null] literal: assignable to any reference type. *)
+let null_ty = Tclass "<null>"
+let is_null_ty t = t = null_ty
+
+let is_ref_ty = function Tclass _ | Tarray _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: class table, field layouts, vtables, method signatures.      *)
+
+let builtin_classes =
+  [
+    {
+      c_name = object_class;
+      c_super = None;
+      c_fields = [];
+      c_methods = [];
+      c_ctors = [];
+      c_pos = dummy_pos;
+    };
+    {
+      c_name = thread_class;
+      c_super = Some object_class;
+      c_fields = [];
+      c_methods =
+        [
+          {
+            m_name = "run";
+            m_static = false;
+            m_sync = false;
+            m_ret = Tvoid;
+            m_params = [];
+            m_body = [];
+            m_pos = dummy_pos;
+          };
+        ];
+      c_ctors = [];
+      c_pos = dummy_pos;
+    };
+  ]
+
+type builder = {
+  decls : (string, cdecl) Hashtbl.t;
+  classes : (string, class_info) Hashtbl.t;
+  methods : (string, tmethod) Hashtbl.t;
+  mutable statics : sfield_info list; (* reverse slot order *)
+  mutable nstatics : int;
+}
+
+let check_ty b pos ty =
+  let rec go = function
+    | Tint | Tbool | Tvoid -> ()
+    | Tclass c ->
+        if not (Hashtbl.mem b.decls c) then err pos "unknown class %s" c
+    | Tarray t -> go t
+  in
+  go ty
+
+let rec build_class b (d : cdecl) : class_info =
+  match Hashtbl.find_opt b.classes d.c_name with
+  | Some ci -> ci
+  | None ->
+      let super_info =
+        match d.c_super with
+        | None ->
+            if d.c_name = object_class then None
+            else Some (build_class_by_name b d.c_pos object_class)
+        | Some s -> (
+            if s = d.c_name then err d.c_pos "class %s extends itself" s;
+            match Hashtbl.find_opt b.decls s with
+            | None -> err d.c_pos "unknown superclass %s of %s" s d.c_name
+            | Some sd -> Some (build_class b sd))
+      in
+      let inherited_fields =
+        match super_info with Some s -> Array.to_list s.cls_fields | None -> []
+      in
+      let instance_fields =
+        List.filter (fun f -> not f.f_static) d.c_fields
+      in
+      List.iter
+        (fun (f : fdecl) ->
+          check_ty b f.f_pos f.f_ty;
+          if f.f_ty = Tvoid then err f.f_pos "field %s has type void" f.f_name)
+        d.c_fields;
+      (* Reject duplicate field names within the class (shadowing a
+         superclass field is also rejected to keep resolution simple). *)
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (f : fdecl) ->
+          if Hashtbl.mem seen f.f_name then
+            err f.f_pos "duplicate field %s in class %s" f.f_name d.c_name;
+          Hashtbl.add seen f.f_name ())
+        d.c_fields;
+      List.iter
+        (fun (fi : field_info) ->
+          if Hashtbl.mem seen fi.fld_name then
+            err d.c_pos "field %s of %s shadows a superclass field" fi.fld_name
+              d.c_name)
+        inherited_fields;
+      let own_fields =
+        List.mapi
+          (fun i (f : fdecl) ->
+            {
+              fld_owner = d.c_name;
+              fld_name = f.f_name;
+              fld_ty = f.f_ty;
+              fld_index = List.length inherited_fields + i;
+            })
+          instance_fields
+      in
+      (* Static fields get global slots. *)
+      List.iter
+        (fun (f : fdecl) ->
+          if f.f_static then begin
+            b.statics <-
+              {
+                sf_class = d.c_name;
+                sf_name = f.f_name;
+                sf_ty = f.f_ty;
+                sf_slot = b.nstatics;
+              }
+              :: b.statics;
+            b.nstatics <- b.nstatics + 1
+          end)
+        d.c_fields;
+      (* vtable: superclass entries overridden by own instance methods. *)
+      let super_vtable =
+        match super_info with Some s -> s.cls_vtable | None -> []
+      in
+      let own_methods = List.filter (fun m -> not m.m_static) d.c_methods in
+      let vtable =
+        List.fold_left
+          (fun vt (m : mdecl) ->
+            (m.m_name, d.c_name) :: List.remove_assoc m.m_name vt)
+          super_vtable own_methods
+      in
+      let is_thread =
+        d.c_name = thread_class
+        || match super_info with Some s -> s.cls_is_thread | None -> false
+      in
+      let ci =
+        {
+          cls_name = d.c_name;
+          cls_super = (match super_info with Some s -> Some s.cls_name | None -> None);
+          cls_fields = Array.of_list (inherited_fields @ own_fields);
+          cls_vtable = vtable;
+          cls_is_thread = is_thread;
+          cls_pos = d.c_pos;
+        }
+      in
+      Hashtbl.add b.classes d.c_name ci;
+      ci
+
+and build_class_by_name b pos name =
+  match Hashtbl.find_opt b.decls name with
+  | Some d -> build_class b d
+  | None -> err pos "unknown class %s" name
+
+(* Register the signature of a method (body checked in pass 2). *)
+let register_method b cls (m : mdecl) ~is_ctor =
+  let name = if is_ctor then "<init>" else m.m_name in
+  let key = method_key cls name in
+  if Hashtbl.mem b.methods key then
+    err m.m_pos "duplicate method %s in class %s (no overloading)" m.m_name cls;
+  List.iter (fun (ty, _) -> check_ty b m.m_pos ty) m.m_params;
+  check_ty b m.m_pos m.m_ret;
+  List.iter
+    (fun (ty, p) ->
+      if ty = Tvoid then err m.m_pos "parameter %s has type void" p)
+    m.m_params;
+  Hashtbl.add b.methods key
+    {
+      tm_class = cls;
+      tm_name = name;
+      tm_static = m.m_static;
+      tm_sync = m.m_sync;
+      tm_ret = m.m_ret;
+      tm_param_tys = List.map fst m.m_params;
+      tm_nslots = 0;
+      tm_body = [];
+      tm_pos = m.m_pos;
+      tm_is_ctor = is_ctor;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: method bodies.                                               *)
+
+type env = {
+  b : builder;
+  cls : class_info; (* current class *)
+  meth : tmethod; (* signature of the method being checked *)
+  mutable scopes : (string * (int * ty)) list list;
+  mutable nslots : int;
+  mutable loop_depth : int;
+}
+
+let prog_view b =
+  (* A tprogram view over the builder for subtype queries. *)
+  {
+    classes = b.classes;
+    methods = b.methods;
+    statics = [||];
+    main_class = "";
+  }
+
+let assignable b from_ty to_ty =
+  match (from_ty, to_ty) with
+  | Tint, Tint | Tbool, Tbool -> true
+  | t, (Tclass _ | Tarray _) when is_null_ty t -> true
+  | Tclass a, Tclass c -> is_subclass (prog_view b) a c
+  | Tarray a, Tarray c -> a = c (* arrays are invariant *)
+  | _ -> false
+
+let lookup_local env name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+        match List.assoc_opt name scope with
+        | Some v -> Some v
+        | None -> go rest)
+  in
+  go env.scopes
+
+let add_local env pos name ty =
+  (match env.scopes with
+  | scope :: _ when List.mem_assoc name scope ->
+      err pos "variable %s already declared in this scope" name
+  | _ -> ());
+  let slot = env.nslots in
+  env.nslots <- env.nslots + 1;
+  (match env.scopes with
+  | scope :: rest -> env.scopes <- ((name, (slot, ty)) :: scope) :: rest
+  | [] -> assert false);
+  slot
+
+let rec find_field b cls name =
+  match Hashtbl.find_opt b.classes cls with
+  | None -> None
+  | Some ci -> (
+      match
+        Array.to_seq ci.cls_fields
+        |> Seq.filter (fun f -> f.fld_name = name)
+        |> Seq.uncons
+      with
+      | Some (f, _) -> Some f
+      | None -> (
+          match ci.cls_super with
+          | Some s -> find_field b s name
+          | None -> None))
+
+let rec find_static b cls name =
+  match
+    List.find_opt (fun sf -> sf.sf_class = cls && sf.sf_name = name) b.statics
+  with
+  | Some sf -> Some sf
+  | None -> (
+      match Hashtbl.find_opt b.classes cls with
+      | Some { cls_super = Some s; _ } -> find_static b s name
+      | _ -> None)
+
+(* Find an instance method signature along the superclass chain. *)
+let rec find_instance_method b cls name =
+  match Hashtbl.find_opt b.methods (method_key cls name) with
+  | Some m when not m.tm_static -> Some m
+  | _ -> (
+      match Hashtbl.find_opt b.classes cls with
+      | Some { cls_super = Some s; _ } -> find_instance_method b s name
+      | _ -> None)
+
+let rec find_static_method b cls name =
+  match Hashtbl.find_opt b.methods (method_key cls name) with
+  | Some m when m.tm_static -> Some m
+  | _ -> (
+      match Hashtbl.find_opt b.classes cls with
+      | Some { cls_super = Some s; _ } -> find_static_method b s name
+      | _ -> None)
+
+let is_class_name env name =
+  Hashtbl.mem env.b.classes name && lookup_local env name = None
+
+let is_thread_class env name =
+  match Hashtbl.find_opt env.b.classes name with
+  | Some ci -> ci.cls_is_thread
+  | None -> false
+
+let rec check_expr env (e : expr) : texpr =
+  let pos = e.epos in
+  match e.e with
+  | Int n -> { te = TInt n; tty = Tint; tepos = pos }
+  | Bool v -> { te = TBool v; tty = Tbool; tepos = pos }
+  | Null -> { te = TNull; tty = null_ty; tepos = pos }
+  | This ->
+      if env.meth.tm_static then err pos "this used in a static method";
+      { te = TThis; tty = Tclass env.cls.cls_name; tepos = pos }
+  | Ident name -> (
+      match lookup_local env name with
+      | Some (slot, ty) -> { te = TLocal slot; tty = ty; tepos = pos }
+      | None -> (
+          match
+            if env.meth.tm_static then None
+            else find_field env.b env.cls.cls_name name
+          with
+          | Some fi ->
+              {
+                te =
+                  TGetField
+                    ( { te = TThis; tty = Tclass env.cls.cls_name; tepos = pos },
+                      fi );
+                tty = fi.fld_ty;
+                tepos = pos;
+              }
+          | None -> (
+              match find_static env.b env.cls.cls_name name with
+              | Some sf -> { te = TGetStatic sf; tty = sf.sf_ty; tepos = pos }
+              | None -> err pos "unknown variable %s" name)))
+  | Field (recv, fname) -> (
+      match recv.e with
+      | Ident cname when is_class_name env cname -> (
+          match find_static env.b cname fname with
+          | Some sf -> { te = TGetStatic sf; tty = sf.sf_ty; tepos = pos }
+          | None -> err pos "unknown static field %s.%s" cname fname)
+      | _ -> (
+          let trecv = check_expr env recv in
+          match trecv.tty with
+          | Tarray _ when fname = "length" ->
+              { te = TLen trecv; tty = Tint; tepos = pos }
+          | Tclass cname -> (
+              match find_field env.b cname fname with
+              | Some fi ->
+                  { te = TGetField (trecv, fi); tty = fi.fld_ty; tepos = pos }
+              | None -> err pos "unknown field %s of class %s" fname cname)
+          | t -> err pos "field access on non-object of type %a" pp_ty t))
+  | Index (arr, idx) -> (
+      let tarr = check_expr env arr in
+      let tidx = check_expr env idx in
+      if tidx.tty <> Tint then err idx.epos "array index must be int";
+      match tarr.tty with
+      | Tarray elem -> { te = TIndex (tarr, tidx); tty = elem; tepos = pos }
+      | t -> err arr.epos "indexing a non-array of type %a" pp_ty t)
+  | Call (recv, name, args) -> check_call env pos recv name args
+  | New (cname, args) -> (
+      if not (Hashtbl.mem env.b.classes cname) then
+        err pos "unknown class %s" cname;
+      let targs = List.map (check_expr env) args in
+      match Hashtbl.find_opt env.b.methods (method_key cname "<init>") with
+      | Some ctor ->
+          check_args env pos (cname ^ " constructor") ctor.tm_param_tys targs;
+          { te = TNew (cname, targs); tty = Tclass cname; tepos = pos }
+      | None ->
+          if args <> [] then
+            err pos "class %s has no constructor but arguments were given"
+              cname;
+          { te = TNew (cname, []); tty = Tclass cname; tepos = pos })
+  | NewArray (base, dims) ->
+      check_ty env.b pos base;
+      if base = Tvoid then err pos "array of void";
+      let tdims =
+        List.map
+          (fun d ->
+            let td = check_expr env d in
+            if td.tty <> Tint then err d.epos "array dimension must be int";
+            td)
+          dims
+      in
+      let ty =
+        List.fold_left (fun acc _ -> Tarray acc) base tdims
+      in
+      { te = TNewArray (base, tdims); tty = ty; tepos = pos }
+  | Binop (op, l, r) -> (
+      let tl = check_expr env l and tr = check_expr env r in
+      let ity t = if t <> Tint then err pos "operand must be int" in
+      let bty t = if t <> Tbool then err pos "operand must be boolean" in
+      match op with
+      | Add | Sub | Mul | Div | Mod ->
+          ity tl.tty;
+          ity tr.tty;
+          { te = TBinop (op, tl, tr); tty = Tint; tepos = pos }
+      | Lt | Le | Gt | Ge ->
+          ity tl.tty;
+          ity tr.tty;
+          { te = TBinop (op, tl, tr); tty = Tbool; tepos = pos }
+      | Eq | Ne ->
+          let ok =
+            (tl.tty = Tint && tr.tty = Tint)
+            || (tl.tty = Tbool && tr.tty = Tbool)
+            || (is_ref_ty tl.tty || is_null_ty tl.tty)
+               && (is_ref_ty tr.tty || is_null_ty tr.tty)
+               && (assignable env.b tl.tty tr.tty
+                  || assignable env.b tr.tty tl.tty
+                  || is_null_ty tl.tty || is_null_ty tr.tty)
+          in
+          if not ok then
+            err pos "incomparable types %a and %a" pp_ty tl.tty pp_ty tr.tty;
+          { te = TBinop (op, tl, tr); tty = Tbool; tepos = pos }
+      | And | Or ->
+          bty tl.tty;
+          bty tr.tty;
+          { te = TBinop (op, tl, tr); tty = Tbool; tepos = pos })
+  | Unop (op, e1) -> (
+      let te1 = check_expr env e1 in
+      match op with
+      | Neg ->
+          if te1.tty <> Tint then err pos "negation of non-int";
+          { te = TUnop (Neg, te1); tty = Tint; tepos = pos }
+      | Not ->
+          if te1.tty <> Tbool then err pos "logical not of non-boolean";
+          { te = TUnop (Not, te1); tty = Tbool; tepos = pos })
+
+and check_args env pos what param_tys targs =
+  if List.length param_tys <> List.length targs then
+    err pos "%s expects %d arguments, got %d" what (List.length param_tys)
+      (List.length targs);
+  List.iter2
+    (fun pty (ta : texpr) ->
+      if not (assignable env.b ta.tty pty) then
+        err ta.tepos "%s: argument of type %a where %a expected" what pp_ty
+          ta.tty pp_ty pty)
+    param_tys targs
+
+and check_call env pos recv name args =
+  let targs () = List.map (check_expr env) args in
+  match recv with
+  | Some { e = Ident cname; _ } when is_class_name env cname -> (
+      (* Static call, including the Thread.yield() scheduling hint. *)
+      if cname = thread_class && name = "yield" then begin
+        if args <> [] then err pos "Thread.yield takes no arguments";
+        { te = TCall CYield; tty = Tvoid; tepos = pos }
+      end
+      else
+        match find_static_method env.b cname name with
+        | Some m ->
+            let ta = targs () in
+            check_args env pos (cname ^ "." ^ name) m.tm_param_tys ta;
+            {
+              te = TCall (CStatic (m.tm_class, name, ta, m.tm_ret));
+              tty = m.tm_ret;
+              tepos = pos;
+            }
+        | None -> err pos "unknown static method %s.%s" cname name)
+  | Some recv -> (
+      let trecv = check_expr env recv in
+      match trecv.tty with
+      | Tclass cname -> (
+          match name with
+          | "start" when is_thread_class env cname ->
+              if args <> [] then err pos "start takes no arguments";
+              { te = TCall (CStart trecv); tty = Tvoid; tepos = pos }
+          | "join" when is_thread_class env cname ->
+              if args <> [] then err pos "join takes no arguments";
+              { te = TCall (CJoin trecv); tty = Tvoid; tepos = pos }
+          | "wait" when find_instance_method env.b cname "wait" = None ->
+              if args <> [] then err pos "wait takes no arguments";
+              { te = TCall (CWait trecv); tty = Tvoid; tepos = pos }
+          | "notify" when find_instance_method env.b cname "notify" = None ->
+              if args <> [] then err pos "notify takes no arguments";
+              { te = TCall (CNotify trecv); tty = Tvoid; tepos = pos }
+          | "notifyAll" when find_instance_method env.b cname "notifyAll" = None ->
+              if args <> [] then err pos "notifyAll takes no arguments";
+              { te = TCall (CNotifyAll trecv); tty = Tvoid; tepos = pos }
+          | _ -> (
+              match find_instance_method env.b cname name with
+              | Some m ->
+                  let ta = targs () in
+                  check_args env pos (cname ^ "." ^ name) m.tm_param_tys ta;
+                  {
+                    te = TCall (CVirtual (trecv, name, ta, m.tm_ret));
+                    tty = m.tm_ret;
+                    tepos = pos;
+                  }
+              | None -> err pos "unknown method %s of class %s" name cname))
+      | t -> err pos "method call on non-object of type %a" pp_ty t)
+  | None -> (
+      (* Unqualified call: instance method of the current class (via
+         this) or a static method of the current class. *)
+      match
+        if env.meth.tm_static then None
+        else find_instance_method env.b env.cls.cls_name name
+      with
+      | Some m ->
+          let ta = targs () in
+          check_args env pos name m.tm_param_tys ta;
+          let this =
+            { te = TThis; tty = Tclass env.cls.cls_name; tepos = pos }
+          in
+          {
+            te = TCall (CVirtual (this, name, ta, m.tm_ret));
+            tty = m.tm_ret;
+            tepos = pos;
+          }
+      | None -> (
+          match find_static_method env.b env.cls.cls_name name with
+          | Some m ->
+              let ta = targs () in
+              check_args env pos name m.tm_param_tys ta;
+              {
+                te = TCall (CStatic (m.tm_class, name, ta, m.tm_ret));
+                tty = m.tm_ret;
+                tepos = pos;
+              }
+          | None -> err pos "unknown method %s" name))
+
+let rec check_stmt env (s : stmt) : tstmt =
+  let pos = s.spos in
+  match s.s with
+  | Decl (ty, name, init) ->
+      check_ty env.b pos ty;
+      if ty = Tvoid then err pos "variable %s has type void" name;
+      let tinit =
+        Option.map
+          (fun e ->
+            let te = check_expr env e in
+            if not (assignable env.b te.tty ty) then
+              err e.epos "cannot initialize %a variable %s with %a" pp_ty ty
+                name pp_ty te.tty;
+            te)
+          init
+      in
+      let slot = add_local env pos name ty in
+      { ts = TDecl (slot, ty, tinit); tspos = pos }
+  | Assign (lv, rhs) -> (
+      let trhs = check_expr env rhs in
+      let ensure ty =
+        if not (assignable env.b trhs.tty ty) then
+          err pos "cannot assign %a to %a" pp_ty trhs.tty pp_ty ty
+      in
+      match lv with
+      | LIdent name -> (
+          match lookup_local env name with
+          | Some (slot, ty) ->
+              ensure ty;
+              { ts = TAssignLocal (slot, trhs); tspos = pos }
+          | None -> (
+              match
+                if env.meth.tm_static then None
+                else find_field env.b env.cls.cls_name name
+              with
+              | Some fi ->
+                  ensure fi.fld_ty;
+                  let this =
+                    { te = TThis; tty = Tclass env.cls.cls_name; tepos = pos }
+                  in
+                  { ts = TSetField (this, fi, trhs); tspos = pos }
+              | None -> (
+                  match find_static env.b env.cls.cls_name name with
+                  | Some sf ->
+                      ensure sf.sf_ty;
+                      { ts = TSetStatic (sf, trhs); tspos = pos }
+                  | None -> err pos "unknown variable %s" name)))
+      | LField (recv, fname) -> (
+          match recv.e with
+          | Ident cname when is_class_name env cname -> (
+              match find_static env.b cname fname with
+              | Some sf ->
+                  ensure sf.sf_ty;
+                  { ts = TSetStatic (sf, trhs); tspos = pos }
+              | None -> err pos "unknown static field %s.%s" cname fname)
+          | _ -> (
+              let trecv = check_expr env recv in
+              match trecv.tty with
+              | Tclass cname -> (
+                  match find_field env.b cname fname with
+                  | Some fi ->
+                      ensure fi.fld_ty;
+                      { ts = TSetField (trecv, fi, trhs); tspos = pos }
+                  | None -> err pos "unknown field %s of %s" fname cname)
+              | t -> err pos "field assignment on non-object %a" pp_ty t))
+      | LIndex (arr, idx) -> (
+          let tarr = check_expr env arr in
+          let tidx = check_expr env idx in
+          if tidx.tty <> Tint then err idx.epos "array index must be int";
+          match tarr.tty with
+          | Tarray elem ->
+              ensure elem;
+              { ts = TSetIndex (tarr, tidx, trhs); tspos = pos }
+          | t -> err arr.epos "indexing a non-array of type %a" pp_ty t))
+  | Expr e -> (
+      let te = check_expr env e in
+      match te.te with
+      | TCall _ -> { ts = TExpr te; tspos = pos }
+      | _ -> err pos "expression statement must be a call")
+  | If (cond, thn, els) ->
+      let tc = check_cond env cond in
+      let tthn = check_scoped_block env thn in
+      let tels = check_scoped_block env els in
+      { ts = TIf (tc, tthn, tels); tspos = pos }
+  | While (cond, body) ->
+      let tc = check_cond env cond in
+      env.loop_depth <- env.loop_depth + 1;
+      let tbody = check_scoped_block env body in
+      env.loop_depth <- env.loop_depth - 1;
+      { ts = TWhile (tc, tbody); tspos = pos }
+  | For (init, cond, update, body) ->
+      env.scopes <- [] :: env.scopes;
+      let tinit = Option.map (check_stmt env) init in
+      let tcond = Option.map (check_cond env) cond in
+      env.loop_depth <- env.loop_depth + 1;
+      let tbody = check_scoped_block env body in
+      let tupdate = Option.map (check_stmt env) update in
+      env.loop_depth <- env.loop_depth - 1;
+      env.scopes <- List.tl env.scopes;
+      { ts = TFor (tinit, tcond, tupdate, tbody); tspos = pos }
+  | Return e -> (
+      match (e, env.meth.tm_ret) with
+      | None, Tvoid -> { ts = TReturn None; tspos = pos }
+      | None, t -> err pos "missing return value of type %a" pp_ty t
+      | Some _, Tvoid -> err pos "void method returns a value"
+      | Some e, t ->
+          let te = check_expr env e in
+          if not (assignable env.b te.tty t) then
+            err pos "returning %a where %a expected" pp_ty te.tty pp_ty t;
+          { ts = TReturn (Some te); tspos = pos })
+  | Sync (e, body) ->
+      let te = check_expr env e in
+      if not (is_ref_ty te.tty) then
+        err e.epos "synchronized requires an object, got %a" pp_ty te.tty;
+      let tbody = check_scoped_block env body in
+      { ts = TSync (te, tbody); tspos = pos }
+  | Print (tag, e) ->
+      let te =
+        Option.map
+          (fun e ->
+            let te = check_expr env e in
+            if te.tty <> Tint && te.tty <> Tbool then
+              err e.epos "print expects an int or boolean";
+            te)
+          e
+      in
+      { ts = TPrint (tag, te); tspos = pos }
+  | Break ->
+      if env.loop_depth = 0 then err pos "break outside a loop";
+      { ts = TBreak; tspos = pos }
+  | Continue ->
+      if env.loop_depth = 0 then err pos "continue outside a loop";
+      { ts = TContinue; tspos = pos }
+
+and check_cond env e =
+  let te = check_expr env e in
+  if te.tty <> Tbool then err e.epos "condition must be boolean";
+  te
+
+and check_scoped_block env stmts =
+  env.scopes <- [] :: env.scopes;
+  let ts = List.map (check_stmt env) stmts in
+  env.scopes <- List.tl env.scopes;
+  ts
+
+let check_method_body b cls (m : mdecl) ~is_ctor =
+  let name = if is_ctor then "<init>" else m.m_name in
+  let key = method_key cls.cls_name name in
+  let sign = Hashtbl.find b.methods key in
+  let env =
+    {
+      b;
+      cls;
+      meth = sign;
+      scopes = [ [] ];
+      nslots = 0;
+      loop_depth = 0;
+    }
+  in
+  (* Slot 0 is [this] for instance methods. *)
+  if not m.m_static then env.nslots <- 1;
+  List.iter (fun (ty, pname) -> ignore (add_local env m.m_pos pname ty)) m.m_params;
+  let body = List.map (check_stmt env) m.m_body in
+  Hashtbl.replace b.methods key
+    { sign with tm_body = body; tm_nslots = env.nslots }
+
+(* Overriding must preserve the signature. *)
+let check_overrides b =
+  Hashtbl.iter
+    (fun _ ci ->
+      match ci.cls_super with
+      | None -> ()
+      | Some super ->
+          List.iter
+            (fun (name, impl) ->
+              if impl = ci.cls_name then
+                match find_instance_method b super name with
+                | Some sm ->
+                    let own =
+                      Hashtbl.find b.methods (method_key ci.cls_name name)
+                    in
+                    if
+                      own.tm_param_tys <> sm.tm_param_tys
+                      || own.tm_ret <> sm.tm_ret
+                    then
+                      err own.tm_pos
+                        "method %s.%s overrides %s.%s with a different \
+                         signature"
+                        ci.cls_name name sm.tm_class name
+                | None -> ())
+            ci.cls_vtable)
+    b.classes
+
+let check (prog : Ast.program) : tprogram =
+  let b =
+    {
+      decls = Hashtbl.create 64;
+      classes = Hashtbl.create 64;
+      methods = Hashtbl.create 256;
+      statics = [];
+      nstatics = 0;
+    }
+  in
+  let all = builtin_classes @ prog in
+  List.iter
+    (fun (d : cdecl) ->
+      if Hashtbl.mem b.decls d.c_name then
+        err d.c_pos "duplicate class %s" d.c_name;
+      if d.c_name = "<null>" then err d.c_pos "reserved class name";
+      Hashtbl.add b.decls d.c_name d)
+    all;
+  (* Pass 1: build class infos (recursion handles supers first). *)
+  List.iter (fun d -> ignore (build_class b d)) all;
+  (* Register signatures. *)
+  List.iter
+    (fun (d : cdecl) ->
+      List.iter (fun m -> register_method b d.c_name m ~is_ctor:false) d.c_methods;
+      (match d.c_ctors with
+      | [] -> ()
+      | [ c ] -> register_method b d.c_name c ~is_ctor:true
+      | _ :: c :: _ ->
+          err c.m_pos "class %s has multiple constructors (no overloading)"
+            d.c_name);
+      ())
+    all;
+  check_overrides b;
+  (* Pass 2: check bodies. *)
+  List.iter
+    (fun (d : cdecl) ->
+      let ci = Hashtbl.find b.classes d.c_name in
+      List.iter (fun m -> check_method_body b ci m ~is_ctor:false) d.c_methods;
+      List.iter (fun c -> check_method_body b ci c ~is_ctor:true) d.c_ctors)
+    all;
+  (* Locate main. *)
+  let mains =
+    Hashtbl.fold
+      (fun _ m acc ->
+        if m.tm_name = "main" && m.tm_static && m.tm_param_tys = [] then
+          m :: acc
+        else acc)
+      b.methods []
+  in
+  let main_class =
+    match mains with
+    | [ m ] ->
+        if m.tm_ret <> Tvoid then
+          err m.tm_pos "main must return void";
+        m.tm_class
+    | [] -> err dummy_pos "no static void main() found"
+    | m :: _ -> err m.tm_pos "multiple static void main() methods"
+  in
+  let statics = Array.make b.nstatics None in
+  List.iter (fun sf -> statics.(sf.sf_slot) <- Some sf) b.statics;
+  {
+    classes = b.classes;
+    methods = b.methods;
+    statics = Array.map Option.get statics;
+    main_class;
+  }

@@ -1,0 +1,16 @@
+(** Typechecker and name resolver: turns a parsed {!Ast.program} into a
+    {!Tast.tprogram} with every identifier resolved and every expression
+    annotated with its type.
+
+    The checked language is a Java subset: single inheritance rooted at
+    the built-in [Object]; the built-in [Thread] class whose subclasses
+    override [run()] and whose instances support [start()] and [join()];
+    no method overloading (one method per name per class); at most one
+    constructor per class and no [super(...)] chaining (superclass
+    fields start at their default values). *)
+
+exception Error of string * Ast.pos
+
+val check : Ast.program -> Tast.tprogram
+(** Check a program.  The program must define exactly one
+    [static void main()].  Raises {!Error} otherwise. *)

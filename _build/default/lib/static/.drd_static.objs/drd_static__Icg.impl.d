@@ -1,0 +1,1 @@
+lib/static/icg.ml: Drd_ir Hashtbl List Must Option Pointsto

@@ -1,0 +1,1 @@
+lib/static/must.ml: Drd_ir Hashtbl List Option Pointsto

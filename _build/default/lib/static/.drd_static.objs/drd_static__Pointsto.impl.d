@@ -1,0 +1,1 @@
+lib/static/pointsto.ml: Array Drd_ir Drd_lang Hashtbl Int List Option Set

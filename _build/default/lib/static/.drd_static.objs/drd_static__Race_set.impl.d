@@ -1,0 +1,1 @@
+lib/static/race_set.ml: Array Drd_core Drd_ir Event Fmt Hashtbl Icg List Must Pointsto Thread_spec

@@ -1,0 +1,1 @@
+lib/static/race_set.mli: Drd_ir Fmt Pointsto Thread_spec

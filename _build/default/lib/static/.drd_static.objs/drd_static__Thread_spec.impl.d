@@ -1,0 +1,1 @@
+lib/static/thread_spec.ml: Array Drd_ir Drd_lang Hashtbl List Option Pointsto

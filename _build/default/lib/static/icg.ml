@@ -1,0 +1,215 @@
+module Ir = Drd_ir.Ir
+module Iset = Pointsto.Iset
+
+(* The interthread call graph (ICG) and the two must-analyses computed
+   over it (paper Sections 5.2 and 5.3):
+
+   - ICG nodes are methods and synchronized regions (blocks or
+     synchronized-method bodies); call edges and region-entry edges are
+     the intrathread edges, thread [start] edges the interthread edges.
+   - [MustSync] — the set of locks (abstract objects) that are must-held
+     at every statement of a node — is a decreasing dataflow fixpoint
+     over intrathread edges, with Gen from the must points-to of each
+     region's lock;
+   - [MustThread] — the set of must thread objects a statement can only
+     be executed by — intersects, over the thread roots reaching the
+     statement's method along intrathread edges, the must points-to of
+     each root's [this]. *)
+
+type node = Nmethod of string | Nsync of string * int
+
+(* [None] plays the role of ⊤ (the unconstrained "all objects" set). *)
+type lat = Iset.t option
+
+let meet (a : lat) (b : lat) : lat =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (Iset.inter a b)
+
+type t = {
+  pt : Pointsto.t;
+  must : Must.t;
+  so_out : (node, lat) Hashtbl.t;
+  must_thread : (string, lat) Hashtbl.t; (* per method *)
+  roots : string list; (* thread-root methods: main + started runs *)
+}
+
+let node_of_instr key (i : Ir.instr) =
+  match List.rev i.Ir.i_sync with
+  | [] -> Nmethod key
+  | r :: _ -> Nsync (key, r)
+
+(* All ICG nodes of a method, plus the (node, lock reg, enter instr)
+   triples of its regions and the enclosing node of each region. *)
+let regions_of_mir (m : Ir.mir) =
+  let acc = ref [] in
+  Ir.iter_instrs m (fun _ i ->
+      match i.Ir.i_op with
+      | Ir.MonitorEnter (lock, region) ->
+          acc := (region, lock, i) :: !acc
+      | _ -> ());
+  !acc
+
+let compute (pt : Pointsto.t) (must : Must.t) : t =
+  let prog = pt.Pointsto.prog in
+  let roots =
+    prog.Ir.p_main
+    :: (Hashtbl.fold (fun k () acc -> k :: acc) pt.Pointsto.reachable []
+       |> List.filter (fun k -> Pointsto.start_sites_of pt k <> [])
+       |> List.sort compare)
+  in
+  (* Instruction lookup for call sites. *)
+  let instr_tbl = Hashtbl.create 1024 in
+  Ir.iter_mirs prog (fun m ->
+      Ir.iter_instrs m (fun _ i ->
+          Hashtbl.replace instr_tbl (Ir.mir_key m, i.Ir.i_id) i));
+  (* Build node lists, Gen sets and intrathread predecessor edges. *)
+  let gen : (node, Iset.t) Hashtbl.t = Hashtbl.create 64 in
+  let preds : (node, node list ref) Hashtbl.t = Hashtbl.create 64 in
+  let add_pred n p =
+    let r =
+      match Hashtbl.find_opt preds n with
+      | Some r -> r
+      | None ->
+          let r = ref [] in
+          Hashtbl.add preds n r;
+          r
+    in
+    if not (List.mem p !r) then r := p :: !r
+  in
+  let nodes = ref [] in
+  Pointsto.iter_reachable pt (fun key ->
+      match Ir.find_mir prog key with
+      | None -> ()
+      | Some m ->
+          nodes := Nmethod key :: !nodes;
+          (* Region nodes: Gen from the must points-to of the lock at
+             the region's monitorenter; predecessor is the node the
+             enter instruction lives in. *)
+          List.iter
+            (fun (region, lock, (i : Ir.instr)) ->
+              let n = Nsync (key, region) in
+              nodes := n :: !nodes;
+              Hashtbl.replace gen n (Must.must_pt_reg must key lock);
+              add_pred n (node_of_instr key i))
+            (regions_of_mir m);
+          (* Method node: predecessors are the nodes containing its call
+             sites. *)
+          List.iter
+            (fun (cs : Pointsto.call_site) ->
+              match
+                Hashtbl.find_opt instr_tbl
+                  (cs.Pointsto.cs_method, cs.Pointsto.cs_iid)
+              with
+              | Some i -> add_pred (Nmethod key) (node_of_instr cs.Pointsto.cs_method i)
+              | None -> ())
+            (Pointsto.callers_of pt key));
+  (* Decreasing fixpoint: SO_out(n) = SO_in(n) ∪ Gen(n);
+     SO_in = ∩ preds SO_out, with thread roots and main pinned to ∅. *)
+  let so_out : (node, lat) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace so_out n None) !nodes;
+  let is_root_node = function
+    | Nmethod k -> List.mem k roots
+    | Nsync _ -> false
+  in
+  let gen_of n = Option.value (Hashtbl.find_opt gen n) ~default:Iset.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun n ->
+        let so_in =
+          if is_root_node n then Some Iset.empty
+          else
+            match Hashtbl.find_opt preds n with
+            | None | Some { contents = [] } ->
+                (* No known intrathread predecessor: unreachable from an
+                   entry; keep ⊤. *)
+                None
+            | Some ps ->
+                List.fold_left
+                  (fun acc p -> meet acc (Hashtbl.find so_out p))
+                  None !ps
+        in
+        let out =
+          match so_in with
+          | None -> None
+          | Some s -> Some (Iset.union s (gen_of n))
+        in
+        if out <> Hashtbl.find so_out n then begin
+          Hashtbl.replace so_out n out;
+          changed := true
+        end)
+      !nodes
+  done;
+  (* MustThread: intrathread (call-edge) reachability from each root. *)
+  let reached_by : (string, string list ref) Hashtbl.t = Hashtbl.create 64 in
+  let note m root =
+    let r =
+      match Hashtbl.find_opt reached_by m with
+      | Some r -> r
+      | None ->
+          let r = ref [] in
+          Hashtbl.add reached_by m r;
+          r
+    in
+    if List.mem root !r then false
+    else begin
+      r := root :: !r;
+      true
+    end
+  in
+  List.iter
+    (fun root ->
+      let rec bfs m =
+        if note m root then
+          match Ir.find_mir prog m with
+          | None -> ()
+          | Some mir ->
+              Ir.iter_instrs mir (fun _ i ->
+                  match i.Ir.i_op with
+                  | Ir.Call _ ->
+                      List.iter bfs (Pointsto.call_targets_of pt m i.Ir.i_id)
+                  | _ -> ())
+      in
+      bfs root)
+    roots;
+  let must_pt_this root =
+    if root = prog.Ir.p_main then Iset.singleton pt.Pointsto.main_obj
+    else Must.must_pt_reg must root 0
+  in
+  let must_thread = Hashtbl.create 64 in
+  Pointsto.iter_reachable pt (fun key ->
+      let lat =
+        match Hashtbl.find_opt reached_by key with
+        | None -> None (* unreachable from any root: ⊤ *)
+        | Some rs ->
+            List.fold_left
+              (fun acc root -> meet acc (Some (must_pt_this root)))
+              None !rs
+      in
+      Hashtbl.replace must_thread key lat);
+  { pt; must; so_out; must_thread; roots }
+
+(* MustSync of a statement: the locks must-held at it. *)
+let must_sync t key (i : Ir.instr) : lat =
+  match Hashtbl.find_opt t.so_out (node_of_instr key i) with
+  | Some l -> l
+  | None -> None
+
+let must_thread t key : lat =
+  match Hashtbl.find_opt t.must_thread key with Some l -> l | None -> None
+
+(* The paper's predicates (Equations 3 and 4).  ⊤ means "no constraint
+   known but the code is unreachable"; two unreachable statements
+   trivially cannot race, so ⊤ ∩ anything is treated as non-empty. *)
+let lat_inter_nonempty (a : lat) (b : lat) =
+  match (a, b) with
+  | None, _ | _, None -> true
+  | Some a, Some b -> not (Iset.disjoint a b)
+
+let must_same_thread t kx ky =
+  lat_inter_nonempty (must_thread t kx) (must_thread t ky)
+
+let must_common_sync t kx ix ky iy =
+  lat_inter_nonempty (must_sync t kx ix) (must_sync t ky iy)

@@ -1,0 +1,92 @@
+module Ir = Drd_ir.Ir
+module Dominance = Drd_ir.Dominance
+
+(* Single-instance statements and the conservative must points-to
+   analysis built on them (paper Section 5.3).
+
+   A statement is single-instance when it executes at most once in any
+   execution: its block is outside every natural loop of its method and
+   the method itself is single-instance — called from exactly one
+   single-instance call site ([main] is the base case; thread [run]
+   methods count their start sites as call sites; any recursion or
+   virtual fan-in disqualifies).
+
+   An abstract object is single-instance when its allocation site is;
+   [MustPT(x) = {o}] when the may points-to set of [x] is exactly one
+   single-instance object. *)
+
+type t = {
+  pt : Pointsto.t;
+  single_method : (string, bool) Hashtbl.t;
+  in_loop : (string * int, bool) Hashtbl.t; (* (method, iid) -> in a loop *)
+}
+
+let compute_in_loop (prog : Ir.program) tbl =
+  Ir.iter_mirs prog (fun m ->
+      let dom = Dominance.compute m in
+      let loops = Dominance.natural_loops m dom in
+      let loop_blocks = Hashtbl.create 16 in
+      List.iter
+        (fun (_, body) ->
+          List.iter (fun b -> Hashtbl.replace loop_blocks b ()) body)
+        loops;
+      Ir.iter_blocks m (fun b ->
+          let inl = Hashtbl.mem loop_blocks b.Ir.b_label in
+          List.iter
+            (fun (i : Ir.instr) ->
+              Hashtbl.replace tbl (Ir.mir_key m, i.Ir.i_id) inl)
+            b.Ir.b_instrs))
+
+let create (pt : Pointsto.t) : t =
+  let t =
+    { pt; single_method = Hashtbl.create 64; in_loop = Hashtbl.create 1024 }
+  in
+  compute_in_loop pt.Pointsto.prog t.in_loop;
+  t
+
+let stmt_in_loop t key iid =
+  Option.value (Hashtbl.find_opt t.in_loop (key, iid)) ~default:true
+
+(* Memoized with cycle detection: a method on the current resolution
+   path is recursive, hence not single. *)
+let rec single_method ?(visiting = []) t key =
+  match Hashtbl.find_opt t.single_method key with
+  | Some b -> b
+  | None ->
+      if List.mem key visiting then false
+      else begin
+        let visiting = key :: visiting in
+        let result =
+          if key = t.pt.Pointsto.prog.Ir.p_main then true
+          else
+            let callers = Pointsto.callers_of t.pt key in
+            let starters = Pointsto.start_sites_of t.pt key in
+            match (callers, starters) with
+            | [ c ], [] | [], [ c ] ->
+                single_method ~visiting t c.Pointsto.cs_method
+                && not (stmt_in_loop t c.Pointsto.cs_method c.Pointsto.cs_iid)
+            | _ -> false
+        in
+        Hashtbl.replace t.single_method key result;
+        result
+      end
+
+let single_stmt t key iid = single_method t key && not (stmt_in_loop t key iid)
+
+(* Is this abstract object single-instance? *)
+let single_obj t ao =
+  let o = Pointsto.obj t.pt ao in
+  match o.Pointsto.ao_kind with
+  | Pointsto.Aclassobj _ | Pointsto.Amain -> true
+  | Pointsto.Aobj _ | Pointsto.Aarr _ -> (
+      match o.Pointsto.ao_site with
+      | Some (key, iid) -> single_stmt t key iid
+      | None -> false)
+
+(* Must points-to of a register in a method: the singleton may set when
+   its object is single-instance, empty otherwise. *)
+let must_pt_reg t key reg =
+  let may = Pointsto.pts t.pt (Pointsto.Vreg (key, reg)) in
+  match Pointsto.Iset.elements may with
+  | [ o ] when single_obj t o -> Pointsto.Iset.singleton o
+  | _ -> Pointsto.Iset.empty

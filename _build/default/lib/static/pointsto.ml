@@ -1,0 +1,367 @@
+module Ir = Drd_ir.Ir
+module Tast = Drd_lang.Tast
+module Ast = Drd_lang.Ast
+
+(* Flow-insensitive, subset-based (Andersen-style) may points-to
+   analysis with an on-the-fly call graph, over the whole program
+   (paper Section 5.3).
+
+   One abstract object per allocation site; all concrete objects
+   allocated at the site are merged.  Arrays are field-insensitive (one
+   element variable per abstract array, matching the one-location-per-
+   array rule); objects are field-sensitive.  Class lock objects and
+   the implicit main-thread object are synthetic single-instance
+   abstract objects. *)
+
+type ao_kind =
+  | Aobj of string (* class name *)
+  | Aarr of Ast.ty * int (* element type, remaining dimensions *)
+  | Aclassobj of string
+  | Amain (* the implicit main-thread object *)
+
+type abs_obj = {
+  ao_id : int;
+  ao_kind : ao_kind;
+  ao_site : (string * int) option; (* (method key, instr id) *)
+}
+
+module Iset = Set.Make (Int)
+
+type var =
+  | Vreg of string * int (* method key, register *)
+  | Vfield of int * int (* abstract object, field index *)
+  | Velem of int (* abstract object (array) *)
+  | Vstatic of int (* static slot *)
+  | Vret of string (* method key *)
+
+type call_site = { cs_method : string; cs_iid : int }
+
+type t = {
+  prog : Ir.program;
+  objs : abs_obj array;
+  pts : (var, Iset.t) Hashtbl.t;
+  (* call graph: resolved targets per call site, and reverse edges *)
+  call_targets : (string * int, string list ref) Hashtbl.t;
+  callers : (string, call_site list ref) Hashtbl.t;
+  start_edges : (string, string list ref) Hashtbl.t;
+      (* method containing ThreadStart -> run-method targets *)
+  start_sites : (string, call_site list ref) Hashtbl.t;
+      (* run method -> ThreadStart sites that can start it *)
+  reachable : (string, unit) Hashtbl.t; (* reachable methods *)
+  main_obj : int;
+  class_objs : (string, int) Hashtbl.t;
+}
+
+let obj r id = r.objs.(id)
+
+let pts r v = Option.value (Hashtbl.find_opt r.pts v) ~default:Iset.empty
+
+let class_of_ao r id =
+  match (obj r id).ao_kind with
+  | Aobj c -> Some c
+  | Amain -> Some Drd_lang.Ast.thread_class
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Constraint solving *)
+
+type solver = {
+  sprog : Ir.program;
+  mutable sobjs : abs_obj list; (* reverse *)
+  mutable nobjs : int;
+  spts : (var, Iset.t) Hashtbl.t;
+  subset : (var, var list ref) Hashtbl.t; (* simple edges src ⊆ dst *)
+  (* complex constraints attached to a base variable *)
+  complex : (var, (int -> unit) list ref) Hashtbl.t;
+  mutable worklist : (var * Iset.t) list;
+  scall_targets : (string * int, string list ref) Hashtbl.t;
+  scallers : (string, call_site list ref) Hashtbl.t;
+  sstart_edges : (string, string list ref) Hashtbl.t;
+  sstart_sites : (string, call_site list ref) Hashtbl.t;
+  sreachable : (string, unit) Hashtbl.t;
+  sclass_objs : (string, int) Hashtbl.t;
+  processed_methods : (string, unit) Hashtbl.t;
+}
+
+let fresh_obj s kind site =
+  let o = { ao_id = s.nobjs; ao_kind = kind; ao_site = site } in
+  s.sobjs <- o :: s.sobjs;
+  s.nobjs <- s.nobjs + 1;
+  o.ao_id
+
+let spts s v = Option.value (Hashtbl.find_opt s.spts v) ~default:Iset.empty
+
+let add_pts s v objs =
+  let cur = spts s v in
+  let nw = Iset.union cur objs in
+  if not (Iset.equal cur nw) then begin
+    Hashtbl.replace s.spts v nw;
+    s.worklist <- (v, Iset.diff nw cur) :: s.worklist
+  end
+
+let add_subset s src dst =
+  let edges =
+    match Hashtbl.find_opt s.subset src with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.add s.subset src r;
+        r
+  in
+  if not (List.mem dst !edges) then begin
+    edges := dst :: !edges;
+    let cur = spts s src in
+    if not (Iset.is_empty cur) then add_pts s dst cur
+  end
+
+let add_complex s base f =
+  let fs =
+    match Hashtbl.find_opt s.complex base with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.add s.complex base r;
+        r
+  in
+  fs := f :: !fs;
+  Iset.iter f (spts s base)
+
+let class_obj s cls =
+  match Hashtbl.find_opt s.sclass_objs cls with
+  | Some id -> id
+  | None ->
+      let id = fresh_obj s (Aclassobj cls) None in
+      Hashtbl.add s.sclass_objs cls id;
+      id
+
+let record_call s ~site ~target =
+  let key = (site.cs_method, site.cs_iid) in
+  let ts =
+    match Hashtbl.find_opt s.scall_targets key with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.add s.scall_targets key r;
+        r
+  in
+  if List.mem target !ts then false
+  else begin
+    ts := target :: !ts;
+    let cs =
+      match Hashtbl.find_opt s.scallers target with
+      | Some r -> r
+      | None ->
+          let r = ref [] in
+          Hashtbl.add s.scallers target r;
+          r
+    in
+    cs := site :: !cs;
+    true
+  end
+
+(* Bind arguments/return of a call site to a concrete target method. *)
+let rec bind_call s caller_key (i : Ir.instr) target_key args dst =
+  if record_call s ~site:{ cs_method = caller_key; cs_iid = i.Ir.i_id } ~target:target_key
+  then begin
+    process_method s target_key;
+    List.iteri
+      (fun idx arg -> add_subset s (Vreg (caller_key, arg)) (Vreg (target_key, idx)))
+      args;
+    match dst with
+    | Some d -> add_subset s (Vret target_key) (Vreg (caller_key, d))
+    | None -> ()
+  end
+
+(* Generate constraints for one method (once). *)
+and process_method s key =
+  if not (Hashtbl.mem s.processed_methods key) then begin
+    Hashtbl.replace s.processed_methods key ();
+    Hashtbl.replace s.sreachable key ();
+    match Ir.find_mir s.sprog key with
+    | None -> ()
+    | Some m ->
+        let tprog = s.sprog.Ir.p_tprog in
+        Ir.iter_blocks m (fun b ->
+            (* returns *)
+            (match b.Ir.b_term with
+            | Ir.Ret (Some r) -> add_subset s (Vreg (key, r)) (Vret key)
+            | _ -> ());
+            List.iter
+              (fun (i : Ir.instr) ->
+                let reg r = Vreg (key, r) in
+                match i.Ir.i_op with
+                | Ir.NewObj (d, cls) ->
+                    let o = fresh_obj s (Aobj cls) (Some (key, i.Ir.i_id)) in
+                    add_pts s (reg d) (Iset.singleton o)
+                | Ir.NewArr (d, elem, dims) ->
+                    (* One abstract array per dimension level. *)
+                    let depth = List.length dims in
+                    let rec mk lvl =
+                      let o =
+                        fresh_obj s (Aarr (elem, lvl)) (Some (key, i.Ir.i_id))
+                      in
+                      if lvl > 1 then begin
+                        let inner = mk (lvl - 1) in
+                        add_pts s (Velem o) (Iset.singleton inner)
+                      end;
+                      o
+                    in
+                    let o = mk depth in
+                    add_pts s (reg d) (Iset.singleton o)
+                | Ir.ClassObj (d, cls) ->
+                    add_pts s (reg d) (Iset.singleton (class_obj s cls))
+                | Ir.Move (d, src) -> add_subset s (reg src) (reg d)
+                | Ir.GetField (d, o, fm) ->
+                    add_complex s (reg o) (fun ao ->
+                        add_subset s (Vfield (ao, fm.Ir.fm_index)) (reg d))
+                | Ir.PutField (o, fm, src) ->
+                    add_complex s (reg o) (fun ao ->
+                        add_subset s (reg src) (Vfield (ao, fm.Ir.fm_index)))
+                | Ir.GetStatic (d, sm) ->
+                    add_subset s (Vstatic sm.Ir.sm_slot) (reg d)
+                | Ir.PutStatic (sm, src) ->
+                    add_subset s (reg src) (Vstatic sm.Ir.sm_slot)
+                | Ir.ALoad (d, a, _) ->
+                    add_complex s (reg a) (fun ao -> add_subset s (Velem ao) (reg d))
+                | Ir.AStore (a, _, src) ->
+                    add_complex s (reg a) (fun ao -> add_subset s (reg src) (Velem ao))
+                | Ir.Call (dst, Ir.Static (cls, name), args) ->
+                    bind_call s key i (cls ^ "." ^ name) args dst
+                | Ir.Call (dst, Ir.Ctor cls, args) ->
+                    bind_call s key i (cls ^ ".<init>") args dst
+                | Ir.Call (dst, Ir.Virtual (_, name), args) ->
+                    (* Resolve per receiver abstract object class. *)
+                    add_complex s
+                      (reg (List.hd args))
+                      (fun ao ->
+                        match
+                          match (List.nth s.sobjs (s.nobjs - 1 - ao)).ao_kind with
+                          | Aobj c -> Some c
+                          | Amain -> Some Drd_lang.Ast.thread_class
+                          | _ -> None
+                        with
+                        | None -> ()
+                        | Some cls -> (
+                            match Tast.dispatch tprog cls name with
+                            | Some tm ->
+                                bind_call s key i
+                                  (tm.Tast.tm_class ^ "." ^ name)
+                                  args dst
+                            | None -> ()))
+                | Ir.ThreadStart r ->
+                    add_complex s (reg r) (fun ao ->
+                        match
+                          match (List.nth s.sobjs (s.nobjs - 1 - ao)).ao_kind with
+                          | Aobj c -> Some c
+                          | Amain -> Some Drd_lang.Ast.thread_class
+                          | _ -> None
+                        with
+                        | None -> ()
+                        | Some cls -> (
+                            match Tast.dispatch tprog cls "run" with
+                            | Some tm ->
+                                let rk = tm.Tast.tm_class ^ ".run" in
+                                process_method s rk;
+                                (* The thread object becomes run's this. *)
+                                add_pts s (Vreg (rk, 0)) (Iset.singleton ao);
+                                let es =
+                                  match Hashtbl.find_opt s.sstart_edges key with
+                                  | Some r -> r
+                                  | None ->
+                                      let r = ref [] in
+                                      Hashtbl.add s.sstart_edges key r;
+                                      r
+                                in
+                                if not (List.mem rk !es) then es := rk :: !es;
+                                let ss =
+                                  match Hashtbl.find_opt s.sstart_sites rk with
+                                  | Some r -> r
+                                  | None ->
+                                      let r = ref [] in
+                                      Hashtbl.add s.sstart_sites rk r;
+                                      r
+                                in
+                                if
+                                  not
+                                    (List.exists
+                                       (fun c ->
+                                         c.cs_method = key && c.cs_iid = i.Ir.i_id)
+                                       !ss)
+                                then
+                                  ss :=
+                                    { cs_method = key; cs_iid = i.Ir.i_id } :: !ss
+                            | None -> ()))
+                | _ -> ())
+              b.Ir.b_instrs)
+  end
+
+let solve (prog : Ir.program) : t =
+  let s =
+    {
+      sprog = prog;
+      sobjs = [];
+      nobjs = 0;
+      spts = Hashtbl.create 1024;
+      subset = Hashtbl.create 1024;
+      complex = Hashtbl.create 256;
+      worklist = [];
+      scall_targets = Hashtbl.create 256;
+      scallers = Hashtbl.create 256;
+      sstart_edges = Hashtbl.create 16;
+      sstart_sites = Hashtbl.create 16;
+      sreachable = Hashtbl.create 64;
+      sclass_objs = Hashtbl.create 16;
+      processed_methods = Hashtbl.create 64;
+    }
+  in
+  let main_obj = fresh_obj s Amain None in
+  process_method s prog.Ir.p_main;
+  (* Propagate to fixpoint. *)
+  let rec loop () =
+    match s.worklist with
+    | [] -> ()
+    | (v, delta) :: rest ->
+        s.worklist <- rest;
+        (match Hashtbl.find_opt s.subset v with
+        | Some dsts -> List.iter (fun d -> add_pts s d delta) !dsts
+        | None -> ());
+        (match Hashtbl.find_opt s.complex v with
+        | Some fs -> Iset.iter (fun o -> List.iter (fun f -> f o) !fs) delta
+        | None -> ());
+        loop ()
+  in
+  loop ();
+  {
+    prog;
+    objs = Array.of_list (List.rev s.sobjs);
+    pts = s.spts;
+    call_targets = s.scall_targets;
+    callers = s.scallers;
+    start_edges = s.sstart_edges;
+    start_sites = s.sstart_sites;
+    reachable = s.sreachable;
+    main_obj;
+    class_objs = s.sclass_objs;
+  }
+
+let is_reachable r key = Hashtbl.mem r.reachable key
+
+let callers_of r key =
+  match Hashtbl.find_opt r.callers key with Some l -> !l | None -> []
+
+let call_targets_of r key iid =
+  match Hashtbl.find_opt r.call_targets (key, iid) with
+  | Some l -> !l
+  | None -> []
+
+let start_targets_of r key =
+  match Hashtbl.find_opt r.start_edges key with Some l -> !l | None -> []
+
+let start_sites_of r run_key =
+  match Hashtbl.find_opt r.start_sites run_key with Some l -> !l | None -> []
+
+let n_objs r = Array.length r.objs
+
+let iter_reachable r f =
+  Hashtbl.fold (fun k () acc -> k :: acc) r.reachable []
+  |> List.sort compare |> List.iter f

@@ -1,0 +1,196 @@
+module Ir = Drd_ir.Ir
+module Iset = Pointsto.Iset
+open Drd_core
+
+type t = {
+  pt : Pointsto.t;
+  must : Must.t;
+  icg : Icg.t;
+  ts : Thread_spec.t;
+  set : (string * int, unit) Hashtbl.t; (* (method key, iid) in race set *)
+  peers : (string * int, (string * int) list ref) Hashtbl.t;
+      (* statement -> statically possible racing statements (capped) *)
+  mutable st : stats;
+}
+
+and stats = {
+  reachable_methods : int;
+  access_statements : int;
+  in_race_set : int;
+  thread_specific_excluded : int;
+  abstract_objects : int;
+}
+
+type access = {
+  a_key : string; (* method *)
+  a_instr : Ir.instr;
+  a_kind : Event.kind;
+  a_base : Pointsto.var option; (* None for statics *)
+}
+
+type group = Gfield of string * int | Gstatic of int | Garray
+
+let accesses_of (pt : Pointsto.t) : (group, access list ref) Hashtbl.t =
+  let prog = pt.Pointsto.prog in
+  let groups = Hashtbl.create 64 in
+  let add g a =
+    let r =
+      match Hashtbl.find_opt groups g with
+      | Some r -> r
+      | None ->
+          let r = ref [] in
+          Hashtbl.add groups g r;
+          r
+    in
+    r := a :: !r
+  in
+  Pointsto.iter_reachable pt (fun key ->
+      match Ir.find_mir prog key with
+      | None -> ()
+      | Some m ->
+          Ir.iter_instrs m (fun _ i ->
+              let acc g kind base =
+                add g
+                  {
+                    a_key = key;
+                    a_instr = i;
+                    a_kind = kind;
+                    a_base = base;
+                  }
+              in
+              match i.Ir.i_op with
+              | Ir.GetField (_, o, fm) ->
+                  acc
+                    (Gfield (fm.Ir.fm_class, fm.Ir.fm_index))
+                    Event.Read
+                    (Some (Pointsto.Vreg (key, o)))
+              | Ir.PutField (o, fm, _) ->
+                  acc
+                    (Gfield (fm.Ir.fm_class, fm.Ir.fm_index))
+                    Event.Write
+                    (Some (Pointsto.Vreg (key, o)))
+              | Ir.GetStatic (_, sm) ->
+                  acc (Gstatic sm.Ir.sm_slot) Event.Read None
+              | Ir.PutStatic (sm, _) ->
+                  acc (Gstatic sm.Ir.sm_slot) Event.Write None
+              | Ir.ALoad (_, a, _) ->
+                  acc Garray Event.Read (Some (Pointsto.Vreg (key, a)))
+              | Ir.AStore (a, _, _) ->
+                  acc Garray Event.Write (Some (Pointsto.Vreg (key, a)))
+              | _ -> ()))
+  ;
+  groups
+
+let compute (prog : Ir.program) : t =
+  let pt = Pointsto.solve prog in
+  let must = Must.create pt in
+  let icg = Icg.compute pt must in
+  let ts = Thread_spec.compute pt in
+  let groups = accesses_of pt in
+  let set = Hashtbl.create 256 in
+  let peers = Hashtbl.create 256 in
+  let max_peers = 16 in
+  let add_peer a b =
+    let r =
+      match Hashtbl.find_opt peers a with
+      | Some r -> r
+      | None ->
+          let r = ref [] in
+          Hashtbl.add peers a r;
+          r
+    in
+    if List.length !r < max_peers && not (List.mem b !r) then r := b :: !r
+  in
+  let n_access = ref 0 in
+  let n_ts_excluded = ref 0 in
+  Hashtbl.iter (fun _ r -> n_access := !n_access + List.length !r) groups;
+  (* An access is excluded when it touches a thread-specific field, or
+     when every object its base can point to is thread-specific
+     (Section 5.4's object rule — what proves a thread's private copies
+     and scratch arrays race-free). *)
+  let base_thread_specific a =
+    match a.a_base with
+    | None -> false
+    | Some v ->
+        let objs = Pointsto.pts pt v in
+        (not (Iset.is_empty objs))
+        && Iset.for_all (Thread_spec.is_specific_object ts) objs
+  in
+  let may_conflict x y =
+    match (x.a_base, y.a_base) with
+    | None, None -> true (* same static slot by grouping *)
+    | Some bx, Some by ->
+        not (Iset.disjoint (Pointsto.pts pt bx) (Pointsto.pts pt by))
+    | _ -> false
+  in
+  let is_may_race x y =
+    (x.a_kind = Event.Write || y.a_kind = Event.Write)
+    && may_conflict x y
+    && (not (Icg.must_same_thread icg x.a_key y.a_key))
+    && not (Icg.must_common_sync icg x.a_key x.a_instr y.a_key y.a_instr)
+  in
+  Hashtbl.iter
+    (fun _ r ->
+      let accs =
+        List.filter
+          (fun a ->
+            let excluded =
+              Thread_spec.access_is_thread_specific ts a.a_instr
+              || base_thread_specific a
+            in
+            if excluded then incr n_ts_excluded;
+            not excluded)
+          !r
+        |> Array.of_list
+      in
+      let n = Array.length accs in
+      for i = 0 to n - 1 do
+        for j = i to n - 1 do
+          let x = accs.(i) and y = accs.(j) in
+          if is_may_race x y then begin
+            let kx = (x.a_key, x.a_instr.Ir.i_id)
+            and ky = (y.a_key, y.a_instr.Ir.i_id) in
+            Hashtbl.replace set kx ();
+            Hashtbl.replace set ky ();
+            add_peer kx ky;
+            if kx <> ky then add_peer ky kx
+          end
+        done
+      done)
+    groups;
+  let st =
+    {
+      reachable_methods = Hashtbl.length pt.Pointsto.reachable;
+      access_statements = !n_access;
+      in_race_set = Hashtbl.length set;
+      thread_specific_excluded = !n_ts_excluded;
+      abstract_objects = Pointsto.n_objs pt;
+    }
+  in
+  { pt; must; icg; ts; set; peers; st }
+
+let may_race t (m : Ir.mir) (i : Ir.instr) =
+  Hashtbl.mem t.set (Ir.mir_key m, i.Ir.i_id)
+
+(* The statically-possible racing statements of an access statement —
+   the debugging aid of Section 2.6 ("our static datarace analyzer can
+   provide a (usually small) set of source locations whose execution
+   could potentially race with e").  Capped at 16 peers. *)
+let peers_of t ~meth ~iid =
+  match Hashtbl.find_opt t.peers (meth, iid) with
+  | Some r -> List.rev !r
+  | None -> []
+
+let stats t = t.st
+
+let pointsto t = t.pt
+
+let thread_spec t = t.ts
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf
+    "@[<v>reachable methods:        %d@ access statements:        %d@ in \
+     static race set:       %d@ thread-specific excluded: %d@ abstract \
+     objects:         %d@]"
+    s.reachable_methods s.access_statements s.in_race_set
+    s.thread_specific_excluded s.abstract_objects

@@ -1,0 +1,57 @@
+(** Static datarace analysis (paper Section 5): computes the {e static
+    datarace set} — the access statements that may participate in a
+    datarace in some execution.  Statements outside the set need not be
+    instrumented at all.
+
+    For two access statements [x] and [y] (Equation 1):
+
+    [IsMayRace(x,y) ⟺ AccMayConflict(x,y) ∧ ¬MustSameThread(x,y)
+     ∧ ¬MustCommonSync(x,y)]
+
+    - [AccMayConflict] — same field and overlapping may points-to sets
+      of the bases (Equation 2);
+    - [MustSameThread] — the statements' methods are only reachable
+      from thread roots whose must thread objects intersect
+      (Equation 3);
+    - [MustCommonSync] — the must-held locksets intersect (Equation 4);
+
+    refined by the thread-specific escape extension of Section 5.4:
+    accesses to thread-specific fields of safe threads are excluded,
+    and so are statements in unreachable methods. *)
+
+module Ir = Drd_ir.Ir
+
+type t
+
+type stats = {
+  reachable_methods : int;
+  access_statements : int;  (** Access statements in reachable code. *)
+  in_race_set : int;  (** Statements that may race. *)
+  thread_specific_excluded : int;
+  abstract_objects : int;
+}
+
+val compute : Ir.program -> t
+(** Run the whole static analysis stack: points-to + call graph,
+    single-instance must points-to, MustSync/MustThread over the ICG,
+    and the thread-specific extension. *)
+
+val may_race : t -> Ir.mir -> Ir.instr -> bool
+(** Is this access statement in the static datarace set?  This is the
+    [keep] predicate handed to the instrumentation pass.  Statements of
+    unreachable methods are not in the set. *)
+
+val peers_of : t -> meth:string -> iid:int -> (string * int) list
+(** The statements that may race with the given access statement —
+    Section 2.6's debugging aid: a dynamic report's site can be linked
+    back to the (usually small) set of statically-possible peer source
+    locations.  Capped at 16 entries per statement. *)
+
+val stats : t -> stats
+
+val pointsto : t -> Pointsto.t
+(** The underlying points-to results (exposed for tests and tools). *)
+
+val thread_spec : t -> Thread_spec.t
+
+val pp_stats : stats Fmt.t

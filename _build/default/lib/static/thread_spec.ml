@@ -1,0 +1,318 @@
+module Ir = Drd_ir.Ir
+module Tast = Drd_lang.Tast
+
+(* The thread-specific extension of escape analysis (paper Section 5.4).
+
+   Thread-specific methods:
+   (1) constructors of Thread subclasses, and run methods that are only
+       invoked by being started (never called explicitly);
+   (2) non-static methods all of whose direct callers are thread-
+       specific non-static methods passing their own [this] as the
+       receiver.
+
+   Thread-specific fields: fields declared in Thread subclasses that
+   are only accessed through [this] inside thread-specific methods.
+
+   Unsafe threads: thread classes whose constructor can transitively
+   reach a [Thread.start] or lets [this] escape.  Accesses to
+   thread-specific fields of safe threads cannot participate in a
+   datarace and are excluded from the static race set. *)
+
+type t = {
+  specific_methods : (string, unit) Hashtbl.t;
+  specific_fields : (string * int, unit) Hashtbl.t; (* declaring class, index *)
+  unsafe_classes : (string, unit) Hashtbl.t;
+  specific_objects : (int, unit) Hashtbl.t; (* abstract objects *)
+}
+
+let thread_classes (prog : Ir.program) =
+  let tprog = prog.Ir.p_tprog in
+  Hashtbl.fold
+    (fun name (ci : Tast.class_info) acc ->
+      if ci.Tast.cls_is_thread then name :: acc else acc)
+    tprog.Tast.classes []
+  |> List.sort compare
+
+let compute (pt : Pointsto.t) : t =
+  let prog = pt.Pointsto.prog in
+  let tprog = prog.Ir.p_tprog in
+  let threads = thread_classes prog in
+  let is_thread_class c =
+    match Tast.find_class tprog c with
+    | Some ci -> ci.Tast.cls_is_thread
+    | None -> false
+  in
+  (* Instruction lookup for call-site inspection. *)
+  let instr_tbl = Hashtbl.create 1024 in
+  Ir.iter_mirs prog (fun m ->
+      Ir.iter_instrs m (fun _ i ->
+          Hashtbl.replace instr_tbl (Ir.mir_key m, i.Ir.i_id) i));
+  (* Explicitly-invoked run methods. *)
+  let explicitly_called = Hashtbl.create 16 in
+  Ir.iter_mirs prog (fun m ->
+      Ir.iter_instrs m (fun _ i ->
+          match i.Ir.i_op with
+          | Ir.Call _ ->
+              List.iter
+                (fun tgt -> Hashtbl.replace explicitly_called tgt ())
+                (Pointsto.call_targets_of pt (Ir.mir_key m) i.Ir.i_id)
+          | _ -> ()));
+  (* Base set: thread constructors and start-only run methods. *)
+  let specific = Hashtbl.create 32 in
+  List.iter
+    (fun cls ->
+      let ctor = cls ^ ".<init>" in
+      if Hashtbl.mem prog.Ir.p_methods ctor then
+        Hashtbl.replace specific ctor ();
+      match Tast.dispatch tprog cls "run" with
+      | Some tm ->
+          let rk = tm.Tast.tm_class ^ ".run" in
+          if not (Hashtbl.mem explicitly_called rk) then
+            Hashtbl.replace specific rk ()
+      | None -> ())
+    threads;
+  (* Closure rule (2): non-static methods whose direct callers are all
+     thread-specific non-static methods passing their own this.  The
+     set can only shrink as callers are examined, so iterate a
+     candidate-removal fixpoint. *)
+  let is_instance key =
+    match Ir.find_mir prog key with
+    | Some m -> not m.Ir.mir_static
+    | None -> false
+  in
+  let candidate key =
+    is_instance key
+    && (not (Hashtbl.mem specific key))
+    && Pointsto.is_reachable pt key
+    &&
+    let callers = Pointsto.callers_of pt key in
+    callers <> []
+  in
+  let passes_this (cs : Pointsto.call_site) =
+    match Hashtbl.find_opt instr_tbl (cs.Pointsto.cs_method, cs.Pointsto.cs_iid) with
+    | Some { Ir.i_op = Ir.Call (_, Ir.Virtual _, recv :: _); _ } -> recv = 0
+    | _ -> false
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Pointsto.iter_reachable pt (fun key ->
+        if candidate key then
+          let callers = Pointsto.callers_of pt key in
+          let ok =
+            List.for_all
+              (fun (cs : Pointsto.call_site) ->
+                Hashtbl.mem specific cs.Pointsto.cs_method
+                && is_instance cs.Pointsto.cs_method
+                && passes_this cs)
+              callers
+          in
+          if ok then begin
+            Hashtbl.replace specific key ();
+            changed := true
+          end)
+  done;
+  (* Thread-specific fields: declared in thread classes, accessed only
+     via [this] within thread-specific methods. *)
+  let field_ok = Hashtbl.create 32 in
+  let disqualify = Hashtbl.create 32 in
+  List.iter
+    (fun cls ->
+      match Tast.find_class tprog cls with
+      | Some ci ->
+          Array.iter
+            (fun (f : Tast.field_info) ->
+              (* Only fields declared in thread classes themselves. *)
+              if is_thread_class f.Tast.fld_owner then
+                Hashtbl.replace field_ok (f.Tast.fld_owner, f.Tast.fld_index) ())
+            ci.Tast.cls_fields
+      | None -> ())
+    threads;
+  Ir.iter_mirs prog (fun m ->
+      let key = Ir.mir_key m in
+      let meth_specific = Hashtbl.mem specific key && not m.Ir.mir_static in
+      Ir.iter_instrs m (fun _ i ->
+          match i.Ir.i_op with
+          | Ir.GetField (_, o, fm) | Ir.PutField (o, fm, _) ->
+              let k = (fm.Ir.fm_class, fm.Ir.fm_index) in
+              if
+                Hashtbl.mem field_ok k
+                && not (meth_specific && o = 0)
+              then Hashtbl.replace disqualify k ()
+          | _ -> ()));
+  let specific_fields_tbl = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun k () ->
+      if not (Hashtbl.mem disqualify k) then Hashtbl.replace specific_fields_tbl k ())
+    field_ok;
+  (* Unsafe threads: constructor reaches Thread.start, or this escapes
+     the constructor (stored to the heap, a static, an array, or passed
+     in a non-receiver position / to a non-thread-specific callee). *)
+  let unsafe = Hashtbl.create 8 in
+  let reaches_start =
+    let memo = Hashtbl.create 32 in
+    let rec go visiting key =
+      match Hashtbl.find_opt memo key with
+      | Some b -> b
+      | None ->
+          if List.mem key visiting then false
+          else
+            let b =
+              match Ir.find_mir prog key with
+              | None -> false
+              | Some m ->
+                  let found = ref false in
+                  Ir.iter_instrs m (fun _ i ->
+                      match i.Ir.i_op with
+                      | Ir.ThreadStart _ -> found := true
+                      | Ir.Call _ ->
+                          if
+                            List.exists
+                              (go (key :: visiting))
+                              (Pointsto.call_targets_of pt key i.Ir.i_id)
+                          then found := true
+                      | _ -> ());
+                  !found
+            in
+            Hashtbl.replace memo key b;
+            b
+    in
+    go []
+  in
+  let this_escapes key =
+    match Ir.find_mir prog key with
+    | None -> false
+    | Some m ->
+        let escapes = ref false in
+        Ir.iter_instrs m (fun _ i ->
+            match i.Ir.i_op with
+            | Ir.PutField (_, _, src) when src = 0 -> escapes := true
+            | Ir.PutStatic (_, src) when src = 0 -> escapes := true
+            | Ir.AStore (_, _, src) when src = 0 -> escapes := true
+            | Ir.Call (_, _, args) ->
+                List.iteri
+                  (fun idx a ->
+                    if a = 0 && idx > 0 then escapes := true
+                    else if a = 0 && idx = 0 then
+                      (* receiver position: fine only if every target is
+                         itself thread-specific *)
+                      if
+                        not
+                          (List.for_all
+                             (Hashtbl.mem specific)
+                             (Pointsto.call_targets_of pt key i.Ir.i_id))
+                      then escapes := true)
+                  args
+            | _ -> ());
+        Ir.iter_blocks m (fun b ->
+            match b.Ir.b_term with
+            | Ir.Ret (Some r) when r = 0 -> escapes := true
+            | _ -> ());
+        !escapes
+  in
+  List.iter
+    (fun cls ->
+      let ctor = cls ^ ".<init>" in
+      if Hashtbl.mem prog.Ir.p_methods ctor then begin
+        if reaches_start ctor || this_escapes ctor then
+          Hashtbl.replace unsafe cls ()
+      end)
+    threads;
+  (* Thread-specific OBJECTS (Section 5.4, last paragraph): an abstract
+     object only reachable through thread-specific methods of a safe
+     thread or through its thread-specific fields cannot be involved in
+     a race.  Computed as a greatest fixpoint over the points-to
+     results: start from every object held somewhere and remove any
+     object one of whose holders is not a qualifying variable (the
+     element variable of another candidate array keeps the candidate
+     alive only while its parent stays a candidate). *)
+  let field_owner_of ao idx =
+    match (Pointsto.obj pt ao).Pointsto.ao_kind with
+    | Pointsto.Aobj cls | Pointsto.Aclassobj cls -> (
+        match Tast.find_class tprog cls with
+        | Some ci when idx < Array.length ci.Tast.cls_fields ->
+            Some ci.Tast.cls_fields.(idx)
+        | _ -> None)
+    | Pointsto.Amain -> None
+    | Pointsto.Aarr _ -> None
+  in
+  let holders : (int, Pointsto.var list ref) Hashtbl.t = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun v objs ->
+      Pointsto.Iset.iter
+        (fun o ->
+          let r =
+            match Hashtbl.find_opt holders o with
+            | Some r -> r
+            | None ->
+                let r = ref [] in
+                Hashtbl.add holders o r;
+                r
+          in
+          r := v :: !r)
+        objs)
+    pt.Pointsto.pts;
+  let candidate = Hashtbl.create 64 in
+  Hashtbl.iter (fun o _ -> Hashtbl.replace candidate o true) holders;
+  let method_of_key key =
+    match Ir.find_mir prog key with Some m -> Some m | None -> None
+  in
+  let var_ok o_candidates v =
+    match (v : Pointsto.var) with
+    | Pointsto.Vreg (m, _) -> (
+        Hashtbl.mem specific m
+        &&
+        match method_of_key m with
+        | Some mir -> not mir.Ir.mir_static
+        | None -> false)
+    | Pointsto.Vfield (ao, idx) -> (
+        match field_owner_of ao idx with
+        | Some fi ->
+            Hashtbl.mem specific_fields_tbl (fi.Tast.fld_owner, fi.Tast.fld_index)
+            && not (Hashtbl.mem unsafe fi.Tast.fld_owner)
+        | None -> false)
+    | Pointsto.Velem parent ->
+        (* inner array of a candidate array *)
+        Option.value (Hashtbl.find_opt o_candidates parent) ~default:false
+    | Pointsto.Vstatic _ | Pointsto.Vret _ -> false
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun o live ->
+        if live then
+          let hs = Option.value (Hashtbl.find_opt holders o) ~default:(ref []) in
+          if not (List.for_all (var_ok candidate) !hs) then begin
+            Hashtbl.replace candidate o false;
+            changed := true
+          end)
+      (Hashtbl.copy candidate)
+  done;
+  let specific_objects = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun o live -> if live then Hashtbl.replace specific_objects o ())
+    candidate;
+  {
+    specific_methods = specific;
+    specific_fields = specific_fields_tbl;
+    unsafe_classes = unsafe;
+    specific_objects;
+  }
+
+let is_specific_method t key = Hashtbl.mem t.specific_methods key
+
+let is_specific_field t ~cls ~index = Hashtbl.mem t.specific_fields (cls, index)
+
+let is_unsafe_class t cls = Hashtbl.mem t.unsafe_classes cls
+
+let is_specific_object t ao = Hashtbl.mem t.specific_objects ao
+
+(* An access instruction that cannot race because it touches a
+   thread-specific field of a safe thread. *)
+let access_is_thread_specific t (i : Ir.instr) =
+  match i.Ir.i_op with
+  | Ir.GetField (_, _, fm) | Ir.PutField (_, fm, _) ->
+      is_specific_field t ~cls:fm.Ir.fm_class ~index:fm.Ir.fm_index
+      && not (is_unsafe_class t fm.Ir.fm_class)
+  | _ -> false

@@ -1,0 +1,1 @@
+lib/vm/heap.ml: Array Drd_lang Hashtbl Printf Value

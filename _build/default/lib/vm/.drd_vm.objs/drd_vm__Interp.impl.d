@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Ast Drd_core Drd_ir Drd_lang Event Format Hashtbl Heap List Memloc Option Printf Pseudo_lock Random Sink Value

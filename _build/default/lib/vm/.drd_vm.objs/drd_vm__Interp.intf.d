@@ -1,0 +1,1 @@
+lib/vm/interp.mli: Drd_ir Heap Memloc Sink Value

@@ -1,0 +1,1 @@
+lib/vm/memloc.ml: Array Drd_lang Hashtbl Heap Printf Seq

@@ -1,0 +1,1 @@
+lib/vm/sink.ml: Drd_core Event

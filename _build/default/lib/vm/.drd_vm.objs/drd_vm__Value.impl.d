@@ -1,0 +1,1 @@
+lib/vm/value.ml: Drd_lang Fmt

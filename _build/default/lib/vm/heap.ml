@@ -1,0 +1,69 @@
+(* The VM heap: a growable store of objects, arrays and opaque objects
+   (per-class lock objects and join pseudo-locks).  Heap ids are never
+   reused, so a heap id is a stable identity for memory locations and
+   locks — the prototype property the paper assumes in Section 3.3
+   (no GC movement) holds exactly here. *)
+
+type kind =
+  | Obj of { cls : string; fields : Value.t array }
+  | Arr of { elems : Value.t array }
+  | Opaque of string (* description, e.g. "class Tsp" or "S_2" *)
+
+type t = { mutable data : kind array; mutable n : int }
+
+let create () = { data = Array.make 1024 (Opaque "<unallocated>"); n = 0 }
+
+let alloc h kind =
+  if h.n = Array.length h.data then begin
+    let data = Array.make (2 * h.n) (Opaque "<unallocated>") in
+    Array.blit h.data 0 data 0 h.n;
+    h.data <- data
+  end;
+  let id = h.n in
+  h.data.(id) <- kind;
+  h.n <- h.n + 1;
+  id
+
+let get h id =
+  if id < 0 || id >= h.n then invalid_arg "Heap.get: bad id";
+  h.data.(id)
+
+let alloc_obj h (prog : Drd_lang.Tast.tprogram) cls =
+  let ci = Hashtbl.find prog.Drd_lang.Tast.classes cls in
+  let fields =
+    Array.map
+      (fun (f : Drd_lang.Tast.field_info) -> Value.default_of f.fld_ty)
+      ci.Drd_lang.Tast.cls_fields
+  in
+  alloc h (Obj { cls; fields })
+
+(* Allocate a (possibly multi-dimensional) array: [dims] are the sized
+   dimensions; inner arrays are allocated recursively. *)
+let rec alloc_arr h (elem_ty : Drd_lang.Ast.ty) dims =
+  match dims with
+  | [] -> invalid_arg "Heap.alloc_arr: no dimensions"
+  | [ n ] ->
+      if n < 0 then invalid_arg "negative array size";
+      alloc h (Arr { elems = Array.make n (Value.default_of elem_ty) })
+  | n :: rest ->
+      if n < 0 then invalid_arg "negative array size";
+      let elems =
+        Array.init n (fun _ -> Value.Vref (alloc_arr h elem_ty rest))
+      in
+      alloc h (Arr { elems })
+
+let alloc_opaque h desc = alloc h (Opaque desc)
+
+let class_of h id =
+  match get h id with
+  | Obj { cls; _ } -> cls
+  | Arr _ -> "<array>"
+  | Opaque d -> d
+
+let size h = h.n
+
+let describe h id =
+  match get h id with
+  | Obj { cls; _ } -> Printf.sprintf "%s#%d" cls id
+  | Arr { elems } -> Printf.sprintf "array#%d(len %d)" id (Array.length elems)
+  | Opaque d -> d

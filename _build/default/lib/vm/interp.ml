@@ -1,0 +1,560 @@
+module Tast = Drd_lang.Tast
+open Drd_core
+open Drd_ir.Ir
+module Ir = Drd_ir.Ir
+
+exception Runtime_error of string
+
+type config = {
+  seed : int;
+  quantum : int;
+  max_steps : int;
+  all_accesses : bool;
+  granularity : Memloc.granularity;
+  pseudo_locks : bool;
+}
+
+let default_config =
+  {
+    seed = 42;
+    quantum = 20;
+    max_steps = 200_000_000;
+    all_accesses = false;
+    granularity = Memloc.Per_field;
+    pseudo_locks = true;
+  }
+
+type result = {
+  r_prints : (string * Value.t option) list;
+  r_steps : int;
+  r_max_threads : int;
+  r_heap : Heap.t;
+}
+
+type frame = {
+  f_mir : mir;
+  f_regs : Value.t array;
+  mutable f_block : int;
+  mutable f_pc : instr list; (* remaining instructions of the block *)
+  f_dst : reg option; (* caller register receiving the return value *)
+}
+
+type status =
+  | Runnable
+  | Blocked of int (* waiting to enter the monitor of this object *)
+  | Joining of int (* waiting for this thread id to finish *)
+  | Waiting of int (* in the wait set of this object's monitor *)
+  | Finished
+
+type thread = {
+  t_id : int;
+  mutable t_frames : frame list;
+  mutable t_status : status;
+  t_held : (int, int) Hashtbl.t; (* monitor object -> reentrancy count *)
+  mutable t_lockset : Event.Lockset.t; (* outermost real locks + pseudo *)
+  mutable t_wait : int option; (* saved reentrancy count across wait() *)
+}
+
+type monitor = {
+  mutable owner : int option;
+  mutable count : int;
+  mutable waiters : int list; (* FIFO wait set *)
+}
+
+type st = {
+  prog : program;
+  cfg : config;
+  sink : Sink.t;
+  heap : Heap.t;
+  globals : Value.t array; (* static field slots *)
+  mutable threads : thread list; (* reverse creation order *)
+  mutable nthreads : int;
+  monitors : (int, monitor) Hashtbl.t;
+  class_objs : (string, int) Hashtbl.t;
+  thread_of_obj : (int, int) Hashtbl.t;
+  pseudo : Pseudo_lock.t;
+  rng : Random.State.t;
+  mutable steps : int;
+  mutable prints : (string * Value.t option) list; (* reverse order *)
+}
+
+let error fmt = Format.kasprintf (fun m -> raise (Runtime_error m)) fmt
+
+let frame_of st key dst args =
+  match find_mir st.prog key with
+  | None -> error "no such method %s" key
+  | Some m ->
+      let regs = Array.make (max m.mir_nregs 1) Value.Vnull in
+      List.iteri (fun i v -> regs.(i) <- v) args;
+      {
+        f_mir = m;
+        f_regs = regs;
+        f_block = m.mir_entry;
+        f_pc = m.mir_blocks.(m.mir_entry).b_instrs;
+        f_dst = dst;
+      }
+
+let find_thread st tid = List.find (fun t -> t.t_id = tid) st.threads
+
+let new_thread st frames =
+  let tid = st.nthreads in
+  st.nthreads <- st.nthreads + 1;
+  let t =
+    {
+      t_id = tid;
+      t_frames = frames;
+      t_status = Runnable;
+      t_held = Hashtbl.create 4;
+      t_lockset = Event.Lockset.empty;
+      t_wait = None;
+    }
+  in
+  if st.cfg.pseudo_locks then begin
+    let s = Heap.alloc_opaque st.heap (Printf.sprintf "S_%d" tid) in
+    Pseudo_lock.on_thread_start st.pseudo tid s;
+    t.t_lockset <- Pseudo_lock.locks_of st.pseudo tid
+  end;
+  st.threads <- t :: st.threads;
+  t
+
+let monitor_of st obj =
+  match Hashtbl.find_opt st.monitors obj with
+  | Some m -> m
+  | None ->
+      let m = { owner = None; count = 0; waiters = [] } in
+      Hashtbl.add st.monitors obj m;
+      m
+
+let class_obj st cls =
+  match Hashtbl.find_opt st.class_objs cls with
+  | Some id -> id
+  | None ->
+      let id = Heap.alloc_opaque st.heap ("class " ^ cls) in
+      Hashtbl.add st.class_objs cls id;
+      id
+
+let as_ref ~what = function
+  | Value.Vref o -> o
+  | Value.Vnull -> error "NullPointerException (%s)" what
+  | _ -> error "type confusion: expected reference (%s)" what
+
+let obj_fields st o =
+  match Heap.get st.heap o with
+  | Heap.Obj { fields; _ } -> fields
+  | _ -> error "type confusion: expected object #%d" o
+
+let arr_elems st o =
+  match Heap.get st.heap o with
+  | Heap.Arr { elems } -> elems
+  | _ -> error "type confusion: expected array #%d" o
+
+let emit_access st thr ~loc ~kind ~site =
+  st.sink.Sink.access ~tid:thr.t_id ~loc ~kind ~locks:thr.t_lockset ~site
+
+let raw_access st thr ~loc ~kind =
+  if st.cfg.all_accesses then emit_access st thr ~loc ~kind ~site:(-1)
+
+(* Execute one instruction of the top frame.  Returns [false] when the
+   thread must retry the same instruction later (blocked). *)
+let exec_instr st thr frame (i : instr) : bool =
+  let regs = frame.f_regs in
+  let gran = st.cfg.granularity in
+  match i.i_op with
+  | Const (d, Cint n) ->
+      regs.(d) <- Value.Vint n;
+      true
+  | Const (d, Cbool b) ->
+      regs.(d) <- Value.Vbool b;
+      true
+  | Const (d, Cnull) ->
+      regs.(d) <- Value.Vnull;
+      true
+  | Move (d, s) ->
+      regs.(d) <- regs.(s);
+      true
+  | Binop (op, d, l, r) ->
+      let v =
+        match op with
+        | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
+            let a = Value.to_int regs.(l) and b = Value.to_int regs.(r) in
+            let n =
+              match op with
+              | Ast.Add -> a + b
+              | Ast.Sub -> a - b
+              | Ast.Mul -> a * b
+              | Ast.Div ->
+                  if b = 0 then error "division by zero at line %d" i.i_line
+                  else a / b
+              | Ast.Mod ->
+                  if b = 0 then error "division by zero at line %d" i.i_line
+                  else a mod b
+              | _ -> assert false
+            in
+            Value.Vint n
+        | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+            let a = Value.to_int regs.(l) and b = Value.to_int regs.(r) in
+            Value.Vbool
+              (match op with
+              | Ast.Lt -> a < b
+              | Ast.Le -> a <= b
+              | Ast.Gt -> a > b
+              | _ -> a >= b)
+        | Ast.Eq -> Value.Vbool (regs.(l) = regs.(r))
+        | Ast.Ne -> Value.Vbool (regs.(l) <> regs.(r))
+        | Ast.And | Ast.Or ->
+            assert false (* expanded into control flow by lowering *)
+      in
+      regs.(d) <- v;
+      true
+  | Unop (Ast.Neg, d, s) ->
+      regs.(d) <- Value.Vint (-Value.to_int regs.(s));
+      true
+  | Unop (Ast.Not, d, s) ->
+      regs.(d) <- Value.Vbool (not (Value.to_bool regs.(s)));
+      true
+  | GetField (d, o, fm) ->
+      let obj = as_ref ~what:(fm.fm_name ^ " load") regs.(o) in
+      regs.(d) <- (obj_fields st obj).(fm.fm_index);
+      raw_access st thr
+        ~loc:(Memloc.field ~gran ~obj ~index:fm.fm_index)
+        ~kind:Event.Read;
+      true
+  | PutField (o, fm, s) ->
+      let obj = as_ref ~what:(fm.fm_name ^ " store") regs.(o) in
+      (obj_fields st obj).(fm.fm_index) <- regs.(s);
+      raw_access st thr
+        ~loc:(Memloc.field ~gran ~obj ~index:fm.fm_index)
+        ~kind:Event.Write;
+      true
+  | GetStatic (d, sm) ->
+      regs.(d) <- st.globals.(sm.sm_slot);
+      raw_access st thr ~loc:(Memloc.static ~gran ~slot:sm.sm_slot)
+        ~kind:Event.Read;
+      true
+  | PutStatic (sm, s) ->
+      st.globals.(sm.sm_slot) <- regs.(s);
+      raw_access st thr ~loc:(Memloc.static ~gran ~slot:sm.sm_slot)
+        ~kind:Event.Write;
+      true
+  | ALoad (d, a, idx) ->
+      let arr = as_ref ~what:"array load" regs.(a) in
+      regs.(d) <- (arr_elems st arr).(Value.to_int regs.(idx));
+      raw_access st thr ~loc:(Memloc.array ~gran ~obj:arr) ~kind:Event.Read;
+      true
+  | AStore (a, idx, s) ->
+      let arr = as_ref ~what:"array store" regs.(a) in
+      (arr_elems st arr).(Value.to_int regs.(idx)) <- regs.(s);
+      raw_access st thr ~loc:(Memloc.array ~gran ~obj:arr) ~kind:Event.Write;
+      true
+  | NewObj (d, cls) ->
+      regs.(d) <- Value.Vref (Heap.alloc_obj st.heap st.prog.p_tprog cls);
+      true
+  | NewArr (d, elem, dims) ->
+      let ds = List.map (fun r -> Value.to_int regs.(r)) dims in
+      List.iter
+        (fun n -> if n < 0 then error "negative array size at line %d" i.i_line)
+        ds;
+      regs.(d) <- Value.Vref (Heap.alloc_arr st.heap elem ds);
+      true
+  | ArrLen (d, a) ->
+      let arr = as_ref ~what:"length" regs.(a) in
+      regs.(d) <- Value.Vint (Array.length (arr_elems st arr));
+      true
+  | ClassObj (d, cls) ->
+      regs.(d) <- Value.Vref (class_obj st cls);
+      true
+  | NullCheck r ->
+      (match regs.(r) with
+      | Value.Vnull ->
+          error "NullPointerException at %s line %d" (mir_key frame.f_mir)
+            i.i_line
+      | _ -> ());
+      true
+  | BoundsCheck (a, idx) ->
+      let arr = as_ref ~what:"array access" regs.(a) in
+      let n = Array.length (arr_elems st arr) in
+      let k = Value.to_int regs.(idx) in
+      if k < 0 || k >= n then
+        error "ArrayIndexOutOfBoundsException: %d (length %d) at %s line %d" k
+          n (mir_key frame.f_mir) i.i_line;
+      true
+  | Call (dst, target, args) ->
+      let argv = List.map (fun r -> regs.(r)) args in
+      let key =
+        match target with
+        | Static (cls, name) -> cls ^ "." ^ name
+        | Ctor cls -> cls ^ ".<init>"
+        | Virtual (_, name) -> (
+            let recv = as_ref ~what:("call " ^ name) (List.hd argv) in
+            (match st.sink.Sink.call with
+            | Some f ->
+                f ~tid:thr.t_id ~obj:recv ~locks:thr.t_lockset ~site:(-1)
+            | None -> ());
+            let cls = Heap.class_of st.heap recv in
+            match Tast.dispatch st.prog.p_tprog cls name with
+            | Some m -> m.Tast.tm_class ^ "." ^ name
+            | None -> error "no method %s on class %s" name cls)
+      in
+      thr.t_frames <- frame_of st key dst argv :: thr.t_frames;
+      true
+  | MonitorEnter (r, _) -> (
+      let obj = as_ref ~what:"monitorenter" regs.(r) in
+      let m = monitor_of st obj in
+      match m.owner with
+      | Some o when o = thr.t_id ->
+          m.count <- m.count + 1;
+          Hashtbl.replace thr.t_held obj m.count;
+          true
+      | None ->
+          m.owner <- Some thr.t_id;
+          m.count <- 1;
+          Hashtbl.replace thr.t_held obj 1;
+          thr.t_lockset <- Event.Lockset.add obj thr.t_lockset;
+          st.sink.Sink.acquire ~tid:thr.t_id ~lock:obj;
+          true
+      | Some _ ->
+          thr.t_status <- Blocked obj;
+          false)
+  | MonitorExit (r, _) ->
+      let obj = as_ref ~what:"monitorexit" regs.(r) in
+      let m = monitor_of st obj in
+      if m.owner <> Some thr.t_id then
+        error "IllegalMonitorStateException at %s line %d"
+          (mir_key frame.f_mir) i.i_line;
+      m.count <- m.count - 1;
+      if m.count = 0 then begin
+        m.owner <- None;
+        Hashtbl.remove thr.t_held obj;
+        thr.t_lockset <- Event.Lockset.remove obj thr.t_lockset;
+        st.sink.Sink.release ~tid:thr.t_id ~lock:obj
+      end
+      else Hashtbl.replace thr.t_held obj m.count;
+      true
+  | ThreadStart r ->
+      let obj = as_ref ~what:"start" regs.(r) in
+      if Hashtbl.mem st.thread_of_obj obj then
+        error "IllegalThreadStateException: thread #%d started twice" obj;
+      let cls = Heap.class_of st.heap obj in
+      let key =
+        match Tast.dispatch st.prog.p_tprog cls "run" with
+        | Some m -> m.Tast.tm_class ^ ".run"
+        | None -> error "class %s has no run method" cls
+      in
+      let child = new_thread st [ frame_of st key None [ Value.Vref obj ] ] in
+      Hashtbl.add st.thread_of_obj obj child.t_id;
+      st.sink.Sink.thread_start ~parent:thr.t_id ~child:child.t_id;
+      true
+  | ThreadJoin r -> (
+      let obj = as_ref ~what:"join" regs.(r) in
+      match Hashtbl.find_opt st.thread_of_obj obj with
+      | None -> true (* joining a never-started thread returns at once *)
+      | Some tid ->
+          let target = find_thread st tid in
+          if target.t_status = Finished then begin
+            if st.cfg.pseudo_locks then begin
+              Pseudo_lock.on_join st.pseudo ~joiner:thr.t_id ~joinee:tid;
+              thr.t_lockset <-
+                Event.Lockset.union thr.t_lockset
+                  (Pseudo_lock.locks_of st.pseudo thr.t_id)
+            end;
+            st.sink.Sink.thread_join ~joiner:thr.t_id ~joinee:tid;
+            true
+          end
+          else begin
+            thr.t_status <- Joining tid;
+            false
+          end)
+  | Wait r -> (
+      let obj = as_ref ~what:"wait" regs.(r) in
+      let m = monitor_of st obj in
+      match thr.t_wait with
+      | None ->
+          (* Phase 1: release the monitor entirely and join the wait
+             set.  Resumes at this same instruction once notified. *)
+          if m.owner <> Some thr.t_id then
+            error "IllegalMonitorStateException: wait at %s line %d without \
+                   owning the monitor"
+              (mir_key frame.f_mir) i.i_line;
+          thr.t_wait <- Some m.count;
+          m.owner <- None;
+          m.count <- 0;
+          m.waiters <- m.waiters @ [ thr.t_id ];
+          Hashtbl.remove thr.t_held obj;
+          thr.t_lockset <- Event.Lockset.remove obj thr.t_lockset;
+          st.sink.Sink.release ~tid:thr.t_id ~lock:obj;
+          thr.t_status <- Waiting obj;
+          false
+      | Some saved -> (
+          (* Phase 2: notified; re-acquire with the saved count. *)
+          match m.owner with
+          | None ->
+              m.owner <- Some thr.t_id;
+              m.count <- saved;
+              Hashtbl.replace thr.t_held obj saved;
+              thr.t_lockset <- Event.Lockset.add obj thr.t_lockset;
+              st.sink.Sink.acquire ~tid:thr.t_id ~lock:obj;
+              thr.t_wait <- None;
+              true
+          | Some _ ->
+              thr.t_status <- Blocked obj;
+              false))
+  | Notify (r, all) ->
+      let obj = as_ref ~what:"notify" regs.(r) in
+      let m = monitor_of st obj in
+      if m.owner <> Some thr.t_id then
+        error "IllegalMonitorStateException: notify at %s line %d without \
+               owning the monitor"
+          (mir_key frame.f_mir) i.i_line;
+      let woken, remaining =
+        match m.waiters with
+        | [] -> ([], [])
+        | w :: rest -> if all then (m.waiters, []) else ([ w ], rest)
+      in
+      m.waiters <- remaining;
+      List.iter
+        (fun tid ->
+          let t = find_thread st tid in
+          (* The woken thread re-contends for the monitor. *)
+          t.t_status <- Blocked obj)
+        woken;
+      true
+  | Yield -> true
+  | Print (tag, r) ->
+      let v = Option.map (fun r -> regs.(r)) r in
+      st.prints <- (tag, v) :: st.prints;
+      true
+  | Trace t ->
+      let loc =
+        match t.tr_target with
+        | Tr_field (o, fm) ->
+            let obj = as_ref ~what:"trace" regs.(o) in
+            Memloc.field ~gran ~obj ~index:fm.fm_index
+        | Tr_static sm -> Memloc.static ~gran ~slot:sm.sm_slot
+        | Tr_array (a, _) ->
+            Memloc.array ~gran ~obj:(as_ref ~what:"trace" regs.(a))
+      in
+      emit_access st thr ~loc ~kind:t.tr_kind ~site:t.tr_site;
+      true
+
+let exec_term st thr frame =
+  let regs = frame.f_regs in
+  match (block frame.f_mir frame.f_block).b_term with
+  | Goto l ->
+      frame.f_block <- l;
+      frame.f_pc <- (block frame.f_mir l).b_instrs
+  | If (c, t, f) ->
+      let l = if Value.to_bool regs.(c) then t else f in
+      frame.f_block <- l;
+      frame.f_pc <- (block frame.f_mir l).b_instrs
+  | Ret v -> (
+      let value = Option.map (fun r -> regs.(r)) v in
+      thr.t_frames <- List.tl thr.t_frames;
+      match thr.t_frames with
+      | [] ->
+          thr.t_status <- Finished;
+          st.sink.Sink.thread_exit ~tid:thr.t_id
+      | caller :: _ -> (
+          match (frame.f_dst, value) with
+          | Some d, Some v -> caller.f_regs.(d) <- v
+          | Some _, None ->
+              error "method %s returned no value" (mir_key frame.f_mir)
+          | None, _ -> ()))
+  | Trap msg -> error "%s in %s" msg (mir_key frame.f_mir)
+
+(* Can this thread make progress right now? *)
+let ready st t =
+  match t.t_status with
+  | Runnable -> true
+  | Finished -> false
+  | Waiting _ -> false (* until notified *)
+  | Blocked obj -> (monitor_of st obj).owner = None
+  | Joining tid -> (find_thread st tid).t_status = Finished
+
+(* Run one scheduling slice of up to [n] instructions on thread [t].
+   Returns when the slice ends, the thread blocks, yields or finishes. *)
+let run_slice st t n =
+  t.t_status <- Runnable;
+  let continue_ = ref true in
+  let budget = ref n in
+  while !continue_ && !budget > 0 && t.t_status = Runnable do
+    match t.t_frames with
+    | [] -> continue_ := false
+    | frame :: _ -> (
+        st.steps <- st.steps + 1;
+        if st.steps > st.cfg.max_steps then error "step limit exceeded";
+        match frame.f_pc with
+        | [] -> exec_term st t frame
+        | i :: rest ->
+            let advanced = exec_instr st t frame i in
+            if advanced then begin
+              (* The instruction may have pushed a new frame; [frame]
+                 still designates the frame the instruction came from. *)
+              frame.f_pc <- rest;
+              decr budget;
+              if i.i_op = Yield then continue_ := false
+            end
+            else continue_ := false)
+  done
+
+let run ?(config = default_config) ~sink (prog : program) : result =
+  let heap = Heap.create () in
+  (* Join pseudo-locks live in the heap id space, so they can never
+     collide with real lock (object) identities. *)
+  let pseudo = Pseudo_lock.create () in
+  let globals =
+    Array.map
+      (fun (sf : Tast.sfield_info) -> Value.default_of sf.Tast.sf_ty)
+      prog.p_tprog.Tast.statics
+  in
+  let st =
+    {
+      prog;
+      cfg = config;
+      sink;
+      heap;
+      globals;
+      threads = [];
+      nthreads = 0;
+      monitors = Hashtbl.create 64;
+      class_objs = Hashtbl.create 16;
+      thread_of_obj = Hashtbl.create 16;
+      pseudo;
+      rng = Random.State.make [| config.seed |];
+      steps = 0;
+      prints = [];
+    }
+  in
+  ignore (new_thread st [ frame_of st prog.p_main None [] ]);
+  let rec loop () =
+    let alive = List.filter (fun t -> t.t_status <> Finished) st.threads in
+    if alive <> [] then begin
+      let ready_threads = List.filter (ready st) alive in
+      (match ready_threads with
+      | [] ->
+          let waiting =
+            List.length
+              (List.filter
+                 (fun t -> match t.t_status with Waiting _ -> true | _ -> false)
+                 alive)
+          in
+          if waiting > 0 then
+            error
+              "deadlock: %d of %d remaining threads are stuck in wait() with \
+               no runnable thread left to notify them"
+              waiting (List.length alive)
+          else error "deadlock: no runnable thread among %d" (List.length alive)
+      | _ ->
+          let k = Random.State.int st.rng (List.length ready_threads) in
+          let t = List.nth ready_threads k in
+          let n = 1 + Random.State.int st.rng config.quantum in
+          run_slice st t n);
+      loop ()
+    end
+  in
+  loop ();
+  {
+    r_prints = List.rev st.prints;
+    r_steps = st.steps;
+    r_max_threads = st.nthreads;
+    r_heap = st.heap;
+  }

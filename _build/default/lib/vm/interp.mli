@@ -1,0 +1,50 @@
+(** The MiniJava virtual machine: a deterministic, seeded, preemptive
+    interpreter for the register IR with user-level threads, reentrant
+    monitors, and access-event emission at [Trace] pseudo-instructions.
+
+    The scheduler interleaves threads at instruction granularity with
+    randomized (but seed-deterministic) slice lengths, so a given seed
+    always produces the same event stream — race reports are
+    reproducible, and tests can sweep seeds. *)
+
+module Ir = Drd_ir.Ir
+
+exception Runtime_error of string
+(** Fatal execution error: null dereference, array bounds violation,
+    division by zero, missing return, double thread start, illegal
+    monitor state (wait/notify without owning the monitor), deadlock
+    (including every remaining thread stuck in [wait()]), or step-limit
+    exhaustion. *)
+
+type config = {
+  seed : int;  (** Scheduler seed. *)
+  quantum : int;  (** Maximum instructions per scheduling slice. *)
+  max_steps : int;  (** Fail-safe bound on total instructions executed. *)
+  all_accesses : bool;
+      (** Emit events at every raw memory access in addition to [Trace]
+          instructions (used by tests; baselines normally run on fully
+          instrumented code instead). *)
+  granularity : Memloc.granularity;
+      (** Location granularity for event locations (Table 3's
+          "FieldsMerged" uses [Per_object]). *)
+  pseudo_locks : bool;
+      (** Model thread join with per-thread dummy locks (Section 2.3).
+          Disabled when driving baselines like Eraser that have no join
+          handling. *)
+}
+
+val default_config : config
+(** seed 42, quantum 20, 200M steps, trace-only events, per-field
+    granularity. *)
+
+type result = {
+  r_prints : (string * Value.t option) list;
+      (** Output of [print] statements, in execution order. *)
+  r_steps : int;  (** Total instructions executed. *)
+  r_max_threads : int;  (** Number of threads ever created (incl. main). *)
+  r_heap : Heap.t;  (** Final heap, for decoding location names. *)
+}
+
+val run : ?config:config -> sink:Sink.t -> Ir.program -> result
+(** Execute a program from its [main] method until every thread
+    terminates.  Raises {!Runtime_error} on fatal errors. *)

@@ -1,0 +1,63 @@
+(* Mapping from concrete storage (object fields, statics, arrays) to the
+   integer memory-location ids carried by access events.
+
+   The encoding packs the identity into one non-negative int so the hot
+   path allocates nothing:
+
+   - instance field:  [(obj << 11) | (field_index << 1)]
+     (field index 1022 is reserved for "whole object", 1023 for arrays)
+   - whole array:     [(obj << 11) | (1023 << 1)]   (paper footnote 1)
+   - static field:    [(slot << 1) | 1]
+
+   The [Per_object] granularity ("FieldsMerged" in Table 3) maps every
+   field of an object — and the array case — to the whole-object
+   location; static fields of the same class remain distinguished, as in
+   the paper. *)
+
+type granularity = Per_field | Per_object
+
+let max_fields = 1022
+let array_tag = 1023
+let object_tag = 1022
+
+let field ~gran ~obj ~index =
+  match gran with
+  | Per_field ->
+      if index >= max_fields then invalid_arg "Memloc.field: too many fields";
+      (obj lsl 11) lor (index lsl 1)
+  | Per_object -> (obj lsl 11) lor (object_tag lsl 1)
+
+let array ~gran ~obj =
+  match gran with
+  | Per_field -> (obj lsl 11) lor (array_tag lsl 1)
+  | Per_object -> (obj lsl 11) lor (object_tag lsl 1)
+
+let static ~gran:_ ~slot = (slot lsl 1) lor 1
+
+let whole_object ~obj = (obj lsl 11) lor (object_tag lsl 1)
+
+(* Decode a location id into a human-readable name for reports. *)
+let describe (prog : Drd_lang.Tast.tprogram) heap loc =
+  if loc land 1 = 1 then
+    let slot = loc lsr 1 in
+    let sf = prog.Drd_lang.Tast.statics.(slot) in
+    Printf.sprintf "%s.%s" sf.Drd_lang.Tast.sf_class sf.Drd_lang.Tast.sf_name
+  else
+    let obj = loc lsr 11 in
+    let idx = (loc lsr 1) land 1023 in
+    if idx = array_tag then Heap.describe heap obj
+    else if idx = object_tag then Heap.describe heap obj
+    else
+      match Heap.get heap obj with
+      | Heap.Obj { cls; _ } -> (
+          let ci = Hashtbl.find prog.Drd_lang.Tast.classes cls in
+          match
+            Array.to_seq ci.Drd_lang.Tast.cls_fields
+            |> Seq.filter (fun (f : Drd_lang.Tast.field_info) ->
+                   f.fld_index = idx)
+            |> Seq.uncons
+          with
+          | Some (f, _) ->
+              Printf.sprintf "%s#%d.%s" cls obj f.Drd_lang.Tast.fld_name
+          | None -> Printf.sprintf "%s#%d.field%d" cls obj idx)
+      | _ -> Printf.sprintf "%s.field%d" (Heap.describe heap obj) idx

@@ -1,0 +1,44 @@
+(* The interface between the running (instrumented) program and a
+   datarace detector.  The VM pushes access events at [Trace]
+   pseudo-instructions (or, in [all_accesses] mode, at every memory
+   access), plus the synchronization and thread-lifecycle notifications
+   the runtime optimizer and the happens-before baseline need. *)
+
+open Drd_core
+
+type t = {
+  access :
+    tid:Event.thread_id ->
+    loc:Event.loc_id ->
+    kind:Event.kind ->
+    locks:Event.Lockset.t ->
+    site:Event.site_id ->
+    unit;
+  acquire : tid:Event.thread_id -> lock:Event.lock_id -> unit;
+      (* outermost acquisition of a real lock *)
+  release : tid:Event.thread_id -> lock:Event.lock_id -> unit;
+  thread_start : parent:Event.thread_id -> child:Event.thread_id -> unit;
+  thread_join : joiner:Event.thread_id -> joinee:Event.thread_id -> unit;
+  thread_exit : tid:Event.thread_id -> unit;
+  call :
+    (tid:Event.thread_id ->
+    obj:int ->
+    locks:Event.Lockset.t ->
+    site:Event.site_id ->
+    unit)
+    option;
+      (* invoked at every virtual call with the receiver object; used by
+         the object-race baseline, which treats a method call on an
+         object as a write to it *)
+}
+
+let null =
+  {
+    access = (fun ~tid:_ ~loc:_ ~kind:_ ~locks:_ ~site:_ -> ());
+    acquire = (fun ~tid:_ ~lock:_ -> ());
+    release = (fun ~tid:_ ~lock:_ -> ());
+    thread_start = (fun ~parent:_ ~child:_ -> ());
+    thread_join = (fun ~joiner:_ ~joinee:_ -> ());
+    thread_exit = (fun ~tid:_ -> ());
+    call = None;
+  }

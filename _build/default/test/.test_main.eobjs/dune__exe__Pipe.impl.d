@@ -1,0 +1,1 @@
+test/pipe.ml: Detector Drd_baselines Drd_core Drd_instr Drd_ir Drd_lang Drd_static Drd_vm Event List Report

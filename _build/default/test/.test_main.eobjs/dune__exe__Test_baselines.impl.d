@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Astring_contains Drd_baselines Drd_core Event Fmt List Pipe Test_vm

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Cache Detector Drd_core Event Hashtbl List Lockset Option Printf QCheck QCheck_alcotest Random Report String

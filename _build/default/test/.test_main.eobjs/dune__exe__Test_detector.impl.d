@@ -1,0 +1,1 @@
+test/test_detector.ml: Alcotest Astring_contains Detector Drd_core Event Fmt List Lockset Names Report String Trie

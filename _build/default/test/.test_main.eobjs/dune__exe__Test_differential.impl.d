@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Astring_contains Buffer Detector Drd_core Drd_harness Drd_ir Drd_vm Event Event_log Hashtbl List Printf QCheck QCheck_alcotest Report String

@@ -1,0 +1,1 @@
+test/test_event.ml: Alcotest Drd_core Event Fmt List Lockset QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_immutability.ml: Alcotest Drd_core Drd_harness Event Option

@@ -1,0 +1,1 @@
+test/test_instr.ml: Alcotest Astring_contains Drd_core Drd_instr List Pipe Printf

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Astring_contains Drd_ir Fmt Hashtbl List Pipe String

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Astring_contains Drd_lang Fmt List Option Printf String

@@ -1,0 +1,1 @@
+test/test_lockorder.ml: Alcotest Drd_core Drd_harness List

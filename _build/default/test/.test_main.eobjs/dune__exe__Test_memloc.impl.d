@@ -1,0 +1,1 @@
+test/test_memloc.ml: Alcotest Drd_vm Hashtbl Printf

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Astring_contains Drd_harness Drd_instr Drd_ir Drd_lang Drd_vm Fmt List Option Pipe

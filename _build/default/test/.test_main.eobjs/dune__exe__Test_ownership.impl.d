@@ -1,0 +1,1 @@
+test/test_ownership.ml: Alcotest Detector Drd_core Event List Lockset Ownership Pseudo_lock Report

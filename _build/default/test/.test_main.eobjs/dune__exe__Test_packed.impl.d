@@ -1,0 +1,1 @@
+test/test_packed.ml: Alcotest Detector Drd_core Drd_harness Event Event_log Fmt Hashtbl List QCheck QCheck_alcotest Report Test_trie Trie Trie_packed

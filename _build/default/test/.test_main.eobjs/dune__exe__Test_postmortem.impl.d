@@ -1,0 +1,1 @@
+test/test_postmortem.ml: Alcotest Array Detector Drd_core Drd_harness Event Event_log Filename Full_race List Option Printf QCheck QCheck_alcotest Report Sys

@@ -1,0 +1,1 @@
+test/test_programs.ml: Alcotest Astring_contains Drd_harness Drd_vm Fmt List String

@@ -1,0 +1,1 @@
+test/test_static.ml: Alcotest Astring_contains Drd_core Drd_harness Drd_instr Drd_ir Drd_static Fmt List Pipe Printf String Test_vm

@@ -1,0 +1,1 @@
+test/test_trie.ml: Alcotest Drd_core Dump Event Fmt Hashtbl List Lockset QCheck QCheck_alcotest Trie

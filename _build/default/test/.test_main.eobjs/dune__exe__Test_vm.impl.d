@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Astring_contains Drd_core Drd_vm List Pipe Printf

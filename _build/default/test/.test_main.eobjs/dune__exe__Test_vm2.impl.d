@@ -1,0 +1,1 @@
+test/test_vm2.ml: Alcotest Drd_vm List Pipe Printf Test_vm

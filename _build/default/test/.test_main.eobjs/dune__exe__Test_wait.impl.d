@@ -1,0 +1,1 @@
+test/test_wait.ml: Alcotest Astring_contains Drd_vm List Pipe Printf

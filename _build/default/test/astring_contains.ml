@@ -1,0 +1,10 @@
+(* Tiny substring helper shared by test modules. *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else
+    let rec go i =
+      i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+    in
+    go 0

@@ -1,0 +1,120 @@
+(* Standalone delta-debugger for the cache+ownership transparency
+   counterexample.  Not part of the test suite. *)
+
+open Drd_core
+
+type op = Acq of int | Rel of int | Acc of int * Event.kind
+
+let parse s =
+  String.split_on_char ';' s
+  |> List.map (fun tok ->
+         Scanf.sscanf tok "T%d:%s" (fun t rest ->
+             let n () = int_of_string (String.sub rest 1 (String.length rest - 1)) in
+             match rest.[0] with
+             | 'a' ->
+                 (* acqNNN *)
+                 (t, Acq (int_of_string (String.sub rest 3 (String.length rest - 3))))
+             | 'r' ->
+                 (t, Rel (int_of_string (String.sub rest 3 (String.length rest - 3))))
+             | 'R' -> (t, Acc (n (), Event.Read))
+             | 'W' -> (t, Acc (n (), Event.Write))
+             | c -> failwith (Printf.sprintf "bad op %c" c)))
+
+(* Keep a schedule valid after deletion: drop releases whose acquire is
+   gone and acquires whose release is gone is not needed (unbalanced is
+   tolerated as long as LIFO holds); simplest: filter to keep LIFO. *)
+let valid sched =
+  let held = Hashtbl.create 8 in
+  List.for_all
+    (fun (t, op) ->
+      let stack = Option.value (Hashtbl.find_opt held t) ~default:[] in
+      match op with
+      | Acq l ->
+          Hashtbl.replace held t (l :: stack);
+          true
+      | Rel l -> (
+          match stack with
+          | l' :: rest when l' = l ->
+              Hashtbl.replace held t rest;
+              true
+          | _ -> false)
+      | Acc _ -> true)
+    sched
+
+let run_schedule config sched =
+  let coll = Report.collector () in
+  let d = Detector.create ~config coll in
+  let held = Hashtbl.create 8 in
+  let locks_of t = Option.value (Hashtbl.find_opt held t) ~default:[] in
+  List.iter
+    (fun (t, op) ->
+      match op with
+      | Acq l ->
+          Hashtbl.replace held t (l :: locks_of t);
+          Detector.on_acquire d ~thread:t ~lock:l
+      | Rel l ->
+          (match locks_of t with
+          | l' :: rest when l' = l -> Hashtbl.replace held t rest
+          | _ -> failwith "non-LIFO");
+          Detector.on_release d ~thread:t ~lock:l
+      | Acc (loc, kind) ->
+          Detector.on_access d
+            (Event.make ~loc ~thread:t
+               ~locks:(Event.Lockset.of_list (locks_of t))
+               ~kind ~site:0))
+    sched;
+  List.sort compare (Report.racy_locs coll)
+
+let differs sched =
+  let base =
+    { Detector.default_config with Detector.use_cache = false; use_ownership = true }
+  in
+  valid sched
+  && run_schedule base sched
+     <> run_schedule { base with Detector.use_cache = true } sched
+
+let minimize sched =
+  let cur = ref sched in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let n = List.length !cur in
+    (* try removing each element *)
+    let rec try_remove i =
+      if i < n then begin
+        let cand = List.filteri (fun j _ -> j <> i) !cur in
+        if differs cand then begin
+          cur := cand;
+          improved := true
+        end
+        else try_remove (i + 1)
+      end
+    in
+    try_remove 0
+  done;
+  !cur
+
+let pp_op (t, op) =
+  match op with
+  | Acq l -> Printf.sprintf "T%d:acq%d" t l
+  | Rel l -> Printf.sprintf "T%d:rel%d" t l
+  | Acc (m, Event.Read) -> Printf.sprintf "T%d:R%d" t m
+  | Acc (m, Event.Write) -> Printf.sprintf "T%d:W%d" t m
+
+let () =
+  let sched = parse (input_line stdin) in
+  Printf.printf "input differs: %b\n%!" (differs sched);
+  if differs sched then begin
+    let m = minimize sched in
+    Printf.printf "minimized (%d ops): %s\n" (List.length m)
+      (String.concat ";" (List.map pp_op m));
+    let base =
+      { Detector.default_config with Detector.use_cache = false; use_ownership = true }
+    in
+    Printf.printf "no-cache: %s\n"
+      (String.concat "," (List.map string_of_int (run_schedule base m)));
+    Printf.printf "cache:    %s\n"
+      (String.concat ","
+         (List.map string_of_int
+            (run_schedule { base with Detector.use_cache = true } m)))
+  end

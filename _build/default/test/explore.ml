@@ -1,0 +1,53 @@
+(* Scratch driver: run the benchmark suite under the Table 2/3
+   configurations and dump what comes out.  Not part of the test suite. *)
+
+module H = Drd_harness
+
+let () =
+  let configs =
+    [
+      H.Config.base;
+      H.Config.full;
+      H.Config.no_static;
+      H.Config.no_dominators;
+      H.Config.no_peeling;
+      H.Config.no_cache;
+      H.Config.fields_merged;
+      H.Config.no_ownership;
+      H.Config.eraser;
+      H.Config.objrace;
+      H.Config.happens_before;
+    ]
+  in
+  List.iter
+    (fun (b : H.Programs.benchmark) ->
+      Printf.printf "=== %s (loc %d) ===\n%!" b.H.Programs.b_name
+        (H.Programs.loc_of_source b.H.Programs.b_source);
+      List.iter
+        (fun config ->
+          try
+            let c, r = H.Pipeline.run_source config b.H.Programs.b_source in
+            Printf.printf
+              "  %-13s races(objs)=%2d events=%8d steps=%8d wall=%6.3fs traces=%d(-%d) prints=%s\n%!"
+              config.H.Config.name
+              (List.length r.H.Pipeline.racy_objects)
+              r.H.Pipeline.events r.H.Pipeline.steps r.H.Pipeline.wall_time
+              c.H.Pipeline.traces_inserted c.H.Pipeline.traces_eliminated
+              (String.concat ","
+                 (List.map
+                    (fun (t, v) ->
+                      Printf.sprintf "%s=%s" t
+                        (match v with
+                        | Some (Drd_vm.Value.Vint n) -> string_of_int n
+                        | Some (Drd_vm.Value.Vbool b) -> string_of_bool b
+                        | _ -> "?"))
+                    r.H.Pipeline.prints));
+            if config.H.Config.name = "Full" then
+              List.iter
+                (fun o -> Printf.printf "      racy: %s\n" o)
+                r.H.Pipeline.racy_objects
+          with e ->
+            Printf.printf "  %-13s EXCEPTION %s\n%!" config.H.Config.name
+              (Printexc.to_string e))
+        configs)
+    H.Programs.benchmarks

@@ -1,0 +1,33 @@
+(* Scratch driver: Table 2 shape at performance sizes.  Not part of the
+   test suite. *)
+
+module H = Drd_harness
+
+let () =
+  List.iter
+    (fun (b : H.Programs.benchmark) ->
+      if b.H.Programs.b_cpu_bound then begin
+        Printf.printf "=== %s ===\n%!" b.H.Programs.b_name;
+        let base_time = ref 1.0 in
+        List.iter
+          (fun config ->
+            let c = H.Pipeline.compile config ~source:b.H.Programs.b_perf_source in
+            (* best of 3 runs, like the paper's best-of-5 *)
+            let best = ref infinity in
+            let last = ref None in
+            for _ = 1 to 3 do
+              let r = H.Pipeline.run c in
+              if r.H.Pipeline.wall_time < !best then best := r.H.Pipeline.wall_time;
+              last := Some r
+            done;
+            let r = Option.get !last in
+            if config.H.Config.name = "Base" then base_time := !best;
+            Printf.printf
+              "  %-13s %6.3fs (%+5.0f%%)  events=%9d steps=%9d races=%d\n%!"
+              config.H.Config.name !best
+              ((!best /. !base_time -. 1.0) *. 100.)
+              r.H.Pipeline.events r.H.Pipeline.steps
+              (List.length r.H.Pipeline.racy_objects))
+          H.Config.table2_configs
+      end)
+    H.Programs.benchmarks

@@ -1,0 +1,160 @@
+(* Minimal parse→check→lower→instrument→run pipeline used by the VM and
+   language tests.  The full configurable pipeline (static analysis,
+   instrumentation optimization, baselines) lives in Drd_harness. *)
+
+module Parser = Drd_lang.Parser
+module Typecheck = Drd_lang.Typecheck
+module Lower = Drd_ir.Lower
+module Insert = Drd_instr.Insert
+module Value = Drd_vm.Value
+module Interp = Drd_vm.Interp
+module Memloc = Drd_vm.Memloc
+module Sink = Drd_vm.Sink
+open Drd_core
+
+type outcome = {
+  prints : (string * Value.t option) list;
+  races : Report.race list;
+  race_locs : string list; (* decoded location names, sorted *)
+  stats : Detector.stats;
+  result : Interp.result;
+}
+
+let compile ?(peel = false) source =
+  let ast = Parser.parse_program source in
+  let tprog = Typecheck.check ast in
+  let tprog = if peel then Drd_instr.Peel.peel_program tprog else tprog in
+  Lower.lower_program tprog
+
+let run ?(seed = 42) ?(quantum = 20) ?(instrument = true) ?(peel = false)
+    ?(weaker = false) ?(static = false)
+    ?(detector_config = Detector.default_config)
+    ?(granularity = Memloc.Per_field) source =
+  let prog = compile ~peel source in
+  (if instrument then
+     if static then
+       let rs = Drd_static.Race_set.compute prog in
+       Insert.instrument ~keep:(Drd_static.Race_set.may_race rs) prog
+     else Insert.instrument prog);
+  if weaker then ignore (Drd_instr.Static_weaker.eliminate prog);
+  let collector = Report.collector () in
+  let det = Detector.create ~config:detector_config collector in
+  let sink =
+    {
+      Sink.null with
+      Sink.access =
+        (fun ~tid ~loc ~kind ~locks ~site ->
+          Detector.on_access det
+            (Event.make ~loc ~thread:tid ~locks ~kind ~site));
+      acquire = (fun ~tid ~lock -> Detector.on_acquire det ~thread:tid ~lock);
+      release = (fun ~tid ~lock -> Detector.on_release det ~thread:tid ~lock);
+      thread_exit = (fun ~tid -> Detector.on_thread_exit det ~thread:tid);
+    }
+  in
+  let config = { Interp.default_config with seed; quantum; granularity } in
+  let result = Interp.run ~config ~sink prog in
+  let race_locs =
+    Report.racy_locs collector
+    |> List.map (Memloc.describe prog.Drd_ir.Ir.p_tprog result.Interp.r_heap)
+    |> List.sort compare
+  in
+  {
+    prints = result.Interp.r_prints;
+    races = Report.races collector;
+    race_locs;
+    stats = Detector.stats det;
+    result;
+  }
+
+(* Run one of the baseline detectors (fully instrumented program). *)
+type baseline = Eraser | ObjRace | HappensBefore
+
+let run_baseline ?(seed = 42) ?(quantum = 20) baseline source =
+  let prog = compile source in
+  Insert.instrument prog;
+  let module E = Drd_baselines.Eraser in
+  let module O = Drd_baselines.Objrace in
+  let module H = Drd_baselines.Happens_before in
+  let granularity = ref Memloc.Per_field in
+  let sink =
+    match baseline with
+    | Eraser ->
+        let d = E.create () in
+        let s =
+          {
+            Sink.null with
+            Sink.access =
+              (fun ~tid ~loc ~kind ~locks ~site ->
+                E.on_access d
+                  (Event.make ~loc ~thread:tid ~locks ~kind ~site));
+          }
+        in
+        (s, fun () -> E.racy_locs d)
+    | ObjRace ->
+        granularity := Memloc.Per_object;
+        let d = O.create () in
+        let s =
+          {
+            Sink.null with
+            Sink.access =
+              (fun ~tid ~loc ~kind ~locks ~site ->
+                O.on_access d
+                  (Event.make ~loc ~thread:tid ~locks ~kind ~site));
+            call =
+              Some
+                (fun ~tid ~obj ~locks ~site ->
+                  O.on_call d ~thread:tid
+                    ~obj_loc:(Memloc.whole_object ~obj)
+                    ~locks ~site);
+          }
+        in
+        (s, fun () -> O.racy_locs d)
+    | HappensBefore ->
+        let d = H.create () in
+        let s =
+          {
+            Sink.access =
+              (fun ~tid ~loc ~kind ~locks:_ ~site ->
+                H.on_access d
+                  (Event.make ~loc ~thread:tid ~locks:Event.Lockset.empty
+                     ~kind ~site));
+            acquire = (fun ~tid ~lock -> H.on_acquire d ~thread:tid ~lock);
+            release = (fun ~tid ~lock -> H.on_release d ~thread:tid ~lock);
+            thread_start = (fun ~parent ~child -> H.on_thread_start d ~parent ~child);
+            thread_join = (fun ~joiner ~joinee -> H.on_thread_join d ~joiner ~joinee);
+            thread_exit = (fun ~tid:_ -> ());
+            call = None;
+          }
+        in
+        (s, fun () -> H.racy_locs d)
+  in
+  let sink, get = sink in
+  let config =
+    {
+      Interp.default_config with
+      seed;
+      quantum;
+      granularity = !granularity;
+      pseudo_locks = false;
+    }
+  in
+  let result = Interp.run ~config ~sink prog in
+  let locs =
+    get ()
+    |> List.map (Memloc.describe prog.Drd_ir.Ir.p_tprog result.Interp.r_heap)
+    |> List.sort compare
+  in
+  (locs, result)
+
+(* Convenience: run without any detection at all (Base configuration). *)
+let run_base ?(seed = 42) ?(quantum = 20) source =
+  let prog = compile source in
+  Interp.run
+    ~config:{ Interp.default_config with seed; quantum }
+    ~sink:Sink.null prog
+
+let ints prints =
+  List.map
+    (fun (tag, v) ->
+      (tag, match v with Some (Value.Vint n) -> n | _ -> min_int))
+    prints

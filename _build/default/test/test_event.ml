@@ -1,0 +1,116 @@
+(* Unit and property tests for the event representation, the IsRace
+   predicate and the weaker-than lattice (paper Sections 2.4 and 3.1). *)
+
+open Drd_core
+open Event
+
+let ls = Lockset.of_list
+
+let ev ?(loc = 0) ?(thread = 0) ?(locks = []) ?(kind = Read) ?(site = 0) () =
+  make ~loc ~thread ~locks:(ls locks) ~kind ~site
+
+(* Generators for property tests: a small universe so collisions are
+   frequent. *)
+let gen_kind = QCheck.Gen.oneofl [ Read; Write ]
+
+let gen_locks = QCheck.Gen.(map ls (list_size (int_bound 3) (int_bound 4)))
+
+let gen_event =
+  QCheck.Gen.(
+    map
+      (fun (loc, thread, locks, kind) ->
+        make ~loc ~thread ~locks ~kind ~site:0)
+      (quad (int_bound 3) (int_bound 3) gen_locks gen_kind))
+
+let arb_event =
+  QCheck.make ~print:(Fmt.to_to_string pp) gen_event
+
+let test_lockset_basics () =
+  Alcotest.(check bool) "empty disjoint" true
+    (Lockset.disjoint Lockset.empty Lockset.empty);
+  Alcotest.(check bool) "subset refl" true (Lockset.subset (ls [ 1; 2 ]) (ls [ 1; 2 ]));
+  Alcotest.(check bool) "subset" true (Lockset.subset (ls [ 1 ]) (ls [ 1; 2 ]));
+  Alcotest.(check bool) "not subset" false (Lockset.subset (ls [ 3 ]) (ls [ 1; 2 ]));
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 9 ] (Lockset.to_sorted_list (ls [ 9; 1; 2; 1 ]));
+  Alcotest.(check bool) "disjoint" true (Lockset.disjoint (ls [ 1 ]) (ls [ 2 ]));
+  Alcotest.(check bool) "overlap" false (Lockset.disjoint (ls [ 1; 2 ]) (ls [ 2; 3 ]))
+
+let test_is_race () =
+  let w1 = ev ~thread:1 ~kind:Write () in
+  let r2 = ev ~thread:2 ~kind:Read () in
+  Alcotest.(check bool) "write/read different threads no locks" true (is_race w1 r2);
+  Alcotest.(check bool) "same thread" false (is_race w1 (ev ~thread:1 ~kind:Write ()));
+  Alcotest.(check bool) "both reads" false (is_race (ev ~thread:1 ()) r2);
+  Alcotest.(check bool) "common lock" false
+    (is_race (ev ~thread:1 ~kind:Write ~locks:[ 7 ] ()) (ev ~thread:2 ~kind:Write ~locks:[ 7; 8 ] ()));
+  Alcotest.(check bool) "different locations" false
+    (is_race (ev ~loc:1 ~thread:1 ~kind:Write ()) (ev ~loc:2 ~thread:2 ~kind:Write ()));
+  Alcotest.(check bool) "symmetric" true (is_race r2 w1)
+
+let test_lattice_orders () =
+  Alcotest.(check bool) "W leq R" true (kind_leq Write Read);
+  Alcotest.(check bool) "R nleq W" false (kind_leq Read Write);
+  Alcotest.(check bool) "bot leq t" true (thread_leq Bot (Thread 4));
+  Alcotest.(check bool) "t nleq bot" false (thread_leq (Thread 4) Bot);
+  Alcotest.(check bool) "t leq t" true (thread_leq (Thread 4) (Thread 4));
+  Alcotest.(check bool) "t nleq t'" false (thread_leq (Thread 4) (Thread 5))
+
+let test_meets () =
+  Alcotest.(check bool) "kind meet differs" true (kind_meet Read Write = Write);
+  Alcotest.(check bool) "kind meet same" true (kind_meet Read Read = Read);
+  Alcotest.(check bool) "thread meet top id" true (thread_meet Top (Thread 3) = Thread 3);
+  Alcotest.(check bool) "thread meet differs" true (thread_meet (Thread 1) (Thread 2) = Bot);
+  Alcotest.(check bool) "thread meet bot absorbs" true (thread_meet Bot (Thread 1) = Bot)
+
+(* Theorem 1: p weaker-than q implies every race of q is a race of p. *)
+let prop_weaker_than_theorem =
+  QCheck.Test.make ~count:2000 ~name:"weaker-than theorem"
+    (QCheck.triple arb_event arb_event arb_event) (fun (p, q, r) ->
+      QCheck.assume (weaker_than p q);
+      (not (is_race q r)) || is_race p r)
+
+(* The weaker-than relation is a partial order. *)
+let prop_weaker_than_po =
+  QCheck.Test.make ~count:2000 ~name:"weaker-than is a partial order"
+    (QCheck.triple arb_event arb_event arb_event) (fun (p, q, r) ->
+      weaker_than p p
+      && ((not (weaker_than p q && weaker_than q r)) || weaker_than p r))
+
+(* Meets are commutative, associative, idempotent and lower bounds. *)
+let prop_meet_laws =
+  let gen_ti =
+    QCheck.make
+      ~print:(Fmt.to_to_string pp_thread_info)
+      QCheck.Gen.(oneof [ map (fun i -> Thread i) (int_bound 3); return Bot; return Top ])
+  in
+  QCheck.Test.make ~count:2000 ~name:"thread meet laws"
+    (QCheck.triple gen_ti gen_ti gen_ti) (fun (a, b, c) ->
+      thread_meet a b = thread_meet b a
+      && thread_meet a (thread_meet b c) = thread_meet (thread_meet a b) c
+      && thread_meet a a = a
+      (* The lower-bound law holds below Top; Top itself is only the "no
+         access" marker and is not comparable via ⊑. *)
+      && (a = Top || thread_leq (thread_meet a b) a))
+
+let prop_kind_meet_lower_bound =
+  let gen = QCheck.make QCheck.Gen.(oneofl [ Read; Write ]) in
+  QCheck.Test.make ~count:100 ~name:"kind meet is a lower bound" (QCheck.pair gen gen)
+    (fun (a, b) -> kind_leq (kind_meet a b) a && kind_leq (kind_meet a b) b)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_weaker_than_theorem;
+      prop_weaker_than_po;
+      prop_meet_laws;
+      prop_kind_meet_lower_bound;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "lockset basics" `Quick test_lockset_basics;
+    Alcotest.test_case "is_race" `Quick test_is_race;
+    Alcotest.test_case "lattice orders" `Quick test_lattice_orders;
+    Alcotest.test_case "meets" `Quick test_meets;
+  ]
+  @ qsuite

@@ -1,0 +1,117 @@
+(* Tests for the harness itself: configuration lookup, pipeline
+   bookkeeping, and the table-regeneration API the benches rely on. *)
+
+module H = Drd_harness
+module Config = H.Config
+module Pipeline = H.Pipeline
+module Tables = H.Tables
+
+let test_config_lookup () =
+  Alcotest.(check bool) "full" true (Config.by_name "Full" <> None);
+  Alcotest.(check bool) "case-insensitive" true
+    (Config.by_name "noownership" <> None);
+  Alcotest.(check bool) "unknown" true (Config.by_name "bogus" = None);
+  Alcotest.(check int) "table2 columns" 6 (List.length Config.table2_configs);
+  Alcotest.(check int) "table3 columns" 3 (List.length Config.table3_configs);
+  (* Names are unique. *)
+  let names = List.map (fun (c : Config.t) -> c.Config.name) Config.all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_compile_bookkeeping () =
+  let b = Option.get (H.Programs.find "sor2") in
+  let full = Pipeline.compile Config.full ~source:b.H.Programs.b_source in
+  Alcotest.(check bool) "static stats present" true
+    (full.Pipeline.static_stats <> None);
+  Alcotest.(check bool) "race set kept" true (full.Pipeline.race_set <> None);
+  Alcotest.(check bool) "traces inserted" true (full.Pipeline.traces_inserted > 0);
+  Alcotest.(check bool) "traces eliminated" true
+    (full.Pipeline.traces_eliminated > 0);
+  let base = Pipeline.compile Config.base ~source:b.H.Programs.b_source in
+  Alcotest.(check int) "base uninstrumented" 0 base.Pipeline.traces_inserted;
+  Alcotest.(check bool) "base has no race set" true
+    (base.Pipeline.race_set = None)
+
+let test_base_emits_no_events () =
+  let b = Option.get (H.Programs.find "tsp") in
+  let _, r = Pipeline.run_source Config.base b.H.Programs.b_source in
+  Alcotest.(check int) "no events" 0 r.Pipeline.events;
+  Alcotest.(check (list string)) "no races" [] r.Pipeline.races
+
+(* Redirect stdout while regenerating tables (they print). *)
+let quietly f =
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  flush stdout;
+  Unix.dup2 devnull Unix.stdout;
+  let restore () =
+    flush stdout;
+    Unix.dup2 saved Unix.stdout;
+    Unix.close saved;
+    Unix.close devnull
+  in
+  match f () with
+  | v ->
+      restore ();
+      v
+  | exception e ->
+      restore ();
+      raise e
+
+let test_table3_rows () =
+  let rows = quietly (fun () -> Tables.table3 ()) in
+  Alcotest.(check int) "five rows" 5 (List.length rows);
+  List.iter
+    (fun (name, cells) ->
+      Alcotest.(check int) (name ^ ": three cells") 3 (List.length cells);
+      (* Full <= NoOwnership on every benchmark. *)
+      Alcotest.(check bool) (name ^ ": ownership monotone") true
+        (List.nth cells 0 <= List.nth cells 2))
+    rows;
+  let full_of n rows = List.nth (List.assoc n rows) 0 in
+  Alcotest.(check int) "mtrt Full = 2" 2 (full_of "mtrt" rows);
+  Alcotest.(check int) "elevator Full = 0" 0 (full_of "elevator" rows);
+  Alcotest.(check int) "hedc Full = 5" 5 (full_of "hedc" rows)
+
+let test_baselines_rows () =
+  let rows = quietly (fun () -> Tables.baselines ()) in
+  Alcotest.(check int) "five rows" 5 (List.length rows);
+  (* Object race detection flags the race-free elevator; we do not. *)
+  let elevator = List.assoc "elevator" rows in
+  Alcotest.(check int) "ours 0" 0 (List.nth elevator 0);
+  Alcotest.(check bool) "objrace > 0" true (List.nth elevator 2 > 0)
+
+let test_table2_quick () =
+  let rows = quietly (fun () -> Tables.table2 ~runs:1 ~perf:false ()) in
+  (* Three CPU-bound rows, six cells each; Base has zero events and
+     every other configuration has more. *)
+  Alcotest.(check int) "three rows" 3 (List.length rows);
+  List.iter
+    (fun (name, cells) ->
+      Alcotest.(check int) (name ^ ": six cells") 6 (List.length cells);
+      let base = List.nth cells 0 in
+      Alcotest.(check int) (name ^ ": base events") 0 base.Tables.events;
+      List.iteri
+        (fun i c ->
+          if i > 0 then
+            Alcotest.(check bool)
+              (Fmt.str "%s cell %d has events" name i)
+              true (c.Tables.events > 0))
+        cells)
+    rows
+
+let test_space () =
+  let nodes, locs = quietly (fun () -> Tables.space ()) in
+  Alcotest.(check bool) "nodes >= locs" true (nodes >= locs);
+  Alcotest.(check bool) "tracks many locations" true (locs > 20)
+
+let suite =
+  [
+    Alcotest.test_case "config lookup" `Quick test_config_lookup;
+    Alcotest.test_case "compile bookkeeping" `Quick test_compile_bookkeeping;
+    Alcotest.test_case "base emits nothing" `Quick test_base_emits_no_events;
+    Alcotest.test_case "table 3 rows" `Quick test_table3_rows;
+    Alcotest.test_case "baselines rows" `Quick test_baselines_rows;
+    Alcotest.test_case "table 2 quick" `Quick test_table2_quick;
+    Alcotest.test_case "space" `Quick test_space;
+  ]

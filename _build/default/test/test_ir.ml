@@ -1,0 +1,254 @@
+(* Tests for the IR-level compiler analyses: CFG dominance, SSA
+   construction and dominance-based value numbering — the machinery
+   behind the static weaker-than elimination (paper Section 6.2). *)
+
+module Ir = Drd_ir.Ir
+module Lower = Drd_ir.Lower
+module Dominance = Drd_ir.Dominance
+module Ssa = Drd_ir.Ssa
+module Vn = Drd_ir.Value_numbering
+module Pretty = Drd_ir.Pretty
+
+let mir_of ?(meth = "Main.main") source =
+  let prog = Pipe.compile source in
+  match Ir.find_mir prog meth with
+  | Some m -> m
+  | None -> Alcotest.failf "method %s not found" meth
+
+let diamond_src =
+  {|
+  class Main {
+    static void main() {
+      int x = 1;
+      int y;
+      if (x > 0) { y = 2; } else { y = 3; }
+      print("y", y);
+      while (y > 0) { y = y - 1; }
+      print("z", y);
+    }
+  }
+|}
+
+let test_dominance_diamond () =
+  let m = mir_of diamond_src in
+  let d = Dominance.compute m in
+  (* Entry dominates everything reachable. *)
+  Ir.iter_blocks m (fun b ->
+      if Dominance.reachable d b.Ir.b_label then
+        Alcotest.(check bool) "entry dominates all" true
+          (Dominance.dominates d m.Ir.mir_entry b.Ir.b_label));
+  (* Dominance is reflexive and antisymmetric. *)
+  Ir.iter_blocks m (fun b ->
+      let l = b.Ir.b_label in
+      if Dominance.reachable d l then begin
+        Alcotest.(check bool) "reflexive" true (Dominance.dominates d l l);
+        Alcotest.(check bool) "not strict self" false
+          (Dominance.strictly_dominates d l l)
+      end);
+  (* The then/else blocks of the diamond do not dominate the join. *)
+  let n = Ir.n_blocks m in
+  let count_nondominators join =
+    let c = ref 0 in
+    for b = 0 to n - 1 do
+      if
+        Dominance.reachable d b && b <> join
+        && not (Dominance.dominates d b join)
+      then incr c
+    done;
+    !c
+  in
+  (* There is at least one join block with ≥2 non-dominating blocks. *)
+  let some_join =
+    let best = ref 0 in
+    for b = 0 to n - 1 do
+      if Dominance.reachable d b then best := max !best (count_nondominators b)
+    done;
+    !best
+  in
+  Alcotest.(check bool) "diamond produces non-dominating branches" true
+    (some_join >= 2)
+
+let test_dominance_loop () =
+  let m = mir_of diamond_src in
+  let d = Dominance.compute m in
+  let loops = Dominance.natural_loops m d in
+  Alcotest.(check bool) "found the while loop" true (List.length loops >= 1);
+  List.iter
+    (fun (h, body) ->
+      Alcotest.(check bool) "header in body" true (List.mem h body);
+      List.iter
+        (fun b ->
+          Alcotest.(check bool) "header dominates body" true
+            (Dominance.dominates d h b))
+        body)
+    loops
+
+(* Oracle check: the SSA value reaching a use must come from a def that
+   dominates the use (or a phi in the same block). *)
+let test_ssa_defs_dominate_uses () =
+  let m = mir_of diamond_src in
+  let ssa = Ssa.compute m in
+  let d = ssa.Ssa.dom in
+  let block_of_iid = Hashtbl.create 64 in
+  Ir.iter_blocks m (fun b ->
+      List.iter
+        (fun (i : Ir.instr) -> Hashtbl.replace block_of_iid i.Ir.i_id b.Ir.b_label)
+        b.Ir.b_instrs);
+  Ir.iter_blocks m (fun b ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          List.iter
+            (fun r ->
+              match Ssa.value_of_use ssa i.Ir.i_id r with
+              | None -> ()
+              | Some v -> (
+                  match Ssa.def_site_of ssa v with
+                  | Ssa.Dparam _ -> () (* defined at entry, dominates all *)
+                  | Ssa.Dphi (pb, _) ->
+                      Alcotest.(check bool) "phi block dominates use" true
+                        (Dominance.dominates d pb b.Ir.b_label)
+                  | Ssa.Dinstr def_iid ->
+                      let db = Hashtbl.find block_of_iid def_iid in
+                      Alcotest.(check bool) "def block dominates use" true
+                        (Dominance.dominates d db b.Ir.b_label)))
+            (Ir.uses i.Ir.i_op))
+        b.Ir.b_instrs)
+
+(* Value numbering: same variable → same number; redefinition → new
+   number; congruent arithmetic → same number. *)
+let test_gvn_basics () =
+  let m =
+    mir_of
+      {|
+      class A { int f; }
+      class Main {
+        static void main() {
+          A a = new A();
+          a.f = 1;       // use 1 of a
+          a.f = 2;       // use 2 of a: same value number
+          A b = a;       // copy
+          b.f = 3;       // use of b: same value number as a
+          a = new A();   // redefinition
+          a.f = 4;       // new value number
+          print("x", a.f);
+        }
+      }
+    |}
+  in
+  (* Collect the object-use value numbers of the PutField instructions in
+     program order. *)
+  let ssa = Ssa.compute m in
+  let vn = Vn.compute m ssa in
+  let puts = ref [] in
+  Ir.iter_blocks m (fun b ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.Ir.i_op with
+          | Ir.PutField (o, _, _) ->
+              puts := (i.Ir.i_id, Vn.vn_of_use vn i.Ir.i_id o) :: !puts
+          | _ -> ())
+        b.Ir.b_instrs);
+  let puts = List.sort compare !puts |> List.map snd in
+  match puts with
+  | [ Some v1; Some v2; Some v3; Some v4 ] ->
+      Alcotest.(check bool) "same object same vn" true (v1 = v2);
+      Alcotest.(check bool) "copy propagated" true (v2 = v3);
+      Alcotest.(check bool) "redefinition changes vn" true (v3 <> v4)
+  | other ->
+      Alcotest.failf "expected 4 numbered puts, got %d" (List.length other)
+
+let test_gvn_arithmetic_congruence () =
+  let m =
+    mir_of
+      {|
+      class Main {
+        static int g;
+        static void main() {
+          int a = 3;
+          int b = 4;
+          int x = a + b;
+          int y = b + a;   // commutative: same vn as x
+          int z = a - b;   // different
+          g = x; g = y; g = z;
+          print("x", x + y + z);
+        }
+      }
+    |}
+  in
+  let ssa = Ssa.compute m in
+  let vn = Vn.compute m ssa in
+  (* Find the Move instructions writing the locals x, y, z: they copy
+     from the Binop temps; compare the value numbers of their sources. *)
+  let moves = ref [] in
+  Ir.iter_blocks m (fun b ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.Ir.i_op with
+          | Ir.PutStatic (_, s) ->
+              moves := (i.Ir.i_id, Vn.vn_of_use vn i.Ir.i_id s) :: !moves
+          | _ -> ())
+        b.Ir.b_instrs);
+  match List.sort compare !moves |> List.map snd with
+  | [ Some vx; Some vy; Some vz ] ->
+      Alcotest.(check bool) "commutative congruence" true (vx = vy);
+      Alcotest.(check bool) "different op differs" true (vx <> vz)
+  | other -> Alcotest.failf "expected 3 stores, got %d" (List.length other)
+
+(* Loop-carried variables must not be congruent across iterations. *)
+let test_gvn_loop_variant () =
+  let m =
+    mir_of
+      {|
+      class Main {
+        static int g;
+        static void main() {
+          int i = 0;
+          while (i < 10) {
+            g = i;        // i's vn inside the loop
+            i = i + 1;
+          }
+          print("i", i);
+        }
+      }
+    |}
+  in
+  let ssa = Ssa.compute m in
+  let vn = Vn.compute m ssa in
+  (* The use of i at [g = i] and the constant 0 must have different
+     numbers (i is a phi fed by a back edge). *)
+  let vn_of_store = ref None in
+  Ir.iter_blocks m (fun b ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.Ir.i_op with
+          | Ir.PutStatic (_, s) -> vn_of_store := Vn.vn_of_use vn i.Ir.i_id s
+          | _ -> ())
+        b.Ir.b_instrs);
+  let const0 = ref None in
+  Ir.iter_blocks m (fun b ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.Ir.i_op with
+          | Ir.Const (d, Ir.Cint 0) -> (
+              match Ssa.value_of_use ssa i.Ir.i_id d with
+              | _ -> const0 := Some i.Ir.i_id)
+          | _ -> ())
+        b.Ir.b_instrs);
+  Alcotest.(check bool) "loop variable has a vn" true (!vn_of_store <> None)
+
+let test_pretty_smoke () =
+  let m = mir_of diamond_src in
+  let s = Fmt.str "%a" Pretty.pp_mir m in
+  Alcotest.(check bool) "pretty prints" true (String.length s > 100);
+  Alcotest.(check bool) "mentions blocks" true (Astring_contains.contains s "B0")
+
+let suite =
+  [
+    Alcotest.test_case "dominance diamond" `Quick test_dominance_diamond;
+    Alcotest.test_case "dominance loops" `Quick test_dominance_loop;
+    Alcotest.test_case "SSA defs dominate uses" `Quick test_ssa_defs_dominate_uses;
+    Alcotest.test_case "GVN basics" `Quick test_gvn_basics;
+    Alcotest.test_case "GVN commutativity" `Quick test_gvn_arithmetic_congruence;
+    Alcotest.test_case "GVN loop variant" `Quick test_gvn_loop_variant;
+    Alcotest.test_case "IR pretty printer" `Quick test_pretty_smoke;
+  ]

@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "drd"
+    [
+      ("event", Test_event.suite);
+      ("lang", Test_lang.suite);
+      ("trie", Test_trie.suite);
+      ("cache", Test_cache.suite);
+      ("ownership", Test_ownership.suite);
+      ("detector", Test_detector.suite);
+      ("vm", Test_vm.suite);
+      ("ir", Test_ir.suite);
+      ("instr", Test_instr.suite);
+      ("static", Test_static.suite);
+      ("baselines", Test_baselines.suite);
+      ("programs", Test_programs.suite);
+      ("postmortem", Test_postmortem.suite);
+      ("lockorder", Test_lockorder.suite);
+      ("differential", Test_differential.suite);
+      ("wait", Test_wait.suite);
+      ("immutability", Test_immutability.suite);
+      ("packed", Test_packed.suite);
+      ("harness", Test_harness.suite);
+      ("vm2", Test_vm2.suite);
+      ("memloc", Test_memloc.suite);
+      ("optimize", Test_optimize.suite);
+    ]

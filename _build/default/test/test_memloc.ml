@@ -1,0 +1,61 @@
+(* Tests for the memory-location id encoding: injectivity across
+   location classes, FieldsMerged semantics, and name decoding. *)
+
+module Memloc = Drd_vm.Memloc
+
+let test_injective_per_field () =
+  let gran = Memloc.Per_field in
+  let ids = Hashtbl.create 64 in
+  let add what id =
+    (match Hashtbl.find_opt ids id with
+    | Some other -> Alcotest.failf "collision: %s and %s -> %d" what other id
+    | None -> ());
+    Hashtbl.add ids id what
+  in
+  for obj = 0 to 20 do
+    for index = 0 to 9 do
+      add (Printf.sprintf "field %d.%d" obj index) (Memloc.field ~gran ~obj ~index)
+    done;
+    add (Printf.sprintf "array %d" obj) (Memloc.array ~gran ~obj)
+  done;
+  for slot = 0 to 50 do
+    add (Printf.sprintf "static %d" slot) (Memloc.static ~gran ~slot)
+  done
+
+let test_fields_merged_collapses () =
+  let gran = Memloc.Per_object in
+  Alcotest.(check int) "two fields merge"
+    (Memloc.field ~gran ~obj:5 ~index:0)
+    (Memloc.field ~gran ~obj:5 ~index:3);
+  Alcotest.(check int) "array merges with fields"
+    (Memloc.field ~gran ~obj:5 ~index:0)
+    (Memloc.array ~gran ~obj:5);
+  Alcotest.(check bool) "objects stay distinct" true
+    (Memloc.field ~gran ~obj:5 ~index:0 <> Memloc.field ~gran ~obj:6 ~index:0);
+  (* Statics of the same class are still distinguished (paper Table 3
+     note). *)
+  Alcotest.(check bool) "statics distinct" true
+    (Memloc.static ~gran ~slot:0 <> Memloc.static ~gran ~slot:1);
+  Alcotest.(check bool) "static distinct from object" true
+    (Memloc.static ~gran ~slot:5 <> Memloc.field ~gran ~obj:0 ~index:0)
+
+let test_field_limit () =
+  Alcotest.check_raises "too many fields"
+    (Invalid_argument "Memloc.field: too many fields") (fun () ->
+      ignore (Memloc.field ~gran:Memloc.Per_field ~obj:1 ~index:1022))
+
+let test_nonnegative () =
+  (* Lock/loc ids must be non-negative (the cache uses -1 as the invalid
+     marker and the trie root uses label -1). *)
+  let gran = Memloc.Per_field in
+  Alcotest.(check bool) "field" true (Memloc.field ~gran ~obj:0 ~index:0 >= 0);
+  Alcotest.(check bool) "array" true (Memloc.array ~gran ~obj:0 >= 0);
+  Alcotest.(check bool) "static" true (Memloc.static ~gran ~slot:0 >= 0)
+
+let suite =
+  [
+    Alcotest.test_case "injective (per-field)" `Quick test_injective_per_field;
+    Alcotest.test_case "FieldsMerged collapses" `Quick test_fields_merged_collapses;
+    Alcotest.test_case "field limit" `Quick test_field_limit;
+    Alcotest.test_case "non-negative" `Quick test_nonnegative;
+  ]

@@ -1,0 +1,213 @@
+(* Tests for the classical IR optimizer (constant/copy propagation,
+   folding, DCE): semantics preservation, and the paper's Section 6.2
+   requirement that trace instructions survive the surrounding
+   compiler's optimizations. *)
+
+module Ir = Drd_ir.Ir
+module Optimize = Drd_ir.Optimize
+module Insert = Drd_instr.Insert
+module H = Drd_harness
+
+let test_constant_folding () =
+  let prog =
+    Pipe.compile
+      {|
+      class Main {
+        static void main() {
+          int a = 6;
+          int b = 7;
+          int c = a * b;
+          print("c", c);
+        }
+      }
+    |}
+  in
+  let removed = Optimize.optimize prog in
+  Alcotest.(check bool) (Fmt.str "removed some (%d)" removed) true (removed > 0);
+  (* The multiplication must be gone — folded into a constant. *)
+  let muls = ref 0 in
+  Ir.iter_mirs prog (fun m ->
+      Ir.iter_instrs m (fun _ i ->
+          match i.Ir.i_op with
+          | Ir.Binop (Drd_lang.Ast.Mul, _, _, _) -> incr muls
+          | _ -> ()));
+  Alcotest.(check int) "multiplication folded away" 0 !muls
+
+let test_branch_folding_removes_dead_branch () =
+  let prog =
+    Pipe.compile
+      {|
+      class Main {
+        static void main() {
+          if (1 < 2) { print("then", 1); } else { print("else", 0); }
+        }
+      }
+    |}
+  in
+  ignore (Optimize.optimize prog);
+  let prints = ref [] in
+  Ir.iter_mirs prog (fun m ->
+      Ir.iter_instrs m (fun _ i ->
+          match i.Ir.i_op with
+          | Ir.Print (tag, _) -> prints := tag :: !prints
+          | _ -> ()));
+  Alcotest.(check (list string)) "only the then-branch survives" [ "then" ]
+    !prints
+
+let test_effectful_division_kept () =
+  let prog =
+    Pipe.compile
+      {|
+      class Main {
+        static int f(int d) {
+          int dead = 100 / d;    // result unused, but d may be zero
+          return 1;
+        }
+        static void main() { print("x", f(5)); }
+      }
+    |}
+  in
+  ignore (Optimize.optimize prog);
+  let divs = ref 0 in
+  Ir.iter_mirs prog (fun m ->
+      Ir.iter_instrs m (fun _ i ->
+          match i.Ir.i_op with
+          | Ir.Binop (Drd_lang.Ast.Div, _, _, _) -> incr divs
+          | _ -> ()));
+  Alcotest.(check int) "trapping division kept" 1 !divs
+
+let test_traces_survive_dce () =
+  (* Section 6.2: "The remaining trace statements are marked as having
+     an unknown side effect to ensure they are not eliminated as dead
+     code."  Traces have no used result, so a naive DCE would delete
+     all of them. *)
+  let prog =
+    Pipe.compile
+      {|
+      class A { int f; }
+      class W extends Thread {
+        A a;
+        W(A a0) { a = a0; }
+        void run() { a.f = a.f + 1; }
+      }
+      class Main {
+        static void main() {
+          A x = new A();
+          W w1 = new W(x); W w2 = new W(x);
+          w1.start(); w2.start(); w1.join(); w2.join();
+          print("f", x.f);
+        }
+      }
+    |}
+  in
+  Insert.instrument prog;
+  let before = Insert.count_traces prog in
+  ignore (Optimize.optimize prog);
+  Alcotest.(check int) "traces survive optimization" before
+    (Insert.count_traces prog);
+  Alcotest.(check bool) "there were traces" true (before > 0)
+
+let test_accesses_survive () =
+  (* Memory accesses are the monitored events; even dead loads stay. *)
+  let prog =
+    Pipe.compile
+      {|
+      class A { int f; }
+      class Main {
+        static void main() {
+          A a = new A();
+          int dead = a.f;        // load with unused result
+          print("ok", 1);
+        }
+      }
+    |}
+  in
+  ignore (Optimize.optimize prog);
+  let loads = ref 0 in
+  Ir.iter_mirs prog (fun m ->
+      Ir.iter_instrs m (fun _ i ->
+          match i.Ir.i_op with Ir.GetField _ -> incr loads | _ -> ()));
+  Alcotest.(check int) "load kept" 1 !loads
+
+let test_semantics_preserved_on_benchmarks () =
+  List.iter
+    (fun (b : H.Programs.benchmark) ->
+      let with_opt = H.Pipeline.run_source H.Config.full b.H.Programs.b_source in
+      let without =
+        H.Pipeline.run_source
+          { H.Config.full with H.Config.ir_optimize = false }
+          b.H.Programs.b_source
+      in
+      let ints r =
+        List.filter_map
+          (fun (t, v) ->
+            (* hedc's "size" print is the value of a racy counter and is
+               legitimately schedule-dependent. *)
+            if t = "size" then None
+            else
+              Some
+                (t, match v with Some (Drd_vm.Value.Vint n) -> n | _ -> min_int))
+          (snd r).H.Pipeline.prints
+      in
+      Alcotest.(check (list (pair string int)))
+        (b.H.Programs.b_name ^ ": same output")
+        (ints without) (ints with_opt);
+      (* Spin/yield loops make step counts schedule-sensitive for the
+         interactive benchmarks; check monotonicity on the CPU-bound
+         ones only. *)
+      if b.H.Programs.b_cpu_bound then
+        Alcotest.(check bool)
+          (Fmt.str "%s: optimizer reduces steps (%d <= %d)" b.H.Programs.b_name
+             (snd with_opt).H.Pipeline.steps (snd without).H.Pipeline.steps)
+          true
+          ((snd with_opt).H.Pipeline.steps <= (snd without).H.Pipeline.steps))
+    H.Programs.benchmarks
+
+let test_races_unchanged () =
+  (* Exact equality on the schedule-stable benchmarks; on tsp/hedc the
+     set of protocol-victim objects is schedule-sensitive, so check the
+     headline races instead. *)
+  List.iter
+    (fun name ->
+      let b = Option.get (H.Programs.find name) in
+      let w = snd (H.Pipeline.run_source H.Config.full b.H.Programs.b_source) in
+      let wo =
+        snd
+          (H.Pipeline.run_source
+             { H.Config.full with H.Config.ir_optimize = false }
+             b.H.Programs.b_source)
+      in
+      Alcotest.(check (list string))
+        (name ^ ": same racy objects")
+        wo.H.Pipeline.racy_objects w.H.Pipeline.racy_objects)
+    [ "mtrt"; "sor2"; "elevator" ];
+  let has sub r =
+    List.exists
+      (fun o -> Astring_contains.contains o sub)
+      r.H.Pipeline.racy_objects
+  in
+  List.iter
+    (fun (name, key) ->
+      let b = Option.get (H.Programs.find name) in
+      let wo =
+        snd
+          (H.Pipeline.run_source
+             { H.Config.full with H.Config.ir_optimize = false }
+             b.H.Programs.b_source)
+      in
+      Alcotest.(check bool)
+        (name ^ ": headline race still found without optimizer")
+        true (has key wo))
+    [ ("tsp", "MinTourLen"); ("hedc", "Pool") ]
+
+let suite =
+  [
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "branch folding" `Quick test_branch_folding_removes_dead_branch;
+    Alcotest.test_case "trapping division kept" `Quick test_effectful_division_kept;
+    Alcotest.test_case "traces survive DCE (6.2)" `Quick test_traces_survive_dce;
+    Alcotest.test_case "accesses survive" `Quick test_accesses_survive;
+    Alcotest.test_case "benchmark semantics preserved" `Quick
+      test_semantics_preserved_on_benchmarks;
+    Alcotest.test_case "races unchanged" `Quick test_races_unchanged;
+  ]

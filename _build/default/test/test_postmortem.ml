@@ -1,0 +1,183 @@
+(* Post-mortem detection (paper Section 1): recording the event stream
+   and running detection off-line must produce exactly the online
+   reports; the text serialization round-trips. *)
+
+module H = Drd_harness
+open Drd_core
+
+let online_vs_postmortem name =
+  let b = Option.get (H.Programs.find name) in
+  let compiled =
+    H.Pipeline.compile H.Config.full ~source:b.H.Programs.b_source
+  in
+  let online = H.Pipeline.run compiled in
+  let log, _ = H.Pipeline.record_log compiled in
+  let coll, stats = H.Pipeline.detect_post_mortem H.Config.full log in
+  (online, log, coll, stats)
+
+let test_equivalence () =
+  List.iter
+    (fun name ->
+      let online, log, coll, _ = online_vs_postmortem name in
+      Alcotest.(check bool) (name ^ ": log non-trivial") true
+        (Event_log.length log > 0);
+      match online.H.Pipeline.report with
+      | Some online_coll ->
+          Alcotest.(check (list int))
+            (name ^ ": same racy locations")
+            (List.sort compare (Report.racy_locs online_coll))
+            (List.sort compare (Report.racy_locs coll))
+      | None -> Alcotest.fail "online run had no collector")
+    [ "mtrt"; "tsp"; "sor2"; "elevator"; "hedc" ]
+
+let test_stats_equivalence () =
+  (* The offline detector consumes the identical stream, so its funnel
+     statistics match the online ones. *)
+  let b = Option.get (H.Programs.find "tsp") in
+  let compiled =
+    H.Pipeline.compile H.Config.full ~source:b.H.Programs.b_source
+  in
+  let online = H.Pipeline.run compiled in
+  let log, _ = H.Pipeline.record_log compiled in
+  let _, stats = H.Pipeline.detect_post_mortem H.Config.full log in
+  match online.H.Pipeline.detector_stats with
+  | Some s ->
+      Alcotest.(check int) "events" s.Detector.events_in stats.Detector.events_in;
+      Alcotest.(check int) "cache hits" s.Detector.cache_hits
+        stats.Detector.cache_hits;
+      Alcotest.(check int) "races" s.Detector.races_reported
+        stats.Detector.races_reported
+  | None -> Alcotest.fail "no online stats"
+
+let test_serialization_roundtrip () =
+  let _, log, _, _ = online_vs_postmortem "hedc" in
+  let path = Filename.temp_file "drd_log" ".txt" in
+  let oc = open_out path in
+  Event_log.to_channel oc log;
+  close_out oc;
+  let ic = open_in path in
+  let log' = Event_log.of_channel ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check int) "same length" (Event_log.length log)
+    (Event_log.length log');
+  Alcotest.(check bool) "same entries" true
+    (List.for_all2 Event_log.equal_entry (Event_log.entries log)
+       (Event_log.entries log'));
+  (* And the replayed copy detects the same races. *)
+  let c1, _ = H.Pipeline.detect_post_mortem H.Config.full log in
+  let c2, _ = H.Pipeline.detect_post_mortem H.Config.full log' in
+  Alcotest.(check (list int)) "same races"
+    (List.sort compare (Report.racy_locs c1))
+    (List.sort compare (Report.racy_locs c2))
+
+let gen_entry =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 5,
+          map
+            (fun (loc, thread, locks, w) ->
+              Event_log.Access
+                (Event.make ~loc ~thread
+                   ~locks:(Event.Lockset.of_list locks)
+                   ~kind:(if w then Event.Write else Event.Read)
+                   ~site:(loc mod 17)))
+            (quad (int_bound 10000) (int_bound 63)
+               (list_size (int_bound 4) (int_bound 2000))
+               bool) );
+        (1, map2 (fun t l -> Event_log.Acquire (t, l)) (int_bound 63) (int_bound 2000));
+        (1, map2 (fun t l -> Event_log.Release (t, l)) (int_bound 63) (int_bound 2000));
+        (1, map2 (fun p c -> Event_log.Thread_start (p, c)) (int_bound 63) (int_bound 63));
+        (1, map2 (fun j e -> Event_log.Thread_join (j, e)) (int_bound 63) (int_bound 63));
+        (1, map (fun t -> Event_log.Thread_exit t) (int_bound 63));
+      ])
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"event log text round-trip"
+    (QCheck.make QCheck.Gen.(list_size (int_bound 50) gen_entry))
+    (fun entries ->
+      let log = Event_log.create () in
+      List.iter (Event_log.record log) entries;
+      let path = Filename.temp_file "drd_qlog" ".txt" in
+      let oc = open_out path in
+      Event_log.to_channel oc log;
+      close_out oc;
+      let ic = open_in path in
+      let log' = Event_log.of_channel ic in
+      close_in ic;
+      Sys.remove path;
+      List.length (Event_log.entries log)
+      = List.length (Event_log.entries log')
+      && List.for_all2 Event_log.equal_entry (Event_log.entries log)
+           (Event_log.entries log'))
+
+(* FullRace reconstruction (Sections 2.5/2.6). *)
+let test_full_race_counts_match_oracle () =
+  let b = Option.get (H.Programs.find "tsp") in
+  let compiled = H.Pipeline.compile H.Config.full ~source:b.H.Programs.b_source in
+  let log, _ = H.Pipeline.record_log compiled in
+  let racy = Full_race.racy_locs_of_log log in
+  Alcotest.(check bool) "found racy locations" true (racy <> []);
+  let all_events =
+    List.filter_map
+      (function Event_log.Access e -> Some e | _ -> None)
+      (Event_log.entries log)
+  in
+  let oracle_pairs loc =
+    let events =
+      List.filter (fun (e : Event.t) -> e.Event.loc = loc) all_events
+      |> Array.of_list
+    in
+    let c = ref 0 in
+    Array.iteri
+      (fun i a ->
+        Array.iteri
+          (fun j b -> if i < j && Event.is_race a b then incr c)
+          events)
+      events;
+    !c
+  in
+  List.iter
+    (fun (loc, pairs) ->
+      let total = List.fold_left (fun acc p -> acc + p.Full_race.fr_count) 0 pairs in
+      Alcotest.(check int)
+        (Printf.sprintf "loc %d pair count" loc)
+        (oracle_pairs loc) total;
+      Alcotest.(check bool) "racy loc has pairs" true (total > 0);
+      List.iter
+        (fun (p : Full_race.pair) ->
+          let a, b = p.Full_race.fr_example in
+          Alcotest.(check bool) "example is a race" true (Event.is_race a b))
+        pairs)
+    (Full_race.reconstruct ~ownership:false log ~locs:racy);
+  (* The ownership-filtered reconstruction is a subset of the raw one. *)
+  List.iter2
+    (fun (_, raw) (_, filtered) ->
+      let tot ps = List.fold_left (fun acc p -> acc + p.Full_race.fr_count) 0 ps in
+      Alcotest.(check bool) "filtered <= raw" true (tot filtered <= tot raw))
+    (Full_race.reconstruct ~ownership:false log ~locs:racy)
+    (Full_race.reconstruct log ~locs:racy)
+
+let test_full_race_figure2 () =
+  let compiled =
+    H.Pipeline.compile H.Config.full ~source:(H.Programs.figure2 ())
+  in
+  let log, _ = H.Pipeline.record_log compiled in
+  let racy = Full_race.racy_locs_of_log log in
+  Alcotest.(check int) "one racy location" 1 (List.length racy);
+  match Full_race.reconstruct log ~locs:racy with
+  | [ (_, pairs) ] ->
+      (* T11:a.f and T14:b.f both race with T21:d.f — two site pairs. *)
+      Alcotest.(check int) "two racing site pairs" 2 (List.length pairs)
+  | _ -> Alcotest.fail "expected one location"
+
+let suite =
+  [
+    Alcotest.test_case "online = post-mortem" `Quick test_equivalence;
+    Alcotest.test_case "funnel stats match" `Quick test_stats_equivalence;
+    Alcotest.test_case "serialization round-trip" `Quick test_serialization_roundtrip;
+    Alcotest.test_case "FullRace = oracle" `Quick test_full_race_counts_match_oracle;
+    Alcotest.test_case "FullRace on figure 2" `Quick test_full_race_figure2;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

@@ -1,0 +1,272 @@
+(* Tests for the per-location access-history trie (paper Section 3.2):
+   the weakness check, the three-case race traversal, history update and
+   pruning, plus a property test checking the reporting guarantee of
+   Definition 1 against a naive quadratic oracle. *)
+
+open Drd_core
+open Event
+
+let ls = Lockset.of_list
+
+let ev ?(loc = 0) ?(thread = 0) ?(locks = []) ?(kind = Read) ?(site = 0) () =
+  make ~loc ~thread ~locks:(ls locks) ~kind ~site
+
+(* Feed one event through the full per-event protocol (race check always,
+   update gated by the weakness check); returns the race found, if any. *)
+let feed trie e = fst (Trie.process trie e)
+
+let test_weakness_basic () =
+  let t = Trie.create () in
+  Trie.update t (ev ~thread:1 ~locks:[ 2 ] ~kind:Write ());
+  Alcotest.(check bool) "same access is weaker" true
+    (Trie.exists_weaker t (ev ~thread:1 ~locks:[ 2 ] ~kind:Write ()));
+  Alcotest.(check bool) "write covers read" true
+    (Trie.exists_weaker t (ev ~thread:1 ~locks:[ 2 ] ~kind:Read ()));
+  Alcotest.(check bool) "subset lockset covers superset" true
+    (Trie.exists_weaker t (ev ~thread:1 ~locks:[ 2; 5 ] ~kind:Write ()));
+  Alcotest.(check bool) "other thread not covered" false
+    (Trie.exists_weaker t (ev ~thread:2 ~locks:[ 2 ] ~kind:Write ()));
+  Alcotest.(check bool) "read does not cover write" false
+    (let t = Trie.create () in
+     Trie.update t (ev ~thread:1 ~locks:[] ~kind:Read ());
+     Trie.exists_weaker t (ev ~thread:1 ~locks:[] ~kind:Write ()));
+  Alcotest.(check bool) "superset lockset does not cover subset" false
+    (Trie.exists_weaker t (ev ~thread:1 ~locks:[] ~kind:Write ()))
+
+let test_bot_weakness () =
+  let t = Trie.create () in
+  (* Two threads with the same lockset degrade the node to t_bot, which
+     is weaker than any thread. *)
+  Trie.update t (ev ~thread:1 ~locks:[ 3 ] ~kind:Write ());
+  Trie.update t (ev ~thread:2 ~locks:[ 3 ] ~kind:Write ());
+  Alcotest.(check bool) "bot covers third thread" true
+    (Trie.exists_weaker t (ev ~thread:7 ~locks:[ 3 ] ~kind:Write ()))
+
+let test_race_cases () =
+  (* Case II: disjoint locksets, different threads, one write. *)
+  let t = Trie.create () in
+  ignore (feed t (ev ~thread:1 ~locks:[ 1 ] ~kind:Write ~site:11 ()));
+  (match feed t (ev ~thread:2 ~locks:[ 2 ] ~kind:Read ~site:21 ()) with
+  | Some p ->
+      Alcotest.(check bool) "prior thread" true (p.Trie.p_thread = Thread 1);
+      Alcotest.(check bool) "prior kind" true (p.Trie.p_kind = Write);
+      Alcotest.(check (list int)) "prior locks" [ 1 ]
+        (Lockset.to_sorted_list p.Trie.p_locks);
+      Alcotest.(check int) "prior site" 11 p.Trie.p_site
+  | None -> Alcotest.fail "expected a race");
+  (* Case I: common lock prunes the subtree. *)
+  let t = Trie.create () in
+  ignore (feed t (ev ~thread:1 ~locks:[ 1; 2 ] ~kind:Write ()));
+  Alcotest.(check bool) "common lock, no race" true
+    (feed t (ev ~thread:2 ~locks:[ 2; 3 ] ~kind:Write ()) = None);
+  (* Both reads never race. *)
+  let t = Trie.create () in
+  ignore (feed t (ev ~thread:1 ~locks:[] ~kind:Read ()));
+  Alcotest.(check bool) "read-read, no race" true
+    (feed t (ev ~thread:2 ~locks:[] ~kind:Read ()) = None);
+  (* Same thread never races. *)
+  let t = Trie.create () in
+  ignore (feed t (ev ~thread:1 ~locks:[ 1 ] ~kind:Write ()));
+  Alcotest.(check bool) "same thread, no race" true
+    (feed t (ev ~thread:1 ~locks:[ 2 ] ~kind:Write ()) = None)
+
+let test_empty_lockset_root_race () =
+  (* Accesses with the empty lockset live at the root node; races with
+     them must still be found. *)
+  let t = Trie.create () in
+  ignore (feed t (ev ~thread:1 ~locks:[] ~kind:Write ()));
+  Alcotest.(check bool) "race with root access" true
+    (feed t (ev ~thread:2 ~locks:[ 4 ] ~kind:Read ()) <> None)
+
+let test_prune_stronger () =
+  let t = Trie.create () in
+  ignore (feed t (ev ~thread:1 ~locks:[ 1; 2 ] ~kind:Read ()));
+  Alcotest.(check int) "three nodes (root + 2)" 3 (Trie.node_count t);
+  (* A weaker access (same thread, smaller lockset, write) prunes it. *)
+  ignore (feed t (ev ~thread:1 ~locks:[ 1 ] ~kind:Write ()));
+  let stored =
+    Trie.fold_accesses
+      (fun ~locks ~thread:_ ~kind:_ ~site:_ acc ->
+        Lockset.to_sorted_list locks :: acc)
+      t []
+  in
+  Alcotest.(check (list (list int))) "only the weaker access remains" [ [ 1 ] ] stored;
+  Alcotest.(check int) "pruned nodes reclaimed" 2 (Trie.node_count t)
+
+let test_prune_does_not_remove_incomparable () =
+  let t = Trie.create () in
+  ignore (feed t (ev ~thread:1 ~locks:[ 1; 2 ] ~kind:Write ()));
+  ignore (feed t (ev ~thread:1 ~locks:[ 3 ] ~kind:Read ()));
+  (* Read at {3} is not weaker than write at {1;2} and vice versa. *)
+  let stored =
+    Trie.fold_accesses
+      (fun ~locks ~thread:_ ~kind:_ ~site:_ acc ->
+        Lockset.to_sorted_list locks :: acc)
+      t []
+    |> List.sort compare
+  in
+  Alcotest.(check (list (list int))) "both remain" [ [ 1; 2 ]; [ 3 ] ] stored
+
+(* ------------------------------------------------------------------ *)
+(* Property: reporting guarantee (Definition 1).  For every location
+   involved in a race according to the quadratic oracle over the raw
+   event sequence, the trie-based detector (weakness filter + race check
+   + update/prune) must flag that location. *)
+
+let gen_trace =
+  QCheck.Gen.(
+    list_size (int_range 1 40)
+      (map
+         (fun (loc, thread, locks, w) ->
+           make ~loc ~thread
+             ~locks:(ls locks)
+             ~kind:(if w then Write else Read)
+             ~site:0)
+         (quad (int_bound 2) (int_bound 2)
+            (list_size (int_bound 2) (int_bound 3))
+            bool)))
+
+let arb_trace =
+  QCheck.make ~print:Fmt.(to_to_string (Dump.list Event.pp)) gen_trace
+
+let oracle_racy_locs trace =
+  let racy = Hashtbl.create 8 in
+  List.iteri
+    (fun i ei ->
+      List.iteri
+        (fun j ej -> if i < j && is_race ei ej then Hashtbl.replace racy ei.loc ())
+        trace)
+    trace;
+  Hashtbl.fold (fun l () acc -> l :: acc) racy [] |> List.sort compare
+
+let detector_racy_locs trace =
+  let tries = Hashtbl.create 8 in
+  let racy = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let t =
+        match Hashtbl.find_opt tries e.loc with
+        | Some t -> t
+        | None ->
+            let t = Trie.create () in
+            Hashtbl.add tries e.loc t;
+            t
+      in
+      match feed t e with
+      | Some _ -> Hashtbl.replace racy e.loc ()
+      | None -> ())
+    trace;
+  Hashtbl.fold (fun l () acc -> l :: acc) racy [] |> List.sort compare
+
+let prop_reporting_guarantee =
+  QCheck.Test.make ~count:1000 ~name:"Definition 1: every racy location reported"
+    arb_trace (fun trace ->
+      let oracle = oracle_racy_locs trace in
+      let reported = detector_racy_locs trace in
+      List.for_all (fun l -> List.mem l reported) oracle)
+
+(* Precision on traces where no two distinct threads share a non-empty
+   lockset on the same location: then t_bot merging cannot manufacture
+   spurious races, and reported locations must be exactly the oracle's. *)
+let prop_precision_no_shared_locksets =
+  QCheck.Test.make ~count:1000 ~name:"precision without t_bot collisions" arb_trace
+    (fun trace ->
+      let clash =
+        List.exists
+          (fun (e1 : t) ->
+            List.exists
+              (fun (e2 : t) ->
+                e1.loc = e2.loc && e1.thread <> e2.thread
+                && (not (Lockset.is_empty e1.locks))
+                && Lockset.equal e1.locks e2.locks)
+              trace)
+          trace
+      in
+      QCheck.assume (not clash);
+      detector_racy_locs trace = oracle_racy_locs trace)
+
+(* The fused single-DFS [process] agrees with the reference composition
+   of [find_race] / [exists_weaker] / [update] on whole traces. *)
+let prop_process_matches_reference =
+  QCheck.Test.make ~count:1000 ~name:"process = find_race + exists_weaker + update"
+    arb_trace (fun trace ->
+      let fused = Trie.create () and refr = Trie.create () in
+      List.for_all
+        (fun e ->
+          let race_f, red_f = Trie.process fused e in
+          let race_r = Trie.find_race refr e in
+          let red_r = Trie.exists_weaker refr e in
+          if not red_r then Trie.update refr e;
+          let dump t =
+            Trie.fold_accesses
+              (fun ~locks ~thread ~kind ~site acc ->
+                (Lockset.to_sorted_list locks, thread, kind, site) :: acc)
+              t []
+            |> List.sort compare
+          in
+          (race_f = None) = (race_r = None)
+          && red_f = red_r
+          && dump fused = dump refr)
+        trace)
+
+(* Invariant: after any trace, the stored accesses of a trie form an
+   antichain under the weaker-than order — a stronger access is either
+   filtered on arrival or pruned when a weaker one lands. *)
+let prop_stored_antichain =
+  QCheck.Test.make ~count:1000 ~name:"stored accesses form an antichain"
+    arb_trace (fun trace ->
+      let tries = Hashtbl.create 8 in
+      List.iter
+        (fun (e : Event.t) ->
+          let t =
+            match Hashtbl.find_opt tries e.loc with
+            | Some t -> t
+            | None ->
+                let t = Trie.create () in
+                Hashtbl.add tries e.loc t;
+                t
+          in
+          ignore (Trie.process t e))
+        trace;
+      Hashtbl.fold
+        (fun _ t ok ->
+          ok
+          &&
+          let stored =
+            Trie.fold_accesses
+              (fun ~locks ~thread ~kind ~site:_ acc ->
+                (locks, thread, kind) :: acc)
+              t []
+          in
+          List.for_all
+            (fun (l1, t1, k1) ->
+              List.for_all
+                (fun (l2, t2, k2) ->
+                  (l1, t1, k1) == (l2, t2, k2)
+                  || (Lockset.equal l1 l2 && t1 = t2 && k1 = k2)
+                  || not
+                       (Lockset.subset l1 l2 && thread_leq t1 t2
+                      && kind_leq k1 k2))
+                stored)
+            stored)
+        tries true)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_reporting_guarantee;
+      prop_precision_no_shared_locksets;
+      prop_process_matches_reference;
+      prop_stored_antichain;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "weakness basics" `Quick test_weakness_basic;
+    Alcotest.test_case "t_bot weakness" `Quick test_bot_weakness;
+    Alcotest.test_case "race cases" `Quick test_race_cases;
+    Alcotest.test_case "root (empty lockset) races" `Quick test_empty_lockset_root_race;
+    Alcotest.test_case "prune stronger" `Quick test_prune_stronger;
+    Alcotest.test_case "prune keeps incomparable" `Quick test_prune_does_not_remove_incomparable;
+  ]
+  @ qsuite
