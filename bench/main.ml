@@ -163,6 +163,76 @@ let ablation () =
     [ ("per-location", Detector.Per_location); ("packed", Detector.Packed) ];
   fpf "@."
 
+(* ------------------------------------------------------------------ *)
+(* Exploration-engine throughput: runs/sec and events/sec for a PCT
+   campaign on tsp at 1, 2 and 4 workers, and the resulting parallel
+   speedup.  --json additionally writes BENCH_explore.json.  The
+   speedup is only meaningful relative to the machine: the JSON
+   records recommended_domain_count so a 1-core container's ~1.0x is
+   not misread as a regression. *)
+
+let explore_bench ~quick ~json () =
+  let module E = Drd_explore in
+  let b = Option.get (H.Programs.find "tsp") in
+  let runs = if quick then 16 else 48 in
+  let spec workers =
+    {
+      (E.Explore.default_spec H.Config.full) with
+      E.Explore.e_strategy = E.Strategy.Pct 3;
+      e_workers = workers;
+      e_budget = E.Explore.runs_budget runs;
+    }
+  in
+  fpf "Exploration engine throughput (pct, tsp, %d runs/campaign)@." runs;
+  fpf "%8s %10s %12s %14s %9s@." "workers" "wall" "runs/s" "events/s" "races";
+  let rows =
+    List.map
+      (fun workers ->
+        let r = E.Explore.run_campaign (spec workers) ~source:b.H.Programs.b_source in
+        let rps = E.Explore.runs_per_sec r in
+        fpf "%8d %9.2fs %12.1f %14.0f %9d@." workers r.E.Explore.r_wall rps
+          (E.Explore.events_per_sec r)
+          r.E.Explore.r_stats.E.Aggregate.st_distinct_races;
+        (workers, r, rps))
+      [ 1; 2; 4 ]
+  in
+  let rps_of w = match List.find_opt (fun (w', _, _) -> w' = w) rows with
+    | Some (_, _, rps) -> rps
+    | None -> 0.
+  in
+  let speedup w = rps_of w /. Float.max (rps_of 1) 1e-9 in
+  let cores = Domain.recommended_domain_count () in
+  fpf "speedup: 2 workers %.2fx, 4 workers %.2fx (%d core%s available)@.@."
+    (speedup 2) (speedup 4) cores (if cores = 1 then "" else "s");
+  if json then begin
+    let buf = Buffer.create 1024 in
+    let bpf fmt = Printf.bprintf buf fmt in
+    bpf "{\n  \"benchmark\": \"tsp\",\n  \"strategy\": \"pct(d=3)\",\n";
+    bpf "  \"runs_per_campaign\": %d,\n" runs;
+    bpf "  \"recommended_domain_count\": %d,\n" cores;
+    bpf "  \"workers\": [\n";
+    List.iteri
+      (fun i (workers, r, rps) ->
+        bpf
+          "    { \"workers\": %d, \"wall_s\": %.4f, \"runs_per_sec\": %.2f, \
+           \"events_per_sec\": %.1f, \"events_per_sec_per_worker\": %.1f, \
+           \"distinct_races\": %d }%s\n"
+          workers r.E.Explore.r_wall rps
+          (E.Explore.events_per_sec r)
+          (E.Explore.events_per_sec_per_worker r)
+          r.E.Explore.r_stats.E.Aggregate.st_distinct_races
+          (if i = List.length rows - 1 then "" else ",");
+        ())
+      rows;
+    bpf "  ],\n";
+    bpf "  \"speedup_2_workers\": %.3f,\n  \"speedup_4_workers\": %.3f\n}\n"
+      (speedup 2) (speedup 4);
+    let oc = open_out "BENCH_explore.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    fpf "wrote BENCH_explore.json@.@."
+  end
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let has f = List.mem f args in
@@ -180,4 +250,5 @@ let () =
   if all || has "--join-example" then H.Tables.join_example ();
   if all || has "--baselines" then ignore (H.Tables.baselines ());
   if all || has "--ablation" then ablation ();
+  if all || has "--explore" then explore_bench ~quick ~json:(has "--json") ();
   if all || has "--micro" then microbench ()

@@ -4,12 +4,16 @@
      run      compile + execute a MiniJava program (file or built-in
               benchmark) under a detector configuration and print the
               race reports;
+     explore  run a parallel schedule-exploration campaign (seed sweep,
+              quantum jitter or PCT priority scheduling) and print the
+              deduped races with reproduction recipes;
      analyze  run only the static datarace analysis and report its
               statistics;
      ir       dump the (optionally instrumented/optimized) IR;
      list     list built-in benchmarks and configurations. *)
 
 module H = Drd_harness
+module E = Drd_explore
 module Ir = Drd_ir.Ir
 open Cmdliner
 
@@ -34,9 +38,19 @@ let load_source file benchmark =
   | Some _, Some _ -> Error "give either FILE or --benchmark, not both"
   | None, None -> Error "give a FILE or --benchmark NAME"
 
-let config_of_name name seed =
+let config_of_name ?quantum ?pct ?(pct_horizon = 20_000) name seed =
   match H.Config.by_name name with
-  | Some c -> Ok { c with H.Config.seed }
+  | Some c ->
+      Ok
+        {
+          c with
+          H.Config.seed;
+          quantum = Option.value quantum ~default:c.H.Config.quantum;
+          policy =
+            (match pct with
+            | Some depth -> Drd_vm.Interp.Pct { depth; horizon = pct_horizon }
+            | None -> c.H.Config.policy);
+        }
   | None -> Error (Printf.sprintf "unknown configuration %s" name)
 
 (* ---- common arguments ---- *)
@@ -62,6 +76,28 @@ let seed_arg =
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print detector statistics.")
+
+let quantum_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "quantum" ] ~docv:"N"
+        ~doc:"Override the scheduler slice bound (instructions).")
+
+let pct_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "pct" ] ~docv:"D"
+        ~doc:
+          "Schedule with PCT-style random thread priorities and $(docv) \
+           priority-change points instead of the random walk.")
+
+let pct_horizon_arg =
+  Arg.(
+    value & opt int 20_000
+    & info [ "pct-horizon" ] ~docv:"STEPS"
+        ~doc:"Step horizon the PCT priority-change points are drawn from.")
 
 (* ---- JSON rendering (hand-rolled; no JSON library in the sealed
    environment) ---- *)
@@ -164,11 +200,12 @@ let run_json compiled (r : H.Pipeline.result) =
 
 (* ---- run ---- *)
 
-let run_cmd_impl file benchmark config_name seed verbose json =
+let run_cmd_impl file benchmark config_name seed quantum pct pct_horizon
+    verbose json =
   match load_source file benchmark with
   | Error e -> `Error (false, e)
   | Ok source -> (
-      match config_of_name config_name seed with
+      match config_of_name ?quantum ?pct ~pct_horizon config_name seed with
       | Error e -> `Error (false, e)
       | Ok config when json ->
           let compiled = H.Pipeline.compile config ~source in
@@ -251,7 +288,7 @@ let run_cmd =
     Term.(
       ret
         (const run_cmd_impl $ file_arg $ benchmark_arg $ config_arg $ seed_arg
-       $ verbose_arg $ json_arg))
+       $ quantum_arg $ pct_arg $ pct_horizon_arg $ verbose_arg $ json_arg))
 
 (* ---- analyze ---- *)
 
@@ -333,10 +370,16 @@ let record_cmd =
 let detect_impl log_file config_name pairs benchmark =
   match config_of_name config_name 42 with
   | Error e -> `Error (false, e)
-  | Ok config ->
+  | Ok config -> (
+    match
       let ic = open_in log_file in
-      let log = Drd_core.Event_log.of_channel ic in
-      close_in ic;
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Drd_core.Event_log.of_channel ic)
+    with
+    | exception Sys_error e -> `Error (false, e)
+    | exception Failure e -> `Error (false, e)
+    | log ->
       let coll, stats = H.Pipeline.detect_post_mortem config log in
       Fmt.pr "replayed %d log entries@." (Drd_core.Event_log.length log);
       Fmt.pr "%a@." Drd_core.Detector.pp_stats stats;
@@ -381,7 +424,7 @@ let detect_impl log_file config_name pairs benchmark =
             (Drd_core.Full_race.reconstruct log ~locs:racy)
         end
       end;
-      `Ok ()
+      `Ok ())
 
 let detect_cmd =
   let doc = "run the detection phase offline over a recorded log (phase 2)" in
@@ -409,7 +452,7 @@ let detect_cmd =
     (Cmd.info "detect" ~doc)
     Term.(ret (const detect_impl $ log_file $ config_arg $ pairs $ bench_for_names))
 
-(* ---- sweep: schedule exploration ---- *)
+(* ---- sweep: the legacy seed sweep (now a thin campaign) ---- *)
 
 let sweep_impl file benchmark config_name nseeds =
   match load_source file benchmark with
@@ -419,7 +462,7 @@ let sweep_impl file benchmark config_name nseeds =
       | Error e -> `Error (false, e)
       | Ok config ->
           let seeds = List.init nseeds (fun i -> i + 1) in
-          let rows, failures = H.Pipeline.sweep config ~source ~seeds in
+          let rows, failures = E.Explore.sweep config ~source ~seeds in
           Fmt.pr "racy objects over %d schedules (%s):@." nseeds
             config.H.Config.name;
           if rows = [] then Fmt.pr "  (none)@.";
@@ -441,6 +484,203 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc)
     Term.(ret (const sweep_impl $ file_arg $ benchmark_arg $ config_arg $ nseeds))
+
+(* ---- explore: the parallel schedule-exploration campaign ---- *)
+
+let explore_json (r : E.Explore.report) =
+  let stats = r.E.Explore.r_stats in
+  let races =
+    List.map
+      (fun (d : E.Aggregate.deduped) ->
+        jobj
+          [
+            ("object", jstr d.E.Aggregate.d_key.E.Aggregate.k_object);
+            ("site_a", jstr d.E.Aggregate.d_key.E.Aggregate.k_site_a);
+            ("site_b", jstr d.E.Aggregate.d_key.E.Aggregate.k_site_b);
+            ("kinds", jstr d.E.Aggregate.d_kinds);
+            ("runs_reporting", string_of_int d.E.Aggregate.d_count);
+            ("first_run", string_of_int d.E.Aggregate.d_first_index);
+            ("first_seed", string_of_int d.E.Aggregate.d_first_seed);
+            ("first_schedule", jstr d.E.Aggregate.d_first_spec);
+            ("repro_flags", jstr d.E.Aggregate.d_first_repro);
+          ])
+      r.E.Explore.r_races
+  in
+  let failures =
+    List.map
+      (fun (f : E.Aggregate.failure) ->
+        jobj
+          [
+            ("run", string_of_int f.E.Aggregate.f_index);
+            ("seed", string_of_int f.E.Aggregate.f_seed);
+            ("error", jstr f.E.Aggregate.f_error);
+          ])
+      r.E.Explore.r_failures
+  in
+  let discovery =
+    List.map
+      (fun (i, n) -> jlist [ string_of_int i; string_of_int n ])
+      stats.E.Aggregate.st_discovery
+  in
+  print_endline
+    (jobj
+       [
+         ("strategy", jstr (E.Strategy.name r.E.Explore.r_spec.E.Explore.e_strategy));
+         ("workers", string_of_int r.E.Explore.r_spec.E.Explore.e_workers);
+         ("runs", string_of_int stats.E.Aggregate.st_runs);
+         ("failures", jlist failures);
+         ("distinct_races", string_of_int stats.E.Aggregate.st_distinct_races);
+         ( "distinct_fingerprints",
+           string_of_int stats.E.Aggregate.st_distinct_fingerprints );
+         ("events", string_of_int stats.E.Aggregate.st_events);
+         ("steps", string_of_int stats.E.Aggregate.st_steps);
+         ("wall_s", Printf.sprintf "%.6f" r.E.Explore.r_wall);
+         ("runs_per_sec", Printf.sprintf "%.2f" (E.Explore.runs_per_sec r));
+         ("events_per_sec", Printf.sprintf "%.1f" (E.Explore.events_per_sec r));
+         ( "events_per_sec_per_worker",
+           Printf.sprintf "%.1f" (E.Explore.events_per_sec_per_worker r) );
+         ("discovery", jlist discovery);
+         ("races", jlist races);
+       ])
+
+let explore_impl file benchmark config_name strategy depth workers runs
+    max_seconds seed quantum pct_horizon json =
+  match load_source file benchmark with
+  | Error e -> `Error (false, e)
+  | Ok source -> (
+      match config_of_name ?quantum config_name seed with
+      | Error e -> `Error (false, e)
+      | Ok config -> (
+          match E.Strategy.of_string strategy with
+          | Error e -> `Error (false, e)
+          | Ok strategy ->
+              let strategy =
+                match strategy with
+                | E.Strategy.Pct _ -> E.Strategy.Pct depth
+                | s -> s
+              in
+              let spec =
+                {
+                  E.Explore.e_config = config;
+                  e_strategy = strategy;
+                  e_workers = max workers 1;
+                  e_budget =
+                    { E.Explore.b_runs = runs; b_seconds = max_seconds };
+                  e_pct_horizon = pct_horizon;
+                }
+              in
+              let r = E.Explore.run_campaign spec ~source in
+              if json then explore_json r
+              else begin
+                let stats = r.E.Explore.r_stats in
+                let target =
+                  match (file, benchmark) with
+                  | Some f, _ -> f
+                  | None, Some b -> "-b " ^ b
+                  | None, None -> "..."
+                in
+                Fmt.pr
+                  "explored %d schedules (%s, %d workers) in %.2fs: %.1f \
+                   runs/s, %.0f events/s/worker@."
+                  stats.E.Aggregate.st_runs
+                  (E.Strategy.name strategy)
+                  spec.E.Explore.e_workers r.E.Explore.r_wall
+                  (E.Explore.runs_per_sec r)
+                  (E.Explore.events_per_sec_per_worker r);
+                Fmt.pr
+                  "distinct interleaving fingerprints: %d/%d; events %d; \
+                   steps %d@."
+                  stats.E.Aggregate.st_distinct_fingerprints
+                  stats.E.Aggregate.st_runs stats.E.Aggregate.st_events
+                  stats.E.Aggregate.st_steps;
+                (match r.E.Explore.r_failures with
+                | [] -> ()
+                | fs ->
+                    Fmt.pr "@.%d runs failed:@." (List.length fs);
+                    List.iter
+                      (fun (f : E.Aggregate.failure) ->
+                        Fmt.pr "  run %d (seed %d): %s@." f.E.Aggregate.f_index
+                          f.E.Aggregate.f_seed f.E.Aggregate.f_error)
+                      fs);
+                if r.E.Explore.r_races = [] then
+                  Fmt.pr "@.No dataraces detected in any schedule.@."
+                else begin
+                  Fmt.pr "@.Deduped races (%d):@."
+                    (List.length r.E.Explore.r_races);
+                  List.iter
+                    (fun (d : E.Aggregate.deduped) ->
+                      Fmt.pr "  %4d/%d  %a%s@." d.E.Aggregate.d_count
+                        stats.E.Aggregate.st_runs E.Aggregate.pp_key
+                        d.E.Aggregate.d_key
+                        (if d.E.Aggregate.d_kinds = "" then ""
+                         else " (" ^ d.E.Aggregate.d_kinds ^ ")");
+                      Fmt.pr "          first seen in run %d (%s)@."
+                        d.E.Aggregate.d_first_index d.E.Aggregate.d_first_spec;
+                      Fmt.pr "          reproduce: racedet run %s -c %s %s@."
+                        target config.H.Config.name
+                        d.E.Aggregate.d_first_repro)
+                    r.E.Explore.r_races;
+                  match stats.E.Aggregate.st_discovery with
+                  | [] | [ _ ] -> ()
+                  | ds ->
+                      Fmt.pr "@.new-race discovery (run -> cumulative): %s@."
+                        (String.concat ", "
+                           (List.map
+                              (fun (i, n) -> Printf.sprintf "%d->%d" i n)
+                              ds))
+                end
+              end;
+              `Ok ()))
+
+let explore_cmd =
+  let doc =
+    "explore many schedules in parallel and dedupe the race reports"
+  in
+  let strategy =
+    Arg.(
+      value & opt string "pct"
+      & info [ "s"; "strategy" ] ~docv:"NAME"
+          ~doc:
+            "Exploration strategy: $(b,sweep) (sequential seeds), \
+             $(b,jitter) (random seed + slice bound per run), or $(b,pct) \
+             (random thread priorities with change points).")
+  in
+  let depth =
+    Arg.(
+      value & opt int 3
+      & info [ "d"; "depth" ] ~docv:"D"
+          ~doc:"Priority-change points per run (pct strategy).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "w"; "workers" ] ~docv:"N"
+          ~doc:"Parallel worker domains to fan runs out over.")
+  in
+  let runs =
+    Arg.(
+      value & opt int 64
+      & info [ "n"; "runs" ] ~docv:"N" ~doc:"Run budget for the campaign.")
+  in
+  let max_seconds =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-seconds" ] ~docv:"S"
+          ~doc:
+            "Wall-clock budget; stops claiming new runs once exceeded \
+             (makes the campaign non-deterministic).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc)
+    Term.(
+      ret
+        (const explore_impl $ file_arg $ benchmark_arg $ config_arg $ strategy
+       $ depth $ workers $ runs $ max_seconds $ seed_arg $ quantum_arg
+       $ pct_horizon_arg $ json_arg))
 
 (* ---- list ---- *)
 
@@ -466,4 +706,4 @@ let list_cmd =
 let () =
   let doc = "efficient and precise datarace detection (PLDI 2002)" in
   let info = Cmd.info "racedet" ~version:"1.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; analyze_cmd; ir_cmd; record_cmd; detect_cmd; sweep_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; explore_cmd; analyze_cmd; ir_cmd; record_cmd; detect_cmd; sweep_cmd; list_cmd ]))

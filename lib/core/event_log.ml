@@ -56,10 +56,24 @@ let to_channel oc t =
 
 let of_channel ic =
   let t = create () in
+  let lineno = ref 0 in
+  let fail reason line =
+    failwith
+      (Printf.sprintf "Event_log: line %d: %s in %S" !lineno reason line)
+  in
   (try
      while true do
        let line = input_line ic in
-       if String.trim line <> "" then
+       incr lineno;
+       if String.trim line <> "" then begin
+         let int_field name s =
+           match int_of_string_opt s with
+           | Some n -> n
+           | None ->
+               fail
+                 (Printf.sprintf "%s %S is not an integer" name s)
+                 line
+         in
          let parts = String.split_on_char ' ' (String.trim line) in
          let entry =
            match parts with
@@ -68,21 +82,40 @@ let of_channel ic =
                  match kind with
                  | "R" -> Event.Read
                  | "W" -> Event.Write
-                 | k -> failwith ("Event_log: bad access kind " ^ k)
+                 | k ->
+                     fail
+                       (Printf.sprintf "access kind %S is not R or W" k)
+                       line
                in
                Access
-                 (Event.make ~loc:(int_of_string loc)
-                    ~thread:(int_of_string thread)
-                    ~locks:(Event.Lockset.of_list (List.map int_of_string locks))
-                    ~kind ~site:(int_of_string site))
-           | [ "L"; t; l ] -> Acquire (int_of_string t, int_of_string l)
-           | [ "U"; t; l ] -> Release (int_of_string t, int_of_string l)
-           | [ "S"; p; c ] -> Thread_start (int_of_string p, int_of_string c)
-           | [ "J"; j; e ] -> Thread_join (int_of_string j, int_of_string e)
-           | [ "X"; t ] -> Thread_exit (int_of_string t)
-           | _ -> failwith ("Event_log: malformed line: " ^ line)
+                 (Event.make
+                    ~loc:(int_field "location" loc)
+                    ~thread:(int_field "thread" thread)
+                    ~locks:
+                      (Event.Lockset.of_list
+                         (List.map (int_field "lock") locks))
+                    ~kind
+                    ~site:(int_field "site" site))
+           | [ "L"; t; l ] ->
+               Acquire (int_field "thread" t, int_field "lock" l)
+           | [ "U"; t; l ] ->
+               Release (int_field "thread" t, int_field "lock" l)
+           | [ "S"; p; c ] ->
+               Thread_start (int_field "parent" p, int_field "child" c)
+           | [ "J"; j; e ] ->
+               Thread_join (int_field "joiner" j, int_field "joinee" e)
+           | [ "X"; t ] -> Thread_exit (int_field "thread" t)
+           | tag :: _ ->
+               fail
+                 (Printf.sprintf
+                    "unknown entry tag %S (expected A, L, U, S, J or X) or \
+                     wrong field count"
+                    tag)
+                 line
+           | [] -> fail "empty entry" line
          in
          record t entry
+       end
      done
    with End_of_file -> ());
   t

@@ -37,7 +37,8 @@ val to_channel : out_channel -> t -> unit
 
 val of_channel : in_channel -> t
 (** Parse a log serialized by {!to_channel}.  Raises [Failure] on
-    malformed input. *)
+    malformed input, with a message naming the 1-based line number,
+    the offending field and the line itself. *)
 
 val equal_entry : entry -> entry -> bool
 (** Structural equality with set semantics for locksets. *)

@@ -1,0 +1,177 @@
+(* Campaign-level aggregation: dedupe race reports across runs by
+   (object, field, site-pair), remember the first schedule that produced
+   each, and keep the exploration statistics (distinct interleaving
+   fingerprints, discovery decay, throughput inputs). *)
+
+type race_key = {
+  k_object : string;
+  k_site_a : string;
+  k_site_b : string;
+}
+
+(* Heap ids are schedule-dependent ("TourElement#12.next" may be #14
+   under another interleaving), so keys strip the "#id" component and
+   dedupe on the class+field identity. *)
+let normalize_object name =
+  let b = Buffer.create (String.length name) in
+  let n = String.length name in
+  let i = ref 0 in
+  while !i < n do
+    if name.[!i] = '#' then begin
+      incr i;
+      while !i < n && name.[!i] >= '0' && name.[!i] <= '9' do
+        incr i
+      done
+    end
+    else begin
+      Buffer.add_char b name.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let key ~obj ~site_a ~site_b =
+  let obj = normalize_object obj in
+  if String.compare site_a site_b <= 0 then
+    { k_object = obj; k_site_a = site_a; k_site_b = site_b }
+  else { k_object = obj; k_site_a = site_b; k_site_b = site_a }
+
+type sighting = {
+  s_key : race_key;
+  s_kinds : string; (* e.g. "write vs read" *)
+}
+
+type run_obs = {
+  o_index : int;
+  o_seed : int;
+  o_spec : string; (* human description of the schedule *)
+  o_repro : string; (* racedet run flags replaying it *)
+  o_sightings : sighting list;
+  o_objects : string list; (* raw racy-object names (sweep compat) *)
+  o_fingerprint : int;
+  o_events : int;
+  o_steps : int;
+  o_wall : float; (* VM seconds for this run *)
+}
+
+type failure = { f_index : int; f_seed : int; f_error : string }
+
+type deduped = {
+  d_key : race_key;
+  d_count : int;
+  d_kinds : string;
+  d_first_index : int;
+  d_first_seed : int;
+  d_first_spec : string;
+  d_first_repro : string;
+}
+
+type t = {
+  mutable runs : int;
+  mutable failures : failure list; (* reverse order *)
+  races : (race_key, deduped) Hashtbl.t;
+  fingerprints : (int, int) Hashtbl.t; (* fingerprint -> runs showing it *)
+  object_counts : (string, int) Hashtbl.t;
+  mutable discovery : (int * int) list; (* (run idx, cumulative races), rev *)
+  mutable events : int;
+  mutable steps : int;
+  mutable run_wall : float;
+}
+
+let create () =
+  {
+    runs = 0;
+    failures = [];
+    races = Hashtbl.create 32;
+    fingerprints = Hashtbl.create 64;
+    object_counts = Hashtbl.create 32;
+    discovery = [];
+    events = 0;
+    steps = 0;
+    run_wall = 0.;
+  }
+
+(* Feed observations in run-index order for deterministic first-seen
+   attribution; the engine sorts merged worker results before folding. *)
+let add_run t (o : run_obs) =
+  t.runs <- t.runs + 1;
+  t.events <- t.events + o.o_events;
+  t.steps <- t.steps + o.o_steps;
+  t.run_wall <- t.run_wall +. o.o_wall;
+  Hashtbl.replace t.fingerprints o.o_fingerprint
+    (1 + Option.value (Hashtbl.find_opt t.fingerprints o.o_fingerprint) ~default:0);
+  List.iter
+    (fun obj ->
+      Hashtbl.replace t.object_counts obj
+        (1 + Option.value (Hashtbl.find_opt t.object_counts obj) ~default:0))
+    o.o_objects;
+  let new_race = ref false in
+  (* A run can sight the same key through several racy locations (two
+     objects of one class); count it once per run. *)
+  let seen_this_run = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem seen_this_run s.s_key) then begin
+        Hashtbl.add seen_this_run s.s_key ();
+        match Hashtbl.find_opt t.races s.s_key with
+        | Some d -> Hashtbl.replace t.races s.s_key { d with d_count = d.d_count + 1 }
+        | None ->
+            new_race := true;
+            Hashtbl.add t.races s.s_key
+              {
+                d_key = s.s_key;
+                d_count = 1;
+                d_kinds = s.s_kinds;
+                d_first_index = o.o_index;
+                d_first_seed = o.o_seed;
+                d_first_spec = o.o_spec;
+                d_first_repro = o.o_repro;
+              }
+      end)
+    o.o_sightings;
+  if !new_race then
+    t.discovery <- (o.o_index, Hashtbl.length t.races) :: t.discovery
+
+let add_failure t ~index ~seed ~error =
+  t.failures <- { f_index = index; f_seed = seed; f_error = error } :: t.failures
+
+let races t =
+  Hashtbl.fold (fun _ d acc -> d :: acc) t.races []
+  |> List.sort (fun a b ->
+         match compare b.d_count a.d_count with
+         | 0 -> compare a.d_key b.d_key
+         | c -> c)
+
+let object_rows t =
+  Hashtbl.fold (fun obj n acc -> (obj, n) :: acc) t.object_counts []
+  |> List.sort (fun (oa, a) (ob, b) ->
+         match compare b a with 0 -> compare oa ob | c -> c)
+
+let failures t =
+  List.sort (fun a b -> compare a.f_index b.f_index) t.failures
+
+type stats = {
+  st_runs : int;
+  st_failed : int;
+  st_distinct_races : int;
+  st_distinct_fingerprints : int;
+  st_events : int;
+  st_steps : int;
+  st_run_wall : float; (* summed per-run VM seconds (CPU view) *)
+  st_discovery : (int * int) list; (* run index -> cumulative races *)
+}
+
+let stats t =
+  {
+    st_runs = t.runs;
+    st_failed = List.length t.failures;
+    st_distinct_races = Hashtbl.length t.races;
+    st_distinct_fingerprints = Hashtbl.length t.fingerprints;
+    st_events = t.events;
+    st_steps = t.steps;
+    st_run_wall = t.run_wall;
+    st_discovery = List.rev t.discovery;
+  }
+
+let pp_key ppf k =
+  Fmt.pf ppf "%s  [%s vs %s]" k.k_object k.k_site_a k.k_site_b

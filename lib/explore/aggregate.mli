@@ -1,0 +1,88 @@
+(** Campaign-level aggregation of race reports and exploration
+    statistics.
+
+    Race reports are deduplicated across runs by (object, field,
+    site-pair); heap ids are schedule-dependent, so the object component
+    is the class+field identity with object ids stripped
+    ("TourElement#12.next" → "TourElement.next").  The first run that
+    sighted each deduped race is remembered with its full schedule spec
+    so every reported race comes with a reproduction recipe. *)
+
+type race_key = private {
+  k_object : string;  (** Normalized object/static-field identity. *)
+  k_site_a : string;  (** Site pair, sorted lexicographically. *)
+  k_site_b : string;
+}
+
+val key : obj:string -> site_a:string -> site_b:string -> race_key
+
+val normalize_object : string -> string
+(** Strip ["#<digits>"] object ids ("Foo#12.f" → "Foo.f"). *)
+
+type sighting = {
+  s_key : race_key;
+  s_kinds : string;  (** e.g. ["write vs read"]. *)
+}
+
+type run_obs = {
+  o_index : int;
+  o_seed : int;
+  o_spec : string;  (** Human description of the schedule. *)
+  o_repro : string;  (** [racedet run] flags replaying it. *)
+  o_sightings : sighting list;
+  o_objects : string list;  (** Raw racy-object names (sweep compat). *)
+  o_fingerprint : int;  (** Interleaving fingerprint of the run. *)
+  o_events : int;
+  o_steps : int;
+  o_wall : float;  (** VM seconds for this run. *)
+}
+
+type failure = { f_index : int; f_seed : int; f_error : string }
+
+type deduped = {
+  d_key : race_key;
+  d_count : int;  (** Runs that reported it. *)
+  d_kinds : string;
+  d_first_index : int;  (** Run index of the first sighting. *)
+  d_first_seed : int;
+  d_first_spec : string;
+  d_first_repro : string;
+}
+
+type t
+
+val create : unit -> t
+
+val add_run : t -> run_obs -> unit
+(** Feed observations in run-index order: first-seen attribution and the
+    discovery curve depend on it.  The engine sorts merged worker
+    results before folding. *)
+
+val add_failure : t -> index:int -> seed:int -> error:string -> unit
+
+val races : t -> deduped list
+(** Sorted by sighting count (descending), then key. *)
+
+val object_rows : t -> (string * int) list
+(** Raw racy-object occurrence counts (the legacy sweep view), sorted by
+    count then name. *)
+
+val failures : t -> failure list
+(** In run-index order. *)
+
+type stats = {
+  st_runs : int;
+  st_failed : int;
+  st_distinct_races : int;
+  st_distinct_fingerprints : int;
+  st_events : int;
+  st_steps : int;
+  st_run_wall : float;  (** Summed per-run VM seconds. *)
+  st_discovery : (int * int) list;
+      (** (run index, cumulative distinct races) at each discovery —
+          the new-races-per-run decay curve. *)
+}
+
+val stats : t -> stats
+
+val pp_key : race_key Fmt.t

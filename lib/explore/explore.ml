@@ -1,0 +1,244 @@
+module Pipeline = Drd_harness.Pipeline
+module Config = Drd_harness.Config
+module Interp = Drd_vm.Interp
+module Sink = Drd_vm.Sink
+module Memloc = Drd_vm.Memloc
+module Site_table = Drd_ir.Site_table
+module Ir = Drd_ir.Ir
+open Drd_core
+
+type budget = {
+  b_runs : int;
+  b_seconds : float option;
+}
+
+let runs_budget n = { b_runs = n; b_seconds = None }
+
+type spec = {
+  e_config : Config.t;
+  e_strategy : Strategy.t;
+  e_workers : int;
+  e_budget : budget;
+  e_pct_horizon : int;
+}
+
+let default_spec config =
+  {
+    e_config = config;
+    e_strategy = Strategy.Jitter;
+    e_workers = 1;
+    e_budget = runs_budget 32;
+    e_pct_horizon = 20_000;
+  }
+
+type report = {
+  r_spec : spec;
+  r_races : Aggregate.deduped list;
+  r_objects : (string * int) list;
+  r_failures : Aggregate.failure list;
+  r_stats : Aggregate.stats;
+  r_wall : float; (* campaign wall clock, compiles included *)
+}
+
+let runs_per_sec r =
+  float_of_int r.r_stats.Aggregate.st_runs /. Float.max r.r_wall 1e-9
+
+let events_per_sec r =
+  float_of_int r.r_stats.Aggregate.st_events /. Float.max r.r_wall 1e-9
+
+let events_per_sec_per_worker r =
+  events_per_sec r /. float_of_int (max r.r_spec.e_workers 1)
+
+(* ---- single run ---- *)
+
+(* An interleaving fingerprint: an order-sensitive FNV-1a-style hash of
+   the event stream (thread, location, kind per access, plus lock and
+   lifecycle transitions).  Two runs with the same fingerprint consumed
+   the same detector-visible schedule. *)
+let fingerprint_tap () =
+  let fp = ref 0x811C9DC5 in
+  let mixin v = fp := ((!fp lxor v) * 0x01000193) land 0x3FFFFFFFFFFF in
+  let tap =
+    {
+      Sink.null with
+      Sink.access =
+        (fun ~tid ~loc ~kind ~locks:_ ~site:_ ->
+          mixin tid;
+          mixin loc;
+          mixin (match kind with Event.Read -> 17 | Event.Write -> 23));
+      acquire =
+        (fun ~tid ~lock ->
+          mixin (tid + 101);
+          mixin lock);
+      release =
+        (fun ~tid ~lock ->
+          mixin (tid + 211);
+          mixin lock);
+      thread_start = (fun ~parent ~child -> mixin ((parent * 31) + child));
+    }
+  in
+  (tap, fun () -> !fp)
+
+let kinds_of (race : Report.race) =
+  let k = function Event.Read -> "read" | Event.Write -> "write" in
+  Printf.sprintf "%s vs %s" (k race.Report.current.Event.kind)
+    (k race.Report.prior.Trie.p_kind)
+
+let site_name (c : Pipeline.compiled) s =
+  if s < 0 || s >= Site_table.count c.Pipeline.prog.Ir.p_sites then "<unknown>"
+  else Site_table.name c.Pipeline.prog.Ir.p_sites s
+
+let sightings_of (c : Pipeline.compiled) (r : Pipeline.result) =
+  match r.Pipeline.report with
+  | Some coll ->
+      List.map
+        (fun (race : Report.race) ->
+          let obj =
+            Memloc.describe c.Pipeline.prog.Ir.p_tprog r.Pipeline.heap
+              race.Report.loc
+          in
+          {
+            Aggregate.s_key =
+              Aggregate.key ~obj
+                ~site_a:(site_name c race.Report.current.Event.site)
+                ~site_b:(site_name c race.Report.prior.Trie.p_site);
+            s_kinds = kinds_of race;
+          })
+        (Report.races coll)
+  | None ->
+      (* Baseline detectors report locations only. *)
+      List.map
+        (fun loc ->
+          {
+            Aggregate.s_key = Aggregate.key ~obj:loc ~site_a:"" ~site_b:"";
+            s_kinds = "";
+          })
+        r.Pipeline.races
+
+let observe_run (c : Pipeline.compiled) (sp : Strategy.run_spec) :
+    Aggregate.run_obs =
+  let vm =
+    {
+      (Pipeline.vm_config_of c.Pipeline.config) with
+      Interp.seed = sp.Strategy.sp_seed;
+      quantum = sp.Strategy.sp_quantum;
+      policy = sp.Strategy.sp_policy;
+    }
+  in
+  let tap, fp = fingerprint_tap () in
+  let r = Pipeline.run ~vm ~tap c in
+  {
+    Aggregate.o_index = sp.Strategy.sp_index;
+    o_seed = sp.Strategy.sp_seed;
+    o_spec = Strategy.describe sp;
+    o_repro = Strategy.repro_flags sp;
+    o_sightings = sightings_of c r;
+    o_objects = r.Pipeline.racy_objects;
+    o_fingerprint = fp ();
+    o_events = r.Pipeline.events;
+    o_steps = r.Pipeline.steps;
+    o_wall = r.Pipeline.wall_time;
+  }
+
+(* ---- the parallel campaign runner ---- *)
+
+type worker_out = {
+  w_obs : Aggregate.run_obs list;
+  w_failures : (int * int * string) list; (* index, seed, error *)
+}
+
+let run_campaign (spec : spec) ~source : report =
+  let budget = spec.e_budget in
+  let total_runs =
+    match Strategy.count spec.e_strategy with
+    | Some n -> min n budget.b_runs
+    | None -> budget.b_runs
+  in
+  let t0 = Unix.gettimeofday () in
+  let deadline = Option.map (fun s -> t0 +. s) budget.b_seconds in
+  let next = Atomic.make 0 in
+  (* Each worker compiles its own copy of the program (compilation
+     mutates the IR in place during instrumentation, so domains must not
+     share one) and claims run indices from the shared counter.  A
+     failing run — VM Runtime_error, step-limit, anything — becomes a
+     failure row; it never kills the worker, let alone the campaign. *)
+  let worker () =
+    match Pipeline.compile spec.e_config ~source with
+    | exception e -> { w_obs = []; w_failures = [ (-1, -1, Printexc.to_string e) ] }
+    | compiled ->
+        let obs = ref [] and fails = ref [] in
+        let expired () =
+          match deadline with
+          | Some d -> Unix.gettimeofday () > d
+          | None -> false
+        in
+        let rec loop () =
+          if not (expired ()) then begin
+            let i = Atomic.fetch_and_add next 1 in
+            if i < total_runs then begin
+              let sp =
+                Strategy.spec spec.e_strategy ~base:spec.e_config
+                  ~pct_horizon:spec.e_pct_horizon i
+              in
+              (match observe_run compiled sp with
+              | o -> obs := o :: !obs
+              | exception e ->
+                  fails :=
+                    (i, sp.Strategy.sp_seed, Printexc.to_string e) :: !fails);
+              loop ()
+            end
+          end
+        in
+        loop ();
+        { w_obs = !obs; w_failures = !fails }
+  in
+  let outs =
+    if spec.e_workers <= 1 then [ worker () ]
+    else
+      let domains =
+        List.init spec.e_workers (fun _ -> Domain.spawn worker)
+      in
+      List.map Domain.join domains
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  (* Merge in run-index order so first-seen attribution and the
+     discovery curve do not depend on worker interleaving: a campaign
+     with a pure run-count budget is fully deterministic. *)
+  let agg = Aggregate.create () in
+  List.concat_map (fun w -> w.w_obs) outs
+  |> List.sort (fun a b -> compare a.Aggregate.o_index b.Aggregate.o_index)
+  |> List.iter (Aggregate.add_run agg);
+  List.iter
+    (fun w ->
+      List.iter
+        (fun (index, seed, error) -> Aggregate.add_failure agg ~index ~seed ~error)
+        w.w_failures)
+    outs;
+  {
+    r_spec = spec;
+    r_races = Aggregate.races agg;
+    r_objects = Aggregate.object_rows agg;
+    r_failures = Aggregate.failures agg;
+    r_stats = Aggregate.stats agg;
+    r_wall = wall;
+  }
+
+(* ---- the legacy seed sweep, rebased on the engine ---- *)
+
+let sweep ?(workers = 1) (config : Config.t) ~source ~seeds :
+    (string * int) list * (int * string) list =
+  let seeds = Array.of_list seeds in
+  let spec =
+    {
+      e_config = config;
+      e_strategy = Strategy.Seeds seeds;
+      e_workers = workers;
+      e_budget = runs_budget (Array.length seeds);
+      e_pct_horizon = 20_000;
+    }
+  in
+  let r = run_campaign spec ~source in
+  ( r.r_objects,
+    List.map
+      (fun (f : Aggregate.failure) -> (f.Aggregate.f_seed, f.Aggregate.f_error))
+      r.r_failures )

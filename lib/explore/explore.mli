@@ -1,0 +1,76 @@
+(** The parallel schedule-exploration engine.
+
+    Dynamic detection only covers the schedules it observes (paper
+    Section 9).  A campaign drives the detector across many
+    qualitatively different schedules — seed sweeps, quantum jitter,
+    PCT-style priority scheduling — fanning runs out over OCaml 5
+    domains, and aggregates the deduped race reports with a
+    reproduction recipe for each.
+
+    Determinism: with a pure run-count budget the campaign executes a
+    fixed, strategy-determined set of runs and merges them in run-index
+    order, so the same {!spec} always yields the same deduped report
+    set regardless of worker scheduling.  A wall-clock budget
+    ({!budget.b_seconds}) trades that away for boundedness. *)
+
+module Config = Drd_harness.Config
+
+type budget = {
+  b_runs : int;  (** Maximum runs in the campaign. *)
+  b_seconds : float option;  (** Optional wall-clock cap. *)
+}
+
+val runs_budget : int -> budget
+
+type spec = {
+  e_config : Config.t;  (** Base detector configuration. *)
+  e_strategy : Strategy.t;
+  e_workers : int;  (** Domains to fan out over. *)
+  e_budget : budget;
+  e_pct_horizon : int;
+      (** Step horizon for PCT priority-change points (ignored by other
+          strategies). *)
+}
+
+val default_spec : Config.t -> spec
+(** Jitter strategy, 1 worker, 32 runs, horizon 20k. *)
+
+type report = {
+  r_spec : spec;
+  r_races : Aggregate.deduped list;
+      (** Deduped by (object, field, site-pair); each with first-seen
+          seed/schedule. *)
+  r_objects : (string * int) list;
+      (** Racy-object occurrence counts (the legacy sweep view). *)
+  r_failures : Aggregate.failure list;
+      (** Runs that crashed (deadlock, step limit, …) — isolated, never
+          fatal to the campaign. *)
+  r_stats : Aggregate.stats;
+  r_wall : float;  (** Campaign wall clock, worker compiles included. *)
+}
+
+val runs_per_sec : report -> float
+
+val events_per_sec : report -> float
+
+val events_per_sec_per_worker : report -> float
+
+val observe_run :
+  Drd_harness.Pipeline.compiled -> Strategy.run_spec -> Aggregate.run_obs
+(** Execute one schedule and summarize it (races sighted, interleaving
+    fingerprint, throughput counters).  Exposed for tests. *)
+
+val run_campaign : spec -> source:string -> report
+(** Compile (once per worker) and execute the campaign.  Worker
+    exceptions become {!Aggregate.failure} rows. *)
+
+val sweep :
+  ?workers:int ->
+  Config.t ->
+  source:string ->
+  seeds:int list ->
+  (string * int) list * (int * string) list
+(** The legacy schedule sweep (formerly [Pipeline.sweep]), rebased onto
+    the engine: run once per scheduler seed and aggregate the racy
+    objects as [(object, runs-that-reported-it)] rows sorted by
+    frequency, plus [(seed, error)] failures. *)

@@ -26,6 +26,9 @@ type t = {
          paper requires in Section 6.2 *)
   seed : int;
   quantum : int;
+  policy : Drd_vm.Interp.policy;
+      (* thread-choice discipline of the VM scheduler; the exploration
+         engine swaps this per run *)
 }
 
 let full =
@@ -42,6 +45,7 @@ let full =
     ir_optimize = true;
     seed = 42;
     quantum = 20;
+    policy = Drd_vm.Interp.Random_walk;
   }
 
 (* The paper's Base is "without any instrumentation (and without loop

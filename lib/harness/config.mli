@@ -27,6 +27,9 @@ type t = {
           never removed by them (Section 6.2). *)
   seed : int;  (** Scheduler seed. *)
   quantum : int;  (** Scheduler slice bound. *)
+  policy : Drd_vm.Interp.policy;
+      (** Thread-choice discipline of the VM scheduler; the exploration
+          engine swaps this per run. *)
 }
 
 val full : t

@@ -86,7 +86,19 @@ let object_of_loc (prog : Ir.program) heap loc =
   if loc land 1 = 1 then Memloc.describe prog.Ir.p_tprog heap loc
   else Heap.describe heap (loc lsr 11)
 
-let run (c : compiled) : result =
+(* The VM configuration a harness Config.t denotes; [?vm] on {!run}
+   lets the exploration engine override it per run. *)
+let vm_config_of (config : Config.t) =
+  {
+    Interp.default_config with
+    seed = config.Config.seed;
+    quantum = config.Config.quantum;
+    granularity = config.Config.granularity;
+    pseudo_locks = config.Config.pseudo_locks;
+    policy = config.Config.policy;
+  }
+
+let run ?vm ?tap (c : compiled) : result =
   let config = c.config in
   let events = ref 0 in
   let count f = fun ~tid ~loc ~kind ~locks ~site ->
@@ -177,14 +189,9 @@ let run (c : compiled) : result =
         }
   in
   let vm_config =
-    {
-      Interp.default_config with
-      seed = config.Config.seed;
-      quantum = config.Config.quantum;
-      granularity = config.Config.granularity;
-      pseudo_locks = config.Config.pseudo_locks;
-    }
+    match vm with Some v -> v | None -> vm_config_of config
   in
+  let sink = match tap with Some t -> Sink.tee sink t | None -> sink in
   let t0 = Unix.gettimeofday () in
   let r = Interp.run ~config:vm_config ~sink c.prog in
   let wall = Unix.gettimeofday () -. t0 in
@@ -276,33 +283,9 @@ let run_source config source =
   let c = compile config ~source in
   (c, run c)
 
-(* ---- schedule sweep ---- *)
-
-(* Dynamic detection only covers one execution (Section 9's coverage
-   limitation); sweeping scheduler seeds explores alternate orderings.
-   Returns, per racy object, how many of the [seeds] runs reported it,
-   plus any run that failed outright. *)
-let sweep (config : Config.t) ~source ~seeds :
-    (string * int) list * (int * string) list =
-  let counts = Hashtbl.create 32 in
-  let failures = ref [] in
-  List.iter
-    (fun seed ->
-      let config = { config with Config.seed } in
-      match run_source config source with
-      | _, r ->
-          List.iter
-            (fun obj ->
-              Hashtbl.replace counts obj
-                (1 + Option.value (Hashtbl.find_opt counts obj) ~default:0))
-            r.racy_objects
-      | exception e -> failures := (seed, Printexc.to_string e) :: !failures)
-    seeds;
-  let rows =
-    Hashtbl.fold (fun obj n acc -> (obj, n) :: acc) counts []
-    |> List.sort (fun (_, a) (_, b) -> compare b a)
-  in
-  (rows, List.rev !failures)
+(* The schedule sweep that used to live here (run once per scheduler
+   seed, aggregate racy objects) is now Drd_explore.Explore.sweep — a
+   thin wrapper over the parallel schedule-exploration engine. *)
 
 (* ---- post-mortem mode (paper Section 1) ---- *)
 
@@ -331,16 +314,7 @@ let record_log (c : compiled) : Event_log.t * Interp.result =
       call = None;
     }
   in
-  let vm_config =
-    {
-      Interp.default_config with
-      seed = c.config.Config.seed;
-      quantum = c.config.Config.quantum;
-      granularity = c.config.Config.granularity;
-      pseudo_locks = c.config.Config.pseudo_locks;
-    }
-  in
-  let r = Interp.run ~config:vm_config ~sink c.prog in
+  let r = Interp.run ~config:(vm_config_of c.config) ~sink c.prog in
   (log, r)
 
 (* Run the final detection phase off-line over a recorded log. *)

@@ -48,8 +48,16 @@ type result = {
           (Section 10 future work), when running our detector. *)
 }
 
-val run : compiled -> result
-(** Execute the compiled program under its configuration's detector. *)
+val vm_config_of : Config.t -> Interp.config
+(** The VM configuration a harness configuration denotes (seed, quantum,
+    granularity, pseudo-locks, scheduling policy). *)
+
+val run : ?vm:Interp.config -> ?tap:Drd_vm.Sink.t -> compiled -> result
+(** Execute the compiled program under its configuration's detector.
+    [?vm] overrides the VM configuration (the exploration engine swaps
+    seed/quantum/policy per run without recompiling); [?tap] receives a
+    copy of every VM notification alongside the detector (schedule
+    fingerprinting, event counting). *)
 
 val run_source : Config.t -> string -> compiled * result
 
@@ -61,17 +69,6 @@ val static_peers_of_site : compiled -> Drd_core.Event.site_id -> string list
     statements (paper Section 2.6), rendered as
     ["Class.method:line (write f)"].  Empty when static analysis was
     not run. *)
-
-val sweep :
-  Config.t ->
-  source:string ->
-  seeds:int list ->
-  (string * int) list * (int * string) list
-(** Run the program once per scheduler seed and aggregate the racy
-    objects: [(object, runs-that-reported-it)] sorted by frequency,
-    plus [(seed, error)] for runs that failed.  Dynamic detection only
-    covers the schedules it sees (Section 9); sweeping seeds explores
-    alternate orderings. *)
 
 val record_log : compiled -> Event_log.t * Interp.result
 (** Post-mortem mode, phase 1 (paper Section 1): execute the

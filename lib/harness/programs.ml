@@ -712,6 +712,72 @@ let hedc ?(tasks = 12) ?(work = 150) () =
     tasks work
 
 (* ------------------------------------------------------------------ *)
+(* needle: a schedule needle-in-a-haystack built for the exploration
+   engine.  A writer publishes a flag without synchronization and then
+   hammers a shared array; a reader polls the flag for a short window
+   and, only if it wins the race, hammers the same array.  Under the
+   default deterministic schedule the reader's window expires during
+   the writer's warmup, the array stays single-owner, and nothing is
+   reported.  Only a preemption inside the writer's burst (the kind a
+   PCT change point manufactures) lets the bursts interleave after the
+   array becomes shared.  The array subscripts are recomputed every
+   iteration on purpose: like the original sor (Section 8.1), fresh
+   value numbers defeat the static weaker-than elimination, so the
+   in-burst accesses keep their traces and the detector can see the
+   interleaving. *)
+
+let needle ?(warmup = 600) ?(burst = 300) () =
+  Printf.sprintf
+    {|
+    class G {
+      static int flag;
+      static int[] data;
+    }
+    class Writer extends Thread {
+      void run() {
+        int sum = 0;
+        for (int i = 0; i < %d; i = i + 1) {
+          sum = sum + i;
+        }
+        if (sum > 0) {
+          G.flag = 1;           // unsynchronized publish
+        }
+        for (int j = 0; j < %d; j = j + 1) {
+          G.data[j %% 8] = G.data[j %% 8] + 1;   // DATARACE (if reader saw flag)
+        }
+      }
+    }
+    class Reader extends Thread {
+      void run() {
+        int seen = 0;
+        for (int i = 0; i < 30; i = i + 1) {
+          if (G.flag == 1) {
+            seen = 1;
+          }
+        }
+        if (seen == 1) {
+          for (int k = 0; k < %d; k = k + 1) {
+            G.data[k %% 8] = G.data[k %% 8] + 3;
+          }
+        }
+      }
+    }
+    class Main {
+      static void main() {
+        G.data = new int[8];
+        Writer w = new Writer();
+        Reader r = new Reader();
+        w.start();
+        r.start();
+        w.join();
+        r.join();
+        print("d0", G.data[0]);
+      }
+    }
+  |}
+    warmup burst burst
+
+(* ------------------------------------------------------------------ *)
 
 type benchmark = {
   b_name : string;
@@ -758,7 +824,17 @@ let benchmarks =
       b_perf_source = hedc ~tasks:24 ~work:300 ();
       b_cpu_bound = false;
     };
+    {
+      b_name = "needle";
+      b_description = "Schedule needle: flag hand-off race only exploration finds";
+      b_source = needle ();
+      b_perf_source = needle ~warmup:1200 ~burst:600 ();
+      b_cpu_bound = false;
+    };
   ]
+
+let paper_benchmarks =
+  List.filter (fun b -> b.b_name <> "needle") benchmarks
 
 let find name = List.find_opt (fun b -> b.b_name = name) benchmarks
 

@@ -38,6 +38,14 @@ val hedc : ?tasks:int -> ?work:int -> unit -> string
 (** Task-pool crawler kernel: [Pool.size] and [Task.thread_] races,
     LinkedQueue nodes and requests with mixed per-field disciplines. *)
 
+val needle : ?warmup:int -> ?burst:int -> unit -> string
+(** Schedule needle-in-a-haystack for the exploration engine: an
+    unsynchronized flag hand-off guards dueling array bursts.  The
+    default deterministic schedule misses the race; a PCT preemption
+    inside the writer's burst exposes it.  Subscripts are recomputed
+    per iteration so the in-burst traces survive the static
+    weaker-than elimination (same mechanism as [sor]). *)
+
 type benchmark = {
   b_name : string;
   b_description : string;
@@ -48,7 +56,11 @@ type benchmark = {
 }
 
 val benchmarks : benchmark list
-(** mtrt, tsp, sor2, elevator, hedc — in Table 1 order. *)
+(** mtrt, tsp, sor2, elevator, hedc — in Table 1 order — plus
+    [needle], the exploration-engine demo. *)
+
+val paper_benchmarks : benchmark list
+(** The Table 1 five only — what the paper's tables iterate. *)
 
 val find : string -> benchmark option
 

@@ -25,7 +25,7 @@ let table1 () =
       fpf "%-10s %14d %21d  %s@." b.Programs.b_name
         (Programs.loc_of_source b.Programs.b_source)
         r.Pipeline.threads b.Programs.b_description)
-    Programs.benchmarks;
+    Programs.paper_benchmarks;
   fpf "@."
 
 (* ---------------- Table 2: runtime performance ---------------------- *)
@@ -82,7 +82,7 @@ let table2 ?(runs = 3) ?(perf = true) () =
                     (Printf.sprintf "e=%d" c.events))
                 cells))
       end)
-    Programs.benchmarks;
+    Programs.paper_benchmarks;
   fpf "(elevator and hedc are not CPU-bound and are excluded, as in the paper)@.@.";
   List.rev !rows
 
@@ -102,7 +102,7 @@ let table3 () =
         fpf "%-10s %6d %14d %13d@." b.Programs.b_name (List.nth cells 0)
           (List.nth cells 1) (List.nth cells 2);
         (b.Programs.b_name, cells))
-      Programs.benchmarks
+      Programs.paper_benchmarks
   in
   fpf "@.";
   rows
@@ -296,7 +296,7 @@ let baselines () =
         fpf "%-10s %6d %8d %9d %15d@." b.Programs.b_name (List.nth cells 0)
           (List.nth cells 1) (List.nth cells 2) (List.nth cells 3);
         (b.Programs.b_name, cells))
-      Programs.benchmarks
+      Programs.paper_benchmarks
   in
   fpf "@.";
   rows

@@ -5,6 +5,10 @@ module Ir = Drd_ir.Ir
 
 exception Runtime_error of string
 
+type policy =
+  | Random_walk
+  | Pct of { depth : int; horizon : int }
+
 type config = {
   seed : int;
   quantum : int;
@@ -12,6 +16,7 @@ type config = {
   all_accesses : bool;
   granularity : Memloc.granularity;
   pseudo_locks : bool;
+  policy : policy;
 }
 
 let default_config =
@@ -22,6 +27,7 @@ let default_config =
     all_accesses = false;
     granularity = Memloc.Per_field;
     pseudo_locks = true;
+    policy = Random_walk;
   }
 
 type result = {
@@ -471,10 +477,14 @@ let ready st t =
   | Joining tid -> (find_thread st tid).t_status = Finished
 
 (* Run one scheduling slice of up to [n] instructions on thread [t].
-   Returns when the slice ends, the thread blocks, yields or finishes. *)
+   Returns when the slice ends, the thread blocks, yields or finishes;
+   the result says whether the slice ended at a [Yield] (the PCT
+   scheduler deprioritizes the yielder so spin-wait loops cannot starve
+   the thread they are waiting on). *)
 let run_slice st t n =
   t.t_status <- Runnable;
   let continue_ = ref true in
+  let yielded = ref false in
   let budget = ref n in
   while !continue_ && !budget > 0 && t.t_status = Runnable do
     match t.t_frames with
@@ -491,10 +501,14 @@ let run_slice st t n =
                  still designates the frame the instruction came from. *)
               frame.f_pc <- rest;
               decr budget;
-              if i.i_op = Yield then continue_ := false
+              if i.i_op = Yield then begin
+                continue_ := false;
+                yielded := true
+              end
             end
             else continue_ := false)
-  done
+  done;
+  !yielded
 
 let run ?(config = default_config) ~sink (prog : program) : result =
   let heap = Heap.create () in
@@ -525,6 +539,59 @@ let run ?(config = default_config) ~sink (prog : program) : result =
     }
   in
   ignore (new_thread st [ frame_of st prog.p_main None [] ]);
+  (* Scheduling policy (PCT state lives outside the thread records).
+     PCT (Burckhardt et al., ASPLOS 2010): every thread gets a random
+     priority above [depth]; the scheduler always runs the
+     highest-priority ready thread; at [depth] pre-chosen step counts
+     within [horizon] the running thread's priority drops to the rank of
+     the change point (below every initial priority).  All randomness
+     comes from the seeded [st.rng], so a (seed, policy) pair names one
+     schedule exactly. *)
+  let pct_prio : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  (* Monotonically decreasing floor for yield-deprioritization: change
+     points assign ranks 0..depth-1, so yielders go below them, most
+     recent lowest — round-robin among spinning threads. *)
+  let pct_floor = ref 0 in
+  let pct_points =
+    ref
+      (match config.policy with
+      | Random_walk -> []
+      | Pct { depth; horizon } ->
+          List.init depth (fun rank ->
+              (1 + Random.State.int st.rng (max horizon 1), rank))
+          |> List.sort compare)
+  in
+  let prio_of t =
+    match Hashtbl.find_opt pct_prio t.t_id with
+    | Some p -> p
+    | None ->
+        let depth =
+          match config.policy with Pct { depth; _ } -> depth | _ -> 0
+        in
+        let p = depth + Random.State.int st.rng 0x3FFFFFFF in
+        Hashtbl.add pct_prio t.t_id p;
+        p
+  in
+  let pick_pct ready_threads =
+    (* Highest priority wins; ties (vanishingly rare) go to the lowest
+       thread id for determinism. *)
+    List.fold_left
+      (fun best t ->
+        match best with
+        | None -> Some t
+        | Some b ->
+            let pb = prio_of b and pt = prio_of t in
+            if pt > pb || (pt = pb && t.t_id < b.t_id) then Some t else Some b)
+      None ready_threads
+    |> Option.get
+  in
+  let cross_change_points t =
+    match !pct_points with
+    | (steps_at, rank) :: rest when st.steps >= steps_at ->
+        Hashtbl.replace pct_prio t.t_id rank;
+        pct_points := rest
+    | _ -> ()
+  in
   let rec loop () =
     let alive = List.filter (fun t -> t.t_status <> Finished) st.threads in
     if alive <> [] then begin
@@ -543,11 +610,21 @@ let run ?(config = default_config) ~sink (prog : program) : result =
                no runnable thread left to notify them"
               waiting (List.length alive)
           else error "deadlock: no runnable thread among %d" (List.length alive)
-      | _ ->
-          let k = Random.State.int st.rng (List.length ready_threads) in
-          let t = List.nth ready_threads k in
-          let n = 1 + Random.State.int st.rng config.quantum in
-          run_slice st t n);
+      | _ -> (
+          match config.policy with
+          | Random_walk ->
+              let k = Random.State.int st.rng (List.length ready_threads) in
+              let t = List.nth ready_threads k in
+              let n = 1 + Random.State.int st.rng config.quantum in
+              ignore (run_slice st t n : bool)
+          | Pct _ ->
+              let t = pick_pct ready_threads in
+              let yielded = run_slice st t (max config.quantum 1) in
+              cross_change_points t;
+              if yielded then begin
+                decr pct_floor;
+                Hashtbl.replace pct_prio t.t_id !pct_floor
+              end));
       loop ()
     end
   in

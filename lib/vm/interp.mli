@@ -16,6 +16,22 @@ exception Runtime_error of string
     (including every remaining thread stuck in [wait()]), or step-limit
     exhaustion. *)
 
+(** Pluggable scheduling policy.  Both policies draw every decision from
+    the seeded RNG, so a (seed, policy) pair names one schedule exactly
+    and any run is reproducible from its config. *)
+type policy =
+  | Random_walk
+      (** The historical scheduler: a uniformly random ready thread runs
+          a slice of 1..[quantum] instructions. *)
+  | Pct of { depth : int; horizon : int }
+      (** PCT-style priority scheduling (Burckhardt et al., ASPLOS
+          2010): threads get random priorities; the highest-priority
+          ready thread always runs; at [depth] random step counts drawn
+          from [1..horizon] the running thread's priority drops below
+          every initial priority.  Finds bugs of "depth" d with
+          probability ≥ 1/(n·k^(d-1)) per run instead of relying on
+          uniform noise. *)
+
 type config = {
   seed : int;  (** Scheduler seed. *)
   quantum : int;  (** Maximum instructions per scheduling slice. *)
@@ -31,11 +47,12 @@ type config = {
       (** Model thread join with per-thread dummy locks (Section 2.3).
           Disabled when driving baselines like Eraser that have no join
           handling. *)
+  policy : policy;  (** Thread-choice discipline; see {!policy}. *)
 }
 
 val default_config : config
 (** seed 42, quantum 20, 200M steps, trace-only events, per-field
-    granularity. *)
+    granularity, [Random_walk] scheduling. *)
 
 type result = {
   r_prints : (string * Value.t option) list;

@@ -42,3 +42,42 @@ let null =
     thread_exit = (fun ~tid:_ -> ());
     call = None;
   }
+
+(* Fan one event stream out to two consumers, [a] first.  Lets a
+   campaign observe the schedule (fingerprinting, counting) without the
+   detector wiring knowing about it. *)
+let tee a b =
+  {
+    access =
+      (fun ~tid ~loc ~kind ~locks ~site ->
+        a.access ~tid ~loc ~kind ~locks ~site;
+        b.access ~tid ~loc ~kind ~locks ~site);
+    acquire =
+      (fun ~tid ~lock ->
+        a.acquire ~tid ~lock;
+        b.acquire ~tid ~lock);
+    release =
+      (fun ~tid ~lock ->
+        a.release ~tid ~lock;
+        b.release ~tid ~lock);
+    thread_start =
+      (fun ~parent ~child ->
+        a.thread_start ~parent ~child;
+        b.thread_start ~parent ~child);
+    thread_join =
+      (fun ~joiner ~joinee ->
+        a.thread_join ~joiner ~joinee;
+        b.thread_join ~joiner ~joinee);
+    thread_exit =
+      (fun ~tid ->
+        a.thread_exit ~tid;
+        b.thread_exit ~tid);
+    call =
+      (match (a.call, b.call) with
+      | None, None -> None
+      | fa, fb ->
+          Some
+            (fun ~tid ~obj ~locks ~site ->
+              (match fa with Some f -> f ~tid ~obj ~locks ~site | None -> ());
+              match fb with Some f -> f ~tid ~obj ~locks ~site | None -> ()));
+  }

@@ -1,0 +1,176 @@
+(* The schedule-exploration engine (lib/explore): a race the default
+   deterministic schedule misses must be found by a PCT campaign, the
+   printed reproduction recipe must actually reproduce it, and
+   campaigns must be deterministic functions of their spec — including
+   across worker counts. *)
+
+module H = Drd_harness
+module E = Drd_explore
+module Explore = E.Explore
+module Aggregate = E.Aggregate
+module Strategy = E.Strategy
+
+let needle_source = H.Programs.needle ()
+
+let contains_sub sub s = Astring_contains.contains s sub
+
+let pct_spec ?(workers = 1) ?(runs = 40) () =
+  {
+    (Explore.default_spec H.Config.full) with
+    Explore.e_strategy = Strategy.Pct 3;
+    e_workers = workers;
+    e_budget = Explore.runs_budget runs;
+    e_pct_horizon = 10_000;
+  }
+
+let test_default_schedule_misses () =
+  let _, r = H.Pipeline.run_source H.Config.full needle_source in
+  Alcotest.(check (list string)) "needle quiet under the default schedule" []
+    r.H.Pipeline.racy_objects
+
+let test_pct_campaign_finds () =
+  let report = Explore.run_campaign (pct_spec ()) ~source:needle_source in
+  Alcotest.(check (list string)) "no crashed runs" []
+    (List.map (fun f -> f.Aggregate.f_error) report.Explore.r_failures);
+  Alcotest.(check bool) "at least one deduped race" true
+    (report.Explore.r_races <> []);
+  let on_array =
+    List.exists
+      (fun d -> contains_sub "array" d.Aggregate.d_key.Aggregate.k_object)
+      report.Explore.r_races
+  in
+  Alcotest.(check bool) "the G.data array race is reported" true on_array;
+  (* The campaign explored genuinely different interleavings. *)
+  Alcotest.(check bool) "several distinct fingerprints" true
+    (report.Explore.r_stats.Aggregate.st_distinct_fingerprints > 1)
+
+let test_repro_recipe_reproduces () =
+  (* The first-seen spec attached to a deduped race must replay to a
+     run that reports the same race. *)
+  let report = Explore.run_campaign (pct_spec ()) ~source:needle_source in
+  match report.Explore.r_races with
+  | [] -> Alcotest.fail "campaign found nothing to reproduce"
+  | d :: _ ->
+      let spec =
+        Strategy.spec (pct_spec ()).Explore.e_strategy ~base:H.Config.full
+          ~pct_horizon:10_000 d.Aggregate.d_first_index
+      in
+      Alcotest.(check int) "recipe seed matches"
+        d.Aggregate.d_first_seed spec.Strategy.sp_seed;
+      let compiled = H.Pipeline.compile H.Config.full ~source:needle_source in
+      let obs = Explore.observe_run compiled spec in
+      let replayed_keys =
+        List.map (fun s -> s.Aggregate.s_key) obs.Aggregate.o_sightings
+      in
+      Alcotest.(check bool) "replay reports the same race" true
+        (List.mem d.Aggregate.d_key replayed_keys)
+
+let strip_wall (r : Explore.report) =
+  (* Everything but the timing fields. *)
+  let races =
+    List.map
+      (fun d ->
+        ( d.Aggregate.d_key.Aggregate.k_object,
+          d.Aggregate.d_key.Aggregate.k_site_a,
+          d.Aggregate.d_key.Aggregate.k_site_b,
+          d.Aggregate.d_count,
+          d.Aggregate.d_first_index,
+          d.Aggregate.d_first_seed,
+          d.Aggregate.d_first_repro ))
+      r.Explore.r_races
+  in
+  let s = r.Explore.r_stats in
+  ( races,
+    r.Explore.r_objects,
+    List.length r.Explore.r_failures,
+    ( s.Aggregate.st_runs,
+      s.Aggregate.st_distinct_races,
+      s.Aggregate.st_distinct_fingerprints,
+      s.Aggregate.st_events,
+      s.Aggregate.st_steps,
+      s.Aggregate.st_discovery ) )
+
+let test_campaign_deterministic () =
+  let a = Explore.run_campaign (pct_spec ()) ~source:needle_source in
+  let b = Explore.run_campaign (pct_spec ()) ~source:needle_source in
+  Alcotest.(check bool) "same spec, same report" true
+    (strip_wall a = strip_wall b)
+
+let test_campaign_worker_invariant () =
+  (* Deduped reports, first-seen attribution and the discovery curve
+     must not depend on how runs landed on workers. *)
+  let one = Explore.run_campaign (pct_spec ~workers:1 ()) ~source:needle_source in
+  let two = Explore.run_campaign (pct_spec ~workers:2 ()) ~source:needle_source in
+  Alcotest.(check bool) "1 worker = 2 workers" true
+    (strip_wall one = strip_wall two)
+
+let test_jitter_contrast () =
+  (* Quantum jitter shuffles slice lengths but keeps the round-robin
+     structure, so it does NOT manufacture the mid-burst preemption the
+     needle requires — evidence the PCT result above is the scheduler's
+     doing, not luck. *)
+  let spec =
+    {
+      (pct_spec ()) with
+      Explore.e_strategy = Strategy.Jitter;
+    }
+  in
+  let report = Explore.run_campaign spec ~source:needle_source in
+  Alcotest.(check (list string)) "jitter finds nothing on needle" []
+    (List.map
+       (fun d -> d.Aggregate.d_key.Aggregate.k_object)
+       report.Explore.r_races)
+
+let test_crash_isolation () =
+  (* A program that dies in some schedules must yield failure rows, not
+     a campaign abort, and healthy runs still aggregate. *)
+  let source =
+    {|
+    class T extends Thread {
+      void run() { int x = 1 / 0; }
+    }
+    class Main {
+      static void main() {
+        T t = new T();
+        t.start();
+        t.join();
+        print("ok", 1);
+      }
+    }
+  |}
+  in
+  let spec =
+    {
+      (Explore.default_spec H.Config.full) with
+      Explore.e_strategy = Strategy.Sweep;
+      e_budget = Explore.runs_budget 4;
+    }
+  in
+  let report = Explore.run_campaign spec ~source in
+  Alcotest.(check int) "all runs failed" 4
+    report.Explore.r_stats.Aggregate.st_failed;
+  Alcotest.(check int) "failure rows recorded" 4
+    (List.length report.Explore.r_failures);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "failure mentions the error" true
+        (contains_sub "divi" f.Aggregate.f_error
+        || contains_sub "zero" f.Aggregate.f_error
+        || String.length f.Aggregate.f_error > 0))
+    report.Explore.r_failures
+
+let suite =
+  [
+    Alcotest.test_case "default schedule misses needle" `Quick
+      test_default_schedule_misses;
+    Alcotest.test_case "pct campaign finds needle" `Quick
+      test_pct_campaign_finds;
+    Alcotest.test_case "repro recipe reproduces" `Quick
+      test_repro_recipe_reproduces;
+    Alcotest.test_case "campaign deterministic" `Quick
+      test_campaign_deterministic;
+    Alcotest.test_case "worker-count invariant" `Quick
+      test_campaign_worker_invariant;
+    Alcotest.test_case "jitter contrast" `Quick test_jitter_contrast;
+    Alcotest.test_case "crash isolation" `Quick test_crash_isolation;
+  ]

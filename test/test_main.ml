@@ -23,4 +23,5 @@ let () =
       ("vm2", Test_vm2.suite);
       ("memloc", Test_memloc.suite);
       ("optimize", Test_optimize.suite);
+      ("explore", Test_explore_engine.suite);
     ]

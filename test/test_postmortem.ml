@@ -112,6 +112,48 @@ let prop_roundtrip =
       && List.for_all2 Event_log.equal_entry (Event_log.entries log)
            (Event_log.entries log'))
 
+let parse_string s =
+  let path = Filename.temp_file "drd_badlog" ".txt" in
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc;
+  let ic = open_in path in
+  let r =
+    match Event_log.of_channel ic with
+    | log -> Ok log
+    | exception Failure msg -> Error msg
+  in
+  close_in ic;
+  Sys.remove path;
+  r
+
+let check_error name input fragments =
+  match parse_string input with
+  | Ok _ -> Alcotest.failf "%s: malformed input parsed" name
+  | Error msg ->
+      List.iter
+        (fun fragment ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: error %S mentions %S" name msg fragment)
+            true
+            (Astring_contains.contains msg fragment))
+        fragments
+
+let test_malformed_input () =
+  (* The parser must locate the bad line and say what is wrong with
+     it, not die with int_of_string's bare "Failure". *)
+  check_error "bad tag" "A 1 2 R 0\nQ 1 2\n" [ "line 2"; "\"Q\"" ];
+  check_error "bad thread" "L one 5\n" [ "line 1"; "thread"; "\"one\"" ];
+  check_error "bad kind" "A 1 2 Z 0\n" [ "line 1"; "kind"; "\"Z\"" ];
+  check_error "bad lock" "A 1 2 W 0 3 x\n" [ "line 1"; "lock"; "\"x\"" ];
+  (* Blank lines are skipped, so the count is relative to the file. *)
+  check_error "line numbering" "A 1 2 R 0\n\nX 1\nS 0 nope\n"
+    [ "line 4"; "child"; "\"nope\"" ];
+  (* Well-formed input with blank lines still parses. *)
+  match parse_string "A 1 2 R 0\n\nX 1\n" with
+  | Ok log -> Alcotest.(check int) "blank lines skipped" 2 (Event_log.length log)
+  | Error msg -> Alcotest.failf "valid log rejected: %s" msg
+
 (* FullRace reconstruction (Sections 2.5/2.6). *)
 let test_full_race_counts_match_oracle () =
   let b = Option.get (H.Programs.find "tsp") in
@@ -177,6 +219,7 @@ let suite =
     Alcotest.test_case "online = post-mortem" `Quick test_equivalence;
     Alcotest.test_case "funnel stats match" `Quick test_stats_equivalence;
     Alcotest.test_case "serialization round-trip" `Quick test_serialization_roundtrip;
+    Alcotest.test_case "malformed input errors" `Quick test_malformed_input;
     Alcotest.test_case "FullRace = oracle" `Quick test_full_race_counts_match_oracle;
     Alcotest.test_case "FullRace on figure 2" `Quick test_full_race_figure2;
     QCheck_alcotest.to_alcotest prop_roundtrip;

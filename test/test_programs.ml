@@ -7,6 +7,7 @@ module H = Drd_harness
 module Config = H.Config
 module Pipeline = H.Pipeline
 module Programs = H.Programs
+module Explore = Drd_explore.Explore
 
 let run_config config source = snd (Pipeline.run_source config source)
 
@@ -198,7 +199,7 @@ let test_sweep_aggregation () =
      run; elevator reports nothing in any run. *)
   let b = benchmark "mtrt" in
   let rows, failures =
-    Pipeline.sweep Config.full ~source:b.Programs.b_source ~seeds:[ 1; 2; 3 ]
+    Explore.sweep Config.full ~source:b.Programs.b_source ~seeds:[ 1; 2; 3 ]
   in
   Alcotest.(check (list (pair string int))) "no failures" []
     (List.map (fun (s, e) -> (e, s)) failures |> List.map (fun (e, s) -> (e, s)));
@@ -206,7 +207,7 @@ let test_sweep_aggregation () =
     (List.length (List.filter (fun (_, n) -> n = 3) rows));
   let e = benchmark "elevator" in
   let rows, _ =
-    Pipeline.sweep Config.full ~source:e.Programs.b_source ~seeds:[ 1; 2; 3 ]
+    Explore.sweep Config.full ~source:e.Programs.b_source ~seeds:[ 1; 2; 3 ]
   in
   Alcotest.(check (list (pair string int))) "elevator silent" [] rows
 
