@@ -171,6 +171,28 @@ let ablation () =
    records recommended_domain_count so a 1-core container's ~1.0x is
    not misread as a regression. *)
 
+(* Provenance stamped into every benchmark JSON so tracked numbers can
+   be tied to a commit and toolchain. *)
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if line = "" then "unknown" else line
+  with _ -> "unknown"
+
+let iso8601_now () =
+  let t = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+    t.Unix.tm_sec
+
+let bpf_meta buf =
+  Printf.bprintf buf
+    "  \"commit\": \"%s\",\n  \"ocaml_version\": \"%s\",\n  \"timestamp\": \
+     \"%s\",\n"
+    (git_commit ()) Sys.ocaml_version (iso8601_now ())
+
 let explore_bench ~quick ~json () =
   let module E = Drd_explore in
   let b = Option.get (H.Programs.find "tsp") in
@@ -207,7 +229,9 @@ let explore_bench ~quick ~json () =
   if json then begin
     let buf = Buffer.create 1024 in
     let bpf fmt = Printf.bprintf buf fmt in
-    bpf "{\n  \"benchmark\": \"tsp\",\n  \"strategy\": \"pct(d=3)\",\n";
+    bpf "{\n";
+    bpf_meta buf;
+    bpf "  \"benchmark\": \"tsp\",\n  \"strategy\": \"pct(d=3)\",\n";
     bpf "  \"runs_per_campaign\": %d,\n" runs;
     bpf "  \"recommended_domain_count\": %d,\n" cores;
     bpf "  \"workers\": [\n";
@@ -233,6 +257,145 @@ let explore_bench ~quick ~json () =
     fpf "wrote BENCH_explore.json@.@."
   end
 
+(* ------------------------------------------------------------------ *)
+(* Detector replay throughput: events/sec for the runtime configurations
+   of Tables 2/3 (Full, NoCache, NoOwnership) plus the packed history,
+   replaying recorded logs of tsp and needle.  --json writes
+   BENCH_detector.json, the tracked benchmark for the interned-lockset
+   hot path.  The run also asserts the zero-allocation property: events
+   dropped by the cache or the ownership filter must not allocate. *)
+
+let detector_variants =
+  [
+    ("Full", Detector.default_config);
+    ("NoCache", { Detector.default_config with Detector.use_cache = false });
+    ( "NoOwnership",
+      { Detector.default_config with Detector.use_ownership = false } );
+    ("Packed", { Detector.default_config with Detector.history = Detector.Packed });
+  ]
+
+(* Minor-heap words per event on the two filtered hot paths, measured in
+   steady state.  Fails loudly if either path starts allocating. *)
+let detector_alloc_check () =
+  let coll = Report.collector () in
+  let d_cache = Detector.create ~config:Detector.default_config coll in
+  let d_own =
+    Detector.create
+      ~config:{ Detector.default_config with Detector.use_cache = false }
+      coll
+  in
+  let locks = Lockset_id.of_list [ 7 ] in
+  Detector.on_access_interned d_cache ~loc:2 ~thread:1 ~locks ~kind:Event.Read
+    ~site:3;
+  Detector.on_access_interned d_own ~loc:1 ~thread:0 ~locks ~kind:Event.Write
+    ~site:1;
+  let n = 100_000 in
+  let measure step =
+    let before = Gc.minor_words () in
+    for _ = 1 to n do
+      step ()
+    done;
+    (Gc.minor_words () -. before) /. float_of_int n
+  in
+  let cache_hit_words =
+    measure (fun () ->
+        Detector.on_access_interned d_cache ~loc:2 ~thread:1 ~locks
+          ~kind:Event.Read ~site:3)
+  in
+  let owned_words =
+    measure (fun () ->
+        Detector.on_access_interned d_own ~loc:1 ~thread:0 ~locks
+          ~kind:Event.Write ~site:1)
+  in
+  if cache_hit_words > 0.01 then
+    failwith
+      (Printf.sprintf "cache-hit path allocates %.3f words/event" cache_hit_words);
+  if owned_words > 0.01 then
+    failwith
+      (Printf.sprintf "ownership path allocates %.3f words/event" owned_words);
+  (cache_hit_words, owned_words)
+
+let detector_bench ~quick ~json () =
+  let programs = [ "tsp"; "needle" ] in
+  let target_events = if quick then 300_000 else 2_000_000 in
+  let trials = if quick then 2 else 4 in
+  let cache_hit_words, owned_words = detector_alloc_check () in
+  fpf "Detector replay throughput (events/sec, best of %d)@." trials;
+  fpf "hot-path allocation: cache-hit %.3f words/event, owned %.3f words/event@."
+    cache_hit_words owned_words;
+  fpf "%8s %14s %10s %14s %8s@." "program" "config" "entries" "events/s" "races";
+  let results =
+    List.map
+      (fun name ->
+        let b = Option.get (H.Programs.find name) in
+        let compiled =
+          H.Pipeline.compile H.Config.full ~source:b.H.Programs.b_perf_source
+        in
+        let log, _ = H.Pipeline.record_log compiled in
+        let accesses = ref 0 in
+        Event_log.iter
+          (function Event_log.Access _ -> incr accesses | _ -> ())
+          log;
+        (* Short logs (needle) are replayed many times per trial so the
+           timer sees a meaningful amount of work. *)
+        let reps = max 1 (target_events / max !accesses 1) in
+        let rows =
+          List.map
+            (fun (cname, config) ->
+              let best = ref 0. and races = ref 0 in
+              for _ = 1 to trials do
+                let t0 = Unix.gettimeofday () in
+                let last_races = ref 0 in
+                for _ = 1 to reps do
+                  let coll = Report.collector () in
+                  let det = Detector.create ~config coll in
+                  Event_log.replay log det;
+                  last_races := Report.count coll
+                done;
+                let dt = Unix.gettimeofday () -. t0 in
+                let eps = float_of_int (reps * !accesses) /. Float.max dt 1e-9 in
+                if eps > !best then best := eps;
+                races := !last_races
+              done;
+              fpf "%8s %14s %10d %14.0f %8d@." name cname !accesses !best !races;
+              (cname, !best, !races))
+            detector_variants
+        in
+        (name, !accesses, reps, rows))
+      programs
+  in
+  fpf "@.";
+  if json then begin
+    let buf = Buffer.create 1024 in
+    let bpf fmt = Printf.bprintf buf fmt in
+    bpf "{\n";
+    bpf_meta buf;
+    bpf "  \"target_events\": %d,\n  \"trials\": %d,\n" target_events trials;
+    bpf "  \"alloc_words_per_event\": { \"cache_hit\": %.4f, \"owned\": %.4f },\n"
+      cache_hit_words owned_words;
+    bpf "  \"programs\": [\n";
+    List.iteri
+      (fun i (name, accesses, reps, rows) ->
+        bpf "    { \"program\": \"%s\", \"access_events\": %d, \"replays_per_trial\": %d,\n"
+          name accesses reps;
+        bpf "      \"configs\": [\n";
+        List.iteri
+          (fun j (cname, eps, races) ->
+            bpf
+              "        { \"config\": \"%s\", \"events_per_sec\": %.0f, \
+               \"races\": %d }%s\n"
+              cname eps races
+              (if j = List.length rows - 1 then "" else ","))
+          rows;
+        bpf "      ] }%s\n" (if i = List.length results - 1 then "" else ","))
+      results;
+    bpf "  ]\n}\n";
+    let oc = open_out "BENCH_detector.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    fpf "wrote BENCH_detector.json@.@."
+  end
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let has f = List.mem f args in
@@ -251,4 +414,5 @@ let () =
   if all || has "--baselines" then ignore (H.Tables.baselines ());
   if all || has "--ablation" then ablation ();
   if all || has "--explore" then explore_bench ~quick ~json:(has "--json") ();
+  if all || has "--detector" then detector_bench ~quick ~json:(has "--json") ();
   if all || has "--micro" then microbench ()

@@ -133,7 +133,7 @@ let run_json compiled (r : H.Pipeline.result) =
       jlist
         (List.map
            (fun l -> jstr (Drd_core.Names.lock_name names l))
-           (Drd_core.Event.Lockset.to_sorted_list ls))
+           (Drd_core.Lockset_id.to_sorted_list ls))
     in
     jobj
       [

@@ -24,8 +24,8 @@ open Drd_core
 type state =
   | Virgin
   | Exclusive of Event.thread_id
-  | Shared of Event.Lockset.t
-  | Shared_modified of Event.Lockset.t
+  | Shared of Lockset_id.id
+  | Shared_modified of Lockset_id.id
 
 type race = {
   loc : Event.loc_id;
@@ -67,18 +67,18 @@ let on_access d (e : Event.t) =
         match e.kind with
         | Event.Read -> Shared e.locks
         | Event.Write ->
-            if Event.Lockset.is_empty e.locks then report d e.loc e;
+            if Lockset_id.is_empty e.locks then report d e.loc e;
             Shared_modified e.locks)
     | Shared c -> (
-        let c = Event.Lockset.inter c e.locks in
+        let c = Lockset_id.inter c e.locks in
         match e.kind with
         | Event.Read -> Shared c
         | Event.Write ->
-            if Event.Lockset.is_empty c then report d e.loc e;
+            if Lockset_id.is_empty c then report d e.loc e;
             Shared_modified c)
     | Shared_modified c ->
-        let c = Event.Lockset.inter c e.locks in
-        if Event.Lockset.is_empty c then report d e.loc e;
+        let c = Lockset_id.inter c e.locks in
+        if Lockset_id.is_empty c then report d e.loc e;
         Shared_modified c
   in
   Hashtbl.replace d.states e.loc st'

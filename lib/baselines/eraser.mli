@@ -15,10 +15,10 @@ type state =
   | Virgin  (** Never accessed. *)
   | Exclusive of Event.thread_id
       (** Only one thread has touched it (initialization is exempt). *)
-  | Shared of Event.Lockset.t
+  | Shared of Drd_core.Lockset_id.id
       (** Read by a second thread; the candidate set is refined but an
           empty set is not yet an error (read-shared data). *)
-  | Shared_modified of Event.Lockset.t
+  | Shared_modified of Drd_core.Lockset_id.id
       (** Written while shared: an empty candidate set reports a race. *)
 
 type race = {

@@ -14,7 +14,7 @@ open Drd_core
 
 type state =
   | Owned of Event.thread_id
-  | Tracked of Event.Lockset.t * bool (* candidate set, write seen *)
+  | Tracked of Lockset_id.id * bool (* candidate set, write seen *)
 
 type race = { loc : Event.loc_id; access : Event.t }
 
@@ -51,9 +51,9 @@ let on_access d (e : Event.t) =
     | Owned t when t = e.thread -> st
     | Owned _ -> Tracked (e.locks, e.kind = Event.Write)
     | Tracked (c, wrote) ->
-        let c = Event.Lockset.inter c e.locks in
+        let c = Lockset_id.inter c e.locks in
         let wrote = wrote || e.kind = Event.Write in
-        if wrote && Event.Lockset.is_empty c then report d e.loc e;
+        if wrote && Lockset_id.is_empty c then report d e.loc e;
         Tracked (c, wrote)
   in
   Hashtbl.replace d.states e.loc st'
@@ -62,7 +62,7 @@ let on_access d (e : Event.t) =
    write access to the object. *)
 let on_call d ~thread ~obj_loc ~locks ~site =
   on_access d
-    (Event.make ~loc:obj_loc ~thread ~locks ~kind:Event.Write ~site)
+    (Event.make_interned ~loc:obj_loc ~thread ~locks ~kind:Event.Write ~site)
 
 let races d = List.rev d.races
 

@@ -13,7 +13,7 @@ module Event = Drd_core.Event
 
 type state =
   | Owned of Event.thread_id
-  | Tracked of Event.Lockset.t * bool
+  | Tracked of Drd_core.Lockset_id.id * bool
       (** Candidate lockset and whether a write has been seen. *)
 
 type race = { loc : Event.loc_id; access : Event.t }
@@ -28,7 +28,7 @@ val on_call :
   t ->
   thread:Event.thread_id ->
   obj_loc:Event.loc_id ->
-  locks:Event.Lockset.t ->
+  locks:Drd_core.Lockset_id.id ->
   site:Event.site_id ->
   unit
 (** A virtual method invocation on a receiver: treated as a write to the

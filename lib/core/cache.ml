@@ -48,6 +48,24 @@ let evict_frame f =
   List.iter (fun (e, st) -> if e.stamp = st then e.loc <- -1) f.inserted;
   f.inserted <- []
 
+let clear c =
+  let kill arr = Array.iter (fun e -> e.loc <- -1) arr in
+  kill c.read;
+  kill c.write
+
+(* Malformed event streams (hand-written or truncated logs) can release
+   a lock the thread never acquired.  That must not kill a whole replay:
+   warn once and fall back to clearing the caches, which over-evicts and
+   is therefore always safe for the hit-implies-weaker guarantee. *)
+let warned_unheld = Atomic.make false
+
+let warn_unheld lock =
+  if not (Atomic.exchange warned_unheld true) then
+    Printf.eprintf
+      "[drd] warning: release of lock %d that is not held; clearing access \
+       cache (further such warnings suppressed)\n%!"
+      lock
+
 let released c lock =
   (* The source language's synchronized blocks release in LIFO order,
      but [wait()] releases an arbitrary owned monitor.  For a
@@ -56,25 +74,26 @@ let released c lock =
      and keep the (flushed) frames of the locks that remain held, so
      later releases still find them. *)
   let rec split acc = function
-    | [] -> invalid_arg "Cache.released: lock not held"
+    | [] -> None
     | f :: rest ->
         evict_frame f;
-        if f.lock = lock then (List.rev acc, rest)
+        if f.lock = lock then Some (List.rev acc, rest)
         else split (f :: acc) rest
   in
-  let kept_above, below = split [] c.lock_stack in
-  c.lock_stack <- kept_above @ below
+  match split [] c.lock_stack with
+  | Some (kept_above, below) -> c.lock_stack <- kept_above @ below
+  | None ->
+      (* Every held frame was already flushed by the walk above; the
+         stack itself is kept so genuinely-held locks still find their
+         frames on their own release. *)
+      warn_unheld lock;
+      clear c
 
 let evict_loc c loc =
   let kill arr =
     let e = arr.(index c loc) in
     if e.loc = loc then e.loc <- -1
   in
-  kill c.read;
-  kill c.write
-
-let clear c =
-  let kill arr = Array.iter (fun e -> e.loc <- -1) arr in
   kill c.read;
   kill c.write
 

@@ -41,8 +41,10 @@ val released : t -> Event.lock_id -> unit
     inserted under it.  Synchronized blocks release in LIFO order, but
     [wait()] may release a non-innermost monitor: in that case every
     frame above it is conservatively flushed (over-eviction is safe)
-    while remaining on the stack for its own later release.  Raises
-    [Invalid_argument] if the lock was never acquired. *)
+    while remaining on the stack for its own later release.  If the lock
+    was never acquired (a malformed event stream), a warning is printed
+    once and both caches are cleared — over-eviction keeps the
+    hit-implies-weaker guarantee intact. *)
 
 val evict_loc : t -> Event.loc_id -> unit
 (** Forcibly evict one location from both caches; used when the location

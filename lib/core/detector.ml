@@ -31,7 +31,7 @@ type history = Htries of (Event.loc_id, Trie.t) Hashtbl.t | Hpacked of Trie_pack
 type t = {
   config : config;
   history : history;
-  caches : (Event.thread_id, Cache.t) Hashtbl.t;
+  mutable caches : Cache.t option array; (* indexed by thread id *)
   own : Ownership.t;
   collector : Report.collector;
   mutable events_in : int;
@@ -48,7 +48,7 @@ let create ?(config = default_config) collector =
       (match config.history with
       | Per_location -> Htries (Hashtbl.create 1024)
       | Packed -> Hpacked (Trie_packed.create ()));
-    caches = Hashtbl.create 16;
+    caches = Array.make 16 None;
     own = Ownership.create ();
     collector;
     events_in = 0;
@@ -58,40 +58,51 @@ let create ?(config = default_config) collector =
     race_checks = 0;
   }
 
+(* Thread ids are small and dense (assigned by the VM in creation
+   order), so the per-thread caches live in a growable array: the
+   per-event lookup is one bounds check and one load, with no [Some]
+   allocated — unlike a [Hashtbl.find_opt] — on the hit path. *)
 let cache_of d thread =
-  match Hashtbl.find_opt d.caches thread with
+  let n = Array.length d.caches in
+  if thread >= n then begin
+    let rec cap n = if thread < n then n else cap (n * 2) in
+    let a = Array.make (cap (n * 2)) None in
+    Array.blit d.caches 0 a 0 n;
+    d.caches <- a
+  end;
+  match d.caches.(thread) with
   | Some c -> c
   | None ->
       let c = Cache.create ~size:d.config.cache_size () in
-      Hashtbl.add d.caches thread c;
+      d.caches.(thread) <- Some c;
       c
 
 let process_history d (e : Event.t) =
   match d.history with
   | Hpacked h -> Trie_packed.process h e
-  | Htries tries ->
-      let trie =
-        match Hashtbl.find_opt tries e.loc with
-        | Some t -> t
-        | None ->
-            let t = Trie.create () in
-            Hashtbl.add tries e.loc t;
-            t
-      in
-      Trie.process trie e
+  | Htries tries -> (
+      match Hashtbl.find tries e.loc with
+      | trie -> Trie.process trie e
+      | exception Not_found ->
+          let trie = Trie.create () in
+          Hashtbl.add tries e.loc trie;
+          Trie.process trie e)
 
-let on_access d (e : Event.t) =
+(* Scalar entry point: five immediates in, no [Event.t] materialized
+   unless the event survives both the cache and the ownership filter —
+   i.e. unless it actually reaches trie storage and may be needed for a
+   race report. *)
+let on_access_interned d ~loc ~thread ~(locks : Lockset_id.id) ~kind ~site =
   d.events_in <- d.events_in + 1;
   let filtered_by_cache =
-    d.config.use_cache
-    && Cache.lookup_or_add (cache_of d e.thread) ~kind:e.kind ~loc:e.loc
+    d.config.use_cache && Cache.lookup_or_add (cache_of d thread) ~kind ~loc
   in
   if filtered_by_cache then d.cache_hits <- d.cache_hits + 1
   else
     let pass =
       if not d.config.use_ownership then true
       else
-        match Ownership.check d.own ~thread:e.thread ~loc:e.loc with
+        match Ownership.check d.own ~thread ~loc with
         | Ownership.Owned_skip ->
             d.ownership_filtered <- d.ownership_filtered + 1;
             false
@@ -102,21 +113,29 @@ let on_access d (e : Event.t) =
                lookup just above for this very event, which is being
                forwarded, so it stays valid. *)
             if d.config.use_cache then
-              Hashtbl.iter
-                (fun t c -> if t <> e.thread then Cache.evict_loc c e.loc)
+              Array.iteri
+                (fun t c ->
+                  match c with
+                  | Some c when t <> thread -> Cache.evict_loc c loc
+                  | _ -> ())
                 d.caches;
             true
         | Ownership.Already_shared -> true
     in
     if pass then begin
       d.race_checks <- d.race_checks + 1;
+      let e = Event.make_interned ~loc ~thread ~locks ~kind ~site in
       let race, redundant = process_history d e in
       if redundant then d.weaker_filtered <- d.weaker_filtered + 1;
       match race with
       | Some prior ->
-          Report.add d.collector { Report.loc = e.loc; current = e; prior }
+          Report.add d.collector { Report.loc; current = e; prior }
       | None -> ()
     end
+
+let on_access d (e : Event.t) =
+  on_access_interned d ~loc:e.loc ~thread:e.thread ~locks:e.locks ~kind:e.kind
+    ~site:e.site
 
 let on_acquire d ~thread ~lock =
   if d.config.use_cache then Cache.acquired (cache_of d thread) lock
@@ -124,7 +143,8 @@ let on_acquire d ~thread ~lock =
 let on_release d ~thread ~lock =
   if d.config.use_cache then Cache.released (cache_of d thread) lock
 
-let on_thread_exit d ~thread = Hashtbl.remove d.caches thread
+let on_thread_exit d ~thread =
+  if thread < Array.length d.caches then d.caches.(thread) <- None
 
 let stats d =
   let trie_nodes =

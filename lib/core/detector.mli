@@ -50,6 +50,19 @@ val on_access : t -> Event.t -> unit
 (** Process one access event end-to-end: cache, ownership, weakness
     check, race check, history update. *)
 
+val on_access_interned :
+  t ->
+  loc:Event.loc_id ->
+  thread:Event.thread_id ->
+  locks:Lockset_id.id ->
+  kind:Event.kind ->
+  site:Event.site_id ->
+  unit
+(** Same as {!on_access} on five scalars.  This is the hot entry point:
+    no [Event.t] is allocated unless the event survives both the cache
+    and the ownership filter (i.e. reaches trie storage), so cache-hit
+    and ownership-filtered events are processed allocation-free. *)
+
 val on_acquire : t -> thread:Event.thread_id -> lock:Event.lock_id -> unit
 (** Outermost acquisition of a real lock by [thread] (reentrant
     re-acquisitions must not be reported). *)

@@ -7,50 +7,35 @@ type kind = Read | Write
 
 type thread_info = Thread of thread_id | Bot | Top
 
-module Lockset = struct
-  module S = Set.Make (Int)
-
-  type t = S.t
-
-  let empty = S.empty
-  let is_empty = S.is_empty
-  let singleton = S.singleton
-  let add = S.add
-  let remove = S.remove
-  let mem = S.mem
-  let subset = S.subset
-  let disjoint = S.disjoint
-  let inter = S.inter
-  let union = S.union
-  let equal = S.equal
-  let cardinal = S.cardinal
-  let of_list ls = List.fold_left (fun s l -> S.add l s) S.empty ls
-  let to_sorted_list = S.elements
-  let fold = S.fold
-
-  let pp ppf s =
-    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") int) (to_sorted_list s)
-end
+(* The reference set representation, re-exported for construction,
+   rendering and tests; the event itself carries an interned id. *)
+module Lockset = Lockset
 
 type t = {
   loc : loc_id;
   thread : thread_id;
-  locks : Lockset.t;
+  locks : Lockset_id.id;
   kind : kind;
   site : site_id;
 }
 
-let make ~loc ~thread ~locks ~kind ~site = { loc; thread; locks; kind; site }
+let make ~loc ~thread ~locks ~kind ~site =
+  { loc; thread; locks = Lockset_id.intern locks; kind; site }
+
+let make_interned ~loc ~thread ~locks ~kind ~site =
+  { loc; thread; locks; kind; site }
+
+let lockset e = Lockset_id.set_of e.locks
 
 let equal e1 e2 =
   e1.loc = e2.loc && e1.thread = e2.thread && e1.kind = e2.kind
   && e1.site = e2.site
-  && Lockset.equal e1.locks e2.locks
+  && Lockset_id.equal e1.locks e2.locks
 
 let is_race e1 e2 =
   e1.loc = e2.loc
   && e1.thread <> e2.thread
-  && Lockset.disjoint e1.locks e2.locks
+  && Lockset_id.disjoint e1.locks e2.locks
   && (e1.kind = Write || e2.kind = Write)
 
 let kind_leq a1 a2 = a1 = Write || a1 = a2
@@ -67,12 +52,12 @@ let thread_meet t1 t2 =
 
 let weaker_than p q =
   p.loc = q.loc
-  && Lockset.subset p.locks q.locks
+  && Lockset_id.subset p.locks q.locks
   && p.thread = q.thread
   && kind_leq p.kind q.kind
 
 let stored_weaker_than ~thread ~kind ~locks q =
-  Lockset.subset locks q.locks
+  Lockset_id.subset locks q.locks
   && thread_leq thread (Thread q.thread)
   && kind_leq kind q.kind
 
@@ -86,5 +71,5 @@ let pp_thread_info ppf = function
   | Top -> Fmt.string ppf "t_top"
 
 let pp ppf e =
-  Fmt.pf ppf "(m=%d, t=T%d, L=%a, a=%a, s=%d)" e.loc e.thread Lockset.pp
+  Fmt.pf ppf "(m=%d, t=T%d, L=%a, a=%a, s=%d)" e.loc e.thread Lockset_id.pp
     e.locks pp_kind e.kind e.site

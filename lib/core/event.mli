@@ -4,7 +4,14 @@
     thread, lockset, access kind and source site.  This module defines the
     event representation shared by the whole detector pipeline, together
     with the [IsRace] predicate and the weaker-than partial order that
-    justifies discarding redundant events. *)
+    justifies discarding redundant events.
+
+    The lockset component is an {e interned} {!Lockset_id.id}: the VM
+    maintains each thread's current lockset id incrementally (recomputed
+    only at lock acquire/release, never per access), so an event is five
+    scalars and the lattice checks below — subset for weaker-than,
+    disjointness for IsRace — are O(1) bitset tests or relation-table
+    lookups instead of O(n log n) functional-set walks. *)
 
 type thread_id = int
 (** Identity of a program thread.  Thread ids are small non-negative
@@ -42,53 +49,14 @@ type thread_info =
   | Bot
   | Top
 
-module Lockset : sig
-  (** Sets of lock identities held at the time of an access. *)
-
-  type t
-
-  val empty : t
-
-  val is_empty : t -> bool
-
-  val singleton : lock_id -> t
-
-  val add : lock_id -> t -> t
-
-  val remove : lock_id -> t -> t
-
-  val mem : lock_id -> t -> bool
-
-  val subset : t -> t -> bool
-  (** [subset a b] is [true] iff every lock of [a] is in [b]. *)
-
-  val disjoint : t -> t -> bool
-  (** [disjoint a b] is [true] iff [a] and [b] share no lock; this is the
-      third datarace condition, [a.L] ∩ [b.L] = ∅. *)
-
-  val inter : t -> t -> t
-
-  val union : t -> t -> t
-
-  val equal : t -> t -> bool
-
-  val cardinal : t -> int
-
-  val of_list : lock_id list -> t
-
-  val to_sorted_list : t -> lock_id list
-  (** Elements in strictly increasing order; this is the canonical trie
-      path for the lockset. *)
-
-  val fold : (lock_id -> 'a -> 'a) -> t -> 'a -> 'a
-
-  val pp : t Fmt.t
-end
+module Lockset = Lockset
+(** The reference set representation, for construction, rendering and
+    tests.  Hot-path code works on {!Lockset_id.id} instead. *)
 
 type t = {
   loc : loc_id;
   thread : thread_id;
-  locks : Lockset.t;
+  locks : Lockset_id.id;
   kind : kind;
   site : site_id;
 }
@@ -102,9 +70,27 @@ val make :
   kind:kind ->
   site:site_id ->
   t
+(** Construct an event from a reference lockset, interning it.  Cold
+    constructor for tests and boundaries; hot paths that already hold an
+    interned id use {!make_interned}. *)
+
+val make_interned :
+  loc:loc_id ->
+  thread:thread_id ->
+  locks:Lockset_id.id ->
+  kind:kind ->
+  site:site_id ->
+  t
+(** Construct an event from an already-interned lockset id; allocates
+    exactly the record. *)
+
+val lockset : t -> Lockset.t
+(** The event's lockset materialized as a reference set (O(1): the
+    canonical hash-consed set). *)
 
 val equal : t -> t -> bool
-(** Componentwise equality (locksets compared as sets). *)
+(** Componentwise equality (locksets compared by interned id, which by
+    hash-consing coincides with set equality). *)
 
 val is_race : t -> t -> bool
 (** [is_race e1 e2] is the paper's [IsRace] predicate: same location,
@@ -135,7 +121,7 @@ val weaker_than : t -> t -> bool
     (Theorem 1), so [q] carries no information for detection. *)
 
 val stored_weaker_than :
-  thread:thread_info -> kind:kind -> locks:Lockset.t -> t -> bool
+  thread:thread_info -> kind:kind -> locks:Lockset_id.id -> t -> bool
 (** Weaker-than where the earlier access is a stored history entry whose
     thread may have degraded to {!Bot}. *)
 

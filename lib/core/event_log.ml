@@ -6,27 +6,44 @@ type entry =
   | Thread_join of Event.thread_id * Event.thread_id
   | Thread_exit of Event.thread_id
 
-type t = { mutable rev : entry list; mutable n : int }
+(* Array-backed storage: recording is an amortized store, and replay
+   iterates in place — the old reversed-list representation rebuilt the
+   whole log as a fresh list (one cons per entry) on every [entries]
+   call, which sat inside the timed region of the replay benchmarks. *)
+type t = { mutable arr : entry array; mutable n : int }
 
-let create () = { rev = []; n = 0 }
+let dummy = Thread_exit (-1)
+
+let create () = { arr = [||]; n = 0 }
 
 let record t e =
-  t.rev <- e :: t.rev;
+  let cap = Array.length t.arr in
+  if t.n = cap then begin
+    let arr = Array.make (max 1024 (cap * 2)) dummy in
+    Array.blit t.arr 0 arr 0 cap;
+    t.arr <- arr
+  end;
+  t.arr.(t.n) <- e;
   t.n <- t.n + 1
 
 let length t = t.n
 
-let entries t = List.rev t.rev
+let iter f t =
+  for i = 0 to t.n - 1 do
+    f t.arr.(i)
+  done
+
+let entries t = Array.to_list (Array.sub t.arr 0 t.n)
 
 let replay t det =
-  List.iter
+  iter
     (function
       | Access e -> Detector.on_access det e
       | Acquire (thread, lock) -> Detector.on_acquire det ~thread ~lock
       | Release (thread, lock) -> Detector.on_release det ~thread ~lock
       | Thread_start _ | Thread_join _ -> ()
       | Thread_exit thread -> Detector.on_thread_exit det ~thread)
-    (entries t)
+    t
 
 (* Text serialization: one entry per line.
      A <loc> <thread> <R|W> <site> <lock>*      access
@@ -37,7 +54,7 @@ let replay t det =
      X <thread>                                 thread exit *)
 
 let to_channel oc t =
-  List.iter
+  iter
     (fun e ->
       (match e with
       | Access e ->
@@ -45,14 +62,14 @@ let to_channel oc t =
             (match e.Event.kind with Event.Read -> 'R' | Event.Write -> 'W')
             e.Event.site;
           List.iter (Printf.fprintf oc " %d")
-            (Event.Lockset.to_sorted_list e.Event.locks)
+            (Lockset_id.to_sorted_list e.Event.locks)
       | Acquire (t, l) -> Printf.fprintf oc "L %d %d" t l
       | Release (t, l) -> Printf.fprintf oc "U %d %d" t l
       | Thread_start (p, c) -> Printf.fprintf oc "S %d %d" p c
       | Thread_join (j, e) -> Printf.fprintf oc "J %d %d" j e
       | Thread_exit t -> Printf.fprintf oc "X %d" t);
       output_char oc '\n')
-    (entries t)
+    t
 
 let of_channel ic =
   let t = create () in
@@ -87,12 +104,15 @@ let of_channel ic =
                        (Printf.sprintf "access kind %S is not R or W" k)
                        line
                in
+               (* Intern at the parse boundary: replaying a parsed log
+                  hits exactly the same interned-id hot path as the
+                  online pipeline. *)
                Access
-                 (Event.make
+                 (Event.make_interned
                     ~loc:(int_field "location" loc)
                     ~thread:(int_field "thread" thread)
                     ~locks:
-                      (Event.Lockset.of_list
+                      (Lockset_id.of_list
                          (List.map (int_field "lock") locks))
                     ~kind
                     ~site:(int_field "site" site))

@@ -26,7 +26,11 @@ val record : t -> entry -> unit
 val length : t -> int
 
 val entries : t -> entry list
-(** In recording order. *)
+(** In recording order.  Allocates a fresh list; use {!iter} where a
+    traversal suffices. *)
+
+val iter : (entry -> unit) -> t -> unit
+(** Iterate in recording order without materializing a list. *)
 
 val replay : t -> Detector.t -> unit
 (** Feed the log through a detector, reproducing exactly the online

@@ -8,17 +8,22 @@ type t = { tbl : (Event.loc_id, state) Hashtbl.t }
 
 let create () = { tbl = Hashtbl.create 1024 }
 
-let on_access t (e : Event.t) =
-  match Hashtbl.find_opt t.tbl e.loc with
-  | None -> Hashtbl.replace t.tbl e.loc (Local e.thread)
-  | Some (Local owner) when owner = e.thread -> ()
-  | Some (Local _) ->
+(* Scalar entry point for the hot path; [find] + [Not_found] avoids the
+   [Some] allocation of [find_opt] on every access. *)
+let record t ~thread ~loc ~(kind : Event.kind) =
+  match Hashtbl.find t.tbl loc with
+  | Local owner when owner = thread -> ()
+  | Local _ ->
       (* Publication: the access that shares the location counts as a
          post-publication access. *)
-      Hashtbl.replace t.tbl e.loc (Shared (e.kind = Event.Write))
-  | Some (Shared true) -> ()
-  | Some (Shared false) ->
-      if e.kind = Event.Write then Hashtbl.replace t.tbl e.loc (Shared true)
+      Hashtbl.replace t.tbl loc (Shared (kind = Event.Write))
+  | Shared true -> ()
+  | Shared false ->
+      if kind = Event.Write then Hashtbl.replace t.tbl loc (Shared true)
+  | exception Not_found -> Hashtbl.replace t.tbl loc (Local thread)
+
+let on_access t (e : Event.t) =
+  record t ~thread:e.thread ~loc:e.loc ~kind:e.kind
 
 let classify t loc =
   match Hashtbl.find_opt t.tbl loc with

@@ -22,6 +22,11 @@ val create : unit -> t
 
 val on_access : t -> Event.t -> unit
 
+val record :
+  t -> thread:Event.thread_id -> loc:Event.loc_id -> kind:Event.kind -> unit
+(** Scalar equivalent of {!on_access}, for event sources that have not
+    materialized an {!Event.t}; allocation-free. *)
+
 val classify : t -> Event.loc_id -> cls option
 (** [None] if the location was never accessed. *)
 

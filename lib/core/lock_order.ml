@@ -10,7 +10,7 @@ type t = {
   held : (Event.thread_id, Event.lock_id list) Hashtbl.t; (* stack *)
   edges :
     (Event.lock_id * Event.lock_id,
-     (Event.thread_id * Event.Lockset.t) list ref)
+     (Event.thread_id * Lockset_id.id) list ref)
     Hashtbl.t;
 }
 
@@ -21,7 +21,7 @@ let stack_of t thread =
 
 let on_acquire t ~thread ~lock =
   let held = stack_of t thread in
-  let gates = Event.Lockset.of_list held in
+  let gates = Lockset_id.of_list held in
   List.iter
     (fun l1 ->
       if l1 <> lock then begin
@@ -34,15 +34,13 @@ let on_acquire t ~thread ~lock =
               Hashtbl.add t.edges key r;
               r
         in
-        let gate =
-          Event.Lockset.remove l1 (Event.Lockset.remove lock gates)
-        in
+        let gate = Lockset_id.remove l1 (Lockset_id.remove lock gates) in
         (* Keep only maximally-weak witnesses: a (thread, gates) pair is
            subsumed by one with the same thread and a subset of gates. *)
         if
           not
             (List.exists
-               (fun (th, g) -> th = thread && Event.Lockset.subset g gate)
+               (fun (th, g) -> th = thread && Lockset_id.subset g gate)
                !r)
         then r := (thread, gate) :: !r
       end)
@@ -78,8 +76,7 @@ let potential_deadlocks t =
               List.exists
                 (fun (ta, ga) ->
                   List.exists
-                    (fun (tb, gb) ->
-                      ta <> tb && Event.Lockset.disjoint ga gb)
+                    (fun (tb, gb) -> ta <> tb && Lockset_id.disjoint ga gb)
                     !bwd)
                 !fwd
             in

@@ -1,0 +1,22 @@
+module S = Set.Make (Int)
+
+type t = S.t
+
+let empty = S.empty
+let is_empty = S.is_empty
+let singleton = S.singleton
+let add = S.add
+let remove = S.remove
+let mem = S.mem
+let subset = S.subset
+let disjoint = S.disjoint
+let inter = S.inter
+let union = S.union
+let equal = S.equal
+let cardinal = S.cardinal
+let of_list ls = List.fold_left (fun s l -> S.add l s) S.empty ls
+let to_sorted_list = S.elements
+let fold = S.fold
+
+let pp ppf s =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") int) (to_sorted_list s)

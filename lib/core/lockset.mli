@@ -1,0 +1,48 @@
+(** Sets of lock identities — the reference, purely-functional lockset
+    representation ([Set.Make (Int)]).
+
+    This is the semantic ground truth for lockset algebra: the interning
+    layer {!Lockset_id} must agree with it operation-for-operation (a
+    property the test suite checks on randomized pairs).  The hot
+    detector pipeline works on interned {!Lockset_id.id} values and only
+    materializes a [Lockset.t] at rendering or test boundaries;
+    re-exported as [Event.Lockset] for compatibility. *)
+
+type t
+
+val empty : t
+
+val is_empty : t -> bool
+
+val singleton : int -> t
+
+val add : int -> t -> t
+
+val remove : int -> t -> t
+
+val mem : int -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b] is [true] iff every lock of [a] is in [b]. *)
+
+val disjoint : t -> t -> bool
+(** [disjoint a b] is [true] iff [a] and [b] share no lock; this is the
+    third datarace condition, [a.L] ∩ [b.L] = ∅. *)
+
+val inter : t -> t -> t
+
+val union : t -> t -> t
+
+val equal : t -> t -> bool
+
+val cardinal : t -> int
+
+val of_list : int list -> t
+
+val to_sorted_list : t -> int list
+(** Elements in strictly increasing order; this is the canonical trie
+    path for the lockset. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val pp : t Fmt.t

@@ -6,17 +6,20 @@ type verdict = Owned_skip | Became_shared | Already_shared
 
 let create () = { tbl = Hashtbl.create 1024; shared = 0 }
 
+(* [Hashtbl.find] + [Not_found] rather than [find_opt]: the latter
+   allocates a [Some] per call, and this runs once per non-cached access
+   event. *)
 let check o ~thread ~loc =
-  match Hashtbl.find_opt o.tbl loc with
-  | None ->
-      Hashtbl.replace o.tbl loc (Owned thread);
-      Owned_skip
-  | Some (Owned t) when t = thread -> Owned_skip
-  | Some (Owned _) ->
+  match Hashtbl.find o.tbl loc with
+  | Owned t when t = thread -> Owned_skip
+  | Owned _ ->
       Hashtbl.replace o.tbl loc Shared;
       o.shared <- o.shared + 1;
       Became_shared
-  | Some Shared -> Already_shared
+  | Shared -> Already_shared
+  | exception Not_found ->
+      Hashtbl.replace o.tbl loc (Owned thread);
+      Owned_skip
 
 let is_shared o loc =
   match Hashtbl.find_opt o.tbl loc with Some Shared -> true | _ -> false

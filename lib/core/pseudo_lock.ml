@@ -1,15 +1,17 @@
 type t = {
   dummy : (Event.thread_id, Event.lock_id) Hashtbl.t;
-  held : (Event.thread_id, Event.Lockset.t) Hashtbl.t;
+  held : (Event.thread_id, Lockset_id.id) Hashtbl.t;
 }
 
 let create () = { dummy = Hashtbl.create 16; held = Hashtbl.create 16 }
 
 let locks_of t tid =
-  Option.value (Hashtbl.find_opt t.held tid) ~default:Event.Lockset.empty
+  match Hashtbl.find t.held tid with
+  | id -> id
+  | exception Not_found -> Lockset_id.empty
 
 let add_lock t tid l =
-  Hashtbl.replace t.held tid (Event.Lockset.add l (locks_of t tid))
+  Hashtbl.replace t.held tid (Lockset_id.add l (locks_of t tid))
 
 let on_thread_start t tid s =
   Hashtbl.replace t.dummy tid s;

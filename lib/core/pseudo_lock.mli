@@ -25,9 +25,9 @@ val on_join : t -> joiner:Event.thread_id -> joinee:Event.thread_id -> unit
 (** After [joiner] successfully joins on [joinee], add [S_joinee] to
     [joiner]'s pseudo-lockset. *)
 
-val locks_of : t -> Event.thread_id -> Event.Lockset.t
-(** The pseudo-locks currently attributed to a thread; the VM unions this
-    into the lockset of every access event of that thread. *)
+val locks_of : t -> Event.thread_id -> Lockset_id.id
+(** The pseudo-locks currently attributed to a thread, interned; the VM
+    unions this into the lockset of every access event of that thread. *)
 
 val dummy_of : t -> Event.thread_id -> Event.lock_id option
 (** [dummy_of t j] is [S_j] if thread [j] was registered. *)

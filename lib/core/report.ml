@@ -7,10 +7,11 @@ let pp_race names ppf (r : race) =
      at %s holding %a@]"
     (Names.loc_name names r.loc) r.current.thread pp_kind r.current.kind
     (Names.site_name names r.current.site)
-    (Names.pp_lockset names) r.current.locks pp_thread_info
+    (Names.pp_lockset names) (Event.lockset r.current) pp_thread_info
     r.prior.Trie.p_thread pp_kind r.prior.Trie.p_kind
     (Names.site_name names r.prior.Trie.p_site)
-    (Names.pp_lockset names) r.prior.Trie.p_locks
+    (Names.pp_lockset names)
+    (Lockset_id.set_of r.prior.Trie.p_locks)
 
 type collector = {
   mutable acc : race list; (* reverse order *)

@@ -3,7 +3,7 @@ open Event
 type prior = {
   p_thread : thread_info;
   p_kind : kind;
-  p_locks : Lockset.t;
+  p_locks : Lockset_id.id;
   p_site : site_id;
 }
 
@@ -24,6 +24,17 @@ let create () = { root = mk_node (-1); count = 1 }
 
 let node_count h = h.count
 
+(* Binary search in the event's strictly increasing lock array; fetched
+   once per traversal so membership costs no table lookup and no
+   allocation. *)
+let mem_arr (a : int array) l =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !hi - !lo > 0 do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < l then lo := mid + 1 else hi := mid
+  done;
+  !lo < Array.length a && a.(!lo) = l
+
 let node_weaker n (e : Event.t) =
   n.thread <> Top
   && thread_leq n.thread (Thread e.thread)
@@ -32,81 +43,86 @@ let node_weaker n (e : Event.t) =
 (* Weakness check: walk only edges labeled with locks of [e], so every
    visited node's lockset is a subset of [e.locks]. *)
 let exists_weaker h e =
+  let locks = Lockset_id.sorted_array e.locks in
   let rec go n =
     node_weaker n e
-    || List.exists (fun c -> Lockset.mem c.label e.locks && go c) n.children
+    || List.exists (fun c -> mem_arr locks c.label && go c) n.children
   in
   go h.root
 
+(* [path] is the reversed list of edge labels to the current node; it is
+   interned only when a race is actually found, so the DFS allocates a
+   few list cells at most and nothing on the no-race path's fast exits. *)
+let prior_of n path =
+  {
+    p_thread = n.thread;
+    p_kind = n.kind;
+    p_locks = Lockset_id.of_list path;
+    p_site = n.site;
+  }
+
 let find_race h (e : Event.t) =
+  let locks = Lockset_id.sorted_array e.locks in
   let exception Found of prior in
   let rec go n path =
     (* Case II: at least two threads and at least one write. *)
     if thread_meet (Thread e.thread) n.thread = Bot && kind_meet e.kind n.kind = Write
-    then
-      raise
-        (Found
-           {
-             p_thread = n.thread;
-             p_kind = n.kind;
-             p_locks = path;
-             p_site = n.site;
-           });
+    then raise (Found (prior_of n path));
     (* Case III: recurse, skipping Case-I subtrees (common lock). *)
     List.iter
-      (fun c ->
-        if not (Lockset.mem c.label e.locks) then
-          go c (Lockset.add c.label path))
+      (fun c -> if not (mem_arr locks c.label) then go c (c.label :: path))
       n.children
   in
-  match go h.root Lockset.empty with
+  match go h.root [] with
   | () -> None
   | exception Found p -> Some p
 
-(* Find or create the node addressed by the sorted lock list [path]. *)
-let rec descend h n path =
-  match path with
-  | [] -> n
-  | l :: rest ->
-      let rec find = function
-        | c :: _ when c.label = l -> Some c
-        | c :: tl when c.label < l -> find tl
-        | _ -> None
-      in
-      let child =
-        match find n.children with
-        | Some c -> c
-        | None ->
-            let c = mk_node l in
-            h.count <- h.count + 1;
-            let rec ins = function
-              | x :: tl when x.label < l -> x :: ins tl
-              | tl -> c :: tl
-            in
-            n.children <- ins n.children;
-            c
-      in
-      descend h child rest
+(* Find or create the node addressed by the sorted lock array [path]
+   starting at index [i]. *)
+let rec descend h n (path : int array) i =
+  if i >= Array.length path then n
+  else begin
+    let l = path.(i) in
+    let rec find = function
+      | c :: _ when c.label = l -> Some c
+      | c :: tl when c.label < l -> find tl
+      | _ -> None
+    in
+    let child =
+      match find n.children with
+      | Some c -> c
+      | None ->
+          let c = mk_node l in
+          h.count <- h.count + 1;
+          let rec ins = function
+            | x :: tl when x.label < l -> x :: ins tl
+            | tl -> c :: tl
+          in
+          n.children <- ins n.children;
+          c
+    in
+    descend h child path (i + 1)
+  end
 
 (* Remove stored accesses that [keep] (the just-updated node, holding
    meet value [tv]/[av] for lockset [locks]) is weaker than, and
-   garbage-collect empty leaves.  [required] is the sorted list of locks
-   of the new access not yet seen on the current path; edge labels
-   increase along paths, so a label above the next required lock kills
-   the whole subtree. *)
-let prune_stronger h keep locks tv av =
-  let rec go n required =
-    let required' =
-      match required with
-      | r :: rest when n.label = r -> Some rest
-      | r :: _ when n.label > r -> None
-      | req -> Some req
+   garbage-collect empty leaves.  [required] is the sorted array of locks
+   of the new access; [ri] indexes the first lock not yet seen on the
+   current path.  Edge labels increase along paths, so a label above the
+   next required lock kills the whole subtree. *)
+let prune_stronger h keep (required : int array) tv av =
+  let nreq = Array.length required in
+  let rec go n ri =
+    let ri' =
+      if ri < nreq && n.label = required.(ri) then Some (ri + 1)
+      else if ri < nreq && n.label > required.(ri) then None
+      else Some ri
     in
-    match required' with
+    match ri' with
     | None -> true
-    | Some req ->
+    | Some ri ->
         if
-          req = [] && n != keep && n.thread <> Top
+          ri = nreq && n != keep && n.thread <> Top
           && thread_leq tv n.thread && kind_leq av n.kind
         then begin
           n.thread <- Top;
@@ -116,7 +132,7 @@ let prune_stronger h keep locks tv av =
         let survivors =
           List.filter
             (fun c ->
-              let live = go c req in
+              let live = go c ri in
               if not live then h.count <- h.count - 1;
               live)
             n.children
@@ -124,10 +140,11 @@ let prune_stronger h keep locks tv av =
         n.children <- survivors;
         n.thread <> Top || n.children <> [] || n == keep
   in
-  ignore (go h.root (Lockset.to_sorted_list locks))
+  ignore (go h.root 0)
 
 let update h e =
-  let n = descend h h.root (Lockset.to_sorted_list e.locks) in
+  let locks = Lockset_id.sorted_array e.locks in
+  let n = descend h h.root locks 0 in
   if n.thread = Top then begin
     n.thread <- Thread e.thread;
     n.kind <- e.kind;
@@ -140,7 +157,7 @@ let update h e =
     if e.kind = Write && n.kind = Read then n.site <- e.site;
     n.kind <- kind_meet n.kind e.kind
   end;
-  prune_stronger h n e.locks n.thread n.kind
+  prune_stronger h n locks n.thread n.kind
 
 (* One event end-to-end.  The race check runs unconditionally — see the
    interface comment: gating it behind the weakness check, as the paper
@@ -154,6 +171,7 @@ let update h e =
    prunes exactly those edges (Case I), so they explore disjoint parts
    of the trie. *)
 let process h (e : Event.t) =
+  let locks = Lockset_id.sorted_array e.locks in
   let race = ref None in
   let weaker = ref false in
   let rec weak_dfs n =
@@ -161,7 +179,7 @@ let process h (e : Event.t) =
     if node_weaker n e then weaker := true
     else
       List.iter
-        (fun c -> if (not !weaker) && Lockset.mem c.label e.locks then weak_dfs c)
+        (fun c -> if (not !weaker) && mem_arr locks c.label then weak_dfs c)
         n.children
   in
   let rec race_dfs n path =
@@ -170,20 +188,12 @@ let process h (e : Event.t) =
       !race = None
       && thread_meet (Thread e.thread) n.thread = Bot
       && kind_meet e.kind n.kind = Write
-    then
-      race :=
-        Some
-          {
-            p_thread = n.thread;
-            p_kind = n.kind;
-            p_locks = path;
-            p_site = n.site;
-          }
+    then race := Some (prior_of n path)
     else if !race = None then
       List.iter
         (fun c ->
-          if (not (Lockset.mem c.label e.locks)) && !race = None then
-            race_dfs c (Lockset.add c.label path))
+          if (not (mem_arr locks c.label)) && !race = None then
+            race_dfs c (c.label :: path))
         n.children
   in
   (* The root participates in both: it is the ∅-lockset node. *)
@@ -191,19 +201,11 @@ let process h (e : Event.t) =
   if
     thread_meet (Thread e.thread) h.root.thread = Bot
     && kind_meet e.kind h.root.kind = Write
-  then
-    race :=
-      Some
-        {
-          p_thread = h.root.thread;
-          p_kind = h.root.kind;
-          p_locks = Lockset.empty;
-          p_site = h.root.site;
-        };
+  then race := Some (prior_of h.root []);
   List.iter
     (fun c ->
-      if Lockset.mem c.label e.locks then (if not !weaker then weak_dfs c)
-      else if !race = None then race_dfs c (Lockset.singleton c.label))
+      if mem_arr locks c.label then (if not !weaker then weak_dfs c)
+      else if !race = None then race_dfs c [ c.label ])
     h.root.children;
   if not !weaker then update h e;
   (!race, !weaker)

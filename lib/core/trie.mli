@@ -22,7 +22,9 @@ type prior = {
           distinct threads already accessed with this lockset, in which
           case the specific thread cannot be reported (Section 3.1). *)
   p_kind : Event.kind;
-  p_locks : Event.Lockset.t;
+  p_locks : Lockset_id.id;
+      (** Interned lockset of the earlier racing access, materialized
+          with {!Lockset_id.set_of} at reporting time. *)
   p_site : Event.site_id;
       (** A representative source site among the accesses summarized by
           the racing node. *)

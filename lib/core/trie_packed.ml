@@ -39,46 +39,58 @@ let locations h =
   go h.root;
   Hashtbl.length locs
 
+(* Same binary search as Trie.mem_arr: membership in the event's sorted
+   lock array without a table lookup or allocation. *)
+let mem_arr (a : int array) l =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !hi - !lo > 0 do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < l then lo := mid + 1 else hi := mid
+  done;
+  !lo < Array.length a && a.(!lo) = l
+
 let summary_weaker s (e : Event.t) =
   thread_leq s.s_thread (Thread e.thread) && kind_leq s.s_kind e.kind
 
-let rec descend h n = function
-  | [] -> n
-  | l :: rest ->
-      let rec find = function
-        | c :: _ when c.label = l -> Some c
-        | c :: tl when c.label < l -> find tl
-        | _ -> None
-      in
-      let child =
-        match find n.children with
-        | Some c -> c
-        | None ->
-            let c = mk_node l in
-            h.nodes <- h.nodes + 1;
-            let rec ins = function
-              | x :: tl when x.label < l -> x :: ins tl
-              | tl -> c :: tl
-            in
-            n.children <- ins n.children;
-            c
-      in
-      descend h child rest
+let rec descend h n (path : int array) i =
+  if i >= Array.length path then n
+  else begin
+    let l = path.(i) in
+    let rec find = function
+      | c :: _ when c.label = l -> Some c
+      | c :: tl when c.label < l -> find tl
+      | _ -> None
+    in
+    let child =
+      match find n.children with
+      | Some c -> c
+      | None ->
+          let c = mk_node l in
+          h.nodes <- h.nodes + 1;
+          let rec ins = function
+            | x :: tl when x.label < l -> x :: ins tl
+            | tl -> c :: tl
+          in
+          n.children <- ins n.children;
+          c
+    in
+    descend h child path (i + 1)
+  end
 
 (* Remove summaries for [e.loc] that the just-updated node covers, then
    garbage-collect nodes with no summaries and no children. *)
-let prune_stronger h keep (loc : loc_id) locks tv av =
-  let rec go n required =
-    let required' =
-      match required with
-      | r :: rest when n.label = r -> Some rest
-      | r :: _ when n.label > r -> None
-      | req -> Some req
+let prune_stronger h keep (loc : loc_id) (required : int array) tv av =
+  let nreq = Array.length required in
+  let rec go n ri =
+    let ri' =
+      if ri < nreq && n.label = required.(ri) then Some (ri + 1)
+      else if ri < nreq && n.label > required.(ri) then None
+      else Some ri
     in
-    match required' with
+    match ri' with
     | None -> true (* the new lockset cannot be a subset here: keep *)
-    | Some req ->
-        (if req = [] && n != keep then
+    | Some ri ->
+        (if ri = nreq && n != keep then
            match Hashtbl.find_opt n.summaries loc with
            | Some s when thread_leq tv s.s_thread && kind_leq av s.s_kind ->
                Hashtbl.remove n.summaries loc
@@ -86,7 +98,7 @@ let prune_stronger h keep (loc : loc_id) locks tv av =
         let survivors =
           List.filter
             (fun c ->
-              let live = go c req in
+              let live = go c ri in
               if not live then h.nodes <- h.nodes - 1;
               live)
             n.children
@@ -94,10 +106,11 @@ let prune_stronger h keep (loc : loc_id) locks tv av =
         n.children <- survivors;
         Hashtbl.length n.summaries > 0 || n.children <> [] || n == keep
   in
-  ignore (go h.root (Lockset.to_sorted_list locks))
+  ignore (go h.root 0)
 
 let update h (e : Event.t) =
-  let n = descend h h.root (Lockset.to_sorted_list e.locks) in
+  let locks = Lockset_id.sorted_array e.locks in
+  let n = descend h h.root locks 0 in
   let tv, av =
     match Hashtbl.find_opt n.summaries e.loc with
     | Some s ->
@@ -110,20 +123,23 @@ let update h (e : Event.t) =
           { s_thread = Thread e.thread; s_kind = e.kind; s_site = e.site };
         (Thread e.thread, e.kind)
   in
-  prune_stronger h n e.loc e.locks tv av
+  prune_stronger h n e.loc locks tv av
 
 let process h (e : Event.t) =
+  let locks = Lockset_id.sorted_array e.locks in
   let race = ref None in
   let weaker = ref false in
   let check_weak n =
-    match Hashtbl.find_opt n.summaries e.loc with
-    | Some s when summary_weaker s e -> weaker := true
-    | _ -> ()
+    match Hashtbl.find n.summaries e.loc with
+    | s -> if summary_weaker s e then weaker := true
+    | exception Not_found -> ()
   in
+  (* [path] is the reversed label list to the node; interned only when a
+     race is found. *)
   let check_race n path =
     if !race = None then
-      match Hashtbl.find_opt n.summaries e.loc with
-      | Some s
+      match Hashtbl.find n.summaries e.loc with
+      | s
         when thread_meet (Thread e.thread) s.s_thread = Bot
              && kind_meet e.kind s.s_kind = Write ->
           race :=
@@ -131,16 +147,17 @@ let process h (e : Event.t) =
               {
                 Trie.p_thread = s.s_thread;
                 p_kind = s.s_kind;
-                p_locks = path;
+                p_locks = Lockset_id.of_list path;
                 p_site = s.s_site;
               }
       | _ -> ()
+      | exception Not_found -> ()
   in
   let rec weak_dfs n =
     check_weak n;
     if not !weaker then
       List.iter
-        (fun c -> if (not !weaker) && Lockset.mem c.label e.locks then weak_dfs c)
+        (fun c -> if (not !weaker) && mem_arr locks c.label then weak_dfs c)
         n.children
   in
   let rec race_dfs n path =
@@ -148,16 +165,16 @@ let process h (e : Event.t) =
     if !race = None then
       List.iter
         (fun c ->
-          if (not (Lockset.mem c.label e.locks)) && !race = None then
-            race_dfs c (Lockset.add c.label path))
+          if (not (mem_arr locks c.label)) && !race = None then
+            race_dfs c (c.label :: path))
         n.children
   in
   check_weak h.root;
-  check_race h.root Lockset.empty;
+  check_race h.root [];
   List.iter
     (fun c ->
-      if Lockset.mem c.label e.locks then (if not !weaker then weak_dfs c)
-      else if !race = None then race_dfs c (Lockset.singleton c.label))
+      if mem_arr locks c.label then (if not !weaker then weak_dfs c)
+      else if !race = None then race_dfs c [ c.label ])
     h.root.children;
   if not !weaker then update h e;
   (!race, !weaker)

@@ -128,10 +128,12 @@ let run ?vm ?tap (c : compiled) : result =
         {
           Sink.null with
           Sink.access =
+            (* Scalar calls: no Event.t allocated for events the cache
+               or the ownership filter drops. *)
             count (fun ~tid ~loc ~kind ~locks ~site ->
-                let e = Event.make ~loc ~thread:tid ~locks ~kind ~site in
-                Immutability.on_access immut e;
-                Detector.on_access det e);
+                Immutability.record immut ~thread:tid ~loc ~kind;
+                Detector.on_access_interned det ~loc ~thread:tid ~locks ~kind
+                  ~site);
           acquire =
             (fun ~tid ~lock ->
               Lock_order.on_acquire lock_order ~thread:tid ~lock;
@@ -150,7 +152,7 @@ let run ?vm ?tap (c : compiled) : result =
           Sink.access =
             count (fun ~tid ~loc ~kind ~locks ~site ->
                 Drd_baselines.Eraser.on_access d
-                  (Event.make ~loc ~thread:tid ~locks ~kind ~site));
+                  (Event.make_interned ~loc ~thread:tid ~locks ~kind ~site));
         }
     | Config.ObjRace ->
         let d = Drd_baselines.Objrace.create () in
@@ -160,7 +162,7 @@ let run ?vm ?tap (c : compiled) : result =
           Sink.access =
             count (fun ~tid ~loc ~kind ~locks ~site ->
                 Drd_baselines.Objrace.on_access d
-                  (Event.make ~loc ~thread:tid ~locks ~kind ~site));
+                  (Event.make_interned ~loc ~thread:tid ~locks ~kind ~site));
           call =
             Some
               (fun ~tid ~obj ~locks ~site ->
@@ -176,7 +178,7 @@ let run ?vm ?tap (c : compiled) : result =
           Sink.access =
             count (fun ~tid ~loc ~kind ~locks:_ ~site ->
                 H.on_access d
-                  (Event.make ~loc ~thread:tid ~locks:Event.Lockset.empty
+                  (Event.make_interned ~loc ~thread:tid ~locks:Lockset_id.empty
                      ~kind ~site));
           acquire = (fun ~tid ~lock -> H.on_acquire d ~thread:tid ~lock);
           release = (fun ~tid ~lock -> H.on_release d ~thread:tid ~lock);
@@ -298,7 +300,8 @@ let record_log (c : compiled) : Event_log.t * Interp.result =
       Sink.access =
         (fun ~tid ~loc ~kind ~locks ~site ->
           Event_log.record log
-            (Event_log.Access (Event.make ~loc ~thread:tid ~locks ~kind ~site)));
+            (Event_log.Access
+               (Event.make_interned ~loc ~thread:tid ~locks ~kind ~site)));
       acquire =
         (fun ~tid ~lock -> Event_log.record log (Event_log.Acquire (tid, lock)));
       release =
@@ -350,8 +353,8 @@ let names_of (c : compiled) (r : result) : Names.t =
               (fun l () -> Names.register_lock names l (Heap.describe r.heap l))
               ls ()
           in
-          register_locks race.Report.current.Event.locks;
-          register_locks race.Report.prior.Trie.p_locks)
+          register_locks (Event.lockset race.Report.current);
+          register_locks (Lockset_id.set_of race.Report.prior.Trie.p_locks))
         (Report.races coll)
   | None -> ());
   names

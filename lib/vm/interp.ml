@@ -57,7 +57,7 @@ type thread = {
   mutable t_frames : frame list;
   mutable t_status : status;
   t_held : (int, int) Hashtbl.t; (* monitor object -> reentrancy count *)
-  mutable t_lockset : Event.Lockset.t; (* outermost real locks + pseudo *)
+  mutable t_lockset : Lockset_id.id; (* outermost real locks + pseudo *)
   mutable t_wait : int option; (* saved reentrancy count across wait() *)
 }
 
@@ -111,7 +111,7 @@ let new_thread st frames =
       t_frames = frames;
       t_status = Runnable;
       t_held = Hashtbl.create 4;
-      t_lockset = Event.Lockset.empty;
+      t_lockset = Lockset_id.empty;
       t_wait = None;
     }
   in
@@ -315,7 +315,7 @@ let exec_instr st thr frame (i : instr) : bool =
           m.owner <- Some thr.t_id;
           m.count <- 1;
           Hashtbl.replace thr.t_held obj 1;
-          thr.t_lockset <- Event.Lockset.add obj thr.t_lockset;
+          thr.t_lockset <- Lockset_id.add obj thr.t_lockset;
           st.sink.Sink.acquire ~tid:thr.t_id ~lock:obj;
           true
       | Some _ ->
@@ -331,7 +331,7 @@ let exec_instr st thr frame (i : instr) : bool =
       if m.count = 0 then begin
         m.owner <- None;
         Hashtbl.remove thr.t_held obj;
-        thr.t_lockset <- Event.Lockset.remove obj thr.t_lockset;
+        thr.t_lockset <- Lockset_id.remove obj thr.t_lockset;
         st.sink.Sink.release ~tid:thr.t_id ~lock:obj
       end
       else Hashtbl.replace thr.t_held obj m.count;
@@ -360,7 +360,7 @@ let exec_instr st thr frame (i : instr) : bool =
             if st.cfg.pseudo_locks then begin
               Pseudo_lock.on_join st.pseudo ~joiner:thr.t_id ~joinee:tid;
               thr.t_lockset <-
-                Event.Lockset.union thr.t_lockset
+                Lockset_id.union thr.t_lockset
                   (Pseudo_lock.locks_of st.pseudo thr.t_id)
             end;
             st.sink.Sink.thread_join ~joiner:thr.t_id ~joinee:tid;
@@ -386,7 +386,7 @@ let exec_instr st thr frame (i : instr) : bool =
           m.count <- 0;
           m.waiters <- m.waiters @ [ thr.t_id ];
           Hashtbl.remove thr.t_held obj;
-          thr.t_lockset <- Event.Lockset.remove obj thr.t_lockset;
+          thr.t_lockset <- Lockset_id.remove obj thr.t_lockset;
           st.sink.Sink.release ~tid:thr.t_id ~lock:obj;
           thr.t_status <- Waiting obj;
           false
@@ -397,7 +397,7 @@ let exec_instr st thr frame (i : instr) : bool =
               m.owner <- Some thr.t_id;
               m.count <- saved;
               Hashtbl.replace thr.t_held obj saved;
-              thr.t_lockset <- Event.Lockset.add obj thr.t_lockset;
+              thr.t_lockset <- Lockset_id.add obj thr.t_lockset;
               st.sink.Sink.acquire ~tid:thr.t_id ~lock:obj;
               thr.t_wait <- None;
               true

@@ -11,7 +11,7 @@ type t = {
     tid:Event.thread_id ->
     loc:Event.loc_id ->
     kind:Event.kind ->
-    locks:Event.Lockset.t ->
+    locks:Lockset_id.id ->
     site:Event.site_id ->
     unit;
   acquire : tid:Event.thread_id -> lock:Event.lock_id -> unit;
@@ -23,7 +23,7 @@ type t = {
   call :
     (tid:Event.thread_id ->
     obj:int ->
-    locks:Event.Lockset.t ->
+    locks:Lockset_id.id ->
     site:Event.site_id ->
     unit)
     option;

@@ -1,0 +1,509 @@
+(* Frozen pre-interning reference detector, used as the oracle of the
+   golden equivalence test (test_golden_equiv.ml).
+
+   This is the detector exactly as it existed before locksets were
+   hash-consed: events carry a functional [Set.Make (Int)] lockset and
+   every lattice check walks the sets.  The trie and packed-trie bodies
+   below are verbatim copies of the pre-interning sources, retyped onto
+   the local set-based [event] record.  The per-thread caches and the
+   ownership filter are shared with the live implementation because
+   their observable behaviour (hit/miss decisions, eviction, ownership
+   verdicts) never depended on the lockset representation — only their
+   allocation profile changed.
+
+   Keep this module frozen: it must keep answering what the OLD
+   implementation would have answered. *)
+
+module C = Drd_core
+module L = C.Lockset
+
+type kind = C.Event.kind = Read | Write
+type thread_info = C.Event.thread_info = Thread of int | Bot | Top
+
+let kind_leq a1 a2 = a1 = Write || a1 = a2
+let thread_leq t1 t2 = t1 = Bot || t1 = t2
+let kind_meet a1 a2 = if a1 = a2 then a1 else Write
+
+let thread_meet t1 t2 =
+  match (t1, t2) with
+  | Top, t | t, Top -> t
+  | Thread i, Thread j when i = j -> t1
+  | _ -> Bot
+
+type event = {
+  loc : int;
+  thread : int;
+  locks : L.t;
+  kind : kind;
+  site : int;
+}
+
+(* Materialize a live (interned) event into the set representation. *)
+let of_event (e : C.Event.t) =
+  {
+    loc = e.C.Event.loc;
+    thread = e.C.Event.thread;
+    locks = C.Event.lockset e;
+    kind = e.C.Event.kind;
+    site = e.C.Event.site;
+  }
+
+type prior = {
+  p_thread : thread_info;
+  p_kind : kind;
+  p_locks : L.t;
+  p_site : int;
+}
+
+type race = { r_loc : int; r_current : event; r_prior : prior }
+
+(* ---- per-location trie, pre-interning body ---- *)
+
+module Trie = struct
+  type node = {
+    label : int; (* incoming edge label; -1 for the root *)
+    mutable thread : thread_info; (* Top = no access stored here *)
+    mutable kind : kind;
+    mutable site : int;
+    mutable children : node list; (* sorted by increasing label *)
+  }
+
+  type t = { root : node; mutable count : int }
+
+  let mk_node label =
+    { label; thread = Top; kind = Read; site = -1; children = [] }
+
+  let create () = { root = mk_node (-1); count = 1 }
+
+  let node_count h = h.count
+
+  let node_weaker n (e : event) =
+    n.thread <> Top
+    && thread_leq n.thread (Thread e.thread)
+    && kind_leq n.kind e.kind
+
+  let rec descend h n path =
+    match path with
+    | [] -> n
+    | l :: rest ->
+        let rec find = function
+          | c :: _ when c.label = l -> Some c
+          | c :: tl when c.label < l -> find tl
+          | _ -> None
+        in
+        let child =
+          match find n.children with
+          | Some c -> c
+          | None ->
+              let c = mk_node l in
+              h.count <- h.count + 1;
+              let rec ins = function
+                | x :: tl when x.label < l -> x :: ins tl
+                | tl -> c :: tl
+              in
+              n.children <- ins n.children;
+              c
+        in
+        descend h child rest
+
+  let prune_stronger h keep locks tv av =
+    let rec go n required =
+      let required' =
+        match required with
+        | r :: rest when n.label = r -> Some rest
+        | r :: _ when n.label > r -> None
+        | req -> Some req
+      in
+      match required' with
+      | None -> true
+      | Some req ->
+          if
+            req = [] && n != keep && n.thread <> Top
+            && thread_leq tv n.thread && kind_leq av n.kind
+          then begin
+            n.thread <- Top;
+            n.kind <- Read;
+            n.site <- -1
+          end;
+          let survivors =
+            List.filter
+              (fun c ->
+                let live = go c req in
+                if not live then h.count <- h.count - 1;
+                live)
+              n.children
+          in
+          n.children <- survivors;
+          n.thread <> Top || n.children <> [] || n == keep
+    in
+    ignore (go h.root (L.to_sorted_list locks))
+
+  let update h (e : event) =
+    let n = descend h h.root (L.to_sorted_list e.locks) in
+    if n.thread = Top then begin
+      n.thread <- Thread e.thread;
+      n.kind <- e.kind;
+      n.site <- e.site
+    end
+    else begin
+      n.thread <- thread_meet n.thread (Thread e.thread);
+      if e.kind = Write && n.kind = Read then n.site <- e.site;
+      n.kind <- kind_meet n.kind e.kind
+    end;
+    prune_stronger h n e.locks n.thread n.kind
+
+  let process h (e : event) =
+    let race = ref None in
+    let weaker = ref false in
+    let rec weak_dfs n =
+      if node_weaker n e then weaker := true
+      else
+        List.iter
+          (fun c -> if (not !weaker) && L.mem c.label e.locks then weak_dfs c)
+          n.children
+    in
+    let rec race_dfs n path =
+      if
+        !race = None
+        && thread_meet (Thread e.thread) n.thread = Bot
+        && kind_meet e.kind n.kind = Write
+      then
+        race :=
+          Some
+            {
+              p_thread = n.thread;
+              p_kind = n.kind;
+              p_locks = path;
+              p_site = n.site;
+            }
+      else if !race = None then
+        List.iter
+          (fun c ->
+            if (not (L.mem c.label e.locks)) && !race = None then
+              race_dfs c (L.add c.label path))
+          n.children
+    in
+    if node_weaker h.root e then weaker := true;
+    if
+      thread_meet (Thread e.thread) h.root.thread = Bot
+      && kind_meet e.kind h.root.kind = Write
+    then
+      race :=
+        Some
+          {
+            p_thread = h.root.thread;
+            p_kind = h.root.kind;
+            p_locks = L.empty;
+            p_site = h.root.site;
+          };
+    List.iter
+      (fun c ->
+        if L.mem c.label e.locks then (if not !weaker then weak_dfs c)
+        else if !race = None then race_dfs c (L.singleton c.label))
+      h.root.children;
+    if not !weaker then update h e;
+    (!race, !weaker)
+end
+
+(* ---- packed trie, pre-interning body ---- *)
+
+module Trie_packed = struct
+  type summary = {
+    mutable s_thread : thread_info;
+    mutable s_kind : kind;
+    mutable s_site : int;
+  }
+
+  type node = {
+    label : int;
+    summaries : (int, summary) Hashtbl.t;
+    mutable children : node list;
+  }
+
+  type t = { root : node; mutable nodes : int }
+
+  let mk_node label = { label; summaries = Hashtbl.create 4; children = [] }
+
+  let create () = { root = mk_node (-1); nodes = 1 }
+
+  let node_count h = h.nodes
+
+  let locations h =
+    let locs = Hashtbl.create 64 in
+    let rec go n =
+      Hashtbl.iter (fun l _ -> Hashtbl.replace locs l ()) n.summaries;
+      List.iter go n.children
+    in
+    go h.root;
+    Hashtbl.length locs
+
+  let summary_weaker s (e : event) =
+    thread_leq s.s_thread (Thread e.thread) && kind_leq s.s_kind e.kind
+
+  let rec descend h n = function
+    | [] -> n
+    | l :: rest ->
+        let rec find = function
+          | c :: _ when c.label = l -> Some c
+          | c :: tl when c.label < l -> find tl
+          | _ -> None
+        in
+        let child =
+          match find n.children with
+          | Some c -> c
+          | None ->
+              let c = mk_node l in
+              h.nodes <- h.nodes + 1;
+              let rec ins = function
+                | x :: tl when x.label < l -> x :: ins tl
+                | tl -> c :: tl
+              in
+              n.children <- ins n.children;
+              c
+        in
+        descend h child rest
+
+  let prune_stronger h keep loc locks tv av =
+    let rec go n required =
+      let required' =
+        match required with
+        | r :: rest when n.label = r -> Some rest
+        | r :: _ when n.label > r -> None
+        | req -> Some req
+      in
+      match required' with
+      | None -> true
+      | Some req ->
+          (if req = [] && n != keep then
+             match Hashtbl.find_opt n.summaries loc with
+             | Some s when thread_leq tv s.s_thread && kind_leq av s.s_kind ->
+                 Hashtbl.remove n.summaries loc
+             | _ -> ());
+          let survivors =
+            List.filter
+              (fun c ->
+                let live = go c req in
+                if not live then h.nodes <- h.nodes - 1;
+                live)
+              n.children
+          in
+          n.children <- survivors;
+          Hashtbl.length n.summaries > 0 || n.children <> [] || n == keep
+    in
+    ignore (go h.root (L.to_sorted_list locks))
+
+  let update h (e : event) =
+    let n = descend h h.root (L.to_sorted_list e.locks) in
+    let tv, av =
+      match Hashtbl.find_opt n.summaries e.loc with
+      | Some s ->
+          s.s_thread <- thread_meet s.s_thread (Thread e.thread);
+          if e.kind = Write && s.s_kind = Read then s.s_site <- e.site;
+          s.s_kind <- kind_meet s.s_kind e.kind;
+          (s.s_thread, s.s_kind)
+      | None ->
+          Hashtbl.replace n.summaries e.loc
+            { s_thread = Thread e.thread; s_kind = e.kind; s_site = e.site };
+          (Thread e.thread, e.kind)
+    in
+    prune_stronger h n e.loc e.locks tv av
+
+  let process h (e : event) =
+    let race = ref None in
+    let weaker = ref false in
+    let check_weak n =
+      match Hashtbl.find_opt n.summaries e.loc with
+      | Some s when summary_weaker s e -> weaker := true
+      | _ -> ()
+    in
+    let check_race n path =
+      if !race = None then
+        match Hashtbl.find_opt n.summaries e.loc with
+        | Some s
+          when thread_meet (Thread e.thread) s.s_thread = Bot
+               && kind_meet e.kind s.s_kind = Write ->
+            race :=
+              Some
+                {
+                  p_thread = s.s_thread;
+                  p_kind = s.s_kind;
+                  p_locks = path;
+                  p_site = s.s_site;
+                }
+        | _ -> ()
+    in
+    let rec weak_dfs n =
+      check_weak n;
+      if not !weaker then
+        List.iter
+          (fun c -> if (not !weaker) && L.mem c.label e.locks then weak_dfs c)
+          n.children
+    in
+    let rec race_dfs n path =
+      check_race n path;
+      if !race = None then
+        List.iter
+          (fun c ->
+            if (not (L.mem c.label e.locks)) && !race = None then
+              race_dfs c (L.add c.label path))
+          n.children
+    in
+    check_weak h.root;
+    check_race h.root L.empty;
+    List.iter
+      (fun c ->
+        if L.mem c.label e.locks then (if not !weaker then weak_dfs c)
+        else if !race = None then race_dfs c (L.singleton c.label))
+      h.root.children;
+    if not !weaker then update h e;
+    (!race, !weaker)
+end
+
+(* ---- the detector funnel, pre-interning wiring ---- *)
+
+type stats = {
+  events_in : int;
+  cache_hits : int;
+  ownership_filtered : int;
+  weaker_filtered : int;
+  race_checks : int;
+  races_reported : int;
+  locations_tracked : int;
+  trie_nodes : int;
+}
+
+type history = Htries of (int, Trie.t) Hashtbl.t | Hpacked of Trie_packed.t
+
+type t = {
+  config : C.Detector.config;
+  history : history;
+  caches : (int, C.Cache.t) Hashtbl.t;
+  own : C.Ownership.t;
+  mutable races : race list; (* reverse order *)
+  seen : (int, unit) Hashtbl.t;
+  mutable events_in : int;
+  mutable cache_hits : int;
+  mutable ownership_filtered : int;
+  mutable weaker_filtered : int;
+  mutable race_checks : int;
+}
+
+let create config =
+  {
+    config;
+    history =
+      (match config.C.Detector.history with
+      | C.Detector.Per_location -> Htries (Hashtbl.create 1024)
+      | C.Detector.Packed -> Hpacked (Trie_packed.create ()));
+    caches = Hashtbl.create 16;
+    own = C.Ownership.create ();
+    races = [];
+    seen = Hashtbl.create 64;
+    events_in = 0;
+    cache_hits = 0;
+    ownership_filtered = 0;
+    weaker_filtered = 0;
+    race_checks = 0;
+  }
+
+let cache_of d thread =
+  match Hashtbl.find_opt d.caches thread with
+  | Some c -> c
+  | None ->
+      let c = C.Cache.create ~size:d.config.C.Detector.cache_size () in
+      Hashtbl.add d.caches thread c;
+      c
+
+let process_history d (e : event) =
+  match d.history with
+  | Hpacked h -> Trie_packed.process h e
+  | Htries tries ->
+      let trie =
+        match Hashtbl.find_opt tries e.loc with
+        | Some t -> t
+        | None ->
+            let t = Trie.create () in
+            Hashtbl.add tries e.loc t;
+            t
+      in
+      Trie.process trie e
+
+let on_access d (e : event) =
+  d.events_in <- d.events_in + 1;
+  let filtered_by_cache =
+    d.config.C.Detector.use_cache
+    && C.Cache.lookup_or_add (cache_of d e.thread) ~kind:e.kind ~loc:e.loc
+  in
+  if filtered_by_cache then d.cache_hits <- d.cache_hits + 1
+  else
+    let pass =
+      if not d.config.C.Detector.use_ownership then true
+      else
+        match C.Ownership.check d.own ~thread:e.thread ~loc:e.loc with
+        | C.Ownership.Owned_skip ->
+            d.ownership_filtered <- d.ownership_filtered + 1;
+            false
+        | C.Ownership.Became_shared ->
+            if d.config.C.Detector.use_cache then
+              Hashtbl.iter
+                (fun t c -> if t <> e.thread then C.Cache.evict_loc c e.loc)
+                d.caches;
+            true
+        | C.Ownership.Already_shared -> true
+    in
+    if pass then begin
+      d.race_checks <- d.race_checks + 1;
+      let race, redundant = process_history d e in
+      if redundant then d.weaker_filtered <- d.weaker_filtered + 1;
+      match race with
+      | Some prior ->
+          if not (Hashtbl.mem d.seen e.loc) then begin
+            Hashtbl.replace d.seen e.loc ();
+            d.races <- { r_loc = e.loc; r_current = e; r_prior = prior } :: d.races
+          end
+      | None -> ()
+    end
+
+let on_acquire d ~thread ~lock =
+  if d.config.C.Detector.use_cache then C.Cache.acquired (cache_of d thread) lock
+
+let on_release d ~thread ~lock =
+  if d.config.C.Detector.use_cache then C.Cache.released (cache_of d thread) lock
+
+let on_thread_exit d ~thread = Hashtbl.remove d.caches thread
+
+let races d = List.rev d.races
+
+let stats d =
+  let trie_nodes =
+    match d.history with
+    | Htries tries ->
+        Hashtbl.fold (fun _ t acc -> acc + Trie.node_count t) tries 0
+    | Hpacked h -> Trie_packed.node_count h
+  in
+  let locations =
+    match d.history with
+    | Htries tries -> Hashtbl.length tries
+    | Hpacked h -> Trie_packed.locations h
+  in
+  {
+    events_in = d.events_in;
+    cache_hits = d.cache_hits;
+    ownership_filtered = d.ownership_filtered;
+    weaker_filtered = d.weaker_filtered;
+    race_checks = d.race_checks;
+    races_reported = Hashtbl.length d.seen;
+    locations_tracked = locations;
+    trie_nodes;
+  }
+
+(* Replay a live Event_log through the frozen detector. *)
+let replay (log : C.Event_log.t) d =
+  C.Event_log.iter
+    (function
+      | C.Event_log.Access e -> on_access d (of_event e)
+      | C.Event_log.Acquire (thread, lock) -> on_acquire d ~thread ~lock
+      | C.Event_log.Release (thread, lock) -> on_release d ~thread ~lock
+      | C.Event_log.Thread_start _ | C.Event_log.Thread_join _ -> ()
+      | C.Event_log.Thread_exit thread -> on_thread_exit d ~thread)
+    log

@@ -45,7 +45,7 @@ let run ?(seed = 42) ?(quantum = 20) ?(instrument = true) ?(peel = false)
       Sink.access =
         (fun ~tid ~loc ~kind ~locks ~site ->
           Detector.on_access det
-            (Event.make ~loc ~thread:tid ~locks ~kind ~site));
+            (Event.make_interned ~loc ~thread:tid ~locks ~kind ~site));
       acquire = (fun ~tid ~lock -> Detector.on_acquire det ~thread:tid ~lock);
       release = (fun ~tid ~lock -> Detector.on_release det ~thread:tid ~lock);
       thread_exit = (fun ~tid -> Detector.on_thread_exit det ~thread:tid);
@@ -86,7 +86,7 @@ let run_baseline ?(seed = 42) ?(quantum = 20) baseline source =
             Sink.access =
               (fun ~tid ~loc ~kind ~locks ~site ->
                 E.on_access d
-                  (Event.make ~loc ~thread:tid ~locks ~kind ~site));
+                  (Event.make_interned ~loc ~thread:tid ~locks ~kind ~site));
           }
         in
         (s, fun () -> E.racy_locs d)
@@ -99,7 +99,7 @@ let run_baseline ?(seed = 42) ?(quantum = 20) baseline source =
             Sink.access =
               (fun ~tid ~loc ~kind ~locks ~site ->
                 O.on_access d
-                  (Event.make ~loc ~thread:tid ~locks ~kind ~site));
+                  (Event.make_interned ~loc ~thread:tid ~locks ~kind ~site));
             call =
               Some
                 (fun ~tid ~obj ~locks ~site ->
@@ -116,8 +116,8 @@ let run_baseline ?(seed = 42) ?(quantum = 20) baseline source =
             Sink.access =
               (fun ~tid ~loc ~kind ~locks:_ ~site ->
                 H.on_access d
-                  (Event.make ~loc ~thread:tid ~locks:Event.Lockset.empty
-                     ~kind ~site));
+                  (Event.make_interned ~loc ~thread:tid
+                     ~locks:Lockset_id.empty ~kind ~site));
             acquire = (fun ~tid ~lock -> H.on_acquire d ~thread:tid ~lock);
             release = (fun ~tid ~lock -> H.on_release d ~thread:tid ~lock);
             thread_start = (fun ~parent ~child -> H.on_thread_start d ~parent ~child);

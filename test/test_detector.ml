@@ -60,7 +60,7 @@ let test_report_contents () =
       Alcotest.(check bool) "prior thread known" true
         (r.Report.prior.Trie.p_thread = Thread 1);
       Alcotest.(check (list int)) "prior lockset" [ 8 ]
-        (Lockset.to_sorted_list r.Report.prior.Trie.p_locks)
+        (Lockset_id.to_sorted_list r.Report.prior.Trie.p_locks)
   | rs -> Alcotest.failf "expected one report, got %d" (List.length rs)
 
 let test_prior_thread_bot_when_merged () =
@@ -116,9 +116,54 @@ let test_thread_exit_drops_cache () =
   let s = Detector.stats d in
   Alcotest.(check int) "no cache hit across exit" 0 s.Detector.cache_hits
 
+let test_hot_path_zero_alloc () =
+  (* The hot entry point must not allocate for events dropped by the
+     cache or by the ownership filter.  Warm the detector up so the
+     steady state is reached (tries built, caches populated, locksets
+     interned), then measure minor-heap words across a tight loop. *)
+  let coll = Report.collector () in
+  (* Cache-hit path: the repeated read is dropped by the per-thread
+     cache before anything downstream runs. *)
+  let d_cache = Detector.create ~config:Detector.default_config coll in
+  (* Ownership path: with the cache off, every repeated access by the
+     owning thread takes the Owned_skip branch. *)
+  let d_own =
+    Detector.create
+      ~config:{ Detector.default_config with Detector.use_cache = false }
+      coll
+  in
+  let locks = Lockset_id.of_list [ 7 ] in
+  Detector.on_access_interned d_cache ~loc:2 ~thread:1 ~locks ~kind:Read
+    ~site:3;
+  Detector.on_access_interned d_own ~loc:1 ~thread:0 ~locks ~kind:Write
+    ~site:1;
+  let n = 10_000 in
+  let before = Gc.minor_words () in
+  for _ = 1 to n do
+    Detector.on_access_interned d_cache ~loc:2 ~thread:1 ~locks ~kind:Read
+      ~site:3;
+    Detector.on_access_interned d_own ~loc:1 ~thread:0 ~locks ~kind:Write
+      ~site:1
+  done;
+  let words = Gc.minor_words () -. before in
+  let sc = Detector.stats d_cache and so = Detector.stats d_own in
+  Alcotest.(check bool) "loop events were cache hits"
+    true (sc.Detector.cache_hits >= n);
+  Alcotest.(check bool) "loop events were ownership filtered"
+    true (so.Detector.ownership_filtered >= n);
+  (* 2n events; allow a small constant slack for the Gc calls
+     themselves, but nowhere near one allocation per event. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "minor words per event ~ 0 (measured %.0f for %d events)"
+       words (2 * n))
+    true
+    (words < float_of_int n /. 10.)
+
 let suite =
   [
     Alcotest.test_case "stats pipeline" `Quick test_stats_pipeline;
+    Alcotest.test_case "hot path allocation-free" `Quick
+      test_hot_path_zero_alloc;
     Alcotest.test_case "report dedup per location" `Quick test_report_dedup_per_location;
     Alcotest.test_case "report contents" `Quick test_report_contents;
     Alcotest.test_case "prior thread t_bot" `Quick test_prior_thread_bot_when_merged;

@@ -1,0 +1,111 @@
+(* Golden equivalence (interning satellite): replaying every example
+   program through the live (interned) detector and through the frozen
+   pre-interning reference in [Golden_ref] must produce byte-for-byte
+   identical race reports and identical funnel statistics, under both
+   the per-location and the packed history implementations. *)
+
+module H = Drd_harness
+open Drd_core
+
+let string_of_kind = function Event.Read -> "R" | Event.Write -> "W"
+
+let string_of_thread_info = function
+  | Event.Thread n -> Printf.sprintf "T%d" n
+  | Event.Bot -> "bot"
+  | Event.Top -> "top"
+
+let string_of_locks ls =
+  "{" ^ String.concat "," (List.map string_of_int ls) ^ "}"
+
+(* One canonical line per race, shared by both representations. *)
+let render ~loc ~cur_thread ~cur_kind ~cur_site ~cur_locks ~p_thread ~p_kind
+    ~p_site ~p_locks =
+  Printf.sprintf "loc=%d cur=T%d:%s@%d%s prior=%s:%s@%d%s" loc cur_thread
+    (string_of_kind cur_kind) cur_site (string_of_locks cur_locks)
+    (string_of_thread_info p_thread) (string_of_kind p_kind) p_site
+    (string_of_locks p_locks)
+
+let render_new (r : Report.race) =
+  render ~loc:r.Report.loc ~cur_thread:r.Report.current.Event.thread
+    ~cur_kind:r.Report.current.Event.kind
+    ~cur_site:r.Report.current.Event.site
+    ~cur_locks:(Lockset_id.to_sorted_list r.Report.current.Event.locks)
+    ~p_thread:r.Report.prior.Trie.p_thread
+    ~p_kind:r.Report.prior.Trie.p_kind ~p_site:r.Report.prior.Trie.p_site
+    ~p_locks:(Lockset_id.to_sorted_list r.Report.prior.Trie.p_locks)
+
+let render_golden (r : Golden_ref.race) =
+  render ~loc:r.Golden_ref.r_loc
+    ~cur_thread:r.Golden_ref.r_current.Golden_ref.thread
+    ~cur_kind:r.Golden_ref.r_current.Golden_ref.kind
+    ~cur_site:r.Golden_ref.r_current.Golden_ref.site
+    ~cur_locks:(Lockset.to_sorted_list r.Golden_ref.r_current.Golden_ref.locks)
+    ~p_thread:r.Golden_ref.r_prior.Golden_ref.p_thread
+    ~p_kind:r.Golden_ref.r_prior.Golden_ref.p_kind
+    ~p_site:r.Golden_ref.r_prior.Golden_ref.p_site
+    ~p_locks:(Lockset.to_sorted_list r.Golden_ref.r_prior.Golden_ref.p_locks)
+
+let impl_name = function
+  | Detector.Per_location -> "per-location"
+  | Detector.Packed -> "packed"
+
+let check_program name source =
+  let compiled = H.Pipeline.compile H.Config.full ~source in
+  let log, _ = H.Pipeline.record_log compiled in
+  List.iter
+    (fun history ->
+      let tag = Printf.sprintf "%s/%s" name (impl_name history) in
+      let config = { Detector.default_config with Detector.history } in
+      (* Live detector. *)
+      let coll = Report.collector () in
+      let det = Detector.create ~config coll in
+      Event_log.replay log det;
+      let live_stats = Detector.stats det in
+      let live_reports =
+        String.concat "\n" (List.map render_new (Report.races coll))
+      in
+      (* Frozen reference. *)
+      let g = Golden_ref.create config in
+      Golden_ref.replay log g;
+      let gold_stats = Golden_ref.stats g in
+      let gold_reports =
+        String.concat "\n" (List.map render_golden (Golden_ref.races g))
+      in
+      Alcotest.(check string) (tag ^ ": reports") gold_reports live_reports;
+      Alcotest.(check int) (tag ^ ": events_in")
+        gold_stats.Golden_ref.events_in live_stats.Detector.events_in;
+      Alcotest.(check int) (tag ^ ": cache_hits")
+        gold_stats.Golden_ref.cache_hits live_stats.Detector.cache_hits;
+      Alcotest.(check int) (tag ^ ": ownership_filtered")
+        gold_stats.Golden_ref.ownership_filtered
+        live_stats.Detector.ownership_filtered;
+      Alcotest.(check int) (tag ^ ": weaker_filtered")
+        gold_stats.Golden_ref.weaker_filtered
+        live_stats.Detector.weaker_filtered;
+      Alcotest.(check int) (tag ^ ": race_checks")
+        gold_stats.Golden_ref.race_checks live_stats.Detector.race_checks;
+      Alcotest.(check int) (tag ^ ": races_reported")
+        gold_stats.Golden_ref.races_reported
+        live_stats.Detector.races_reported;
+      Alcotest.(check int) (tag ^ ": locations_tracked")
+        gold_stats.Golden_ref.locations_tracked
+        live_stats.Detector.locations_tracked;
+      Alcotest.(check int) (tag ^ ": trie_nodes")
+        gold_stats.Golden_ref.trie_nodes live_stats.Detector.trie_nodes)
+    [ Detector.Per_location; Detector.Packed ]
+
+let test_benchmarks () =
+  List.iter
+    (fun (b : H.Programs.benchmark) ->
+      check_program b.H.Programs.b_name b.H.Programs.b_source)
+    H.Programs.benchmarks
+
+let test_figure2 () =
+  check_program "figure2" (H.Programs.figure2 ());
+  check_program "figure2-same-pq" (H.Programs.figure2 ~same_pq:true ())
+
+let suite =
+  [
+    Alcotest.test_case "benchmarks: interned = set-based" `Quick test_benchmarks;
+    Alcotest.test_case "figure 2: interned = set-based" `Quick test_figure2;
+  ]

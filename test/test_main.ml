@@ -2,6 +2,8 @@ let () =
   Alcotest.run "drd"
     [
       ("event", Test_event.suite);
+      ("lockset_id", Test_lockset_id.suite);
+      ("golden", Test_golden_equiv.suite);
       ("lang", Test_lang.suite);
       ("trie", Test_trie.suite);
       ("cache", Test_cache.suite);

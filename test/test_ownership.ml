@@ -73,11 +73,13 @@ let run_join ~with_join =
   Pseudo_lock.on_thread_start pl 1 1002;
   (* Child T1 writes loc 5 with no real locks. *)
   Detector.on_access d
-    (make ~loc:5 ~thread:1 ~locks:(Pseudo_lock.locks_of pl 1) ~kind:Write ~site:1);
+    (make_interned ~loc:5 ~thread:1 ~locks:(Pseudo_lock.locks_of pl 1)
+       ~kind:Write ~site:1);
   if with_join then Pseudo_lock.on_join pl ~joiner:0 ~joinee:1;
   (* Parent reads loc 5 after the join. *)
   Detector.on_access d
-    (make ~loc:5 ~thread:0 ~locks:(Pseudo_lock.locks_of pl 0) ~kind:Read ~site:2);
+    (make_interned ~loc:5 ~thread:0 ~locks:(Pseudo_lock.locks_of pl 0)
+       ~kind:Read ~site:2);
   Report.count coll
 
 let test_join_pseudo_locks () =
@@ -101,8 +103,8 @@ let test_mtrt_join_idiom () =
   let sync = 500 in
   let child t =
     Detector.on_access d
-      (make ~loc:9 ~thread:t
-         ~locks:(Lockset.add sync (Pseudo_lock.locks_of pl t))
+      (make_interned ~loc:9 ~thread:t
+         ~locks:(Lockset_id.add sync (Pseudo_lock.locks_of pl t))
          ~kind:Write ~site:t)
   in
   child 1;
@@ -110,7 +112,8 @@ let test_mtrt_join_idiom () =
   Pseudo_lock.on_join pl ~joiner:0 ~joinee:1;
   Pseudo_lock.on_join pl ~joiner:0 ~joinee:2;
   Detector.on_access d
-    (make ~loc:9 ~thread:0 ~locks:(Pseudo_lock.locks_of pl 0) ~kind:Read ~site:0);
+    (make_interned ~loc:9 ~thread:0 ~locks:(Pseudo_lock.locks_of pl 0)
+       ~kind:Read ~site:0);
   Alcotest.(check int) "mutually intersecting locksets: no race" 0
     (Report.count coll)
 
@@ -121,11 +124,11 @@ let test_dummy_of () =
   Alcotest.(check (option int)) "registered" (Some 1) (Pseudo_lock.dummy_of pl 3);
   Pseudo_lock.on_join pl ~joiner:9 ~joinee:3;
   Alcotest.(check (list int)) "joiner holds S_3" [ 1 ]
-    (Lockset.to_sorted_list (Pseudo_lock.locks_of pl 9));
+    (Lockset_id.to_sorted_list (Pseudo_lock.locks_of pl 9));
   (* Joining an unregistered thread is a no-op. *)
   Pseudo_lock.on_join pl ~joiner:9 ~joinee:77;
   Alcotest.(check (list int)) "unchanged" [ 1 ]
-    (Lockset.to_sorted_list (Pseudo_lock.locks_of pl 9))
+    (Lockset_id.to_sorted_list (Pseudo_lock.locks_of pl 9))
 
 let suite =
   [

@@ -154,6 +154,19 @@ let test_malformed_input () =
   | Ok log -> Alcotest.(check int) "blank lines skipped" 2 (Event_log.length log)
   | Error msg -> Alcotest.failf "valid log rejected: %s" msg
 
+let test_unheld_release_replays () =
+  (* A log releasing a lock that was never acquired is malformed but
+     must replay without an exception: the cache warns once and clears
+     instead of aborting the whole post-mortem run. *)
+  match
+    parse_string "A 1 0 W 0\nU 0 5\nA 1 1 R 1\nA 1 0 W 2\n"
+  with
+  | Error msg -> Alcotest.failf "log rejected at parse time: %s" msg
+  | Ok log ->
+      let coll, stats = H.Pipeline.detect_post_mortem H.Config.full log in
+      Alcotest.(check int) "all events processed" 3 stats.Detector.events_in;
+      Alcotest.(check int) "race still found" 1 (Report.count coll)
+
 (* FullRace reconstruction (Sections 2.5/2.6). *)
 let test_full_race_counts_match_oracle () =
   let b = Option.get (H.Programs.find "tsp") in
@@ -220,6 +233,7 @@ let suite =
     Alcotest.test_case "funnel stats match" `Quick test_stats_equivalence;
     Alcotest.test_case "serialization round-trip" `Quick test_serialization_roundtrip;
     Alcotest.test_case "malformed input errors" `Quick test_malformed_input;
+    Alcotest.test_case "unheld release replays" `Quick test_unheld_release_replays;
     Alcotest.test_case "FullRace = oracle" `Quick test_full_race_counts_match_oracle;
     Alcotest.test_case "FullRace on figure 2" `Quick test_full_race_figure2;
     QCheck_alcotest.to_alcotest prop_roundtrip;

@@ -51,7 +51,7 @@ let test_race_cases () =
       Alcotest.(check bool) "prior thread" true (p.Trie.p_thread = Thread 1);
       Alcotest.(check bool) "prior kind" true (p.Trie.p_kind = Write);
       Alcotest.(check (list int)) "prior locks" [ 1 ]
-        (Lockset.to_sorted_list p.Trie.p_locks);
+        (Lockset_id.to_sorted_list p.Trie.p_locks);
       Alcotest.(check int) "prior site" 11 p.Trie.p_site
   | None -> Alcotest.fail "expected a race");
   (* Case I: common lock prunes the subtree. *)
@@ -177,8 +177,8 @@ let prop_precision_no_shared_locksets =
             List.exists
               (fun (e2 : t) ->
                 e1.loc = e2.loc && e1.thread <> e2.thread
-                && (not (Lockset.is_empty e1.locks))
-                && Lockset.equal e1.locks e2.locks)
+                && (not (Lockset_id.is_empty e1.locks))
+                && Lockset_id.equal e1.locks e2.locks)
               trace)
           trace
       in
