@@ -198,12 +198,8 @@ let explore_bench ~quick ~json () =
   let b = Option.get (H.Programs.find "tsp") in
   let runs = if quick then 16 else 48 in
   let spec workers =
-    {
-      (E.Explore.default_spec H.Config.full) with
-      E.Explore.e_strategy = E.Strategy.Pct 3;
-      e_workers = workers;
-      e_budget = E.Explore.runs_budget runs;
-    }
+    E.Explore.spec ~strategy:(E.Strategy.Pct 3) ~workers
+      ~budget:(E.Explore.runs_budget runs) H.Config.full
   in
   fpf "Exploration engine throughput (pct, tsp, %d runs/campaign)@." runs;
   fpf "%8s %10s %12s %14s %9s@." "workers" "wall" "runs/s" "events/s" "races";

@@ -4,9 +4,11 @@
      run      compile + execute a MiniJava program (file or built-in
               benchmark) under a detector configuration and print the
               race reports;
-     explore  run a parallel schedule-exploration campaign (seed sweep,
-              quantum jitter or PCT priority scheduling) and print the
-              deduped races with reproduction recipes;
+     explore  run a schedule-exploration campaign (seed sweep, quantum
+              jitter or PCT priority scheduling) — optionally one shard
+              of a distributed campaign (--shard I/N --emit-obs FILE);
+     merge    re-fold shard observation files into the single-process
+              campaign report;
      analyze  run only the static datarace analysis and report its
               statistics;
      ir       dump the (optionally instrumented/optimized) IR;
@@ -14,6 +16,7 @@
 
 module H = Drd_harness
 module E = Drd_explore
+module W = Drd_explore.Wire
 module Ir = Drd_ir.Ir
 open Cmdliner
 
@@ -38,6 +41,14 @@ let load_source file benchmark =
   | Some _, Some _ -> Error "give either FILE or --benchmark, not both"
   | None, None -> Error "give a FILE or --benchmark NAME"
 
+(* What reproduction command lines name: the file, or the benchmark
+   flag that selects the same program. *)
+let target_of file benchmark =
+  match (file, benchmark) with
+  | Some f, _ -> f
+  | None, Some b -> "-b " ^ b
+  | None, None -> "..."
+
 let config_of_name ?quantum ?pct ?(pct_horizon = 20_000) name seed =
   match H.Config.by_name name with
   | Some c ->
@@ -53,7 +64,8 @@ let config_of_name ?quantum ?pct ?(pct_horizon = 20_000) name seed =
         }
   | None -> Error (Printf.sprintf "unknown configuration %s" name)
 
-(* ---- common arguments ---- *)
+(* ---- common arguments (one definition per flag; every subcommand
+   that takes a seed/strategy/… shares these) ---- *)
 
 let file_arg =
   Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniJava source file.")
@@ -99,30 +111,44 @@ let pct_horizon_arg =
     & info [ "pct-horizon" ] ~docv:"STEPS"
         ~doc:"Step horizon the PCT priority-change points are drawn from.")
 
-(* ---- JSON rendering (hand-rolled; no JSON library in the sealed
-   environment) ---- *)
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 32 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let no_timing_arg =
+  Arg.(
+    value & flag
+    & info [ "no-timing" ]
+        ~doc:
+          "Omit wall-clock, throughput and worker-count output so reports \
+           are comparable across machines and with $(b,racedet merge).")
 
-let jstr s = "\"" ^ json_escape s ^ "\""
+let strategy_arg =
+  Arg.(
+    value & opt string "pct"
+    & info [ "s"; "strategy" ] ~docv:"NAME"
+        ~doc:
+          "Exploration strategy: $(b,sweep) (sequential seeds), \
+           $(b,jitter) (random seed + slice bound per run), or $(b,pct) \
+           (random thread priorities with change points).")
 
-let jlist items = "[" ^ String.concat "," items ^ "]"
+let depth_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "d"; "depth" ] ~docv:"D"
+        ~doc:"Priority-change points per run (pct strategy).")
 
-let jobj fields =
-  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields) ^ "}"
+let workers_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "w"; "workers" ] ~docv:"N"
+        ~doc:"Parallel worker domains to fan runs out over.")
+
+let runs_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "n"; "runs" ] ~docv:"N" ~doc:"Run budget for the campaign.")
+
+(* ---- run: JSON rendering on the shared Wire.json value ---- *)
 
 let run_json compiled (r : H.Pipeline.result) =
   let names = H.Pipeline.names_of compiled r in
@@ -130,44 +156,46 @@ let run_json compiled (r : H.Pipeline.result) =
     let e = race.Drd_core.Report.current in
     let p = race.Drd_core.Report.prior in
     let lockset ls =
-      jlist
+      W.List
         (List.map
-           (fun l -> jstr (Drd_core.Names.lock_name names l))
+           (fun l -> W.String (Drd_core.Names.lock_name names l))
            (Drd_core.Lockset_id.to_sorted_list ls))
     in
-    jobj
+    let kind = function
+      | Drd_core.Event.Read -> W.String "read"
+      | Drd_core.Event.Write -> W.String "write"
+    in
+    W.Obj
       [
-        ("location", jstr (Drd_core.Names.loc_name names race.Drd_core.Report.loc));
+        ( "location",
+          W.String (Drd_core.Names.loc_name names race.Drd_core.Report.loc) );
         ( "current",
-          jobj
+          W.Obj
             [
-              ("thread", string_of_int e.Drd_core.Event.thread);
-              ( "kind",
-                jstr
-                  (match e.Drd_core.Event.kind with
-                  | Drd_core.Event.Read -> "read"
-                  | Drd_core.Event.Write -> "write") );
-              ("site", jstr (Drd_core.Names.site_name names e.Drd_core.Event.site));
+              ("thread", W.Int e.Drd_core.Event.thread);
+              ("kind", kind e.Drd_core.Event.kind);
+              ( "site",
+                W.String (Drd_core.Names.site_name names e.Drd_core.Event.site)
+              );
               ("locks", lockset e.Drd_core.Event.locks);
             ] );
         ( "prior",
-          jobj
+          W.Obj
             [
               ( "thread",
                 match p.Drd_core.Trie.p_thread with
-                | Drd_core.Event.Thread t -> string_of_int t
-                | _ -> jstr "multiple" );
-              ( "kind",
-                jstr
-                  (match p.Drd_core.Trie.p_kind with
-                  | Drd_core.Event.Read -> "read"
-                  | Drd_core.Event.Write -> "write") );
-              ("site", jstr (Drd_core.Names.site_name names p.Drd_core.Trie.p_site));
+                | Drd_core.Event.Thread t -> W.Int t
+                | _ -> W.String "multiple" );
+              ("kind", kind p.Drd_core.Trie.p_kind);
+              ( "site",
+                W.String (Drd_core.Names.site_name names p.Drd_core.Trie.p_site)
+              );
               ("locks", lockset p.Drd_core.Trie.p_locks);
             ] );
         ( "static_peers",
-          jlist
-            (List.map jstr
+          W.List
+            (List.map
+               (fun s -> W.String s)
                (H.Pipeline.static_peers_of_site compiled
                   e.Drd_core.Event.site)) );
       ]
@@ -175,28 +203,37 @@ let run_json compiled (r : H.Pipeline.result) =
   let races =
     match r.H.Pipeline.report with
     | Some coll -> List.map race_json (Drd_core.Report.races coll)
-    | None -> List.map (fun l -> jobj [ ("location", jstr l) ]) r.H.Pipeline.races
+    | None ->
+        List.map
+          (fun l -> W.Obj [ ("location", W.String l) ])
+          r.H.Pipeline.races
   in
   let deadlocks =
     List.map
       (fun (d : Drd_core.Lock_order.report) ->
-        jobj
+        W.Obj
           [
-            ("locks", jlist (List.map string_of_int d.Drd_core.Lock_order.dl_locks));
-            ("threads", jlist (List.map string_of_int d.Drd_core.Lock_order.dl_threads));
+            ( "locks",
+              W.List
+                (List.map (fun l -> W.Int l) d.Drd_core.Lock_order.dl_locks) );
+            ( "threads",
+              W.List
+                (List.map (fun t -> W.Int t) d.Drd_core.Lock_order.dl_threads)
+            );
           ])
       r.H.Pipeline.deadlocks
   in
   print_endline
-    (jobj
-       [
-         ("races", jlist races);
-         ("potential_deadlocks", jlist deadlocks);
-         ("events", string_of_int r.H.Pipeline.events);
-         ("steps", string_of_int r.H.Pipeline.steps);
-         ("threads", string_of_int r.H.Pipeline.threads);
-         ("wall_time_s", Printf.sprintf "%.6f" r.H.Pipeline.wall_time);
-       ])
+    (W.json_to_string
+       (W.Obj
+          [
+            ("races", W.List races);
+            ("potential_deadlocks", W.List deadlocks);
+            ("events", W.Int r.H.Pipeline.events);
+            ("steps", W.Int r.H.Pipeline.steps);
+            ("threads", W.Int r.H.Pipeline.threads);
+            ("wall_time_s", W.Float r.H.Pipeline.wall_time);
+          ]))
 
 (* ---- run ---- *)
 
@@ -280,9 +317,6 @@ let run_cmd_impl file benchmark config_name seed quantum pct pct_horizon
 
 let run_cmd =
   let doc = "run a program under a datarace detector" in
-  let json_arg =
-    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
-  in
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(
@@ -454,24 +488,56 @@ let detect_cmd =
 
 (* ---- sweep: the legacy seed sweep (now a thin campaign) ---- *)
 
-let sweep_impl file benchmark config_name nseeds =
+let sweep_impl file benchmark config_name nseeds seed json =
   match load_source file benchmark with
   | Error e -> `Error (false, e)
   | Ok source -> (
-      match config_of_name config_name 42 with
+      match config_of_name config_name seed with
       | Error e -> `Error (false, e)
       | Ok config ->
           let seeds = List.init nseeds (fun i -> i + 1) in
-          let rows, failures = E.Explore.sweep config ~source ~seeds in
-          Fmt.pr "racy objects over %d schedules (%s):@." nseeds
-            config.H.Config.name;
-          if rows = [] then Fmt.pr "  (none)@.";
-          List.iter
-            (fun (obj, n) -> Fmt.pr "  %4d/%d  %s@." n nseeds obj)
-            rows;
-          List.iter
-            (fun (seed, e) -> Fmt.pr "  seed %d FAILED: %s@." seed e)
-            failures;
+          let { E.Explore.sw_objects = rows; sw_failures = failures } =
+            E.Explore.sweep config ~source ~seeds
+          in
+          if json then
+            print_endline
+              (W.json_to_string
+                 (W.Obj
+                    [
+                      ("config", W.String config.H.Config.name);
+                      ("schedules", W.Int nseeds);
+                      ( "objects",
+                        W.List
+                          (List.map
+                             (fun (obj, n) ->
+                               W.Obj
+                                 [
+                                   ("object", W.String obj);
+                                   ("runs_reporting", W.Int n);
+                                 ])
+                             rows) );
+                      ( "failures",
+                        W.List
+                          (List.map
+                             (fun (seed, e) ->
+                               W.Obj
+                                 [
+                                   ("seed", W.Int seed);
+                                   ("error", W.String e);
+                                 ])
+                             failures) );
+                    ]))
+          else begin
+            Fmt.pr "racy objects over %d schedules (%s):@." nseeds
+              config.H.Config.name;
+            if rows = [] then Fmt.pr "  (none)@.";
+            List.iter
+              (fun (obj, n) -> Fmt.pr "  %4d/%d  %s@." n nseeds obj)
+              rows;
+            List.iter
+              (fun (seed, e) -> Fmt.pr "  seed %d FAILED: %s@." seed e)
+              failures
+          end;
           `Ok ())
 
 let sweep_cmd =
@@ -483,68 +549,32 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc)
-    Term.(ret (const sweep_impl $ file_arg $ benchmark_arg $ config_arg $ nseeds))
+    Term.(
+      ret
+        (const sweep_impl $ file_arg $ benchmark_arg $ config_arg $ nseeds
+       $ seed_arg $ json_arg))
 
 (* ---- explore: the parallel schedule-exploration campaign ---- *)
 
-let explore_json (r : E.Explore.report) =
-  let stats = r.E.Explore.r_stats in
-  let races =
-    List.map
-      (fun (d : E.Aggregate.deduped) ->
-        jobj
-          [
-            ("object", jstr d.E.Aggregate.d_key.E.Aggregate.k_object);
-            ("site_a", jstr d.E.Aggregate.d_key.E.Aggregate.k_site_a);
-            ("site_b", jstr d.E.Aggregate.d_key.E.Aggregate.k_site_b);
-            ("kinds", jstr d.E.Aggregate.d_kinds);
-            ("runs_reporting", string_of_int d.E.Aggregate.d_count);
-            ("first_run", string_of_int d.E.Aggregate.d_first_index);
-            ("first_seed", string_of_int d.E.Aggregate.d_first_seed);
-            ("first_schedule", jstr d.E.Aggregate.d_first_spec);
-            ("repro_flags", jstr d.E.Aggregate.d_first_repro);
-          ])
-      r.E.Explore.r_races
-  in
-  let failures =
-    List.map
-      (fun (f : E.Aggregate.failure) ->
-        jobj
-          [
-            ("run", string_of_int f.E.Aggregate.f_index);
-            ("seed", string_of_int f.E.Aggregate.f_seed);
-            ("error", jstr f.E.Aggregate.f_error);
-          ])
-      r.E.Explore.r_failures
-  in
-  let discovery =
-    List.map
-      (fun (i, n) -> jlist [ string_of_int i; string_of_int n ])
-      stats.E.Aggregate.st_discovery
-  in
-  print_endline
-    (jobj
-       [
-         ("strategy", jstr (E.Strategy.name r.E.Explore.r_spec.E.Explore.e_strategy));
-         ("workers", string_of_int r.E.Explore.r_spec.E.Explore.e_workers);
-         ("runs", string_of_int stats.E.Aggregate.st_runs);
-         ("failures", jlist failures);
-         ("distinct_races", string_of_int stats.E.Aggregate.st_distinct_races);
-         ( "distinct_fingerprints",
-           string_of_int stats.E.Aggregate.st_distinct_fingerprints );
-         ("events", string_of_int stats.E.Aggregate.st_events);
-         ("steps", string_of_int stats.E.Aggregate.st_steps);
-         ("wall_s", Printf.sprintf "%.6f" r.E.Explore.r_wall);
-         ("runs_per_sec", Printf.sprintf "%.2f" (E.Explore.runs_per_sec r));
-         ("events_per_sec", Printf.sprintf "%.1f" (E.Explore.events_per_sec r));
-         ( "events_per_sec_per_worker",
-           Printf.sprintf "%.1f" (E.Explore.events_per_sec_per_worker r) );
-         ("discovery", jlist discovery);
-         ("races", jlist races);
-       ])
+let parse_shard = function
+  | None -> Ok None
+  | Some s -> (
+      let bad () =
+        Error
+          (Printf.sprintf "bad --shard %s (want I/N with 0 <= I < N)" s)
+      in
+      match String.index_opt s '/' with
+      | None -> bad ()
+      | Some k -> (
+          let i = String.sub s 0 k in
+          let n = String.sub s (k + 1) (String.length s - k - 1) in
+          match (int_of_string_opt i, int_of_string_opt n) with
+          | Some i, Some n when n >= 1 && i >= 0 && i < n -> Ok (Some (i, n))
+          | _ -> bad ()))
 
 let explore_impl file benchmark config_name strategy depth workers runs
-    max_seconds seed quantum pct_horizon json =
+    max_seconds plateau seed quantum pct_horizon shard emit_obs no_timing
+    json =
   match load_source file benchmark with
   | Error e -> `Error (false, e)
   | Ok source -> (
@@ -553,114 +583,47 @@ let explore_impl file benchmark config_name strategy depth workers runs
       | Ok config -> (
           match E.Strategy.of_string strategy with
           | Error e -> `Error (false, e)
-          | Ok strategy ->
-              let strategy =
-                match strategy with
-                | E.Strategy.Pct _ -> E.Strategy.Pct depth
-                | s -> s
-              in
-              let spec =
-                {
-                  E.Explore.e_config = config;
-                  e_strategy = strategy;
-                  e_workers = max workers 1;
-                  e_budget =
-                    { E.Explore.b_runs = runs; b_seconds = max_seconds };
-                  e_pct_horizon = pct_horizon;
-                }
-              in
-              let r = E.Explore.run_campaign spec ~source in
-              if json then explore_json r
-              else begin
-                let stats = r.E.Explore.r_stats in
-                let target =
-                  match (file, benchmark) with
-                  | Some f, _ -> f
-                  | None, Some b -> "-b " ^ b
-                  | None, None -> "..."
-                in
-                Fmt.pr
-                  "explored %d schedules (%s, %d workers) in %.2fs: %.1f \
-                   runs/s, %.0f events/s/worker@."
-                  stats.E.Aggregate.st_runs
-                  (E.Strategy.name strategy)
-                  spec.E.Explore.e_workers r.E.Explore.r_wall
-                  (E.Explore.runs_per_sec r)
-                  (E.Explore.events_per_sec_per_worker r);
-                Fmt.pr
-                  "distinct interleaving fingerprints: %d/%d; events %d; \
-                   steps %d@."
-                  stats.E.Aggregate.st_distinct_fingerprints
-                  stats.E.Aggregate.st_runs stats.E.Aggregate.st_events
-                  stats.E.Aggregate.st_steps;
-                (match r.E.Explore.r_failures with
-                | [] -> ()
-                | fs ->
-                    Fmt.pr "@.%d runs failed:@." (List.length fs);
-                    List.iter
-                      (fun (f : E.Aggregate.failure) ->
-                        Fmt.pr "  run %d (seed %d): %s@." f.E.Aggregate.f_index
-                          f.E.Aggregate.f_seed f.E.Aggregate.f_error)
-                      fs);
-                if r.E.Explore.r_races = [] then
-                  Fmt.pr "@.No dataraces detected in any schedule.@."
-                else begin
-                  Fmt.pr "@.Deduped races (%d):@."
-                    (List.length r.E.Explore.r_races);
-                  List.iter
-                    (fun (d : E.Aggregate.deduped) ->
-                      Fmt.pr "  %4d/%d  %a%s@." d.E.Aggregate.d_count
-                        stats.E.Aggregate.st_runs E.Aggregate.pp_key
-                        d.E.Aggregate.d_key
-                        (if d.E.Aggregate.d_kinds = "" then ""
-                         else " (" ^ d.E.Aggregate.d_kinds ^ ")");
-                      Fmt.pr "          first seen in run %d (%s)@."
-                        d.E.Aggregate.d_first_index d.E.Aggregate.d_first_spec;
-                      Fmt.pr "          reproduce: racedet run %s -c %s %s@."
-                        target config.H.Config.name
-                        d.E.Aggregate.d_first_repro)
-                    r.E.Explore.r_races;
-                  match stats.E.Aggregate.st_discovery with
-                  | [] | [ _ ] -> ()
-                  | ds ->
-                      Fmt.pr "@.new-race discovery (run -> cumulative): %s@."
-                        (String.concat ", "
-                           (List.map
-                              (fun (i, n) -> Printf.sprintf "%d->%d" i n)
-                              ds))
-                end
-              end;
-              `Ok ()))
+          | Ok strategy -> (
+              match parse_shard shard with
+              | Error e -> `Error (false, e)
+              | Ok shard ->
+                  let strategy =
+                    match strategy with
+                    | E.Strategy.Pct _ -> E.Strategy.Pct depth
+                    | s -> s
+                  in
+                  let sp =
+                    E.Explore.spec ~strategy ~workers:(max workers 1)
+                      ~budget:(E.Explore.budget ?seconds:max_seconds ?plateau runs)
+                      ~pct_horizon config
+                  in
+                  let r = E.Explore.run_campaign ?shard sp ~source in
+                  let target = target_of file benchmark in
+                  (match emit_obs with
+                  | Some path ->
+                      let rows = E.Explore.rows_of_report r in
+                      let oc = open_out path in
+                      E.Explore.write_obs_channel oc ~target sp rows;
+                      close_out oc;
+                      Fmt.pr "wrote %d observation rows%s to %s@."
+                        (List.length rows)
+                        (match shard with
+                        | Some (i, n) -> Printf.sprintf " (shard %d/%d)" i n
+                        | None -> "")
+                        path
+                  | None ->
+                      if json then
+                        print_endline
+                          (E.Explore.report_json ~timing:(not no_timing) r)
+                      else
+                        print_string
+                          (E.Explore.report_text ~timing:(not no_timing)
+                             ~target r));
+                  `Ok ())))
 
 let explore_cmd =
   let doc =
     "explore many schedules in parallel and dedupe the race reports"
-  in
-  let strategy =
-    Arg.(
-      value & opt string "pct"
-      & info [ "s"; "strategy" ] ~docv:"NAME"
-          ~doc:
-            "Exploration strategy: $(b,sweep) (sequential seeds), \
-             $(b,jitter) (random seed + slice bound per run), or $(b,pct) \
-             (random thread priorities with change points).")
-  in
-  let depth =
-    Arg.(
-      value & opt int 3
-      & info [ "d"; "depth" ] ~docv:"D"
-          ~doc:"Priority-change points per run (pct strategy).")
-  in
-  let workers =
-    Arg.(
-      value & opt int 1
-      & info [ "w"; "workers" ] ~docv:"N"
-          ~doc:"Parallel worker domains to fan runs out over.")
-  in
-  let runs =
-    Arg.(
-      value & opt int 64
-      & info [ "n"; "runs" ] ~docv:"N" ~doc:"Run budget for the campaign.")
   in
   let max_seconds =
     Arg.(
@@ -671,16 +634,146 @@ let explore_cmd =
             "Wall-clock budget; stops claiming new runs once exceeded \
              (makes the campaign non-deterministic).")
   in
-  let json_arg =
-    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+  let plateau =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "plateau" ] ~docv:"K"
+          ~doc:
+            "Adaptive budget: stop after $(docv) consecutive runs that \
+             discover no new distinct race (deterministic, unlike \
+             $(b,--max-seconds)).")
+  in
+  let shard =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shard" ] ~docv:"I/N"
+          ~doc:
+            "Run only shard $(i,I) of $(i,N) — the run indices congruent \
+             to I mod N.  Combine with $(b,--emit-obs) and $(b,racedet \
+             merge) for distributed campaigns.")
+  in
+  let emit_obs =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-obs" ] ~docv:"FILE"
+          ~doc:
+            "Instead of a report, write the raw run observations \
+             (schema-versioned JSON lines) to $(docv) for $(b,racedet \
+             merge).")
   in
   Cmd.v
     (Cmd.info "explore" ~doc)
     Term.(
       ret
-        (const explore_impl $ file_arg $ benchmark_arg $ config_arg $ strategy
-       $ depth $ workers $ runs $ max_seconds $ seed_arg $ quantum_arg
-       $ pct_horizon_arg $ json_arg))
+        (const explore_impl $ file_arg $ benchmark_arg $ config_arg
+       $ strategy_arg $ depth_arg $ workers_arg $ runs_arg $ max_seconds
+       $ plateau $ seed_arg $ quantum_arg $ pct_horizon_arg $ shard
+       $ emit_obs $ no_timing_arg $ json_arg))
+
+(* ---- merge: re-fold shard observation files ---- *)
+
+let merge_impl files json =
+  if files = [] then
+    `Error
+      (false, "give at least one OBS file (from racedet explore --emit-obs)")
+  else
+    let read_one path =
+      match open_in path with
+      | exception Sys_error e -> Error e
+      | ic -> (
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              match E.Explore.read_obs_channel ic with
+              | Ok x -> Ok x
+              | Error m -> Error (Printf.sprintf "%s: %s" path m)))
+    in
+    let rec read_all acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: ps -> (
+          match read_one p with
+          | Ok x -> read_all ((p, x) :: acc) ps
+          | Error _ as e -> e)
+    in
+    match read_all [] files with
+    | Error e -> `Error (false, e)
+    | Ok shards -> (
+        let p0, (spec0, target0, _) = List.hd shards in
+        match
+          List.find_opt
+            (fun (_, (sp, _, _)) -> not (E.Explore.compatible spec0 sp))
+            (List.tl shards)
+        with
+        | Some (p, _) ->
+            `Error
+              ( false,
+                Printf.sprintf
+                  "%s and %s describe different campaigns (spec mismatch); \
+                   refusing to merge"
+                  p0 p )
+        | None -> (
+            let rows = List.concat_map (fun (_, (_, _, rs)) -> rs) shards in
+            (* A run index in two inputs means overlapping shards — the
+               fold would double-count sightings.  Compile failures
+               (index -1) are per-shard and exempt. *)
+            let seen = Hashtbl.create 64 in
+            let dup =
+              List.find_opt
+                (fun row ->
+                  let i = E.Aggregate.row_index row in
+                  if i < 0 then false
+                  else if Hashtbl.mem seen i then true
+                  else begin
+                    Hashtbl.add seen i ();
+                    false
+                  end)
+                rows
+            in
+            match dup with
+            | Some row ->
+                `Error
+                  ( false,
+                    Printf.sprintf
+                      "run index %d appears in more than one input \
+                       (overlapping shards?); refusing to merge"
+                      (E.Aggregate.row_index row) )
+            | None ->
+                let r = E.Explore.merge spec0 rows in
+                if json then
+                  print_endline (E.Explore.report_json ~timing:false r)
+                else
+                  print_string
+                    (E.Explore.report_text ~timing:false ~target:target0 r);
+                `Ok ()))
+
+let merge_cmd =
+  let doc = "merge shard observation files into one campaign report" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Validates that every input records the same campaign \
+         (configuration, strategy, budget — worker fan-out may differ), \
+         then re-folds the observations in run-index order.  The report \
+         is byte-identical to running the whole campaign in one process \
+         with $(b,--no-timing).";
+      `P
+        "Produce inputs with $(b,racedet explore --shard I/N --emit-obs \
+         FILE).";
+    ]
+  in
+  let files =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"OBS"
+          ~doc:"Observation files from $(b,racedet explore --emit-obs).")
+  in
+  Cmd.v
+    (Cmd.info "merge" ~doc ~man)
+    Term.(ret (const merge_impl $ files $ json_arg))
 
 (* ---- list ---- *)
 
@@ -706,4 +799,17 @@ let list_cmd =
 let () =
   let doc = "efficient and precise datarace detection (PLDI 2002)" in
   let info = Cmd.info "racedet" ~version:"1.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; explore_cmd; analyze_cmd; ir_cmd; record_cmd; detect_cmd; sweep_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            run_cmd;
+            explore_cmd;
+            merge_cmd;
+            analyze_cmd;
+            ir_cmd;
+            record_cmd;
+            detect_cmd;
+            sweep_cmd;
+            list_cmd;
+          ]))

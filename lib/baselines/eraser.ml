@@ -47,41 +47,49 @@ let create () =
     events = 0;
   }
 
-let report d loc access =
+let report d loc make_access =
   if not (Hashtbl.mem d.reported loc) then begin
     Hashtbl.replace d.reported loc ();
-    d.races <- { loc; access } :: d.races
+    d.races <- { loc; access = make_access () } :: d.races
   end
 
-let on_access d (e : Event.t) =
+(* The scalar hot path: the Event.t is only allocated if this access
+   actually reports a race. *)
+let on_access_interned d ~loc ~thread ~locks ~kind ~site =
   d.events <- d.events + 1;
-  let st =
-    Option.value (Hashtbl.find_opt d.states e.loc) ~default:Virgin
+  let report_here () =
+    report d loc (fun () ->
+        Event.make_interned ~loc ~thread ~locks ~kind ~site)
   in
+  let st = Option.value (Hashtbl.find_opt d.states loc) ~default:Virgin in
   let st' =
     match st with
-    | Virgin -> Exclusive e.thread
-    | Exclusive t when t = e.thread -> st
+    | Virgin -> Exclusive thread
+    | Exclusive t when t = thread -> st
     | Exclusive _ -> (
         (* First contact by a second thread: C(m) starts as its locks. *)
-        match e.kind with
-        | Event.Read -> Shared e.locks
+        match kind with
+        | Event.Read -> Shared locks
         | Event.Write ->
-            if Lockset_id.is_empty e.locks then report d e.loc e;
-            Shared_modified e.locks)
+            if Lockset_id.is_empty locks then report_here ();
+            Shared_modified locks)
     | Shared c -> (
-        let c = Lockset_id.inter c e.locks in
-        match e.kind with
+        let c = Lockset_id.inter c locks in
+        match kind with
         | Event.Read -> Shared c
         | Event.Write ->
-            if Lockset_id.is_empty c then report d e.loc e;
+            if Lockset_id.is_empty c then report_here ();
             Shared_modified c)
     | Shared_modified c ->
-        let c = Lockset_id.inter c e.locks in
-        if Lockset_id.is_empty c then report d e.loc e;
+        let c = Lockset_id.inter c locks in
+        if Lockset_id.is_empty c then report_here ();
         Shared_modified c
   in
-  Hashtbl.replace d.states e.loc st'
+  Hashtbl.replace d.states loc st'
+
+let on_access d (e : Event.t) =
+  on_access_interned d ~loc:e.loc ~thread:e.thread ~locks:e.locks
+    ~kind:e.kind ~site:e.site
 
 let races d = List.rev d.races
 

@@ -59,10 +59,10 @@ let loc_state d loc =
       Hashtbl.add d.locs loc s;
       s
 
-let report d loc access =
+let report d loc make_access =
   if not (Hashtbl.mem d.reported loc) then begin
     Hashtbl.replace d.reported loc ();
-    d.races <- { loc; access } :: d.races
+    d.races <- { loc; access = make_access () } :: d.races
   end
 
 let on_acquire d ~thread ~lock =
@@ -95,32 +95,42 @@ let on_thread_join d ~joiner ~joinee =
   Vclock.join jc (clock_of d joinee);
   Vclock.tick jc joiner
 
-let on_access d (e : Event.t) =
+(* The scalar hot path: ordering comes entirely from the
+   synchronization callbacks, so [locks] only matters for the reported
+   event — which is only allocated if this access reports a race. *)
+let on_access_interned d ~loc ~thread ~locks ~kind ~site =
   d.events <- d.events + 1;
-  let tc = clock_of d e.thread in
-  let s = loc_state d e.loc in
-  (match e.kind with
+  let report_here () =
+    report d loc (fun () ->
+        Event.make_interned ~loc ~thread ~locks ~kind ~site)
+  in
+  let tc = clock_of d thread in
+  let s = loc_state d loc in
+  match kind with
   | Event.Read ->
       (* Must be ordered after the last write. *)
       if
-        s.write_clock > 0 && s.write_thread <> e.thread
+        s.write_clock > 0 && s.write_thread <> thread
         && not (Vclock.epoch_leq ~thread:s.write_thread ~clock:s.write_clock tc)
-      then report d e.loc e;
-      s.reads.(e.thread) <- Vclock.get tc e.thread
+      then report_here ();
+      s.reads.(thread) <- Vclock.get tc thread
   | Event.Write ->
       if
-        s.write_clock > 0 && s.write_thread <> e.thread
+        s.write_clock > 0 && s.write_thread <> thread
         && not (Vclock.epoch_leq ~thread:s.write_thread ~clock:s.write_clock tc)
-      then report d e.loc e;
+      then report_here ();
       (* ... and after every previous read. *)
       Array.iteri
         (fun t c ->
-          if c > 0 && t <> e.thread && not (Vclock.epoch_leq ~thread:t ~clock:c tc)
-          then report d e.loc e)
+          if c > 0 && t <> thread && not (Vclock.epoch_leq ~thread:t ~clock:c tc)
+          then report_here ())
         s.reads;
-      s.write_thread <- e.thread;
-      s.write_clock <- Vclock.get tc e.thread);
-  ()
+      s.write_thread <- thread;
+      s.write_clock <- Vclock.get tc thread
+
+let on_access d (e : Event.t) =
+  on_access_interned d ~loc:e.loc ~thread:e.thread ~locks:e.locks
+    ~kind:e.kind ~site:e.site
 
 let races d = List.rev d.races
 

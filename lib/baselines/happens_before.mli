@@ -18,9 +18,22 @@ type t
 
 val create : unit -> t
 
+val on_access_interned :
+  t ->
+  loc:Event.loc_id ->
+  thread:Event.thread_id ->
+  locks:Drd_core.Lockset_id.id ->
+  kind:Event.kind ->
+  site:Event.site_id ->
+  unit
+(** The primary (hot-path) entry point, mirroring
+    {!Drd_core.Detector.on_access_interned}.  [locks] plays no role in
+    the ordering — that comes entirely from the synchronization
+    callbacks below — and is only recorded in the reported event, which
+    is only allocated if the access reports a race. *)
+
 val on_access : t -> Event.t -> unit
-(** Locksets in the event are ignored; ordering comes entirely from the
-    synchronization callbacks below. *)
+(** [on_access_interned] on the fields of a pre-built event. *)
 
 val on_acquire : t -> thread:Event.thread_id -> lock:Event.lock_id -> unit
 

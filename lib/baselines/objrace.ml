@@ -33,36 +33,43 @@ let create () =
     events = 0;
   }
 
-let report d loc access =
+let report d loc make_access =
   if not (Hashtbl.mem d.reported loc) then begin
     Hashtbl.replace d.reported loc ();
-    d.races <- { loc; access } :: d.races
+    d.races <- { loc; access = make_access () } :: d.races
   end
 
-let on_access d (e : Event.t) =
+(* The scalar hot path: the Event.t is only allocated if this access
+   actually reports a race. *)
+let on_access_interned d ~loc ~thread ~locks ~kind ~site =
   d.events <- d.events + 1;
   let st =
-    match Hashtbl.find_opt d.states e.loc with
+    match Hashtbl.find_opt d.states loc with
     | Some s -> s
-    | None -> Owned e.thread
+    | None -> Owned thread
   in
   let st' =
     match st with
-    | Owned t when t = e.thread -> st
-    | Owned _ -> Tracked (e.locks, e.kind = Event.Write)
+    | Owned t when t = thread -> st
+    | Owned _ -> Tracked (locks, kind = Event.Write)
     | Tracked (c, wrote) ->
-        let c = Lockset_id.inter c e.locks in
-        let wrote = wrote || e.kind = Event.Write in
-        if wrote && Lockset_id.is_empty c then report d e.loc e;
+        let c = Lockset_id.inter c locks in
+        let wrote = wrote || kind = Event.Write in
+        if wrote && Lockset_id.is_empty c then
+          report d loc (fun () ->
+              Event.make_interned ~loc ~thread ~locks ~kind ~site);
         Tracked (c, wrote)
   in
-  Hashtbl.replace d.states e.loc st'
+  Hashtbl.replace d.states loc st'
+
+let on_access d (e : Event.t) =
+  on_access_interned d ~loc:e.loc ~thread:e.thread ~locks:e.locks
+    ~kind:e.kind ~site:e.site
 
 (* A virtual method invocation on a receiver object is treated as a
    write access to the object. *)
 let on_call d ~thread ~obj_loc ~locks ~site =
-  on_access d
-    (Event.make_interned ~loc:obj_loc ~thread ~locks ~kind:Event.Write ~site)
+  on_access_interned d ~loc:obj_loc ~thread ~locks ~kind:Event.Write ~site
 
 let races d = List.rev d.races
 

@@ -22,7 +22,21 @@ type t
 
 val create : unit -> t
 
+val on_access_interned :
+  t ->
+  loc:Event.loc_id ->
+  thread:Event.thread_id ->
+  locks:Drd_core.Lockset_id.id ->
+  kind:Event.kind ->
+  site:Event.site_id ->
+  unit
+(** The primary (hot-path) entry point, mirroring
+    {!Drd_core.Detector.on_access_interned}: process one access as five
+    scalars.  No [Event.t] is allocated unless the access reports a
+    race. *)
+
 val on_access : t -> Event.t -> unit
+(** [on_access_interned] on the fields of a pre-built event. *)
 
 val on_call :
   t ->

@@ -46,10 +46,6 @@ type t
 
 val create : ?config:config -> Report.collector -> t
 
-val on_access : t -> Event.t -> unit
-(** Process one access event end-to-end: cache, ownership, weakness
-    check, race check, history update. *)
-
 val on_access_interned :
   t ->
   loc:Event.loc_id ->
@@ -58,10 +54,17 @@ val on_access_interned :
   kind:Event.kind ->
   site:Event.site_id ->
   unit
-(** Same as {!on_access} on five scalars.  This is the hot entry point:
-    no [Event.t] is allocated unless the event survives both the cache
-    and the ownership filter (i.e. reaches trie storage), so cache-hit
-    and ownership-filtered events are processed allocation-free. *)
+(** The primary entry point: process one access event end-to-end —
+    cache, ownership, weakness check, race check, history update — from
+    five scalars.  No [Event.t] is allocated unless the event survives
+    both the cache and the ownership filter (i.e. reaches trie
+    storage), so cache-hit and ownership-filtered events are processed
+    allocation-free.  The baseline detectors ({!Drd_baselines}) expose
+    the same shape. *)
+
+val on_access : t -> Event.t -> unit
+(** Convenience wrapper: {!on_access_interned} on the fields of a
+    pre-built event. *)
 
 val on_acquire : t -> thread:Event.thread_id -> lock:Event.lock_id -> unit
 (** Outermost acquisition of a real lock by [thread] (reentrant

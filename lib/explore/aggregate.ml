@@ -1,7 +1,15 @@
 (* Campaign-level aggregation: dedupe race reports across runs by
    (object, field, site-pair), remember the first schedule that produced
-   each, and keep the exploration statistics (distinct interleaving
-   fingerprints, discovery decay, throughput inputs). *)
+   each, keep the exploration statistics (distinct interleaving
+   fingerprints, discovery decay, throughput inputs) — and, with a
+   plateau window armed, decide when the campaign stopped discovering.
+
+   The plateau decision lives here rather than in the runner so that it
+   is a deterministic function of the row sequence in run-index order:
+   parallel runners may overshoot the stop point (in-flight runs), and
+   [racedet merge] re-folds rows recorded elsewhere; both get the same
+   cutoff because this module ignores every row after the window
+   trips. *)
 
 type race_key = {
   k_object : string;
@@ -56,6 +64,12 @@ type run_obs = {
 
 type failure = { f_index : int; f_seed : int; f_error : string }
 
+type row =
+  | Run of run_obs
+  | Failed of failure
+
+let row_index = function Run o -> o.o_index | Failed f -> f.f_index
+
 type deduped = {
   d_key : race_key;
   d_count : int;
@@ -66,9 +80,26 @@ type deduped = {
   d_first_repro : string;
 }
 
+type stop_reason =
+  | Exhausted
+  | Plateau of { p_window : int; p_at : int }
+  | Deadline
+
+let describe_stop = function
+  | Exhausted -> "budget exhausted"
+  | Plateau { p_window; p_at } ->
+      Printf.sprintf "discovery plateau: no new race for %d consecutive runs (tripped by run %d)"
+        p_window p_at
+  | Deadline -> "wall-clock budget expired"
+
 type t = {
+  plateau : int option;
+  mutable quiet : int; (* consecutive folded rows with no new race *)
+  mutable plateau_stop : (int * int) option; (* window, tripping index *)
+  mutable deadline_hit : bool;
   mutable runs : int;
   mutable failures : failure list; (* reverse order *)
+  mutable obs : run_obs list; (* reverse fold order *)
   races : (race_key, deduped) Hashtbl.t;
   fingerprints : (int, int) Hashtbl.t; (* fingerprint -> runs showing it *)
   object_counts : (string, int) Hashtbl.t;
@@ -78,10 +109,15 @@ type t = {
   mutable run_wall : float;
 }
 
-let create () =
+let create ?plateau () =
   {
+    plateau;
+    quiet = 0;
+    plateau_stop = None;
+    deadline_hit = false;
     runs = 0;
     failures = [];
+    obs = [];
     races = Hashtbl.create 32;
     fingerprints = Hashtbl.create 64;
     object_counts = Hashtbl.create 32;
@@ -91,49 +127,76 @@ let create () =
     run_wall = 0.;
   }
 
-(* Feed observations in run-index order for deterministic first-seen
-   attribution; the engine sorts merged worker results before folding. *)
-let add_run t (o : run_obs) =
-  t.runs <- t.runs + 1;
-  t.events <- t.events + o.o_events;
-  t.steps <- t.steps + o.o_steps;
-  t.run_wall <- t.run_wall +. o.o_wall;
-  Hashtbl.replace t.fingerprints o.o_fingerprint
-    (1 + Option.value (Hashtbl.find_opt t.fingerprints o.o_fingerprint) ~default:0);
-  List.iter
-    (fun obj ->
-      Hashtbl.replace t.object_counts obj
-        (1 + Option.value (Hashtbl.find_opt t.object_counts obj) ~default:0))
-    o.o_objects;
-  let new_race = ref false in
-  (* A run can sight the same key through several racy locations (two
-     objects of one class); count it once per run. *)
-  let seen_this_run = Hashtbl.create 8 in
-  List.iter
-    (fun s ->
-      if not (Hashtbl.mem seen_this_run s.s_key) then begin
-        Hashtbl.add seen_this_run s.s_key ();
-        match Hashtbl.find_opt t.races s.s_key with
-        | Some d -> Hashtbl.replace t.races s.s_key { d with d_count = d.d_count + 1 }
-        | None ->
-            new_race := true;
-            Hashtbl.add t.races s.s_key
-              {
-                d_key = s.s_key;
-                d_count = 1;
-                d_kinds = s.s_kinds;
-                d_first_index = o.o_index;
-                d_first_seed = o.o_seed;
-                d_first_spec = o.o_spec;
-                d_first_repro = o.o_repro;
-              }
-      end)
-    o.o_sightings;
-  if !new_race then
-    t.discovery <- (o.o_index, Hashtbl.length t.races) :: t.discovery
+let stopped t = t.plateau_stop <> None
 
-let add_failure t ~index ~seed ~error =
-  t.failures <- { f_index = index; f_seed = seed; f_error = error } :: t.failures
+(* A row brought no new distinct race; advance the plateau window. *)
+let note_quiet t index =
+  match t.plateau with
+  | None -> ()
+  | Some window ->
+      t.quiet <- t.quiet + 1;
+      if t.quiet >= window then t.plateau_stop <- Some (window, index)
+
+(* Feed observations in run-index order for deterministic first-seen
+   attribution and plateau decisions; the engine sorts merged worker
+   results before folding. *)
+let add_run t (o : run_obs) =
+  if stopped t then ()
+  else begin
+    t.runs <- t.runs + 1;
+    t.obs <- o :: t.obs;
+    t.events <- t.events + o.o_events;
+    t.steps <- t.steps + o.o_steps;
+    t.run_wall <- t.run_wall +. o.o_wall;
+    Hashtbl.replace t.fingerprints o.o_fingerprint
+      (1 + Option.value (Hashtbl.find_opt t.fingerprints o.o_fingerprint) ~default:0);
+    List.iter
+      (fun obj ->
+        Hashtbl.replace t.object_counts obj
+          (1 + Option.value (Hashtbl.find_opt t.object_counts obj) ~default:0))
+      o.o_objects;
+    let new_race = ref false in
+    (* A run can sight the same key through several racy locations (two
+       objects of one class); count it once per run. *)
+    let seen_this_run = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        if not (Hashtbl.mem seen_this_run s.s_key) then begin
+          Hashtbl.add seen_this_run s.s_key ();
+          match Hashtbl.find_opt t.races s.s_key with
+          | Some d ->
+              Hashtbl.replace t.races s.s_key { d with d_count = d.d_count + 1 }
+          | None ->
+              new_race := true;
+              Hashtbl.add t.races s.s_key
+                {
+                  d_key = s.s_key;
+                  d_count = 1;
+                  d_kinds = s.s_kinds;
+                  d_first_index = o.o_index;
+                  d_first_seed = o.o_seed;
+                  d_first_spec = o.o_spec;
+                  d_first_repro = o.o_repro;
+                }
+        end)
+      o.o_sightings;
+    if !new_race then begin
+      t.quiet <- 0;
+      t.discovery <- (o.o_index, Hashtbl.length t.races) :: t.discovery
+    end
+    else note_quiet t o.o_index
+  end
+
+let add_failure t (f : failure) =
+  if stopped t then ()
+  else begin
+    t.failures <- f :: t.failures;
+    note_quiet t f.f_index
+  end
+
+let add_row t = function Run o -> add_run t o | Failed f -> add_failure t f
+
+let note_deadline t = t.deadline_hit <- true
 
 let races t =
   Hashtbl.fold (fun _ d acc -> d :: acc) t.races []
@@ -150,6 +213,8 @@ let object_rows t =
 let failures t =
   List.sort (fun a b -> compare a.f_index b.f_index) t.failures
 
+let observations t = List.rev t.obs
+
 type stats = {
   st_runs : int;
   st_failed : int;
@@ -159,6 +224,7 @@ type stats = {
   st_steps : int;
   st_run_wall : float; (* summed per-run VM seconds (CPU view) *)
   st_discovery : (int * int) list; (* run index -> cumulative races *)
+  st_stop : stop_reason;
 }
 
 let stats t =
@@ -171,6 +237,10 @@ let stats t =
     st_steps = t.steps;
     st_run_wall = t.run_wall;
     st_discovery = List.rev t.discovery;
+    st_stop =
+      (match t.plateau_stop with
+      | Some (p_window, p_at) -> Plateau { p_window; p_at }
+      | None -> if t.deadline_hit then Deadline else Exhausted);
   }
 
 let pp_key ppf k =

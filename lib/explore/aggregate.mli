@@ -6,7 +6,14 @@
     is the class+field identity with object ids stripped
     ("TourElement#12.next" → "TourElement.next").  The first run that
     sighted each deduped race is remembered with its full schedule spec
-    so every reported race comes with a reproduction recipe. *)
+    so every reported race comes with a reproduction recipe.
+
+    An aggregate is fed {!row}s — successful runs and failures — in
+    run-index order.  With a plateau window (adaptive budget) it also
+    {e decides} when the campaign stopped discovering: once the window
+    trips, later rows are ignored, so the folded result is a
+    deterministic function of the row sequence no matter how far the
+    runner overshot. *)
 
 type race_key = private {
   k_object : string;  (** Normalized object/static-field identity. *)
@@ -39,6 +46,14 @@ type run_obs = {
 
 type failure = { f_index : int; f_seed : int; f_error : string }
 
+(** One observed campaign run: what crosses the wire between shards and
+    what an aggregate folds. *)
+type row =
+  | Run of run_obs
+  | Failed of failure
+
+val row_index : row -> int
+
 type deduped = {
   d_key : race_key;
   d_count : int;  (** Runs that reported it. *)
@@ -49,16 +64,38 @@ type deduped = {
   d_first_repro : string;
 }
 
+(** Why aggregation stopped accepting rows. *)
+type stop_reason =
+  | Exhausted  (** The run budget (or strategy) ran out. *)
+  | Plateau of { p_window : int; p_at : int }
+      (** [p_window] consecutive runs brought no new distinct race; the
+          row with index [p_at] tripped the window. *)
+  | Deadline  (** The wall-clock budget expired (runner-reported). *)
+
+val describe_stop : stop_reason -> string
+
 type t
 
-val create : unit -> t
+val create : ?plateau:int -> unit -> t
+(** [?plateau] arms the adaptive-budget rule: after that many
+    consecutive rows (runs or failures) with no new distinct race, the
+    aggregate stops folding and reports {!Plateau}. *)
 
 val add_run : t -> run_obs -> unit
-(** Feed observations in run-index order: first-seen attribution and the
-    discovery curve depend on it.  The engine sorts merged worker
-    results before folding. *)
+(** Feed observations in run-index order: first-seen attribution, the
+    discovery curve and the plateau decision depend on it.  The engine
+    sorts merged worker results before folding.  Ignored once the
+    plateau window has tripped. *)
 
-val add_failure : t -> index:int -> seed:int -> error:string -> unit
+val add_failure : t -> failure -> unit
+(** A failed run: counts toward the plateau window (it discovered
+    nothing) and is recorded for the report. *)
+
+val add_row : t -> row -> unit
+
+val note_deadline : t -> unit
+(** Runner-only: mark that the wall-clock budget cut the campaign short.
+    Reported as the stop reason unless a plateau already tripped. *)
 
 val races : t -> deduped list
 (** Sorted by sighting count (descending), then key. *)
@@ -69,6 +106,10 @@ val object_rows : t -> (string * int) list
 
 val failures : t -> failure list
 (** In run-index order. *)
+
+val observations : t -> run_obs list
+(** The folded observations in fold order — exactly the rows a shard
+    re-emits on the wire (plateau-ignored rows excluded). *)
 
 type stats = {
   st_runs : int;
@@ -81,6 +122,7 @@ type stats = {
   st_discovery : (int * int) list;
       (** (run index, cumulative distinct races) at each discovery —
           the new-races-per-run decay curve. *)
+  st_stop : stop_reason;
 }
 
 val stats : t -> stats

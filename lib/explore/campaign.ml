@@ -1,0 +1,68 @@
+(* The campaign description: a pure, serializable value.  Run indices
+   derive deterministically from the spec (Strategy.mix), so a spec is
+   all a shard needs to own a disjoint slice of a campaign. *)
+
+module Config = Drd_harness.Config
+
+type budget = {
+  b_runs : int;
+  b_seconds : float option;
+  b_plateau : int option;
+}
+
+let budget ?seconds ?plateau runs =
+  { b_runs = runs; b_seconds = seconds; b_plateau = plateau }
+
+let runs_budget runs = budget runs
+
+let equal_budget a b =
+  a.b_runs = b.b_runs && a.b_seconds = b.b_seconds
+  && a.b_plateau = b.b_plateau
+
+let pp_budget ppf b =
+  Fmt.pf ppf "%d runs" b.b_runs;
+  (match b.b_seconds with
+  | Some s -> Fmt.pf ppf ", %gs wall" s
+  | None -> ());
+  match b.b_plateau with
+  | Some k -> Fmt.pf ppf ", plateau %d" k
+  | None -> ()
+
+type spec = {
+  e_config : Config.t;
+  e_strategy : Strategy.t;
+  e_workers : int;
+  e_budget : budget;
+  e_pct_horizon : int;
+}
+
+let spec ?(strategy = Strategy.Jitter) ?(workers = 1)
+    ?(budget = runs_budget 32) ?(pct_horizon = 20_000) config =
+  {
+    e_config = config;
+    e_strategy = strategy;
+    e_workers = workers;
+    e_budget = budget;
+    e_pct_horizon = pct_horizon;
+  }
+
+let default_spec config = spec config
+
+(* Config.t and Strategy.t are immutable first-order data (the only
+   non-scalar components are a policy record and a seed array), so
+   structural equality is the intended equality. *)
+let equal_spec a b =
+  a.e_config = b.e_config && a.e_strategy = b.e_strategy
+  && a.e_workers = b.e_workers
+  && equal_budget a.e_budget b.e_budget
+  && a.e_pct_horizon = b.e_pct_horizon
+
+(* Shards of one campaign agree on everything that determines the run
+   set; how many domains each shard fanned out over does not. *)
+let compatible a b = equal_spec { a with e_workers = 0 } { b with e_workers = 0 }
+
+let pp_spec ppf s =
+  Fmt.pf ppf "%s (seed %d, quantum %d), %s, %a, pct-horizon %d, %d workers"
+    s.e_config.Config.name s.e_config.Config.seed s.e_config.Config.quantum
+    (Strategy.name s.e_strategy) pp_budget s.e_budget s.e_pct_horizon
+    s.e_workers

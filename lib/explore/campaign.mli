@@ -1,0 +1,68 @@
+(** The campaign description: a pure, serializable value.
+
+    A campaign is fully described by a {!spec} — base detector
+    configuration, schedule-diversity strategy, worker count, budget and
+    PCT horizon.  Run indices derive deterministically from the spec
+    (see {!Strategy.mix}), which is what makes campaigns shardable
+    across processes and machines: every shard of a campaign shares one
+    spec and owns a disjoint, deterministic slice of the run indices.
+
+    Values of these types round-trip through the JSON-lines wire format
+    of {!Wire}. *)
+
+module Config = Drd_harness.Config
+
+type budget = {
+  b_runs : int;  (** Maximum runs in the campaign. *)
+  b_seconds : float option;  (** Optional wall-clock cap. *)
+  b_plateau : int option;
+      (** Adaptive budget: stop after this many consecutive runs with no
+          new distinct race (the discovery curve flattened).  Applied
+          in run-index order, so a plateau-stopped campaign is still a
+          deterministic function of its spec. *)
+}
+
+val budget : ?seconds:float -> ?plateau:int -> int -> budget
+(** [budget n] caps the campaign at [n] runs; [?seconds] adds a
+    wall-clock cap (trading determinism for boundedness), [?plateau]
+    an adaptive discovery-plateau stop. *)
+
+val runs_budget : int -> budget
+(** [runs_budget n = budget n]: the pure run-count budget. *)
+
+val equal_budget : budget -> budget -> bool
+
+val pp_budget : budget Fmt.t
+
+type spec = {
+  e_config : Config.t;  (** Base detector configuration. *)
+  e_strategy : Strategy.t;
+  e_workers : int;  (** Domains to fan out over (execution detail). *)
+  e_budget : budget;
+  e_pct_horizon : int;
+      (** Step horizon for PCT priority-change points (ignored by other
+          strategies). *)
+}
+
+val spec :
+  ?strategy:Strategy.t ->
+  ?workers:int ->
+  ?budget:budget ->
+  ?pct_horizon:int ->
+  Config.t ->
+  spec
+(** Smart constructor; defaults: jitter strategy, 1 worker, 32 runs,
+    horizon 20k. *)
+
+val default_spec : Config.t -> spec
+(** [default_spec c = spec c]. *)
+
+val equal_spec : spec -> spec -> bool
+
+val compatible : spec -> spec -> bool
+(** Whether two specs describe the same campaign: equal on everything
+    that determines the run set — worker count is an execution detail
+    and is ignored.  This is the check [racedet merge] applies across
+    shard files. *)
+
+val pp_spec : spec Fmt.t

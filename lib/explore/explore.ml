@@ -7,14 +7,20 @@ module Site_table = Drd_ir.Site_table
 module Ir = Drd_ir.Ir
 open Drd_core
 
-type budget = {
+(* ---- the campaign description (re-exported from Campaign) ---- *)
+
+type budget = Campaign.budget = {
   b_runs : int;
   b_seconds : float option;
+  b_plateau : int option;
 }
 
-let runs_budget n = { b_runs = n; b_seconds = None }
+let budget = Campaign.budget
+let runs_budget = Campaign.runs_budget
+let equal_budget = Campaign.equal_budget
+let pp_budget = Campaign.pp_budget
 
-type spec = {
+type spec = Campaign.spec = {
   e_config : Config.t;
   e_strategy : Strategy.t;
   e_workers : int;
@@ -22,20 +28,18 @@ type spec = {
   e_pct_horizon : int;
 }
 
-let default_spec config =
-  {
-    e_config = config;
-    e_strategy = Strategy.Jitter;
-    e_workers = 1;
-    e_budget = runs_budget 32;
-    e_pct_horizon = 20_000;
-  }
+let spec = Campaign.spec
+let default_spec = Campaign.default_spec
+let equal_spec = Campaign.equal_spec
+let compatible = Campaign.compatible
+let pp_spec = Campaign.pp_spec
 
 type report = {
   r_spec : spec;
   r_races : Aggregate.deduped list;
   r_objects : (string * int) list;
   r_failures : Aggregate.failure list;
+  r_obs : Aggregate.run_obs list;
   r_stats : Aggregate.stats;
   r_wall : float; (* campaign wall clock, compiles included *)
 }
@@ -140,22 +144,129 @@ let observe_run (c : Pipeline.compiled) (sp : Strategy.run_spec) :
     o_wall = r.Pipeline.wall_time;
   }
 
+(* ---- folding rows into a report ---- *)
+
+let report_of_rows ?(wall = 0.) ?(deadline_hit = false) (sp : spec) rows :
+    report =
+  let agg = Aggregate.create ?plateau:sp.e_budget.b_plateau () in
+  if deadline_hit then Aggregate.note_deadline agg;
+  (* Fold in run-index order so first-seen attribution, the discovery
+     curve and the plateau cutoff do not depend on worker interleaving
+     or on how rows were distributed over shard files. *)
+  List.sort
+    (fun a b -> compare (Aggregate.row_index a) (Aggregate.row_index b))
+    rows
+  |> List.iter (Aggregate.add_row agg);
+  {
+    r_spec = sp;
+    r_races = Aggregate.races agg;
+    r_objects = Aggregate.object_rows agg;
+    r_failures = Aggregate.failures agg;
+    r_obs = Aggregate.observations agg;
+    r_stats = Aggregate.stats agg;
+    r_wall = wall;
+  }
+
+let merge sp rows = report_of_rows sp rows
+
+let rows_of_report r =
+  List.sort
+    (fun a b -> compare (Aggregate.row_index a) (Aggregate.row_index b))
+    (List.map (fun o -> Aggregate.Run o) r.r_obs
+    @ List.map (fun f -> Aggregate.Failed f) r.r_failures)
+
+(* ---- the online plateau tracker ----
+
+   The authoritative plateau cutoff is the Aggregate fold above (a
+   deterministic function of the row sequence); this tracker only stops
+   workers from *claiming* further runs once the window has visibly
+   tripped.  It replays completions in claim-ordinal order through a
+   reorder buffer, so its verdict matches the fold's for the runs it has
+   seen; any overshoot rows the workers were already executing are
+   discarded by the fold. *)
+
+type tracker = {
+  tk_window : int;
+  tk_mu : Mutex.t;
+  tk_seen : (Aggregate.race_key, unit) Hashtbl.t;
+  tk_pending : (int, Aggregate.race_key list) Hashtbl.t;
+  mutable tk_next : int;
+  mutable tk_quiet : int;
+  mutable tk_stop : bool;
+}
+
+let tracker_make window =
+  {
+    tk_window = window;
+    tk_mu = Mutex.create ();
+    tk_seen = Hashtbl.create 16;
+    tk_pending = Hashtbl.create 16;
+    tk_next = 0;
+    tk_quiet = 0;
+    tk_stop = false;
+  }
+
+let tracker_stopped = function None -> false | Some t -> t.tk_stop
+
+let tracker_note tracker ordinal keys =
+  match tracker with
+  | None -> ()
+  | Some t ->
+      Mutex.lock t.tk_mu;
+      Hashtbl.replace t.tk_pending ordinal keys;
+      let rec drain () =
+        match Hashtbl.find_opt t.tk_pending t.tk_next with
+        | None -> ()
+        | Some keys ->
+            Hashtbl.remove t.tk_pending t.tk_next;
+            t.tk_next <- t.tk_next + 1;
+            let fresh =
+              List.exists (fun k -> not (Hashtbl.mem t.tk_seen k)) keys
+            in
+            List.iter
+              (fun k ->
+                if not (Hashtbl.mem t.tk_seen k) then Hashtbl.add t.tk_seen k ())
+              keys;
+            if fresh then t.tk_quiet <- 0 else t.tk_quiet <- t.tk_quiet + 1;
+            if t.tk_quiet >= t.tk_window then t.tk_stop <- true;
+            drain ()
+      in
+      drain ();
+      Mutex.unlock t.tk_mu
+
 (* ---- the parallel campaign runner ---- *)
 
 type worker_out = {
   w_obs : Aggregate.run_obs list;
-  w_failures : (int * int * string) list; (* index, seed, error *)
+  w_failures : Aggregate.failure list;
+  w_ran : int;
 }
 
-let run_campaign (spec : spec) ~source : report =
-  let budget = spec.e_budget in
+let run_campaign ?shard (sp : spec) ~source : report =
+  let shard_i, shard_n =
+    match shard with
+    | None -> (0, 1)
+    | Some (i, n) ->
+        if n < 1 || i < 0 || i >= n then
+          invalid_arg (Printf.sprintf "Explore.run_campaign: shard %d/%d" i n);
+        (i, n)
+  in
+  let b = sp.e_budget in
   let total_runs =
-    match Strategy.count spec.e_strategy with
-    | Some n -> min n budget.b_runs
-    | None -> budget.b_runs
+    match Strategy.count sp.e_strategy with
+    | Some n -> min n b.b_runs
+    | None -> b.b_runs
+  in
+  (* Shard i of n owns the run indices congruent to i mod n; the k-th
+     claim from the shared counter maps to index i + k*n, so indices are
+     a pure function of the spec and the shard, never of scheduling. *)
+  let owned =
+    if total_runs <= shard_i then 0
+    else (total_runs - shard_i + shard_n - 1) / shard_n
   in
   let t0 = Unix.gettimeofday () in
-  let deadline = Option.map (fun s -> t0 +. s) budget.b_seconds in
+  let deadline = Option.map (fun s -> t0 +. s) b.b_seconds in
+  let tracker = Option.map tracker_make b.b_plateau in
   let next = Atomic.make 0 in
   (* Each worker compiles its own copy of the program (compilation
      mutates the IR in place during instrumentation, so domains must not
@@ -163,8 +274,14 @@ let run_campaign (spec : spec) ~source : report =
      failing run — VM Runtime_error, step-limit, anything — becomes a
      failure row; it never kills the worker, let alone the campaign. *)
   let worker () =
-    match Pipeline.compile spec.e_config ~source with
-    | exception e -> { w_obs = []; w_failures = [ (-1, -1, Printexc.to_string e) ] }
+    match Pipeline.compile sp.e_config ~source with
+    | exception e ->
+        {
+          w_obs = [];
+          w_failures =
+            [ { Aggregate.f_index = -1; f_seed = -1; f_error = Printexc.to_string e } ];
+          w_ran = 0;
+        }
     | compiled ->
         let obs = ref [] and fails = ref [] in
         let expired () =
@@ -172,73 +289,212 @@ let run_campaign (spec : spec) ~source : report =
           | Some d -> Unix.gettimeofday () > d
           | None -> false
         in
-        let rec loop () =
-          if not (expired ()) then begin
-            let i = Atomic.fetch_and_add next 1 in
-            if i < total_runs then begin
-              let sp =
-                Strategy.spec spec.e_strategy ~base:spec.e_config
-                  ~pct_horizon:spec.e_pct_horizon i
+        let rec loop ran =
+          if expired () || tracker_stopped tracker then ran
+          else begin
+            let k = Atomic.fetch_and_add next 1 in
+            let i = shard_i + (k * shard_n) in
+            if i >= total_runs then ran
+            else begin
+              let rsp =
+                Strategy.spec sp.e_strategy ~base:sp.e_config
+                  ~pct_horizon:sp.e_pct_horizon i
               in
-              (match observe_run compiled sp with
-              | o -> obs := o :: !obs
+              (match observe_run compiled rsp with
+              | o ->
+                  obs := o :: !obs;
+                  tracker_note tracker k
+                    (List.map
+                       (fun s -> s.Aggregate.s_key)
+                       o.Aggregate.o_sightings)
               | exception e ->
                   fails :=
-                    (i, sp.Strategy.sp_seed, Printexc.to_string e) :: !fails);
-              loop ()
+                    {
+                      Aggregate.f_index = i;
+                      f_seed = rsp.Strategy.sp_seed;
+                      f_error = Printexc.to_string e;
+                    }
+                    :: !fails;
+                  tracker_note tracker k []);
+              loop (ran + 1)
             end
           end
         in
-        loop ();
-        { w_obs = !obs; w_failures = !fails }
+        let ran = loop 0 in
+        { w_obs = !obs; w_failures = !fails; w_ran = ran }
   in
   let outs =
-    if spec.e_workers <= 1 then [ worker () ]
+    if sp.e_workers <= 1 then [ worker () ]
     else
-      let domains =
-        List.init spec.e_workers (fun _ -> Domain.spawn worker)
-      in
+      let domains = List.init sp.e_workers (fun _ -> Domain.spawn worker) in
       List.map Domain.join domains
   in
   let wall = Unix.gettimeofday () -. t0 in
-  (* Merge in run-index order so first-seen attribution and the
-     discovery curve do not depend on worker interleaving: a campaign
-     with a pure run-count budget is fully deterministic. *)
-  let agg = Aggregate.create () in
-  List.concat_map (fun w -> w.w_obs) outs
-  |> List.sort (fun a b -> compare a.Aggregate.o_index b.Aggregate.o_index)
-  |> List.iter (Aggregate.add_run agg);
-  List.iter
-    (fun w ->
+  let ran = List.fold_left (fun acc w -> acc + w.w_ran) 0 outs in
+  (* If the clock cut the campaign short, say so — unless a plateau
+     tripped, in which case the fold reports that instead. *)
+  let deadline_hit = deadline <> None && ran < owned in
+  let rows =
+    List.concat_map
+      (fun w ->
+        List.map (fun o -> Aggregate.Run o) w.w_obs
+        @ List.map (fun f -> Aggregate.Failed f) w.w_failures)
+      outs
+  in
+  report_of_rows ~wall ~deadline_hit sp rows
+
+(* ---- report rendering (shared by explore and merge so their output
+   is byte-identical) ---- *)
+
+let report_text ?(timing = true) ~target (r : report) =
+  let b = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let stats = r.r_stats in
+  let strategy_name = Strategy.name r.r_spec.e_strategy in
+  if timing then
+    pr
+      "explored %d schedules (%s, %d workers) in %.2fs: %.1f runs/s, %.0f \
+       events/s/worker\n"
+      stats.Aggregate.st_runs strategy_name r.r_spec.e_workers r.r_wall
+      (runs_per_sec r)
+      (events_per_sec_per_worker r)
+  else pr "explored %d schedules (%s)\n" stats.Aggregate.st_runs strategy_name;
+  pr "distinct interleaving fingerprints: %d/%d; events %d; steps %d\n"
+    stats.Aggregate.st_distinct_fingerprints stats.Aggregate.st_runs
+    stats.Aggregate.st_events stats.Aggregate.st_steps;
+  (match stats.Aggregate.st_stop with
+  | Aggregate.Exhausted -> ()
+  | s -> pr "stopped early: %s\n" (Aggregate.describe_stop s));
+  (match r.r_failures with
+  | [] -> ()
+  | fs ->
+      pr "\n%d runs failed:\n" (List.length fs);
       List.iter
-        (fun (index, seed, error) -> Aggregate.add_failure agg ~index ~seed ~error)
-        w.w_failures)
-    outs;
-  {
-    r_spec = spec;
-    r_races = Aggregate.races agg;
-    r_objects = Aggregate.object_rows agg;
-    r_failures = Aggregate.failures agg;
-    r_stats = Aggregate.stats agg;
-    r_wall = wall;
-  }
+        (fun (f : Aggregate.failure) ->
+          pr "  run %d (seed %d): %s\n" f.Aggregate.f_index f.Aggregate.f_seed
+            f.Aggregate.f_error)
+        fs);
+  if r.r_races = [] then pr "\nNo dataraces detected in any schedule.\n"
+  else begin
+    pr "\nDeduped races (%d):\n" (List.length r.r_races);
+    List.iter
+      (fun (d : Aggregate.deduped) ->
+        pr "  %4d/%d  %s%s\n" d.Aggregate.d_count stats.Aggregate.st_runs
+          (Fmt.str "%a" Aggregate.pp_key d.Aggregate.d_key)
+          (if d.Aggregate.d_kinds = "" then ""
+           else " (" ^ d.Aggregate.d_kinds ^ ")");
+        pr "          first seen in run %d (%s)\n" d.Aggregate.d_first_index
+          d.Aggregate.d_first_spec;
+        pr "          reproduce: racedet run %s -c %s %s\n" target
+          r.r_spec.e_config.Config.name d.Aggregate.d_first_repro)
+      r.r_races;
+    match stats.Aggregate.st_discovery with
+    | [] | [ _ ] -> ()
+    | ds ->
+        pr "\nnew-race discovery (run -> cumulative): %s\n"
+          (String.concat ", "
+             (List.map (fun (i, n) -> Printf.sprintf "%d->%d" i n) ds))
+  end;
+  Buffer.contents b
+
+let report_json ?(timing = true) (r : report) =
+  let stats = r.r_stats in
+  let races =
+    List.map
+      (fun (d : Aggregate.deduped) ->
+        Wire.Obj
+          [
+            ("object", Wire.String d.Aggregate.d_key.Aggregate.k_object);
+            ("site_a", Wire.String d.Aggregate.d_key.Aggregate.k_site_a);
+            ("site_b", Wire.String d.Aggregate.d_key.Aggregate.k_site_b);
+            ("kinds", Wire.String d.Aggregate.d_kinds);
+            ("runs_reporting", Wire.Int d.Aggregate.d_count);
+            ("first_run", Wire.Int d.Aggregate.d_first_index);
+            ("first_seed", Wire.Int d.Aggregate.d_first_seed);
+            ("first_schedule", Wire.String d.Aggregate.d_first_spec);
+            ("repro_flags", Wire.String d.Aggregate.d_first_repro);
+          ])
+      r.r_races
+  in
+  let failures =
+    List.map
+      (fun (f : Aggregate.failure) ->
+        Wire.Obj
+          [
+            ("run", Wire.Int f.Aggregate.f_index);
+            ("seed", Wire.Int f.Aggregate.f_seed);
+            ("error", Wire.String f.Aggregate.f_error);
+          ])
+      r.r_failures
+  in
+  let discovery =
+    List.map
+      (fun (i, n) -> Wire.List [ Wire.Int i; Wire.Int n ])
+      stats.Aggregate.st_discovery
+  in
+  let timing_fields =
+    if not timing then []
+    else
+      [
+        ("workers", Wire.Int r.r_spec.e_workers);
+        ("wall_s", Wire.Float r.r_wall);
+        ("runs_per_sec", Wire.Float (runs_per_sec r));
+        ("events_per_sec", Wire.Float (events_per_sec r));
+        ("events_per_sec_per_worker", Wire.Float (events_per_sec_per_worker r));
+      ]
+  in
+  Wire.json_to_string
+    (Wire.Obj
+       ([
+          ("strategy", Wire.String (Strategy.name r.r_spec.e_strategy));
+          ("runs", Wire.Int stats.Aggregate.st_runs);
+          ("failures", Wire.List failures);
+          ("distinct_races", Wire.Int stats.Aggregate.st_distinct_races);
+          ( "distinct_fingerprints",
+            Wire.Int stats.Aggregate.st_distinct_fingerprints );
+          ("events", Wire.Int stats.Aggregate.st_events);
+          ("steps", Wire.Int stats.Aggregate.st_steps);
+          ("stop", Wire.String (Aggregate.describe_stop stats.Aggregate.st_stop));
+        ]
+       @ timing_fields
+       @ [ ("discovery", Wire.List discovery); ("races", Wire.List races) ]))
+
+(* ---- wire re-exports ---- *)
+
+let spec_to_json = Wire.spec_to_json
+let spec_of_json = Wire.spec_of_json
+let target_of_json = Wire.target_of_json
+let obs_to_json = Wire.obs_to_json
+let obs_of_json = Wire.obs_of_json
+let failure_to_json = Wire.failure_to_json
+let failure_of_json = Wire.failure_of_json
+let row_to_json = Wire.row_to_json
+let row_of_json = Wire.row_of_json
+let write_obs_channel = Wire.write_obs_channel
+let read_obs_channel = Wire.read_obs_channel
 
 (* ---- the legacy seed sweep, rebased on the engine ---- *)
 
-let sweep ?(workers = 1) (config : Config.t) ~source ~seeds :
-    (string * int) list * (int * string) list =
+type sweep_result = {
+  sw_objects : (string * int) list;
+  sw_failures : (int * string) list;
+}
+
+let sweep ?(workers = 1) (config : Config.t) ~source ~seeds : sweep_result =
   let seeds = Array.of_list seeds in
-  let spec =
-    {
-      e_config = config;
-      e_strategy = Strategy.Seeds seeds;
-      e_workers = workers;
-      e_budget = runs_budget (Array.length seeds);
-      e_pct_horizon = 20_000;
-    }
+  let sp =
+    Campaign.spec
+      ~strategy:(Strategy.Seeds seeds)
+      ~workers
+      ~budget:(runs_budget (Array.length seeds))
+      config
   in
-  let r = run_campaign spec ~source in
-  ( r.r_objects,
-    List.map
-      (fun (f : Aggregate.failure) -> (f.Aggregate.f_seed, f.Aggregate.f_error))
-      r.r_failures )
+  let r = run_campaign sp ~source in
+  {
+    sw_objects = r.r_objects;
+    sw_failures =
+      List.map
+        (fun (f : Aggregate.failure) ->
+          (f.Aggregate.f_seed, f.Aggregate.f_error))
+        r.r_failures;
+  }

@@ -7,22 +7,43 @@
     domains, and aggregates the deduped race reports with a
     reproduction recipe for each.
 
-    Determinism: with a pure run-count budget the campaign executes a
-    fixed, strategy-determined set of runs and merges them in run-index
-    order, so the same {!spec} always yields the same deduped report
-    set regardless of worker scheduling.  A wall-clock budget
-    ({!budget.b_seconds}) trades that away for boundedness. *)
+    Determinism: run indices derive purely from the campaign {!spec}
+    ({!Strategy.mix}), and results are folded in run-index order, so
+    the same spec always yields the same report set regardless of
+    worker scheduling.  That is also what makes campaigns {e shardable}:
+    [run_campaign ~shard:(i, n)] executes only the indices congruent to
+    [i mod n], and {!merge} re-folds rows recorded by any number of
+    shards into the identical single-process report.  A wall-clock
+    budget ({!budget.b_seconds}) trades determinism for boundedness; a
+    plateau window ({!budget.b_plateau}) keeps it — the cutoff is a
+    deterministic function of the row sequence (see {!Aggregate}). *)
 
 module Config = Drd_harness.Config
 
-type budget = {
+(** {1 Campaign description}
+
+    Re-exported from {!Campaign} (type equations, so record literals
+    and [with]-updates keep working) with smart constructors — a spec
+    is a pure, serializable value; see the wire codecs below. *)
+
+type budget = Campaign.budget = {
   b_runs : int;  (** Maximum runs in the campaign. *)
   b_seconds : float option;  (** Optional wall-clock cap. *)
+  b_plateau : int option;
+      (** Adaptive budget: stop after this many consecutive runs with
+          no new distinct race. *)
 }
 
-val runs_budget : int -> budget
+val budget : ?seconds:float -> ?plateau:int -> int -> budget
 
-type spec = {
+val runs_budget : int -> budget
+(** [budget n] with no wall-clock cap and no plateau window. *)
+
+val equal_budget : budget -> budget -> bool
+
+val pp_budget : budget Fmt.t
+
+type spec = Campaign.spec = {
   e_config : Config.t;  (** Base detector configuration. *)
   e_strategy : Strategy.t;
   e_workers : int;  (** Domains to fan out over. *)
@@ -32,8 +53,28 @@ type spec = {
           strategies). *)
 }
 
+val spec :
+  ?strategy:Strategy.t ->
+  ?workers:int ->
+  ?budget:budget ->
+  ?pct_horizon:int ->
+  Config.t ->
+  spec
+(** Defaults: Jitter strategy, 1 worker, 32 runs, horizon 20k. *)
+
 val default_spec : Config.t -> spec
-(** Jitter strategy, 1 worker, 32 runs, horizon 20k. *)
+(** [spec config] with all defaults. *)
+
+val equal_spec : spec -> spec -> bool
+
+val compatible : spec -> spec -> bool
+(** Equal up to [e_workers]: do two specs describe the same campaign
+    (the same deterministic run set)?  This is the merge-safety
+    relation for shard files. *)
+
+val pp_spec : spec Fmt.t
+
+(** {1 Reports} *)
 
 type report = {
   r_spec : spec;
@@ -45,7 +86,10 @@ type report = {
   r_failures : Aggregate.failure list;
       (** Runs that crashed (deadlock, step limit, …) — isolated, never
           fatal to the campaign. *)
-  r_stats : Aggregate.stats;
+  r_obs : Aggregate.run_obs list;
+      (** The folded per-run observations — what a shard emits on the
+          wire ({!rows_of_report}). *)
+  r_stats : Aggregate.stats;  (** Including {!Aggregate.stats.st_stop}. *)
   r_wall : float;  (** Campaign wall clock, worker compiles included. *)
 }
 
@@ -60,17 +104,79 @@ val observe_run :
 (** Execute one schedule and summarize it (races sighted, interleaving
     fingerprint, throughput counters).  Exposed for tests. *)
 
-val run_campaign : spec -> source:string -> report
+val run_campaign : ?shard:int * int -> spec -> source:string -> report
 (** Compile (once per worker) and execute the campaign.  Worker
-    exceptions become {!Aggregate.failure} rows. *)
+    exceptions become {!Aggregate.failure} rows.  [~shard:(i, n)] runs
+    only the indices owned by shard [i] of [n] (those congruent to
+    [i mod n]); raises [Invalid_argument] unless [0 <= i < n]. *)
+
+val report_of_rows :
+  ?wall:float -> ?deadline_hit:bool -> spec -> Aggregate.row list -> report
+(** Fold rows (sorted into run-index order internally) into a report,
+    honoring the spec's plateau window.  This is the single folding
+    path: {!run_campaign} and {!merge} both end here, which is why a
+    merged report is byte-identical to a single-process one. *)
+
+val merge : spec -> Aggregate.row list -> report
+(** [report_of_rows spec rows] — fold rows collected from shard files
+    ([r_wall] is 0; render with [~timing:false]). *)
+
+val rows_of_report : report -> Aggregate.row list
+(** The report's observations and failures as wire rows, in run-index
+    order. *)
+
+(** {1 Rendering}
+
+    Shared by [racedet explore] and [racedet merge] so that a merged
+    campaign reproduces the single-process report byte for byte.
+    [~timing:false] omits everything that depends on wall clock or
+    worker fan-out (use it when comparing shard-merged output against
+    a single-process run). *)
+
+val report_text : ?timing:bool -> target:string -> report -> string
+(** [target] is what reproduction command lines name (a file path or
+    ["-b NAME"]). *)
+
+val report_json : ?timing:bool -> report -> string
+
+(** {1 Wire (re-exported from {!Wire})}
+
+    The versioned JSON-lines observation format for sharded campaigns. *)
+
+val spec_to_json : ?target:string -> spec -> string
+
+val spec_of_json : string -> (spec, string) result
+
+val target_of_json : string -> (string, string) result
+
+val obs_to_json : Aggregate.run_obs -> string
+
+val obs_of_json : string -> (Aggregate.run_obs, string) result
+
+val failure_to_json : Aggregate.failure -> string
+
+val failure_of_json : string -> (Aggregate.failure, string) result
+
+val row_to_json : Aggregate.row -> string
+
+val row_of_json : string -> (Aggregate.row, string) result
+
+val write_obs_channel :
+  out_channel -> ?target:string -> spec -> Aggregate.row list -> unit
+
+val read_obs_channel :
+  in_channel -> (spec * string * Aggregate.row list, string) result
+
+(** {1 The legacy seed sweep} *)
+
+type sweep_result = {
+  sw_objects : (string * int) list;
+      (** [(object, runs-that-reported-it)], sorted by frequency. *)
+  sw_failures : (int * string) list;  (** [(seed, error)]. *)
+}
 
 val sweep :
-  ?workers:int ->
-  Config.t ->
-  source:string ->
-  seeds:int list ->
-  (string * int) list * (int * string) list
+  ?workers:int -> Config.t -> source:string -> seeds:int list -> sweep_result
 (** The legacy schedule sweep (formerly [Pipeline.sweep]), rebased onto
     the engine: run once per scheduler seed and aggregate the racy
-    objects as [(object, runs-that-reported-it)] rows sorted by
-    frequency, plus [(seed, error)] failures. *)
+    objects. *)

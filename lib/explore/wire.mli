@@ -1,0 +1,80 @@
+(** The versioned JSON-lines wire format for sharded campaigns.
+
+    A shard of a campaign ([racedet explore --shard I/N --emit-obs F])
+    dumps its raw observations instead of a folded report; [racedet
+    merge F...] validates that all shard files describe the same
+    campaign ({!Campaign.compatible}) and re-folds the rows through
+    {!Aggregate} in run-index order, reproducing the single-process
+    report byte for byte.
+
+    An observation file is one header line (the campaign {!Campaign.spec}
+    plus the presentation target, e.g. ["-b needle"]) followed by one
+    line per {!Aggregate.row}.  Every line carries the schema version;
+    decoders reject lines from a future schema instead of guessing.
+
+    The environment ships no JSON library, so this module carries its
+    own minimal JSON representation ({!json}) with a deterministic
+    printer (stable field order, shortest round-tripping float
+    rendering) and a parser — both exposed for tests and for the CLI's
+    report rendering. *)
+
+val schema_version : int
+(** Current wire schema version (1). *)
+
+(** Minimal JSON value. *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val json_to_string : json -> string
+(** Compact, deterministic rendering (object fields in construction
+    order; floats printed with the shortest representation that parses
+    back to the same double). *)
+
+val json_of_string : string -> (json, string) result
+(** Parse one JSON value; numeric literals without [./e/E] become
+    {!Int}, others {!Float}. *)
+
+val member : string -> json -> json option
+(** Field lookup in an {!Obj}. *)
+
+(* ---- codecs; [to_json] produce one line (no trailing newline) ---- *)
+
+val spec_to_json : ?target:string -> Campaign.spec -> string
+(** The header line.  [?target] is the presentation target the shards
+    were launched with (file name or ["-b NAME"]), recorded so a merged
+    report can render the same reproduction recipes. *)
+
+val spec_of_json : string -> (Campaign.spec, string) result
+
+val target_of_json : string -> (string, string) result
+(** The [target] recorded in a header line ([""] if absent). *)
+
+val obs_to_json : Aggregate.run_obs -> string
+
+val obs_of_json : string -> (Aggregate.run_obs, string) result
+
+val failure_to_json : Aggregate.failure -> string
+
+val failure_of_json : string -> (Aggregate.failure, string) result
+
+val row_to_json : Aggregate.row -> string
+
+val row_of_json : string -> (Aggregate.row, string) result
+(** Dispatches on the line's ["t"] tag (["run"] or ["failure"]). *)
+
+(* ---- whole observation files ---- *)
+
+val write_obs_channel :
+  out_channel -> ?target:string -> Campaign.spec -> Aggregate.row list -> unit
+(** Header line then one line per row. *)
+
+val read_obs_channel :
+  in_channel -> (Campaign.spec * string * Aggregate.row list, string) result
+(** Returns (spec, target, rows in file order); errors carry the
+    offending line number.  Blank lines are skipped. *)

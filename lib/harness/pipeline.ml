@@ -151,8 +151,8 @@ let run ?vm ?tap (c : compiled) : result =
           Sink.null with
           Sink.access =
             count (fun ~tid ~loc ~kind ~locks ~site ->
-                Drd_baselines.Eraser.on_access d
-                  (Event.make_interned ~loc ~thread:tid ~locks ~kind ~site));
+                Drd_baselines.Eraser.on_access_interned d ~loc ~thread:tid
+                  ~locks ~kind ~site);
         }
     | Config.ObjRace ->
         let d = Drd_baselines.Objrace.create () in
@@ -161,8 +161,8 @@ let run ?vm ?tap (c : compiled) : result =
           Sink.null with
           Sink.access =
             count (fun ~tid ~loc ~kind ~locks ~site ->
-                Drd_baselines.Objrace.on_access d
-                  (Event.make_interned ~loc ~thread:tid ~locks ~kind ~site));
+                Drd_baselines.Objrace.on_access_interned d ~loc ~thread:tid
+                  ~locks ~kind ~site);
           call =
             Some
               (fun ~tid ~obj ~locks ~site ->
@@ -177,9 +177,10 @@ let run ?vm ?tap (c : compiled) : result =
         {
           Sink.access =
             count (fun ~tid ~loc ~kind ~locks:_ ~site ->
-                H.on_access d
-                  (Event.make_interned ~loc ~thread:tid ~locks:Lockset_id.empty
-                     ~kind ~site));
+                (* Locksets play no role in happens-before ordering;
+                   keep the reported events lock-free as before. *)
+                H.on_access_interned d ~loc ~thread:tid
+                  ~locks:Lockset_id.empty ~kind ~site);
           acquire = (fun ~tid ~lock -> H.on_acquire d ~thread:tid ~lock);
           release = (fun ~tid ~lock -> H.on_release d ~thread:tid ~lock);
           thread_start =

@@ -14,14 +14,10 @@ let needle_source = H.Programs.needle ()
 
 let contains_sub sub s = Astring_contains.contains s sub
 
-let pct_spec ?(workers = 1) ?(runs = 40) () =
-  {
-    (Explore.default_spec H.Config.full) with
-    Explore.e_strategy = Strategy.Pct 3;
-    e_workers = workers;
-    e_budget = Explore.runs_budget runs;
-    e_pct_horizon = 10_000;
-  }
+let pct_spec ?(workers = 1) ?(runs = 40) ?plateau () =
+  Explore.spec ~strategy:(Strategy.Pct 3) ~workers
+    ~budget:(Explore.budget ?plateau runs)
+    ~pct_horizon:10_000 H.Config.full
 
 let test_default_schedule_misses () =
   let _, r = H.Pipeline.run_source H.Config.full needle_source in
@@ -104,6 +100,82 @@ let test_campaign_worker_invariant () =
   Alcotest.(check bool) "1 worker = 2 workers" true
     (strip_wall one = strip_wall two)
 
+let test_plateau_budget_stops_early () =
+  (* An adaptive budget: once a long stretch of runs brings no new
+     distinct race, the campaign stops instead of burning the rest of
+     the run budget — and says so in the stop reason. *)
+  let runs = 400 in
+  let r =
+    Explore.run_campaign (pct_spec ~runs ~plateau:25 ()) ~source:needle_source
+  in
+  Alcotest.(check bool) "found the race before plateauing" true
+    (r.Explore.r_races <> []);
+  Alcotest.(check bool) "stopped well short of the budget" true
+    (r.Explore.r_stats.Aggregate.st_runs < runs);
+  (match r.Explore.r_stats.Aggregate.st_stop with
+  | Aggregate.Plateau { p_window = 25; p_at = _ } -> ()
+  | s -> Alcotest.failf "stop reason: %s" (Aggregate.describe_stop s));
+  (* The cutoff is part of the deterministic fold: same spec, same
+     truncated report, regardless of runner overshoot or workers. *)
+  let again =
+    Explore.run_campaign
+      (pct_spec ~workers:2 ~runs ~plateau:25 ())
+      ~source:needle_source
+  in
+  Alcotest.(check bool) "plateau cutoff is worker-invariant" true
+    (strip_wall r = strip_wall again)
+
+let test_shard_merge_identity () =
+  (* The distributed path: N shards, each owning the indices congruent
+     to its id, merged back through the wire format, must reproduce the
+     single-process report byte for byte (text and JSON). *)
+  let check_benchmark name source sp =
+    let whole = Explore.run_campaign sp ~source in
+    let shards = 4 in
+    let rows =
+      List.concat_map
+        (fun i ->
+          let r = Explore.run_campaign ~shard:(i, shards) sp ~source in
+          (* ... through the wire: encode each row, decode it back. *)
+          List.map
+            (fun row ->
+              match Explore.row_of_json (Explore.row_to_json row) with
+              | Ok row -> row
+              | Error m -> Alcotest.failf "%s: wire round-trip: %s" name m)
+            (Explore.rows_of_report r))
+        [ 0; 1; 2; 3 ]
+    in
+    let merged = Explore.merge sp rows in
+    let target = "-b " ^ name in
+    Alcotest.(check string)
+      (name ^ ": merged text report is byte-identical")
+      (Explore.report_text ~timing:false ~target whole)
+      (Explore.report_text ~timing:false ~target merged);
+    Alcotest.(check string)
+      (name ^ ": merged JSON report is byte-identical")
+      (Explore.report_json ~timing:false whole)
+      (Explore.report_json ~timing:false merged)
+  in
+  check_benchmark "needle" needle_source (pct_spec ~runs:24 ());
+  let tsp =
+    match H.Programs.find "tsp" with
+    | Some b -> b.H.Programs.b_source
+    | None -> Alcotest.fail "tsp benchmark missing"
+  in
+  check_benchmark "tsp" tsp
+    (Explore.spec ~strategy:Strategy.Jitter ~budget:(Explore.runs_budget 8)
+       H.Config.full)
+
+let test_spec_wire_identity () =
+  (* The spec a shard records is the spec merge folds under. *)
+  let sp = pct_spec ~runs:12 ~plateau:5 () in
+  match Explore.spec_of_json (Explore.spec_to_json ~target:"-b needle" sp) with
+  | Error m -> Alcotest.failf "spec round-trip: %s" m
+  | Ok sp' ->
+      Alcotest.(check bool) "equal_spec" true (Explore.equal_spec sp sp');
+      Alcotest.(check bool) "compatible ignores workers" true
+        (Explore.compatible sp { sp' with Explore.e_workers = 9 })
+
 let test_jitter_contrast () =
   (* Quantum jitter shuffles slice lengths but keeps the round-robin
      structure, so it does NOT manufacture the mid-burst preemption the
@@ -173,4 +245,9 @@ let suite =
       test_campaign_worker_invariant;
     Alcotest.test_case "jitter contrast" `Quick test_jitter_contrast;
     Alcotest.test_case "crash isolation" `Quick test_crash_isolation;
+    Alcotest.test_case "plateau budget stops early" `Quick
+      test_plateau_budget_stops_early;
+    Alcotest.test_case "shard+merge is byte-identical" `Quick
+      test_shard_merge_identity;
+    Alcotest.test_case "spec wire identity" `Quick test_spec_wire_identity;
   ]

@@ -26,4 +26,5 @@ let () =
       ("memloc", Test_memloc.suite);
       ("optimize", Test_optimize.suite);
       ("explore", Test_explore_engine.suite);
+      ("wire", Test_wire.suite);
     ]

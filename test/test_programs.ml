@@ -198,18 +198,19 @@ let test_sweep_aggregation () =
   (* The schedule sweep: the deterministic mtrt races appear in every
      run; elevator reports nothing in any run. *)
   let b = benchmark "mtrt" in
-  let rows, failures =
+  let sw =
     Explore.sweep Config.full ~source:b.Programs.b_source ~seeds:[ 1; 2; 3 ]
   in
-  Alcotest.(check (list (pair string int))) "no failures" []
-    (List.map (fun (s, e) -> (e, s)) failures |> List.map (fun (e, s) -> (e, s)));
+  Alcotest.(check (list (pair int string))) "no failures" []
+    sw.Explore.sw_failures;
   Alcotest.(check int) "two objects, every seed" 2
-    (List.length (List.filter (fun (_, n) -> n = 3) rows));
+    (List.length (List.filter (fun (_, n) -> n = 3) sw.Explore.sw_objects));
   let e = benchmark "elevator" in
-  let rows, _ =
+  let sw =
     Explore.sweep Config.full ~source:e.Programs.b_source ~seeds:[ 1; 2; 3 ]
   in
-  Alcotest.(check (list (pair string int))) "elevator silent" [] rows
+  Alcotest.(check (list (pair string int))) "elevator silent" []
+    sw.Explore.sw_objects
 
 let test_sor_hoisting_claim () =
   (* Section 8.1: sor2 was derived from sor by hoisting subscripts, and

@@ -1,0 +1,371 @@
+(* The campaign wire format (lib/explore/wire.ml): specs, run
+   observations and failure rows must survive encode/decode exactly —
+   including hostile strings — whole observation files must round-trip
+   through channels, and lines from a future schema version must be
+   rejected rather than guessed at. *)
+
+module H = Drd_harness
+module E = Drd_explore
+module Wire = E.Wire
+module Aggregate = E.Aggregate
+module Campaign = E.Campaign
+module Strategy = E.Strategy
+module Interp = Drd_vm.Interp
+
+let contains_sub sub s = Astring_contains.contains s sub
+
+(* ---- generators ---- *)
+
+(* Strings with every class of character the encoder must escape. *)
+let gen_string =
+  QCheck.Gen.(
+    oneof
+      [
+        small_string ~gen:printable;
+        oneofl
+          [
+            "";
+            "plain";
+            "with \"quotes\" and \\backslash\\";
+            "newline\nand\ttab\rand\x0cfeed";
+            "control\x01\x1f chars";
+            "unicode \xc3\xa9 \xe2\x82\xac";
+            "TourElement#12.next";
+            "--seed 7 --quantum 20";
+          ];
+      ])
+
+let gen_float =
+  QCheck.Gen.(
+    oneof
+      [
+        return 0.;
+        return 1.0;
+        return 123456789.0;
+        return 1.5e-9;
+        return 123.456789012345678;
+        map (fun f -> Float.abs f) float;
+      ])
+  |> QCheck.Gen.map (fun f -> if Float.is_nan f || f = Float.infinity then 0. else f)
+
+let gen_policy =
+  QCheck.Gen.(
+    oneof
+      [
+        return Interp.Random_walk;
+        map2
+          (fun depth horizon -> Interp.Pct { depth; horizon })
+          (int_range 1 8) (int_range 100 50_000);
+      ])
+
+let gen_config =
+  QCheck.Gen.(
+    map
+      (fun (base, seed, quantum, policy) ->
+        { base with H.Config.seed; quantum; policy })
+      (quad (oneofl H.Config.all) (int_range 0 10_000) (int_range 1 500)
+         gen_policy))
+
+let gen_strategy =
+  QCheck.Gen.(
+    oneof
+      [
+        return Strategy.Sweep;
+        return Strategy.Jitter;
+        map (fun d -> Strategy.Pct d) (int_range 1 8);
+        map
+          (fun seeds -> Strategy.Seeds (Array.of_list seeds))
+          (list_size (int_bound 6) (int_range 0 1000));
+      ])
+
+let gen_budget =
+  QCheck.Gen.(
+    map
+      (fun (runs, seconds, plateau) ->
+        Campaign.
+          {
+            b_runs = runs;
+            b_seconds = seconds;
+            b_plateau = plateau;
+          })
+      (triple (int_range 1 1000)
+         (opt (map (fun f -> f +. 0.25) (float_bound_exclusive 100.)))
+         (opt (int_range 1 50))))
+
+let gen_spec =
+  QCheck.Gen.(
+    map
+      (fun (config, strategy, workers, bdg, horizon) ->
+        {
+          Campaign.e_config = config;
+          e_strategy = strategy;
+          e_workers = workers;
+          e_budget = bdg;
+          e_pct_horizon = horizon;
+        })
+      (tup5 gen_config gen_strategy (int_range 1 16) gen_budget
+         (int_range 100 100_000)))
+
+let gen_sighting =
+  QCheck.Gen.(
+    map
+      (fun (obj, site_a, site_b, kinds) ->
+        { Aggregate.s_key = Aggregate.key ~obj ~site_a ~site_b; s_kinds = kinds })
+      (quad gen_string gen_string gen_string
+         (oneofl [ ""; "read vs write"; "write vs write" ])))
+
+let gen_obs =
+  QCheck.Gen.(
+    map
+      (fun ((index, seed, spec, repro, sightings), (objects, fp, events, steps, wall)) ->
+        Aggregate.
+          {
+            o_index = index;
+            o_seed = seed;
+            o_spec = spec;
+            o_repro = repro;
+            o_sightings = sightings;
+            o_objects = objects;
+            o_fingerprint = fp;
+            o_events = events;
+            o_steps = steps;
+            o_wall = wall;
+          })
+      (pair
+         (tup5 (int_range 0 100_000) int gen_string gen_string
+            (list_size (int_bound 4) gen_sighting))
+         (tup5
+            (list_size (int_bound 4) gen_string)
+            int (int_range 0 1_000_000) (int_range 0 10_000_000) gen_float)))
+
+let gen_failure =
+  QCheck.Gen.(
+    map
+      (fun (index, seed, error) ->
+        Aggregate.{ f_index = index; f_seed = seed; f_error = error })
+      (triple (int_range (-1) 100_000) int gen_string))
+
+let arb gen = QCheck.make gen
+
+(* ---- round-trip properties ---- *)
+
+let prop_spec_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"spec round-trips"
+    (QCheck.pair (arb gen_spec) (QCheck.make gen_string))
+    (fun (spec, target) ->
+      let line = Wire.spec_to_json ~target spec in
+      (match Wire.spec_of_json line with
+      | Ok spec' ->
+          if not (Campaign.equal_spec spec spec') then
+            QCheck.Test.fail_report "decoded spec differs"
+      | Error m -> QCheck.Test.fail_report ("spec decode failed: " ^ m));
+      (match Wire.target_of_json line with
+      | Ok t when t = target -> ()
+      | Ok t -> QCheck.Test.fail_report ("target mangled: " ^ t)
+      | Error m -> QCheck.Test.fail_report ("target decode failed: " ^ m));
+      true)
+
+let prop_obs_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"run_obs round-trips" (arb gen_obs)
+    (fun obs ->
+      match Wire.obs_of_json (Wire.obs_to_json obs) with
+      | Ok obs' -> obs = obs'
+      | Error m -> QCheck.Test.fail_report ("obs decode failed: " ^ m))
+
+let prop_failure_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"failure round-trips" (arb gen_failure)
+    (fun f ->
+      match Wire.failure_of_json (Wire.failure_to_json f) with
+      | Ok f' -> f = f'
+      | Error m -> QCheck.Test.fail_report ("failure decode failed: " ^ m))
+
+let prop_row_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"row round-trips (tag dispatch)"
+    (QCheck.make
+       QCheck.Gen.(
+         oneof
+           [
+             map (fun o -> Aggregate.Run o) gen_obs;
+             map (fun f -> Aggregate.Failed f) gen_failure;
+           ]))
+    (fun row ->
+      match Wire.row_of_json (Wire.row_to_json row) with
+      | Ok row' -> row = row'
+      | Error m -> QCheck.Test.fail_report ("row decode failed: " ^ m))
+
+let prop_json_value_roundtrip =
+  (* The JSON layer itself: print-then-parse is the identity on values
+     the codecs produce (no NaN/infinity, ints distinct from floats). *)
+  let gen_json =
+    QCheck.Gen.(
+      sized (fun n ->
+          fix
+            (fun self n ->
+              let leaf =
+                oneof
+                  [
+                    return Wire.Null;
+                    map (fun b -> Wire.Bool b) bool;
+                    map (fun i -> Wire.Int i) int;
+                    map (fun f -> Wire.Float f) gen_float;
+                    map (fun s -> Wire.String s) gen_string;
+                  ]
+              in
+              if n <= 0 then leaf
+              else
+                oneof
+                  [
+                    leaf;
+                    map
+                      (fun l -> Wire.List l)
+                      (list_size (int_bound 4) (self (n / 2)));
+                    map
+                      (fun fields -> Wire.Obj fields)
+                      (list_size (int_bound 4)
+                         (pair gen_string (self (n / 2))));
+                  ])
+            (min n 6)))
+  in
+  QCheck.Test.make ~count:500 ~name:"json print/parse identity"
+    (QCheck.make gen_json) (fun v ->
+      match Wire.json_of_string (Wire.json_to_string v) with
+      | Ok v' -> v = v'
+      | Error m -> QCheck.Test.fail_report ("parse failed: " ^ m))
+
+(* ---- schema-version and malformed-input rejection ---- *)
+
+let test_future_version_rejected () =
+  let check_rejected what = function
+    | Error m ->
+        Alcotest.(check bool)
+          (what ^ " error mentions the schema version")
+          true
+          (contains_sub "version" m)
+    | Ok _ -> Alcotest.failf "%s from the future was accepted" what
+  in
+  check_rejected "spec"
+    (Wire.spec_of_json {|{"v":2,"t":"spec","target":"","spec":{}}|});
+  check_rejected "obs" (Wire.obs_of_json {|{"v":99,"t":"run","obs":{}}|});
+  check_rejected "row" (Wire.row_of_json {|{"v":2,"t":"run","obs":{}}|});
+  (* A current-version line is still fine through the same path. *)
+  let f = { Aggregate.f_index = 3; f_seed = 4; f_error = "boom" } in
+  Alcotest.(check bool) "current version accepted" true
+    (Wire.failure_of_json (Wire.failure_to_json f) = Ok f)
+
+let test_malformed_rejected () =
+  let bad s =
+    match Wire.row_of_json s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted malformed line %S" s
+  in
+  bad "";
+  bad "not json";
+  bad "{\"v\":1}";
+  bad {|{"v":1,"t":"spec","target":"x","spec":{}}|};
+  (* wrong tag for row *)
+  bad {|{"v":1,"t":"run"}|};
+  (* missing body *)
+  bad {|{"v":1,"t":"run","obs":{"index":1}} trailing|};
+  match Wire.json_of_string "{\"a\":1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted unterminated object"
+
+let test_int_float_distinction () =
+  Alcotest.(check bool) "int parses as Int" true
+    (Wire.json_of_string "42" = Ok (Wire.Int 42));
+  Alcotest.(check bool) "1.0 parses as Float" true
+    (Wire.json_of_string "1.0" = Ok (Wire.Float 1.0));
+  Alcotest.(check bool) "1e3 parses as Float" true
+    (Wire.json_of_string "1e3" = Ok (Wire.Float 1000.0));
+  Alcotest.(check string) "integral float keeps .0" "1.0"
+    (Wire.json_to_string (Wire.Float 1.0))
+
+(* ---- whole files through channels ---- *)
+
+let test_channel_roundtrip () =
+  let spec = Campaign.default_spec H.Config.full in
+  let rows =
+    [
+      Aggregate.Run
+        {
+          Aggregate.o_index = 0;
+          o_seed = 42;
+          o_spec = "seed 42, quantum 20";
+          o_repro = "--seed 42";
+          o_sightings =
+            [
+              {
+                Aggregate.s_key =
+                  Aggregate.key ~obj:"G.data[]" ~site_a:"a" ~site_b:"b";
+                s_kinds = "write vs read";
+              };
+            ];
+          o_objects = [ "G.data[]" ];
+          o_fingerprint = 123456;
+          o_events = 10;
+          o_steps = 100;
+          o_wall = 0.25;
+        };
+      Aggregate.Failed { Aggregate.f_index = 1; f_seed = 7; f_error = "kaboom" };
+    ]
+  in
+  let path = Filename.temp_file "drd_wire" ".obs" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Wire.write_obs_channel oc ~target:"-b needle" spec rows;
+      close_out oc;
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match Wire.read_obs_channel ic with
+          | Error m -> Alcotest.failf "read back failed: %s" m
+          | Ok (spec', target', rows') ->
+              Alcotest.(check bool) "spec" true
+                (Campaign.equal_spec spec spec');
+              Alcotest.(check string) "target" "-b needle" target';
+              Alcotest.(check bool) "rows" true (rows = rows')))
+
+let test_channel_errors_carry_line_numbers () =
+  let spec = Campaign.default_spec H.Config.full in
+  let path = Filename.temp_file "drd_wire" ".obs" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc (Wire.spec_to_json ~target:"x" spec);
+      output_string oc "\n{\"v\":1,\"t\":\"run\"}\n";
+      close_out oc;
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match Wire.read_obs_channel ic with
+          | Ok _ -> Alcotest.fail "accepted a broken row"
+          | Error m ->
+              Alcotest.(check bool) "error names line 2" true
+                (contains_sub "line 2" m)))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_spec_roundtrip;
+      prop_obs_roundtrip;
+      prop_failure_roundtrip;
+      prop_row_roundtrip;
+      prop_json_value_roundtrip;
+    ]
+  @ [
+      Alcotest.test_case "future schema version rejected" `Quick
+        test_future_version_rejected;
+      Alcotest.test_case "malformed lines rejected" `Quick
+        test_malformed_rejected;
+      Alcotest.test_case "int/float distinction" `Quick
+        test_int_float_distinction;
+      Alcotest.test_case "observation files round-trip" `Quick
+        test_channel_roundtrip;
+      Alcotest.test_case "read errors carry line numbers" `Quick
+        test_channel_errors_carry_line_numbers;
+    ]
