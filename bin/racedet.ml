@@ -642,7 +642,10 @@ let explore_cmd =
           ~doc:
             "Adaptive budget: stop after $(docv) consecutive runs that \
              discover no new distinct race (deterministic, unlike \
-             $(b,--max-seconds)).")
+             $(b,--max-seconds)).  With $(b,--shard) the window is a \
+             campaign-wide property the shard cannot evaluate alone, so \
+             each shard runs its full slice and $(b,racedet merge) \
+             applies the window.")
   in
   let shard =
     Arg.(
@@ -652,7 +655,8 @@ let explore_cmd =
           ~doc:
             "Run only shard $(i,I) of $(i,N) — the run indices congruent \
              to I mod N.  Combine with $(b,--emit-obs) and $(b,racedet \
-             merge) for distributed campaigns.")
+             merge) for distributed campaigns.  A $(b,--plateau) window \
+             is deferred to merge time (the shard emits its full slice).")
   in
   let emit_obs =
     Arg.(
@@ -740,14 +744,50 @@ let merge_impl files json =
                       "run index %d appears in more than one input \
                        (overlapping shards?); refusing to merge"
                       (E.Aggregate.row_index row) )
-            | None ->
-                let r = E.Explore.merge spec0 rows in
-                if json then
-                  print_endline (E.Explore.report_json ~timing:false r)
-                else
-                  print_string
-                    (E.Explore.report_text ~timing:false ~target:target0 r);
-                `Ok ()))
+            | None -> (
+                (* The inverse failure of overlap: a missing shard file
+                   or truncated tail leaves gaps in the index range, and
+                   the fold would silently produce a plausible report
+                   that is not the single-process one.  With a purely
+                   runs-based budget every index must be present; with a
+                   wall-clock or plateau budget, runs legitimately never
+                   executed, so only warn. *)
+                let missing = E.Explore.missing_indices spec0 rows in
+                let b = spec0.E.Explore.e_budget in
+                let pure_runs_budget =
+                  b.E.Explore.b_seconds = None && b.E.Explore.b_plateau = None
+                in
+                let describe_missing () =
+                  let shown =
+                    List.filteri (fun k _ -> k < 8) missing
+                    |> List.map string_of_int
+                  in
+                  Printf.sprintf "%d of %d run indices missing (%s%s)"
+                    (List.length missing) b.E.Explore.b_runs
+                    (String.concat ", " shown)
+                    (if List.length missing > 8 then ", ..." else "")
+                in
+                match missing with
+                | _ :: _ when pure_runs_budget ->
+                    `Error
+                      ( false,
+                        describe_missing ()
+                        ^ " — incomplete shard set or truncated file? \
+                           refusing to merge" )
+                | _ ->
+                    if missing <> [] then
+                      Printf.eprintf
+                        "warning: %s; assuming the campaign's \
+                         wall-clock/plateau budget stopped those runs\n\
+                         %!"
+                        (describe_missing ());
+                    let r = E.Explore.merge spec0 rows in
+                    if json then
+                      print_endline (E.Explore.report_json ~timing:false r)
+                    else
+                      print_string
+                        (E.Explore.report_text ~timing:false ~target:target0 r);
+                    `Ok ())))
 
 let merge_cmd =
   let doc = "merge shard observation files into one campaign report" in
@@ -757,8 +797,12 @@ let merge_cmd =
       `P
         "Validates that every input records the same campaign \
          (configuration, strategy, budget — worker fan-out may differ), \
-         then re-folds the observations in run-index order.  The report \
-         is byte-identical to running the whole campaign in one process \
+         that no run index appears twice (overlapping shards), and — \
+         for purely runs-based budgets — that every run index is \
+         present (an incomplete shard set is an error; under a \
+         wall-clock or plateau budget gaps only warn).  It then \
+         re-folds the observations in run-index order.  The report is \
+         byte-identical to running the whole campaign in one process \
          with $(b,--no-timing).";
       `P
         "Produce inputs with $(b,racedet explore --shard I/N --emit-obs \

@@ -146,9 +146,10 @@ let observe_run (c : Pipeline.compiled) (sp : Strategy.run_spec) :
 
 (* ---- folding rows into a report ---- *)
 
-let report_of_rows ?(wall = 0.) ?(deadline_hit = false) (sp : spec) rows :
-    report =
-  let agg = Aggregate.create ?plateau:sp.e_budget.b_plateau () in
+let report_of_rows ?(wall = 0.) ?(deadline_hit = false) ?(apply_plateau = true)
+    (sp : spec) rows : report =
+  let plateau = if apply_plateau then sp.e_budget.b_plateau else None in
+  let agg = Aggregate.create ?plateau () in
   if deadline_hit then Aggregate.note_deadline agg;
   (* Fold in run-index order so first-seen attribution, the discovery
      curve and the plateau cutoff do not depend on worker interleaving
@@ -168,6 +169,24 @@ let report_of_rows ?(wall = 0.) ?(deadline_hit = false) (sp : spec) rows :
   }
 
 let merge sp rows = report_of_rows sp rows
+
+(* Run indices the campaign's deterministic index range owns but [rows]
+   do not cover — at merge time, evidence of an incomplete shard set.
+   Compile failures carry index -1 (per-shard, outside the range) and
+   are ignored. *)
+let missing_indices (sp : spec) rows =
+  let total =
+    match Strategy.count sp.e_strategy with
+    | Some n -> min n sp.e_budget.b_runs
+    | None -> sp.e_budget.b_runs
+  in
+  let present = Hashtbl.create 64 in
+  List.iter
+    (fun row ->
+      let i = Aggregate.row_index row in
+      if i >= 0 then Hashtbl.replace present i ())
+    rows;
+  List.init total Fun.id |> List.filter (fun i -> not (Hashtbl.mem present i))
 
 let rows_of_report r =
   List.sort
@@ -266,7 +285,16 @@ let run_campaign ?shard (sp : spec) ~source : report =
   in
   let t0 = Unix.gettimeofday () in
   let deadline = Option.map (fun s -> t0 +. s) b.b_seconds in
-  let tracker = Option.map tracker_make b.b_plateau in
+  (* A shard sees only its own subsequence of the discovery curve, so a
+     locally-armed plateau window would trip at a different point than
+     the campaign-wide fold does (a shard whose indices happen to be
+     quiet would stop and drop rows below the true cutoff while another
+     shard keeps discovering).  In shard mode the window is therefore
+     deferred entirely to merge time: the shard runs its full owned
+     slice and emits every row, and the merge fold applies the plateau
+     over the re-assembled index sequence. *)
+  let local_plateau = if shard_n > 1 then None else b.b_plateau in
+  let tracker = Option.map tracker_make local_plateau in
   let next = Atomic.make 0 in
   (* Each worker compiles its own copy of the program (compilation
      mutates the IR in place during instrumentation, so domains must not
@@ -341,7 +369,7 @@ let run_campaign ?shard (sp : spec) ~source : report =
         @ List.map (fun f -> Aggregate.Failed f) w.w_failures)
       outs
   in
-  report_of_rows ~wall ~deadline_hit sp rows
+  report_of_rows ~wall ~deadline_hit ~apply_plateau:(shard_n = 1) sp rows
 
 (* ---- report rendering (shared by explore and merge so their output
    is byte-identical) ---- *)

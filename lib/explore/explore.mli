@@ -108,18 +108,42 @@ val run_campaign : ?shard:int * int -> spec -> source:string -> report
 (** Compile (once per worker) and execute the campaign.  Worker
     exceptions become {!Aggregate.failure} rows.  [~shard:(i, n)] runs
     only the indices owned by shard [i] of [n] (those congruent to
-    [i mod n]); raises [Invalid_argument] unless [0 <= i < n]. *)
+    [i mod n]); raises [Invalid_argument] unless [0 <= i < n].
+
+    A plateau window ({!budget.b_plateau}) is a campaign-wide property:
+    a shard cannot evaluate it against only its own subsequence of the
+    discovery curve.  In shard mode ([n > 1]) the window is therefore
+    not applied locally — the shard runs its full owned slice and its
+    report/rows contain every owned run — and {!merge} applies the
+    window over the re-assembled index sequence, which is what keeps
+    the merged report byte-identical to the single-process one. *)
 
 val report_of_rows :
-  ?wall:float -> ?deadline_hit:bool -> spec -> Aggregate.row list -> report
+  ?wall:float ->
+  ?deadline_hit:bool ->
+  ?apply_plateau:bool ->
+  spec ->
+  Aggregate.row list ->
+  report
 (** Fold rows (sorted into run-index order internally) into a report,
-    honoring the spec's plateau window.  This is the single folding
-    path: {!run_campaign} and {!merge} both end here, which is why a
-    merged report is byte-identical to a single-process one. *)
+    honoring the spec's plateau window unless [~apply_plateau:false]
+    (shard-local folds, where the window must wait for the merge).
+    This is the single folding path: {!run_campaign} and {!merge} both
+    end here, which is why a merged report is byte-identical to a
+    single-process one. *)
 
 val merge : spec -> Aggregate.row list -> report
 (** [report_of_rows spec rows] — fold rows collected from shard files
     ([r_wall] is 0; render with [~timing:false]). *)
+
+val missing_indices : spec -> Aggregate.row list -> int list
+(** Run indices in [0 .. total_runs - 1] (the campaign's deterministic
+    index range, [total_runs] being the run budget capped by the
+    strategy's intrinsic count) that no row covers, in ascending order.
+    Non-empty input to {!merge} means an incomplete shard set: with a
+    purely runs-based budget the merged report would silently differ
+    from the single-process run.  Failure rows with index [-1]
+    (per-shard compile failures) are ignored. *)
 
 val rows_of_report : report -> Aggregate.row list
 (** The report's observations and failures as wire rows, in run-index

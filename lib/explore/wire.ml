@@ -43,9 +43,16 @@ let escape_string b s =
   Buffer.add_char b '"'
 
 (* Shortest decimal rendering that parses back to the same double; the
-   ".0" suffix keeps integral floats distinct from Ints on re-parse. *)
+   ".0" suffix keeps integral floats distinct from Ints on re-parse.
+   JSON has no encoding for NaN/infinity ("%g" would print "nan"/"inf",
+   which fails to re-parse and poisons the shard file), so non-finite
+   values are an encode-time error rather than a corrupt line. *)
 let float_repr f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  if not (Float.is_finite f) then
+    invalid_arg
+      (Printf.sprintf
+         "Wire.json_to_string: non-finite float %h has no JSON encoding" f)
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
   else
     let s = Printf.sprintf "%.15g" f in
     if float_of_string s = f then s else Printf.sprintf "%.17g" f
@@ -111,15 +118,22 @@ let json_of_string s =
     end
     else fail "bad literal at offset %d" !pos
   in
-  (* UTF-8 encode a BMP code point from a \uXXXX escape. *)
+  (* UTF-8 encode a code point (BMP or, via a surrogate pair,
+     supplementary plane) from \uXXXX escapes. *)
   let add_utf8 b cp =
     if cp < 0x80 then Buffer.add_char b (Char.chr cp)
     else if cp < 0x800 then begin
       Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
       Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
     end
-    else begin
+    else if cp < 0x10000 then begin
       Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
       Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
       Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
     end
@@ -146,14 +160,35 @@ let json_of_string s =
          | 'r' -> Buffer.add_char b '\r'
          | 't' -> Buffer.add_char b '\t'
          | 'u' ->
-             if !pos + 4 > n then fail "truncated \\u escape";
-             let hex = String.sub s !pos 4 in
-             pos := !pos + 4;
-             let cp =
+             let hex4 () =
+               if !pos + 4 > n then fail "truncated \\u escape";
+               let hex = String.sub s !pos 4 in
+               pos := !pos + 4;
                try int_of_string ("0x" ^ hex)
                with _ -> fail "bad \\u escape \\u%s" hex
              in
-             add_utf8 b cp
+             let cp = hex4 () in
+             if cp >= 0xD800 && cp <= 0xDBFF then begin
+               (* A high surrogate is only half a code point: it must
+                  pair with a following \u low surrogate, the two
+                  combining into one supplementary-plane code point
+                  (emitting them separately would produce CESU-8, not
+                  UTF-8). *)
+               if not (!pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u')
+               then
+                 fail "high surrogate \\u%04X not followed by \\u escape" cp;
+               pos := !pos + 2;
+               let lo = hex4 () in
+               if lo < 0xDC00 || lo > 0xDFFF then
+                 fail "high surrogate \\u%04X followed by \\u%04X (not a low \
+                       surrogate)"
+                   cp lo;
+               add_utf8 b
+                 (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+             end
+             else if cp >= 0xDC00 && cp <= 0xDFFF then
+               fail "lone low surrogate \\u%04X" cp
+             else add_utf8 b cp
          | e -> fail "bad escape '\\%c'" e);
         go ()
       end

@@ -34,11 +34,15 @@ type json =
 val json_to_string : json -> string
 (** Compact, deterministic rendering (object fields in construction
     order; floats printed with the shortest representation that parses
-    back to the same double). *)
+    back to the same double).  Raises [Invalid_argument] on a
+    non-finite {!Float} — JSON has no encoding for NaN/infinity, and a
+    corrupt line that fails to re-parse would be strictly worse. *)
 
 val json_of_string : string -> (json, string) result
 (** Parse one JSON value; numeric literals without [./e/E] become
-    {!Int}, others {!Float}. *)
+    {!Int}, others {!Float}.  [\uXXXX] escapes decode to UTF-8,
+    combining surrogate pairs into one supplementary-plane code point;
+    lone surrogates are rejected. *)
 
 val member : string -> json -> json option
 (** Field lookup in an {!Obj}. *)

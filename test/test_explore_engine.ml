@@ -166,6 +166,65 @@ let test_shard_merge_identity () =
     (Explore.spec ~strategy:Strategy.Jitter ~budget:(Explore.runs_budget 8)
        H.Config.full)
 
+let test_shard_plateau_merge () =
+  (* Plateau x sharding: the window is a campaign-wide property, so a
+     shard must NOT truncate locally — a shard whose own indices go
+     quiet while another shard keeps discovering would otherwise stop
+     below the true cutoff and the merged fold would see gaps.  Each
+     shard has to emit its complete owned slice, and the merge-time
+     fold alone applies the window, reproducing the single-process
+     adaptive report byte for byte. *)
+  let runs = 400 and shards = 4 in
+  let sp = pct_spec ~runs ~plateau:25 () in
+  let whole = Explore.run_campaign sp ~source:needle_source in
+  (match whole.Explore.r_stats.Aggregate.st_stop with
+  | Aggregate.Plateau _ -> ()
+  | s ->
+      Alcotest.failf "single-process run did not plateau: %s"
+        (Aggregate.describe_stop s));
+  let rows =
+    List.concat_map
+      (fun i ->
+        let r = Explore.run_campaign ~shard:(i, shards) sp ~source:needle_source in
+        let rows = Explore.rows_of_report r in
+        (* The full owned slice, not a locally-plateaued prefix. *)
+        let owned = (runs - i + shards - 1) / shards in
+        Alcotest.(check int)
+          (Printf.sprintf "shard %d/%d emits its whole slice" i shards)
+          owned (List.length rows);
+        rows)
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "shards cover the whole index range" []
+    (Explore.missing_indices sp rows);
+  let merged = Explore.merge sp rows in
+  let target = "-b needle" in
+  Alcotest.(check string) "merged text == single-process adaptive text"
+    (Explore.report_text ~timing:false ~target whole)
+    (Explore.report_text ~timing:false ~target merged);
+  Alcotest.(check string) "merged JSON == single-process adaptive JSON"
+    (Explore.report_json ~timing:false whole)
+    (Explore.report_json ~timing:false merged)
+
+let test_missing_indices () =
+  (* Merge-time completeness: dropping rows from a complete campaign
+     must surface exactly the dropped indices. *)
+  let sp = pct_spec ~runs:8 () in
+  let rows =
+    Explore.rows_of_report (Explore.run_campaign sp ~source:needle_source)
+  in
+  Alcotest.(check (list int)) "complete row set has no gaps" []
+    (Explore.missing_indices sp rows);
+  let dropped =
+    List.filter
+      (fun row ->
+        let i = Aggregate.row_index row in
+        i <> 3 && i <> 5)
+      rows
+  in
+  Alcotest.(check (list int)) "dropped indices are reported in order" [ 3; 5 ]
+    (Explore.missing_indices sp dropped)
+
 let test_spec_wire_identity () =
   (* The spec a shard records is the spec merge folds under. *)
   let sp = pct_spec ~runs:12 ~plateau:5 () in
@@ -249,5 +308,8 @@ let suite =
       test_plateau_budget_stops_early;
     Alcotest.test_case "shard+merge is byte-identical" `Quick
       test_shard_merge_identity;
+    Alcotest.test_case "shard+plateau merges byte-identical" `Quick
+      test_shard_plateau_merge;
+    Alcotest.test_case "missing indices detected" `Quick test_missing_indices;
     Alcotest.test_case "spec wire identity" `Quick test_spec_wire_identity;
   ]

@@ -270,6 +270,37 @@ let test_malformed_rejected () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "accepted unterminated object"
 
+let test_unicode_escapes () =
+  Alcotest.(check bool) "BMP escape decodes to UTF-8" true
+    (Wire.json_of_string "\"\\u20AC\"" = Ok (Wire.String "\xe2\x82\xac"));
+  (* A surrogate pair is ONE supplementary code point (4-byte UTF-8),
+     not two 3-byte CESU-8 sequences. *)
+  Alcotest.(check bool) "surrogate pair combines (U+1F600)" true
+    (Wire.json_of_string "\"\\uD83D\\uDE00\""
+    = Ok (Wire.String "\xf0\x9f\x98\x80"));
+  let rejected what s =
+    match Wire.json_of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %s: %s" what s
+  in
+  rejected "lone high surrogate" "\"\\uD83D\"";
+  rejected "high surrogate then plain text" "\"\\uD83D rest\"";
+  rejected "lone low surrogate" "\"\\uDE00\"";
+  rejected "high surrogate then non-surrogate escape" "\"\\uD83D\\u0041\""
+
+let test_nonfinite_floats_rejected_at_encode () =
+  (* "%g" would print "nan"/"inf" — invalid JSON that fails to re-parse
+     and poisons a shard file; the encoder must refuse instead. *)
+  let raises what v =
+    match Wire.json_to_string v with
+    | exception Invalid_argument _ -> ()
+    | s -> Alcotest.failf "encoded %s as %s" what s
+  in
+  raises "nan" (Wire.Float Float.nan);
+  raises "inf" (Wire.Float Float.infinity);
+  raises "-inf" (Wire.Float Float.neg_infinity);
+  raises "nested nan" (Wire.Obj [ ("wall", Wire.Float Float.nan) ])
+
 let test_int_float_distinction () =
   Alcotest.(check bool) "int parses as Int" true
     (Wire.json_of_string "42" = Ok (Wire.Int 42));
@@ -364,6 +395,10 @@ let suite =
         test_malformed_rejected;
       Alcotest.test_case "int/float distinction" `Quick
         test_int_float_distinction;
+      Alcotest.test_case "unicode escapes (surrogate pairs)" `Quick
+        test_unicode_escapes;
+      Alcotest.test_case "non-finite floats rejected at encode" `Quick
+        test_nonfinite_floats_rejected_at_encode;
       Alcotest.test_case "observation files round-trip" `Quick
         test_channel_roundtrip;
       Alcotest.test_case "read errors carry line numbers" `Quick
