@@ -222,6 +222,46 @@ let explore_bench ~quick ~json () =
   let cores = Domain.recommended_domain_count () in
   fpf "speedup: 2 workers %.2fx, 4 workers %.2fx (%d core%s available)@.@."
     (speedup 2) (speedup 4) cores (if cores = 1 then "" else "s");
+  (* Happens-before replay pruning: how many detector replays --equiv hb
+     skips on PCT campaigns, with the invariant that the deduped race
+     report stays identical to the raw-equivalence campaign's. *)
+  let hb_cases =
+    (* tsp schedules diverge fast at long horizons (every run its own
+       class); 5k priority-change points is where PCT revisits
+       happens-before classes often enough for pruning to bite. *)
+    let runs = if quick then 40 else 80 in
+    [ ("needle", runs, 10_000); ("tsp", runs, 5_000) ]
+  in
+  fpf "Happens-before replay pruning (pct campaigns, --equiv hb)@.";
+  fpf "%8s %6s %9s %8s %13s %13s@." "program" "runs" "classes" "pruned"
+    "pruned rate" "races match";
+  let hb_rows =
+    List.map
+      (fun (name, runs, horizon) ->
+        let b = Option.get (H.Programs.find name) in
+        let spec equiv =
+          E.Explore.spec ~strategy:(E.Strategy.Pct 3)
+            ~budget:(E.Explore.runs_budget runs) ~pct_horizon:horizon ~equiv
+            H.Config.full
+        in
+        let run equiv =
+          E.Explore.run_campaign (spec equiv) ~source:b.H.Programs.b_source
+        in
+        let raw = run E.Explore.Raw and hb = run E.Explore.Hb in
+        let stats = hb.E.Explore.r_stats in
+        let pruned = stats.E.Aggregate.st_pruned_runs in
+        let classes = stats.E.Aggregate.st_equiv_classes in
+        let rate = float_of_int pruned /. float_of_int (max runs 1) in
+        let races_match =
+          raw.E.Explore.r_races = hb.E.Explore.r_races
+          && raw.E.Explore.r_objects = hb.E.Explore.r_objects
+        in
+        fpf "%8s %6d %9d %8d %12.1f%% %13b@." name runs classes pruned
+          (100. *. rate) races_match;
+        (name, runs, horizon, classes, pruned, rate, races_match))
+      hb_cases
+  in
+  fpf "@.";
   if json then begin
     let buf = Buffer.create 1024 in
     let bpf fmt = Printf.bprintf buf fmt in
@@ -245,8 +285,19 @@ let explore_bench ~quick ~json () =
         ())
       rows;
     bpf "  ],\n";
-    bpf "  \"speedup_2_workers\": %.3f,\n  \"speedup_4_workers\": %.3f\n}\n"
+    bpf "  \"speedup_2_workers\": %.3f,\n  \"speedup_4_workers\": %.3f,\n"
       (speedup 2) (speedup 4);
+    bpf "  \"hb_pruning\": [\n";
+    List.iteri
+      (fun i (name, runs, horizon, classes, pruned, rate, races_match) ->
+        bpf
+          "    { \"program\": \"%s\", \"strategy\": \"pct(d=3)\", \"runs\": \
+           %d, \"pct_horizon\": %d, \"equiv_classes\": %d, \"pruned_runs\": \
+           %d, \"pruned_rate\": %.3f, \"races_match_raw\": %b }%s\n"
+          name runs horizon classes pruned rate races_match
+          (if i = List.length hb_rows - 1 then "" else ","))
+      hb_rows;
+    bpf "  ]\n}\n";
     let oc = open_out "BENCH_explore.json" in
     output_string oc (Buffer.contents buf);
     close_out oc;

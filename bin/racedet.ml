@@ -573,8 +573,8 @@ let parse_shard = function
           | _ -> bad ()))
 
 let explore_impl file benchmark config_name strategy depth workers runs
-    max_seconds plateau seed quantum pct_horizon shard emit_obs no_timing
-    json =
+    max_seconds plateau seed quantum pct_horizon equiv shard emit_obs
+    no_timing json =
   match load_source file benchmark with
   | Error e -> `Error (false, e)
   | Ok source -> (
@@ -584,6 +584,9 @@ let explore_impl file benchmark config_name strategy depth workers runs
           match E.Strategy.of_string strategy with
           | Error e -> `Error (false, e)
           | Ok strategy -> (
+            match E.Explore.equiv_of_string equiv with
+            | Error e -> `Error (false, e)
+            | Ok equiv -> (
               match parse_shard shard with
               | Error e -> `Error (false, e)
               | Ok shard ->
@@ -595,7 +598,7 @@ let explore_impl file benchmark config_name strategy depth workers runs
                   let sp =
                     E.Explore.spec ~strategy ~workers:(max workers 1)
                       ~budget:(E.Explore.budget ?seconds:max_seconds ?plateau runs)
-                      ~pct_horizon config
+                      ~pct_horizon ~equiv config
                   in
                   let r = E.Explore.run_campaign ?shard sp ~source in
                   let target = target_of file benchmark in
@@ -619,7 +622,7 @@ let explore_impl file benchmark config_name strategy depth workers runs
                         print_string
                           (E.Explore.report_text ~timing:(not no_timing)
                              ~target r));
-                  `Ok ())))
+                  `Ok ()))))
 
 let explore_cmd =
   let doc =
@@ -668,13 +671,24 @@ let explore_cmd =
              (schema-versioned JSON lines) to $(docv) for $(b,racedet \
              merge).")
   in
+  let equiv =
+    Arg.(
+      value & opt string "raw"
+      & info [ "equiv" ] ~docv:"MODE"
+          ~doc:
+            "Schedule-equivalence mode: $(b,raw) fingerprints the exact \
+             event order; $(b,hb) fingerprints the happens-before \
+             structure and skips detector replay for schedules \
+             equivalent to one already seen (the run still counts, and \
+             the deduped race report is identical to $(b,raw)'s).")
+  in
   Cmd.v
     (Cmd.info "explore" ~doc)
     Term.(
       ret
         (const explore_impl $ file_arg $ benchmark_arg $ config_arg
        $ strategy_arg $ depth_arg $ workers_arg $ runs_arg $ max_seconds
-       $ plateau $ seed_arg $ quantum_arg $ pct_horizon_arg $ shard
+       $ plateau $ seed_arg $ quantum_arg $ pct_horizon_arg $ equiv $ shard
        $ emit_obs $ no_timing_arg $ json_arg))
 
 (* ---- merge: re-fold shard observation files ---- *)
@@ -711,13 +725,30 @@ let merge_impl files json =
             (fun (_, (sp, _, _)) -> not (E.Explore.compatible spec0 sp))
             (List.tl shards)
         with
-        | Some (p, _) ->
+        | Some (p, (sp, _, _)) ->
+            (* Name the mismatch when it is only the equivalence mode:
+               rows recorded under different equivalences fold into
+               different class/pruning stats, so mixing them would
+               produce a report no single-process campaign matches. *)
+            let only_equiv_differs =
+              E.Explore.compatible spec0
+                { sp with E.Explore.e_equiv = spec0.E.Explore.e_equiv }
+            in
             `Error
               ( false,
-                Printf.sprintf
-                  "%s and %s describe different campaigns (spec mismatch); \
-                   refusing to merge"
-                  p0 p )
+                if only_equiv_differs then
+                  Printf.sprintf
+                    "%s records a %s-equivalence campaign but %s records \
+                     %s (mixed equivalence modes); refusing to merge"
+                    p0
+                    (E.Explore.equiv_name spec0.E.Explore.e_equiv)
+                    p
+                    (E.Explore.equiv_name sp.E.Explore.e_equiv)
+                else
+                  Printf.sprintf
+                    "%s and %s describe different campaigns (spec mismatch); \
+                     refusing to merge"
+                    p0 p )
         | None -> (
             let rows = List.concat_map (fun (_, (_, _, rs)) -> rs) shards in
             (* A run index in two inputs means overlapping shards — the

@@ -57,6 +57,7 @@ type run_obs = {
   o_sightings : sighting list;
   o_objects : string list; (* raw racy-object names (sweep compat) *)
   o_fingerprint : int;
+  o_hb_fingerprint : int option; (* happens-before class (hb campaigns) *)
   o_events : int;
   o_steps : int;
   o_wall : float; (* VM seconds for this run *)
@@ -94,6 +95,7 @@ let describe_stop = function
 
 type t = {
   plateau : int option;
+  hb : bool; (* fold under happens-before equivalence *)
   mutable quiet : int; (* consecutive folded rows with no new race *)
   mutable plateau_stop : (int * int) option; (* window, tripping index *)
   mutable deadline_hit : bool;
@@ -102,6 +104,8 @@ type t = {
   mutable obs : run_obs list; (* reverse fold order *)
   races : (race_key, deduped) Hashtbl.t;
   fingerprints : (int, int) Hashtbl.t; (* fingerprint -> runs showing it *)
+  equiv_keys : (int, unit) Hashtbl.t; (* equivalence classes folded so far *)
+  mutable pruned : int; (* runs whose class was already seen (hb only) *)
   object_counts : (string, int) Hashtbl.t;
   mutable discovery : (int * int) list; (* (run idx, cumulative races), rev *)
   mutable events : int;
@@ -109,9 +113,10 @@ type t = {
   mutable run_wall : float;
 }
 
-let create ?plateau () =
+let create ?plateau ?(hb = false) () =
   {
     plateau;
+    hb;
     quiet = 0;
     plateau_stop = None;
     deadline_hit = false;
@@ -120,6 +125,8 @@ let create ?plateau () =
     obs = [];
     races = Hashtbl.create 32;
     fingerprints = Hashtbl.create 64;
+    equiv_keys = Hashtbl.create 64;
+    pruned = 0;
     object_counts = Hashtbl.create 32;
     discovery = [];
     events = 0;
@@ -150,6 +157,19 @@ let add_run t (o : run_obs) =
     t.run_wall <- t.run_wall +. o.o_wall;
     Hashtbl.replace t.fingerprints o.o_fingerprint
       (1 + Option.value (Hashtbl.find_opt t.fingerprints o.o_fingerprint) ~default:0);
+    (* Equivalence-class accounting is done here, in fold order, rather
+       than trusting the runner's replay cache: workers race to claim
+       classes and shards each start cold, so runner-side counts are not
+       deterministic — this fold is, which keeps merged reports
+       byte-identical to single-process ones. *)
+    let equiv_key =
+      if t.hb then Option.value o.o_hb_fingerprint ~default:o.o_fingerprint
+      else o.o_fingerprint
+    in
+    if Hashtbl.mem t.equiv_keys equiv_key then begin
+      if t.hb then t.pruned <- t.pruned + 1
+    end
+    else Hashtbl.add t.equiv_keys equiv_key ();
     List.iter
       (fun obj ->
         Hashtbl.replace t.object_counts obj
@@ -220,6 +240,8 @@ type stats = {
   st_failed : int;
   st_distinct_races : int;
   st_distinct_fingerprints : int;
+  st_equiv_classes : int; (* distinct equivalence classes folded *)
+  st_pruned_runs : int; (* runs that needed no detector replay (hb) *)
   st_events : int;
   st_steps : int;
   st_run_wall : float; (* summed per-run VM seconds (CPU view) *)
@@ -233,6 +255,8 @@ let stats t =
     st_failed = List.length t.failures;
     st_distinct_races = Hashtbl.length t.races;
     st_distinct_fingerprints = Hashtbl.length t.fingerprints;
+    st_equiv_classes = Hashtbl.length t.equiv_keys;
+    st_pruned_runs = t.pruned;
     st_events = t.events;
     st_steps = t.steps;
     st_run_wall = t.run_wall;

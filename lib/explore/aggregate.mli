@@ -38,7 +38,10 @@ type run_obs = {
   o_repro : string;  (** [racedet run] flags replaying it. *)
   o_sightings : sighting list;
   o_objects : string list;  (** Raw racy-object names (sweep compat). *)
-  o_fingerprint : int;  (** Interleaving fingerprint of the run. *)
+  o_fingerprint : int;  (** Raw interleaving fingerprint of the run. *)
+  o_hb_fingerprint : int option;
+      (** Happens-before class fingerprint ({!Hb_fingerprint}); [None]
+          on raw-equivalence campaigns and pre-hb wire rows. *)
   o_events : int;
   o_steps : int;
   o_wall : float;  (** VM seconds for this run. *)
@@ -76,10 +79,14 @@ val describe_stop : stop_reason -> string
 
 type t
 
-val create : ?plateau:int -> unit -> t
+val create : ?plateau:int -> ?hb:bool -> unit -> t
 (** [?plateau] arms the adaptive-budget rule: after that many
     consecutive rows (runs or failures) with no new distinct race, the
-    aggregate stops folding and reports {!Plateau}. *)
+    aggregate stops folding and reports {!Plateau}.  [?hb] (default
+    false) folds equivalence classes over the happens-before
+    fingerprint instead of the raw one; pruned-run accounting happens
+    here, in fold order, so it is identical across worker counts and
+    shard layouts. *)
 
 val add_run : t -> run_obs -> unit
 (** Feed observations in run-index order: first-seen attribution, the
@@ -116,6 +123,14 @@ type stats = {
   st_failed : int;
   st_distinct_races : int;
   st_distinct_fingerprints : int;
+  st_equiv_classes : int;
+      (** Distinct schedule-equivalence classes folded: equals
+          [st_distinct_fingerprints] under raw equivalence, and the
+          number of distinct happens-before fingerprints under hb. *)
+  st_pruned_runs : int;
+      (** Runs whose equivalence class had already been folded — the
+          detector replays an hb campaign saved.  Always [0] under raw
+          equivalence. *)
   st_events : int;
   st_steps : int;
   st_run_wall : float;  (** Summed per-run VM seconds. *)

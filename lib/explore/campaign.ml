@@ -28,22 +28,37 @@ let pp_budget ppf b =
   | Some k -> Fmt.pf ppf ", plateau %d" k
   | None -> ()
 
+(* Which schedules count as "the same interleaving" for dedup and
+   detector-replay pruning: the raw event order, or its happens-before
+   structure (Hb_fingerprint). *)
+type equiv = Raw | Hb
+
+let equiv_name = function Raw -> "raw" | Hb -> "hb"
+
+let equiv_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "raw" -> Ok Raw
+  | "hb" -> Ok Hb
+  | other -> Error (Printf.sprintf "unknown equivalence mode %S (expected raw or hb)" other)
+
 type spec = {
   e_config : Config.t;
   e_strategy : Strategy.t;
   e_workers : int;
   e_budget : budget;
   e_pct_horizon : int;
+  e_equiv : equiv;
 }
 
 let spec ?(strategy = Strategy.Jitter) ?(workers = 1)
-    ?(budget = runs_budget 32) ?(pct_horizon = 20_000) config =
+    ?(budget = runs_budget 32) ?(pct_horizon = 20_000) ?(equiv = Raw) config =
   {
     e_config = config;
     e_strategy = strategy;
     e_workers = workers;
     e_budget = budget;
     e_pct_horizon = pct_horizon;
+    e_equiv = equiv;
   }
 
 let default_spec config = spec config
@@ -56,13 +71,16 @@ let equal_spec a b =
   && a.e_workers = b.e_workers
   && equal_budget a.e_budget b.e_budget
   && a.e_pct_horizon = b.e_pct_horizon
+  && a.e_equiv = b.e_equiv
 
 (* Shards of one campaign agree on everything that determines the run
    set; how many domains each shard fanned out over does not. *)
 let compatible a b = equal_spec { a with e_workers = 0 } { b with e_workers = 0 }
 
 let pp_spec ppf s =
-  Fmt.pf ppf "%s (seed %d, quantum %d), %s, %a, pct-horizon %d, %d workers"
+  Fmt.pf ppf
+    "%s (seed %d, quantum %d), %s, %a, pct-horizon %d, %s equivalence, %d \
+     workers"
     s.e_config.Config.name s.e_config.Config.seed s.e_config.Config.quantum
     (Strategy.name s.e_strategy) pp_budget s.e_budget s.e_pct_horizon
-    s.e_workers
+    (equiv_name s.e_equiv) s.e_workers

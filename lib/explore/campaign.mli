@@ -34,6 +34,19 @@ val equal_budget : budget -> budget -> bool
 
 val pp_budget : budget Fmt.t
 
+(** Which schedules count as "the same interleaving". *)
+type equiv =
+  | Raw  (** Exact event order: every distinct schedule is its own class. *)
+  | Hb
+      (** Happens-before structure ({!Hb_fingerprint}): schedules that
+          only commute independent events share a class, and the runner
+          skips detector replay for classes it has already seen. *)
+
+val equiv_name : equiv -> string
+(** ["raw"] or ["hb"]; the CLI/wire spelling. *)
+
+val equiv_of_string : string -> (equiv, string) result
+
 type spec = {
   e_config : Config.t;  (** Base detector configuration. *)
   e_strategy : Strategy.t;
@@ -42,6 +55,8 @@ type spec = {
   e_pct_horizon : int;
       (** Step horizon for PCT priority-change points (ignored by other
           strategies). *)
+  e_equiv : equiv;
+      (** Schedule-equivalence mode for dedup and replay pruning. *)
 }
 
 val spec :
@@ -49,10 +64,11 @@ val spec :
   ?workers:int ->
   ?budget:budget ->
   ?pct_horizon:int ->
+  ?equiv:equiv ->
   Config.t ->
   spec
 (** Smart constructor; defaults: jitter strategy, 1 worker, 32 runs,
-    horizon 20k. *)
+    horizon 20k, raw equivalence. *)
 
 val default_spec : Config.t -> spec
 (** [default_spec c = spec c]. *)

@@ -20,12 +20,18 @@ let runs_budget = Campaign.runs_budget
 let equal_budget = Campaign.equal_budget
 let pp_budget = Campaign.pp_budget
 
+type equiv = Campaign.equiv = Raw | Hb
+
+let equiv_name = Campaign.equiv_name
+let equiv_of_string = Campaign.equiv_of_string
+
 type spec = Campaign.spec = {
   e_config : Config.t;
   e_strategy : Strategy.t;
   e_workers : int;
   e_budget : budget;
   e_pct_horizon : int;
+  e_equiv : equiv;
 }
 
 let spec = Campaign.spec
@@ -55,13 +61,15 @@ let events_per_sec_per_worker r =
 
 (* ---- single run ---- *)
 
-(* An interleaving fingerprint: an order-sensitive FNV-1a-style hash of
-   the event stream (thread, location, kind per access, plus lock and
+(* A raw interleaving fingerprint: an order-sensitive FNV-1a-style hash
+   of the event stream (thread, location, kind per access, plus lock and
    lifecycle transitions).  Two runs with the same fingerprint consumed
-   the same detector-visible schedule. *)
+   the same detector-visible schedule.  The constants — and the 46-bit
+   wire-int-safety rationale for the mask — live in Hb_fingerprint,
+   shared with the happens-before tap. *)
 let fingerprint_tap () =
-  let fp = ref 0x811C9DC5 in
-  let mixin v = fp := ((!fp lxor v) * 0x01000193) land 0x3FFFFFFFFFFF in
+  let fp = ref Hb_fingerprint.fnv_offset in
+  let mixin v = fp := Hb_fingerprint.mix !fp v in
   let tap =
     {
       Sink.null with
@@ -119,16 +127,17 @@ let sightings_of (c : Pipeline.compiled) (r : Pipeline.result) =
           })
         r.Pipeline.races
 
+let vm_of (c : Pipeline.compiled) (sp : Strategy.run_spec) =
+  {
+    (Pipeline.vm_config_of c.Pipeline.config) with
+    Interp.seed = sp.Strategy.sp_seed;
+    quantum = sp.Strategy.sp_quantum;
+    policy = sp.Strategy.sp_policy;
+  }
+
 let observe_run (c : Pipeline.compiled) (sp : Strategy.run_spec) :
     Aggregate.run_obs =
-  let vm =
-    {
-      (Pipeline.vm_config_of c.Pipeline.config) with
-      Interp.seed = sp.Strategy.sp_seed;
-      quantum = sp.Strategy.sp_quantum;
-      policy = sp.Strategy.sp_policy;
-    }
-  in
+  let vm = vm_of c sp in
   let tap, fp = fingerprint_tap () in
   let r = Pipeline.run ~vm ~tap c in
   {
@@ -139,9 +148,76 @@ let observe_run (c : Pipeline.compiled) (sp : Strategy.run_spec) :
     o_sightings = sightings_of c r;
     o_objects = r.Pipeline.racy_objects;
     o_fingerprint = fp ();
+    o_hb_fingerprint = None;
     o_events = r.Pipeline.events;
     o_steps = r.Pipeline.steps;
     o_wall = r.Pipeline.wall_time;
+  }
+
+(* ---- happens-before replay pruning ----
+
+   Under hb equivalence each run is fingerprinted first with the
+   detector off (same instrumented program, so the same schedule —
+   see Pipeline.run's [?detect]); the detector replays only schedules
+   whose happens-before class is new to this process.  For a known
+   class the representative's sightings are reused: equivalent
+   schedules present identical per-location access orders and locksets
+   to the detector, so its report is identical too — which is what
+   keeps a pruned campaign's deduped races equal to an unpruned one's.
+
+   The cache is best-effort and process-local (shards each start cold;
+   workers may race to claim a class and both replay).  That only costs
+   duplicate work, never changes a report: the authoritative
+   pruned/class statistics are re-derived deterministically from the
+   recorded hb fingerprints by the Aggregate fold. *)
+
+type seen_classes = {
+  sn_mu : Mutex.t;
+  sn_tbl : (int, Aggregate.sighting list * string list) Hashtbl.t;
+}
+
+let seen_make () = { sn_mu = Mutex.create (); sn_tbl = Hashtbl.create 64 }
+
+let seen_find seen hb =
+  Mutex.lock seen.sn_mu;
+  let v = Hashtbl.find_opt seen.sn_tbl hb in
+  Mutex.unlock seen.sn_mu;
+  v
+
+let seen_store seen hb rep =
+  Mutex.lock seen.sn_mu;
+  if not (Hashtbl.mem seen.sn_tbl hb) then Hashtbl.add seen.sn_tbl hb rep;
+  Mutex.unlock seen.sn_mu
+
+let observe_run_hb (c : Pipeline.compiled) (sp : Strategy.run_spec) ~seen :
+    Aggregate.run_obs =
+  let vm = vm_of c sp in
+  let raw_tap, raw_fp = fingerprint_tap () in
+  let hb_tap, hb_fp = Hb_fingerprint.tap () in
+  let r1 = Pipeline.run ~vm ~tap:(Sink.tee raw_tap hb_tap) ~detect:false c in
+  let hb = hb_fp () in
+  let sightings, objects, wall =
+    match seen_find seen hb with
+    | Some (sightings, objects) -> (sightings, objects, r1.Pipeline.wall_time)
+    | None ->
+        let r2 = Pipeline.run ~vm c in
+        let sightings = sightings_of c r2 in
+        let objects = r2.Pipeline.racy_objects in
+        seen_store seen hb (sightings, objects);
+        (sightings, objects, r1.Pipeline.wall_time +. r2.Pipeline.wall_time)
+  in
+  {
+    Aggregate.o_index = sp.Strategy.sp_index;
+    o_seed = sp.Strategy.sp_seed;
+    o_spec = Strategy.describe sp;
+    o_repro = Strategy.repro_flags sp;
+    o_sightings = sightings;
+    o_objects = objects;
+    o_fingerprint = raw_fp ();
+    o_hb_fingerprint = Some hb;
+    o_events = r1.Pipeline.events;
+    o_steps = r1.Pipeline.steps;
+    o_wall = wall;
   }
 
 (* ---- folding rows into a report ---- *)
@@ -149,7 +225,7 @@ let observe_run (c : Pipeline.compiled) (sp : Strategy.run_spec) :
 let report_of_rows ?(wall = 0.) ?(deadline_hit = false) ?(apply_plateau = true)
     (sp : spec) rows : report =
   let plateau = if apply_plateau then sp.e_budget.b_plateau else None in
-  let agg = Aggregate.create ?plateau () in
+  let agg = Aggregate.create ?plateau ~hb:(sp.e_equiv = Hb) () in
   if deadline_hit then Aggregate.note_deadline agg;
   (* Fold in run-index order so first-seen attribution, the discovery
      curve and the plateau cutoff do not depend on worker interleaving
@@ -295,6 +371,10 @@ let run_campaign ?shard (sp : spec) ~source : report =
      over the re-assembled index sequence. *)
   let local_plateau = if shard_n > 1 then None else b.b_plateau in
   let tracker = Option.map tracker_make local_plateau in
+  (* The hb replay cache is shared across this process's workers (the
+     table is mutex-protected; domains may still both replay a class
+     they raced to claim — harmless, see observe_run_hb). *)
+  let seen = match sp.e_equiv with Hb -> Some (seen_make ()) | Raw -> None in
   let next = Atomic.make 0 in
   (* Each worker compiles its own copy of the program (compilation
      mutates the IR in place during instrumentation, so domains must not
@@ -311,6 +391,11 @@ let run_campaign ?shard (sp : spec) ~source : report =
           w_ran = 0;
         }
     | compiled ->
+        let observe =
+          match seen with
+          | Some seen -> fun rsp -> observe_run_hb compiled rsp ~seen
+          | None -> observe_run compiled
+        in
         let obs = ref [] and fails = ref [] in
         let expired () =
           match deadline with
@@ -328,7 +413,7 @@ let run_campaign ?shard (sp : spec) ~source : report =
                 Strategy.spec sp.e_strategy ~base:sp.e_config
                   ~pct_horizon:sp.e_pct_horizon i
               in
-              (match observe_run compiled rsp with
+              (match observe rsp with
               | o ->
                   obs := o :: !obs;
                   tracker_note tracker k
@@ -390,6 +475,14 @@ let report_text ?(timing = true) ~target (r : report) =
   pr "distinct interleaving fingerprints: %d/%d; events %d; steps %d\n"
     stats.Aggregate.st_distinct_fingerprints stats.Aggregate.st_runs
     stats.Aggregate.st_events stats.Aggregate.st_steps;
+  if r.r_spec.e_equiv = Hb then
+    pr
+      "happens-before classes: %d; detector replays pruned: %d/%d (%.1f%%)\n"
+      stats.Aggregate.st_equiv_classes stats.Aggregate.st_pruned_runs
+      stats.Aggregate.st_runs
+      (100.
+      *. float_of_int stats.Aggregate.st_pruned_runs
+      /. float_of_int (max stats.Aggregate.st_runs 1));
   (match stats.Aggregate.st_stop with
   | Aggregate.Exhausted -> ()
   | s -> pr "stopped early: %s\n" (Aggregate.describe_stop s));
@@ -480,6 +573,13 @@ let report_json ?(timing = true) (r : report) =
           ("distinct_races", Wire.Int stats.Aggregate.st_distinct_races);
           ( "distinct_fingerprints",
             Wire.Int stats.Aggregate.st_distinct_fingerprints );
+          ("equiv", Wire.String (equiv_name r.r_spec.e_equiv));
+          ("equiv_classes", Wire.Int stats.Aggregate.st_equiv_classes);
+          ("pruned_runs", Wire.Int stats.Aggregate.st_pruned_runs);
+          ( "pruned_rate",
+            Wire.Float
+              (float_of_int stats.Aggregate.st_pruned_runs
+              /. float_of_int (max stats.Aggregate.st_runs 1)) );
           ("events", Wire.Int stats.Aggregate.st_events);
           ("steps", Wire.Int stats.Aggregate.st_steps);
           ("stop", Wire.String (Aggregate.describe_stop stats.Aggregate.st_stop));

@@ -43,6 +43,15 @@ val equal_budget : budget -> budget -> bool
 
 val pp_budget : budget Fmt.t
 
+(** Which schedules count as "the same interleaving" (re-exported from
+    {!Campaign}). *)
+type equiv = Campaign.equiv = Raw | Hb
+
+val equiv_name : equiv -> string
+(** ["raw"] or ["hb"]; the CLI/wire spelling. *)
+
+val equiv_of_string : string -> (equiv, string) result
+
 type spec = Campaign.spec = {
   e_config : Config.t;  (** Base detector configuration. *)
   e_strategy : Strategy.t;
@@ -51,6 +60,12 @@ type spec = Campaign.spec = {
   e_pct_horizon : int;
       (** Step horizon for PCT priority-change points (ignored by other
           strategies). *)
+  e_equiv : equiv;
+      (** Schedule-equivalence mode.  Under {!Hb} each run is
+          fingerprinted by its happens-before structure
+          ({!Hb_fingerprint}) and detector replay is skipped for
+          classes already seen — the run still counts, and its deduped
+          races are identical to what the replay would have found. *)
 }
 
 val spec :
@@ -58,9 +73,11 @@ val spec :
   ?workers:int ->
   ?budget:budget ->
   ?pct_horizon:int ->
+  ?equiv:equiv ->
   Config.t ->
   spec
-(** Defaults: Jitter strategy, 1 worker, 32 runs, horizon 20k. *)
+(** Defaults: Jitter strategy, 1 worker, 32 runs, horizon 20k, raw
+    equivalence. *)
 
 val default_spec : Config.t -> spec
 (** [spec config] with all defaults. *)
@@ -98,6 +115,12 @@ val runs_per_sec : report -> float
 val events_per_sec : report -> float
 
 val events_per_sec_per_worker : report -> float
+
+val fingerprint_tap : unit -> Drd_vm.Sink.t * (unit -> int)
+(** The raw order-sensitive interleaving fingerprint: an FNV-1a-style
+    hash of the exact event stream.  Shares its constants (and the
+    46-bit mask rationale) with {!Hb_fingerprint}.  Exposed for
+    tests. *)
 
 val observe_run :
   Drd_harness.Pipeline.compiled -> Strategy.run_spec -> Aggregate.run_obs

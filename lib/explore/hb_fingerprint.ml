@@ -1,0 +1,152 @@
+(* Happens-before interleaving fingerprints (partial-order reduction).
+
+   The raw fingerprint in Explore hashes the exact event order, so two
+   schedules that differ only by commuting independent events — accesses
+   by different threads to different locations, with no synchronization
+   between them — count as distinct and both pay full detector replay.
+   This tap instead maintains per-thread vector clocks over the sync
+   edges the detector can observe (lock release→acquire, thread
+   start/join) plus per-location access ordering, and folds each access
+   as a commutative (order-insensitive) hash of its
+   (location, kind, thread, clock-snapshot).
+
+   Two runs then get equal fingerprints iff every access has the same
+   causal past — i.e. they induce the same happens-before order on
+   dependent events.  Commuting an independent adjacent pair changes no
+   clock, so the multiset of access hashes (and the fingerprint) is
+   preserved; reordering dependent events (same thread, same location,
+   or across a sync edge followed by an access) changes at least one
+   snapshot.  The relation is conservative: accesses to the same
+   location are ordered regardless of kind, and every lock hand-off
+   counts even when no conflicting access rides it, so equivalence
+   classes are never too coarse for the detector — pruning a replay is
+   sound — merely sometimes finer than the ideal Mazurkiewicz trace. *)
+
+open Drd_core
+
+(* ---- the FNV-1a constants shared by both fingerprint taps ----
+
+   [mask] truncates to 46 bits: fingerprints cross the shard wire as
+   JSON integers, and 46 bits keeps them exactly representable both in
+   OCaml's 63-bit ints and in the IEEE doubles any off-the-shelf JSON
+   consumer parses numbers into (< 2^53), with headroom for the
+   commutative sum fold below.  The raw order-sensitive tap
+   (Explore.fingerprint_tap) uses the same constants. *)
+
+let fnv_offset = 0x811C9DC5
+let fnv_prime = 0x01000193
+let mask = 0x3FFFFFFFFFFF
+let mix fp v = ((fp lxor v) * fnv_prime) land mask
+
+let kind_code = function Event.Read -> 17 | Event.Write -> 23
+
+(* ---- growable vector clocks ----
+
+   Same idea as the happens-before baseline's Drd_baselines.Vclock, but
+   growable on demand (campaign programs choose their own thread
+   counts) and with a canonical snapshot hash: trailing zeros never
+   contribute, so <1,0> and <1> hash identically. *)
+
+type clock = { mutable c : int array }
+
+let clock () = { c = [||] }
+
+let ensure k n =
+  if Array.length k.c < n then begin
+    let a = Array.make (max n ((2 * Array.length k.c) + 4)) 0 in
+    Array.blit k.c 0 a 0 (Array.length k.c);
+    k.c <- a
+  end
+
+let tick k i =
+  ensure k (i + 1);
+  k.c.(i) <- k.c.(i) + 1
+
+(* dst := dst ⊔ src *)
+let join dst src =
+  ensure dst (Array.length src.c);
+  Array.iteri (fun i v -> if v > dst.c.(i) then dst.c.(i) <- v) src.c
+
+(* dst := src *)
+let assign dst src =
+  ensure dst (Array.length src.c);
+  Array.fill dst.c 0 (Array.length dst.c) 0;
+  Array.blit src.c 0 dst.c 0 (Array.length src.c)
+
+(* Mix the nonzero components as (index, value) pairs in index order —
+   the canonical form of the snapshot. *)
+let mix_clock h k =
+  let h = ref h in
+  Array.iteri
+    (fun i v ->
+      if v <> 0 then begin
+        h := mix !h (i + 1);
+        h := mix !h v
+      end)
+    k.c;
+  !h
+
+(* ---- the tap ---- *)
+
+type state = {
+  threads : (int, clock) Hashtbl.t;
+  locks : (int, clock) Hashtbl.t;
+  locs : (int, clock) Hashtbl.t; (* last access to each location *)
+  mutable fp : int;
+}
+
+let clock_of tbl id =
+  match Hashtbl.find_opt tbl id with
+  | Some k -> k
+  | None ->
+      let k = clock () in
+      Hashtbl.add tbl id k;
+      k
+
+let tap () =
+  let st =
+    {
+      threads = Hashtbl.create 16;
+      locks = Hashtbl.create 16;
+      locs = Hashtbl.create 64;
+      fp = fnv_offset;
+    }
+  in
+  let access ~tid ~loc ~kind ~locks:_ ~site:_ =
+    let tc = clock_of st.threads tid in
+    let lc = clock_of st.locs loc in
+    (* The access happens after every earlier access to the same
+       location (conservative: reads too) and after everything its
+       thread already did. *)
+    join tc lc;
+    tick tc tid;
+    let h = mix (mix (mix (mix fnv_offset 5) tid) loc) (kind_code kind) in
+    let h = mix_clock h tc in
+    (* Commutative fold: addition, so independent events contribute the
+       same no matter where in the schedule they landed. *)
+    st.fp <- (st.fp + h) land mask;
+    assign lc tc
+  in
+  let acquire ~tid ~lock =
+    join (clock_of st.threads tid) (clock_of st.locks lock)
+  in
+  let release ~tid ~lock =
+    join (clock_of st.locks lock) (clock_of st.threads tid)
+  in
+  let thread_start ~parent ~child =
+    let pc = clock_of st.threads parent in
+    join (clock_of st.threads child) pc;
+    tick pc parent
+  in
+  let thread_join ~joiner ~joinee =
+    join (clock_of st.threads joiner) (clock_of st.threads joinee)
+  in
+  ( {
+      Drd_vm.Sink.null with
+      Drd_vm.Sink.access;
+      acquire;
+      release;
+      thread_start;
+      thread_join;
+    },
+    fun () -> st.fp )

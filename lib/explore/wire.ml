@@ -12,7 +12,13 @@ module Config = Drd_harness.Config
 module Interp = Drd_vm.Interp
 module Memloc = Drd_vm.Memloc
 
-let schema_version = 1
+(* Version history:
+   1 — initial format (spec without equiv mode, obs without hb field).
+   2 — spec carries "equiv", run obs optionally carry "hb_fingerprint".
+   Both are decoded: a missing equiv field means Raw and a missing hb
+   field means None, exactly the semantics v1 writers had. *)
+let schema_version = 2
+let min_schema_version = 1
 
 (* ------------------------------------------------------------------ *)
 (* JSON values *)
@@ -455,6 +461,7 @@ let spec_body_to_json (s : Campaign.spec) =
       ("workers", Int s.Campaign.e_workers);
       ("budget", budget_to_json s.Campaign.e_budget);
       ("pct_horizon", Int s.Campaign.e_pct_horizon);
+      ("equiv", String (Campaign.equiv_name s.Campaign.e_equiv));
     ]
 
 let spec_body_of_json j =
@@ -464,6 +471,16 @@ let spec_body_of_json j =
     e_workers = d_int "workers" j;
     e_budget = budget_of_json (field "budget" j);
     e_pct_horizon = d_int "pct_horizon" j;
+    e_equiv =
+      (* Absent on v1 spec headers, which predate equivalence modes and
+         always meant raw. *)
+      (match member "equiv" j with
+      | None -> Campaign.Raw
+      | Some (String s) -> (
+          match Campaign.equiv_of_string s with
+          | Ok e -> e
+          | Error m -> dfail "%s" m)
+      | Some _ -> dfail "field \"equiv\": expected string");
   }
 
 let sighting_to_json (s : Aggregate.sighting) =
@@ -487,18 +504,23 @@ let sighting_of_json j =
 
 let obs_body_to_json (o : Aggregate.run_obs) =
   Obj
-    [
-      ("index", Int o.Aggregate.o_index);
-      ("seed", Int o.Aggregate.o_seed);
-      ("spec", String o.Aggregate.o_spec);
-      ("repro", String o.Aggregate.o_repro);
-      ("sightings", List (List.map sighting_to_json o.Aggregate.o_sightings));
-      ("objects", List (List.map (fun s -> String s) o.Aggregate.o_objects));
-      ("fingerprint", Int o.Aggregate.o_fingerprint);
-      ("events", Int o.Aggregate.o_events);
-      ("steps", Int o.Aggregate.o_steps);
-      ("wall", Float o.Aggregate.o_wall);
-    ]
+    ([
+       ("index", Int o.Aggregate.o_index);
+       ("seed", Int o.Aggregate.o_seed);
+       ("spec", String o.Aggregate.o_spec);
+       ("repro", String o.Aggregate.o_repro);
+       ("sightings", List (List.map sighting_to_json o.Aggregate.o_sightings));
+       ("objects", List (List.map (fun s -> String s) o.Aggregate.o_objects));
+       ("fingerprint", Int o.Aggregate.o_fingerprint);
+     ]
+    @ (match o.Aggregate.o_hb_fingerprint with
+      | Some hb -> [ ("hb_fingerprint", Int hb) ]
+      | None -> [])
+    @ [
+        ("events", Int o.Aggregate.o_events);
+        ("steps", Int o.Aggregate.o_steps);
+        ("wall", Float o.Aggregate.o_wall);
+      ])
 
 let obs_body_of_json j =
   {
@@ -511,6 +533,8 @@ let obs_body_of_json j =
       d_list "objects" j
       |> List.map (function String s -> s | _ -> dfail "bad object list");
     o_fingerprint = d_int "fingerprint" j;
+    (* Absent on v1 rows and on raw-equivalence campaigns. *)
+    o_hb_fingerprint = d_opt d_int "hb_fingerprint" j;
     o_events = d_int "events" j;
     o_steps = d_int "steps" j;
     o_wall = d_float "wall" j;
@@ -543,7 +567,7 @@ let decode_line expected_tags s =
   | Error m -> Error ("bad wire line: " ^ m)
   | Ok j -> (
       match member "v" j with
-      | Some (Int v) when v = schema_version -> (
+      | Some (Int v) when v >= min_schema_version && v <= schema_version -> (
           match member "t" j with
           | Some (String t) when List.mem t expected_tags -> Ok (t, j)
           | Some (String t) ->
@@ -555,8 +579,8 @@ let decode_line expected_tags s =
           Error
             (Printf.sprintf
                "wire schema version %d not supported (this build reads \
-                version %d); re-record the shard or upgrade"
-               v schema_version)
+                versions %d-%d); re-record the shard or upgrade"
+               v min_schema_version schema_version)
       | _ -> Error "wire line has no schema version")
 
 let wrap f = try Ok (f ()) with Decode m -> Error m

@@ -10,7 +10,10 @@
     An observation file is one header line (the campaign {!Campaign.spec}
     plus the presentation target, e.g. ["-b needle"]) followed by one
     line per {!Aggregate.row}.  Every line carries the schema version;
-    decoders reject lines from a future schema instead of guessing.
+    decoders reject lines from a future schema instead of guessing,
+    while every past version back to {!min_schema_version} still
+    decodes (absent v2 fields take their v1 meanings: raw equivalence,
+    no happens-before fingerprint).
 
     The environment ships no JSON library, so this module carries its
     own minimal JSON representation ({!json}) with a deterministic
@@ -19,7 +22,12 @@
     report rendering. *)
 
 val schema_version : int
-(** Current wire schema version (1). *)
+(** Current wire schema version (2): the spec header carries the
+    equivalence mode and run observations may carry a happens-before
+    fingerprint. *)
+
+val min_schema_version : int
+(** Oldest version this build still decodes (1). *)
 
 (** Minimal JSON value. *)
 type json =

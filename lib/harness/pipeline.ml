@@ -98,7 +98,7 @@ let vm_config_of (config : Config.t) =
     policy = config.Config.policy;
   }
 
-let run ?vm ?tap (c : compiled) : result =
+let run ?vm ?tap ?(detect = true) (c : compiled) : result =
   let config = c.config in
   let events = ref 0 in
   let count f = fun ~tid ~loc ~kind ~locks ~site ->
@@ -110,6 +110,14 @@ let run ?vm ?tap (c : compiled) : result =
   let immut = Immutability.create () in
   let finishers = ref [] in
   let sink =
+    (* [detect = false] runs the same instrumented program (so the
+       schedule is identical — NoDetect compiles without traces and
+       would perturb it) but drops the detector work; only the event
+       counter remains.  The exploration engine uses this for
+       fingerprint-only passes. *)
+    if not detect then
+      { Sink.null with Sink.access = count (fun ~tid:_ ~loc:_ ~kind:_ ~locks:_ ~site:_ -> ()) }
+    else
     match config.Config.detector with
     | Config.NoDetect -> Sink.null
     | Config.Ours ->
@@ -218,7 +226,7 @@ let run ?vm ?tap (c : compiled) : result =
     racy_objects;
     report =
       (match config.Config.detector with
-      | Config.Ours -> Some collector
+      | Config.Ours when detect -> Some collector
       | _ -> None);
     detector_stats;
     events = !events;
@@ -235,11 +243,11 @@ let run ?vm ?tap (c : compiled) : result =
     heap;
     deadlocks =
       (match config.Config.detector with
-      | Config.Ours -> Lock_order.potential_deadlocks lock_order
+      | Config.Ours when detect -> Lock_order.potential_deadlocks lock_order
       | _ -> []);
     immutability =
       (match config.Config.detector with
-      | Config.Ours -> Some (Immutability.summary immut)
+      | Config.Ours when detect -> Some (Immutability.summary immut)
       | _ -> None);
   }
 

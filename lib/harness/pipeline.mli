@@ -52,12 +52,17 @@ val vm_config_of : Config.t -> Interp.config
 (** The VM configuration a harness configuration denotes (seed, quantum,
     granularity, pseudo-locks, scheduling policy). *)
 
-val run : ?vm:Interp.config -> ?tap:Drd_vm.Sink.t -> compiled -> result
+val run :
+  ?vm:Interp.config -> ?tap:Drd_vm.Sink.t -> ?detect:bool -> compiled -> result
 (** Execute the compiled program under its configuration's detector.
     [?vm] overrides the VM configuration (the exploration engine swaps
     seed/quantum/policy per run without recompiling); [?tap] receives a
     copy of every VM notification alongside the detector (schedule
-    fingerprinting, event counting). *)
+    fingerprinting, event counting).  [?detect:false] runs the {e same}
+    instrumented program — so the schedule is bit-identical — but skips
+    all detector work, leaving only event counting and the tap; the
+    exploration engine uses it for fingerprint-only passes when replay
+    pruning decides whether the detector pass is needed at all. *)
 
 val run_source : Config.t -> string -> compiled * result
 

@@ -8,3 +8,20 @@ let contains haystack needle =
       i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
     in
     go 0
+
+(* Replace the first occurrence of [sub] with [by] (identity when [sub]
+   does not occur).  Enough for rewriting wire lines in version-compat
+   tests. *)
+let replace ~sub ~by s =
+  let ns = String.length s and nsub = String.length sub in
+  if nsub = 0 then s
+  else
+    let rec find i =
+      if i + nsub > ns then None
+      else if String.sub s i nsub = sub then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> s
+    | Some i ->
+        String.sub s 0 i ^ by ^ String.sub s (i + nsub) (ns - i - nsub)

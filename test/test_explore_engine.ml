@@ -84,6 +84,8 @@ let strip_wall (r : Explore.report) =
       s.Aggregate.st_distinct_fingerprints,
       s.Aggregate.st_events,
       s.Aggregate.st_steps,
+      s.Aggregate.st_equiv_classes,
+      s.Aggregate.st_pruned_runs,
       s.Aggregate.st_discovery ) )
 
 let test_campaign_deterministic () =
@@ -206,6 +208,93 @@ let test_shard_plateau_merge () =
     (Explore.report_json ~timing:false whole)
     (Explore.report_json ~timing:false merged)
 
+let test_hb_pruning_soundness () =
+  (* The core guarantee of hb pruning: skipping detector replays for
+     runs whose happens-before class was already seen must not change
+     the deduped race report.  Every benchmark, under both a
+     deterministic sweep and PCT, compared field for field — races,
+     first-seen attribution, repro recipes, racy objects. *)
+  let strategies =
+    [ ("sweep", Strategy.Sweep); ("pct", Strategy.Pct 3) ]
+  in
+  List.iter
+    (fun (b : H.Programs.benchmark) ->
+      List.iter
+        (fun (sname, strategy) ->
+          let mk equiv =
+            Explore.spec ~strategy ~budget:(Explore.runs_budget 8)
+              ~pct_horizon:5_000 ~equiv H.Config.full
+          in
+          let raw =
+            Explore.run_campaign (mk Explore.Raw) ~source:b.H.Programs.b_source
+          in
+          let hb =
+            Explore.run_campaign (mk Explore.Hb) ~source:b.H.Programs.b_source
+          in
+          let what = Printf.sprintf "%s/%s" b.H.Programs.b_name sname in
+          let strip (r : Explore.report) =
+            (* Everything report-visible except the equiv bookkeeping
+               (which legitimately differs between modes) and timing. *)
+            let races, objects, failures, stats = strip_wall r in
+            let runs, dr, df, ev, st, _classes, _pruned, disc = stats in
+            (races, objects, failures, (runs, dr, df, ev, st, disc))
+          in
+          Alcotest.(check bool)
+            (what ^ ": hb report identical to raw")
+            true
+            (strip raw = strip hb);
+          let s = hb.Explore.r_stats in
+          Alcotest.(check bool)
+            (what ^ ": equiv classes <= distinct fingerprints")
+            true
+            (s.Aggregate.st_equiv_classes
+            <= s.Aggregate.st_distinct_fingerprints))
+        strategies)
+    H.Programs.benchmarks
+
+let test_hb_shard_merge_identity () =
+  (* The distributed path under hb equivalence: shards carry the hb
+     fingerprint over the wire, and the merged fold reproduces the
+     single-process hb report byte for byte — including the equiv-class
+     and pruned-run counts, which therefore cannot depend on which
+     process's replay cache happened to see a class first. *)
+  let sp = pct_spec ~runs:24 () in
+  let sp = { sp with Explore.e_equiv = Explore.Hb } in
+  let whole = Explore.run_campaign sp ~source:needle_source in
+  Alcotest.(check bool) "the hb campaign actually pruned" true
+    (whole.Explore.r_stats.Aggregate.st_pruned_runs > 0);
+  let shards = 3 in
+  let rows =
+    List.concat_map
+      (fun i ->
+        let r = Explore.run_campaign ~shard:(i, shards) sp ~source:needle_source in
+        List.map
+          (fun row ->
+            match Explore.row_of_json (Explore.row_to_json row) with
+            | Ok row -> row
+            | Error m -> Alcotest.failf "wire round-trip: %s" m)
+          (Explore.rows_of_report r))
+      [ 0; 1; 2 ]
+  in
+  let merged = Explore.merge sp rows in
+  let target = "-b needle" in
+  Alcotest.(check string) "merged hb text report is byte-identical"
+    (Explore.report_text ~timing:false ~target whole)
+    (Explore.report_text ~timing:false ~target merged);
+  Alcotest.(check string) "merged hb JSON report is byte-identical"
+    (Explore.report_json ~timing:false whole)
+    (Explore.report_json ~timing:false merged)
+
+let test_equiv_mode_incompatible () =
+  (* Shards recorded under different equivalence modes must not merge:
+     the spec compatibility check treats e_equiv as load-bearing. *)
+  let raw = pct_spec ~runs:8 () in
+  let hb = { raw with Explore.e_equiv = Explore.Hb } in
+  Alcotest.(check bool) "raw vs hb specs are incompatible" false
+    (Explore.compatible raw hb);
+  Alcotest.(check bool) "same equiv is compatible" true
+    (Explore.compatible hb { hb with Explore.e_workers = 9 })
+
 let test_missing_indices () =
   (* Merge-time completeness: dropping rows from a complete campaign
      must surface exactly the dropped indices. *)
@@ -310,6 +399,11 @@ let suite =
       test_shard_merge_identity;
     Alcotest.test_case "shard+plateau merges byte-identical" `Quick
       test_shard_plateau_merge;
+    Alcotest.test_case "hb pruning is sound" `Quick test_hb_pruning_soundness;
+    Alcotest.test_case "hb shard+merge is byte-identical" `Quick
+      test_hb_shard_merge_identity;
+    Alcotest.test_case "equiv modes are merge-incompatible" `Quick
+      test_equiv_mode_incompatible;
     Alcotest.test_case "missing indices detected" `Quick test_missing_indices;
     Alcotest.test_case "spec wire identity" `Quick test_spec_wire_identity;
   ]

@@ -26,5 +26,6 @@ let () =
       ("memloc", Test_memloc.suite);
       ("optimize", Test_optimize.suite);
       ("explore", Test_explore_engine.suite);
+      ("hb_fingerprint", Test_hb_fingerprint.suite);
       ("wire", Test_wire.suite);
     ]

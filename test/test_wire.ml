@@ -95,16 +95,19 @@ let gen_budget =
 let gen_spec =
   QCheck.Gen.(
     map
-      (fun (config, strategy, workers, bdg, horizon) ->
+      (fun ((config, strategy, workers, bdg, horizon), equiv) ->
         {
           Campaign.e_config = config;
           e_strategy = strategy;
           e_workers = workers;
           e_budget = bdg;
           e_pct_horizon = horizon;
+          e_equiv = equiv;
         })
-      (tup5 gen_config gen_strategy (int_range 1 16) gen_budget
-         (int_range 100 100_000)))
+      (pair
+         (tup5 gen_config gen_strategy (int_range 1 16) gen_budget
+            (int_range 100 100_000))
+         (oneofl [ Campaign.Raw; Campaign.Hb ])))
 
 let gen_sighting =
   QCheck.Gen.(
@@ -117,7 +120,7 @@ let gen_sighting =
 let gen_obs =
   QCheck.Gen.(
     map
-      (fun ((index, seed, spec, repro, sightings), (objects, fp, events, steps, wall)) ->
+      (fun (((index, seed, spec, repro, sightings), (objects, fp, events, steps, wall)), hb) ->
         Aggregate.
           {
             o_index = index;
@@ -127,16 +130,19 @@ let gen_obs =
             o_sightings = sightings;
             o_objects = objects;
             o_fingerprint = fp;
+            o_hb_fingerprint = hb;
             o_events = events;
             o_steps = steps;
             o_wall = wall;
           })
       (pair
-         (tup5 (int_range 0 100_000) int gen_string gen_string
-            (list_size (int_bound 4) gen_sighting))
-         (tup5
-            (list_size (int_bound 4) gen_string)
-            int (int_range 0 1_000_000) (int_range 0 10_000_000) gen_float)))
+         (pair
+            (tup5 (int_range 0 100_000) int gen_string gen_string
+               (list_size (int_bound 4) gen_sighting))
+            (tup5
+               (list_size (int_bound 4) gen_string)
+               int (int_range 0 1_000_000) (int_range 0 10_000_000) gen_float))
+         (opt (int_range 0 0x3FFFFFFFFFFF))))
 
 let gen_failure =
   QCheck.Gen.(
@@ -244,13 +250,109 @@ let test_future_version_rejected () =
     | Ok _ -> Alcotest.failf "%s from the future was accepted" what
   in
   check_rejected "spec"
-    (Wire.spec_of_json {|{"v":2,"t":"spec","target":"","spec":{}}|});
+    (Wire.spec_of_json {|{"v":3,"t":"spec","target":"","spec":{}}|});
   check_rejected "obs" (Wire.obs_of_json {|{"v":99,"t":"run","obs":{}}|});
-  check_rejected "row" (Wire.row_of_json {|{"v":2,"t":"run","obs":{}}|});
+  check_rejected "row" (Wire.row_of_json {|{"v":3,"t":"run","obs":{}}|});
   (* A current-version line is still fine through the same path. *)
   let f = { Aggregate.f_index = 3; f_seed = 4; f_error = "boom" } in
   Alcotest.(check bool) "current version accepted" true
     (Wire.failure_of_json (Wire.failure_to_json f) = Ok f)
+
+(* ---- cross-version compatibility (schema 1 <-> 2) ---- *)
+
+(* A v1 run row as the previous release wrote it: no "hb_fingerprint"
+   field.  It must decode through the current (v2) decoder with
+   [o_hb_fingerprint = None] and re-encode losslessly. *)
+let test_v1_obs_row_decodes () =
+  let v1_row =
+    {|{"v":1,"t":"run","obs":{"index":3,"seed":91,"spec":"seed 91, quantum 17","repro":"--seed 91 --quantum 17","sightings":[{"object":"Account.amt","site_a":"a","site_b":"b","kinds":"write vs read"}],"objects":["Account.amt"],"fingerprint":123456789,"events":42,"steps":400,"wall":0.5}}|}
+  in
+  match Wire.obs_of_json v1_row with
+  | Error m -> Alcotest.failf "v1 obs row rejected: %s" m
+  | Ok o ->
+      Alcotest.(check int) "index" 3 o.Aggregate.o_index;
+      Alcotest.(check int) "fingerprint" 123456789 o.Aggregate.o_fingerprint;
+      Alcotest.(check bool) "hb fingerprint absent means None" true
+        (o.Aggregate.o_hb_fingerprint = None);
+      Alcotest.(check int) "events" 42 o.Aggregate.o_events;
+      (* Re-encoding a None-hb row omits the field, so the v1 payload
+         survives the round-trip byte-unchanged (modulo the envelope
+         version). *)
+      Alcotest.(check bool) "round-trips through v2 encoder" true
+        (Wire.obs_of_json (Wire.obs_to_json o) = Ok o)
+
+(* A v1 spec header (predating the "equiv" field) must decode as a
+   raw-equivalence campaign. *)
+let test_v1_spec_decodes_as_raw () =
+  let spec =
+    { (Campaign.default_spec H.Config.full) with Campaign.e_equiv = Campaign.Raw }
+  in
+  let v2_line = Wire.spec_to_json ~target:"-b needle" spec in
+  (* Rewrite the current header into its v1 form: drop the equiv field
+     and stamp the old version.  This is exactly what a v1 writer
+     emitted for this spec. *)
+  let v1_line =
+    Astring_contains.replace ~sub:{|,"equiv":"raw"|} ~by:"" v2_line
+    |> Astring_contains.replace ~sub:{|{"v":2|} ~by:{|{"v":1|}
+  in
+  Alcotest.(check bool) "rewrite removed the equiv field" false
+    (contains_sub "equiv" v1_line);
+  match Wire.spec_of_json v1_line with
+  | Error m -> Alcotest.failf "v1 spec header rejected: %s" m
+  | Ok spec' ->
+      Alcotest.(check bool) "decodes equal to the raw-equivalence spec" true
+        (Campaign.equal_spec spec spec')
+
+(* The previous release's envelope check, frozen: it accepted only
+   v = 1.  New rows must bounce off it with the future-version error —
+   that error message (and the re-record advice) is the forward-compat
+   contract for old readers in the field. *)
+let frozen_v1_decode_line s =
+  match Wire.json_of_string s with
+  | Error m -> Error ("bad wire line: " ^ m)
+  | Ok j -> (
+      match Wire.member "v" j with
+      | Some (Wire.Int 1) -> Ok j
+      | Some (Wire.Int v) ->
+          Error
+            (Printf.sprintf
+               "wire schema version %d not supported (this build reads \
+                version 1); re-record the shard or upgrade"
+               v)
+      | _ -> Error "wire line has no schema version")
+
+let test_v2_rows_rejected_by_frozen_v1_decoder () =
+  let spec = Campaign.default_spec H.Config.full in
+  let obs =
+    {
+      Aggregate.o_index = 0;
+      o_seed = 1;
+      o_spec = "s";
+      o_repro = "-r";
+      o_sightings = [];
+      o_objects = [];
+      o_fingerprint = 7;
+      o_hb_fingerprint = Some 9;
+      o_events = 1;
+      o_steps = 10;
+      o_wall = 0.1;
+    }
+  in
+  List.iter
+    (fun (what, line) ->
+      match frozen_v1_decode_line line with
+      | Ok _ -> Alcotest.failf "frozen v1 decoder accepted a v2 %s" what
+      | Error m ->
+          Alcotest.(check bool)
+            (what ^ " rejection names the version") true
+            (contains_sub "version 2" m))
+    [
+      ("spec header", Wire.spec_to_json ~target:"" spec);
+      ("run row", Wire.obs_to_json obs);
+      ( "failure row",
+        Wire.failure_to_json
+          { Aggregate.f_index = 0; f_seed = 1; f_error = "x" } );
+    ]
 
 let test_malformed_rejected () =
   let bad s =
@@ -333,6 +435,7 @@ let test_channel_roundtrip () =
             ];
           o_objects = [ "G.data[]" ];
           o_fingerprint = 123456;
+          o_hb_fingerprint = Some 654321;
           o_events = 10;
           o_steps = 100;
           o_wall = 0.25;
@@ -391,6 +494,12 @@ let suite =
   @ [
       Alcotest.test_case "future schema version rejected" `Quick
         test_future_version_rejected;
+      Alcotest.test_case "v1 obs rows decode (no hb field)" `Quick
+        test_v1_obs_row_decodes;
+      Alcotest.test_case "v1 spec headers decode as raw equivalence" `Quick
+        test_v1_spec_decodes_as_raw;
+      Alcotest.test_case "v2 rows bounce off a frozen v1 decoder" `Quick
+        test_v2_rows_rejected_by_frozen_v1_decoder;
       Alcotest.test_case "malformed lines rejected" `Quick
         test_malformed_rejected;
       Alcotest.test_case "int/float distinction" `Quick
