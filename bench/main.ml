@@ -193,6 +193,31 @@ let bpf_meta buf =
      \"%s\",\n"
     (git_commit ()) Sys.ocaml_version (iso8601_now ())
 
+(* Shared scaffolding for the tracked benchmark JSON files
+   (BENCH_*.json): open brace, provenance meta, section-specific body,
+   close brace, write and announce.  [fill] emits the body lines
+   (indented two spaces, last line without a trailing comma). *)
+let write_json ~file fill =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  bpf_meta buf;
+  fill buf;
+  Buffer.add_string buf "}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  fpf "wrote %s@.@." file
+
+(* JSON array elements with the trailing-comma discipline: [emit]
+   writes one element, without the separator or newline. *)
+let bpf_elems buf items emit =
+  let last = List.length items - 1 in
+  List.iteri
+    (fun i x ->
+      emit buf x;
+      Buffer.add_string buf (if i = last then "\n" else ",\n"))
+    items
+
 let explore_bench ~quick ~json () =
   let module E = Drd_explore in
   let b = Option.get (H.Programs.find "tsp") in
@@ -262,47 +287,35 @@ let explore_bench ~quick ~json () =
       hb_cases
   in
   fpf "@.";
-  if json then begin
-    let buf = Buffer.create 1024 in
-    let bpf fmt = Printf.bprintf buf fmt in
-    bpf "{\n";
-    bpf_meta buf;
-    bpf "  \"benchmark\": \"tsp\",\n  \"strategy\": \"pct(d=3)\",\n";
-    bpf "  \"runs_per_campaign\": %d,\n" runs;
-    bpf "  \"recommended_domain_count\": %d,\n" cores;
-    bpf "  \"workers\": [\n";
-    List.iteri
-      (fun i (workers, r, rps) ->
-        bpf
-          "    { \"workers\": %d, \"wall_s\": %.4f, \"runs_per_sec\": %.2f, \
-           \"events_per_sec\": %.1f, \"events_per_sec_per_worker\": %.1f, \
-           \"distinct_races\": %d }%s\n"
-          workers r.E.Explore.r_wall rps
-          (E.Explore.events_per_sec r)
-          (E.Explore.events_per_sec_per_worker r)
-          r.E.Explore.r_stats.E.Aggregate.st_distinct_races
-          (if i = List.length rows - 1 then "" else ",");
-        ())
-      rows;
-    bpf "  ],\n";
-    bpf "  \"speedup_2_workers\": %.3f,\n  \"speedup_4_workers\": %.3f,\n"
-      (speedup 2) (speedup 4);
-    bpf "  \"hb_pruning\": [\n";
-    List.iteri
-      (fun i (name, runs, horizon, classes, pruned, rate, races_match) ->
-        bpf
-          "    { \"program\": \"%s\", \"strategy\": \"pct(d=3)\", \"runs\": \
-           %d, \"pct_horizon\": %d, \"equiv_classes\": %d, \"pruned_runs\": \
-           %d, \"pruned_rate\": %.3f, \"races_match_raw\": %b }%s\n"
-          name runs horizon classes pruned rate races_match
-          (if i = List.length hb_rows - 1 then "" else ","))
-      hb_rows;
-    bpf "  ]\n}\n";
-    let oc = open_out "BENCH_explore.json" in
-    output_string oc (Buffer.contents buf);
-    close_out oc;
-    fpf "wrote BENCH_explore.json@.@."
-  end
+  if json then
+    write_json ~file:"BENCH_explore.json" (fun buf ->
+        let bpf fmt = Printf.bprintf buf fmt in
+        bpf "  \"benchmark\": \"tsp\",\n  \"strategy\": \"pct(d=3)\",\n";
+        bpf "  \"runs_per_campaign\": %d,\n" runs;
+        bpf "  \"recommended_domain_count\": %d,\n" cores;
+        bpf "  \"workers\": [\n";
+        bpf_elems buf rows (fun buf (workers, r, rps) ->
+            Printf.bprintf buf
+              "    { \"workers\": %d, \"wall_s\": %.4f, \"runs_per_sec\": \
+               %.2f, \"events_per_sec\": %.1f, \
+               \"events_per_sec_per_worker\": %.1f, \"distinct_races\": %d }"
+              workers r.E.Explore.r_wall rps
+              (E.Explore.events_per_sec r)
+              (E.Explore.events_per_sec_per_worker r)
+              r.E.Explore.r_stats.E.Aggregate.st_distinct_races);
+        bpf "  ],\n";
+        bpf "  \"speedup_2_workers\": %.3f,\n  \"speedup_4_workers\": %.3f,\n"
+          (speedup 2) (speedup 4);
+        bpf "  \"hb_pruning\": [\n";
+        bpf_elems buf hb_rows
+          (fun buf (name, runs, horizon, classes, pruned, rate, races_match) ->
+            Printf.bprintf buf
+              "    { \"program\": \"%s\", \"strategy\": \"pct(d=3)\", \
+               \"runs\": %d, \"pct_horizon\": %d, \"equiv_classes\": %d, \
+               \"pruned_runs\": %d, \"pruned_rate\": %.3f, \
+               \"races_match_raw\": %b }"
+              name runs horizon classes pruned rate races_match);
+        bpf "  ]\n")
 
 (* ------------------------------------------------------------------ *)
 (* Detector replay throughput: events/sec for the runtime configurations
@@ -412,36 +425,157 @@ let detector_bench ~quick ~json () =
       programs
   in
   fpf "@.";
-  if json then begin
-    let buf = Buffer.create 1024 in
-    let bpf fmt = Printf.bprintf buf fmt in
-    bpf "{\n";
-    bpf_meta buf;
-    bpf "  \"target_events\": %d,\n  \"trials\": %d,\n" target_events trials;
-    bpf "  \"alloc_words_per_event\": { \"cache_hit\": %.4f, \"owned\": %.4f },\n"
-      cache_hit_words owned_words;
-    bpf "  \"programs\": [\n";
-    List.iteri
-      (fun i (name, accesses, reps, rows) ->
-        bpf "    { \"program\": \"%s\", \"access_events\": %d, \"replays_per_trial\": %d,\n"
-          name accesses reps;
-        bpf "      \"configs\": [\n";
-        List.iteri
-          (fun j (cname, eps, races) ->
-            bpf
-              "        { \"config\": \"%s\", \"events_per_sec\": %.0f, \
-               \"races\": %d }%s\n"
-              cname eps races
-              (if j = List.length rows - 1 then "" else ","))
-          rows;
-        bpf "      ] }%s\n" (if i = List.length results - 1 then "" else ","))
-      results;
-    bpf "  ]\n}\n";
-    let oc = open_out "BENCH_detector.json" in
-    output_string oc (Buffer.contents buf);
-    close_out oc;
-    fpf "wrote BENCH_detector.json@.@."
-  end
+  if json then
+    write_json ~file:"BENCH_detector.json" (fun buf ->
+        let bpf fmt = Printf.bprintf buf fmt in
+        bpf "  \"target_events\": %d,\n  \"trials\": %d,\n" target_events
+          trials;
+        bpf
+          "  \"alloc_words_per_event\": { \"cache_hit\": %.4f, \"owned\": \
+           %.4f },\n"
+          cache_hit_words owned_words;
+        bpf "  \"programs\": [\n";
+        bpf_elems buf results (fun buf (name, accesses, reps, rows) ->
+            Printf.bprintf buf
+              "    { \"program\": \"%s\", \"access_events\": %d, \
+               \"replays_per_trial\": %d,\n"
+              name accesses reps;
+            Printf.bprintf buf "      \"configs\": [\n";
+            bpf_elems buf rows (fun buf (cname, eps, races) ->
+                Printf.bprintf buf
+                  "        { \"config\": \"%s\", \"events_per_sec\": %.0f, \
+                   \"races\": %d }"
+                  cname eps races);
+            Printf.bprintf buf "      ] }");
+        bpf "  ]\n")
+
+(* ------------------------------------------------------------------ *)
+(* VM engine throughput: the link phase's payoff.  Measures, in the same
+   process, raw interpreter speed (steps/sec with the detector off — the
+   hot loop itself) and exploration-style campaign throughput (runs/sec
+   over PCT strategy specs with the full detector pipeline, the cost the
+   exploration engine pays per schedule) on tsp under both engines: the
+   frozen pre-link block interpreter (ref) and the linked flat-image
+   engine (linked).  Schedules are bit-identical, so the step counts
+   must agree exactly — the run fails loudly if they do not.  --json
+   writes BENCH_vm.json, the tracked benchmark for the link phase. *)
+
+let vm_bench ~quick ~json () =
+  let module E = Drd_explore in
+  let b = Option.get (H.Programs.find "tsp") in
+  let compiled =
+    H.Pipeline.compile H.Config.full ~source:b.H.Programs.b_source
+  in
+  let engines = [ ("ref", (`Ref : H.Pipeline.engine)); ("linked", `Linked) ] in
+  let step_trials = if quick then 3 else 5 in
+  fpf "VM engine throughput (tsp; ref = pre-link block interpreter)@.";
+  fpf "%8s %12s %14s@." "engine" "steps" "steps/s";
+  let steps_rows =
+    List.map
+      (fun (name, engine) ->
+        let best = ref 0. and steps = ref 0 in
+        for _ = 1 to step_trials do
+          let t0 = Unix.gettimeofday () in
+          let r = H.Pipeline.run ~detect:false ~engine compiled in
+          let dt = Unix.gettimeofday () -. t0 in
+          steps := r.H.Pipeline.steps;
+          let sps = float_of_int r.H.Pipeline.steps /. Float.max dt 1e-9 in
+          if sps > !best then best := sps
+        done;
+        fpf "%8s %12d %14.0f@." name !steps !best;
+        (name, !steps, !best))
+      engines
+  in
+  (match steps_rows with
+  | [ (_, s_ref, _); (_, s_linked, _) ] when s_ref <> s_linked ->
+      failwith
+        (Printf.sprintf "engines diverged: %d steps (ref) vs %d (linked)"
+           s_ref s_linked)
+  | _ -> ());
+  let runs = if quick then 24 else 64 in
+  let campaign_trials = if quick then 1 else 3 in
+  (* One exploration campaign: [runs] pct(d=3) replays with the per-run
+     seeds/quanta the real campaigns use.  [detect:true] is the
+     race-hunting configuration (per-run detector included);
+     [detect:false] is the fingerprint-only pass the happens-before
+     pruning replays run, where the VM is nearly the whole cost. *)
+  let campaign ~detect engine =
+    let best = ref 0. in
+    for _ = 1 to campaign_trials do
+      let t0 = Unix.gettimeofday () in
+      for index = 0 to runs - 1 do
+        let sp =
+          E.Strategy.spec (E.Strategy.Pct 3) ~base:compiled.H.Pipeline.config
+            ~pct_horizon:20_000 index
+        in
+        let vm =
+          {
+            (H.Pipeline.vm_config_of compiled.H.Pipeline.config) with
+            Drd_vm.Interp.seed = sp.E.Strategy.sp_seed;
+            quantum = sp.E.Strategy.sp_quantum;
+            policy = sp.E.Strategy.sp_policy;
+          }
+        in
+        ignore (H.Pipeline.run ~vm ~detect ~engine compiled)
+      done;
+      let rps =
+        float_of_int runs /. Float.max (Unix.gettimeofday () -. t0) 1e-9
+      in
+      if rps > !best then best := rps
+    done;
+    !best
+  in
+  fpf "@.Exploration campaigns (pct(d=3), %d runs, best of %d)@." runs
+    campaign_trials;
+  fpf "%8s %16s %18s@." "engine" "detect runs/s" "fingerprint runs/s";
+  let campaign_rows =
+    List.map
+      (fun (name, engine) ->
+        let det = campaign ~detect:true engine in
+        let fp = campaign ~detect:false engine in
+        fpf "%8s %16.1f %18.1f@." name det fp;
+        (name, det, fp))
+      engines
+  in
+  let steps_of n =
+    match List.find_opt (fun (n', _, _) -> n' = n) steps_rows with
+    | Some (_, _, sps) -> sps
+    | None -> 0.
+  in
+  let det_of n =
+    match List.find_opt (fun (n', _, _) -> n' = n) campaign_rows with
+    | Some (_, det, _) -> det
+    | None -> 0.
+  in
+  let fp_of n =
+    match List.find_opt (fun (n', _, _) -> n' = n) campaign_rows with
+    | Some (_, _, fp) -> fp
+    | None -> 0.
+  in
+  let steps_speedup = steps_of "linked" /. Float.max (steps_of "ref") 1e-9 in
+  let explore_speedup = det_of "linked" /. Float.max (det_of "ref") 1e-9 in
+  let fp_speedup = fp_of "linked" /. Float.max (fp_of "ref") 1e-9 in
+  fpf
+    "speedup: %.2fx steps/s, %.2fx explore runs/s (detector on), %.2fx \
+     fingerprint runs/s@.@."
+    steps_speedup explore_speedup fp_speedup;
+  if json then
+    write_json ~file:"BENCH_vm.json" (fun buf ->
+        let bpf fmt = Printf.bprintf buf fmt in
+        bpf "  \"benchmark\": \"tsp\",\n";
+        bpf "  \"step_trials\": %d,\n  \"campaign_runs\": %d,\n" step_trials
+          runs;
+        bpf "  \"engines\": [\n";
+        bpf_elems buf steps_rows (fun buf (name, steps, sps) ->
+            Printf.bprintf buf
+              "    { \"engine\": \"%s\", \"steps\": %d, \"steps_per_sec\": \
+               %.0f, \"explore_runs_per_sec\": %.2f, \
+               \"fingerprint_runs_per_sec\": %.2f }"
+              name steps sps (det_of name) (fp_of name));
+        bpf "  ],\n";
+        bpf "  \"steps_speedup\": %.3f,\n" steps_speedup;
+        bpf "  \"explore_runs_speedup\": %.3f,\n" explore_speedup;
+        bpf "  \"fingerprint_runs_speedup\": %.3f\n" fp_speedup)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -462,4 +596,5 @@ let () =
   if all || has "--ablation" then ablation ();
   if all || has "--explore" then explore_bench ~quick ~json:(has "--json") ();
   if all || has "--detector" then detector_bench ~quick ~json:(has "--json") ();
+  if all || has "--vm" then vm_bench ~quick ~json:(has "--json") ();
   if all || has "--micro" then microbench ()

@@ -114,6 +114,18 @@ let pct_horizon_arg =
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("linked", (`Linked : H.Pipeline.engine)); ("ref", `Ref) ])
+        `Linked
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "VM engine: $(b,linked) executes the flat linked image (the \
+           default); $(b,ref) executes the frozen pre-link block \
+           interpreter.  Both produce bit-identical schedules and reports; \
+           $(b,ref) exists for cross-checking and benchmarking.")
+
 let no_timing_arg =
   Arg.(
     value & flag
@@ -238,7 +250,7 @@ let run_json compiled (r : H.Pipeline.result) =
 (* ---- run ---- *)
 
 let run_cmd_impl file benchmark config_name seed quantum pct pct_horizon
-    verbose json =
+    engine verbose json =
   match load_source file benchmark with
   | Error e -> `Error (false, e)
   | Ok source -> (
@@ -246,12 +258,12 @@ let run_cmd_impl file benchmark config_name seed quantum pct pct_horizon
       | Error e -> `Error (false, e)
       | Ok config when json ->
           let compiled = H.Pipeline.compile config ~source in
-          let r = H.Pipeline.run compiled in
+          let r = H.Pipeline.run ~engine compiled in
           run_json compiled r;
           `Ok ()
       | Ok config ->
           let compiled = H.Pipeline.compile config ~source in
-          let r = H.Pipeline.run compiled in
+          let r = H.Pipeline.run ~engine compiled in
           List.iter
             (fun (tag, v) ->
               match v with
@@ -322,7 +334,8 @@ let run_cmd =
     Term.(
       ret
         (const run_cmd_impl $ file_arg $ benchmark_arg $ config_arg $ seed_arg
-       $ quantum_arg $ pct_arg $ pct_horizon_arg $ verbose_arg $ json_arg))
+       $ quantum_arg $ pct_arg $ pct_horizon_arg $ engine_arg $ verbose_arg
+       $ json_arg))
 
 (* ---- analyze ---- *)
 

@@ -1,5 +1,7 @@
 module Ir = Drd_ir.Ir
+module Link = Drd_ir.Link
 module Interp = Drd_vm.Interp
+module Interp_ref = Drd_vm.Interp_ref
 module Value = Drd_vm.Value
 module Memloc = Drd_vm.Memloc
 module Sink = Drd_vm.Sink
@@ -16,6 +18,7 @@ open Drd_core
 
 type compiled = {
   prog : Ir.program;
+  image : Link.image; (* the linked executable form the VM runs *)
   config : Config.t;
   traces_inserted : int;
   traces_eliminated : int;
@@ -23,6 +26,11 @@ type compiled = {
   race_set : Drd_static.Race_set.t option;
   compile_time : float;
 }
+
+(* Which interpreter executes the program.  [`Linked] is the production
+   engine (flat image); [`Ref] is the frozen pre-link block interpreter,
+   kept for the golden byte-identity suite and as the bench baseline. *)
+type engine = [ `Linked | `Ref ]
 
 let compile (config : Config.t) ~source : compiled =
   let t0 = Unix.gettimeofday () in
@@ -50,8 +58,11 @@ let compile (config : Config.t) ~source : compiled =
   (* The rest of the compiler's optimizations run AFTER instrumentation
      (Section 6.2); traces are unknown-side-effect and survive. *)
   if config.Config.ir_optimize then ignore (Drd_ir.Optimize.optimize prog);
+  (* Link once, after every pass that can touch the IR has run. *)
+  let image = Link.link prog in
   {
     prog;
+    image;
     config;
     traces_inserted = inserted;
     traces_eliminated = eliminated;
@@ -98,7 +109,8 @@ let vm_config_of (config : Config.t) =
     policy = config.Config.policy;
   }
 
-let run ?vm ?tap ?(detect = true) (c : compiled) : result =
+let run ?vm ?tap ?(detect = true) ?(engine = (`Linked : engine)) (c : compiled)
+    : result =
   let config = c.config in
   let events = ref 0 in
   let count f = fun ~tid ~loc ~kind ~locks ~site ->
@@ -204,7 +216,11 @@ let run ?vm ?tap ?(detect = true) (c : compiled) : result =
   in
   let sink = match tap with Some t -> Sink.tee sink t | None -> sink in
   let t0 = Unix.gettimeofday () in
-  let r = Interp.run ~config:vm_config ~sink c.prog in
+  let r =
+    match engine with
+    | `Linked -> Interp.run ~config:vm_config ~sink c.image
+    | `Ref -> Interp_ref.run ~config:vm_config ~sink c.prog
+  in
   let wall = Unix.gettimeofday () -. t0 in
   let heap = r.Interp.r_heap in
   let racy_locs, detector_stats =
@@ -302,7 +318,8 @@ let run_source config source =
 
 (* Execute the instrumented program recording the event stream instead
    of detecting online. *)
-let record_log (c : compiled) : Event_log.t * Interp.result =
+let record_log ?(engine = (`Linked : engine)) (c : compiled) :
+    Event_log.t * Interp.result =
   let log = Event_log.create () in
   let sink =
     {
@@ -326,7 +343,11 @@ let record_log (c : compiled) : Event_log.t * Interp.result =
       call = None;
     }
   in
-  let r = Interp.run ~config:(vm_config_of c.config) ~sink c.prog in
+  let r =
+    match engine with
+    | `Linked -> Interp.run ~config:(vm_config_of c.config) ~sink c.image
+    | `Ref -> Interp_ref.run ~config:(vm_config_of c.config) ~sink c.prog
+  in
   (log, r)
 
 (* Run the final detection phase off-line over a recorded log. *)

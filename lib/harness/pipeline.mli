@@ -3,12 +3,16 @@
     optimizer and detector — assembled according to a {!Config.t}. *)
 
 module Ir = Drd_ir.Ir
+module Link = Drd_ir.Link
 module Interp = Drd_vm.Interp
 module Value = Drd_vm.Value
 open Drd_core
 
 type compiled = {
   prog : Ir.program;
+  image : Link.image;
+      (** The flat executable image the link phase produced; the VM runs
+          this, never the block IR. *)
   config : Config.t;
   traces_inserted : int;  (** Trace statements after static filtering. *)
   traces_eliminated : int;  (** Removed by static weaker-than. *)
@@ -19,10 +23,18 @@ type compiled = {
   compile_time : float;  (** Seconds spent in analysis + instrumentation. *)
 }
 
+type engine = [ `Linked | `Ref ]
+(** Which interpreter executes the program: [`Linked] is the production
+    engine running the flat {!Link.image}; [`Ref] is the frozen pre-link
+    block interpreter ({!Drd_vm.Interp_ref}), kept for the golden
+    byte-identity suite and as the `bench --vm` baseline.  Both produce
+    bit-identical schedules, event streams and reports. *)
+
 val compile : Config.t -> source:string -> compiled
-(** Parse, typecheck, (optionally) peel, lower, analyze and instrument
-    one program.  Raises the frontend/typechecker exceptions on invalid
-    source. *)
+(** Parse, typecheck, (optionally) peel, lower, analyze, instrument and
+    link one program.  Raises the frontend/typechecker exceptions on
+    invalid source and {!Drd_ir.Link.Link_error} on an unlinkable
+    program. *)
 
 type result = {
   races : string list;
@@ -53,7 +65,12 @@ val vm_config_of : Config.t -> Interp.config
     granularity, pseudo-locks, scheduling policy). *)
 
 val run :
-  ?vm:Interp.config -> ?tap:Drd_vm.Sink.t -> ?detect:bool -> compiled -> result
+  ?vm:Interp.config ->
+  ?tap:Drd_vm.Sink.t ->
+  ?detect:bool ->
+  ?engine:engine ->
+  compiled ->
+  result
 (** Execute the compiled program under its configuration's detector.
     [?vm] overrides the VM configuration (the exploration engine swaps
     seed/quantum/policy per run without recompiling); [?tap] receives a
@@ -62,7 +79,9 @@ val run :
     instrumented program — so the schedule is bit-identical — but skips
     all detector work, leaving only event counting and the tap; the
     exploration engine uses it for fingerprint-only passes when replay
-    pruning decides whether the detector pass is needed at all. *)
+    pruning decides whether the detector pass is needed at all.
+    [?engine] (default [`Linked]) selects the interpreter; [`Ref] exists
+    for golden-identity checking and benchmarking only. *)
 
 val run_source : Config.t -> string -> compiled * result
 
@@ -75,10 +94,10 @@ val static_peers_of_site : compiled -> Drd_core.Event.site_id -> string list
     ["Class.method:line (write f)"].  Empty when static analysis was
     not run. *)
 
-val record_log : compiled -> Event_log.t * Interp.result
+val record_log : ?engine:engine -> compiled -> Event_log.t * Interp.result
 (** Post-mortem mode, phase 1 (paper Section 1): execute the
     instrumented program recording the full event stream instead of
-    detecting online. *)
+    detecting online.  [?engine] as in {!run}. *)
 
 val detect_post_mortem :
   Config.t -> Event_log.t -> Report.collector * Detector.stats

@@ -66,7 +66,10 @@ type op =
   | ClassObj of reg * string (* dst := per-class lock object *)
   | NullCheck of reg (* PEI *)
   | BoundsCheck of reg * reg (* PEI: array, index *)
-  | Call of reg option * call_target * reg list
+  | Call of reg option * call_target * reg list * int
+      (* dst, target, args, call-site id (registered with the program's
+         site table for [Virtual] calls so [Sink.call] reports the real
+         site; -1 for statics/ctors, which emit no call notification) *)
   | MonitorEnter of reg * int (* lock object, lexical sync region id *)
   | MonitorExit of reg * int
   | ThreadStart of reg
@@ -156,7 +159,7 @@ let uses = function
   | ClassObj _ -> []
   | NullCheck r -> [ r ]
   | BoundsCheck (a, i) -> [ a; i ]
-  | Call (_, _, args) -> args
+  | Call (_, _, args, _) -> args
   | MonitorEnter (r, _) | MonitorExit (r, _) -> [ r ]
   | ThreadStart r | ThreadJoin r -> [ r ]
   | Wait r | Notify (r, _) -> [ r ]
@@ -181,7 +184,7 @@ let def = function
   | ArrLen (d, _)
   | ClassObj (d, _) ->
       Some d
-  | Call (d, _, _) -> d
+  | Call (d, _, _, _) -> d
   | PutField _ | PutStatic _ | AStore _ | NullCheck _ | BoundsCheck _
   | MonitorEnter _ | MonitorExit _ | ThreadStart _ | ThreadJoin _ | Wait _
   | Notify _ | Yield | Print _ | Trace _ ->

@@ -1,0 +1,103 @@
+(** The link phase: resolve an instrumented {!Ir.program} into a flat
+    executable image — dense method ids, per-class vtables, pre-resolved
+    call sites and block-free [lop array] bodies addressed by an integer
+    pc — so the VM's hot loop runs without string keys, hierarchy walks
+    or list traversal.  Linking never adds, removes or reorders an
+    executed step: schedules and event streams are bit-identical to the
+    block interpreter's. *)
+
+module Tast = Drd_lang.Tast
+module Ast = Drd_lang.Ast
+
+exception Link_error of string
+(** A program that cannot be linked: missing main, a call to a method
+    with no body, field/static layout metadata that contradicts the
+    typed program, or a method body that fails the link-time validation
+    pass (a register operand outside the method's register file, a
+    branch target outside its code array, a non-terminator in the last
+    slot).  Validation runs on every linked method and is what lets the
+    interpreter skip bounds checks on register-file and code-array
+    accesses. *)
+
+(** Pre-resolved call target. *)
+type lcall =
+  | Lc_method of int  (** Method id — [Static] and [Ctor] calls. *)
+  | Lc_virtual of int * string
+      (** Vtable slot (the receiver's dynamic class selects the row);
+          the method name is kept for error messages only. *)
+
+(** Flat executable instruction: {!Ir.op} with call targets resolved,
+    trace targets reduced to the indices the event needs, and block
+    terminators inlined into the stream with branch targets as pcs. *)
+type lop =
+  | Lconst of Ir.reg * Ir.const
+  | Lmove of Ir.reg * Ir.reg
+  | Lbinop of Ast.binop * Ir.reg * Ir.reg * Ir.reg
+  | Lunop of Ast.unop * Ir.reg * Ir.reg
+  | Lgetfield of Ir.reg * Ir.reg * Ir.field_meta
+  | Lputfield of Ir.reg * Ir.field_meta * Ir.reg
+  | Lgetstatic of Ir.reg * Ir.static_meta
+  | Lputstatic of Ir.static_meta * Ir.reg
+  | Laload of Ir.reg * Ir.reg * Ir.reg
+  | Lastore of Ir.reg * Ir.reg * Ir.reg
+  | Lnewobj of Ir.reg * int  (** class id *)
+  | Lnewarr of Ir.reg * Ast.ty * Ir.reg list
+  | Larrlen of Ir.reg * Ir.reg
+  | Lclassobj of Ir.reg * int  (** class id *)
+  | Lnullcheck of Ir.reg
+  | Lboundscheck of Ir.reg * Ir.reg
+  | Lcall of Ir.reg option * lcall * Ir.reg array * int
+      (** dst, target, args, call-site id (-1 for statics/ctors). *)
+  | Lmonitorenter of Ir.reg
+  | Lmonitorexit of Ir.reg
+  | Lthreadstart of Ir.reg
+  | Lthreadjoin of Ir.reg
+  | Lwait of Ir.reg
+  | Lnotify of Ir.reg * bool
+  | Lyield
+  | Lprint of string * Ir.reg option
+  | Ltrace_field of Ir.reg * int * Drd_core.Event.kind * int
+      (** object register, field index, kind, site id *)
+  | Ltrace_static of int * Drd_core.Event.kind * int  (** slot, kind, site *)
+  | Ltrace_array of Ir.reg * Drd_core.Event.kind * int  (** array, kind, site *)
+  | Lgoto of int
+  | Lif of Ir.reg * int * int
+  | Lret of Ir.reg option
+  | Ltrap of string
+
+type lmethod = {
+  m_id : int;
+  m_key : string;  (** "Class.name", for error messages. *)
+  m_nregs : int;  (** Register file size (≥ 1). *)
+  m_nparams : int;
+  m_entry : int;  (** pc of the entry block. *)
+  m_code : lop array;
+  m_lines : int array;  (** Source line per pc, for error messages. *)
+}
+
+type image = {
+  i_prog : Ir.program;  (** The linked program (tprog + site table). *)
+  i_methods : lmethod array;  (** Indexed by method id. *)
+  i_main : int;  (** Method id of main. *)
+  i_classes : string array;  (** Class id -> name (sorted order). *)
+  i_class_fields : Tast.field_info array array;
+      (** Class id -> full field layout (for allocation templates). *)
+  i_vtables : int array array;
+      (** Class id -> vtable slot -> method id, or -1 when the class
+          has no implementation for that slot. *)
+  i_slot_names : string array;  (** Vtable slot -> method name. *)
+  i_run_slot : int;  (** Vtable slot of ["run"], or -1. *)
+}
+
+val link : Ir.program -> image
+(** Number methods and classes (sorted-key order, so ids are a pure
+    function of the program), build vtables, flatten and pre-resolve
+    every method body, and validate field/static layout metadata.
+    Raises {!Link_error} on an unlinkable program. *)
+
+val method_count : image -> int
+val class_count : image -> int
+
+val find_method_id : image -> string -> int option
+(** Method id of a "Class.name" key (binary search over the sorted
+    method array); [None] if the image has no such method. *)

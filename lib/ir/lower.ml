@@ -155,7 +155,7 @@ let rec lower_expr ctx (e : texpr) : reg =
       (match Tast.find_method ctx.prog cname "<init>" with
       | Some _ ->
           let rargs = List.map (lower_expr ctx) args in
-          emit ctx line (Call (None, Ctor cname, d :: rargs))
+          emit ctx line (Call (None, Ctor cname, d :: rargs, -1))
       | None -> ());
       d
   | TNewArray (base, dims) ->
@@ -203,13 +203,28 @@ and lower_call ctx line (c : tcall) : reg option =
       let rargs = List.map (lower_expr ctx) args in
       null_check ctx line recv rr;
       let dst = if ret = Ast.Tvoid then None else Some (fresh ctx) in
+      (* Virtual calls notify [Sink.call] with the receiver; give the
+         call site a real id so those notifications (and per-site
+         statistics built on them) name the actual source site instead
+         of -1.  [ctx.niids] is the id [emit] will assign to the call
+         instruction itself. *)
+      let site =
+        Site_table.add ctx.sites
+          {
+            Site_table.s_method =
+              Tast.method_key ctx.meth.tm_class ctx.meth.tm_name;
+            s_line = line;
+            s_desc = "call " ^ name;
+            s_iid = ctx.niids;
+          }
+      in
       emit ctx line
-        (Call (dst, Virtual (static_class_of recv, name), rr :: rargs));
+        (Call (dst, Virtual (static_class_of recv, name), rr :: rargs, site));
       dst
   | CStatic (cls, name, args, ret) ->
       let rargs = List.map (lower_expr ctx) args in
       let dst = if ret = Ast.Tvoid then None else Some (fresh ctx) in
-      emit ctx line (Call (dst, Static (cls, name), rargs));
+      emit ctx line (Call (dst, Static (cls, name), rargs, -1));
       dst
   | CStart recv ->
       let rr = lower_expr ctx recv in

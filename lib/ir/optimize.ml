@@ -81,7 +81,7 @@ let propagate_block (b : block) =
     | ClassObj _ -> op
     | NullCheck r -> NullCheck (s r)
     | BoundsCheck (a, i) -> BoundsCheck (s a, s i)
-    | Call (d, t, args) -> Call (d, t, List.map s args)
+    | Call (d, t, args, site) -> Call (d, t, List.map s args, site)
     | MonitorEnter (r, id) -> MonitorEnter (s r, id)
     | MonitorExit (r, id) -> MonitorExit (s r, id)
     | ThreadStart r -> ThreadStart (s r)

@@ -60,11 +60,11 @@ let pp_op ppf = function
   | ClassObj (d, c) -> Fmt.pf ppf "%a := classobj %s" pp_reg d c
   | NullCheck r -> Fmt.pf ppf "nullcheck %a" pp_reg r
   | BoundsCheck (a, i) -> Fmt.pf ppf "boundscheck %a[%a]" pp_reg a pp_reg i
-  | Call (Some d, t, args) ->
+  | Call (Some d, t, args, _) ->
       Fmt.pf ppf "%a := call %a(%a)" pp_reg d pp_target t
         Fmt.(list ~sep:comma pp_reg)
         args
-  | Call (None, t, args) ->
+  | Call (None, t, args, _) ->
       Fmt.pf ppf "call %a(%a)" pp_target t Fmt.(list ~sep:comma pp_reg) args
   | MonitorEnter (r, id) -> Fmt.pf ppf "monitorenter %a @@%d" pp_reg r id
   | MonitorExit (r, id) -> Fmt.pf ppf "monitorexit %a @@%d" pp_reg r id

@@ -225,11 +225,11 @@ and process_method s key =
                     add_complex s (reg a) (fun ao -> add_subset s (Velem ao) (reg d))
                 | Ir.AStore (a, _, src) ->
                     add_complex s (reg a) (fun ao -> add_subset s (reg src) (Velem ao))
-                | Ir.Call (dst, Ir.Static (cls, name), args) ->
+                | Ir.Call (dst, Ir.Static (cls, name), args, _) ->
                     bind_call s key i (cls ^ "." ^ name) args dst
-                | Ir.Call (dst, Ir.Ctor cls, args) ->
+                | Ir.Call (dst, Ir.Ctor cls, args, _) ->
                     bind_call s key i (cls ^ ".<init>") args dst
-                | Ir.Call (dst, Ir.Virtual (_, name), args) ->
+                | Ir.Call (dst, Ir.Virtual (_, name), args, _) ->
                     (* Resolve per receiver abstract object class. *)
                     add_complex s
                       (reg (List.hd args))

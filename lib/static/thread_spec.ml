@@ -90,7 +90,7 @@ let compute (pt : Pointsto.t) : t =
   in
   let passes_this (cs : Pointsto.call_site) =
     match Hashtbl.find_opt instr_tbl (cs.Pointsto.cs_method, cs.Pointsto.cs_iid) with
-    | Some { Ir.i_op = Ir.Call (_, Ir.Virtual _, recv :: _); _ } -> recv = 0
+    | Some { Ir.i_op = Ir.Call (_, Ir.Virtual _, recv :: _, _); _ } -> recv = 0
     | _ -> false
   in
   let changed = ref true in
@@ -189,7 +189,7 @@ let compute (pt : Pointsto.t) : t =
             | Ir.PutField (_, _, src) when src = 0 -> escapes := true
             | Ir.PutStatic (_, src) when src = 0 -> escapes := true
             | Ir.AStore (_, _, src) when src = 0 -> escapes := true
-            | Ir.Call (_, _, args) ->
+            | Ir.Call (_, _, args, _) ->
                 List.iteri
                   (fun idx a ->
                     if a = 0 && idx > 0 then escapes := true

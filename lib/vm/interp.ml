@@ -1,7 +1,45 @@
-module Tast = Drd_lang.Tast
 open Drd_core
-open Drd_ir.Ir
 module Ir = Drd_ir.Ir
+module Link = Drd_ir.Link
+module Ast = Drd_lang.Ast
+module Tast = Drd_lang.Tast
+open Link
+
+(* The linked-image interpreter.  It executes a [Link.image] — the flat
+   form [Pipeline.compile] produces once per program — instead of the
+   block IR: method bodies are [lop array]s addressed by an integer pc,
+   calls are pre-resolved method ids or vtable slots, and every run-time
+   table the hot loop touches is an array indexed by a dense id (thread
+   id, heap id, class id).  No string is built or hashed between two
+   scheduler decisions.
+
+   Exploration campaigns replay the same program thousands of times, so
+   this loop is where their wall-clock goes; see BENCH_vm.json for the
+   measured effect.
+
+   Semantics are bit-identical to the frozen block interpreter
+   ([Interp_ref]): the same schedule, the same RNG draws in the same
+   order, the same [Sink] notifications, the same error strings.  The
+   invariants that keep it that way:
+
+   - [st.steps] advances once per executed slot, and block terminators
+     occupy exactly one slot in the linked stream (they were one "free"
+     [exec_term] step in the block interpreter), so step counts — and
+     with them PCT change points and the step limit — are unchanged;
+   - the slice budget is spent only by instructions that advance, never
+     by terminators or by a blocked retry, exactly as before;
+   - the ready list is scanned newest-thread-first (the reverse creation
+     order the old [thread list] had), so [Random_walk]'s [List.nth]
+     draw and PCT's lazy priority assignment consume the RNG
+     identically;
+   - heap ids are allocated in the same order (objects, arrays, class
+     objects on first touch, join pseudo-locks at thread creation), so
+     every location and lock id matches.
+
+   The one intended delta: virtual calls report their real call-site id
+   to [Sink.call] (the block interpreter hard-coded -1).  The recording
+   and detector paths never read that field, so golden identity holds;
+   the object-race baseline gets usable sites out of it. *)
 
 exception Runtime_error of string
 
@@ -38,11 +76,10 @@ type result = {
 }
 
 type frame = {
-  f_mir : mir;
+  f_meth : lmethod;
   f_regs : Value.t array;
-  mutable f_block : int;
-  mutable f_pc : instr list; (* remaining instructions of the block *)
-  f_dst : reg option; (* caller register receiving the return value *)
+  mutable f_pc : int; (* index into [f_meth.m_code] *)
+  f_dst : Ir.reg option; (* caller register receiving the return value *)
 }
 
 type status =
@@ -67,17 +104,34 @@ type monitor = {
   mutable waiters : int list; (* FIFO wait set *)
 }
 
+(* Filler for unused thread-array slots; never scheduled. *)
+let dummy_thread =
+  {
+    t_id = -1;
+    t_frames = [];
+    t_status = Finished;
+    t_held = Hashtbl.create 1;
+    t_lockset = Lockset_id.empty;
+    t_wait = None;
+  }
+
 type st = {
-  prog : program;
+  image : image;
   cfg : config;
   sink : Sink.t;
   heap : Heap.t;
   globals : Value.t array; (* static field slots *)
-  mutable threads : thread list; (* reverse creation order *)
+  mutable threads : thread array; (* tid -> thread; first [nthreads] live *)
   mutable nthreads : int;
-  monitors : (int, monitor) Hashtbl.t;
-  class_objs : (string, int) Hashtbl.t;
-  thread_of_obj : (int, int) Hashtbl.t;
+  (* Heap-indexed side tables, grown together on demand: heap ids are
+     dense and never reused, so an array beats a hashtable on every
+     access the hot loop makes. *)
+  mutable monitors : monitor option array; (* heap id -> monitor *)
+  mutable obj_cls : int array; (* heap id -> class id, or -1 *)
+  mutable thread_of_obj : int array; (* heap id -> started tid, or -1 *)
+  class_obj_ids : int array; (* class id -> per-class lock heap id, or -1 *)
+  templates : Value.t array array; (* class id -> default field values *)
+  mutable ready_buf : int array; (* scratch: ready tids, newest first *)
   pseudo : Pseudo_lock.t;
   rng : Random.State.t;
   mutable steps : int;
@@ -86,21 +140,31 @@ type st = {
 
 let error fmt = Format.kasprintf (fun m -> raise (Runtime_error m)) fmt
 
-let frame_of st key dst args =
-  match find_mir st.prog key with
-  | None -> error "no such method %s" key
-  | Some m ->
-      let regs = Array.make (max m.mir_nregs 1) Value.Vnull in
-      List.iteri (fun i v -> regs.(i) <- v) args;
-      {
-        f_mir = m;
-        f_regs = regs;
-        f_block = m.mir_entry;
-        f_pc = m.mir_blocks.(m.mir_entry).b_instrs;
-        f_dst = dst;
-      }
+(* Unchecked indexing for the two arrays the linker has already
+   validated ([Link.validate]: every register operand is inside its
+   method's register file, every pc the interpreter can reach is inside
+   [m_code]).  Used ONLY for register files and code fetch — heap-side
+   arrays keep their bounds checks. *)
+let ( .%() ) = Array.unsafe_get
+let ( .%()<- ) = Array.unsafe_set
 
-let find_thread st tid = List.find (fun t -> t.t_id = tid) st.threads
+(* Grow the heap-indexed side tables to cover heap id [id]. *)
+let ensure st id =
+  if id >= Array.length st.obj_cls then begin
+    let cap = max (2 * Array.length st.obj_cls) (id + 1) in
+    let grow a fill =
+      let b = Array.make cap fill in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    in
+    st.obj_cls <- grow st.obj_cls (-1);
+    st.thread_of_obj <- grow st.thread_of_obj (-1);
+    st.monitors <- grow st.monitors None
+  end
+
+let find_thread st tid =
+  if tid < 0 || tid >= st.nthreads then error "unknown thread id %d" tid
+  else st.threads.(tid)
 
 let new_thread st frames =
   let tid = st.nthreads in
@@ -117,32 +181,53 @@ let new_thread st frames =
   in
   if st.cfg.pseudo_locks then begin
     let s = Heap.alloc_opaque st.heap (Printf.sprintf "S_%d" tid) in
+    ensure st s;
     Pseudo_lock.on_thread_start st.pseudo tid s;
     t.t_lockset <- Pseudo_lock.locks_of st.pseudo tid
   end;
-  st.threads <- t :: st.threads;
+  if tid >= Array.length st.threads then begin
+    let b = Array.make (max 8 (2 * (tid + 1))) dummy_thread in
+    Array.blit st.threads 0 b 0 (Array.length st.threads);
+    st.threads <- b
+  end;
+  st.threads.(tid) <- t;
   t
 
 let monitor_of st obj =
-  match Hashtbl.find_opt st.monitors obj with
+  ensure st obj;
+  match st.monitors.(obj) with
   | Some m -> m
   | None ->
       let m = { owner = None; count = 0; waiters = [] } in
-      Hashtbl.add st.monitors obj m;
+      st.monitors.(obj) <- Some m;
       m
 
-let class_obj st cls =
-  match Hashtbl.find_opt st.class_objs cls with
-  | Some id -> id
-  | None ->
-      let id = Heap.alloc_opaque st.heap ("class " ^ cls) in
-      Hashtbl.add st.class_objs cls id;
-      id
+let class_obj st cid =
+  let id = st.class_obj_ids.(cid) in
+  if id >= 0 then id
+  else begin
+    let id = Heap.alloc_opaque st.heap ("class " ^ st.image.i_classes.(cid)) in
+    ensure st id;
+    st.class_obj_ids.(cid) <- id;
+    id
+  end
 
 let as_ref ~what = function
   | Value.Vref o -> o
   | Value.Vnull -> error "NullPointerException (%s)" what
   | _ -> error "type confusion: expected reference (%s)" what
+
+(* Structural equality on values without the generic [caml_equal] call;
+   agrees with polymorphic [=] on every [Value.t]. *)
+let value_eq a b =
+  a == b
+  ||
+  match (a, b) with
+  | Value.Vint x, Value.Vint y -> x = y
+  | Value.Vbool x, Value.Vbool y -> x = y
+  | Value.Vref x, Value.Vref y -> x = y
+  | Value.Vnull, Value.Vnull -> true
+  | _ -> false
 
 let obj_fields st o =
   match Heap.get st.heap o with
@@ -160,151 +245,188 @@ let emit_access st thr ~loc ~kind ~site =
 let raw_access st thr ~loc ~kind =
   if st.cfg.all_accesses then emit_access st thr ~loc ~kind ~site:(-1)
 
-(* Execute one instruction of the top frame.  Returns [false] when the
-   thread must retry the same instruction later (blocked). *)
-let exec_instr st thr frame (i : instr) : bool =
-  let regs = frame.f_regs in
-  let gran = st.cfg.granularity in
-  match i.i_op with
-  | Const (d, Cint n) ->
-      regs.(d) <- Value.Vint n;
+let push_frame st thr mid dst ~copy_args =
+  let m = st.image.i_methods.(mid) in
+  let regs = Array.make m.m_nregs Value.Vnull in
+  copy_args regs;
+  thr.t_frames <- { f_meth = m; f_regs = regs; f_pc = m.m_entry; f_dst = dst } :: thr.t_frames
+
+(* Execute one non-terminator instruction of the top frame.  [regs] is
+   [frame.f_regs] and [pc] the instruction's slot (the slice loop keeps
+   both in locals and passes them in), so error paths read the line from
+   [m_lines.(pc)].  Returns [false] when the thread must retry the same
+   instruction later (blocked). *)
+let exec_instr st thr frame regs (op : lop) pc : bool =
+  match op with
+  | Lconst (d, Ir.Cint n) ->
+      regs.%(d) <- Value.of_int n;
       true
-  | Const (d, Cbool b) ->
-      regs.(d) <- Value.Vbool b;
+  | Lconst (d, Ir.Cbool b) ->
+      regs.%(d) <- Value.of_bool b;
       true
-  | Const (d, Cnull) ->
-      regs.(d) <- Value.Vnull;
+  | Lconst (d, Ir.Cnull) ->
+      regs.%(d) <- Value.Vnull;
       true
-  | Move (d, s) ->
-      regs.(d) <- regs.(s);
+  | Lmove (d, s) ->
+      regs.%(d) <- regs.%(s);
       true
-  | Binop (op, d, l, r) ->
+  | Lbinop (op, d, l, r) ->
       let v =
         match op with
         | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
-            let a = Value.to_int regs.(l) and b = Value.to_int regs.(r) in
+            let a = Value.to_int regs.%(l) and b = Value.to_int regs.%(r) in
             let n =
               match op with
               | Ast.Add -> a + b
               | Ast.Sub -> a - b
               | Ast.Mul -> a * b
               | Ast.Div ->
-                  if b = 0 then error "division by zero at line %d" i.i_line
+                  if b = 0 then error "division by zero at line %d" frame.f_meth.m_lines.(pc)
                   else a / b
               | Ast.Mod ->
-                  if b = 0 then error "division by zero at line %d" i.i_line
+                  if b = 0 then error "division by zero at line %d" frame.f_meth.m_lines.(pc)
                   else a mod b
               | _ -> assert false
             in
-            Value.Vint n
+            Value.of_int n
         | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
-            let a = Value.to_int regs.(l) and b = Value.to_int regs.(r) in
-            Value.Vbool
+            let a = Value.to_int regs.%(l) and b = Value.to_int regs.%(r) in
+            Value.of_bool
               (match op with
               | Ast.Lt -> a < b
               | Ast.Le -> a <= b
               | Ast.Gt -> a > b
               | _ -> a >= b)
-        | Ast.Eq -> Value.Vbool (regs.(l) = regs.(r))
-        | Ast.Ne -> Value.Vbool (regs.(l) <> regs.(r))
+        | Ast.Eq -> Value.of_bool (value_eq regs.%(l) regs.%(r))
+        | Ast.Ne -> Value.of_bool (not (value_eq regs.%(l) regs.%(r)))
         | Ast.And | Ast.Or ->
             assert false (* expanded into control flow by lowering *)
       in
-      regs.(d) <- v;
+      regs.%(d) <- v;
       true
-  | Unop (Ast.Neg, d, s) ->
-      regs.(d) <- Value.Vint (-Value.to_int regs.(s));
+  | Lunop (Ast.Neg, d, s) ->
+      regs.%(d) <- Value.of_int (-Value.to_int regs.%(s));
       true
-  | Unop (Ast.Not, d, s) ->
-      regs.(d) <- Value.Vbool (not (Value.to_bool regs.(s)));
+  | Lunop (Ast.Not, d, s) ->
+      regs.%(d) <- Value.of_bool (not (Value.to_bool regs.%(s)));
       true
-  | GetField (d, o, fm) ->
-      let obj = as_ref ~what:(fm.fm_name ^ " load") regs.(o) in
-      regs.(d) <- (obj_fields st obj).(fm.fm_index);
+  | Lgetfield (d, o, fm) ->
+      (* The error label is built only on the failure path: [as_ref]'s
+         [~what] argument would otherwise allocate a string per access. *)
+      let obj =
+        match regs.%(o) with
+        | Value.Vref obj -> obj
+        | v -> as_ref ~what:(fm.Ir.fm_name ^ " load") v
+      in
+      regs.%(d) <- (obj_fields st obj).(fm.Ir.fm_index);
       raw_access st thr
-        ~loc:(Memloc.field ~gran ~obj ~index:fm.fm_index)
+        ~loc:(Memloc.field ~gran:st.cfg.granularity ~obj ~index:fm.Ir.fm_index)
         ~kind:Event.Read;
       true
-  | PutField (o, fm, s) ->
-      let obj = as_ref ~what:(fm.fm_name ^ " store") regs.(o) in
-      (obj_fields st obj).(fm.fm_index) <- regs.(s);
+  | Lputfield (o, fm, s) ->
+      let obj =
+        match regs.%(o) with
+        | Value.Vref obj -> obj
+        | v -> as_ref ~what:(fm.Ir.fm_name ^ " store") v
+      in
+      (obj_fields st obj).(fm.Ir.fm_index) <- regs.%(s);
       raw_access st thr
-        ~loc:(Memloc.field ~gran ~obj ~index:fm.fm_index)
+        ~loc:(Memloc.field ~gran:st.cfg.granularity ~obj ~index:fm.Ir.fm_index)
         ~kind:Event.Write;
       true
-  | GetStatic (d, sm) ->
-      regs.(d) <- st.globals.(sm.sm_slot);
-      raw_access st thr ~loc:(Memloc.static ~gran ~slot:sm.sm_slot)
+  | Lgetstatic (d, sm) ->
+      regs.%(d) <- st.globals.(sm.Ir.sm_slot);
+      raw_access st thr
+        ~loc:(Memloc.static ~gran:st.cfg.granularity ~slot:sm.Ir.sm_slot)
         ~kind:Event.Read;
       true
-  | PutStatic (sm, s) ->
-      st.globals.(sm.sm_slot) <- regs.(s);
-      raw_access st thr ~loc:(Memloc.static ~gran ~slot:sm.sm_slot)
+  | Lputstatic (sm, s) ->
+      st.globals.(sm.Ir.sm_slot) <- regs.%(s);
+      raw_access st thr
+        ~loc:(Memloc.static ~gran:st.cfg.granularity ~slot:sm.Ir.sm_slot)
         ~kind:Event.Write;
       true
-  | ALoad (d, a, idx) ->
-      let arr = as_ref ~what:"array load" regs.(a) in
-      regs.(d) <- (arr_elems st arr).(Value.to_int regs.(idx));
-      raw_access st thr ~loc:(Memloc.array ~gran ~obj:arr) ~kind:Event.Read;
+  | Laload (d, a, idx) ->
+      let arr = as_ref ~what:"array load" regs.%(a) in
+      regs.%(d) <- (arr_elems st arr).(Value.to_int regs.%(idx));
+      raw_access st thr ~loc:(Memloc.array ~gran:st.cfg.granularity ~obj:arr) ~kind:Event.Read;
       true
-  | AStore (a, idx, s) ->
-      let arr = as_ref ~what:"array store" regs.(a) in
-      (arr_elems st arr).(Value.to_int regs.(idx)) <- regs.(s);
-      raw_access st thr ~loc:(Memloc.array ~gran ~obj:arr) ~kind:Event.Write;
+  | Lastore (a, idx, s) ->
+      let arr = as_ref ~what:"array store" regs.%(a) in
+      (arr_elems st arr).(Value.to_int regs.%(idx)) <- regs.%(s);
+      raw_access st thr ~loc:(Memloc.array ~gran:st.cfg.granularity ~obj:arr) ~kind:Event.Write;
       true
-  | NewObj (d, cls) ->
-      regs.(d) <- Value.Vref (Heap.alloc_obj st.heap st.prog.p_tprog cls);
+  | Lnewobj (d, cid) ->
+      let id =
+        Heap.alloc st.heap
+          (Heap.Obj
+             {
+               cls = st.image.i_classes.(cid);
+               fields = Array.copy st.templates.(cid);
+             })
+      in
+      ensure st id;
+      st.obj_cls.(id) <- cid;
+      regs.%(d) <- Value.Vref id;
       true
-  | NewArr (d, elem, dims) ->
-      let ds = List.map (fun r -> Value.to_int regs.(r)) dims in
+  | Lnewarr (d, elem, dims) ->
+      let ds = List.map (fun r -> Value.to_int regs.%(r)) dims in
       List.iter
-        (fun n -> if n < 0 then error "negative array size at line %d" i.i_line)
+        (fun n -> if n < 0 then error "negative array size at line %d" frame.f_meth.m_lines.(pc))
         ds;
-      regs.(d) <- Value.Vref (Heap.alloc_arr st.heap elem ds);
+      let id = Heap.alloc_arr st.heap elem ds in
+      ensure st id;
+      regs.%(d) <- Value.Vref id;
       true
-  | ArrLen (d, a) ->
-      let arr = as_ref ~what:"length" regs.(a) in
-      regs.(d) <- Value.Vint (Array.length (arr_elems st arr));
+  | Larrlen (d, a) ->
+      let arr = as_ref ~what:"length" regs.%(a) in
+      regs.%(d) <- Value.of_int (Array.length (arr_elems st arr));
       true
-  | ClassObj (d, cls) ->
-      regs.(d) <- Value.Vref (class_obj st cls);
+  | Lclassobj (d, cid) ->
+      regs.%(d) <- Value.Vref (class_obj st cid);
       true
-  | NullCheck r ->
-      (match regs.(r) with
+  | Lnullcheck r ->
+      (match regs.%(r) with
       | Value.Vnull ->
-          error "NullPointerException at %s line %d" (mir_key frame.f_mir)
-            i.i_line
+          error "NullPointerException at %s line %d" frame.f_meth.m_key
+            frame.f_meth.m_lines.(pc)
       | _ -> ());
       true
-  | BoundsCheck (a, idx) ->
-      let arr = as_ref ~what:"array access" regs.(a) in
+  | Lboundscheck (a, idx) ->
+      let arr = as_ref ~what:"array access" regs.%(a) in
       let n = Array.length (arr_elems st arr) in
-      let k = Value.to_int regs.(idx) in
+      let k = Value.to_int regs.%(idx) in
       if k < 0 || k >= n then
         error "ArrayIndexOutOfBoundsException: %d (length %d) at %s line %d" k
-          n (mir_key frame.f_mir) i.i_line;
+          n frame.f_meth.m_key frame.f_meth.m_lines.(pc);
       true
-  | Call (dst, target, args) ->
-      let argv = List.map (fun r -> regs.(r)) args in
-      let key =
+  | Lcall (dst, target, args, site) ->
+      let mid =
         match target with
-        | Static (cls, name) -> cls ^ "." ^ name
-        | Ctor cls -> cls ^ ".<init>"
-        | Virtual (_, name) -> (
-            let recv = as_ref ~what:("call " ^ name) (List.hd argv) in
+        | Lc_method mid -> mid
+        | Lc_virtual (slot, name) ->
+            let recv =
+              match regs.%(args.(0)) with
+              | Value.Vref recv -> recv
+              | v -> as_ref ~what:("call " ^ name) v
+            in
             (match st.sink.Sink.call with
-            | Some f ->
-                f ~tid:thr.t_id ~obj:recv ~locks:thr.t_lockset ~site:(-1)
+            | Some f -> f ~tid:thr.t_id ~obj:recv ~locks:thr.t_lockset ~site
             | None -> ());
-            let cls = Heap.class_of st.heap recv in
-            match Tast.dispatch st.prog.p_tprog cls name with
-            | Some m -> m.Tast.tm_class ^ "." ^ name
-            | None -> error "no method %s on class %s" name cls)
+            ensure st recv;
+            let cid = st.obj_cls.(recv) in
+            let mid = if cid >= 0 then st.image.i_vtables.(cid).(slot) else -1 in
+            if mid < 0 then
+              error "no method %s on class %s" name (Heap.class_of st.heap recv)
+            else mid
       in
-      thr.t_frames <- frame_of st key dst argv :: thr.t_frames;
+      push_frame st thr mid dst ~copy_args:(fun nregs ->
+          for k = 0 to Array.length args - 1 do
+            nregs.(k) <- regs.%(args.(k))
+          done);
       true
-  | MonitorEnter (r, _) -> (
-      let obj = as_ref ~what:"monitorenter" regs.(r) in
+  | Lmonitorenter r -> (
+      let obj = as_ref ~what:"monitorenter" regs.%(r) in
       let m = monitor_of st obj in
       match m.owner with
       | Some o when o = thr.t_id ->
@@ -321,12 +443,12 @@ let exec_instr st thr frame (i : instr) : bool =
       | Some _ ->
           thr.t_status <- Blocked obj;
           false)
-  | MonitorExit (r, _) ->
-      let obj = as_ref ~what:"monitorexit" regs.(r) in
+  | Lmonitorexit r ->
+      let obj = as_ref ~what:"monitorexit" regs.%(r) in
       let m = monitor_of st obj in
-      if m.owner <> Some thr.t_id then
-        error "IllegalMonitorStateException at %s line %d"
-          (mir_key frame.f_mir) i.i_line;
+      if (match m.owner with Some o -> o <> thr.t_id | None -> true) then
+        error "IllegalMonitorStateException at %s line %d" frame.f_meth.m_key
+          frame.f_meth.m_lines.(pc);
       m.count <- m.count - 1;
       if m.count = 0 then begin
         m.owner <- None;
@@ -336,51 +458,62 @@ let exec_instr st thr frame (i : instr) : bool =
       end
       else Hashtbl.replace thr.t_held obj m.count;
       true
-  | ThreadStart r ->
-      let obj = as_ref ~what:"start" regs.(r) in
-      if Hashtbl.mem st.thread_of_obj obj then
+  | Lthreadstart r ->
+      let obj = as_ref ~what:"start" regs.%(r) in
+      ensure st obj;
+      if st.thread_of_obj.(obj) >= 0 then
         error "IllegalThreadStateException: thread #%d started twice" obj;
-      let cls = Heap.class_of st.heap obj in
-      let key =
-        match Tast.dispatch st.prog.p_tprog cls "run" with
-        | Some m -> m.Tast.tm_class ^ ".run"
-        | None -> error "class %s has no run method" cls
+      let cid = st.obj_cls.(obj) in
+      let run_slot = st.image.i_run_slot in
+      let mid =
+        if cid >= 0 && run_slot >= 0 then st.image.i_vtables.(cid).(run_slot)
+        else -1
       in
-      let child = new_thread st [ frame_of st key None [ Value.Vref obj ] ] in
-      Hashtbl.add st.thread_of_obj obj child.t_id;
+      if mid < 0 then
+        error "class %s has no run method" (Heap.class_of st.heap obj);
+      let m = st.image.i_methods.(mid) in
+      let regs' = Array.make m.m_nregs Value.Vnull in
+      regs'.(0) <- Value.Vref obj;
+      let child =
+        new_thread st
+          [ { f_meth = m; f_regs = regs'; f_pc = m.m_entry; f_dst = None } ]
+      in
+      st.thread_of_obj.(obj) <- child.t_id;
       st.sink.Sink.thread_start ~parent:thr.t_id ~child:child.t_id;
       true
-  | ThreadJoin r -> (
-      let obj = as_ref ~what:"join" regs.(r) in
-      match Hashtbl.find_opt st.thread_of_obj obj with
-      | None -> true (* joining a never-started thread returns at once *)
-      | Some tid ->
-          let target = find_thread st tid in
-          if target.t_status = Finished then begin
-            if st.cfg.pseudo_locks then begin
-              Pseudo_lock.on_join st.pseudo ~joiner:thr.t_id ~joinee:tid;
-              thr.t_lockset <-
-                Lockset_id.union thr.t_lockset
-                  (Pseudo_lock.locks_of st.pseudo thr.t_id)
-            end;
-            st.sink.Sink.thread_join ~joiner:thr.t_id ~joinee:tid;
-            true
-          end
-          else begin
-            thr.t_status <- Joining tid;
-            false
-          end)
-  | Wait r -> (
-      let obj = as_ref ~what:"wait" regs.(r) in
+  | Lthreadjoin r ->
+      let obj = as_ref ~what:"join" regs.%(r) in
+      ensure st obj;
+      let tid = st.thread_of_obj.(obj) in
+      if tid < 0 then true (* joining a never-started thread returns at once *)
+      else
+        let target = find_thread st tid in
+        if (match target.t_status with Finished -> true | _ -> false) then begin
+          if st.cfg.pseudo_locks then begin
+            Pseudo_lock.on_join st.pseudo ~joiner:thr.t_id ~joinee:tid;
+            thr.t_lockset <-
+              Lockset_id.union thr.t_lockset
+                (Pseudo_lock.locks_of st.pseudo thr.t_id)
+          end;
+          st.sink.Sink.thread_join ~joiner:thr.t_id ~joinee:tid;
+          true
+        end
+        else begin
+          thr.t_status <- Joining tid;
+          false
+        end
+  | Lwait r -> (
+      let obj = as_ref ~what:"wait" regs.%(r) in
       let m = monitor_of st obj in
       match thr.t_wait with
       | None ->
           (* Phase 1: release the monitor entirely and join the wait
              set.  Resumes at this same instruction once notified. *)
-          if m.owner <> Some thr.t_id then
-            error "IllegalMonitorStateException: wait at %s line %d without \
-                   owning the monitor"
-              (mir_key frame.f_mir) i.i_line;
+          if (match m.owner with Some o -> o <> thr.t_id | None -> true) then
+            error
+              "IllegalMonitorStateException: wait at %s line %d without \
+               owning the monitor"
+              frame.f_meth.m_key frame.f_meth.m_lines.(pc);
           thr.t_wait <- Some m.count;
           m.owner <- None;
           m.count <- 0;
@@ -404,13 +537,14 @@ let exec_instr st thr frame (i : instr) : bool =
           | Some _ ->
               thr.t_status <- Blocked obj;
               false))
-  | Notify (r, all) ->
-      let obj = as_ref ~what:"notify" regs.(r) in
+  | Lnotify (r, all) ->
+      let obj = as_ref ~what:"notify" regs.%(r) in
       let m = monitor_of st obj in
-      if m.owner <> Some thr.t_id then
-        error "IllegalMonitorStateException: notify at %s line %d without \
-               owning the monitor"
-          (mir_key frame.f_mir) i.i_line;
+      if (match m.owner with Some o -> o <> thr.t_id | None -> true) then
+        error
+          "IllegalMonitorStateException: notify at %s line %d without owning \
+           the monitor"
+          frame.f_meth.m_key frame.f_meth.m_lines.(pc);
       let woken, remaining =
         match m.waiters with
         | [] -> ([], [])
@@ -424,48 +558,39 @@ let exec_instr st thr frame (i : instr) : bool =
           t.t_status <- Blocked obj)
         woken;
       true
-  | Yield -> true
-  | Print (tag, r) ->
-      let v = Option.map (fun r -> regs.(r)) r in
+  | Lyield -> true
+  | Lprint (tag, r) ->
+      let v = Option.map (fun r -> regs.%(r)) r in
       st.prints <- (tag, v) :: st.prints;
       true
-  | Trace t ->
-      let loc =
-        match t.tr_target with
-        | Tr_field (o, fm) ->
-            let obj = as_ref ~what:"trace" regs.(o) in
-            Memloc.field ~gran ~obj ~index:fm.fm_index
-        | Tr_static sm -> Memloc.static ~gran ~slot:sm.sm_slot
-        | Tr_array (a, _) ->
-            Memloc.array ~gran ~obj:(as_ref ~what:"trace" regs.(a))
-      in
-      emit_access st thr ~loc ~kind:t.tr_kind ~site:t.tr_site;
+  | Ltrace_field (o, index, kind, site) ->
+      let obj = as_ref ~what:"trace" regs.%(o) in
+      emit_access st thr ~loc:(Memloc.field ~gran:st.cfg.granularity ~obj ~index) ~kind ~site;
       true
+  | Ltrace_static (slot, kind, site) ->
+      emit_access st thr ~loc:(Memloc.static ~gran:st.cfg.granularity ~slot) ~kind ~site;
+      true
+  | Ltrace_array (a, kind, site) ->
+      emit_access st thr
+        ~loc:(Memloc.array ~gran:st.cfg.granularity ~obj:(as_ref ~what:"trace" regs.%(a)))
+        ~kind ~site;
+      true
+  | Lgoto _ | Lif _ | Lret _ | Ltrap _ ->
+      assert false (* terminators are handled by the slice loop *)
 
-let exec_term st thr frame =
-  let regs = frame.f_regs in
-  match (block frame.f_mir frame.f_block).b_term with
-  | Goto l ->
-      frame.f_block <- l;
-      frame.f_pc <- (block frame.f_mir l).b_instrs
-  | If (c, t, f) ->
-      let l = if Value.to_bool regs.(c) then t else f in
-      frame.f_block <- l;
-      frame.f_pc <- (block frame.f_mir l).b_instrs
-  | Ret v -> (
-      let value = Option.map (fun r -> regs.(r)) v in
-      thr.t_frames <- List.tl thr.t_frames;
-      match thr.t_frames with
-      | [] ->
-          thr.t_status <- Finished;
-          st.sink.Sink.thread_exit ~tid:thr.t_id
-      | caller :: _ -> (
-          match (frame.f_dst, value) with
-          | Some d, Some v -> caller.f_regs.(d) <- v
-          | Some _, None ->
-              error "method %s returned no value" (mir_key frame.f_mir)
-          | None, _ -> ()))
-  | Trap msg -> error "%s in %s" msg (mir_key frame.f_mir)
+let exec_ret st thr frame v =
+  let value = match v with Some r -> Some frame.f_regs.(r) | None -> None in
+  thr.t_frames <- List.tl thr.t_frames;
+  match thr.t_frames with
+  | [] ->
+      thr.t_status <- Finished;
+      st.sink.Sink.thread_exit ~tid:thr.t_id
+  | caller :: _ -> (
+      match (frame.f_dst, value) with
+      | Some d, Some v -> caller.f_regs.(d) <- v
+      | Some _, None ->
+          error "method %s returned no value" frame.f_meth.m_key
+      | None, _ -> ())
 
 (* Can this thread make progress right now? *)
 let ready st t =
@@ -473,72 +598,142 @@ let ready st t =
   | Runnable -> true
   | Finished -> false
   | Waiting _ -> false (* until notified *)
-  | Blocked obj -> (monitor_of st obj).owner = None
-  | Joining tid -> (find_thread st tid).t_status = Finished
+  | Blocked obj -> (match (monitor_of st obj).owner with None -> true | Some _ -> false)
+  | Joining tid -> (
+      match (find_thread st tid).t_status with Finished -> true | _ -> false)
 
 (* Run one scheduling slice of up to [n] instructions on thread [t].
    Returns when the slice ends, the thread blocks, yields or finishes;
    the result says whether the slice ended at a [Yield] (the PCT
    scheduler deprioritizes the yielder so spin-wait loops cannot starve
-   the thread they are waiting on). *)
+   the thread they are waiting on).
+
+   Terminators are slots in the flat stream, but stay what they were in
+   the block interpreter: one step that costs no slice budget. *)
 let run_slice st t n =
   t.t_status <- Runnable;
+  let max_steps = st.cfg.max_steps in
   let continue_ = ref true in
   let yielded = ref false in
   let budget = ref n in
-  while !continue_ && !budget > 0 && t.t_status = Runnable do
+  while
+    !continue_ && !budget > 0
+    && (match t.t_status with Runnable -> true | _ -> false)
+  do
     match t.t_frames with
     | [] -> continue_ := false
-    | frame :: _ -> (
-        st.steps <- st.steps + 1;
-        if st.steps > st.cfg.max_steps then error "step limit exceeded";
-        match frame.f_pc with
-        | [] -> exec_term st t frame
-        | i :: rest ->
-            let advanced = exec_instr st t frame i in
-            if advanced then begin
-              (* The instruction may have pushed a new frame; [frame]
-                 still designates the frame the instruction came from. *)
-              frame.f_pc <- rest;
-              decr budget;
-              if i.i_op = Yield then begin
-                continue_ := false;
-                yielded := true
+    | frame :: _ ->
+        (* Inner loop over one frame: [code], [regs], [pc] and the step
+           counter stay in locals until the frame changes (call/return),
+           the thread stops advancing, or the slice ends.  [frame.f_pc]
+           and [st.steps] are flushed at every exit, so anything outside
+           this loop (the scheduler's change points, a resumed slice)
+           sees exactly the state the per-step version maintained. *)
+        let code = frame.f_meth.m_code in
+        let regs = frame.f_regs in
+        let pc = ref frame.f_pc in
+        let steps = ref st.steps in
+        let inner = ref true in
+        while !inner do
+          incr steps;
+          if !steps > max_steps then begin
+            frame.f_pc <- !pc;
+            st.steps <- !steps;
+            error "step limit exceeded"
+          end;
+          match code.%(!pc) with
+          | Lgoto l -> pc := l
+          | Lif (c, tl, fl) ->
+              pc := if Value.to_bool regs.%(c) then tl else fl
+          | Lret v ->
+              inner := false;
+              frame.f_pc <- !pc;
+              st.steps <- !steps;
+              exec_ret st t frame v
+          | Ltrap msg ->
+              frame.f_pc <- !pc;
+              st.steps <- !steps;
+              error "%s in %s" msg frame.f_meth.m_key
+          | op ->
+              let advanced = exec_instr st t frame regs op !pc in
+              if advanced then begin
+                (* The instruction may have pushed a new frame; [frame]
+                   still designates the frame the instruction came from. *)
+                incr pc;
+                decr budget;
+                match op with
+                | Lyield ->
+                    continue_ := false;
+                    yielded := true;
+                    inner := false
+                | Lcall _ ->
+                    (* A frame was pushed (or the call trapped into an
+                       error) — leave this frame parked at the return
+                       pc and re-enter on the new top frame. *)
+                    inner := false
+                | _ -> if !budget <= 0 then inner := false
               end
-            end
-            else continue_ := false)
+              else begin
+                continue_ := false;
+                inner := false
+              end
+        done;
+        frame.f_pc <- !pc;
+        st.steps <- !steps
   done;
   !yielded
 
-let run ?(config = default_config) ~sink (prog : program) : result =
+let run ?(config = default_config) ~sink (image : image) : result =
   let heap = Heap.create () in
   (* Join pseudo-locks live in the heap id space, so they can never
      collide with real lock (object) identities. *)
   let pseudo = Pseudo_lock.create () in
+  let tprog = image.i_prog.Ir.p_tprog in
   let globals =
     Array.map
       (fun (sf : Tast.sfield_info) -> Value.default_of sf.Tast.sf_ty)
-      prog.p_tprog.Tast.statics
+      tprog.Tast.statics
+  in
+  let templates =
+    Array.map
+      (fun fields ->
+        Array.map
+          (fun (f : Tast.field_info) -> Value.default_of f.Tast.fld_ty)
+          fields)
+      image.i_class_fields
   in
   let st =
     {
-      prog;
+      image;
       cfg = config;
       sink;
       heap;
       globals;
-      threads = [];
+      threads = Array.make 8 dummy_thread;
       nthreads = 0;
-      monitors = Hashtbl.create 64;
-      class_objs = Hashtbl.create 16;
-      thread_of_obj = Hashtbl.create 16;
+      monitors = Array.make 1024 None;
+      obj_cls = Array.make 1024 (-1);
+      thread_of_obj = Array.make 1024 (-1);
+      class_obj_ids = Array.make (max (class_count image) 1) (-1);
+      templates;
+      ready_buf = Array.make 8 0;
       pseudo;
       rng = Random.State.make [| config.seed |];
       steps = 0;
       prints = [];
     }
   in
-  ignore (new_thread st [ frame_of st prog.p_main None [] ]);
+  let main = image.i_methods.(image.i_main) in
+  ignore
+    (new_thread st
+       [
+         {
+           f_meth = main;
+           f_regs = Array.make main.m_nregs Value.Vnull;
+           f_pc = main.m_entry;
+           f_dst = None;
+         };
+       ]);
   (* Scheduling policy (PCT state lives outside the thread records).
      PCT (Burckhardt et al., ASPLOS 2010): every thread gets a random
      priority above [depth]; the scheduler always runs the
@@ -547,7 +742,19 @@ let run ?(config = default_config) ~sink (prog : program) : result =
      the change point (below every initial priority).  All randomness
      comes from the seeded [st.rng], so a (seed, policy) pair names one
      schedule exactly. *)
-  let pct_prio : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  (* Thread priorities, indexed by tid (dense, never reused).  [min_int]
+     marks "not yet assigned" — real priorities are either non-negative
+     (initial draws, change-point ranks) or small negatives (the yield
+     floor), so the sentinel cannot collide. *)
+  let pct_prio = ref (Array.make 8 min_int) in
+  let prio_slot tid =
+    if tid >= Array.length !pct_prio then begin
+      let b = Array.make (max 8 (2 * (tid + 1))) min_int in
+      Array.blit !pct_prio 0 b 0 (Array.length !pct_prio);
+      pct_prio := b
+    end;
+    !pct_prio
+  in
   (* Monotonically decreasing floor for yield-deprioritization: change
      points assign ranks 0..depth-1, so yielders go below them, most
      recent lowest — round-robin among spinning threads. *)
@@ -562,69 +769,81 @@ let run ?(config = default_config) ~sink (prog : program) : result =
           |> List.sort compare)
   in
   let prio_of t =
-    match Hashtbl.find_opt pct_prio t.t_id with
-    | Some p -> p
-    | None ->
-        let depth =
-          match config.policy with Pct { depth; _ } -> depth | _ -> 0
-        in
-        let p = depth + Random.State.int st.rng 0x3FFFFFFF in
-        Hashtbl.add pct_prio t.t_id p;
-        p
+    let a = prio_slot t.t_id in
+    let p = a.(t.t_id) in
+    if p <> min_int then p
+    else begin
+      let depth =
+        match config.policy with Pct { depth; _ } -> depth | _ -> 0
+      in
+      let p = depth + Random.State.int st.rng 0x3FFFFFFF in
+      a.(t.t_id) <- p;
+      p
+    end
   in
-  let pick_pct ready_threads =
+  let pick_pct nready =
     (* Highest priority wins; ties (vanishingly rare) go to the lowest
-       thread id for determinism. *)
-    List.fold_left
-      (fun best t ->
-        match best with
-        | None -> Some t
-        | Some b ->
-            let pb = prio_of b and pt = prio_of t in
-            if pt > pb || (pt = pb && t.t_id < b.t_id) then Some t else Some b)
-      None ready_threads
-    |> Option.get
+       thread id for determinism.  This walks [ready_buf] in the order
+       the frozen interpreter's fold walked its ready list, with the
+       comparison written as the same two-binding [let] — lazy priority
+       draws consume the RNG identically. *)
+    let best = ref st.threads.(st.ready_buf.(0)) in
+    for i = 1 to nready - 1 do
+      let t = st.threads.(st.ready_buf.(i)) in
+      let b = !best in
+      let pb = prio_of b and pt = prio_of t in
+      if pt > pb || (pt = pb && t.t_id < b.t_id) then best := t
+    done;
+    !best
   in
   let cross_change_points t =
     match !pct_points with
     | (steps_at, rank) :: rest when st.steps >= steps_at ->
-        Hashtbl.replace pct_prio t.t_id rank;
+        (prio_slot t.t_id).(t.t_id) <- rank;
         pct_points := rest
     | _ -> ()
   in
+  (* One scheduling decision: scan threads newest-first (the order the
+     block interpreter kept its thread list in — RNG consumption depends
+     on it) into the reusable ready buffer, then let the policy pick. *)
   let rec loop () =
-    let alive = List.filter (fun t -> t.t_status <> Finished) st.threads in
-    if alive <> [] then begin
-      let ready_threads = List.filter (ready st) alive in
-      (match ready_threads with
-      | [] ->
-          let waiting =
-            List.length
-              (List.filter
-                 (fun t -> match t.t_status with Waiting _ -> true | _ -> false)
-                 alive)
-          in
-          if waiting > 0 then
-            error
-              "deadlock: %d of %d remaining threads are stuck in wait() with \
-               no runnable thread left to notify them"
-              waiting (List.length alive)
-          else error "deadlock: no runnable thread among %d" (List.length alive)
-      | _ -> (
-          match config.policy with
-          | Random_walk ->
-              let k = Random.State.int st.rng (List.length ready_threads) in
-              let t = List.nth ready_threads k in
-              let n = 1 + Random.State.int st.rng config.quantum in
-              ignore (run_slice st t n : bool)
-          | Pct _ ->
-              let t = pick_pct ready_threads in
-              let yielded = run_slice st t (max config.quantum 1) in
-              cross_change_points t;
-              if yielded then begin
-                decr pct_floor;
-                Hashtbl.replace pct_prio t.t_id !pct_floor
-              end));
+    if Array.length st.ready_buf < st.nthreads then
+      st.ready_buf <- Array.make (2 * st.nthreads) 0;
+    let nalive = ref 0 and nready = ref 0 and nwaiting = ref 0 in
+    for tid = st.nthreads - 1 downto 0 do
+      let t = st.threads.(tid) in
+      match t.t_status with
+      | Finished -> ()
+      | s ->
+          incr nalive;
+          (match s with Waiting _ -> incr nwaiting | _ -> ());
+          if ready st t then begin
+            st.ready_buf.(!nready) <- tid;
+            incr nready
+          end
+    done;
+    if !nalive > 0 then begin
+      (if !nready = 0 then
+         if !nwaiting > 0 then
+           error
+             "deadlock: %d of %d remaining threads are stuck in wait() with \
+              no runnable thread left to notify them"
+             !nwaiting !nalive
+         else error "deadlock: no runnable thread among %d" !nalive);
+      (match config.policy with
+      | Random_walk ->
+          let k = Random.State.int st.rng !nready in
+          let t = st.threads.(st.ready_buf.(k)) in
+          let n = 1 + Random.State.int st.rng config.quantum in
+          ignore (run_slice st t n : bool)
+      | Pct _ ->
+          let t = pick_pct !nready in
+          let yielded = run_slice st t (max config.quantum 1) in
+          cross_change_points t;
+          if yielded then begin
+            decr pct_floor;
+            (prio_slot t.t_id).(t.t_id) <- !pct_floor
+          end);
       loop ()
     end
   in

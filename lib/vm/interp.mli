@@ -1,20 +1,26 @@
 (** The MiniJava virtual machine: a deterministic, seeded, preemptive
-    interpreter for the register IR with user-level threads, reentrant
-    monitors, and access-event emission at [Trace] pseudo-instructions.
+    interpreter with user-level threads, reentrant monitors, and
+    access-event emission at [Trace] pseudo-instructions.  It executes
+    the flat {!Link.image} the link phase produces — dense method ids,
+    vtable dispatch, integer pcs, array-backed run-time tables — so the
+    hot loop touches no string keys and allocates only frames.
 
     The scheduler interleaves threads at instruction granularity with
     randomized (but seed-deterministic) slice lengths, so a given seed
     always produces the same event stream — race reports are
-    reproducible, and tests can sweep seeds. *)
+    reproducible, and tests can sweep seeds.  Schedules, RNG draws and
+    event streams are bit-identical to the frozen pre-link interpreter
+    ({!Interp_ref}); the golden suite enforces this. *)
 
 module Ir = Drd_ir.Ir
+module Link = Drd_ir.Link
 
 exception Runtime_error of string
 (** Fatal execution error: null dereference, array bounds violation,
     division by zero, missing return, double thread start, illegal
     monitor state (wait/notify without owning the monitor), deadlock
-    (including every remaining thread stuck in [wait()]), or step-limit
-    exhaustion. *)
+    (including every remaining thread stuck in [wait()]), step-limit
+    exhaustion, or an unknown thread id reaching the scheduler. *)
 
 (** Pluggable scheduling policy.  Both policies draw every decision from
     the seeded RNG, so a (seed, policy) pair names one schedule exactly
@@ -62,6 +68,6 @@ type result = {
   r_heap : Heap.t;  (** Final heap, for decoding location names. *)
 }
 
-val run : ?config:config -> sink:Sink.t -> Ir.program -> result
-(** Execute a program from its [main] method until every thread
+val run : ?config:config -> sink:Sink.t -> Link.image -> result
+(** Execute a linked image from its [main] method until every thread
     terminates.  Raises {!Runtime_error} on fatal errors. *)

@@ -8,6 +8,7 @@ module Lower = Drd_ir.Lower
 module Insert = Drd_instr.Insert
 module Value = Drd_vm.Value
 module Interp = Drd_vm.Interp
+module Link = Drd_ir.Link
 module Memloc = Drd_vm.Memloc
 module Sink = Drd_vm.Sink
 open Drd_core
@@ -52,7 +53,7 @@ let run ?(seed = 42) ?(quantum = 20) ?(instrument = true) ?(peel = false)
     }
   in
   let config = { Interp.default_config with seed; quantum; granularity } in
-  let result = Interp.run ~config ~sink prog in
+  let result = Interp.run ~config ~sink (Link.link prog) in
   let race_locs =
     Report.racy_locs collector
     |> List.map (Memloc.describe prog.Drd_ir.Ir.p_tprog result.Interp.r_heap)
@@ -138,7 +139,7 @@ let run_baseline ?(seed = 42) ?(quantum = 20) baseline source =
       pseudo_locks = false;
     }
   in
-  let result = Interp.run ~config ~sink prog in
+  let result = Interp.run ~config ~sink (Link.link prog) in
   let locs =
     get ()
     |> List.map (Memloc.describe prog.Drd_ir.Ir.p_tprog result.Interp.r_heap)
@@ -151,7 +152,7 @@ let run_base ?(seed = 42) ?(quantum = 20) source =
   let prog = compile source in
   Interp.run
     ~config:{ Interp.default_config with seed; quantum }
-    ~sink:Sink.null prog
+    ~sink:Sink.null (Link.link prog)
 
 let ints prints =
   List.map

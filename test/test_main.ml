@@ -28,4 +28,6 @@ let () =
       ("explore", Test_explore_engine.suite);
       ("hb_fingerprint", Test_hb_fingerprint.suite);
       ("wire", Test_wire.suite);
+      ("link", Test_link.suite);
+      ("vm_golden", Test_vm_golden.suite);
     ]

@@ -1,0 +1,214 @@
+(* Golden byte-identity for the link phase: the linked-image interpreter
+   ([Interp]) and the frozen pre-link block interpreter ([Interp_ref])
+   must be indistinguishable through every observable channel — full
+   race reports, racy-object lists, event/step/thread counts, prints,
+   the complete recorded event log, the raw interleaving fingerprint and
+   the happens-before fingerprint — for every example program under
+   every scheduling family (sweep, jitter, pct).  A run that dies (e.g.
+   needle's seed-dependent wait() deadlock) must die identically: same
+   error string, same event-log prefix. *)
+
+module H = Drd_harness
+module Pipeline = H.Pipeline
+module Config = H.Config
+module Programs = H.Programs
+module Strategy = Drd_explore.Strategy
+module Explore = Drd_explore.Explore
+module Hb_fingerprint = Drd_explore.Hb_fingerprint
+module Interp = Drd_vm.Interp
+module Sink = Drd_vm.Sink
+module Value = Drd_vm.Value
+open Drd_core
+
+(* A sink recording every notification into an event log (the post-
+   mortem recording sink, as a tap). *)
+let log_tap () =
+  let log = Event_log.create () in
+  let sink =
+    {
+      Sink.access =
+        (fun ~tid ~loc ~kind ~locks ~site ->
+          Event_log.record log
+            (Event_log.Access
+               (Event.make_interned ~loc ~thread:tid ~locks ~kind ~site)));
+      acquire =
+        (fun ~tid ~lock -> Event_log.record log (Event_log.Acquire (tid, lock)));
+      release =
+        (fun ~tid ~lock -> Event_log.record log (Event_log.Release (tid, lock)));
+      thread_start =
+        (fun ~parent ~child ->
+          Event_log.record log (Event_log.Thread_start (parent, child)));
+      thread_join =
+        (fun ~joiner ~joinee ->
+          Event_log.record log (Event_log.Thread_join (joiner, joinee)));
+      thread_exit =
+        (fun ~tid -> Event_log.record log (Event_log.Thread_exit tid));
+      call = None;
+    }
+  in
+  (sink, log)
+
+type obs = {
+  o_error : string option; (* Runtime_error message, if the run died *)
+  o_races : string list;
+  o_objects : string list;
+  o_events : int;
+  o_steps : int;
+  o_threads : int;
+  o_prints : (string * Value.t option) list;
+  o_log : Event_log.entry list;
+  o_interleave_fp : int;
+  o_hb_fp : int;
+}
+
+let observe ~engine compiled vm : obs =
+  let log_sink, log = log_tap () in
+  let fp_sink, fp = Explore.fingerprint_tap () in
+  let hb_sink, hb = Hb_fingerprint.tap () in
+  let tap = Sink.tee log_sink (Sink.tee fp_sink hb_sink) in
+  let empty =
+    {
+      o_error = None;
+      o_races = [];
+      o_objects = [];
+      o_events = 0;
+      o_steps = 0;
+      o_threads = 0;
+      o_prints = [];
+      o_log = [];
+      o_interleave_fp = 0;
+      o_hb_fp = 0;
+    }
+  in
+  let finish o =
+    { o with o_log = Event_log.entries log; o_interleave_fp = fp (); o_hb_fp = hb () }
+  in
+  match Pipeline.run ~vm ~tap ~engine compiled with
+  | r ->
+      finish
+        {
+          empty with
+          o_races = r.Pipeline.races;
+          o_objects = r.Pipeline.racy_objects;
+          o_events = r.Pipeline.events;
+          o_steps = r.Pipeline.steps;
+          o_threads = r.Pipeline.threads;
+          o_prints = r.Pipeline.prints;
+        }
+  | exception Interp.Runtime_error m -> finish { empty with o_error = Some m }
+
+let render_entry = function
+  | Event_log.Access e ->
+      Printf.sprintf "A t%d l%d %s s%d L%d" e.Event.thread e.Event.loc
+        (match e.Event.kind with Event.Read -> "R" | Event.Write -> "W")
+        e.Event.site
+        (e.Event.locks :> int)
+  | Event_log.Acquire (t, l) -> Printf.sprintf "acq t%d l%d" t l
+  | Event_log.Release (t, l) -> Printf.sprintf "rel t%d l%d" t l
+  | Event_log.Thread_start (p, c) -> Printf.sprintf "start %d->%d" p c
+  | Event_log.Thread_join (j, e) -> Printf.sprintf "join %d<-%d" j e
+  | Event_log.Thread_exit t -> Printf.sprintf "exit %d" t
+
+let check_logs name (ref_log : Event_log.entry list) linked_log =
+  let nref = List.length ref_log and nlin = List.length linked_log in
+  if nref <> nlin then
+    Alcotest.failf "%s: event log length %d (ref) vs %d (linked)" name nref
+      nlin;
+  List.iteri
+    (fun i (a, b) ->
+      if a <> b then
+        Alcotest.failf "%s: event log diverges at entry %d: %s (ref) vs %s \
+                        (linked)"
+          name i (render_entry a) (render_entry b))
+    (List.combine ref_log linked_log)
+
+let check_obs name (a : obs) (b : obs) =
+  Alcotest.(check (option string)) (name ^ " error") a.o_error b.o_error;
+  Alcotest.(check (list string)) (name ^ " races") a.o_races b.o_races;
+  Alcotest.(check (list string)) (name ^ " objects") a.o_objects b.o_objects;
+  Alcotest.(check int) (name ^ " events") a.o_events b.o_events;
+  Alcotest.(check int) (name ^ " steps") a.o_steps b.o_steps;
+  Alcotest.(check int) (name ^ " threads") a.o_threads b.o_threads;
+  Alcotest.(check int)
+    (name ^ " prints") (List.length a.o_prints) (List.length b.o_prints);
+  if a.o_prints <> b.o_prints then Alcotest.failf "%s: prints differ" name;
+  check_logs name a.o_log b.o_log;
+  Alcotest.(check int)
+    (name ^ " interleaving fp") a.o_interleave_fp b.o_interleave_fp;
+  Alcotest.(check int) (name ^ " hb fp") a.o_hb_fp b.o_hb_fp
+
+(* Every example program: the Table 1 benchmark ports plus the paper's
+   Figure 2 example. *)
+let sources =
+  ("figure2", Programs.figure2 ())
+  :: List.map
+       (fun b -> (b.Programs.b_name, b.Programs.b_source))
+       Programs.benchmarks
+
+let compiled_of =
+  (* Compile once per program (static analysis is the slow part) and
+     reuse across the strategy families. *)
+  let memo = Hashtbl.create 8 in
+  fun name source ->
+    match Hashtbl.find_opt memo name with
+    | Some c -> c
+    | None ->
+        let c = Pipeline.compile Config.full ~source in
+        Hashtbl.add memo name c;
+        c
+
+let vm_of compiled (sp : Strategy.run_spec) =
+  {
+    (Pipeline.vm_config_of compiled.Pipeline.config) with
+    Interp.seed = sp.Strategy.sp_seed;
+    quantum = sp.Strategy.sp_quantum;
+    policy = sp.Strategy.sp_policy;
+  }
+
+let runs_per_strategy = 3
+
+let test_identity name source strategy () =
+  let compiled = compiled_of name source in
+  for index = 0 to runs_per_strategy - 1 do
+    let sp =
+      Strategy.spec strategy ~base:compiled.Pipeline.config
+        ~pct_horizon:20_000 index
+    in
+    let vm = vm_of compiled sp in
+    let label = Printf.sprintf "%s %s #%d" name (Strategy.name strategy) index in
+    let a = observe ~engine:`Ref compiled vm in
+    let b = observe ~engine:`Linked compiled vm in
+    check_obs label a b
+  done
+
+let test_record_log name source () =
+  (* The post-mortem recording path proper (not just its sink as a tap)
+     must also be engine-independent. *)
+  let compiled = compiled_of name source in
+  let log_ref, r_ref = Pipeline.record_log ~engine:`Ref compiled in
+  let log_lin, r_lin = Pipeline.record_log ~engine:`Linked compiled in
+  check_logs (name ^ " record_log") (Event_log.entries log_ref)
+    (Event_log.entries log_lin);
+  Alcotest.(check int)
+    (name ^ " record_log steps") r_ref.Interp.r_steps r_lin.Interp.r_steps
+
+let suite =
+  let strategies =
+    [ Strategy.Sweep; Strategy.Jitter; Strategy.Pct 3 ]
+  in
+  List.concat_map
+    (fun (name, source) ->
+      List.map
+        (fun strategy ->
+          Alcotest.test_case
+            (Printf.sprintf "%s x %s byte-identical" name
+               (Strategy.name strategy))
+            `Quick
+            (test_identity name source strategy))
+        strategies
+      @ [
+          Alcotest.test_case
+            (name ^ " record_log byte-identical")
+            `Quick (test_record_log name source);
+        ])
+    sources
