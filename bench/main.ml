@@ -577,6 +577,253 @@ let vm_bench ~quick ~json () =
         bpf "  \"explore_runs_speedup\": %.3f,\n" explore_speedup;
         bpf "  \"fingerprint_runs_speedup\": %.3f\n" fp_speedup)
 
+(* ------------------------------------------------------------------ *)
+(* Serve-daemon soak: an in-process daemon on a Unix socket, N client
+   domains streaming event logs concurrently.  Each client first runs
+   one identity session — the recorded tsp log, whose report frame must
+   be byte-identical to the one-shot replay (the daemon's eviction
+   watermark is above tsp's location count, so nothing is retired) —
+   then churn sessions cycling through a location space far larger than
+   the watermark, which must keep live locations bounded while evicting
+   freely.  --json writes BENCH_serve.json, the tracked aggregate
+   events/s number. *)
+
+let serve_bench ~quick ~json () =
+  let module W = Drd_explore.Wire in
+  let module SP = Drd_serve.Protocol in
+  let evict_high = 4096 in
+  let clients = 4 in
+  let churn_lines_per_session = 100_000 in
+  let churn_window = 20_000 (* locations per session; >> evict_high *) in
+  let target_per_client = if quick then 250_000 else 2_500_000 in
+  (* The identity payload and its expected report body. *)
+  let b = Option.get (H.Programs.find "tsp") in
+  let compiled = H.Pipeline.compile H.Config.full ~source:b.H.Programs.b_source in
+  let log, _ = H.Pipeline.record_log compiled in
+  let log_blob =
+    let buf = Buffer.create (1 lsl 20) in
+    Event_log.iter
+      (fun e ->
+        Buffer.add_string buf (Event_log.entry_to_line e);
+        Buffer.add_char buf '\n')
+      log;
+    Buffer.contents buf
+  in
+  let expected_body =
+    let coll, stats = H.Pipeline.detect_post_mortem H.Config.full log in
+    SP.events_report_body ~races:(Report.races coll) ~stats ~evictions:0
+  in
+  (* Churn payload: every location is touched by two threads holding a
+     common lock, so tries fill without reporting races (no race-frame
+     backpressure while a client streams without reading). *)
+  let churn_blob =
+    let buf = Buffer.create (1 lsl 22) in
+    for i = 0 to churn_lines_per_session - 1 do
+      let loc = 1 + (i mod churn_window) in
+      let thread = 1 + (i / churn_window mod 2) in
+      let kind = if thread = 1 then 'W' else 'R' in
+      Printf.bprintf buf "A %d %d %c 7 5\n" loc thread kind
+    done;
+    Buffer.contents buf
+  in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "racedet-bench-%d.sock" (Unix.getpid ()))
+  in
+  let conf =
+    {
+      Drd_serve.Server.sv_config = H.Config.full;
+      sv_eviction = Some (Detector.eviction ~high:evict_high ());
+      sv_stats_every = 0.;
+    }
+  in
+  let ready = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Drd_serve.Server.serve_socket conf ~path
+          ~ready:(fun () -> Atomic.set ready true)
+          ())
+  in
+  while not (Atomic.get ready) do
+    Domain.cpu_relax ()
+  done;
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+  in
+  (* Read frames until the session's report; returns the raw report
+     body, its eviction count, and daemon-wide live locations from the
+     last stats frame seen on the way (0 if none was requested). *)
+  let read_report ic =
+    let rec go live =
+      let line = input_line ic in
+      match W.json_of_string line with
+      | Error m -> failwith ("serve bench: bad frame: " ^ m)
+      | Ok j -> (
+          match W.member "t" j with
+          | Some (W.String "report") ->
+              let body =
+                (* The raw body substring: everything after the
+                   "report": key up to the frame's closing brace. *)
+                let key = "\"report\":" in
+                let klen = String.length key in
+                let at = ref (-1) in
+                (try
+                   for i = 0 to String.length line - klen do
+                     if String.sub line i klen = key then begin
+                       at := i + klen;
+                       raise Exit
+                     end
+                   done
+                 with Exit -> ());
+                if !at < 0 then failwith "serve bench: report frame malformed";
+                String.sub line !at (String.length line - !at - 1)
+              in
+              let evictions =
+                match W.member "report" j with
+                | Some rep -> (
+                    match W.member "evictions" rep with
+                    | Some (W.Int n) -> n
+                    | _ -> 0)
+                | None -> 0
+              in
+              (body, evictions, live)
+          | Some (W.String "stats") ->
+              let live =
+                match W.member "stats" j with
+                | Some st -> (
+                    match W.member "live_locations" st with
+                    | Some (W.Int n) -> n
+                    | _ -> live)
+                | None -> live
+              in
+              go live
+          | Some (W.String "error") ->
+              failwith ("serve bench: error frame: " ^ line)
+          | _ -> go live)
+    in
+    go 0
+  in
+  (* One client: identity session then churn sessions up to the event
+     budget; returns (events streamed, identity ok, max live, evictions). *)
+  let run_client cid =
+    let _fd, ic, oc = connect () in
+    (* Stats-before-close samples live locations while the session's
+       state is still resident. *)
+    let session ?(stats = false) j payload =
+      output_string oc
+        (SP.control_to_line
+           (SP.Hello
+              {
+                c_session = Printf.sprintf "c%d-s%d" cid j;
+                c_kind = SP.Events;
+                c_config = "";
+              }));
+      output_char oc '\n';
+      output_string oc payload;
+      if stats then begin
+        output_string oc (SP.control_to_line SP.Stats_req);
+        output_char oc '\n'
+      end;
+      output_string oc (SP.control_to_line SP.Close);
+      output_char oc '\n';
+      flush oc;
+      read_report ic
+    in
+    let count_lines s =
+      let n = ref 0 in
+      String.iter (fun c -> if c = '\n' then incr n) s;
+      !n
+    in
+    let body, ev0, _ = session 0 log_blob in
+    let identity_ok = body = expected_body && ev0 = 0 in
+    let events = ref (count_lines log_blob) in
+    let max_live = ref 0 and evictions = ref 0 and sessions = ref 1 in
+    while !events < target_per_client do
+      incr sessions;
+      let _, ev, live = session ~stats:true !sessions churn_blob in
+      events := !events + churn_lines_per_session;
+      if live > !max_live then max_live := live;
+      evictions := !evictions + ev
+    done;
+    close_out oc;
+    (!events, identity_ok, !max_live, !evictions, !sessions)
+  in
+  fpf "Serve-daemon soak (%d clients, ~%d events each, evict-high %d)@."
+    clients target_per_client evict_high;
+  let t0 = Unix.gettimeofday () in
+  let workers = List.init clients (fun i -> Domain.spawn (fun () -> run_client i)) in
+  let results = List.map Domain.join workers in
+  let wall = Unix.gettimeofday () -. t0 in
+  (* Final daemon stats, then shutdown. *)
+  let daemon_stats =
+    let _fd, ic, oc = connect () in
+    output_string oc (SP.control_to_line SP.Stats_req);
+    output_char oc '\n';
+    flush oc;
+    let line = input_line ic in
+    output_string oc (SP.control_to_line SP.Shutdown);
+    output_char oc '\n';
+    close_out oc;
+    Result.get_ok (W.json_of_string line)
+  in
+  (match Domain.join server with
+  | Ok () -> ()
+  | Error e -> failwith ("serve bench: server failed: " ^ e));
+  let events_total =
+    List.fold_left (fun acc (e, _, _, _, _) -> acc + e) 0 results
+  in
+  let identity_ok = List.for_all (fun (_, ok, _, _, _) -> ok) results in
+  let max_live =
+    List.fold_left (fun acc (_, _, l, _, _) -> max acc l) 0 results
+  in
+  let evictions_total =
+    List.fold_left (fun acc (_, _, _, ev, _) -> acc + ev) 0 results
+  in
+  let sessions_total =
+    List.fold_left (fun acc (_, _, _, _, s) -> acc + s) 0 results
+  in
+  let eps = float_of_int events_total /. Float.max wall 1e-9 in
+  let heap_words_max =
+    match W.member "stats" daemon_stats with
+    | Some st -> (
+        match W.member "heap_words_max" st with Some (W.Int n) -> n | _ -> 0)
+    | _ -> 0
+  in
+  fpf "  events: %d over %.2fs = %.0f events/s aggregate@." events_total wall
+    eps;
+  fpf
+    "  identity sessions byte-identical: %b; churn: %d sessions, max live \
+     locations %d (bound %d), %d evictions@."
+    identity_ok sessions_total max_live
+    (clients * evict_high)
+    evictions_total;
+  fpf "  daemon heap high-water: %d words@.@." heap_words_max;
+  if not identity_ok then
+    failwith "serve bench: session report differs from one-shot replay";
+  (* Daemon-wide live locations: at most [clients] sessions are open at
+     once, each bounded by the watermark. *)
+  if max_live > clients * evict_high then
+    failwith
+      (Printf.sprintf "serve bench: live locations %d exceed bound %d"
+         max_live (clients * evict_high));
+  if evictions_total = 0 then
+    failwith "serve bench: churn sessions never triggered eviction";
+  if json then
+    write_json ~file:"BENCH_serve.json" (fun buf ->
+        let bpf fmt = Printf.bprintf buf fmt in
+        bpf "  \"clients\": %d,\n" clients;
+        bpf "  \"evict_high\": %d,\n" evict_high;
+        bpf "  \"events_total\": %d,\n" events_total;
+        bpf "  \"sessions_total\": %d,\n" sessions_total;
+        bpf "  \"wall_s\": %.4f,\n" wall;
+        bpf "  \"events_per_sec\": %.0f,\n" eps;
+        bpf "  \"identity_sessions_ok\": %b,\n" identity_ok;
+        bpf "  \"max_live_locations\": %d,\n" max_live;
+        bpf "  \"evictions_total\": %d,\n" evictions_total;
+        bpf "  \"heap_words_max\": %d\n" heap_words_max)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let has f = List.mem f args in
@@ -597,4 +844,5 @@ let () =
   if all || has "--explore" then explore_bench ~quick ~json:(has "--json") ();
   if all || has "--detector" then detector_bench ~quick ~json:(has "--json") ();
   if all || has "--vm" then vm_bench ~quick ~json:(has "--json") ();
+  if all || has "--serve" then serve_bench ~quick ~json:(has "--json") ();
   if all || has "--micro" then microbench ()

@@ -9,16 +9,35 @@
               of a distributed campaign (--shard I/N --emit-obs FILE);
      merge    re-fold shard observation files into the single-process
               campaign report;
+     serve    long-lived streaming detection daemon (stdin or a Unix
+              socket), bounded memory via quiescent-location eviction;
      analyze  run only the static datarace analysis and report its
               statistics;
      ir       dump the (optionally instrumented/optimized) IR;
-     list     list built-in benchmarks and configurations. *)
+     list     list built-in benchmarks and configurations.
+
+   Exit codes: 0 success; 2 malformed input data (event logs,
+   observation files, protocol streams); 124 command-line misuse;
+   125 internal error. *)
 
 module H = Drd_harness
 module E = Drd_explore
 module W = Drd_explore.Wire
 module Ir = Drd_ir.Ir
 open Cmdliner
+
+(* Malformed input *data* (as opposed to command-line misuse, which
+   cmdliner exits 124 for, and internal errors, which it exits 125
+   for): print the diagnostic to stderr and exit 2, so scripts can
+   tell a truncated log from a crashed tool. *)
+let data_error_exit = 2
+
+let data_error fmt =
+  Printf.ksprintf
+    (fun m ->
+      Printf.eprintf "racedet: %s\n%!" m;
+      exit data_error_exit)
+    fmt
 
 let read_file path =
   let ic = open_in_bin path in
@@ -414,7 +433,7 @@ let record_cmd =
     (Cmd.info "record" ~doc)
     Term.(ret (const record_impl $ file_arg $ benchmark_arg $ out))
 
-let detect_impl log_file config_name pairs benchmark =
+let detect_impl log_file config_name pairs benchmark json =
   match config_of_name config_name 42 with
   | Error e -> `Error (false, e)
   | Ok config -> (
@@ -424,8 +443,18 @@ let detect_impl log_file config_name pairs benchmark =
         ~finally:(fun () -> close_in_noerr ic)
         (fun () -> Drd_core.Event_log.of_channel ic)
     with
-    | exception Sys_error e -> `Error (false, e)
-    | exception Failure e -> `Error (false, e)
+    | exception Sys_error e -> data_error "%s" e
+    | exception Failure e -> data_error "%s" e
+    | log when json ->
+      (* The same renderer the serve daemon closes a session with, so a
+         streamed session's report frame can be byte-compared against
+         this one-shot replay. *)
+      let coll, stats = H.Pipeline.detect_post_mortem config log in
+      print_endline
+        (Drd_serve.Protocol.events_report_body
+           ~races:(Drd_core.Report.races coll)
+           ~stats ~evictions:0);
+      `Ok ()
     | log ->
       let coll, stats = H.Pipeline.detect_post_mortem config log in
       Fmt.pr "replayed %d log entries@." (Drd_core.Event_log.length log);
@@ -497,7 +526,10 @@ let detect_cmd =
   in
   Cmd.v
     (Cmd.info "detect" ~doc)
-    Term.(ret (const detect_impl $ log_file $ config_arg $ pairs $ bench_for_names))
+    Term.(
+      ret
+        (const detect_impl $ log_file $ config_arg $ pairs $ bench_for_names
+       $ json_arg))
 
 (* ---- sweep: the legacy seed sweep (now a thin campaign) ---- *)
 
@@ -621,7 +653,10 @@ let explore_impl file benchmark config_name strategy depth workers runs
                       let oc = open_out path in
                       E.Explore.write_obs_channel oc ~target sp rows;
                       close_out oc;
-                      Fmt.pr "wrote %d observation rows%s to %s@."
+                      (* Diagnostics never on stdout under --json:
+                         machine consumers read it. *)
+                      (if json then Fmt.epr else Fmt.pr)
+                        "wrote %d observation rows%s to %s@."
                         (List.length rows)
                         (match shard with
                         | Some (i, n) -> Printf.sprintf " (shard %d/%d)" i n
@@ -711,6 +746,9 @@ let merge_impl files json =
     `Error
       (false, "give at least one OBS file (from racedet explore --emit-obs)")
   else
+    (* Stream each file row by row (fold_obs_channel): one line resident
+       at a time, so an observation file larger than memory still
+       merges.  Only the decoded rows accumulate. *)
     let read_one path =
       match open_in path with
       | exception Sys_error e -> Error e
@@ -718,8 +756,12 @@ let merge_impl files json =
           Fun.protect
             ~finally:(fun () -> close_in_noerr ic)
             (fun () ->
-              match E.Explore.read_obs_channel ic with
-              | Ok x -> Ok x
+              match
+                E.Explore.fold_obs_channel ic ~init:[] ~row:(fun acc r ->
+                    r :: acc)
+              with
+              | Ok (spec, target, rows_rev) ->
+                  Ok (spec, target, List.rev rows_rev)
               | Error m -> Error (Printf.sprintf "%s: %s" path m)))
     in
     let rec read_all acc = function
@@ -730,7 +772,7 @@ let merge_impl files json =
           | Error _ as e -> e)
     in
     match read_all [] files with
-    | Error e -> `Error (false, e)
+    | Error e -> data_error "%s" e
     | Ok shards -> (
         let p0, (spec0, target0, _) = List.hd shards in
         match
@@ -747,21 +789,19 @@ let merge_impl files json =
               E.Explore.compatible spec0
                 { sp with E.Explore.e_equiv = spec0.E.Explore.e_equiv }
             in
-            `Error
-              ( false,
-                if only_equiv_differs then
-                  Printf.sprintf
-                    "%s records a %s-equivalence campaign but %s records \
-                     %s (mixed equivalence modes); refusing to merge"
-                    p0
-                    (E.Explore.equiv_name spec0.E.Explore.e_equiv)
-                    p
-                    (E.Explore.equiv_name sp.E.Explore.e_equiv)
-                else
-                  Printf.sprintf
-                    "%s and %s describe different campaigns (spec mismatch); \
-                     refusing to merge"
-                    p0 p )
+            if only_equiv_differs then
+              data_error
+                "%s records a %s-equivalence campaign but %s records %s \
+                 (mixed equivalence modes); refusing to merge"
+                p0
+                (E.Explore.equiv_name spec0.E.Explore.e_equiv)
+                p
+                (E.Explore.equiv_name sp.E.Explore.e_equiv)
+            else
+              data_error
+                "%s and %s describe different campaigns (spec mismatch); \
+                 refusing to merge"
+                p0 p
         | None -> (
             let rows = List.concat_map (fun (_, (_, _, rs)) -> rs) shards in
             (* A run index in two inputs means overlapping shards — the
@@ -782,12 +822,10 @@ let merge_impl files json =
             in
             match dup with
             | Some row ->
-                `Error
-                  ( false,
-                    Printf.sprintf
-                      "run index %d appears in more than one input \
-                       (overlapping shards?); refusing to merge"
-                      (E.Aggregate.row_index row) )
+                data_error
+                  "run index %d appears in more than one input (overlapping \
+                   shards?); refusing to merge"
+                  (E.Aggregate.row_index row)
             | None -> (
                 (* The inverse failure of overlap: a missing shard file
                    or truncated tail leaves gaps in the index range, and
@@ -813,11 +851,10 @@ let merge_impl files json =
                 in
                 match missing with
                 | _ :: _ when pure_runs_budget ->
-                    `Error
-                      ( false,
-                        describe_missing ()
-                        ^ " — incomplete shard set or truncated file? \
-                           refusing to merge" )
+                    data_error
+                      "%s — incomplete shard set or truncated file? refusing \
+                       to merge"
+                      (describe_missing ())
                 | _ ->
                     if missing <> [] then
                       Printf.eprintf
@@ -863,6 +900,110 @@ let merge_cmd =
     (Cmd.info "merge" ~doc ~man)
     Term.(ret (const merge_impl $ files $ json_arg))
 
+(* ---- serve: the long-lived streaming detection daemon ---- *)
+
+let serve_impl config_name socket stats_every evict_high evict_low =
+  match config_of_name config_name 42 with
+  | Error e -> `Error (false, e)
+  | Ok config -> (
+      match
+        match evict_high with
+        | None ->
+            if evict_low <> None then
+              Error "--evict-low is meaningless without --evict-high"
+            else Ok None
+        | Some high -> (
+            match Drd_core.Detector.eviction ?low:evict_low ~high () with
+            | ev -> Ok (Some ev)
+            | exception Invalid_argument m -> Error m)
+      with
+      | Error e -> `Error (false, e)
+      | Ok eviction -> (
+          let conf =
+            {
+              Drd_serve.Server.sv_config = config;
+              sv_eviction = eviction;
+              sv_stats_every = stats_every;
+            }
+          in
+          match socket with
+          | Some path -> (
+              match Drd_serve.Server.serve_socket conf ~path () with
+              | Ok () -> `Ok ()
+              | Error e -> `Error (false, e))
+          | None -> (
+              match Drd_serve.Server.serve_channels conf stdin stdout with
+              | Ok () -> `Ok ()
+              | Error e -> data_error "%s" e)))
+
+let serve_cmd =
+  let doc = "long-lived streaming detection daemon (service mode)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Accepts newline-delimited frames: event-log lines (the \
+         $(b,racedet record) text format) and observation-wire lines are \
+         payload; JSON lines tagged $(b,hello)/$(b,stats)/$(b,close)/\
+         $(b,shutdown) are control.  Each $(b,hello) opens a session \
+         ($(b,events): incremental detection, racy locations reported the \
+         moment they are found; $(b,obs): a streaming $(b,racedet merge)); \
+         $(b,close) — or end of stream — emits the session's final report \
+         frame.  A payload line before any $(b,hello) implicitly opens a \
+         default events session, so $(b,cat events.log | racedet serve) \
+         works bare.";
+      `P
+        "Without $(b,--socket) the daemon serves one connection on \
+         stdin/stdout.  With it, a Unix-domain socket accepts any number \
+         of concurrent client connections.";
+      `P
+        "Memory is bounded with $(b,--evict-high): when more locations \
+         than that are tracked, the least-recently-accessed ones are \
+         retired down to $(b,--evict-low) (default half of high).  \
+         Eviction never changes the report for a location that is never \
+         evicted; a retired location that is accessed again re-enters as \
+         brand new.  Periodic machine-readable stats lines go to stderr, \
+         never into the protocol stream.";
+    ]
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket instead of stdin/stdout.")
+  in
+  let stats_every =
+    Arg.(
+      value & opt float 10.
+      & info [ "stats-every" ] ~docv:"S"
+          ~doc:"Seconds between stderr stats lines (0 disables them).")
+  in
+  let evict_high =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "evict-high" ] ~docv:"N"
+          ~doc:
+            "Evict quiescent locations once more than $(docv) are tracked \
+             (default: never evict; memory grows with distinct locations).")
+  in
+  let evict_low =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "evict-low" ] ~docv:"N"
+          ~doc:
+            "Keep the $(docv) most recently accessed locations when \
+             evicting (default: half of $(b,--evict-high)).")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man)
+    Term.(
+      ret
+        (const serve_impl $ config_arg $ socket $ stats_every $ evict_high
+       $ evict_low))
+
 (* ---- list ---- *)
 
 let list_impl () =
@@ -886,7 +1027,15 @@ let list_cmd =
 
 let () =
   let doc = "efficient and precise datarace detection (PLDI 2002)" in
-  let info = Cmd.info "racedet" ~version:"1.0" ~doc in
+  let exits =
+    Cmd.Exit.info data_error_exit
+      ~doc:
+        "on malformed input data (a truncated or corrupt event log, \
+         observation file or protocol stream) — distinct from \
+         command-line misuse (124) and internal errors (125)."
+    :: Cmd.Exit.defaults
+  in
+  let info = Cmd.info "racedet" ~version:"1.0" ~doc ~exits in
   exit
     (Cmd.eval
        (Cmd.group info
@@ -894,6 +1043,7 @@ let () =
             run_cmd;
             explore_cmd;
             merge_cmd;
+            serve_cmd;
             analyze_cmd;
             ir_cmd;
             record_cmd;

@@ -28,12 +28,45 @@ type stats = {
 
 type history = Htries of (Event.loc_id, Trie.t) Hashtbl.t | Hpacked of Trie_packed.t
 
+type eviction = { ev_high : int; ev_low : int; ev_track : bool }
+
+let eviction ?low ?(track = false) ~high () =
+  if high < 1 then
+    invalid_arg "Detector.eviction: high watermark must be at least 1";
+  let low = match low with Some l -> l | None -> high / 2 in
+  if low < 0 || low >= high then
+    invalid_arg
+      (Printf.sprintf
+         "Detector.eviction: low watermark %d must satisfy 0 <= low < high \
+          (%d)"
+         low high);
+  { ev_high = high; ev_low = low; ev_track = track }
+
+(* State of the quiescent-location eviction policy (serve mode).  One
+   table drives everything: [last_access] maps every location the
+   detector has ever been told about — whether or not it grew a trie —
+   to the [events_in] clock of its most recent access.  When the table
+   exceeds the high watermark, the least-recently-accessed locations are
+   retired down to the low watermark: trie, ownership state, cache
+   entries and the clock entry all go at once, so a later access to a
+   retired location re-enters the detector as a brand-new location. *)
+type evict_state = {
+  ev : eviction;
+  last_access : (Event.loc_id, int ref) Hashtbl.t;
+  ever_evicted : (Event.loc_id, unit) Hashtbl.t;
+      (** Only populated under [ev_track] (a test/debug aid: it grows
+          with the number of retired locations, which an indefinite
+          stream does not bound). *)
+  mutable evicted : int;
+}
+
 type t = {
   config : config;
   history : history;
   mutable caches : Cache.t option array; (* indexed by thread id *)
   own : Ownership.t;
   collector : Report.collector;
+  evict : evict_state option;
   mutable events_in : int;
   mutable cache_hits : int;
   mutable ownership_filtered : int;
@@ -41,7 +74,14 @@ type t = {
   mutable race_checks : int;
 }
 
-let create ?(config = default_config) collector =
+let create ?(config = default_config) ?eviction collector =
+  (match (eviction, config.history) with
+  | Some _, Packed ->
+      invalid_arg
+        "Detector.create: eviction requires the Per_location history (the \
+         packed trie shares nodes across locations and cannot retire one \
+         location's state)"
+  | _ -> ());
   {
     config;
     history =
@@ -51,6 +91,16 @@ let create ?(config = default_config) collector =
     caches = Array.make 16 None;
     own = Ownership.create ();
     collector;
+    evict =
+      Option.map
+        (fun ev ->
+          {
+            ev;
+            last_access = Hashtbl.create 1024;
+            ever_evicted = Hashtbl.create (if ev.ev_track then 1024 else 0);
+            evicted = 0;
+          })
+        eviction;
     events_in = 0;
     cache_hits = 0;
     ownership_filtered = 0;
@@ -88,12 +138,70 @@ let process_history d (e : Event.t) =
           Hashtbl.add tries e.loc trie;
           Trie.process trie e)
 
+(* Retire the least-recently-accessed locations until only [ev_low]
+   remain tracked.  Everything keyed by a retired location goes in the
+   same breath — trie, ownership state, cache entries, clock — because
+   any survivor would re-assert facts (hit-implies-weaker, owned-means-
+   invisible) whose justification was just deleted.  The location being
+   processed right now is never retired: it is by construction the most
+   recently accessed.  Cost is O(n log n) in the tracked-location count,
+   paid once per (high - low) fresh locations, so amortized logarithmic
+   per newly seen location and zero for a stream over a stable set. *)
+let run_eviction d es ~current_loc =
+  let tries =
+    match d.history with Htries t -> t | Hpacked _ -> assert false
+  in
+  let live = Hashtbl.length es.last_access in
+  let arr = Array.make live (0, 0) in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun loc last ->
+      arr.(!i) <- (!last, loc);
+      incr i)
+    es.last_access;
+  Array.sort compare arr;
+  let to_evict = live - es.ev.ev_low in
+  let n = ref 0 in
+  (try
+     Array.iter
+       (fun (_, loc) ->
+         if !n >= to_evict then raise Exit;
+         if loc <> current_loc then begin
+           Hashtbl.remove es.last_access loc;
+           Hashtbl.remove tries loc;
+           Ownership.forget d.own loc;
+           if d.config.use_cache then
+             Array.iter
+               (function Some c -> Cache.evict_loc c loc | None -> ())
+               d.caches;
+           if es.ev.ev_track then Hashtbl.replace es.ever_evicted loc ();
+           es.evicted <- es.evicted + 1;
+           incr n
+         end)
+       arr
+   with Exit -> ())
+
+(* Update the location's last-access clock (inserting it if new) and
+   trigger eviction when the tracked-location count crosses the high
+   watermark.  Runs on {e every} access, including cache hits: a
+   location kept hot purely by one thread's cache must not be retired,
+   or the cached hit-implies-weaker guarantee would outlive the history
+   that justifies it. *)
+let touch_loc d es loc =
+  (match Hashtbl.find es.last_access loc with
+  | r -> r := d.events_in
+  | exception Not_found ->
+      Hashtbl.add es.last_access loc (ref d.events_in);
+      if Hashtbl.length es.last_access > es.ev.ev_high then
+        run_eviction d es ~current_loc:loc)
+
 (* Scalar entry point: five immediates in, no [Event.t] materialized
    unless the event survives both the cache and the ownership filter —
    i.e. unless it actually reaches trie storage and may be needed for a
    race report. *)
 let on_access_interned d ~loc ~thread ~(locks : Lockset_id.id) ~kind ~site =
   d.events_in <- d.events_in + 1;
+  (match d.evict with Some es -> touch_loc d es loc | None -> ());
   let filtered_by_cache =
     d.config.use_cache && Cache.lookup_or_add (cache_of d thread) ~kind ~loc
   in
@@ -145,6 +253,23 @@ let on_release d ~thread ~lock =
 
 let on_thread_exit d ~thread =
   if thread < Array.length d.caches then d.caches.(thread) <- None
+
+let evictions d = match d.evict with Some es -> es.evicted | None -> 0
+
+let live_locations d =
+  match d.evict with
+  | Some es -> Hashtbl.length es.last_access
+  | None -> (
+      match d.history with
+      | Htries tries -> Hashtbl.length tries
+      | Hpacked h -> Trie_packed.locations h)
+
+let was_evicted d loc =
+  match d.evict with
+  | Some es when es.ev.ev_track -> Hashtbl.mem es.ever_evicted loc
+  | Some _ ->
+      invalid_arg "Detector.was_evicted: eviction was created without ~track"
+  | None -> false
 
 let stats d =
   let trie_nodes =

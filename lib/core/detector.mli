@@ -42,9 +42,40 @@ type stats = {
   trie_nodes : int;  (** Total trie nodes over all locations. *)
 }
 
+type eviction
+(** Quiescent-location eviction policy for long-lived (serve-mode)
+    detectors: when the number of tracked memory locations exceeds a
+    high watermark, the least-recently-accessed locations are retired —
+    trie, ownership state and cache entries together — down to a low
+    watermark, bounding the detector's memory under indefinite event
+    streams.
+
+    Recency is the event count of the location's last access (any
+    access, including cache-filtered ones).  Eviction never changes the
+    report for a location that is never evicted: every piece of
+    detector state is keyed per location (tries, ownership) or only
+    produces hits for the location it was inserted under (the
+    direct-mapped caches match on the location tag, so removing one
+    location's entries can only turn that location's would-be hits into
+    misses).  A retired location that is accessed again re-enters the
+    detector as brand new — races spanning the eviction horizon for
+    that location are the accepted precision loss, exactly as if the
+    daemon had been restarted for it. *)
+
+val eviction : ?low:int -> ?track:bool -> high:int -> unit -> eviction
+(** [eviction ~high ()] retires locations once more than [high] are
+    tracked, keeping the [low] (default [high / 2]) most recently
+    accessed.  Raises [Invalid_argument] unless [0 <= low < high].
+    [track] (default false) records every retired location so
+    {!was_evicted} can answer — a test aid; tracking grows with the
+    number of retirements, which an indefinite stream does not bound. *)
+
 type t
 
-val create : ?config:config -> Report.collector -> t
+val create : ?config:config -> ?eviction:eviction -> Report.collector -> t
+(** [?eviction] requires the [Per_location] history (the packed trie
+    shares nodes across locations and cannot retire one location's
+    state); raises [Invalid_argument] with [Packed]. *)
 
 val on_access_interned :
   t ->
@@ -75,6 +106,19 @@ val on_release : t -> thread:Event.thread_id -> lock:Event.lock_id -> unit
 
 val on_thread_exit : t -> thread:Event.thread_id -> unit
 (** Discard the thread's caches. *)
+
+val evictions : t -> int
+(** Locations retired by the eviction policy so far (0 without one). *)
+
+val live_locations : t -> int
+(** Locations currently tracked: with an eviction policy, every
+    location with live state of any kind (bounded by the high
+    watermark); without one, the locations with an allocated trie. *)
+
+val was_evicted : t -> Event.loc_id -> bool
+(** Whether the location was ever retired.  Requires an eviction policy
+    created with [~track:true]; raises [Invalid_argument] on an
+    untracked policy and returns [false] without a policy. *)
 
 val stats : t -> stats
 

@@ -53,89 +53,94 @@ let replay t det =
      J <joiner> <joinee>                        thread join
      X <thread>                                 thread exit *)
 
+let entry_to_line e =
+  let b = Buffer.create 32 in
+  (match e with
+  | Access e ->
+      Printf.bprintf b "A %d %d %c %d" e.Event.loc e.Event.thread
+        (match e.Event.kind with Event.Read -> 'R' | Event.Write -> 'W')
+        e.Event.site;
+      List.iter (Printf.bprintf b " %d")
+        (Lockset_id.to_sorted_list e.Event.locks)
+  | Acquire (t, l) -> Printf.bprintf b "L %d %d" t l
+  | Release (t, l) -> Printf.bprintf b "U %d %d" t l
+  | Thread_start (p, c) -> Printf.bprintf b "S %d %d" p c
+  | Thread_join (j, e) -> Printf.bprintf b "J %d %d" j e
+  | Thread_exit t -> Printf.bprintf b "X %d" t);
+  Buffer.contents b
+
 let to_channel oc t =
   iter
     (fun e ->
-      (match e with
-      | Access e ->
-          Printf.fprintf oc "A %d %d %c %d" e.Event.loc e.Event.thread
-            (match e.Event.kind with Event.Read -> 'R' | Event.Write -> 'W')
-            e.Event.site;
-          List.iter (Printf.fprintf oc " %d")
-            (Lockset_id.to_sorted_list e.Event.locks)
-      | Acquire (t, l) -> Printf.fprintf oc "L %d %d" t l
-      | Release (t, l) -> Printf.fprintf oc "U %d %d" t l
-      | Thread_start (p, c) -> Printf.fprintf oc "S %d %d" p c
-      | Thread_join (j, e) -> Printf.fprintf oc "J %d %d" j e
-      | Thread_exit t -> Printf.fprintf oc "X %d" t);
+      output_string oc (entry_to_line e);
       output_char oc '\n')
     t
+
+(* The single-line decoder every consumer shares: the whole-file parser
+   below and the streaming daemon, which feeds one line at a time as it
+   arrives on a socket and must never buffer the stream. *)
+let entry_of_line line =
+  if String.trim line = "" then Ok None
+  else begin
+    let exception Bad of string in
+    let fail reason = raise (Bad (Printf.sprintf "%s in %S" reason line)) in
+    let int_field name s =
+      match int_of_string_opt s with
+      | Some n -> n
+      | None -> fail (Printf.sprintf "%s %S is not an integer" name s)
+    in
+    let parts = String.split_on_char ' ' (String.trim line) in
+    match
+      match parts with
+      | "A" :: loc :: thread :: kind :: site :: locks ->
+          let kind =
+            match kind with
+            | "R" -> Event.Read
+            | "W" -> Event.Write
+            | k -> fail (Printf.sprintf "access kind %S is not R or W" k)
+          in
+          (* Intern at the parse boundary: replaying a parsed log
+             hits exactly the same interned-id hot path as the
+             online pipeline. *)
+          Access
+            (Event.make_interned
+               ~loc:(int_field "location" loc)
+               ~thread:(int_field "thread" thread)
+               ~locks:
+                 (Lockset_id.of_list (List.map (int_field "lock") locks))
+               ~kind
+               ~site:(int_field "site" site))
+      | [ "L"; t; l ] -> Acquire (int_field "thread" t, int_field "lock" l)
+      | [ "U"; t; l ] -> Release (int_field "thread" t, int_field "lock" l)
+      | [ "S"; p; c ] ->
+          Thread_start (int_field "parent" p, int_field "child" c)
+      | [ "J"; j; e ] ->
+          Thread_join (int_field "joiner" j, int_field "joinee" e)
+      | [ "X"; t ] -> Thread_exit (int_field "thread" t)
+      | tag :: _ ->
+          fail
+            (Printf.sprintf
+               "unknown entry tag %S (expected A, L, U, S, J or X) or \
+                wrong field count"
+               tag)
+      | [] -> fail "empty entry"
+    with
+    | entry -> Ok (Some entry)
+    | exception Bad m -> Error m
+  end
 
 let of_channel ic =
   let t = create () in
   let lineno = ref 0 in
-  let fail reason line =
-    failwith
-      (Printf.sprintf "Event_log: line %d: %s in %S" !lineno reason line)
-  in
   (try
      while true do
        let line = input_line ic in
        incr lineno;
-       if String.trim line <> "" then begin
-         let int_field name s =
-           match int_of_string_opt s with
-           | Some n -> n
-           | None ->
-               fail
-                 (Printf.sprintf "%s %S is not an integer" name s)
-                 line
-         in
-         let parts = String.split_on_char ' ' (String.trim line) in
-         let entry =
-           match parts with
-           | "A" :: loc :: thread :: kind :: site :: locks ->
-               let kind =
-                 match kind with
-                 | "R" -> Event.Read
-                 | "W" -> Event.Write
-                 | k ->
-                     fail
-                       (Printf.sprintf "access kind %S is not R or W" k)
-                       line
-               in
-               (* Intern at the parse boundary: replaying a parsed log
-                  hits exactly the same interned-id hot path as the
-                  online pipeline. *)
-               Access
-                 (Event.make_interned
-                    ~loc:(int_field "location" loc)
-                    ~thread:(int_field "thread" thread)
-                    ~locks:
-                      (Lockset_id.of_list
-                         (List.map (int_field "lock") locks))
-                    ~kind
-                    ~site:(int_field "site" site))
-           | [ "L"; t; l ] ->
-               Acquire (int_field "thread" t, int_field "lock" l)
-           | [ "U"; t; l ] ->
-               Release (int_field "thread" t, int_field "lock" l)
-           | [ "S"; p; c ] ->
-               Thread_start (int_field "parent" p, int_field "child" c)
-           | [ "J"; j; e ] ->
-               Thread_join (int_field "joiner" j, int_field "joinee" e)
-           | [ "X"; t ] -> Thread_exit (int_field "thread" t)
-           | tag :: _ ->
-               fail
-                 (Printf.sprintf
-                    "unknown entry tag %S (expected A, L, U, S, J or X) or \
-                     wrong field count"
-                    tag)
-                 line
-           | [] -> fail "empty entry" line
-         in
-         record t entry
-       end
+       match entry_of_line line with
+       | Ok None -> ()
+       | Ok (Some entry) -> record t entry
+       | Error m ->
+           failwith (Printf.sprintf "Event_log: line %d: %s" !lineno m)
      done
    with End_of_file -> ());
   t

@@ -39,6 +39,16 @@ val replay : t -> Detector.t -> unit
 val to_channel : out_channel -> t -> unit
 (** Serialize in a line-oriented text format. *)
 
+val entry_to_line : entry -> string
+(** One entry in the serialized text format, without the newline. *)
+
+val entry_of_line : string -> (entry option, string) result
+(** Parse one line of the text format: [Ok None] for a blank line,
+    [Ok (Some e)] for an entry, [Error msg] (naming the offending field
+    and quoting the line) for malformed input.  This is the streaming
+    entry point — the serve daemon decodes each line as it arrives
+    without buffering the stream; {!of_channel} is a fold over it. *)
+
 val of_channel : in_channel -> t
 (** Parse a log serialized by {!to_channel}.  Raises [Failure] on
     malformed input, with a message naming the 1-based line number,

@@ -21,6 +21,13 @@ let check o ~thread ~loc =
       Hashtbl.replace o.tbl loc (Owned thread);
       Owned_skip
 
+let forget o loc =
+  match Hashtbl.find_opt o.tbl loc with
+  | None -> ()
+  | Some st ->
+      if st = Shared then o.shared <- o.shared - 1;
+      Hashtbl.remove o.tbl loc
+
 let is_shared o loc =
   match Hashtbl.find_opt o.tbl loc with Some Shared -> true | _ -> false
 

@@ -22,6 +22,13 @@ type verdict =
 
 val check : t -> thread:Event.thread_id -> loc:Event.loc_id -> verdict
 
+val forget : t -> Event.loc_id -> unit
+(** Drop all ownership state for [loc], as if it had never been
+    accessed: the next access re-enters the owned state.  Used when the
+    detector retires a quiescent location ({!Detector} eviction) — its
+    whole per-location state must go at once, or a stale shared-state
+    entry would forward events whose access history no longer exists. *)
+
 val is_shared : t -> Event.loc_id -> bool
 
 val owner : t -> Event.loc_id -> Event.thread_id option

@@ -598,8 +598,10 @@ let failure_to_json = Wire.failure_to_json
 let failure_of_json = Wire.failure_of_json
 let row_to_json = Wire.row_to_json
 let row_of_json = Wire.row_of_json
+let row_of_line = Wire.row_of_line
 let write_obs_channel = Wire.write_obs_channel
 let read_obs_channel = Wire.read_obs_channel
+let fold_obs_channel = Wire.fold_obs_channel
 
 (* ---- the legacy seed sweep, rebased on the engine ---- *)
 

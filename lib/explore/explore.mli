@@ -208,11 +208,22 @@ val row_to_json : Aggregate.row -> string
 
 val row_of_json : string -> (Aggregate.row, string) result
 
+val row_of_line : string -> (Aggregate.row, string) result
+(** Line-at-a-time streaming decode; see {!Wire.row_of_line}. *)
+
 val write_obs_channel :
   out_channel -> ?target:string -> spec -> Aggregate.row list -> unit
 
 val read_obs_channel :
   in_channel -> (spec * string * Aggregate.row list, string) result
+
+val fold_obs_channel :
+  in_channel ->
+  init:'a ->
+  row:('a -> Aggregate.row -> 'a) ->
+  (spec * string * 'a, string) result
+(** Streaming fold over an observation file; see
+    {!Wire.fold_obs_channel}. *)
 
 (** {1 The legacy seed sweep} *)
 

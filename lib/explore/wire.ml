@@ -631,15 +631,17 @@ let write_obs_channel oc ?target spec rows =
       output_char oc '\n')
     rows
 
-let read_obs_channel ic =
+let row_of_line = row_of_json
+
+let fold_obs_channel ic ~init ~row =
   let err lineno m = Error (Printf.sprintf "line %d: %s" lineno m) in
-  let rec read_rows lineno acc =
+  let rec fold_rows lineno acc =
     match input_line ic with
-    | exception End_of_file -> Ok (List.rev acc)
-    | "" -> read_rows (lineno + 1) acc
+    | exception End_of_file -> Ok acc
+    | "" -> fold_rows (lineno + 1) acc
     | l -> (
-        match row_of_json l with
-        | Ok row -> read_rows (lineno + 1) (row :: acc)
+        match row_of_line l with
+        | Ok r -> fold_rows (lineno + 1) (row acc r)
         | Error m -> err lineno m)
   in
   match input_line ic with
@@ -651,6 +653,13 @@ let read_obs_channel ic =
           let target =
             match target_of_json header with Ok t -> t | Error _ -> ""
           in
-          match read_rows 2 [] with
-          | Ok rows -> Ok (spec, target, rows)
-          | Error _ as e -> e))
+          match fold_rows 2 init with
+          | Ok acc -> Ok (spec, target, acc)
+          | Error m -> Error m))
+
+let read_obs_channel ic =
+  match
+    fold_obs_channel ic ~init:[] ~row:(fun acc r -> r :: acc)
+  with
+  | Ok (spec, target, rev_rows) -> Ok (spec, target, List.rev rev_rows)
+  | Error _ as e -> e

@@ -80,11 +80,28 @@ val row_to_json : Aggregate.row -> string
 val row_of_json : string -> (Aggregate.row, string) result
 (** Dispatches on the line's ["t"] tag (["run"] or ["failure"]). *)
 
+val row_of_line : string -> (Aggregate.row, string) result
+(** The line-at-a-time streaming decode entry point: exactly
+    {!row_of_json}, under the name stream consumers (the serve daemon,
+    {!fold_obs_channel}) use.  One line in, one row out, no buffering
+    of anything beyond the line itself. *)
+
 (* ---- whole observation files ---- *)
 
 val write_obs_channel :
   out_channel -> ?target:string -> Campaign.spec -> Aggregate.row list -> unit
 (** Header line then one line per row. *)
+
+val fold_obs_channel :
+  in_channel ->
+  init:'a ->
+  row:('a -> Aggregate.row -> 'a) ->
+  (Campaign.spec * string * 'a, string) result
+(** Streaming read of an observation file: decode the header, then fold
+    [row] over each observation line as it is read — one line resident
+    at a time, never the whole stream.  Returns [(spec, target, acc)];
+    errors carry the offending 1-based line number.  Blank lines are
+    skipped.  {!read_obs_channel} is the [List.rev]-of-cons instance. *)
 
 val read_obs_channel :
   in_channel -> (Campaign.spec * string * Aggregate.row list, string) result

@@ -1,0 +1,175 @@
+module Detector = Drd_core.Detector
+module Event_log = Drd_core.Event_log
+module Report = Drd_core.Report
+module Config = Drd_harness.Config
+module Explore = Drd_explore.Explore
+module Aggregate = Drd_explore.Aggregate
+
+type events_state = {
+  detector : Detector.t;
+  collector : Report.collector;
+  mutable fed : int;
+  mutable emitted : int;  (** race frames sent so far *)
+}
+
+type obs_state = {
+  (* Header line not yet seen while [None]. *)
+  mutable spec : (Explore.spec * string) option;
+  mutable rows_rev : Aggregate.row list;
+  mutable obs_fed : int;
+  mutable obs_races : int;  (** distinct races; known only after close *)
+}
+
+type state = E of events_state | O of obs_state
+
+type t = { s_id : string; s_kind : Protocol.kind; state : state }
+
+let create ~id ~kind ~config ~eviction =
+  let state =
+    match kind with
+    | Protocol.Events ->
+        (* Mirror the one-shot post-mortem path (Pipeline.detect_post_mortem):
+           same knobs, Per_location history — which eviction requires. *)
+        let dconfig =
+          {
+            Detector.default_config with
+            use_cache = config.Config.use_cache;
+            use_ownership = config.Config.use_ownership;
+          }
+        in
+        let collector = Report.collector () in
+        let detector = Detector.create ~config:dconfig ?eviction collector in
+        E { detector; collector; fed = 0; emitted = 0 }
+    | Protocol.Obs ->
+        O { spec = None; rows_rev = []; obs_fed = 0; obs_races = 0 }
+  in
+  { s_id = id; s_kind = kind; state }
+
+let id t = t.s_id
+let kind t = t.s_kind
+
+(* New races since the last emission: the collector keeps detection
+   order, so they are the suffix after the first [emitted]. *)
+let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+
+let fresh_race_frames t st =
+  let total = Report.count st.collector in
+  if total = st.emitted then []
+  else
+    let fresh = drop st.emitted (Report.races st.collector) in
+    List.mapi
+      (fun i race ->
+        Protocol.race_frame ~session:t.s_id ~seq:(st.emitted + i) race)
+      fresh
+    |> fun frames ->
+    st.emitted <- total;
+    frames
+
+let feed_events t st line =
+  match Event_log.entry_of_line line with
+  | Error _ as e -> e
+  | Ok None -> Ok []
+  | Ok (Some entry) ->
+      st.fed <- st.fed + 1;
+      (match entry with
+      | Event_log.Access e -> Detector.on_access st.detector e
+      | Event_log.Acquire (thread, lock) ->
+          Detector.on_acquire st.detector ~thread ~lock
+      | Event_log.Release (thread, lock) ->
+          Detector.on_release st.detector ~thread ~lock
+      | Event_log.Thread_start _ | Event_log.Thread_join _ -> ()
+      | Event_log.Thread_exit thread ->
+          Detector.on_thread_exit st.detector ~thread);
+      Ok (fresh_race_frames t st)
+
+let feed_obs st line =
+  match st.spec with
+  | None -> (
+      match Explore.spec_of_json line with
+      | Error m -> Error ("obs header: " ^ m)
+      | Ok spec ->
+          let target =
+            match Explore.target_of_json line with Ok t -> t | Error _ -> ""
+          in
+          st.spec <- Some (spec, target);
+          Ok [])
+  | Some _ -> (
+      match Explore.row_of_line line with
+      | Error _ as e -> e
+      | Ok row ->
+          st.rows_rev <- row :: st.rows_rev;
+          st.obs_fed <- st.obs_fed + 1;
+          Ok [])
+
+let feed_line t line =
+  match t.state with
+  | E st -> feed_events t st line
+  | O st -> feed_obs st line
+
+(* The same refusals [racedet merge] gives for a broken shard set:
+   duplicate run indices would double-count sightings; gaps under a
+   purely runs-based budget mean the stream was truncated. *)
+let check_rows spec rows =
+  let seen = Hashtbl.create 64 in
+  let dup =
+    List.find_opt
+      (fun row ->
+        let i = Aggregate.row_index row in
+        if i < 0 then false
+        else if Hashtbl.mem seen i then true
+        else begin
+          Hashtbl.add seen i ();
+          false
+        end)
+      rows
+  in
+  match dup with
+  | Some row ->
+      Error
+        (Printf.sprintf "run index %d appears more than once in the stream"
+           (Aggregate.row_index row))
+  | None -> (
+      let missing = Explore.missing_indices spec rows in
+      let b = spec.Explore.e_budget in
+      let pure_runs_budget =
+        b.Explore.b_seconds = None && b.Explore.b_plateau = None
+      in
+      match missing with
+      | _ :: _ when pure_runs_budget ->
+          Error
+            (Printf.sprintf
+               "%d of %d run indices missing — truncated stream? refusing \
+                to fold"
+               (List.length missing) b.Explore.b_runs)
+      | _ -> Ok ())
+
+let close t =
+  match t.state with
+  | E st ->
+      Ok
+        (Protocol.events_report_body
+           ~races:(Report.races st.collector)
+           ~stats:(Detector.stats st.detector)
+           ~evictions:(Detector.evictions st.detector))
+  | O st -> (
+      match st.spec with
+      | None -> Error "obs session closed before its spec header line"
+      | Some (spec, _target) -> (
+          let rows = List.rev st.rows_rev in
+          match check_rows spec rows with
+          | Error _ as e -> e
+          | Ok () ->
+              let report = Explore.merge spec rows in
+              st.obs_races <-
+                report.Explore.r_stats.Aggregate.st_distinct_races;
+              Ok (Explore.report_json ~timing:false report)))
+
+let events t = match t.state with E st -> st.fed | O st -> st.obs_fed
+let races t =
+  match t.state with E st -> Report.count st.collector | O st -> st.obs_races
+
+let evictions t =
+  match t.state with E st -> Detector.evictions st.detector | O _ -> 0
+
+let live_locations t =
+  match t.state with E st -> Detector.live_locations st.detector | O _ -> 0

@@ -1,0 +1,145 @@
+(* End-to-end exit-code and stream-hygiene tests against the installed
+   binary.  The contract (documented in racedet's man page): 0 success,
+   2 malformed input data, 124 CLI misuse, 125 internal error — and
+   under --json, stdout carries only machine-readable output while
+   diagnostics go to stderr. *)
+
+(* The binary is declared as a dune dep of the test, so it lives next
+   to us in _build regardless of where the runner was started from. *)
+let racedet =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    "bin/racedet.exe"
+
+let contains = Astring_contains.contains
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Run [racedet args], feeding [stdin] if given; return exit code and
+   captured stdout/stderr. *)
+let run ?(stdin = "") args =
+  let in_path = Filename.temp_file "drd_cli_in" ".txt" in
+  let out_path = Filename.temp_file "drd_cli_out" ".txt" in
+  let err_path = Filename.temp_file "drd_cli_err" ".txt" in
+  write_file in_path stdin;
+  let fd_in = Unix.openfile in_path [ Unix.O_RDONLY ] 0 in
+  let fd_out =
+    Unix.openfile out_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+  in
+  let fd_err =
+    Unix.openfile err_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+  in
+  let pid =
+    Unix.create_process racedet
+      (Array.of_list (racedet :: args))
+      fd_in fd_out fd_err
+  in
+  Unix.close fd_in;
+  Unix.close fd_out;
+  Unix.close fd_err;
+  let _, status = Unix.waitpid [] pid in
+  let code =
+    match status with
+    | Unix.WEXITED c -> c
+    | Unix.WSIGNALED s -> Alcotest.failf "racedet killed by signal %d" s
+    | Unix.WSTOPPED _ -> Alcotest.fail "racedet stopped"
+  in
+  let out = read_file out_path and err = read_file err_path in
+  Sys.remove in_path;
+  Sys.remove out_path;
+  Sys.remove err_path;
+  (code, out, err)
+
+let good_log = "A 1 1 W 5\nA 1 2 R 6\nA 1 1 W 5\n"
+let bad_log = "A 1 1 W 5\nA bogus line\n"
+
+let with_log contents f =
+  let path = Filename.temp_file "drd_cli_log" ".log" in
+  write_file path contents;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_detect_json_success () =
+  with_log good_log (fun log ->
+      let code, out, err = run [ "detect"; log; "--json" ] in
+      Alcotest.(check int) "exit 0" 0 code;
+      Alcotest.(check bool) "stdout is the JSON body" true
+        (String.length out > 0 && out.[0] = '{');
+      Alcotest.(check bool) "a race was found" true
+        (contains out "\"races\":[{");
+      Alcotest.(check string) "stderr silent on success" "" err)
+
+let test_detect_malformed_is_exit_2 () =
+  with_log bad_log (fun log ->
+      let code, out, err = run [ "detect"; log; "--json" ] in
+      Alcotest.(check int) "exit 2" 2 code;
+      Alcotest.(check string) "no partial JSON on stdout" "" out;
+      Alcotest.(check bool) "diagnostic on stderr" true
+        (contains err "racedet:");
+      Alcotest.(check bool) "diagnostic names the bad line" true
+        (contains err "bogus"))
+
+let test_cli_misuse_is_exit_124 () =
+  (* A missing log file is caught by argument validation, not treated
+     as a data error. *)
+  let code, _, err = run [ "detect"; "/no/such/file.log"; "--json" ] in
+  Alcotest.(check int) "missing file: exit 124" 124 code;
+  Alcotest.(check bool) "usage diagnostic" true (String.length err > 0);
+  let code, _, _ = run [ "frobnicate" ] in
+  Alcotest.(check int) "unknown command: exit 124" 124 code;
+  let code, _, _ = run [ "serve"; "--evict-high"; "2"; "--evict-low"; "5" ] in
+  Alcotest.(check int) "inverted watermarks: exit 124" 124 code;
+  let code, _, _ = run [ "serve"; "--evict-low"; "3" ] in
+  Alcotest.(check int) "low without high: exit 124" 124 code
+
+let test_serve_stdin_matches_detect () =
+  with_log good_log (fun log ->
+      let code, detect_out, _ = run [ "detect"; log; "--json" ] in
+      Alcotest.(check int) "detect exit 0" 0 code;
+      let body = String.trim detect_out in
+      let code, serve_out, _ = run ~stdin:good_log [ "serve" ] in
+      Alcotest.(check int) "serve exit 0" 0 code;
+      let lines = String.split_on_char '\n' (String.trim serve_out) in
+      let report =
+        match List.rev lines with
+        | last :: _ -> last
+        | [] -> Alcotest.fail "serve produced no frames"
+      in
+      Alcotest.(check bool) "final frame is the report" true
+        (contains report "\"t\":\"report\"");
+      Alcotest.(check bool)
+        "report body is byte-identical to the one-shot replay" true
+        (contains report body);
+      (* The race was also streamed incrementally, before the report. *)
+      Alcotest.(check bool) "incremental race frame" true
+        (List.exists (fun l -> contains l "\"t\":\"race\"") lines))
+
+let test_serve_stdin_malformed_is_exit_2 () =
+  let code, out, err = run ~stdin:bad_log [ "serve" ] in
+  Alcotest.(check int) "exit 2" 2 code;
+  Alcotest.(check bool) "client saw an error frame" true
+    (contains out "\"t\":\"error\"");
+  Alcotest.(check bool) "diagnostic on stderr" true (contains err "racedet:")
+
+let suite =
+  [
+    Alcotest.test_case "detect --json: clean stdout, exit 0" `Quick (fun () ->
+        test_detect_json_success ());
+    Alcotest.test_case "malformed log data is exit 2" `Quick (fun () ->
+        test_detect_malformed_is_exit_2 ());
+    Alcotest.test_case "CLI misuse is exit 124" `Quick (fun () ->
+        test_cli_misuse_is_exit_124 ());
+    Alcotest.test_case "serve over stdin matches one-shot detect" `Quick
+      (fun () -> test_serve_stdin_matches_detect ());
+    Alcotest.test_case "serve rejects malformed payload with exit 2" `Quick
+      (fun () -> test_serve_stdin_malformed_is_exit_2 ());
+  ]

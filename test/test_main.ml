@@ -30,4 +30,7 @@ let () =
       ("wire", Test_wire.suite);
       ("link", Test_link.suite);
       ("vm_golden", Test_vm_golden.suite);
+      ("evict", Test_evict.suite);
+      ("serve", Test_serve.suite);
+      ("cli", Test_cli.suite);
     ]

@@ -1,0 +1,364 @@
+(* The serve daemon: protocol framing, session semantics (byte-identity
+   with the one-shot replay, incremental race frames, streaming obs
+   merge), the stdin transport and a Unix-socket smoke test. *)
+
+module H = Drd_harness
+module E = Drd_explore
+module S = Drd_serve
+module W = Drd_explore.Wire
+open Drd_core
+
+let contains = Astring_contains.contains
+
+(* ---- protocol framing ---- *)
+
+let test_classify () =
+  let payload l =
+    match S.Protocol.classify_line l with
+    | Ok S.Protocol.Payload -> ()
+    | Ok (S.Protocol.Control _) -> Alcotest.fail (l ^ ": classified control")
+    | Error m -> Alcotest.fail (l ^ ": " ^ m)
+  in
+  (* Event-log lines and blank lines are payload without JSON parsing. *)
+  payload "A 1 2 W 3 4";
+  payload "L 1 5";
+  payload "";
+  (* Observation wire lines are JSON payload. *)
+  payload "{\"v\":2,\"t\":\"run\",\"index\":0}";
+  payload "{\"v\":2,\"t\":\"spec\"}";
+  payload "{\"v\":2,\"t\":\"failure\"}";
+  (* Control frames round-trip through their encoder. *)
+  List.iter
+    (fun c ->
+      match S.Protocol.classify_line (S.Protocol.control_to_line c) with
+      | Ok (S.Protocol.Control c') when c = c' -> ()
+      | Ok (S.Protocol.Control _) -> Alcotest.fail "control decoded differently"
+      | Ok S.Protocol.Payload -> Alcotest.fail "control classified as payload"
+      | Error m -> Alcotest.fail m)
+    [
+      S.Protocol.Hello
+        { c_session = "s1"; c_kind = S.Protocol.Events; c_config = "Full" };
+      S.Protocol.Hello
+        { c_session = ""; c_kind = S.Protocol.Obs; c_config = "" };
+      S.Protocol.Stats_req;
+      S.Protocol.Close;
+      S.Protocol.Shutdown;
+    ];
+  let err l =
+    match S.Protocol.classify_line l with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (l ^ ": should be rejected")
+  in
+  err "{not json";
+  err "{\"v\":1,\"t\":\"frobnicate\"}";
+  err "{\"v\":99,\"t\":\"hello\"}";
+  (* future protocol version *)
+  err "{\"t\":\"hello\"}" (* control without a version *)
+
+(* ---- events sessions ---- *)
+
+let feed_ok s line =
+  match S.Session.feed_line s line with
+  | Ok frames -> frames
+  | Error m -> Alcotest.fail ("feed: " ^ m)
+
+let log_lines log =
+  let acc = ref [] in
+  Event_log.iter (fun e -> acc := Event_log.entry_to_line e :: !acc) log;
+  List.rev !acc
+
+let test_session_byte_identity () =
+  let compiled =
+    H.Pipeline.compile H.Config.full ~source:(H.Programs.figure2 ())
+  in
+  let log, _ = H.Pipeline.record_log compiled in
+  let coll, stats = H.Pipeline.detect_post_mortem H.Config.full log in
+  let expected =
+    S.Protocol.events_report_body ~races:(Report.races coll) ~stats
+      ~evictions:0
+  in
+  let run ~eviction =
+    let s =
+      S.Session.create ~id:"t" ~kind:S.Protocol.Events ~config:H.Config.full
+        ~eviction
+    in
+    List.iter (fun l -> ignore (feed_ok s l)) (log_lines log);
+    match S.Session.close s with
+    | Ok body -> body
+    | Error m -> Alcotest.fail ("close: " ^ m)
+  in
+  Alcotest.(check string) "no eviction: identical to one-shot" expected
+    (run ~eviction:None);
+  (* An eviction policy whose watermark is never reached must not
+     perturb a single byte either. *)
+  Alcotest.(check string) "idle eviction policy: still identical" expected
+    (run ~eviction:(Some (Detector.eviction ~high:100_000 ())))
+
+let test_incremental_race_frames () =
+  let s =
+    S.Session.create ~id:"inc" ~kind:S.Protocol.Events ~config:H.Config.full
+      ~eviction:None
+  in
+  Alcotest.(check (list string)) "owned write: quiet" [] (feed_ok s "A 1 1 W 5");
+  Alcotest.(check (list string)) "sharing read: quiet" [] (feed_ok s "A 1 2 R 6");
+  (match feed_ok s "A 1 1 W 5" with
+  | [ frame ] ->
+      Alcotest.(check bool) "race frame" true (contains frame "\"t\":\"race\"");
+      Alcotest.(check bool) "session id" true (contains frame "\"session\":\"inc\"");
+      Alcotest.(check bool) "seq 0" true (contains frame "\"seq\":0")
+  | frames ->
+      Alcotest.failf "expected exactly one race frame, got %d"
+        (List.length frames));
+  (* The same location racing again is deduped, like the collector. *)
+  Alcotest.(check (list string)) "dedup per location" []
+    (feed_ok s "A 1 2 W 6");
+  Alcotest.(check int) "one distinct race" 1 (S.Session.races s);
+  Alcotest.(check int) "events counted" 4 (S.Session.events s)
+
+let test_session_feed_errors () =
+  let s =
+    S.Session.create ~id:"bad" ~kind:S.Protocol.Events ~config:H.Config.full
+      ~eviction:None
+  in
+  (match S.Session.feed_line s "A nope" with
+  | Error m ->
+      Alcotest.(check bool) "names the line" true (contains m "A nope")
+  | Ok _ -> Alcotest.fail "malformed entry accepted")
+
+(* ---- obs sessions: a streaming merge ---- *)
+
+let needle_campaign () =
+  let b = Option.get (H.Programs.find "needle") in
+  let sp =
+    E.Explore.spec ~strategy:(E.Strategy.Pct 3)
+      ~budget:(E.Explore.runs_budget 6) H.Config.full
+  in
+  let r = E.Explore.run_campaign sp ~source:b.H.Programs.b_source in
+  (sp, r)
+
+let test_obs_session_matches_merge () =
+  let sp, r = needle_campaign () in
+  let rows = E.Explore.rows_of_report r in
+  let expected =
+    E.Explore.report_json ~timing:false (E.Explore.merge sp rows)
+  in
+  let s =
+    S.Session.create ~id:"obs" ~kind:S.Protocol.Obs ~config:H.Config.full
+      ~eviction:None
+  in
+  ignore (feed_ok s (E.Explore.spec_to_json ~target:"-b needle" sp));
+  List.iter (fun row -> ignore (feed_ok s (E.Explore.row_to_json row))) rows;
+  (match S.Session.close s with
+  | Ok body ->
+      Alcotest.(check string) "streamed fold = racedet merge" expected body
+  | Error m -> Alcotest.fail ("close: " ^ m));
+  ()
+
+let test_obs_session_errors () =
+  (* Closing before the header is refused. *)
+  let s =
+    S.Session.create ~id:"o1" ~kind:S.Protocol.Obs ~config:H.Config.full
+      ~eviction:None
+  in
+  (match S.Session.close s with
+  | Error m -> Alcotest.(check bool) "names the header" true (contains m "header")
+  | Ok _ -> Alcotest.fail "headerless close accepted");
+  (* A truncated stream under a purely runs-based budget is refused,
+     like racedet merge. *)
+  let sp, r = needle_campaign () in
+  let rows = E.Explore.rows_of_report r in
+  let s =
+    S.Session.create ~id:"o2" ~kind:S.Protocol.Obs ~config:H.Config.full
+      ~eviction:None
+  in
+  ignore (feed_ok s (E.Explore.spec_to_json sp));
+  (match rows with
+  | row :: _ -> ignore (feed_ok s (E.Explore.row_to_json row))
+  | [] -> Alcotest.fail "campaign produced no rows");
+  match S.Session.close s with
+  | Error m -> Alcotest.(check bool) "truncation refused" true (contains m "missing")
+  | Ok _ -> Alcotest.fail "truncated obs stream folded"
+
+(* ---- the stdin/stdout transport ---- *)
+
+let serve_string conf input =
+  let in_path = Filename.temp_file "drd_serve_in" ".txt" in
+  let out_path = Filename.temp_file "drd_serve_out" ".txt" in
+  let oc = open_out in_path in
+  output_string oc input;
+  close_out oc;
+  let ic = open_in in_path and oc = open_out out_path in
+  let r = S.Server.serve_channels conf ic oc in
+  close_in ic;
+  close_out oc;
+  let ic = open_in out_path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove in_path;
+  Sys.remove out_path;
+  (r, List.rev !lines)
+
+let default_conf =
+  {
+    S.Server.sv_config = H.Config.full;
+    sv_eviction = None;
+    sv_stats_every = 0.;
+  }
+
+let test_serve_channels_implicit_session () =
+  let compiled =
+    H.Pipeline.compile H.Config.full ~source:(H.Programs.figure2 ())
+  in
+  let log, _ = H.Pipeline.record_log compiled in
+  let input = String.concat "\n" (log_lines log) ^ "\n" in
+  let r, out = serve_string default_conf input in
+  Alcotest.(check bool) "clean exit" true (r = Ok ());
+  match List.rev out with
+  | last :: _ ->
+      Alcotest.(check bool) "final frame is the report" true
+        (contains last "\"t\":\"report\"");
+      Alcotest.(check bool) "implicit session is 'default'" true
+        (contains last "\"session\":\"default\"")
+  | [] -> Alcotest.fail "no output frames"
+
+let test_serve_channels_framed_sessions () =
+  (* Two sequential sessions on one connection; stats in between. *)
+  let hello id =
+    S.Protocol.control_to_line
+      (S.Protocol.Hello
+         { c_session = id; c_kind = S.Protocol.Events; c_config = "" })
+  in
+  let close = S.Protocol.control_to_line S.Protocol.Close in
+  let stats = S.Protocol.control_to_line S.Protocol.Stats_req in
+  let input =
+    String.concat "\n"
+      [
+        hello "one"; "A 1 1 W 0"; stats; close;
+        hello "two"; "A 2 1 W 0"; close;
+      ]
+    ^ "\n"
+  in
+  let r, out = serve_string default_conf input in
+  Alcotest.(check bool) "clean exit" true (r = Ok ());
+  let count p = List.length (List.filter (fun l -> contains l p) out) in
+  Alcotest.(check int) "two hello acks" 2 (count "\"t\":\"hello\"");
+  Alcotest.(check int) "one stats frame" 1 (count "\"t\":\"stats\"");
+  Alcotest.(check int) "two reports" 2 (count "\"t\":\"report\"");
+  Alcotest.(check bool) "sessions named" true
+    (count "\"session\":\"one\"" >= 1 && count "\"session\":\"two\"" >= 1)
+
+let test_serve_channels_errors () =
+  (* Malformed payload: error frame, Error result (exit code 2 at the
+     CLI). *)
+  let r, out = serve_string default_conf "A bogus line\n" in
+  (match r with
+  | Error m -> Alcotest.(check bool) "error names the tag" true (contains m "bogus")
+  | Ok () -> Alcotest.fail "malformed payload accepted");
+  Alcotest.(check bool) "error frame emitted" true
+    (List.exists (fun l -> contains l "\"t\":\"error\"") out);
+  (* Unknown config in hello. *)
+  let hello =
+    S.Protocol.control_to_line
+      (S.Protocol.Hello
+         { c_session = "x"; c_kind = S.Protocol.Events; c_config = "NoSuch" })
+  in
+  let r, _ = serve_string default_conf (hello ^ "\n") in
+  (match r with
+  | Error m -> Alcotest.(check bool) "unknown config refused" true (contains m "NoSuch")
+  | Ok () -> Alcotest.fail "unknown config accepted");
+  (* Double hello. *)
+  let h =
+    S.Protocol.control_to_line
+      (S.Protocol.Hello
+         { c_session = "x"; c_kind = S.Protocol.Events; c_config = "" })
+  in
+  let r, _ = serve_string default_conf (h ^ "\n" ^ h ^ "\n") in
+  match r with
+  | Error m -> Alcotest.(check bool) "double hello refused" true (contains m "already open")
+  | Ok () -> Alcotest.fail "double hello accepted"
+
+(* ---- Unix-socket transport smoke ---- *)
+
+let test_socket_smoke () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "drd-serve-test-%d.sock" (Unix.getpid ()))
+  in
+  let conf = { default_conf with S.Server.sv_eviction = None } in
+  let ready = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        S.Server.serve_socket conf ~path
+          ~ready:(fun () -> Atomic.set ready true)
+          ())
+  in
+  while not (Atomic.get ready) do
+    Domain.cpu_relax ()
+  done;
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+  in
+  let session_report id =
+    let ic, oc = connect () in
+    output_string oc
+      (S.Protocol.control_to_line
+         (S.Protocol.Hello
+            { c_session = id; c_kind = S.Protocol.Events; c_config = "" }));
+    output_char oc '\n';
+    output_string oc "A 1 1 W 0\nA 1 2 R 0\nA 1 1 W 0\n";
+    output_string oc (S.Protocol.control_to_line S.Protocol.Close);
+    output_char oc '\n';
+    flush oc;
+    let rec find_report () =
+      let l = input_line ic in
+      if contains l "\"t\":\"report\"" then l else find_report ()
+    in
+    let report = find_report () in
+    close_out oc;
+    report
+  in
+  (* Two client connections, each with its own session and race. *)
+  let r1 = session_report "a" and r2 = session_report "b" in
+  Alcotest.(check bool) "session a reported" true (contains r1 "\"session\":\"a\"");
+  Alcotest.(check bool) "session b reported" true (contains r2 "\"session\":\"b\"");
+  Alcotest.(check bool) "a found its race" true (contains r1 "\"races\":[{");
+  (* Shut the daemon down. *)
+  let _, oc = connect () in
+  output_string oc (S.Protocol.control_to_line S.Protocol.Shutdown);
+  output_char oc '\n';
+  flush oc;
+  (match Domain.join server with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("server: " ^ m));
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists path)
+
+let suite =
+  [
+    Alcotest.test_case "protocol classify and round-trip" `Quick (fun () ->
+        test_classify ());
+    Alcotest.test_case "events session is byte-identical to one-shot" `Quick
+      (fun () -> test_session_byte_identity ());
+    Alcotest.test_case "incremental race frames" `Quick (fun () ->
+        test_incremental_race_frames ());
+    Alcotest.test_case "malformed payload is an error" `Quick (fun () ->
+        test_session_feed_errors ());
+    Alcotest.test_case "obs session equals racedet merge" `Quick (fun () ->
+        test_obs_session_matches_merge ());
+    Alcotest.test_case "obs session refusals" `Quick (fun () ->
+        test_obs_session_errors ());
+    Alcotest.test_case "stdin transport: implicit session" `Quick (fun () ->
+        test_serve_channels_implicit_session ());
+    Alcotest.test_case "stdin transport: framed sessions" `Quick (fun () ->
+        test_serve_channels_framed_sessions ());
+    Alcotest.test_case "stdin transport: input errors" `Quick (fun () ->
+        test_serve_channels_errors ());
+    Alcotest.test_case "unix socket smoke" `Quick (fun () ->
+        test_socket_smoke ());
+  ]
