@@ -466,76 +466,102 @@ let vm_bench ~quick ~json () =
   let compiled =
     H.Pipeline.compile H.Config.full ~source:b.H.Programs.b_source
   in
-  let engines = [ ("ref", (`Ref : H.Pipeline.engine)); ("linked", `Linked) ] in
+  let engines =
+    [
+      ("ref", (`Ref : H.Pipeline.engine));
+      ("linked", `Linked);
+      ("specialized", `Spec);
+    ]
+  in
   let step_trials = if quick then 3 else 5 in
   fpf "VM engine throughput (tsp; ref = pre-link block interpreter)@.";
   fpf "%8s %12s %14s@." "engine" "steps" "steps/s";
+  (* Trials are interleaved across engines (every round measures all
+     engines back to back) so host-speed drift over the bench's run
+     hits each engine equally instead of whichever is measured last;
+     best-of-N per engine then discards the slow rounds. *)
   let steps_rows =
-    List.map
-      (fun (name, engine) ->
-        let best = ref 0. and steps = ref 0 in
-        for _ = 1 to step_trials do
+    let acc =
+      List.map (fun (name, engine) -> (name, engine, ref 0, ref 0.)) engines
+    in
+    for _ = 1 to step_trials do
+      List.iter
+        (fun (_, engine, steps, best) ->
           let t0 = Unix.gettimeofday () in
           let r = H.Pipeline.run ~detect:false ~engine compiled in
           let dt = Unix.gettimeofday () -. t0 in
           steps := r.H.Pipeline.steps;
           let sps = float_of_int r.H.Pipeline.steps /. Float.max dt 1e-9 in
-          if sps > !best then best := sps
-        done;
+          if sps > !best then best := sps)
+        acc
+    done;
+    List.map
+      (fun (name, _, steps, best) ->
         fpf "%8s %12d %14.0f@." name !steps !best;
         (name, !steps, !best))
-      engines
+      acc
   in
   (match steps_rows with
-  | [ (_, s_ref, _); (_, s_linked, _) ] when s_ref <> s_linked ->
-      failwith
-        (Printf.sprintf "engines diverged: %d steps (ref) vs %d (linked)"
-           s_ref s_linked)
-  | _ -> ());
+  | (_, s0, _) :: rest ->
+      List.iter
+        (fun (name, s, _) ->
+          if s <> s0 then
+            failwith
+              (Printf.sprintf "engines diverged: %d steps (ref) vs %d (%s)" s0
+                 s name))
+        rest
+  | [] -> ());
   let runs = if quick then 24 else 64 in
-  let campaign_trials = if quick then 1 else 3 in
+  let campaign_trials = if quick then 1 else 5 in
   (* One exploration campaign: [runs] pct(d=3) replays with the per-run
      seeds/quanta the real campaigns use.  [detect:true] is the
      race-hunting configuration (per-run detector included);
      [detect:false] is the fingerprint-only pass the happens-before
      pruning replays run, where the VM is nearly the whole cost. *)
-  let campaign ~detect engine =
-    let best = ref 0. in
-    for _ = 1 to campaign_trials do
-      let t0 = Unix.gettimeofday () in
-      for index = 0 to runs - 1 do
-        let sp =
-          E.Strategy.spec (E.Strategy.Pct 3) ~base:compiled.H.Pipeline.config
-            ~pct_horizon:20_000 index
-        in
-        let vm =
-          {
-            (H.Pipeline.vm_config_of compiled.H.Pipeline.config) with
-            Drd_vm.Interp.seed = sp.E.Strategy.sp_seed;
-            quantum = sp.E.Strategy.sp_quantum;
-            policy = sp.E.Strategy.sp_policy;
-          }
-        in
-        ignore (H.Pipeline.run ~vm ~detect ~engine compiled)
-      done;
-      let rps =
-        float_of_int runs /. Float.max (Unix.gettimeofday () -. t0) 1e-9
+  let campaign_once ~detect engine =
+    let t0 = Unix.gettimeofday () in
+    for index = 0 to runs - 1 do
+      let sp =
+        E.Strategy.spec (E.Strategy.Pct 3) ~base:compiled.H.Pipeline.config
+          ~pct_horizon:20_000 index
       in
-      if rps > !best then best := rps
+      let vm =
+        {
+          (H.Pipeline.vm_config_of compiled.H.Pipeline.config) with
+          Drd_vm.Interp.seed = sp.E.Strategy.sp_seed;
+          quantum = sp.E.Strategy.sp_quantum;
+          policy = sp.E.Strategy.sp_policy;
+        }
+      in
+      ignore (H.Pipeline.run ~vm ~detect ~engine compiled)
     done;
-    !best
+    float_of_int runs /. Float.max (Unix.gettimeofday () -. t0) 1e-9
   in
   fpf "@.Exploration campaigns (pct(d=3), %d runs, best of %d)@." runs
     campaign_trials;
   fpf "%8s %16s %18s@." "engine" "detect runs/s" "fingerprint runs/s";
+  (* Interleaved like the step trials: each round measures detect and
+     fingerprint campaigns for every engine before the next round, so
+     the engine ratios (the numbers the specialization metrics are
+     computed from) are drift-free. *)
   let campaign_rows =
+    let acc =
+      List.map (fun (name, engine) -> (name, engine, ref 0., ref 0.)) engines
+    in
+    for _ = 1 to campaign_trials do
+      List.iter
+        (fun (_, engine, det, fp) ->
+          let d = campaign_once ~detect:true engine in
+          if d > !det then det := d;
+          let f = campaign_once ~detect:false engine in
+          if f > !fp then fp := f)
+        acc
+    done;
     List.map
-      (fun (name, engine) ->
-        let det = campaign ~detect:true engine in
-        let fp = campaign ~detect:false engine in
-        fpf "%8s %16.1f %18.1f@." name det fp;
-        (name, det, fp))
-      engines
+      (fun (name, _, det, fp) ->
+        fpf "%8s %16.1f %18.1f@." name !det !fp;
+        (name, !det, !fp))
+      acc
   in
   let steps_of n =
     match List.find_opt (fun (n', _, _) -> n' = n) steps_rows with
@@ -555,10 +581,31 @@ let vm_bench ~quick ~json () =
   let steps_speedup = steps_of "linked" /. Float.max (steps_of "ref") 1e-9 in
   let explore_speedup = det_of "linked" /. Float.max (det_of "ref") 1e-9 in
   let fp_speedup = fp_of "linked" /. Float.max (fp_of "ref") 1e-9 in
+  (* The specialization payoff: detect-on throughput over the generic
+     linked engine, and how much of the gap between generic detection
+     and the fingerprint-only pass (the detector's whole cost) the fast
+     paths close.  Also measured: the share of events that arrive
+     through specialized trace ops, from one instrumented run. *)
+  let spec_speedup = det_of "specialized" /. Float.max (det_of "linked") 1e-9 in
+  let gap = fp_of "linked" -. det_of "linked" in
+  let gap_closed =
+    if gap > 0. then (det_of "specialized" -. det_of "linked") /. gap else 0.
+  in
+  let coverage =
+    let r = H.Pipeline.run ~engine:`Spec compiled in
+    if r.H.Pipeline.events = 0 then 0.
+    else
+      float_of_int r.H.Pipeline.spec_events
+      /. float_of_int r.H.Pipeline.events
+  in
   fpf
     "speedup: %.2fx steps/s, %.2fx explore runs/s (detector on), %.2fx \
-     fingerprint runs/s@.@."
+     fingerprint runs/s@."
     steps_speedup explore_speedup fp_speedup;
+  fpf
+    "specialization: %.2fx detect runs/s over linked, %.0f%% of the \
+     detector-cost gap closed, %.1f%% of events specialized@.@."
+    spec_speedup (100. *. gap_closed) (100. *. coverage);
   if json then
     write_json ~file:"BENCH_vm.json" (fun buf ->
         let bpf fmt = Printf.bprintf buf fmt in
@@ -575,7 +622,10 @@ let vm_bench ~quick ~json () =
         bpf "  ],\n";
         bpf "  \"steps_speedup\": %.3f,\n" steps_speedup;
         bpf "  \"explore_runs_speedup\": %.3f,\n" explore_speedup;
-        bpf "  \"fingerprint_runs_speedup\": %.3f\n" fp_speedup)
+        bpf "  \"fingerprint_runs_speedup\": %.3f,\n" fp_speedup;
+        bpf "  \"specialized_detect_speedup\": %.3f,\n" spec_speedup;
+        bpf "  \"specialized_gap_closed\": %.3f,\n" gap_closed;
+        bpf "  \"specialized_event_coverage\": %.3f\n" coverage)
 
 (* ------------------------------------------------------------------ *)
 (* Serve-daemon soak: an in-process daemon on a Unix socket, N client

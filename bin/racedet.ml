@@ -136,14 +136,44 @@ let json_arg =
 let engine_arg =
   Arg.(
     value
-    & opt (enum [ ("linked", (`Linked : H.Pipeline.engine)); ("ref", `Ref) ])
-        `Linked
+    & opt
+        (enum
+           [
+             ("specialized", (`Spec : H.Pipeline.engine));
+             ("linked", `Linked);
+             ("ref", `Ref);
+           ])
+        `Spec
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
-          "VM engine: $(b,linked) executes the flat linked image (the \
-           default); $(b,ref) executes the frozen pre-link block \
-           interpreter.  Both produce bit-identical schedules and reports; \
-           $(b,ref) exists for cross-checking and benchmarking.")
+          "VM engine: $(b,specialized) executes the flat linked image with \
+           the link-time specialized trace fast paths enabled (the \
+           default); $(b,linked) executes the same image with the fast \
+           paths disabled; $(b,ref) executes the frozen pre-link block \
+           interpreter.  All three produce bit-identical schedules and \
+           reports; $(b,linked) and $(b,ref) exist for cross-checking and \
+           benchmarking.")
+
+let no_specialize_arg =
+  Arg.(
+    value & flag
+    & info [ "no-specialize" ]
+        ~doc:
+          "Disable the link-time specialized trace fast paths: run the \
+           $(b,linked) engine even though $(b,specialized) is the default. \
+           Reports are identical either way; this exists for cross-checking \
+           and for timing the generic detector pipeline.")
+
+let site_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "site-stats" ]
+        ~doc:
+          "Count events per trace site and print a table of site, \
+           specialization class (fixed-lockset, owned, read-only or \
+           generic), events seen, fast-path drops and generic fallbacks, \
+           plus the fraction of all events that arrived through \
+           specialized sites.")
 
 let no_timing_arg =
   Arg.(
@@ -181,7 +211,7 @@ let runs_arg =
 
 (* ---- run: JSON rendering on the shared Wire.json value ---- *)
 
-let run_json compiled (r : H.Pipeline.result) =
+let run_json compiled (r : H.Pipeline.result) ~extra =
   let names = H.Pipeline.names_of compiled r in
   let race_json (race : Drd_core.Report.race) =
     let e = race.Drd_core.Report.current in
@@ -257,19 +287,85 @@ let run_json compiled (r : H.Pipeline.result) =
   print_endline
     (W.json_to_string
        (W.Obj
-          [
-            ("races", W.List races);
-            ("potential_deadlocks", W.List deadlocks);
-            ("events", W.Int r.H.Pipeline.events);
-            ("steps", W.Int r.H.Pipeline.steps);
-            ("threads", W.Int r.H.Pipeline.threads);
-            ("wall_time_s", W.Float r.H.Pipeline.wall_time);
-          ]))
+          ([
+             ("races", W.List races);
+             ("potential_deadlocks", W.List deadlocks);
+             ("events", W.Int r.H.Pipeline.events);
+             ("steps", W.Int r.H.Pipeline.steps);
+             ("threads", W.Int r.H.Pipeline.threads);
+             ("wall_time_s", W.Float r.H.Pipeline.wall_time);
+           ]
+          @ extra)))
 
 (* ---- run ---- *)
 
+let spec_class_name = function
+  | Some Drd_ir.Link.Sfixed -> "fixed-lockset"
+  | Some Drd_ir.Link.Sowned -> "owned"
+  | Some Drd_ir.Link.Sro -> "read-only"
+  | None -> "generic"
+
+(* The --site-stats table: one row per trace site that saw events or
+   was specialized — its class, the events routed through it, how many
+   took a fast-path drop and how many fell back to the full detector
+   pipeline — plus the share of all events that arrived through
+   specialized sites. *)
+let print_site_stats compiled (r : H.Pipeline.result) =
+  match r.H.Pipeline.site_stats with
+  | None -> ()
+  | Some (ev, fast) ->
+      let image = compiled.H.Pipeline.image in
+      let sites = compiled.H.Pipeline.prog.Drd_ir.Ir.p_sites in
+      Fmt.pr "@.--- per-site event statistics ---@.";
+      Fmt.pr "%-5s %-14s %10s %10s %10s  %s@." "site" "class" "events" "fast"
+        "generic" "name";
+      for s = 0 to Array.length ev - 1 do
+        let cls = Drd_ir.Link.spec_class_of_site image s in
+        if ev.(s) > 0 || cls <> None then
+          Fmt.pr "%-5d %-14s %10d %10d %10d  %s@." s (spec_class_name cls)
+            ev.(s) fast.(s)
+            (ev.(s) - fast.(s))
+            (Drd_ir.Site_table.name sites s)
+      done;
+      if r.H.Pipeline.events > 0 then
+        Fmt.pr "events through specialized sites: %d / %d (%.1f%%)@."
+          r.H.Pipeline.spec_events r.H.Pipeline.events
+          (100.
+          *. float_of_int r.H.Pipeline.spec_events
+          /. float_of_int r.H.Pipeline.events)
+
+let site_stats_json compiled (r : H.Pipeline.result) =
+  match r.H.Pipeline.site_stats with
+  | None -> []
+  | Some (ev, fast) ->
+      let image = compiled.H.Pipeline.image in
+      let sites = compiled.H.Pipeline.prog.Drd_ir.Ir.p_sites in
+      let rows = ref [] in
+      for s = Array.length ev - 1 downto 0 do
+        let cls = Drd_ir.Link.spec_class_of_site image s in
+        if ev.(s) > 0 || cls <> None then
+          rows :=
+            W.Obj
+              [
+                ("site", W.Int s);
+                ("name", W.String (Drd_ir.Site_table.name sites s));
+                ("class", W.String (spec_class_name cls));
+                ("events", W.Int ev.(s));
+                ("fast", W.Int fast.(s));
+                ("generic", W.Int (ev.(s) - fast.(s)));
+              ]
+            :: !rows
+      done;
+      [
+        ("spec_events", W.Int r.H.Pipeline.spec_events);
+        ("site_stats", W.List !rows);
+      ]
+
 let run_cmd_impl file benchmark config_name seed quantum pct pct_horizon
-    engine verbose json =
+    engine no_specialize site_stats verbose json =
+  let engine : H.Pipeline.engine =
+    if no_specialize && engine = `Spec then `Linked else engine
+  in
   match load_source file benchmark with
   | Error e -> `Error (false, e)
   | Ok source -> (
@@ -277,12 +373,12 @@ let run_cmd_impl file benchmark config_name seed quantum pct pct_horizon
       | Error e -> `Error (false, e)
       | Ok config when json ->
           let compiled = H.Pipeline.compile config ~source in
-          let r = H.Pipeline.run ~engine compiled in
-          run_json compiled r;
+          let r = H.Pipeline.run ~engine ~site_stats compiled in
+          run_json compiled r ~extra:(site_stats_json compiled r);
           `Ok ()
       | Ok config ->
           let compiled = H.Pipeline.compile config ~source in
-          let r = H.Pipeline.run ~engine compiled in
+          let r = H.Pipeline.run ~engine ~site_stats compiled in
           List.iter
             (fun (tag, v) ->
               match v with
@@ -344,6 +440,7 @@ let run_cmd_impl file benchmark config_name seed quantum pct pct_horizon
             | Some s -> Fmt.pr "%a@." Drd_core.Detector.pp_stats s
             | None -> ()
           end;
+          print_site_stats compiled r;
           `Ok ())
 
 let run_cmd =
@@ -353,8 +450,8 @@ let run_cmd =
     Term.(
       ret
         (const run_cmd_impl $ file_arg $ benchmark_arg $ config_arg $ seed_arg
-       $ quantum_arg $ pct_arg $ pct_horizon_arg $ engine_arg $ verbose_arg
-       $ json_arg))
+       $ quantum_arg $ pct_arg $ pct_horizon_arg $ engine_arg
+       $ no_specialize_arg $ site_stats_arg $ verbose_arg $ json_arg))
 
 (* ---- analyze ---- *)
 

@@ -195,17 +195,27 @@ let touch_loc d es loc =
       if Hashtbl.length es.last_access > es.ev.ev_high then
         run_eviction d es ~current_loc:loc)
 
+type outcome = Cache_hit | Owned_skip | Reached
+
 (* Scalar entry point: five immediates in, no [Event.t] materialized
    unless the event survives both the cache and the ownership filter —
    i.e. unless it actually reaches trie storage and may be needed for a
-   race report. *)
-let on_access_interned d ~loc ~thread ~(locks : Lockset_id.id) ~kind ~site =
+   race report.  Returns where the event stopped: the specialized VM
+   fast paths key their memoization on [Reached] (the only outcome that
+   certifies the trie now covers this (thread, locks, kind) at [loc] —
+   a cache hit is recorded before the ownership check and an owned skip
+   never touches the trie, so neither justifies dropping repeats). *)
+let on_access_outcome d ~loc ~thread ~(locks : Lockset_id.id) ~kind ~site :
+    outcome =
   d.events_in <- d.events_in + 1;
   (match d.evict with Some es -> touch_loc d es loc | None -> ());
   let filtered_by_cache =
     d.config.use_cache && Cache.lookup_or_add (cache_of d thread) ~kind ~loc
   in
-  if filtered_by_cache then d.cache_hits <- d.cache_hits + 1
+  if filtered_by_cache then begin
+    d.cache_hits <- d.cache_hits + 1;
+    Cache_hit
+  end
   else
     let pass =
       if not d.config.use_ownership then true
@@ -235,11 +245,16 @@ let on_access_interned d ~loc ~thread ~(locks : Lockset_id.id) ~kind ~site =
       let e = Event.make_interned ~loc ~thread ~locks ~kind ~site in
       let race, redundant = process_history d e in
       if redundant then d.weaker_filtered <- d.weaker_filtered + 1;
-      match race with
+      (match race with
       | Some prior ->
           Report.add d.collector { Report.loc; current = e; prior }
-      | None -> ()
+      | None -> ());
+      Reached
     end
+    else Owned_skip
+
+let on_access_interned d ~loc ~thread ~locks ~kind ~site =
+  ignore (on_access_outcome d ~loc ~thread ~locks ~kind ~site : outcome)
 
 let on_access d (e : Event.t) =
   on_access_interned d ~loc:e.loc ~thread:e.thread ~locks:e.locks ~kind:e.kind

@@ -77,6 +77,30 @@ val create : ?config:config -> ?eviction:eviction -> Report.collector -> t
     shares nodes across locations and cannot retire one location's
     state); raises [Invalid_argument] with [Packed]. *)
 
+type outcome =
+  | Cache_hit  (** Dropped by the per-thread cache. *)
+  | Owned_skip  (** Dropped by the ownership filter. *)
+  | Reached
+      (** Survived both filters: the trie now holds (or already held) a
+          node covering this (thread, locks, kind) at [loc].  Only this
+          outcome certifies trie coverage — the specialized VM fast
+          paths memoize exclusively on it, because a cache entry is
+          inserted {e before} the ownership check (a later identical
+          event could hit the cache without the trie ever having seen
+          the first one) and an owned-skip event never enters the trie
+          at all. *)
+
+val on_access_outcome :
+  t ->
+  loc:Event.loc_id ->
+  thread:Event.thread_id ->
+  locks:Lockset_id.id ->
+  kind:Event.kind ->
+  site:Event.site_id ->
+  outcome
+(** Exactly {!on_access_interned}, additionally reporting where the
+    event stopped in the cache → ownership → trie pipeline. *)
+
 val on_access_interned :
   t ->
   loc:Event.loc_id ->

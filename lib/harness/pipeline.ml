@@ -14,6 +14,7 @@ module Insert = Drd_instr.Insert
 module Static_weaker = Drd_instr.Static_weaker
 module Peel = Drd_instr.Peel
 module Race_set = Drd_static.Race_set
+module Specialize = Drd_static.Specialize
 open Drd_core
 
 type compiled = {
@@ -27,10 +28,14 @@ type compiled = {
   compile_time : float;
 }
 
-(* Which interpreter executes the program.  [`Linked] is the production
-   engine (flat image); [`Ref] is the frozen pre-link block interpreter,
-   kept for the golden byte-identity suite and as the bench baseline. *)
-type engine = [ `Linked | `Ref ]
+(* Which interpreter executes the program.  [`Spec] is the production
+   engine: the flat image with link-time specialized trace ops taking
+   their fast paths.  [`Linked] runs the same image with the fast paths
+   disabled (specialized ops behave exactly like generic ones — the
+   sink simply installs no [spec] handler).  [`Ref] is the frozen
+   pre-link block interpreter, kept for the golden byte-identity suite
+   and as the bench baseline. *)
+type engine = [ `Linked | `Ref | `Spec ]
 
 let compile (config : Config.t) ~source : compiled =
   let t0 = Unix.gettimeofday () in
@@ -58,8 +63,26 @@ let compile (config : Config.t) ~source : compiled =
   (* The rest of the compiler's optimizations run AFTER instrumentation
      (Section 6.2); traces are unknown-side-effect and survive. *)
   if config.Config.ir_optimize then ignore (Drd_ir.Optimize.optimize prog);
-  (* Link once, after every pass that can touch the IR has run. *)
-  let image = Link.link prog in
+  (* Link once, after every pass that can touch the IR has run.  The
+     trace specializer classifies the surviving trace sites from the
+     static results; it only fires for the configuration whose dynamic
+     pipeline its fast paths model exactly (our detector, per-field
+     locations, ownership on — see Specialize for the soundness
+     argument), so every other configuration links a purely generic
+     image. *)
+  let spec =
+    if
+      config.Config.static_analysis
+      && config.Config.detector = Config.Ours
+      && config.Config.granularity = Memloc.Per_field
+      && config.Config.use_ownership
+    then
+      match !race_set with
+      | Some rs -> Specialize.compute rs prog
+      | None -> None
+    else None
+  in
+  let image = Link.link ?spec prog in
   {
     prog;
     image;
@@ -89,6 +112,11 @@ type result = {
          future work); tracked alongside our detector *)
   immutability : Immutability.summary option;
       (* dynamic immutability classification (Section 10 future work) *)
+  spec_events : int;
+      (* events that arrived through specialized trace ops (0 unless the
+         [`Spec] engine ran an image with specialized sites) *)
+  site_stats : (int array * int array) option;
+      (* per-site (events, fast-path drops), only under [~site_stats] *)
 }
 
 (* Group a location id to the identity Table 3 counts: the object (for
@@ -109,12 +137,22 @@ let vm_config_of (config : Config.t) =
     policy = config.Config.policy;
   }
 
-let run ?vm ?tap ?(detect = true) ?(engine = (`Linked : engine)) (c : compiled)
-    : result =
+let run ?vm ?tap ?(detect = true) ?(engine = (`Spec : engine))
+    ?(site_stats = false) (c : compiled) : result =
   let config = c.config in
   let events = ref 0 in
+  let spec_events = ref 0 in
+  let nsites = Site_table.count c.prog.Ir.p_sites in
+  let site_ev = if site_stats then Some (Array.make nsites 0) else None in
+  let site_fast = if site_stats then Some (Array.make nsites 0) else None in
+  let bump arr site =
+    match arr with
+    | Some a when site >= 0 && site < Array.length a -> a.(site) <- a.(site) + 1
+    | _ -> ()
+  in
   let count f = fun ~tid ~loc ~kind ~locks ~site ->
     incr events;
+    bump site_ev site;
     f ~tid ~loc ~kind ~locks ~site
   in
   let collector = Report.collector () in
@@ -145,6 +183,208 @@ let run ?vm ?tap ?(detect = true) ?(engine = (`Linked : engine)) (c : compiled)
         in
         finishers :=
           [ (fun () -> `Ours (Detector.stats det)) ];
+        (* The specialized fast paths.  Installed only under the [`Spec]
+           engine when the link phase assigned cells; every path either
+           performs exactly the generic per-event work or drops an event
+           the soundness argument (Specialize, DESIGN §8) proves the
+           detector would not have turned into a new report.  Contract
+           outputs (races, deadlocks, event counts, logs, fingerprints)
+           are byte-identical to the generic engines; only
+           detector-internal statistics (events_in, filter counters,
+           trie sizes) and the immutability summary may differ. *)
+        let spec_handler =
+          match (engine, c.image.Link.i_spec) with
+          | `Spec, Some sp ->
+              let ncells = sp.Link.sp_ncells in
+              let classes = sp.Link.sp_cell_class in
+              let is_managed = sp.Link.sp_cell_managed in
+              (* Memo of packed (loc, kind, locks, tid) keys of events
+                 that reached trie storage: a direct-mapped cache shared
+                 by every Sfixed cell (a site iterating over many
+                 objects needs one slot per object, not one per site).
+                 Dropping on an exact key match is sound no matter which
+                 cell inserted the key — the theorem is per event, not
+                 per site — and a collision merely falls back to the
+                 exact generic path. *)
+              (* 8k slots per table: comfortably above the distinct-key
+                 count of a run's hot sites, small enough that the
+                 per-run zeroing cost stays negligible for short
+                 exploration replays. *)
+              let memo_bits = 13 in
+              let memo = Array.make (1 lsl memo_bits) (-1) in
+              let memo_idx key =
+                (key * 0x9E3779B1) lsr 11 land ((1 lsl memo_bits) - 1)
+              in
+              let pack ~tid ~loc ~kind ~locks =
+                if locks < 1 lsl 20 && tid < 1 lsl 10 then
+                  (loc lsl 31)
+                  lor ((match kind with Event.Write -> 1 | Event.Read -> 0)
+                      lsl 30)
+                  lor (locks lsl 10) lor tid
+                else -1
+              in
+              (* Sro: whether the cell's first event was forwarded. *)
+              let ro_seen = Array.make ncells false in
+              (* The shared location-owner map of the managed cells:
+                 owner thread id, or -2 once the location saw a second
+                 thread (demoted: owner shortcut off for good).  Every
+                 traced site that can touch a mapped location is itself
+                 a managed cell (Specialize's component closure), so
+                 the map always witnesses the demoting event. *)
+              let own_map : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+              let generic_event ~tid ~loc ~kind ~locks ~site =
+                Immutability.record immut ~thread:tid ~loc ~kind;
+                Detector.on_access_interned det ~loc ~thread:tid ~locks ~kind
+                  ~site
+              in
+              (* Forward to the detector; memoize the key iff the event
+                 reached trie storage (trie nodes are never evicted, so
+                 a reached key stays droppable forever).  An unpackable
+                 key just stays on the exact generic path. *)
+              let forward_memo key ~tid ~loc ~kind ~locks ~site =
+                Immutability.record immut ~thread:tid ~loc ~kind;
+                match
+                  Detector.on_access_outcome det ~loc ~thread:tid ~locks
+                    ~kind ~site
+                with
+                | Detector.Reached ->
+                    if key >= 0 then memo.(memo_idx key) <- key
+                | Detector.Cache_hit | Detector.Owned_skip -> ()
+              in
+              (* Memo-drop: a repeat of an event that previously reached
+                 the trie (same thread, loc, kind, lockset id) is
+                 redundant — any race it could expose was checked when
+                 the later-arriving party entered the trie, and its own
+                 insertion is covered. *)
+              let fixed_event ~tid ~loc ~kind ~locks ~site =
+                let key = pack ~tid ~loc ~kind ~locks in
+                if key >= 0 && memo.(memo_idx key) = key then
+                  bump site_fast site
+                else forward_memo key ~tid ~loc ~kind ~locks ~site
+              in
+              (* Cache-mirror memo for managed cells, keyed on the packed
+                 (loc, kind, tid) the detector's per-thread cache itself
+                 keys on (locksets excluded — the cache ignores them, so
+                 the detector never distinguishes differing-locks repeats
+                 either).  An entry is armed only after an event is
+                 forwarded for a {e demoted} location: at that point the
+                 thread's cache provably holds (kind, loc) and the single
+                 Became_shared eviction for the location is behind us —
+                 the component closure guarantees every traced access to
+                 the location flows through a managed cell, so demotion
+                 is witnessed — meaning every identical later event is a
+                 detector cache hit: pure stats, no trie, droppable.
+                 Mirroring requires the cache to exist at all, hence the
+                 [use_cache] gate. *)
+              let cache_on = config.Config.use_cache in
+              let shared = Array.make (1 lsl memo_bits) (-1) in
+              let pack_shared ~tid ~loc ~kind =
+                if cache_on && tid < 1 lsl 10 then
+                  (loc lsl 11)
+                  lor ((match kind with Event.Write -> 1 | Event.Read -> 0)
+                      lsl 10)
+                  lor tid
+                else -1
+              in
+              (* Owner shortcut for a managed cell.  Repeats by a
+                 location's owner are exactly the events the detector's
+                 cache or ownership filter would drop without touching
+                 trie storage; the first event of another thread is
+                 forwarded (the detector performs its Became_shared
+                 transition) and demotes the location for good, sending
+                 Sfixed cells to the memo and Sowned cells back to the
+                 generic pipeline — with post-demotion repeats absorbed
+                 by the cache mirror. *)
+              (* Drop an armed mirror entry of [owner] for [loc] (both
+                 kinds), so the owner's next access after the location's
+                 demotion is forwarded — the exact-compare guard means a
+                 colliding entry of another key is left alone. *)
+              let disarm ~owner ~loc =
+                let drop kind =
+                  let key = pack_shared ~tid:owner ~loc ~kind in
+                  if key >= 0 && shared.(memo_idx key) = key then
+                    shared.(memo_idx key) <- -1
+                in
+                drop Event.Read;
+                drop Event.Write
+              in
+              let owner_event cell key2 ~tid ~loc ~kind ~locks ~site =
+                match Hashtbl.find own_map loc with
+                | owner ->
+                    if owner = tid then begin
+                      bump site_fast site;
+                      (* Arm the mirror for the owner as well: while the
+                         location stays owned every repeat is absorbed
+                         (cache hit or ownership skip, never trie), and
+                         demotion disarms these slots before the first
+                         foreign event is forwarded. *)
+                      if key2 >= 0 then shared.(memo_idx key2) <- key2
+                    end
+                    else begin
+                      if owner <> -2 then begin
+                        Hashtbl.replace own_map loc (-2);
+                        disarm ~owner ~loc
+                      end;
+                      (match classes.(cell) with
+                      | Link.Sfixed ->
+                          fixed_event ~tid ~loc ~kind ~locks ~site
+                      | Link.Sowned | Link.Sro ->
+                          generic_event ~tid ~loc ~kind ~locks ~site);
+                      (* The location is demoted and this thread's cache
+                         now holds (kind, loc) — either the forward just
+                         above inserted it, or the Reached event behind a
+                         memo hit already had.  Arm the mirror. *)
+                      if key2 >= 0 then shared.(memo_idx key2) <- key2
+                    end
+                | exception Not_found ->
+                    (* First event for this location anywhere: record
+                       the owner only if the detector's ownership filter
+                       itself absorbed it. *)
+                    Immutability.record immut ~thread:tid ~loc ~kind;
+                    (match
+                       Detector.on_access_outcome det ~loc ~thread:tid ~locks
+                         ~kind ~site
+                     with
+                    | Detector.Owned_skip ->
+                        Hashtbl.replace own_map loc tid;
+                        (* Forwarded while owned: the owner's cache holds
+                           (kind, loc) from the lookup just done, so
+                           same-kind repeats are cache hits; disarmed on
+                           demotion like every owner entry. *)
+                        if key2 >= 0 then shared.(memo_idx key2) <- key2
+                    | Detector.Cache_hit | Detector.Reached ->
+                        Hashtbl.replace own_map loc (-2))
+              in
+              Some
+                (fun ~cell ~tid ~loc ~kind ~locks ~site ->
+                  incr events;
+                  incr spec_events;
+                  bump site_ev site;
+                  match classes.(cell) with
+                  | Link.Sro ->
+                      (* Every write to the component is pre-start and
+                         ownership-absorbed, so the trie only ever holds
+                         read nodes for these locations — and reads
+                         cannot race reads.  Forward the first sighting
+                         (ownership bookkeeping), drop the rest. *)
+                      if ro_seen.(cell) then bump site_fast site
+                      else begin
+                        ro_seen.(cell) <- true;
+                        generic_event ~tid ~loc ~kind ~locks ~site
+                      end
+                  | Link.Sfixed when not is_managed.(cell) ->
+                      fixed_event ~tid ~loc ~kind ~locks ~site
+                  | Link.Sfixed | Link.Sowned ->
+                      (* The cache mirror is checked before the owner
+                         map: a hit proves this exact (thread, loc, kind)
+                         was forwarded after its location's demotion, a
+                         drop licence that needs no further state. *)
+                      let key2 = pack_shared ~tid ~loc ~kind in
+                      if key2 >= 0 && shared.(memo_idx key2) = key2 then
+                        bump site_fast site
+                      else owner_event cell key2 ~tid ~loc ~kind ~locks ~site)
+          | _ -> None
+        in
         {
           Sink.null with
           Sink.access =
@@ -154,6 +394,7 @@ let run ?vm ?tap ?(detect = true) ?(engine = (`Linked : engine)) (c : compiled)
                 Immutability.record immut ~thread:tid ~loc ~kind;
                 Detector.on_access_interned det ~loc ~thread:tid ~locks ~kind
                   ~site);
+          spec = spec_handler;
           acquire =
             (fun ~tid ~lock ->
               Lock_order.on_acquire lock_order ~thread:tid ~lock;
@@ -209,6 +450,7 @@ let run ?vm ?tap ?(detect = true) ?(engine = (`Linked : engine)) (c : compiled)
             (fun ~joiner ~joinee -> H.on_thread_join d ~joiner ~joinee);
           thread_exit = (fun ~tid:_ -> ());
           call = None;
+          spec = None;
         }
   in
   let vm_config =
@@ -218,7 +460,9 @@ let run ?vm ?tap ?(detect = true) ?(engine = (`Linked : engine)) (c : compiled)
   let t0 = Unix.gettimeofday () in
   let r =
     match engine with
-    | `Linked -> Interp.run ~config:vm_config ~sink c.image
+    (* [`Spec] and [`Linked] run the same image; they differ only in
+       whether the sink installed a [spec] handler above. *)
+    | `Linked | `Spec -> Interp.run ~config:vm_config ~sink c.image
     | `Ref -> Interp_ref.run ~config:vm_config ~sink c.prog
   in
   let wall = Unix.gettimeofday () -. t0 in
@@ -264,6 +508,11 @@ let run ?vm ?tap ?(detect = true) ?(engine = (`Linked : engine)) (c : compiled)
     immutability =
       (match config.Config.detector with
       | Config.Ours when detect -> Some (Immutability.summary immut)
+      | _ -> None);
+    spec_events = !spec_events;
+    site_stats =
+      (match (site_ev, site_fast) with
+      | Some e, Some f -> Some (e, f)
       | _ -> None);
   }
 
@@ -341,11 +590,14 @@ let record_log ?(engine = (`Linked : engine)) (c : compiled) :
       thread_exit =
         (fun ~tid -> Event_log.record log (Event_log.Thread_exit tid));
       call = None;
+      spec = None;
     }
   in
   let r =
     match engine with
-    | `Linked -> Interp.run ~config:(vm_config_of c.config) ~sink c.image
+    (* Recording installs no [spec] handler, so [`Spec] is [`Linked]. *)
+    | `Linked | `Spec ->
+        Interp.run ~config:(vm_config_of c.config) ~sink c.image
     | `Ref -> Interp_ref.run ~config:(vm_config_of c.config) ~sink c.prog
   in
   (log, r)

@@ -23,12 +23,16 @@ type compiled = {
   compile_time : float;  (** Seconds spent in analysis + instrumentation. *)
 }
 
-type engine = [ `Linked | `Ref ]
-(** Which interpreter executes the program: [`Linked] is the production
-    engine running the flat {!Link.image}; [`Ref] is the frozen pre-link
-    block interpreter ({!Drd_vm.Interp_ref}), kept for the golden
-    byte-identity suite and as the `bench --vm` baseline.  Both produce
-    bit-identical schedules, event streams and reports. *)
+type engine = [ `Linked | `Ref | `Spec ]
+(** Which interpreter executes the program: [`Spec] is the production
+    engine — the flat {!Link.image} with its link-time specialized trace
+    sites taking their fast paths; [`Linked] runs the very same image
+    with the fast paths disabled (specialized ops degrade to generic
+    ones when the sink installs no [spec] handler); [`Ref] is the frozen
+    pre-link block interpreter ({!Drd_vm.Interp_ref}), kept for the
+    golden byte-identity suite and as the `bench --vm` baseline.  All
+    three produce bit-identical schedules, event streams and reports;
+    only detector-internal statistics may differ under [`Spec]. *)
 
 val compile : Config.t -> source:string -> compiled
 (** Parse, typecheck, (optionally) peel, lower, analyze, instrument and
@@ -58,6 +62,12 @@ type result = {
   immutability : Immutability.summary option;
       (** Dynamic immutability classification of the traced locations
           (Section 10 future work), when running our detector. *)
+  spec_events : int;
+      (** Events that arrived through specialized trace ops; 0 unless
+          the [`Spec] engine ran an image with specialized sites. *)
+  site_stats : (int array * int array) option;
+      (** Per-site (events seen, fast-path drops), indexed by site id;
+          present only under [~site_stats:true]. *)
 }
 
 val vm_config_of : Config.t -> Interp.config
@@ -69,6 +79,7 @@ val run :
   ?tap:Drd_vm.Sink.t ->
   ?detect:bool ->
   ?engine:engine ->
+  ?site_stats:bool ->
   compiled ->
   result
 (** Execute the compiled program under its configuration's detector.
@@ -80,8 +91,10 @@ val run :
     all detector work, leaving only event counting and the tap; the
     exploration engine uses it for fingerprint-only passes when replay
     pruning decides whether the detector pass is needed at all.
-    [?engine] (default [`Linked]) selects the interpreter; [`Ref] exists
-    for golden-identity checking and benchmarking only. *)
+    [?engine] (default [`Spec]) selects the interpreter; [`Linked] and
+    [`Ref] exist for golden-identity checking and benchmarking.
+    [?site_stats:true] additionally counts events and fast-path drops
+    per trace site (a small per-event cost; off by default). *)
 
 val run_source : Config.t -> string -> compiled * result
 

@@ -41,6 +41,33 @@ type lcall =
   | Lc_method of int (* method id: Static and Ctor calls *)
   | Lc_virtual of int * string (* vtable slot; name kept for errors *)
 
+(* Per-site trace specialization (computed by Drd_static.Specialize,
+   consumed here).  A trace site whose static facts license a cheap
+   runtime check is linked into a [Ltrace_*_spec] op carrying a dense
+   {e cell} id; the runtime keeps its per-site fast-path state (lockset
+   memo, first-sighting bit) in flat arrays indexed by that cell, plus
+   one shared location -> owner map for the {e managed} cells.  A cell
+   is managed when its whole alias component is: every traced site
+   that can produce an event for one of the component's locations is
+   itself a managed cell, which is what keeps the ownership shortcut
+   exact — the first event that breaks a location's single-owner
+   pattern necessarily flows through a managed cell and demotes the
+   location before any ownership transition it could cause. *)
+type spec_class =
+  | Sfixed (* must-held lockset = may-held lockset, compile-time constant *)
+  | Sowned (* owned until escape: managed component, singleton base *)
+  | Sro (* every aliasing traced write executes before any thread start *)
+
+type spec = {
+  sp_ncells : int;
+  sp_cell_of_site : int array; (* site id -> cell id, or -1 for generic *)
+  sp_cell_class : spec_class array; (* cell id -> class *)
+  sp_cell_managed : bool array;
+      (* cell id -> whether the cell takes part in the shared
+         location-owner map (always true for [Sowned], per-component
+         for [Sfixed], false for [Sro]) *)
+}
+
 (* Flat executable instruction.  Mirrors [Ir.op] with targets resolved
    and terminators inlined; the source line lives in a parallel array
    ([m_lines]) so the hot stream carries only what execution needs. *)
@@ -73,6 +100,13 @@ type lop =
   | Ltrace_field of reg * int * Drd_core.Event.kind * int (* obj, index, kind, site *)
   | Ltrace_static of int * Drd_core.Event.kind * int (* slot, kind, site *)
   | Ltrace_array of reg * Drd_core.Event.kind * int (* array, kind, site *)
+  (* Specialized traces: same operands plus the spec cell id.  They are
+     executed exactly like their generic twins when no specialized sink
+     is installed (reference semantics), so an image containing them is
+     still valid input for the generic linked engine. *)
+  | Ltrace_field_spec of reg * int * Drd_core.Event.kind * int * int
+  | Ltrace_static_spec of int * Drd_core.Event.kind * int * int
+  | Ltrace_array_spec of reg * Drd_core.Event.kind * int * int
   | Lgoto of int
   | Lif of reg * int * int
   | Lret of reg option
@@ -97,7 +131,21 @@ type image = {
   i_vtables : int array array; (* class id -> slot -> method id or -1 *)
   i_slot_names : string array; (* slot -> method name, for errors *)
   i_run_slot : int; (* vtable slot of "run", or -1 if never defined *)
+  i_spec : spec option; (* trace specialization table, if any site qualified *)
 }
+
+let spec_cell_of_site im site =
+  match im.i_spec with
+  | Some sp when site >= 0 && site < Array.length sp.sp_cell_of_site ->
+      sp.sp_cell_of_site.(site)
+  | _ -> -1
+
+let spec_class_of_site im site =
+  match im.i_spec with
+  | Some sp ->
+      let c = spec_cell_of_site im site in
+      if c >= 0 then Some sp.sp_cell_class.(c) else None
+  | None -> None
 
 let method_count im = Array.length im.i_methods
 
@@ -204,13 +252,15 @@ let validate (m : lmethod) : lmethod =
       | Lwait r
       | Lnotify (r, _)
       | Ltrace_field (r, _, _, _)
-      | Ltrace_array (r, _, _) ->
+      | Ltrace_array (r, _, _)
+      | Ltrace_field_spec (r, _, _, _, _)
+      | Ltrace_array_spec (r, _, _, _) ->
           reg r
       | Lcall (dst, _, args, _) ->
           opt dst;
           Array.iter reg args
       | Lprint (_, r) | Lret r -> opt r
-      | Lyield | Ltrace_static _ | Ltrap _ -> ()
+      | Lyield | Ltrace_static _ | Ltrace_static_spec _ | Ltrap _ -> ()
       | Lgoto l -> target l
       | Lif (c, t, f) ->
           reg c;
@@ -227,7 +277,8 @@ let validate (m : lmethod) : lmethod =
 
 (* ---- linking one method ---- *)
 
-let link_mir ~tprog ~method_ids ~class_ids ~slot_ids ~id (m : mir) : lmethod =
+let link_mir ~tprog ~method_ids ~class_ids ~slot_ids ~cell_of_site ~id (m : mir)
+    : lmethod =
   let key = mir_key m in
   let nblocks = n_blocks m in
   (* First pass: pc of every block (instructions + one terminator slot). *)
@@ -297,14 +348,22 @@ let link_mir ~tprog ~method_ids ~class_ids ~slot_ids ~id (m : mir) : lmethod =
     | Yield -> Lyield
     | Print (tag, r) -> Lprint (tag, r)
     | Trace t -> (
+        let cell = cell_of_site t.tr_site in
         match t.tr_target with
         | Tr_field (o, fm) ->
             check_field_meta tprog ~where fm;
-            Ltrace_field (o, fm.fm_index, t.tr_kind, t.tr_site)
+            if cell >= 0 then
+              Ltrace_field_spec (o, fm.fm_index, t.tr_kind, t.tr_site, cell)
+            else Ltrace_field (o, fm.fm_index, t.tr_kind, t.tr_site)
         | Tr_static sm ->
             check_static_meta tprog ~where sm;
-            Ltrace_static (sm.sm_slot, t.tr_kind, t.tr_site)
-        | Tr_array (a, _) -> Ltrace_array (a, t.tr_kind, t.tr_site))
+            if cell >= 0 then
+              Ltrace_static_spec (sm.sm_slot, t.tr_kind, t.tr_site, cell)
+            else Ltrace_static (sm.sm_slot, t.tr_kind, t.tr_site)
+        | Tr_array (a, _) ->
+            if cell >= 0 then
+              Ltrace_array_spec (a, t.tr_kind, t.tr_site, cell)
+            else Ltrace_array (a, t.tr_kind, t.tr_site))
   in
   for l = 0 to nblocks - 1 do
     let b = block m l in
@@ -339,8 +398,28 @@ let link_mir ~tprog ~method_ids ~class_ids ~slot_ids ~id (m : mir) : lmethod =
 
 (* ---- linking a program ---- *)
 
-let link (p : program) : image =
+let link ?spec (p : program) : image =
   let tprog = p.p_tprog in
+  (match spec with
+  | Some sp ->
+      Array.iter
+        (fun c ->
+          if c >= sp.sp_ncells then
+            link_error "spec table: cell %d outside %d cells" c sp.sp_ncells)
+        sp.sp_cell_of_site;
+      if Array.length sp.sp_cell_class <> sp.sp_ncells then
+        link_error "spec table: %d cell classes for %d cells"
+          (Array.length sp.sp_cell_class) sp.sp_ncells;
+      if Array.length sp.sp_cell_managed <> sp.sp_ncells then
+        link_error "spec table: %d managed flags for %d cells"
+          (Array.length sp.sp_cell_managed) sp.sp_ncells
+  | None -> ());
+  let cell_of_site site =
+    match spec with
+    | Some sp when site >= 0 && site < Array.length sp.sp_cell_of_site ->
+        sp.sp_cell_of_site.(site)
+    | _ -> -1
+  in
   (* Method numbering over the same sorted order [iter_mirs] walks, so
      ids are a pure function of the program, never of hashtable
      history. *)
@@ -402,7 +481,8 @@ let link (p : program) : image =
     |> Array.mapi (fun id key ->
            match find_mir p key with
            | Some m ->
-               link_mir ~tprog ~method_ids ~class_ids ~slot_ids ~id m
+               link_mir ~tprog ~method_ids ~class_ids ~slot_ids ~cell_of_site
+                 ~id m
            | None -> assert false)
   in
   {
@@ -415,4 +495,5 @@ let link (p : program) : image =
     i_slot_names = slot_names;
     i_run_slot =
       (match Hashtbl.find_opt slot_ids "run" with Some s -> s | None -> -1);
+    i_spec = spec;
   }

@@ -26,6 +26,40 @@ type lcall =
       (** Vtable slot (the receiver's dynamic class selects the row);
           the method name is kept for error messages only. *)
 
+(** Specialization class of a trace site whose static facts license a
+    cheap per-event runtime check (computed by [Drd_static.Specialize];
+    the soundness rule is that the fact must hold for {e every}
+    execution of the site — near-miss facts leave the site generic). *)
+type spec_class =
+  | Sfixed
+      (** The must-held lockset equals the may-held lockset, so the
+          dynamic lockset at the site is statically pinned; the runtime
+          keeps a (thread, location, lockset-id) memo per cell and drops
+          exact repeats of events that already reached trie storage. *)
+  | Sowned
+      (** Owned until escape: the site's whole alias component is
+          {e managed} — every traced site that can touch one of its
+          locations consults the runtime's shared location-owner map —
+          so repeats by a location's owning thread are dropped until the
+          first event that breaks the pattern demotes the location. *)
+  | Sro
+      (** Every traced write that can alias the site's location executes
+          before any thread start; post-start the location is read-only,
+          so reads are dropped after the first sighting. *)
+
+(** The per-site specialization table handed to {!link}.  Sites map to
+    dense {e cell} ids (the runtime's flat fast-path state arrays are
+    indexed by cell). *)
+type spec = {
+  sp_ncells : int;
+  sp_cell_of_site : int array;  (** site id -> cell id, or -1 (generic). *)
+  sp_cell_class : spec_class array;  (** cell id -> class. *)
+  sp_cell_managed : bool array;
+      (** cell id -> participates in the shared location-owner map
+          (always for [Sowned], per-component for [Sfixed], never for
+          [Sro]). *)
+}
+
 (** Flat executable instruction: {!Ir.op} with call targets resolved,
     trace targets reduced to the indices the event needs, and block
     terminators inlined into the stream with branch targets as pcs. *)
@@ -60,6 +94,12 @@ type lop =
       (** object register, field index, kind, site id *)
   | Ltrace_static of int * Drd_core.Event.kind * int  (** slot, kind, site *)
   | Ltrace_array of Ir.reg * Drd_core.Event.kind * int  (** array, kind, site *)
+  | Ltrace_field_spec of Ir.reg * int * Drd_core.Event.kind * int * int
+      (** Specialized twin of [Ltrace_field] with the spec cell id
+          appended; identical semantics when no specialized sink is
+          installed. *)
+  | Ltrace_static_spec of int * Drd_core.Event.kind * int * int
+  | Ltrace_array_spec of Ir.reg * Drd_core.Event.kind * int * int
   | Lgoto of int
   | Lif of Ir.reg * int * int
   | Lret of Ir.reg option
@@ -87,13 +127,25 @@ type image = {
           has no implementation for that slot. *)
   i_slot_names : string array;  (** Vtable slot -> method name. *)
   i_run_slot : int;  (** Vtable slot of ["run"], or -1. *)
+  i_spec : spec option;  (** Trace specialization table, if any. *)
 }
 
-val link : Ir.program -> image
+val link : ?spec:spec -> Ir.program -> image
 (** Number methods and classes (sorted-key order, so ids are a pure
     function of the program), build vtables, flatten and pre-resolve
     every method body, and validate field/static layout metadata.
-    Raises {!Link_error} on an unlinkable program. *)
+    When [?spec] is given, each trace site with a cell id is emitted as
+    its specialized twin op; linking is otherwise unchanged (the image
+    remains valid input for the generic engine, which treats the twins
+    exactly like the generic ops).  Raises {!Link_error} on an
+    unlinkable program. *)
+
+val spec_cell_of_site : image -> int -> int
+(** The spec cell of a site id, or -1 when the site is generic (or the
+    image carries no spec table). *)
+
+val spec_class_of_site : image -> int -> spec_class option
+(** The specialization class of a site id, when it has one. *)
 
 val method_count : image -> int
 val class_count : image -> int

@@ -30,6 +30,10 @@ type t = {
   pt : Pointsto.t;
   must : Must.t;
   so_out : (node, lat) Hashtbl.t;
+  may_out : (node, Iset.t) Hashtbl.t;
+      (* MaySync: the union-over-paths dual of MustSync, used by the
+         link-time trace specializer — a site whose may-held and
+         must-held locksets coincide has a compile-time-pinned lockset *)
   must_thread : (string, lat) Hashtbl.t; (* per method *)
   roots : string list; (* thread-root methods: main + started runs *)
 }
@@ -65,6 +69,7 @@ let compute (pt : Pointsto.t) (must : Must.t) : t =
           Hashtbl.replace instr_tbl (Ir.mir_key m, i.Ir.i_id) i));
   (* Build node lists, Gen sets and intrathread predecessor edges. *)
   let gen : (node, Iset.t) Hashtbl.t = Hashtbl.create 64 in
+  let gen_may : (node, Iset.t) Hashtbl.t = Hashtbl.create 64 in
   let preds : (node, node list ref) Hashtbl.t = Hashtbl.create 64 in
   let add_pred n p =
     let r =
@@ -91,6 +96,8 @@ let compute (pt : Pointsto.t) (must : Must.t) : t =
               let n = Nsync (key, region) in
               nodes := n :: !nodes;
               Hashtbl.replace gen n (Must.must_pt_reg must key lock);
+              Hashtbl.replace gen_may n
+                (Pointsto.pts pt (Pointsto.Vreg (key, lock)));
               add_pred n (node_of_instr key i))
             (regions_of_mir m);
           (* Method node: predecessors are the nodes containing its call
@@ -142,6 +149,39 @@ let compute (pt : Pointsto.t) (must : Must.t) : t =
         end)
       !nodes
   done;
+  (* MaySync — the increasing dual: MAYSO_out(n) = MAYSO_in(n) ∪
+     Gen_may(n) with Gen_may from the full may points-to of each
+     region's lock, MAYSO_in = ∪ preds MAYSO_out, roots start with ∅.
+     Bottom is ∅ (an unreachable node stays empty; its statements never
+     execute, and the specializer never consults them — surviving trace
+     sites live in reachable methods only). *)
+  let may_out : (node, Iset.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace may_out n Iset.empty) !nodes;
+  let gen_may_of n =
+    Option.value (Hashtbl.find_opt gen_may n) ~default:Iset.empty
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun n ->
+        let may_in =
+          if is_root_node n then Iset.empty
+          else
+            match Hashtbl.find_opt preds n with
+            | None | Some { contents = [] } -> Iset.empty
+            | Some ps ->
+                List.fold_left
+                  (fun acc p -> Iset.union acc (Hashtbl.find may_out p))
+                  Iset.empty !ps
+        in
+        let out = Iset.union may_in (gen_may_of n) in
+        if not (Iset.equal out (Hashtbl.find may_out n)) then begin
+          Hashtbl.replace may_out n out;
+          changed := true
+        end)
+      !nodes
+  done;
   (* MustThread: intrathread (call-edge) reachability from each root. *)
   let reached_by : (string, string list ref) Hashtbl.t = Hashtbl.create 64 in
   let note m root =
@@ -189,13 +229,20 @@ let compute (pt : Pointsto.t) (must : Must.t) : t =
               None !rs
       in
       Hashtbl.replace must_thread key lat);
-  { pt; must; so_out; must_thread; roots }
+  { pt; must; so_out; may_out; must_thread; roots }
 
 (* MustSync of a statement: the locks must-held at it. *)
 let must_sync t key (i : Ir.instr) : lat =
   match Hashtbl.find_opt t.so_out (node_of_instr key i) with
   | Some l -> l
   | None -> None
+
+(* MaySync of a statement: every lock that can be held at it on some
+   path.  ∅ for nodes the ICG never saw (unreachable code). *)
+let may_sync t key (i : Ir.instr) : Iset.t =
+  match Hashtbl.find_opt t.may_out (node_of_instr key i) with
+  | Some s -> s
+  | None -> Iset.empty
 
 let must_thread t key : lat =
   match Hashtbl.find_opt t.must_thread key with Some l -> l | None -> None

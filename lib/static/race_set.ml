@@ -185,6 +185,10 @@ let stats t = t.st
 
 let pointsto t = t.pt
 
+let icg t = t.icg
+
+let must t = t.must
+
 let thread_spec t = t.ts
 
 let pp_stats ppf (s : stats) =

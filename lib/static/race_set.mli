@@ -52,6 +52,13 @@ val stats : t -> stats
 val pointsto : t -> Pointsto.t
 (** The underlying points-to results (exposed for tests and tools). *)
 
+val icg : t -> Icg.t
+(** The interthread call graph with its Must/MaySync results (consumed
+    by the link-time trace specializer). *)
+
+val must : t -> Must.t
+(** The single-instance must points-to results. *)
+
 val thread_spec : t -> Thread_spec.t
 
 val pp_stats : stats Fmt.t

@@ -119,6 +119,20 @@ type st = {
   image : image;
   cfg : config;
   sink : Sink.t;
+  spec :
+    (cell:int ->
+    tid:int ->
+    loc:int ->
+    kind:Drd_core.Event.kind ->
+    locks:Lockset_id.id ->
+    site:int ->
+    unit)
+    option;
+      (* [sink.spec], pre-gated on the VM config: specialized trace ops
+         only take their fast path under the per-field granularity and
+         trace-driven (not [all_accesses]) event model the link-time
+         classification assumed; any other config falls back to the
+         generic [access] path, which is always exact. *)
   heap : Heap.t;
   globals : Value.t array; (* static field slots *)
   mutable threads : thread array; (* tid -> thread; first [nthreads] live *)
@@ -575,6 +589,28 @@ let exec_instr st thr frame regs (op : lop) pc : bool =
         ~loc:(Memloc.array ~gran:st.cfg.granularity ~obj:(as_ref ~what:"trace" regs.%(a)))
         ~kind ~site;
       true
+  | Ltrace_field_spec (o, index, kind, site, cell) ->
+      let obj = as_ref ~what:"trace" regs.%(o) in
+      let loc = Memloc.field ~gran:st.cfg.granularity ~obj ~index in
+      (match st.spec with
+      | Some f -> f ~cell ~tid:thr.t_id ~loc ~kind ~locks:thr.t_lockset ~site
+      | None -> emit_access st thr ~loc ~kind ~site);
+      true
+  | Ltrace_static_spec (slot, kind, site, cell) ->
+      let loc = Memloc.static ~gran:st.cfg.granularity ~slot in
+      (match st.spec with
+      | Some f -> f ~cell ~tid:thr.t_id ~loc ~kind ~locks:thr.t_lockset ~site
+      | None -> emit_access st thr ~loc ~kind ~site);
+      true
+  | Ltrace_array_spec (a, kind, site, cell) ->
+      let loc =
+        Memloc.array ~gran:st.cfg.granularity
+          ~obj:(as_ref ~what:"trace" regs.%(a))
+      in
+      (match st.spec with
+      | Some f -> f ~cell ~tid:thr.t_id ~loc ~kind ~locks:thr.t_lockset ~site
+      | None -> emit_access st thr ~loc ~kind ~site);
+      true
   | Lgoto _ | Lif _ | Lret _ | Ltrap _ ->
       assert false (* terminators are handled by the slice loop *)
 
@@ -707,6 +743,10 @@ let run ?(config = default_config) ~sink (image : image) : result =
       image;
       cfg = config;
       sink;
+      spec =
+        (if config.all_accesses || config.granularity <> Memloc.Per_field then
+           None
+         else sink.Sink.spec);
       heap;
       globals;
       threads = Array.make 8 dummy_thread;

@@ -30,6 +30,23 @@ type t = {
       (* invoked at every virtual call with the receiver object; used by
          the object-race baseline, which treats a method call on an
          object as a write to it *)
+  spec :
+    (cell:int ->
+    tid:Event.thread_id ->
+    loc:Event.loc_id ->
+    kind:Event.kind ->
+    locks:Lockset_id.id ->
+    site:Event.site_id ->
+    unit)
+    option;
+      (* specialized-trace entry point: when present, the VM routes
+         events from specialized trace ops here (with the link-assigned
+         spec cell id) instead of [access]; the handler owns the
+         fast-path state and falls back to the same work [access] does.
+         When absent, specialized ops behave exactly like generic ones.
+         A [spec] handler must be observationally equivalent to [access]
+         for every contract output (reports, event counts); only
+         detector-internal statistics may differ. *)
 }
 
 let null =
@@ -41,6 +58,7 @@ let null =
     thread_join = (fun ~joiner:_ ~joinee:_ -> ());
     thread_exit = (fun ~tid:_ -> ());
     call = None;
+    spec = None;
   }
 
 (* Fan one event stream out to two consumers, [a] first.  Lets a
@@ -80,4 +98,19 @@ let tee a b =
             (fun ~tid ~obj ~locks ~site ->
               (match fa with Some f -> f ~tid ~obj ~locks ~site | None -> ());
               match fb with Some f -> f ~tid ~obj ~locks ~site | None -> ()));
+    spec =
+      (* A side without a spec handler still sees every specialized
+         event through its ordinary [access], so taps (fingerprints,
+         logs) observe streams byte-identical to the generic engine. *)
+      (match (a.spec, b.spec) with
+      | None, None -> None
+      | fa, fb ->
+          Some
+            (fun ~cell ~tid ~loc ~kind ~locks ~site ->
+              (match fa with
+              | Some f -> f ~cell ~tid ~loc ~kind ~locks ~site
+              | None -> a.access ~tid ~loc ~kind ~locks ~site);
+              match fb with
+              | Some f -> f ~cell ~tid ~loc ~kind ~locks ~site
+              | None -> b.access ~tid ~loc ~kind ~locks ~site));
   }

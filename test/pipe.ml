@@ -125,6 +125,7 @@ let run_baseline ?(seed = 42) ?(quantum = 20) baseline source =
             thread_join = (fun ~joiner ~joinee -> H.on_thread_join d ~joiner ~joinee);
             thread_exit = (fun ~tid:_ -> ());
             call = None;
+            spec = None;
           }
         in
         (s, fun () -> H.racy_locs d)

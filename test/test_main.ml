@@ -29,6 +29,7 @@ let () =
       ("hb_fingerprint", Test_hb_fingerprint.suite);
       ("wire", Test_wire.suite);
       ("link", Test_link.suite);
+      ("specialize", Test_specialize.suite);
       ("vm_golden", Test_vm_golden.suite);
       ("evict", Test_evict.suite);
       ("serve", Test_serve.suite);

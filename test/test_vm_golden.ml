@@ -44,6 +44,7 @@ let log_tap () =
       thread_exit =
         (fun ~tid -> Event_log.record log (Event_log.Thread_exit tid));
       call = None;
+      spec = None;
     }
   in
   (sink, log)
@@ -178,7 +179,12 @@ let test_identity name source strategy () =
     let label = Printf.sprintf "%s %s #%d" name (Strategy.name strategy) index in
     let a = observe ~engine:`Ref compiled vm in
     let b = observe ~engine:`Linked compiled vm in
-    check_obs label a b
+    check_obs label a b;
+    (* The specialized engine's fast paths must be invisible through
+       every observable channel too — including the tapped event log,
+       where a wrongly dropped event would surface. *)
+    let c = observe ~engine:`Spec compiled vm in
+    check_obs (label ^ " [spec]") a c
   done
 
 let test_record_log name source () =
