@@ -874,6 +874,54 @@ let serve_bench ~quick ~json () =
         bpf "  \"evictions_total\": %d,\n" evictions_total;
         bpf "  \"heap_words_max\": %d\n" heap_words_max)
 
+(* ---- the differential detector arena (BENCH_arena.json) ---- *)
+
+let arena_bench ~quick ~json () =
+  let module A = Drd_arena.Arena in
+  let count = if quick then 150 else 1200 in
+  let opts = { A.default_options with A.o_count = count } in
+  fpf "Detector arena (%d generated programs, seed %d)@." count
+    opts.A.o_seed;
+  let t0 = Unix.gettimeofday () in
+  let r = A.run opts in
+  let wall = Unix.gettimeofday () -. t0 in
+  Fmt.pr "%a" A.pp_report r;
+  fpf "wall: %.1fs@.@." wall;
+  if r.A.r_misses <> [] then
+    failwith "arena bench: a detector missed a guaranteed race";
+  if json then
+    write_json ~file:"BENCH_arena.json" (fun buf ->
+        let bpf fmt = Printf.bprintf buf fmt in
+        bpf "  \"seed\": %d,\n" r.A.r_seed;
+        bpf "  \"programs\": %d,\n" r.A.r_count;
+        bpf "  \"max_units\": %d,\n" r.A.r_max_units;
+        bpf "  \"cells\": %d,\n" r.A.r_cells;
+        bpf "  \"wall_s\": %.4f,\n" wall;
+        bpf "  \"detectors\": [\n";
+        bpf_elems buf r.A.r_tallies (fun buf (t : A.tally) ->
+            Printf.bprintf buf
+              "    {\"name\": \"%s\", \"tp\": %d, \"fp\": %d, \"fn\": %d, \
+               \"tn\": %d, \"precision\": %.4f, \"recall\": %.4f, \
+               \"guaranteed_missed\": %d, \"feasible_caught\": %d, \
+               \"feasible_total\": %d, \"unexpected\": %d, \"errors\": %d}"
+              t.A.t_name t.A.t_tp t.A.t_fp t.A.t_fn t.A.t_tn (A.precision t)
+              (A.recall t) t.A.t_guaranteed_missed t.A.t_feasible_caught
+              t.A.t_feasible_total t.A.t_unexpected t.A.t_errors);
+        bpf "  ],\n";
+        bpf "  \"disagreements\": [\n";
+        bpf_elems buf r.A.r_pairs (fun buf (p : A.pair) ->
+            Printf.bprintf buf
+              "    {\"reporter\": \"%s\", \"silent\": \"%s\", \"count\": %d%s}"
+              p.A.pr_reporter p.A.pr_silent p.A.pr_count
+              (match p.A.pr_example with
+              | None -> ""
+              | Some x ->
+                  Printf.sprintf ", \"shrunk_example\": \"%s on %s\""
+                    (Fmt.str "%a" Drd_arena.Gen.pp_spec x.A.x_shrunk
+                    |> String.map (fun c -> if c = '"' then '\'' else c))
+                    x.A.x_marker));
+        bpf "  ]\n")
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let has f = List.mem f args in
@@ -895,4 +943,5 @@ let () =
   if all || has "--detector" then detector_bench ~quick ~json:(has "--json") ();
   if all || has "--vm" then vm_bench ~quick ~json:(has "--json") ();
   if all || has "--serve" then serve_bench ~quick ~json:(has "--json") ();
+  if all || has "--arena" then arena_bench ~quick ~json:(has "--json") ();
   if all || has "--micro" then microbench ()

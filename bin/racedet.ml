@@ -24,6 +24,7 @@ module H = Drd_harness
 module E = Drd_explore
 module W = Drd_explore.Wire
 module Ir = Drd_ir.Ir
+module A = Drd_arena.Arena
 open Cmdliner
 
 (* Malformed input *data* (as opposed to command-line misuse, which
@@ -100,7 +101,40 @@ let config_arg =
   Arg.(
     value & opt string "Full"
     & info [ "c"; "config" ] ~docv:"CONFIG"
-        ~doc:"Detector configuration (see $(b,racedet list)).")
+        ~doc:
+          "Detector configuration (see $(b,racedet list)).  Selecting a \
+           baseline technique by configuration name ($(b,-c Eraser), \
+           $(b,-c ObjRace), $(b,-c HappensBefore)) is deprecated: use \
+           $(b,--detector) $(b,eraser)/$(b,objrace)/$(b,vclock).")
+
+(* The name-keyed detector registry behind `--detector`: unknown names
+   are command-line misuse, so cmdliner's conv error path (exit 124)
+   is exactly right. *)
+let detector_conv : H.Registry.entry Arg.conv =
+  let parse s =
+    match H.Registry.find s with
+    | Some e -> Ok e
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown detector %s (expected one of: %s)" s
+                (String.concat ", " (H.Registry.names ()))))
+  in
+  let print ppf (e : H.Registry.entry) = Fmt.string ppf e.H.Registry.name in
+  Arg.conv (parse, print)
+
+let detector_doc =
+  "Detection technique (see $(b,racedet list)): $(b,paper), $(b,eraser), \
+   $(b,objrace) or $(b,vclock).  Supersedes selecting baselines through \
+   $(b,-c): $(b,-c Eraser) is $(b,--detector eraser), $(b,-c ObjRace) is \
+   $(b,--detector objrace), $(b,-c HappensBefore) is $(b,--detector \
+   vclock)."
+
+let detector_arg =
+  Arg.(
+    value
+    & opt (some detector_conv) None
+    & info [ "detector" ] ~docv:"NAME" ~doc:detector_doc)
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Scheduler seed.")
@@ -361,15 +395,22 @@ let site_stats_json compiled (r : H.Pipeline.result) =
         ("site_stats", W.List !rows);
       ]
 
-let run_cmd_impl file benchmark config_name seed quantum pct pct_horizon
-    engine no_specialize site_stats verbose json =
+let run_cmd_impl file benchmark config_name detector seed quantum pct
+    pct_horizon engine no_specialize site_stats verbose json =
   let engine : H.Pipeline.engine =
     if no_specialize && engine = `Spec then `Linked else engine
   in
   match load_source file benchmark with
   | Error e -> `Error (false, e)
   | Ok source -> (
-      match config_of_name ?quantum ?pct ~pct_horizon config_name seed with
+      match
+        Result.map
+          (fun c ->
+            match detector with
+            | None -> c
+            | Some e -> H.Registry.apply e c)
+          (config_of_name ?quantum ?pct ~pct_horizon config_name seed)
+      with
       | Error e -> `Error (false, e)
       | Ok config when json ->
           let compiled = H.Pipeline.compile config ~source in
@@ -449,9 +490,10 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       ret
-        (const run_cmd_impl $ file_arg $ benchmark_arg $ config_arg $ seed_arg
-       $ quantum_arg $ pct_arg $ pct_horizon_arg $ engine_arg
-       $ no_specialize_arg $ site_stats_arg $ verbose_arg $ json_arg))
+        (const run_cmd_impl $ file_arg $ benchmark_arg $ config_arg
+       $ detector_arg $ seed_arg $ quantum_arg $ pct_arg $ pct_horizon_arg
+       $ engine_arg $ no_specialize_arg $ site_stats_arg $ verbose_arg
+       $ json_arg))
 
 (* ---- analyze ---- *)
 
@@ -530,18 +572,63 @@ let record_cmd =
     (Cmd.info "record" ~doc)
     Term.(ret (const record_impl $ file_arg $ benchmark_arg $ out))
 
-let detect_impl log_file config_name pairs benchmark json =
-  match config_of_name config_name 42 with
+let read_log log_file =
+  match
+    let ic = open_in log_file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Drd_core.Event_log.of_channel ic)
+  with
+  | exception Sys_error e -> data_error "%s" e
+  | exception Failure e -> data_error "%s" e
+  | log -> log
+
+(* `--detector` on a baseline replays the log through the registry's
+   module — the generic sibling of the paper detector's post-mortem
+   phase below.  Site/location names are not part of the log, so
+   locations print by id, as the `-c` baseline path always has. *)
+let detect_replay_module (e : H.Registry.entry) log_file json =
+  let log = read_log log_file in
+  let racy, events = H.Pipeline.replay_module e.H.Registry.impl log in
+  if json then
+    print_endline
+      (W.json_to_string
+         (W.Obj
+            [
+              ("detector", W.String e.H.Registry.name);
+              ("racy_locations", W.List (List.map (fun l -> W.Int l) racy));
+              ("events", W.Int events);
+              ("entries", W.Int (Drd_core.Event_log.length log));
+            ]))
+  else begin
+    Fmt.pr "replayed %d log entries (%d access events)@."
+      (Drd_core.Event_log.length log)
+      events;
+    if racy = [] then
+      Fmt.pr "@.No dataraces detected (%s).@." e.H.Registry.name
+    else begin
+      Fmt.pr "@.Dataraces reported by %s on:@." e.H.Registry.name;
+      List.iter (Fmt.pr "  location %d@.") racy
+    end
+  end;
+  `Ok ()
+
+let detect_impl log_file config_name detector pairs benchmark json =
+  match detector with
+  | Some e when e.H.Registry.detector <> H.Config.Ours ->
+      detect_replay_module e log_file json
+  | _ -> (
+  match
+    Result.map
+      (fun c ->
+        match detector with
+        | None -> c
+        | Some e -> H.Registry.apply e c)
+      (config_of_name config_name 42)
+  with
   | Error e -> `Error (false, e)
   | Ok config -> (
-    match
-      let ic = open_in log_file in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> Drd_core.Event_log.of_channel ic)
-    with
-    | exception Sys_error e -> data_error "%s" e
-    | exception Failure e -> data_error "%s" e
+    match read_log log_file with
     | log when json ->
       (* The same renderer the serve daemon closes a session with, so a
          streamed session's report frame can be byte-compared against
@@ -597,7 +684,7 @@ let detect_impl log_file config_name pairs benchmark json =
             (Drd_core.Full_race.reconstruct log ~locs:racy)
         end
       end;
-      `Ok ())
+      `Ok ()))
 
 let detect_cmd =
   let doc = "run the detection phase offline over a recorded log (phase 2)" in
@@ -625,8 +712,8 @@ let detect_cmd =
     (Cmd.info "detect" ~doc)
     Term.(
       ret
-        (const detect_impl $ log_file $ config_arg $ pairs $ bench_for_names
-       $ json_arg))
+        (const detect_impl $ log_file $ config_arg $ detector_arg $ pairs
+       $ bench_for_names $ json_arg))
 
 (* ---- sweep: the legacy seed sweep (now a thin campaign) ---- *)
 
@@ -1101,6 +1188,158 @@ let serve_cmd =
         (const serve_impl $ config_arg $ socket $ stats_every $ evict_high
        $ evict_low))
 
+(* ---- arena: differential detector testing on generated programs ---- *)
+
+let arena_impl count seed max_units max_steps detectors no_shrink
+    fail_on_miss repro_dir json =
+  let detectors =
+    match detectors with [] -> H.Registry.all | ds -> ds
+  in
+  let opts =
+    {
+      A.o_seed = seed;
+      o_count = count;
+      o_max_units = max_units;
+      o_max_steps = max_steps;
+      o_detectors = detectors;
+      o_shrink = not no_shrink;
+    }
+  in
+  let r = A.run opts in
+  if json then print_string (A.to_json r)
+  else Fmt.pr "%a" A.pp_report r;
+  (match repro_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let write name text =
+        let path = Filename.concat dir name in
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        (* Diagnostics never on stdout under --json. *)
+        (if json then Fmt.epr else Fmt.pr) "wrote %s@." path
+      in
+      List.iter
+        (fun (p : A.pair) ->
+          match p.A.pr_example with
+          | None -> ()
+          | Some x ->
+              write
+                (Printf.sprintf "arena_%s_over_%s.mj" p.A.pr_reporter
+                   p.A.pr_silent)
+                (A.repro_source ~reporter:p.A.pr_reporter
+                   ~silent:p.A.pr_silent x))
+        r.A.r_pairs;
+      List.iter
+        (fun (m : A.miss) ->
+          match m.A.ms_example with
+          | None -> ()
+          | Some x ->
+              write
+                (Printf.sprintf "arena_miss_%s.mj" m.A.ms_detector)
+                (Fmt.str
+                   "// Arena-shrunk GROUND-TRUTH MISS: %s stayed quiet on \
+                    the\n\
+                    // guaranteed race %s.\n%s"
+                   m.A.ms_detector x.A.x_marker (Drd_arena.Gen.emit x.A.x_shrunk)))
+        r.A.r_misses);
+  match fail_on_miss with
+  | Some (e : H.Registry.entry)
+    when A.guaranteed_misses r ~detector:e.H.Registry.name > 0 ->
+      Fmt.epr "racedet arena: %s missed %d guaranteed race(s)@."
+        e.H.Registry.name
+        (A.guaranteed_misses r ~detector:e.H.Registry.name);
+      exit 1
+  | _ -> `Ok ()
+
+let arena_cmd =
+  let doc = "differentially test the detectors on generated programs" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Generates a deterministic corpus of well-typed concurrent \
+         MiniJava programs composed from synchronization idioms — \
+         mutexes, fork/join chains, wait/notify signaling, worker-loop \
+         queues — with seeded races and known-safe twins, so every \
+         program carries ground truth.  Runs every selected detector \
+         over every program on the same schedule, scores each against \
+         the labels (precision, recall, guaranteed-race misses), counts \
+         pairwise disagreements, and shrinks the first witness of each \
+         disagreement direction to a minimal program.";
+      `P
+        "Racy cells are labelled $(i,guaranteed) (every detector reports \
+         them in every schedule; silence is unambiguously a miss — the \
+         count $(b,--fail-on-miss) gates on) or $(i,feasible) \
+         (schedule-dependent, e.g. races hidden behind an accidental \
+         lock-order edge; counted toward recall only).";
+      `P
+        "For a fixed seed/count/detector set the $(b,--json) report is \
+         byte-identical across invocations.";
+    ]
+  in
+  let count =
+    Arg.(
+      value & opt int 200
+      & info [ "n"; "programs" ] ~docv:"N" ~doc:"Programs to generate.")
+  in
+  let max_units =
+    Arg.(
+      value & opt int 4
+      & info [ "max-units" ] ~docv:"N"
+          ~doc:"Idiom units per program (1 to $(docv)).")
+  in
+  let max_steps =
+    Arg.(
+      value & opt int 400_000
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:
+            "VM step budget per run; a program exceeding it scores as an \
+             error verdict.")
+  in
+  let detectors =
+    Arg.(
+      value
+      & opt_all detector_conv []
+      & info [ "detector" ] ~docv:"NAME"
+          ~doc:
+            "Restrict the arena to the named detectors (repeatable; \
+             default: all).  Same names as $(b,run --detector).")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ]
+          ~doc:
+            "Skip shrinking disagreement/miss witnesses (saves the extra \
+             runs; the example specs stay as first seen).")
+  in
+  let fail_on_miss =
+    Arg.(
+      value
+      & opt (some detector_conv) None
+      & info [ "fail-on-miss" ] ~docv:"NAME"
+          ~doc:
+            "Exit 1 if $(docv) missed any guaranteed race — the CI gate \
+             for the paper detector.")
+  in
+  let repro_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro" ] ~docv:"DIR"
+          ~doc:
+            "Write each shrunk disagreement/miss witness as a standalone \
+             MiniJava reproducer under $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "arena" ~doc ~man)
+    Term.(
+      ret
+        (const arena_impl $ count $ seed_arg $ max_units $ max_steps
+       $ detectors $ no_shrink $ fail_on_miss $ repro_dir $ json_arg))
+
 (* ---- list ---- *)
 
 let list_impl () =
@@ -1116,6 +1355,14 @@ let list_impl () =
         c.H.Config.name c.H.Config.static_analysis c.H.Config.weaker_elim
         c.H.Config.loop_peel c.H.Config.use_cache c.H.Config.use_ownership)
     H.Config.all;
+  Fmt.pr "@.Detectors (run/detect/arena --detector):@.";
+  List.iter
+    (fun (e : H.Registry.entry) ->
+      Fmt.pr "  %-8s %s%s@." e.H.Registry.name (H.Registry.describe e)
+        (match e.H.Registry.aliases with
+        | [] -> ""
+        | a -> Printf.sprintf " (aliases: %s)" (String.concat ", " a)))
+    H.Registry.all;
   `Ok ()
 
 let list_cmd =
@@ -1146,5 +1393,6 @@ let () =
             record_cmd;
             detect_cmd;
             sweep_cmd;
+            arena_cmd;
             list_cmd;
           ]))

@@ -1,0 +1,107 @@
+(** The differential detector arena.
+
+    Runs every registered detection technique over a deterministic
+    corpus of generated, ground-truth-labelled concurrent programs
+    ({!Gen}), scores each against the labels (precision / recall /
+    guaranteed-miss counts), tallies pairwise disagreements, and
+    shrinks the first witness of each disagreement direction — and of
+    each guaranteed-race miss — to a minimal spec. *)
+
+module Registry = Drd_harness.Registry
+
+type options = {
+  o_seed : int;
+  o_count : int;  (** programs in the corpus *)
+  o_max_units : int;  (** idiom units per program, 1..n *)
+  o_max_steps : int;
+      (** VM step budget per run; exceeding it is an error verdict *)
+  o_detectors : Registry.entry list;
+  o_shrink : bool;
+      (** shrink disagreement / miss witnesses (costs extra runs) *)
+}
+
+val default_options : options
+(** seed 42, 200 programs, up to 4 units, 400k steps, every registered
+    detector, shrinking on. *)
+
+type outcome = { oc_races : string list; oc_error : string option }
+
+val run_one : options -> Registry.entry -> Gen.spec -> outcome
+(** One program under one technique, on the schedule determined by the
+    spec alone (every detector sees the same interleaving). *)
+
+type tally = {
+  t_name : string;
+  mutable t_tp : int;
+  mutable t_fp : int;
+  mutable t_fn : int;
+  mutable t_tn : int;
+  mutable t_guaranteed_missed : int;  (** the CI-gated count *)
+  mutable t_feasible_total : int;
+  mutable t_feasible_caught : int;
+  mutable t_unexpected : int;
+      (** reports matching no ground-truth cell (also counted as FP) *)
+  mutable t_errors : int;
+}
+
+val precision : tally -> float
+val recall : tally -> float
+
+type example = {
+  x_marker : string;
+  x_spec : Gen.spec;
+  x_shrunk : Gen.spec;  (** minimal spec still witnessing the property *)
+}
+
+type pair = {
+  pr_reporter : string;
+  pr_silent : string;
+  mutable pr_count : int;
+  mutable pr_example : example option;
+}
+
+type miss = {
+  ms_detector : string;
+  mutable ms_count : int;
+  mutable ms_example : example option;
+}
+
+type report = {
+  r_seed : int;
+  r_count : int;
+  r_max_units : int;
+  r_cells : int;
+  r_tallies : tally list;
+  r_pairs : pair list;
+  r_misses : miss list;
+}
+
+val run : options -> report
+
+val guaranteed_misses : report -> detector:string -> int
+(** The gated count for one detector (0 if it did not run). *)
+
+val shrink : holds:(Gen.spec -> bool) -> Gen.spec -> Gen.spec
+(** Greedy structural shrinking: drop units, then lower loop counts,
+    to a fixpoint of [holds]. *)
+
+val disagreement_holds :
+  options ->
+  reporter:Registry.entry ->
+  silent:Registry.entry ->
+  marker:string ->
+  Gen.spec ->
+  bool
+
+val miss_holds :
+  options -> detector:Registry.entry -> marker:string -> Gen.spec -> bool
+
+val pp_report : Format.formatter -> report -> unit
+
+val to_json : report -> string
+(** Deterministic rendering: byte-identical across runs for a fixed
+    (seed, count, max_units, detector set). *)
+
+val repro_source : reporter:string -> silent:string -> example -> string
+(** A standalone MiniJava reproducer for a shrunk disagreement, with an
+    explanatory header comment. *)

@@ -87,9 +87,30 @@ let on_access_interned d ~loc ~thread ~locks ~kind ~site =
   in
   Hashtbl.replace d.states loc st'
 
-let on_access d (e : Event.t) =
-  on_access_interned d ~loc:e.loc ~thread:e.thread ~locks:e.locks
-    ~kind:e.kind ~site:e.site
+(* Detector_intf.S plumbing.  Eraser's discipline is purely
+   lockset-refinement over accesses: it has no modeling of
+   synchronization order (no join edges — the documented imprecision),
+   so every hook below is a no-op. *)
+
+let id = "eraser"
+
+let describe =
+  "Eraser lockset discipline (Savage et al. 1997): one common lock \
+   across all accesses, no fork/join modeling"
+
+let needs_call_events = false
+
+let on_call _ ~thread:_ ~obj_loc:_ ~locks:_ ~site:_ = ()
+
+let on_acquire _ ~thread:_ ~lock:_ = ()
+
+let on_release _ ~thread:_ ~lock:_ = ()
+
+let on_thread_start _ ~parent:_ ~child:_ = ()
+
+let on_thread_join _ ~joiner:_ ~joinee:_ = ()
+
+let on_thread_exit _ ~thread:_ = ()
 
 let races d = List.rev d.races
 

@@ -43,8 +43,40 @@ val on_access_interned :
     scalars.  No [Event.t] is allocated unless the access reports a
     race. *)
 
-val on_access : t -> Event.t -> unit
-(** [on_access_interned] on the fields of a pre-built event. *)
+val id : string
+
+val describe : string
+
+val needs_call_events : bool
+(** [false]: Eraser ignores virtual-call receiver events. *)
+
+val on_call :
+  t ->
+  thread:Event.thread_id ->
+  obj_loc:Event.loc_id ->
+  locks:Drd_core.Lockset_id.id ->
+  site:Event.site_id ->
+  unit
+(** No-op ({!Drd_core.Detector_intf.S} conformance). *)
+
+val on_acquire : t -> thread:Event.thread_id -> lock:Event.lock_id -> unit
+(** No-op: Eraser takes its ordering-free view of the program from the
+    locksets carried by each access alone. *)
+
+val on_release : t -> thread:Event.thread_id -> lock:Event.lock_id -> unit
+(** No-op. *)
+
+val on_thread_start :
+  t -> parent:Event.thread_id -> child:Event.thread_id -> unit
+(** No-op: the absence of fork edges is Eraser's documented
+    imprecision. *)
+
+val on_thread_join :
+  t -> joiner:Event.thread_id -> joinee:Event.thread_id -> unit
+(** No-op: likewise for join edges. *)
+
+val on_thread_exit : t -> thread:Event.thread_id -> unit
+(** No-op. *)
 
 val races : t -> race list
 (** First report per location, in detection order. *)

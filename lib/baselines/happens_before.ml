@@ -96,13 +96,15 @@ let on_thread_join d ~joiner ~joinee =
   Vclock.tick jc joiner
 
 (* The scalar hot path: ordering comes entirely from the
-   synchronization callbacks, so [locks] only matters for the reported
-   event — which is only allocated if this access reports a race. *)
-let on_access_interned d ~loc ~thread ~locks ~kind ~site =
+   synchronization callbacks, so [locks] plays no role at all — it is
+   ignored, and reported events carry the empty lockset so that reports
+   do not vary with instrumentation details the algorithm never reads
+   (this used to be the caller's job; it lives here now). *)
+let on_access_interned d ~loc ~thread ~locks:_ ~kind ~site =
   d.events <- d.events + 1;
   let report_here () =
     report d loc (fun () ->
-        Event.make_interned ~loc ~thread ~locks ~kind ~site)
+        Event.make_interned ~loc ~thread ~locks:Lockset_id.empty ~kind ~site)
   in
   let tc = clock_of d thread in
   let s = loc_state d loc in
@@ -128,9 +130,19 @@ let on_access_interned d ~loc ~thread ~locks ~kind ~site =
       s.write_thread <- thread;
       s.write_clock <- Vclock.get tc thread
 
-let on_access d (e : Event.t) =
-  on_access_interned d ~loc:e.loc ~thread:e.thread ~locks:e.locks
-    ~kind:e.kind ~site:e.site
+(* Detector_intf.S plumbing. *)
+
+let id = "vclock"
+
+let describe =
+  "Vector-clock happens-before detection (Djit/TRaDe style): precise \
+   for the observed order, misses schedule-hidden feasible races"
+
+let needs_call_events = false
+
+let on_call _ ~thread:_ ~obj_loc:_ ~locks:_ ~site:_ = ()
+
+let on_thread_exit _ ~thread:_ = ()
 
 let races d = List.rev d.races
 

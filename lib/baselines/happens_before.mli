@@ -27,13 +27,26 @@ val on_access_interned :
   site:Event.site_id ->
   unit
 (** The primary (hot-path) entry point, mirroring
-    {!Drd_core.Detector.on_access_interned}.  [locks] plays no role in
-    the ordering — that comes entirely from the synchronization
-    callbacks below — and is only recorded in the reported event, which
-    is only allocated if the access reports a race. *)
+    {!Drd_core.Detector.on_access_interned}.  [locks] is ignored: the
+    ordering comes entirely from the synchronization callbacks below,
+    and reported events carry the empty lockset so reports never vary
+    with instrumentation details the algorithm does not read. *)
 
-val on_access : t -> Event.t -> unit
-(** [on_access_interned] on the fields of a pre-built event. *)
+val id : string
+
+val describe : string
+
+val needs_call_events : bool
+(** [false]. *)
+
+val on_call :
+  t ->
+  thread:Event.thread_id ->
+  obj_loc:Event.loc_id ->
+  locks:Drd_core.Lockset_id.id ->
+  site:Event.site_id ->
+  unit
+(** No-op ({!Drd_core.Detector_intf.S} conformance). *)
 
 val on_acquire : t -> thread:Event.thread_id -> lock:Event.lock_id -> unit
 
@@ -44,6 +57,9 @@ val on_thread_start :
 
 val on_thread_join :
   t -> joiner:Event.thread_id -> joinee:Event.thread_id -> unit
+
+val on_thread_exit : t -> thread:Event.thread_id -> unit
+(** No-op: a terminated thread's clock simply stops advancing. *)
 
 val races : t -> race list
 

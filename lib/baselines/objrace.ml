@@ -62,14 +62,34 @@ let on_access_interned d ~loc ~thread ~locks ~kind ~site =
   in
   Hashtbl.replace d.states loc st'
 
-let on_access d (e : Event.t) =
-  on_access_interned d ~loc:e.loc ~thread:e.thread ~locks:e.locks
-    ~kind:e.kind ~site:e.site
-
 (* A virtual method invocation on a receiver object is treated as a
    write access to the object. *)
 let on_call d ~thread ~obj_loc ~locks ~site =
   on_access_interned d ~loc:obj_loc ~thread ~locks ~kind:Event.Write ~site
+
+(* Detector_intf.S plumbing.  Like Eraser, the discipline is refined
+   purely from per-access locksets — synchronization-order hooks are
+   no-ops — but virtual-call receiver events are essential: treating
+   an invocation as a write to the receiver is what defines the
+   technique (and what floods hedc with spurious reports). *)
+
+let id = "objrace"
+
+let describe =
+  "Object race detection (von Praun & Gross 2001): per-object \
+   granularity, virtual calls count as writes to the receiver"
+
+let needs_call_events = true
+
+let on_acquire _ ~thread:_ ~lock:_ = ()
+
+let on_release _ ~thread:_ ~lock:_ = ()
+
+let on_thread_start _ ~parent:_ ~child:_ = ()
+
+let on_thread_join _ ~joiner:_ ~joinee:_ = ()
+
+let on_thread_exit _ ~thread:_ = ()
 
 let races d = List.rev d.races
 

@@ -35,8 +35,13 @@ val on_access_interned :
     scalars.  No [Event.t] is allocated unless the access reports a
     race. *)
 
-val on_access : t -> Event.t -> unit
-(** [on_access_interned] on the fields of a pre-built event. *)
+val id : string
+
+val describe : string
+
+val needs_call_events : bool
+(** [true]: virtual-call receiver events are what distinguish the
+    technique — the driver must route them to {!on_call}. *)
 
 val on_call :
   t ->
@@ -47,6 +52,24 @@ val on_call :
   unit
 (** A virtual method invocation on a receiver: treated as a write to the
     whole object. *)
+
+val on_acquire : t -> thread:Event.thread_id -> lock:Event.lock_id -> unit
+(** No-op ({!Drd_core.Detector_intf.S} conformance): the discipline is
+    refined purely from the locksets carried by each access. *)
+
+val on_release : t -> thread:Event.thread_id -> lock:Event.lock_id -> unit
+(** No-op. *)
+
+val on_thread_start :
+  t -> parent:Event.thread_id -> child:Event.thread_id -> unit
+(** No-op. *)
+
+val on_thread_join :
+  t -> joiner:Event.thread_id -> joinee:Event.thread_id -> unit
+(** No-op. *)
+
+val on_thread_exit : t -> thread:Event.thread_id -> unit
+(** No-op. *)
 
 val races : t -> race list
 

@@ -137,6 +137,33 @@ let vm_config_of (config : Config.t) =
     policy = config.Config.policy;
   }
 
+(* The event sink that drives any Detector_intf.S module: every VM
+   callback routed to the matching hook (unused hooks are no-ops by the
+   interface contract), virtual-call receiver events only when the
+   detector asks for them.  [wrap_access] lets the caller interpose on
+   the access path (event counting, site stats). *)
+let sink_of_module (type a) (module D : Detector_intf.S with type t = a)
+    (d : a) ~wrap_access =
+  {
+    Sink.access =
+      wrap_access (fun ~tid ~loc ~kind ~locks ~site ->
+          D.on_access_interned d ~loc ~thread:tid ~locks ~kind ~site);
+    acquire = (fun ~tid ~lock -> D.on_acquire d ~thread:tid ~lock);
+    release = (fun ~tid ~lock -> D.on_release d ~thread:tid ~lock);
+    thread_start = (fun ~parent ~child -> D.on_thread_start d ~parent ~child);
+    thread_join = (fun ~joiner ~joinee -> D.on_thread_join d ~joiner ~joinee);
+    thread_exit = (fun ~tid -> D.on_thread_exit d ~thread:tid);
+    call =
+      (if D.needs_call_events then
+         Some
+           (fun ~tid ~obj ~locks ~site ->
+             D.on_call d ~thread:tid
+               ~obj_loc:(Memloc.whole_object ~obj)
+               ~locks ~site)
+       else None);
+    spec = None;
+  }
+
 let run ?vm ?tap ?(detect = true) ?(engine = (`Spec : engine))
     ?(site_stats = false) (c : compiled) : result =
   let config = c.config in
@@ -405,53 +432,18 @@ let run ?vm ?tap ?(detect = true) ?(engine = (`Spec : engine))
               Detector.on_release det ~thread:tid ~lock);
           thread_exit = (fun ~tid -> Detector.on_thread_exit det ~thread:tid);
         }
-    | Config.Eraser ->
-        let d = Drd_baselines.Eraser.create () in
-        finishers := [ (fun () -> `Locs (Drd_baselines.Eraser.racy_locs d)) ];
-        {
-          Sink.null with
-          Sink.access =
-            count (fun ~tid ~loc ~kind ~locks ~site ->
-                Drd_baselines.Eraser.on_access_interned d ~loc ~thread:tid
-                  ~locks ~kind ~site);
-        }
-    | Config.ObjRace ->
-        let d = Drd_baselines.Objrace.create () in
-        finishers := [ (fun () -> `Locs (Drd_baselines.Objrace.racy_locs d)) ];
-        {
-          Sink.null with
-          Sink.access =
-            count (fun ~tid ~loc ~kind ~locks ~site ->
-                Drd_baselines.Objrace.on_access_interned d ~loc ~thread:tid
-                  ~locks ~kind ~site);
-          call =
-            Some
-              (fun ~tid ~obj ~locks ~site ->
-                Drd_baselines.Objrace.on_call d ~thread:tid
-                  ~obj_loc:(Memloc.whole_object ~obj)
-                  ~locks ~site);
-        }
-    | Config.HappensBefore ->
-        let module H = Drd_baselines.Happens_before in
-        let d = H.create () in
-        finishers := [ (fun () -> `Locs (H.racy_locs d)) ];
-        {
-          Sink.access =
-            count (fun ~tid ~loc ~kind ~locks:_ ~site ->
-                (* Locksets play no role in happens-before ordering;
-                   keep the reported events lock-free as before. *)
-                H.on_access_interned d ~loc ~thread:tid
-                  ~locks:Lockset_id.empty ~kind ~site);
-          acquire = (fun ~tid ~lock -> H.on_acquire d ~thread:tid ~lock);
-          release = (fun ~tid ~lock -> H.on_release d ~thread:tid ~lock);
-          thread_start =
-            (fun ~parent ~child -> H.on_thread_start d ~parent ~child);
-          thread_join =
-            (fun ~joiner ~joinee -> H.on_thread_join d ~joiner ~joinee);
-          thread_exit = (fun ~tid:_ -> ());
-          call = None;
-          spec = None;
-        }
+    | (Config.Eraser | Config.ObjRace | Config.HappensBefore) as dv ->
+        (* Every baseline goes through the registry's Detector_intf.S
+           module — no per-baseline plumbing. *)
+        let entry =
+          match Registry.of_detector dv with
+          | Some e -> e
+          | None -> assert false
+        in
+        let (module D : Detector_intf.S) = entry.Registry.impl in
+        let d = D.create () in
+        finishers := [ (fun () -> `Locs (D.racy_locs d)) ];
+        sink_of_module (module D) d ~wrap_access:count
   in
   let vm_config =
     match vm with Some v -> v | None -> vm_config_of config
@@ -618,6 +610,71 @@ let detect_post_mortem (config : Config.t) (log : Event_log.t) :
   in
   Event_log.replay log det;
   (collector, Detector.stats det)
+
+(* ---- uniform Detector_intf.S driving (registry / arena) ---- *)
+
+type module_run = {
+  m_races : string list; (* decoded racy location names, sorted *)
+  m_race_count : int;
+  m_events : int;
+  m_steps : int;
+}
+
+(* Run a compiled program with any detector module behind
+   Detector_intf.S — the one code path the differential arena uses for
+   every technique, paper detector included.  The compile-time
+   configuration (granularity, pseudo-locks, schedule) still comes from
+   [c.config] / [?vm]; the module only decides what to do with the
+   event stream. *)
+let run_module ?vm ?(engine = (`Spec : engine))
+    (module D : Detector_intf.S) (c : compiled) : module_run =
+  let d = D.create () in
+  let events = ref 0 in
+  let sink =
+    sink_of_module
+      (module D)
+      d
+      ~wrap_access:(fun f ~tid ~loc ~kind ~locks ~site ->
+        incr events;
+        f ~tid ~loc ~kind ~locks ~site)
+  in
+  let vm_config = match vm with Some v -> v | None -> vm_config_of c.config in
+  let r =
+    match engine with
+    (* No spec handler is installed for module-driven runs, so [`Spec]
+       executes the image generically, exactly like [`Linked]. *)
+    | `Linked | `Spec -> Interp.run ~config:vm_config ~sink c.image
+    | `Ref -> Interp_ref.run ~config:vm_config ~sink c.prog
+  in
+  let describe = Memloc.describe c.prog.Ir.p_tprog r.Interp.r_heap in
+  {
+    m_races = D.racy_locs d |> List.map describe |> List.sort compare;
+    m_race_count = D.race_count d;
+    m_events = !events;
+    m_steps = r.Interp.r_steps;
+  }
+
+(* Post-mortem replay of a recorded log through any detector module:
+   the generic sibling of {!detect_post_mortem} (which keeps the paper
+   detector's full stats). *)
+let replay_module (module D : Detector_intf.S) (log : Event_log.t) :
+    Event.loc_id list * int =
+  let d = D.create () in
+  Event_log.iter
+    (fun entry ->
+      match entry with
+      | Event_log.Access e ->
+          D.on_access_interned d ~loc:e.Event.loc ~thread:e.Event.thread
+            ~locks:e.Event.locks ~kind:e.Event.kind ~site:e.Event.site
+      | Event_log.Acquire (t, l) -> D.on_acquire d ~thread:t ~lock:l
+      | Event_log.Release (t, l) -> D.on_release d ~thread:t ~lock:l
+      | Event_log.Thread_start (p, ch) ->
+          D.on_thread_start d ~parent:p ~child:ch
+      | Event_log.Thread_join (j, je) ->
+          D.on_thread_join d ~joiner:j ~joinee:je
+      | Event_log.Thread_exit t -> D.on_thread_exit d ~thread:t)
+    log;
+  (D.racy_locs d, D.events_seen d)
 
 let names_of (c : compiled) (r : result) : Names.t =
   let names = Names.create () in

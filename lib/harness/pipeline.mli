@@ -117,3 +117,54 @@ val detect_post_mortem :
 (** Post-mortem mode, phase 2: run the detection phase off-line over a
     recorded log.  Produces exactly the online reports for the same
     configuration. *)
+
+val sink_of_module :
+  (module Detector_intf.S with type t = 'a) ->
+  'a ->
+  wrap_access:
+    ((tid:Event.thread_id ->
+     loc:Event.loc_id ->
+     kind:Event.kind ->
+     locks:Lockset_id.id ->
+     site:Event.site_id ->
+     unit) ->
+    tid:Event.thread_id ->
+    loc:Event.loc_id ->
+    kind:Event.kind ->
+    locks:Lockset_id.id ->
+    site:Event.site_id ->
+    unit) ->
+  Drd_vm.Sink.t
+(** The event sink driving one {!Detector_intf.S} instance: every VM
+    callback routed to the matching hook, virtual-call receiver events
+    only when the detector asks for them ([needs_call_events]).
+    [wrap_access] interposes on the access path (event counting). *)
+
+type module_run = {
+  m_races : string list;
+      (** Decoded racy location names, sorted (one per location). *)
+  m_race_count : int;
+  m_events : int;  (** Access events emitted by the program. *)
+  m_steps : int;  (** Instructions executed. *)
+}
+
+val run_module :
+  ?vm:Interp.config ->
+  ?engine:engine ->
+  (module Detector_intf.S) ->
+  compiled ->
+  module_run
+(** Execute a compiled program with {e any} detector behind
+    {!Detector_intf.S} — the one code path the differential arena uses
+    for every technique, the paper detector
+    ({!Detector.Standard}) included.  Granularity, pseudo-locks and the
+    schedule still come from [compiled.config] (override with [?vm]);
+    the module only consumes the event stream.  Module-driven runs
+    install no specialized-trace handler, so [`Spec] behaves exactly
+    like [`Linked]. *)
+
+val replay_module :
+  (module Detector_intf.S) -> Event_log.t -> Event.loc_id list * int
+(** Post-mortem replay of a recorded log through any detector module:
+    [(racy locations, events seen)].  The generic sibling of
+    {!detect_post_mortem}. *)

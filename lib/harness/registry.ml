@@ -1,0 +1,89 @@
+open Drd_core
+
+(* The name-keyed detector registry: one row per race-detection
+   technique the repo implements, each packaged behind
+   Detector_intf.S.  `racedet run/detect/arena --detector NAME` and
+   the differential arena resolve techniques here instead of carrying
+   per-baseline plumbing. *)
+
+type entry = {
+  name : string;
+  aliases : string list;
+  detector : Config.detector; (* the Config variant the name denotes *)
+  impl : (module Detector_intf.S);
+}
+
+let all =
+  [
+    {
+      name = "paper";
+      aliases = [ "ours" ];
+      detector = Config.Ours;
+      impl = (module Detector.Standard : Detector_intf.S);
+    };
+    {
+      name = "eraser";
+      aliases = [];
+      detector = Config.Eraser;
+      impl = (module Drd_baselines.Eraser : Detector_intf.S);
+    };
+    {
+      name = "objrace";
+      aliases = [ "objectrace" ];
+      detector = Config.ObjRace;
+      impl = (module Drd_baselines.Objrace : Detector_intf.S);
+    };
+    {
+      name = "vclock";
+      aliases = [ "hb"; "happens-before" ];
+      detector = Config.HappensBefore;
+      impl = (module Drd_baselines.Happens_before : Detector_intf.S);
+    };
+  ]
+
+let names () = List.map (fun e -> e.name) all
+
+let find name =
+  let name = String.lowercase_ascii name in
+  List.find_opt (fun e -> e.name = name || List.mem name e.aliases) all
+
+let of_detector (d : Config.detector) =
+  match d with
+  | Config.NoDetect -> None
+  | _ -> List.find_opt (fun e -> e.detector = d) all
+
+let describe e =
+  let (module D : Detector_intf.S) = e.impl in
+  D.describe
+
+(* The canonical harness configuration for running [e]: the paper
+   detector keeps the caller's configuration when it already selects
+   it (so `-c NoCache --detector paper` still means NoCache) and the
+   baselines take their standard rows — everything instrumented, no
+   static filtering, no join pseudo-locks, object granularity for
+   objrace — with the caller's schedule parameters carried over. *)
+let apply e (c : Config.t) =
+  match e.detector with
+  | Config.Ours ->
+      if c.Config.detector = Config.Ours then c
+      else
+        {
+          Config.full with
+          Config.seed = c.Config.seed;
+          quantum = c.Config.quantum;
+          policy = c.Config.policy;
+        }
+  | det ->
+      let row =
+        match det with
+        | Config.Eraser -> Config.eraser
+        | Config.ObjRace -> Config.objrace
+        | Config.HappensBefore -> Config.happens_before
+        | Config.Ours | Config.NoDetect -> assert false
+      in
+      {
+        row with
+        Config.seed = c.Config.seed;
+        quantum = c.Config.quantum;
+        policy = c.Config.policy;
+      }

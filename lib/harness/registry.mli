@@ -1,0 +1,38 @@
+(** The name-keyed detector registry.
+
+    One row per race-detection technique, each packaged behind
+    {!Drd_core.Detector_intf.S}: the paper detector
+    ({!Drd_core.Detector.Standard}) plus the three baselines.  The CLI
+    (`--detector NAME`) and the differential arena resolve techniques
+    here; `lib/harness/pipeline.ml` drives whichever module a
+    configuration denotes through the one interface instead of
+    per-baseline plumbing. *)
+
+type entry = {
+  name : string;  (** Canonical registry name, e.g. ["vclock"]. *)
+  aliases : string list;  (** Accepted synonyms, e.g. ["hb"]. *)
+  detector : Config.detector;
+      (** The configuration variant the name denotes. *)
+  impl : (module Drd_core.Detector_intf.S);
+}
+
+val all : entry list
+(** [paper], [eraser], [objrace], [vclock] — in presentation order. *)
+
+val names : unit -> string list
+
+val find : string -> entry option
+(** Case-insensitive lookup by name or alias. *)
+
+val of_detector : Config.detector -> entry option
+(** The entry implementing a configuration's detector; [None] for
+    [NoDetect]. *)
+
+val describe : entry -> string
+
+val apply : entry -> Config.t -> Config.t
+(** The canonical harness configuration for running [entry]: keeps the
+    caller's configuration when it already selects the paper detector,
+    otherwise the baseline's standard row (no static filtering, no join
+    pseudo-locks, per-object granularity for objrace) with the caller's
+    seed/quantum/policy carried over. *)

@@ -73,76 +73,53 @@ type baseline = Eraser | ObjRace | HappensBefore
 let run_baseline ?(seed = 42) ?(quantum = 20) baseline source =
   let prog = compile source in
   Insert.instrument prog;
-  let module E = Drd_baselines.Eraser in
-  let module O = Drd_baselines.Objrace in
-  let module H = Drd_baselines.Happens_before in
-  let granularity = ref Memloc.Per_field in
-  let sink =
+  let granularity =
     match baseline with
-    | Eraser ->
-        let d = E.create () in
-        let s =
-          {
-            Sink.null with
-            Sink.access =
-              (fun ~tid ~loc ~kind ~locks ~site ->
-                E.on_access d
-                  (Event.make_interned ~loc ~thread:tid ~locks ~kind ~site));
-          }
-        in
-        (s, fun () -> E.racy_locs d)
-    | ObjRace ->
-        granularity := Memloc.Per_object;
-        let d = O.create () in
-        let s =
-          {
-            Sink.null with
-            Sink.access =
-              (fun ~tid ~loc ~kind ~locks ~site ->
-                O.on_access d
-                  (Event.make_interned ~loc ~thread:tid ~locks ~kind ~site));
-            call =
-              Some
-                (fun ~tid ~obj ~locks ~site ->
-                  O.on_call d ~thread:tid
-                    ~obj_loc:(Memloc.whole_object ~obj)
-                    ~locks ~site);
-          }
-        in
-        (s, fun () -> O.racy_locs d)
-    | HappensBefore ->
-        let d = H.create () in
-        let s =
-          {
-            Sink.access =
-              (fun ~tid ~loc ~kind ~locks:_ ~site ->
-                H.on_access d
-                  (Event.make_interned ~loc ~thread:tid
-                     ~locks:Lockset_id.empty ~kind ~site));
-            acquire = (fun ~tid ~lock -> H.on_acquire d ~thread:tid ~lock);
-            release = (fun ~tid ~lock -> H.on_release d ~thread:tid ~lock);
-            thread_start = (fun ~parent ~child -> H.on_thread_start d ~parent ~child);
-            thread_join = (fun ~joiner ~joinee -> H.on_thread_join d ~joiner ~joinee);
-            thread_exit = (fun ~tid:_ -> ());
-            call = None;
-            spec = None;
-          }
-        in
-        (s, fun () -> H.racy_locs d)
+    | ObjRace -> Memloc.Per_object
+    | Eraser | HappensBefore -> Memloc.Per_field
   in
-  let sink, get = sink in
+  let (module D : Detector_intf.S) =
+    match baseline with
+    | Eraser -> (module Drd_baselines.Eraser)
+    | ObjRace -> (module Drd_baselines.Objrace)
+    | HappensBefore -> (module Drd_baselines.Happens_before)
+  in
+  let d = D.create () in
+  let sink =
+    {
+      Sink.access =
+        (fun ~tid ~loc ~kind ~locks ~site ->
+          D.on_access_interned d ~loc ~thread:tid ~locks ~kind ~site);
+      acquire = (fun ~tid ~lock -> D.on_acquire d ~thread:tid ~lock);
+      release = (fun ~tid ~lock -> D.on_release d ~thread:tid ~lock);
+      thread_start =
+        (fun ~parent ~child -> D.on_thread_start d ~parent ~child);
+      thread_join =
+        (fun ~joiner ~joinee -> D.on_thread_join d ~joiner ~joinee);
+      thread_exit = (fun ~tid -> D.on_thread_exit d ~thread:tid);
+      call =
+        (if D.needs_call_events then
+           Some
+             (fun ~tid ~obj ~locks ~site ->
+               D.on_call d ~thread:tid
+                 ~obj_loc:(Memloc.whole_object ~obj)
+                 ~locks ~site)
+         else None);
+      spec = None;
+    }
+  in
   let config =
     {
       Interp.default_config with
       seed;
       quantum;
-      granularity = !granularity;
+      granularity;
       pseudo_locks = false;
     }
   in
   let result = Interp.run ~config ~sink (Link.link prog) in
   let locs =
-    get ()
+    D.racy_locs d
     |> List.map (Memloc.describe prog.Drd_ir.Ir.p_tprog result.Interp.r_heap)
     |> List.sort compare
   in

@@ -9,29 +9,34 @@ module H = Drd_baselines.Happens_before
 module V = Drd_baselines.Vclock
 open Drd_core
 
-let ev ?(loc = 0) ?(thread = 0) ?(locks = []) ?(kind = Event.Read) () =
-  Event.make ~loc ~thread ~locks:(Event.Lockset.of_list locks) ~kind ~site:0
+(* Feed one access through the common Detector_intf.S entry point —
+   the only access path the baselines expose now that the Event.t
+   wrappers are gone. *)
+let access (type a) (module D : Detector_intf.S with type t = a) (d : a)
+    ?(loc = 0) ?(thread = 0) ?(locks = []) ?(kind = Event.Read) () =
+  D.on_access_interned d ~loc ~thread ~locks:(Lockset_id.of_list locks) ~kind
+    ~site:0
 
 (* ---- Eraser unit tests ---- *)
 
 let test_eraser_states () =
   let d = E.create () in
   (* Initialization by one thread is exempt. *)
-  E.on_access d (ev ~thread:1 ~kind:Event.Write ());
-  E.on_access d (ev ~thread:1 ~kind:Event.Write ());
+  access (module E) d ~thread:1 ~kind:Event.Write ();
+  access (module E) d ~thread:1 ~kind:Event.Write ();
   Alcotest.(check int) "exclusive quiet" 0 (E.race_count d);
   (* Read-shared without locks: still no error. *)
-  E.on_access d (ev ~thread:2 ~kind:Event.Read ());
+  access (module E) d ~thread:2 ~kind:Event.Read ();
   Alcotest.(check int) "read-shared quiet" 0 (E.race_count d);
   (* A write with empty candidate set: race. *)
-  E.on_access d (ev ~thread:1 ~kind:Event.Write ());
+  access (module E) d ~thread:1 ~kind:Event.Write ();
   Alcotest.(check int) "write to shared reports" 1 (E.race_count d)
 
 let test_eraser_consistent_lock_quiet () =
   let d = E.create () in
-  E.on_access d (ev ~thread:1 ~locks:[ 7 ] ~kind:Event.Write ());
-  E.on_access d (ev ~thread:2 ~locks:[ 7 ] ~kind:Event.Write ());
-  E.on_access d (ev ~thread:1 ~locks:[ 7; 8 ] ~kind:Event.Read ());
+  access (module E) d ~thread:1 ~locks:[ 7 ] ~kind:Event.Write ();
+  access (module E) d ~thread:2 ~locks:[ 7 ] ~kind:Event.Write ();
+  access (module E) d ~thread:1 ~locks:[ 7; 8 ] ~kind:Event.Read ();
   Alcotest.(check int) "common lock" 0 (E.race_count d)
 
 let test_eraser_rejects_mutually_intersecting () =
@@ -39,14 +44,14 @@ let test_eraser_rejects_mutually_intersecting () =
      mutually intersecting but share no single common lock — Eraser
      reports, our detector does not. *)
   let d = E.create () in
-  E.on_access d (ev ~thread:1 ~locks:[ 1; 3 ] ~kind:Event.Write ());
-  E.on_access d (ev ~thread:2 ~locks:[ 2; 3 ] ~kind:Event.Write ());
+  access (module E) d ~thread:1 ~locks:[ 1; 3 ] ~kind:Event.Write ();
+  access (module E) d ~thread:2 ~locks:[ 2; 3 ] ~kind:Event.Write ();
   (* T1 accesses again now that the location is shared, so its lockset
      {1,3} also refines the candidate set (Exclusive-state accesses are
      exempt in Eraser). *)
-  E.on_access d (ev ~thread:1 ~locks:[ 1; 3 ] ~kind:Event.Write ());
+  access (module E) d ~thread:1 ~locks:[ 1; 3 ] ~kind:Event.Write ();
   Alcotest.(check int) "no single common lock yet no report" 0 (E.race_count d);
-  E.on_access d (ev ~thread:0 ~locks:[ 1; 2 ] ~kind:Event.Read ());
+  access (module E) d ~thread:0 ~locks:[ 1; 2 ] ~kind:Event.Read ();
   Alcotest.(check int) "Eraser flags it" 1 (E.race_count d)
 
 (* ---- Vector clock unit tests ---- *)
@@ -65,22 +70,22 @@ let test_vclock_laws () =
 let test_hb_direct () =
   let d = H.create () in
   (* T0 writes, then start-edge to T1, T1 reads: ordered, quiet. *)
-  H.on_access d (ev ~thread:0 ~kind:Event.Write ());
+  access (module H) d ~thread:0 ~kind:Event.Write ();
   H.on_thread_start d ~parent:0 ~child:1;
-  H.on_access d (ev ~thread:1 ~kind:Event.Read ());
+  access (module H) d ~thread:1 ~kind:Event.Read ();
   Alcotest.(check int) "start edge orders" 0 (H.race_count d);
   (* Unordered concurrent write by T2. *)
   H.on_thread_start d ~parent:0 ~child:2;
-  H.on_access d (ev ~thread:2 ~kind:Event.Write ());
+  access (module H) d ~thread:2 ~kind:Event.Write ();
   Alcotest.(check int) "unordered write races" 1 (H.race_count d)
 
 let test_hb_lock_transfer () =
   let d = H.create () in
   H.on_acquire d ~thread:0 ~lock:9;
-  H.on_access d (ev ~thread:0 ~kind:Event.Write ());
+  access (module H) d ~thread:0 ~kind:Event.Write ();
   H.on_release d ~thread:0 ~lock:9;
   H.on_acquire d ~thread:1 ~lock:9;
-  H.on_access d (ev ~thread:1 ~kind:Event.Write ());
+  access (module H) d ~thread:1 ~kind:Event.Write ();
   H.on_release d ~thread:1 ~lock:9;
   Alcotest.(check int) "lock edge orders" 0 (H.race_count d)
 

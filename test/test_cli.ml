@@ -99,7 +99,39 @@ let test_cli_misuse_is_exit_124 () =
   let code, _, _ = run [ "serve"; "--evict-high"; "2"; "--evict-low"; "5" ] in
   Alcotest.(check int) "inverted watermarks: exit 124" 124 code;
   let code, _, _ = run [ "serve"; "--evict-low"; "3" ] in
-  Alcotest.(check int) "low without high: exit 124" 124 code
+  Alcotest.(check int) "low without high: exit 124" 124 code;
+  let code, _, err = run [ "run"; "-b"; "figure2"; "--detector"; "nosuch" ] in
+  Alcotest.(check int) "unknown detector: exit 124" 124 code;
+  Alcotest.(check bool) "diagnostic lists the registry" true
+    (contains err "paper");
+  let code, _, _ = run [ "arena"; "-n"; "1"; "--fail-on-miss"; "bogus" ] in
+  Alcotest.(check int) "unknown --fail-on-miss detector: exit 124" 124 code
+
+let test_run_detector_flag () =
+  let code, out, _ =
+    run [ "run"; "-b"; "figure2"; "--detector"; "eraser" ]
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "baseline row selected by name" true
+    (contains out "Dataraces reported by Eraser");
+  (* The alias goes through the same registry row. *)
+  let code, out_alias, _ =
+    run [ "run"; "-b"; "figure2"; "--detector"; "hb" ]
+  in
+  Alcotest.(check int) "alias exit 0" 0 code;
+  Alcotest.(check bool) "hb alias selects HappensBefore" true
+    (contains out_alias "Dataraces reported by HappensBefore")
+
+let test_arena_json_deterministic () =
+  let args = [ "arena"; "-n"; "12"; "--seed"; "7"; "--json" ] in
+  let code1, out1, err1 = run args in
+  let code2, out2, _ = run args in
+  Alcotest.(check int) "exit 0" 0 code1;
+  Alcotest.(check int) "exit 0 again" 0 code2;
+  Alcotest.(check string) "stderr silent" "" err1;
+  Alcotest.(check bool) "stdout is the JSON report" true
+    (String.length out1 > 0 && out1.[0] = '{');
+  Alcotest.(check string) "byte-identical across invocations" out1 out2
 
 let test_serve_stdin_matches_detect () =
   with_log good_log (fun log ->
@@ -142,4 +174,8 @@ let suite =
       (fun () -> test_serve_stdin_matches_detect ());
     Alcotest.test_case "serve rejects malformed payload with exit 2" `Quick
       (fun () -> test_serve_stdin_malformed_is_exit_2 ());
+    Alcotest.test_case "run --detector selects registry rows" `Quick
+      (fun () -> test_run_detector_flag ());
+    Alcotest.test_case "arena --json is byte-deterministic" `Quick (fun () ->
+        test_arena_json_deterministic ());
   ]

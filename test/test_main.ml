@@ -33,5 +33,6 @@ let () =
       ("vm_golden", Test_vm_golden.suite);
       ("evict", Test_evict.suite);
       ("serve", Test_serve.suite);
+      ("arena", Test_arena.suite);
       ("cli", Test_cli.suite);
     ]
