@@ -226,27 +226,73 @@ let explore_bench ~quick ~json () =
     E.Explore.spec ~strategy:(E.Strategy.Pct 3) ~workers
       ~budget:(E.Explore.runs_budget runs) H.Config.full
   in
+  let report_bytes r =
+    ( E.Explore.report_text ~timing:false ~target:"-b tsp" r,
+      E.Explore.report_json ~timing:false r )
+  in
   fpf "Exploration engine throughput (pct, tsp, %d runs/campaign)@." runs;
-  fpf "%8s %10s %12s %14s %9s@." "workers" "wall" "runs/s" "events/s" "races";
+  fpf "%8s %6s %10s %12s %14s %9s@." "workers" "batch" "wall" "runs/s"
+    "events/s" "races";
   let rows =
     List.map
       (fun workers ->
         let r = E.Explore.run_campaign (spec workers) ~source:b.H.Programs.b_source in
         let rps = E.Explore.runs_per_sec r in
-        fpf "%8d %9.2fs %12.1f %14.0f %9d@." workers r.E.Explore.r_wall rps
+        let batch = E.Pool.default_batch ~workers ~total:runs in
+        fpf "%8d %6d %9.2fs %12.1f %14.0f %9d@." workers batch
+          r.E.Explore.r_wall rps
           (E.Explore.events_per_sec r)
           r.E.Explore.r_stats.E.Aggregate.st_distinct_races;
-        (workers, r, rps))
+        (workers, batch, r, rps))
       [ 1; 2; 4 ]
   in
-  let rps_of w = match List.find_opt (fun (w', _, _) -> w' = w) rows with
-    | Some (_, _, rps) -> rps
+  (* The scaling claim is only worth stamping if the outputs agree:
+     every worker count must render the identical report. *)
+  let reports_identical =
+    match rows with
+    | (_, _, r1, _) :: rest ->
+        let base = report_bytes r1 in
+        List.for_all (fun (_, _, r, _) -> report_bytes r = base) rest
+    | [] -> false
+  in
+  if not reports_identical then
+    failwith "explore bench: reports differ across worker counts";
+  let rps_of w = match List.find_opt (fun (w', _, _, _) -> w' = w) rows with
+    | Some (_, _, _, rps) -> rps
     | None -> 0.
   in
   let speedup w = rps_of w /. Float.max (rps_of 1) 1e-9 in
   let cores = Domain.recommended_domain_count () in
-  fpf "speedup: 2 workers %.2fx, 4 workers %.2fx (%d core%s available)@.@."
-    (speedup 2) (speedup 4) cores (if cores = 1 then "" else "s");
+  fpf "speedup: 2 workers %.2fx, 4 workers %.2fx (%d core%s available, \
+       reports identical: %b)@.@."
+    (speedup 2) (speedup 4) cores (if cores = 1 then "" else "s")
+    reports_identical;
+  (* Hand-off granularity: same campaign, same workers, forced batch
+     sizes.  The report is byte-identical at every size (asserted); the
+     sweep shows what the per-claim overhead costs at batch 1 and what
+     the default claws back. *)
+  let batch_workers = 2 in
+  fpf "Work-queue batch sweep (%d workers, %d runs)@." batch_workers runs;
+  fpf "%8s %10s %12s@." "batch" "wall" "runs/s";
+  let batch_rows =
+    let base = ref None in
+    List.map
+      (fun batch ->
+        let r =
+          E.Explore.run_campaign ~batch (spec batch_workers)
+            ~source:b.H.Programs.b_source
+        in
+        (match !base with
+        | None -> base := Some (report_bytes r)
+        | Some bytes ->
+            if report_bytes r <> bytes then
+              failwith "explore bench: reports differ across batch sizes");
+        let rps = E.Explore.runs_per_sec r in
+        fpf "%8d %9.2fs %12.1f@." batch r.E.Explore.r_wall rps;
+        (batch, r, rps))
+      [ 1; 4; 16 ]
+  in
+  fpf "@.";
   (* Happens-before replay pruning: how many detector replays --equiv hb
      skips on PCT campaigns, with the invariant that the deduped race
      report stays identical to the raw-equivalence campaign's. *)
@@ -293,19 +339,27 @@ let explore_bench ~quick ~json () =
         bpf "  \"benchmark\": \"tsp\",\n  \"strategy\": \"pct(d=3)\",\n";
         bpf "  \"runs_per_campaign\": %d,\n" runs;
         bpf "  \"recommended_domain_count\": %d,\n" cores;
+        bpf "  \"reports_identical\": %b,\n" reports_identical;
         bpf "  \"workers\": [\n";
-        bpf_elems buf rows (fun buf (workers, r, rps) ->
+        bpf_elems buf rows (fun buf (workers, batch, r, rps) ->
             Printf.bprintf buf
-              "    { \"workers\": %d, \"wall_s\": %.4f, \"runs_per_sec\": \
-               %.2f, \"events_per_sec\": %.1f, \
+              "    { \"workers\": %d, \"batch\": %d, \"wall_s\": %.4f, \
+               \"runs_per_sec\": %.2f, \"events_per_sec\": %.1f, \
                \"events_per_sec_per_worker\": %.1f, \"distinct_races\": %d }"
-              workers r.E.Explore.r_wall rps
+              workers batch r.E.Explore.r_wall rps
               (E.Explore.events_per_sec r)
               (E.Explore.events_per_sec_per_worker r)
               r.E.Explore.r_stats.E.Aggregate.st_distinct_races);
         bpf "  ],\n";
         bpf "  \"speedup_2_workers\": %.3f,\n  \"speedup_4_workers\": %.3f,\n"
           (speedup 2) (speedup 4);
+        bpf "  \"batch_sweep\": [\n";
+        bpf_elems buf batch_rows (fun buf (batch, r, rps) ->
+            Printf.bprintf buf
+              "    { \"workers\": %d, \"batch\": %d, \"wall_s\": %.4f, \
+               \"runs_per_sec\": %.2f }"
+              batch_workers batch r.E.Explore.r_wall rps);
+        bpf "  ],\n";
         bpf "  \"hb_pruning\": [\n";
         bpf_elems buf hb_rows
           (fun buf (name, runs, horizon, classes, pruned, rate, races_match) ->

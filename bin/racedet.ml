@@ -40,6 +40,16 @@ let data_error fmt =
       exit data_error_exit)
     fmt
 
+(* A program that fails to compile — lex, parse or type error — is
+   command-line misuse (the user pointed the tool at bad source), not
+   malformed input data and not an internal error: route the frontend
+   diagnostic through cmdliner's error path, exit 124.  Campaigns
+   compile once up-front (Pipeline.compile in Explore.run_campaign), so
+   a bad program is fatal before any worker domain starts, never a
+   per-run failure row. *)
+let or_compile_error f =
+  try f () with H.Pipeline.Compile_error msg -> `Error (false, msg)
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -238,6 +248,17 @@ let workers_arg =
     & info [ "w"; "workers" ] ~docv:"N"
         ~doc:"Parallel worker domains to fan runs out over.")
 
+let batch_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "batch" ] ~docv:"N"
+        ~doc:
+          "Runs per work-queue claim (default: scaled to the budget and \
+           worker count).  The report is byte-identical for every batch \
+           size; the knob only trades hand-off overhead against \
+           adaptive-budget overshoot.")
+
 let runs_arg =
   Arg.(
     value & opt int 64
@@ -397,6 +418,7 @@ let site_stats_json compiled (r : H.Pipeline.result) =
 
 let run_cmd_impl file benchmark config_name detector seed quantum pct
     pct_horizon engine no_specialize site_stats verbose json =
+  or_compile_error @@ fun () ->
   let engine : H.Pipeline.engine =
     if no_specialize && engine = `Spec then `Linked else engine
   in
@@ -517,6 +539,7 @@ let analyze_cmd =
 (* ---- ir ---- *)
 
 let ir_impl file benchmark config_name meth =
+  or_compile_error @@ fun () ->
   match load_source file benchmark with
   | Error e -> `Error (false, e)
   | Ok source -> (
@@ -548,6 +571,7 @@ let ir_cmd =
 (* ---- record / detect: post-mortem mode (paper Section 1) ---- *)
 
 let record_impl file benchmark out =
+  or_compile_error @@ fun () ->
   match load_source file benchmark with
   | Error e -> `Error (false, e)
   | Ok source ->
@@ -801,9 +825,14 @@ let parse_shard = function
           | Some i, Some n when n >= 1 && i >= 0 && i < n -> Ok (Some (i, n))
           | _ -> bad ()))
 
-let explore_impl file benchmark config_name strategy depth workers runs
-    max_seconds plateau seed quantum pct_horizon equiv shard emit_obs
+let explore_impl file benchmark config_name strategy depth workers batch
+    runs max_seconds plateau seed quantum pct_horizon equiv shard emit_obs
     no_timing json =
+  or_compile_error @@ fun () ->
+  match batch with
+  | Some b when b < 1 ->
+      `Error (false, Printf.sprintf "bad --batch %d (want >= 1)" b)
+  | _ -> (
   match load_source file benchmark with
   | Error e -> `Error (false, e)
   | Ok source -> (
@@ -829,7 +858,7 @@ let explore_impl file benchmark config_name strategy depth workers runs
                       ~budget:(E.Explore.budget ?seconds:max_seconds ?plateau runs)
                       ~pct_horizon ~equiv config
                   in
-                  let r = E.Explore.run_campaign ?shard sp ~source in
+                  let r = E.Explore.run_campaign ?shard ?batch sp ~source in
                   let target = target_of file benchmark in
                   (match emit_obs with
                   | Some path ->
@@ -854,7 +883,7 @@ let explore_impl file benchmark config_name strategy depth workers runs
                         print_string
                           (E.Explore.report_text ~timing:(not no_timing)
                              ~target r));
-                  `Ok ()))))
+                  `Ok ())))))
 
 let explore_cmd =
   let doc =
@@ -919,7 +948,8 @@ let explore_cmd =
     Term.(
       ret
         (const explore_impl $ file_arg $ benchmark_arg $ config_arg
-       $ strategy_arg $ depth_arg $ workers_arg $ runs_arg $ max_seconds
+       $ strategy_arg $ depth_arg $ workers_arg $ batch_arg $ runs_arg
+       $ max_seconds
        $ plateau $ seed_arg $ quantum_arg $ pct_horizon_arg $ equiv $ shard
        $ emit_obs $ no_timing_arg $ json_arg))
 

@@ -216,6 +216,13 @@ let add_failure t (f : failure) =
 
 let add_row t = function Run o -> add_run t o | Failed f -> add_failure t f
 
+(* Rows from pool workers / merged shards arrive in completion order;
+   re-establish run-index order here so the fold semantics (first-seen
+   attribution, plateau cutoff) never depend on scheduling. *)
+let add_rows t rows =
+  List.sort (fun a b -> compare (row_index a) (row_index b)) rows
+  |> List.iter (add_row t)
+
 let note_deadline t = t.deadline_hit <- true
 
 let races t =

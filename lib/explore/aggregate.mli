@@ -100,6 +100,10 @@ val add_failure : t -> failure -> unit
 
 val add_row : t -> row -> unit
 
+val add_rows : t -> row list -> unit
+(** Sort by {!row_index} and fold: the entry point for rows collected in
+    completion order (pool worker outboxes, merged shard files). *)
+
 val note_deadline : t -> unit
 (** Runner-only: mark that the wall-clock budget cut the campaign short.
     Reported as the stop reason unless a plateau already tripped. *)

@@ -77,6 +77,15 @@ let equal_spec a b =
    set; how many domains each shard fanned out over does not. *)
 let compatible a b = equal_spec { a with e_workers = 0 } { b with e_workers = 0 }
 
+(* Shard index arithmetic, shared by the runner and its tests so the
+   ownership law lives in exactly one place: shard [i] of [n] owns the
+   run indices congruent to [i] mod [n], its [k]-th work ordinal being
+   run index [i + k*n]. *)
+let shard_index ~shard_i ~shard_n k = shard_i + (k * shard_n)
+
+let owned_count ~shard_i ~shard_n ~total =
+  if total <= shard_i then 0 else (total - shard_i + shard_n - 1) / shard_n
+
 let pp_spec ppf s =
   Fmt.pf ppf
     "%s (seed %d, quantum %d), %s, %a, pct-horizon %d, %s equivalence, %d \

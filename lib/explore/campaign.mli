@@ -81,4 +81,13 @@ val compatible : spec -> spec -> bool
     and is ignored.  This is the check [racedet merge] applies across
     shard files. *)
 
+val shard_index : shard_i:int -> shard_n:int -> int -> int
+(** [shard_index ~shard_i ~shard_n k] is the run index of shard
+    [shard_i]-of-[shard_n]'s [k]-th work ordinal: [shard_i + k*shard_n].
+    Shard [i] owns exactly the indices congruent to [i] mod [n]. *)
+
+val owned_count : shard_i:int -> shard_n:int -> total:int -> int
+(** How many of the [total] campaign run indices shard
+    [shard_i]-of-[shard_n] owns. *)
+
 val pp_spec : spec Fmt.t

@@ -165,29 +165,42 @@ let observe_run (c : Pipeline.compiled) (sp : Strategy.run_spec) :
    to the detector, so its report is identical too — which is what
    keeps a pruned campaign's deduped races equal to an unpruned one's.
 
-   The cache is best-effort and process-local (shards each start cold;
-   workers may race to claim a class and both replay).  That only costs
-   duplicate work, never changes a report: the authoritative
+   The cache is best-effort, and each pool worker keeps a {e
+   domain-local} shard of it — lookups and stores in the run hot loop
+   touch no lock at all.  Workers trade discoveries through a shared
+   append-only journal at batch boundaries ({!seen_sync}: one critical
+   section per claimed chunk), so a class replayed by one worker is
+   pruned by the others a chunk later.  Two workers can still replay a
+   class they discovered concurrently, and shards each start cold.
+   That only costs duplicate work, never changes a report: equivalent
+   schedules produce identical sightings, and the authoritative
    pruned/class statistics are re-derived deterministically from the
    recorded hb fingerprints by the Aggregate fold. *)
 
+type seen_rep = Aggregate.sighting list * string list
+
 type seen_classes = {
-  sn_mu : Mutex.t;
-  sn_tbl : (int, Aggregate.sighting list * string list) Hashtbl.t;
+  sn_tbl : (int, seen_rep) Hashtbl.t; (* domain-local: lock-free *)
+  mutable sn_fresh : (int * seen_rep) list;
+      (* locally discovered since the last sync, newest first *)
+  mutable sn_cursor : int; (* journal read position *)
 }
 
-let seen_make () = { sn_mu = Mutex.create (); sn_tbl = Hashtbl.create 64 }
+let seen_make () =
+  { sn_tbl = Hashtbl.create 64; sn_fresh = []; sn_cursor = 0 }
 
-let seen_find seen hb =
-  Mutex.lock seen.sn_mu;
-  let v = Hashtbl.find_opt seen.sn_tbl hb in
-  Mutex.unlock seen.sn_mu;
-  v
-
-let seen_store seen hb rep =
-  Mutex.lock seen.sn_mu;
-  if not (Hashtbl.mem seen.sn_tbl hb) then Hashtbl.add seen.sn_tbl hb rep;
-  Mutex.unlock seen.sn_mu
+(* Batch-boundary exchange: publish local discoveries, absorb foreign
+   ones.  The cursor lands past our own entries, so nothing is read
+   back. *)
+let seen_sync journal seen =
+  let publish = List.rev seen.sn_fresh in
+  seen.sn_fresh <- [];
+  let news, cursor = Pool.exchange journal ~cursor:seen.sn_cursor ~publish in
+  seen.sn_cursor <- cursor;
+  List.iter
+    (fun (hb, rep) ->
+      if not (Hashtbl.mem seen.sn_tbl hb) then Hashtbl.add seen.sn_tbl hb rep)
+    news
 
 let observe_run_hb (c : Pipeline.compiled) (sp : Strategy.run_spec) ~seen :
     Aggregate.run_obs =
@@ -197,13 +210,14 @@ let observe_run_hb (c : Pipeline.compiled) (sp : Strategy.run_spec) ~seen :
   let r1 = Pipeline.run ~vm ~tap:(Sink.tee raw_tap hb_tap) ~detect:false c in
   let hb = hb_fp () in
   let sightings, objects, wall =
-    match seen_find seen hb with
+    match Hashtbl.find_opt seen.sn_tbl hb with
     | Some (sightings, objects) -> (sightings, objects, r1.Pipeline.wall_time)
     | None ->
         let r2 = Pipeline.run ~vm c in
         let sightings = sightings_of c r2 in
         let objects = r2.Pipeline.racy_objects in
-        seen_store seen hb (sightings, objects);
+        Hashtbl.add seen.sn_tbl hb (sightings, objects);
+        seen.sn_fresh <- (hb, (sightings, objects)) :: seen.sn_fresh;
         (sightings, objects, r1.Pipeline.wall_time +. r2.Pipeline.wall_time)
   in
   {
@@ -227,13 +241,11 @@ let report_of_rows ?(wall = 0.) ?(deadline_hit = false) ?(apply_plateau = true)
   let plateau = if apply_plateau then sp.e_budget.b_plateau else None in
   let agg = Aggregate.create ?plateau ~hb:(sp.e_equiv = Hb) () in
   if deadline_hit then Aggregate.note_deadline agg;
-  (* Fold in run-index order so first-seen attribution, the discovery
-     curve and the plateau cutoff do not depend on worker interleaving
-     or on how rows were distributed over shard files. *)
-  List.sort
-    (fun a b -> compare (Aggregate.row_index a) (Aggregate.row_index b))
-    rows
-  |> List.iter (Aggregate.add_row agg);
+  (* Folded in run-index order (add_rows sorts) so first-seen
+     attribution, the discovery curve and the plateau cutoff do not
+     depend on worker interleaving or on how rows were distributed over
+     shard files. *)
+  Aggregate.add_rows agg rows;
   {
     r_spec = sp;
     r_races = Aggregate.races agg;
@@ -248,8 +260,8 @@ let merge sp rows = report_of_rows sp rows
 
 (* Run indices the campaign's deterministic index range owns but [rows]
    do not cover — at merge time, evidence of an incomplete shard set.
-   Compile failures carry index -1 (per-shard, outside the range) and
-   are ignored. *)
+   Negative indices (out-of-range markers from older recorders) are
+   ignored. *)
 let missing_indices (sp : spec) rows =
   let total =
     match Strategy.count sp.e_strategy with
@@ -274,17 +286,22 @@ let rows_of_report r =
 
    The authoritative plateau cutoff is the Aggregate fold above (a
    deterministic function of the row sequence); this tracker only stops
-   workers from *claiming* further runs once the window has visibly
+   workers from *claiming* further chunks once the window has visibly
    tripped.  It replays completions in claim-ordinal order through a
-   reorder buffer, so its verdict matches the fold's for the runs it has
-   seen; any overshoot rows the workers were already executing are
-   discarded by the fold. *)
+   reorder buffer — one note per completed chunk, carrying the race-key
+   list of each run in the chunk, so the quiet window still advances
+   per run.  Its verdict matches the fold's for the runs it has seen;
+   any overshoot rows the workers were already executing (up to a chunk
+   per worker) are discarded by the fold.  A chunk abandoned mid-flight
+   (deadline, or the stop flag tripping) is never noted — safe, because
+   a worker only abandons after the stop decision is already made, at
+   which point the reorder buffer has no further job. *)
 
 type tracker = {
   tk_window : int;
   tk_mu : Mutex.t;
   tk_seen : (Aggregate.race_key, unit) Hashtbl.t;
-  tk_pending : (int, Aggregate.race_key list) Hashtbl.t;
+  tk_pending : (int, Aggregate.race_key list list) Hashtbl.t;
   mutable tk_next : int;
   mutable tk_quiet : int;
   mutable tk_stop : bool;
@@ -303,41 +320,63 @@ let tracker_make window =
 
 let tracker_stopped = function None -> false | Some t -> t.tk_stop
 
-let tracker_note tracker ordinal keys =
+(* [run_keys] holds one race-key list per run of chunk [ordinal], in
+   run order. *)
+let tracker_note tracker ordinal run_keys =
   match tracker with
   | None -> ()
   | Some t ->
       Mutex.lock t.tk_mu;
-      Hashtbl.replace t.tk_pending ordinal keys;
+      Hashtbl.replace t.tk_pending ordinal run_keys;
+      let note_run keys =
+        let fresh =
+          List.exists (fun k -> not (Hashtbl.mem t.tk_seen k)) keys
+        in
+        List.iter
+          (fun k ->
+            if not (Hashtbl.mem t.tk_seen k) then Hashtbl.add t.tk_seen k ())
+          keys;
+        if fresh then t.tk_quiet <- 0 else t.tk_quiet <- t.tk_quiet + 1;
+        if t.tk_quiet >= t.tk_window then t.tk_stop <- true
+      in
       let rec drain () =
         match Hashtbl.find_opt t.tk_pending t.tk_next with
         | None -> ()
-        | Some keys ->
+        | Some runs ->
             Hashtbl.remove t.tk_pending t.tk_next;
             t.tk_next <- t.tk_next + 1;
-            let fresh =
-              List.exists (fun k -> not (Hashtbl.mem t.tk_seen k)) keys
-            in
-            List.iter
-              (fun k ->
-                if not (Hashtbl.mem t.tk_seen k) then Hashtbl.add t.tk_seen k ())
-              keys;
-            if fresh then t.tk_quiet <- 0 else t.tk_quiet <- t.tk_quiet + 1;
-            if t.tk_quiet >= t.tk_window then t.tk_stop <- true;
+            List.iter note_run runs;
             drain ()
       in
       drain ();
       Mutex.unlock t.tk_mu
 
-(* ---- the parallel campaign runner ---- *)
+(* ---- the parallel campaign runner ----
 
-type worker_out = {
-  w_obs : Aggregate.run_obs list;
-  w_failures : Aggregate.failure list;
-  w_ran : int;
-}
+   Executed on a persistent worker-domain pool (Pool): domains are
+   spawned once for the whole campaign (the calling domain is worker 0),
+   claim *chunks* of work ordinals from a batched queue — one atomic per
+   chunk instead of one per run — and hand each completed chunk back as
+   pre-serialized wire rows through a single-producer outbox.  The
+   aggregate fold runs after the pool quiesces and never contends with
+   workers; it re-sorts rows by run index, so neither the batch size nor
+   any claim interleaving can reach a report.
 
-let run_campaign ?shard (sp : spec) ~source : report =
+   Every worker count takes the same serialize→decode path (worker 0
+   included), so single-worker and multi-worker campaigns agree
+   byte-for-byte by construction, not by luck: the wire codec's
+   round-trip identity is golden-tested, and everything downstream of
+   it sees identical rows. *)
+
+(* How much heavier major-GC pacing to allow while a multi-domain pool
+   runs (Gc.space_overhead, default 120).  Campaign runs allocate in
+   bursts — each builds and drops a detector and a VM heap — and in
+   OCaml 5 every domain's minor collection is a stop-the-world handshake
+   over all of them; lazier pacing buys fewer synchronized collections
+   for a bounded memory cost.  Throughput-only: reports cannot see it. *)
+let pool_gc_space_overhead = 240
+
+let run_campaign ?shard ?batch (sp : spec) ~source : report =
   let shard_i, shard_n =
     match shard with
     | None -> (0, 1)
@@ -352,12 +391,16 @@ let run_campaign ?shard (sp : spec) ~source : report =
     | Some n -> min n b.b_runs
     | None -> b.b_runs
   in
-  (* Shard i of n owns the run indices congruent to i mod n; the k-th
-     claim from the shared counter maps to index i + k*n, so indices are
-     a pure function of the spec and the shard, never of scheduling. *)
-  let owned =
-    if total_runs <= shard_i then 0
-    else (total_runs - shard_i + shard_n - 1) / shard_n
+  (* Shard i of n owns the run indices congruent to i mod n; work
+     ordinal k maps to index i + k*n, so indices are a pure function of
+     the spec and the shard, never of scheduling. *)
+  let owned = Campaign.owned_count ~shard_i ~shard_n ~total:total_runs in
+  let workers = max 1 (min sp.e_workers owned) in
+  let batch =
+    match batch with
+    | Some b when b >= 1 -> b
+    | Some b -> invalid_arg (Printf.sprintf "Explore.run_campaign: batch %d" b)
+    | None -> Pool.default_batch ~workers ~total:owned
   in
   let t0 = Unix.gettimeofday () in
   let deadline = Option.map (fun s -> t0 +. s) b.b_seconds in
@@ -371,88 +414,122 @@ let run_campaign ?shard (sp : spec) ~source : report =
      over the re-assembled index sequence. *)
   let local_plateau = if shard_n > 1 then None else b.b_plateau in
   let tracker = Option.map tracker_make local_plateau in
-  (* The hb replay cache is shared across this process's workers (the
-     table is mutex-protected; domains may still both replay a class
-     they raced to claim — harmless, see observe_run_hb). *)
-  let seen = match sp.e_equiv with Hb -> Some (seen_make ()) | Raw -> None in
-  let next = Atomic.make 0 in
-  (* Each worker compiles its own copy of the program (compilation
-     mutates the IR in place during instrumentation, so domains must not
-     share one) and claims run indices from the shared counter.  A
-     failing run — VM Runtime_error, step-limit, anything — becomes a
-     failure row; it never kills the worker, let alone the campaign. *)
-  let worker () =
-    match Pipeline.compile sp.e_config ~source with
-    | exception e ->
-        {
-          w_obs = [];
-          w_failures =
-            [ { Aggregate.f_index = -1; f_seed = -1; f_error = Printexc.to_string e } ];
-          w_ran = 0;
-        }
-    | compiled ->
-        let observe =
-          match seen with
-          | Some seen -> fun rsp -> observe_run_hb compiled rsp ~seen
-          | None -> observe_run compiled
-        in
-        let obs = ref [] and fails = ref [] in
-        let expired () =
-          match deadline with
-          | Some d -> Unix.gettimeofday () > d
-          | None -> false
-        in
-        let rec loop ran =
-          if expired () || tracker_stopped tracker then ran
-          else begin
-            let k = Atomic.fetch_and_add next 1 in
-            let i = shard_i + (k * shard_n) in
-            if i >= total_runs then ran
-            else begin
-              let rsp =
-                Strategy.spec sp.e_strategy ~base:sp.e_config
-                  ~pct_horizon:sp.e_pct_horizon i
-              in
-              (match observe rsp with
-              | o ->
-                  obs := o :: !obs;
-                  tracker_note tracker k
-                    (List.map
-                       (fun s -> s.Aggregate.s_key)
-                       o.Aggregate.o_sightings)
-              | exception e ->
-                  fails :=
-                    {
-                      Aggregate.f_index = i;
-                      f_seed = rsp.Strategy.sp_seed;
-                      f_error = Printexc.to_string e;
-                    }
-                    :: !fails;
-                  tracker_note tracker k []);
-              loop (ran + 1)
-            end
-          end
-        in
-        let ran = loop 0 in
-        { w_obs = !obs; w_failures = !fails; w_ran = ran }
+  let hb_journal =
+    match sp.e_equiv with Hb -> Some (Pool.journal ()) | Raw -> None
   in
-  let outs =
-    if sp.e_workers <= 1 then [ worker () ]
-    else
-      let domains = List.init sp.e_workers (fun _ -> Domain.spawn worker) in
-      List.map Domain.join domains
+  (* Compile once up front on the calling domain: a source that does not
+     compile fails the same way on every domain, so the campaign fails
+     fast — Pipeline.Compile_error propagates to the caller — and the
+     pool never starts.  Worker 0 (the calling domain) reuses this
+     compiled program; other workers compile their own copy on their own
+     domain, per the compile-once-per-domain contract (instrumentation
+     and linking mutate the IR in place; a compiled must not cross
+     domains). *)
+  let compiled0 = Pipeline.compile sp.e_config ~source in
+  let queue = Pool.queue ~batch ~total:owned in
+  let outboxes = Array.init workers (fun _ -> Pool.outbox ()) in
+  let expired () =
+    match deadline with
+    | Some d -> Unix.gettimeofday () > d
+    | None -> false
+  in
+  (* The per-domain worker: claim a chunk, run its schedules, serialize
+     each row into a reusable scratch buffer, push the chunk's rows in
+     one outbox touch, note the tracker once, sync the hb shard once.  A
+     failing run — VM Runtime_error, step limit, anything — becomes a
+     failure row; it never kills the worker, let alone the campaign. *)
+  let worker_body ~worker:w =
+    let compiled =
+      if w = 0 then compiled0 else Pipeline.compile sp.e_config ~source
+    in
+    let seen = match sp.e_equiv with Hb -> Some (seen_make ()) | Raw -> None in
+    let observe =
+      match seen with
+      | Some seen -> fun rsp -> observe_run_hb compiled rsp ~seen
+      | None -> observe_run compiled
+    in
+    let scratch = Buffer.create 1024 in
+    let outbox = outboxes.(w) in
+    let ran = ref 0 in
+    let stop () = tracker_stopped tracker || expired () in
+    let rec chunk_loop () =
+      if not (stop ()) then
+        match Pool.claim queue with
+        | None -> ()
+        | Some ch ->
+            let rsps =
+              Strategy.specs sp.e_strategy ~base:sp.e_config
+                ~pct_horizon:sp.e_pct_horizon
+                ~first:(Campaign.shard_index ~shard_i ~shard_n ch.Pool.c_first)
+                ~stride:shard_n ~count:ch.Pool.c_count
+            in
+            let rows = ref [] and run_keys = ref [] in
+            let abandoned = ref false in
+            List.iter
+              (fun (rsp : Strategy.run_spec) ->
+                if not !abandoned then
+                  if stop () then abandoned := true
+                  else begin
+                    let row, keys =
+                      match observe rsp with
+                      | o ->
+                          ( Aggregate.Run o,
+                            List.map
+                              (fun s -> s.Aggregate.s_key)
+                              o.Aggregate.o_sightings )
+                      | exception e ->
+                          ( Aggregate.Failed
+                              {
+                                Aggregate.f_index = rsp.Strategy.sp_index;
+                                f_seed = rsp.Strategy.sp_seed;
+                                f_error = Printexc.to_string e;
+                              },
+                            [] )
+                    in
+                    incr ran;
+                    Buffer.clear scratch;
+                    Wire.row_to_buffer scratch row;
+                    rows := Buffer.contents scratch :: !rows;
+                    run_keys := keys :: !run_keys
+                  end)
+              rsps;
+            if !rows <> [] then Pool.push outbox (List.rev !rows);
+            (* An abandoned chunk is incomplete: noting it would feed
+               the reorder buffer a hole's worth of wrong run counts.
+               Abandonment only happens after the stop decision, so the
+               tracker has nothing left to decide. *)
+            if not !abandoned then
+              tracker_note tracker ch.Pool.c_ordinal (List.rev !run_keys);
+            (match (seen, hb_journal) with
+            | Some seen, Some journal -> seen_sync journal seen
+            | _ -> ());
+            chunk_loop ()
+    in
+    chunk_loop ();
+    !ran
+  in
+  let rans =
+    Pool.run
+      ?gc_space_overhead:(if workers > 1 then Some pool_gc_space_overhead else None)
+      ~workers worker_body
   in
   let wall = Unix.gettimeofday () -. t0 in
-  let ran = List.fold_left (fun acc w -> acc + w.w_ran) 0 outs in
+  let ran = List.fold_left ( + ) 0 rans in
   (* If the clock cut the campaign short, say so — unless a plateau
      tripped, in which case the fold reports that instead. *)
   let deadline_hit = deadline <> None && ran < owned in
   let rows =
-    List.concat_map
-      (fun w ->
-        List.map (fun o -> Aggregate.Run o) w.w_obs
-        @ List.map (fun f -> Aggregate.Failed f) w.w_failures)
-      outs
+    Array.to_list outboxes
+    |> List.concat_map Pool.drain
+    |> List.concat
+    |> List.map (fun line ->
+           match Wire.row_of_json line with
+           | Ok row -> row
+           | Error m ->
+               (* Rows were serialized by this very build one chunk ago;
+                  a decode failure is a wire-codec bug, not a data
+                  error. *)
+               failwith ("internal: campaign row round-trip failed: " ^ m))
   in
   report_of_rows ~wall ~deadline_hit ~apply_plateau:(shard_n = 1) sp rows
 

@@ -127,11 +127,28 @@ val observe_run :
 (** Execute one schedule and summarize it (races sighted, interleaving
     fingerprint, throughput counters).  Exposed for tests. *)
 
-val run_campaign : ?shard:int * int -> spec -> source:string -> report
-(** Compile (once per worker) and execute the campaign.  Worker
-    exceptions become {!Aggregate.failure} rows.  [~shard:(i, n)] runs
-    only the indices owned by shard [i] of [n] (those congruent to
-    [i mod n]); raises [Invalid_argument] unless [0 <= i < n].
+val run_campaign :
+  ?shard:int * int -> ?batch:int -> spec -> source:string -> report
+(** Execute the campaign on a persistent worker-domain pool: domains
+    are spawned once (the calling domain is worker 0), each compiles
+    its own program copy, claims {e chunks} of run indices from a
+    batched work queue, and hands results back as pre-serialized wire
+    rows through per-worker outboxes — the fold never contends with
+    running workers.  [?batch] pins the chunk size (default: a few
+    claims per worker, capped at 16); it is a pure throughput knob —
+    every batch size yields the byte-identical report, because rows are
+    re-sorted by run index before folding.  Raises [Invalid_argument]
+    on [batch < 1].
+
+    A source that fails to compile raises
+    {!Drd_harness.Pipeline.Compile_error} before any domain is spawned:
+    broken input fails the whole campaign up front instead of silently
+    stranding its runs.  {e Run}-time exceptions still become
+    {!Aggregate.failure} rows and never kill the campaign.
+
+    [~shard:(i, n)] runs only the indices owned by shard [i] of [n]
+    (those congruent to [i mod n]); raises [Invalid_argument] unless
+    [0 <= i < n].
 
     A plateau window ({!budget.b_plateau}) is a campaign-wide property:
     a shard cannot evaluate it against only its own subsequence of the
@@ -165,8 +182,8 @@ val missing_indices : spec -> Aggregate.row list -> int list
     strategy's intrinsic count) that no row covers, in ascending order.
     Non-empty input to {!merge} means an incomplete shard set: with a
     purely runs-based budget the merged report would silently differ
-    from the single-process run.  Failure rows with index [-1]
-    (per-shard compile failures) are ignored. *)
+    from the single-process run.  Rows with negative indices (markers
+    from older recorders) are ignored. *)
 
 val rows_of_report : report -> Aggregate.row list
 (** The report's observations and failures as wire rows, in run-index

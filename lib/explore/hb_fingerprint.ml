@@ -40,6 +40,21 @@ let mix fp v = ((fp lxor v) * fnv_prime) land mask
 
 let kind_code = function Event.Read -> 17 | Event.Write -> 23
 
+(* Each FNV step is locally affine — (h ⊕ v) * p — so two snapshots
+   differing in one small clock component produce hashes whose
+   difference is a small multiple of a power of [fnv_prime], and under
+   the commutative sum fold below a few such correlated differences can
+   cancel exactly: QCheck found two inequivalent schedules colliding
+   within thousands of cases, wildly above the 2^-46 chance rate.  A
+   SplitMix64-style avalanche over every snapshot hash destroys the
+   affine structure before it reaches the sum.  (62-bit truncations of
+   the SplitMix64 constants, as in Strategy.mix — OCaml ints are 63
+   bits.) *)
+let avalanche h =
+  let z = ref ((h lxor (h lsr 30)) * 0x3F58476D1CE4E5B9) in
+  z := (!z lxor (!z lsr 27)) * 0x14D049BB133111EB;
+  (!z lxor (!z lsr 31)) land mask
+
 (* ---- growable vector clocks ----
 
    Same idea as the happens-before baseline's Drd_baselines.Vclock, but
@@ -124,7 +139,7 @@ let tap () =
     let h = mix_clock h tc in
     (* Commutative fold: addition, so independent events contribute the
        same no matter where in the schedule they landed. *)
-    st.fp <- (st.fp + h) land mask;
+    st.fp <- (st.fp + avalanche h) land mask;
     assign lc tc
   in
   let acquire ~tid ~lock =

@@ -1,0 +1,154 @@
+(* The persistent worker-domain pool behind campaign execution.
+
+   The first runner spawned one domain per worker and had every domain
+   fight over a shared counter once per run, return its results as one
+   big structured value at join time, and synchronize on shared mutexes
+   (replay cache, plateau tracker) once or twice per run.  On multicore
+   hosts that *lost* throughput as workers were added: the per-run
+   atomics and mutexes serialize the claim path, and the cross-domain
+   allocation traffic drags every domain into each other's minor-GC
+   pauses (an OCaml 5 minor collection is a stop-the-world handshake
+   over all running domains).
+
+   This module keeps the domains long-lived — spawned once per
+   campaign, reused across the whole plateau/deadline loop — and makes
+   every shared touch point batched:
+
+   - {!claim} hands out *chunks* of work ordinals, so the shared
+     counter is hit once per [batch] runs instead of once per run;
+   - {!push} hands completed batches back through a single-producer
+     {!outbox} (one mutex shared by exactly two parties, acquired once
+     per batch — the drain side only runs after the workers quiesce);
+   - {!exchange} lets workers trade domain-local discoveries (the hb
+     replay cache shards) through an append-only {!journal}, one
+     critical section per batch instead of two mutex acquisitions per
+     run.
+
+   The pool deliberately knows nothing about campaigns: it moves
+   ordinals and opaque values.  Determinism is the caller's concern —
+   the campaign fold sorts rows by run index, so nothing here (chunk
+   sizes, claim interleaving, drain order) can reach a report. *)
+
+(* ---- chunked work queue ---- *)
+
+type queue = {
+  q_next : int Atomic.t; (* next unclaimed chunk ordinal *)
+  q_batch : int; (* work ordinals per claim *)
+  q_total : int; (* work ordinals in [0, q_total) *)
+}
+
+type chunk = {
+  c_ordinal : int; (* claim ordinal: chunks are dense and monotone *)
+  c_first : int; (* first work ordinal of the chunk *)
+  c_count : int; (* ordinals in the chunk (the tail may be short) *)
+}
+
+let queue ~batch ~total =
+  if batch < 1 then invalid_arg "Pool.queue: batch must be >= 1";
+  { q_next = Atomic.make 0; q_batch = batch; q_total = max total 0 }
+
+let claim q =
+  let c = Atomic.fetch_and_add q.q_next 1 in
+  let first = c * q.q_batch in
+  if first >= q.q_total then None
+  else
+    Some
+      { c_ordinal = c; c_first = first; c_count = min q.q_batch (q.q_total - first) }
+
+(* Chunk sizing when the caller does not pin one: aim for a few claims
+   per worker so the tail stays balanced, but never so many that the
+   per-chunk synchronization (outbox push, tracker note, journal
+   exchange) returns to per-run frequency.  Any value is correct — the
+   batch size can never reach a report — this only tunes contention
+   against tail latency. *)
+let default_batch ~workers ~total =
+  max 1 (min 16 (total / (max workers 1 * 4)))
+
+(* ---- single-producer outboxes ---- *)
+
+type 'a outbox = { ob_mu : Mutex.t; mutable ob_rev : 'a list }
+
+let outbox () = { ob_mu = Mutex.create (); ob_rev = [] }
+
+let push ob x =
+  Mutex.lock ob.ob_mu;
+  ob.ob_rev <- x :: ob.ob_rev;
+  Mutex.unlock ob.ob_mu
+
+let drain ob =
+  Mutex.lock ob.ob_mu;
+  let xs = ob.ob_rev in
+  ob.ob_rev <- [];
+  Mutex.unlock ob.ob_mu;
+  List.rev xs
+
+(* ---- append-only journal with per-worker cursors ---- *)
+
+type 'a journal = { j_mu : Mutex.t; mutable j_log : 'a list; mutable j_len : int }
+
+let journal () = { j_mu = Mutex.create (); j_log = []; j_len = 0 }
+
+let exchange j ~cursor ~publish =
+  Mutex.lock j.j_mu;
+  let before = j.j_len in
+  List.iter
+    (fun x ->
+      j.j_log <- x :: j.j_log;
+      j.j_len <- j.j_len + 1)
+    publish;
+  (* Foreign news: entries [cursor, before), sitting just past our own
+     freshly pushed ones at the head of the (newest-first) log. *)
+  let news =
+    let rec drop k l =
+      if k <= 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl
+    in
+    let rec take k l acc =
+      if k <= 0 then acc
+      else match l with [] -> acc | x :: tl -> take (k - 1) tl (x :: acc)
+    in
+    take (before - cursor) (drop (List.length publish) j.j_log) []
+  in
+  let len = j.j_len in
+  Mutex.unlock j.j_mu;
+  (news, len)
+
+(* ---- the pool itself ---- *)
+
+(* The calling domain is worker 0: a campaign with N workers spawns
+   N-1 domains, so the single-worker path never pays a spawn and the
+   caller's core is never idle while the pool runs.
+
+   [gc_space_overhead] raises [Gc.space_overhead] for the duration of
+   the pool (restored on exit, even on raise).  The setting is
+   process-global in OCaml 5, so the pool owner flips it once rather
+   than each worker racing to: campaign workers allocate in bursts
+   (every run builds and drops a detector and a VM heap), and a lazier
+   major-GC pacing keeps the domains out of each other's collection
+   handshakes at a bounded memory cost.  Throughput-only: no report
+   bytes depend on it.
+
+   A worker that raises does not abort the others: every domain runs to
+   completion, then the first exception in worker order is re-raised
+   with its backtrace. *)
+let run ?gc_space_overhead ~workers f =
+  let workers = max workers 1 in
+  let saved = Gc.get () in
+  (match gc_space_overhead with
+  | Some so -> Gc.set { saved with Gc.space_overhead = max so saved.Gc.space_overhead }
+  | None -> ());
+  Fun.protect
+    ~finally:(fun () -> if gc_space_overhead <> None then Gc.set saved)
+    (fun () ->
+      let guard w () =
+        try Ok (f ~worker:w)
+        with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      let spawned =
+        List.init (workers - 1) (fun i -> Domain.spawn (guard (i + 1)))
+      in
+      let outs = guard 0 () :: List.map Domain.join spawned in
+      List.map
+        (function
+          | Ok v -> v
+          | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+        outs)

@@ -1,0 +1,89 @@
+(** Persistent worker-domain pool primitives for campaign execution.
+
+    The original runner spawned one domain per worker and synchronized
+    per run — a shared claim counter, shared replay-cache mutex and a
+    shared results channel all hit once or twice per run — which made
+    multi-domain throughput {e negative} (contention plus cross-domain
+    minor-GC handshakes swamped the parallelism).  This module is the
+    batched replacement: long-lived domains claim {e chunks} of work
+    ordinals from a {!queue}, hand completed batches back through
+    single-producer {!outbox}es, and trade domain-local discoveries
+    through an append-only {!journal} — one shared touch per batch
+    instead of several per run.
+
+    Nothing here knows about campaigns or can affect a report: the
+    campaign fold re-sorts rows by run index, so chunk sizes and claim
+    interleavings are invisible by construction. *)
+
+(** {1 Chunked work queue} *)
+
+type queue
+
+type chunk = {
+  c_ordinal : int;
+      (** Claim ordinal: dense and monotone across the queue, so chunk
+          completions can be replayed in claim order (the plateau
+          tracker's reorder buffer keys on it). *)
+  c_first : int;  (** First work ordinal of the chunk. *)
+  c_count : int;  (** Ordinals in the chunk; the tail chunk may be short. *)
+}
+
+val queue : batch:int -> total:int -> queue
+(** A queue over work ordinals [0, total), handed out [batch] at a
+    time.  Raises [Invalid_argument] if [batch < 1]. *)
+
+val claim : queue -> chunk option
+(** Claim the next chunk — one [Atomic.fetch_and_add] regardless of
+    batch size.  [None] when the queue is exhausted. *)
+
+val default_batch : workers:int -> total:int -> int
+(** Chunk size when the caller does not pin one: a few claims per worker
+    (load balance) capped at 16 (bounded overshoot past a plateau stop).
+    Purely a throughput knob — any value yields the same report. *)
+
+(** {1 Single-producer outboxes} *)
+
+type 'a outbox
+(** A mutex-guarded accumulator shared by exactly two parties: one
+    producing worker pushing once per batch, and the aggregator, which
+    drains only after the workers quiesce — so the fold never contends
+    with running workers. *)
+
+val outbox : unit -> 'a outbox
+
+val push : 'a outbox -> 'a -> unit
+
+val drain : 'a outbox -> 'a list
+(** Everything pushed so far, in push order; empties the outbox. *)
+
+(** {1 Append-only journal} *)
+
+type 'a journal
+(** A shared append-only log for trading domain-local discoveries (hb
+    replay-cache entries) between workers at batch boundaries.  Each
+    worker keeps its own read cursor; {!exchange} is one critical
+    section per batch. *)
+
+val journal : unit -> 'a journal
+
+val exchange : 'a journal -> cursor:int -> publish:'a list -> 'a list * int
+(** [exchange j ~cursor ~publish] appends [publish] and returns
+    [(news, cursor')]: every entry other workers appended since
+    [cursor] (oldest first, excluding [publish] itself), and the new
+    cursor to resume from. *)
+
+(** {1 The pool} *)
+
+val run : ?gc_space_overhead:int -> workers:int -> (worker:int -> 'a) -> 'a list
+(** [run ~workers f] runs [f ~worker:w] for [w] in [0..workers-1] on
+    long-lived domains and returns the results in worker order.  The
+    {e calling} domain is worker 0 (a 1-worker pool never spawns), so
+    [workers] domains run on [workers] cores.
+
+    [?gc_space_overhead] raises [Gc.space_overhead] (process-global in
+    OCaml 5) for the duration of the pool and restores it on exit, even
+    on raise: lazier major-GC pacing keeps allocation-bursty workers out
+    of each other's collection handshakes.  Throughput-only.
+
+    If workers raise, all domains still run to completion, then the
+    first exception in worker order is re-raised with its backtrace. *)

@@ -77,6 +77,12 @@ let spec strategy ~(base : Config.t) ~pct_horizon index =
         sp_policy = Interp.Random_walk;
       }
 
+(* One batched claim's worth of run specs: indices [first, first+stride,
+   ..., first+(count-1)*stride].  Pool workers use this to materialize a
+   whole chunk in one call (the stride is the shard modulus). *)
+let specs strategy ~base ~pct_horizon ~first ~stride ~count =
+  List.init count (fun k -> spec strategy ~base ~pct_horizon (first + (k * stride)))
+
 let describe_policy = function
   | Interp.Random_walk -> "random-walk"
   | Interp.Pct { depth; horizon } ->

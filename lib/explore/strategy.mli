@@ -39,6 +39,18 @@ type run_spec = {
 val spec : t -> base:Config.t -> pct_horizon:int -> int -> run_spec
 (** [spec s ~base ~pct_horizon i] is the schedule of run [i]. *)
 
+val specs :
+  t ->
+  base:Config.t ->
+  pct_horizon:int ->
+  first:int ->
+  stride:int ->
+  count:int ->
+  run_spec list
+(** One batched work-queue claim's worth of {!spec}s: run indices
+    [first], [first+stride], …, [first+(count-1)*stride] in order.  The
+    stride is the shard modulus (1 for unsharded campaigns). *)
+
 val mix : int -> int -> int
 (** The SplitMix-style (seed, index) → derived-seed finalizer; exposed
     for fingerprinting and tests. *)

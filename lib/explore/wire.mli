@@ -46,6 +46,10 @@ val json_to_string : json -> string
     non-finite {!Float} — JSON has no encoding for NaN/infinity, and a
     corrupt line that fails to re-parse would be strictly worse. *)
 
+val json_to_buffer : Buffer.t -> json -> unit
+(** {!json_to_string} into a caller-supplied buffer (appends; does not
+    clear).  The allocation-light path for serialization hot loops. *)
+
 val json_of_string : string -> (json, string) result
 (** Parse one JSON value; numeric literals without [./e/E] become
     {!Int}, others {!Float}.  [\uXXXX] escapes decode to UTF-8,
@@ -76,6 +80,12 @@ val failure_to_json : Aggregate.failure -> string
 val failure_of_json : string -> (Aggregate.failure, string) result
 
 val row_to_json : Aggregate.row -> string
+
+val row_to_buffer : Buffer.t -> Aggregate.row -> unit
+(** {!row_to_json} appended to a caller-supplied scratch buffer
+    (byte-identical output; both share one printer).  Campaign pool
+    workers use this to pre-serialize observation rows into reusable
+    domain-local buffers before handing batches to the aggregator. *)
 
 val row_of_json : string -> (Aggregate.row, string) result
 (** Dispatches on the line's ["t"] tag (["run"] or ["failure"]). *)

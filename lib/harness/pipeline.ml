@@ -37,10 +37,36 @@ type compiled = {
    and as the bench baseline. *)
 type engine = [ `Linked | `Ref | `Spec ]
 
+exception Compile_error of string
+
+(* Frontend failures carry their own exception types with source
+   positions; fold them into one exception with a rendered message so
+   callers (the CLI, the campaign runner) can make compilation failure a
+   distinct, fatal outcome without depending on Drd_lang.  Compilation
+   is also the per-domain setup step of campaign pools: a [compiled] is
+   freely reusable across runs but must stay on the domain that made it
+   (instrumentation and linking mutate the IR in place, and runs share
+   the image's site tables), so each pool worker compiles its own —
+   and a source that fails to compile fails identically on every
+   domain, which is why the runner compiles once up front, fails the
+   whole campaign, and never starts the pool. *)
 let compile (config : Config.t) ~source : compiled =
   let t0 = Unix.gettimeofday () in
-  let ast = Parser.parse_program source in
-  let tprog = Typecheck.check ast in
+  let frontend_error kind msg (pos : Drd_lang.Ast.pos) =
+    raise
+      (Compile_error
+         (Printf.sprintf "%s error at line %d, col %d: %s" kind
+            pos.Drd_lang.Ast.line pos.Drd_lang.Ast.col msg))
+  in
+  let ast =
+    try Parser.parse_program source with
+    | Parser.Error (msg, pos) -> frontend_error "parse" msg pos
+    | Drd_lang.Lexer.Error (msg, pos) -> frontend_error "lex" msg pos
+  in
+  let tprog =
+    try Typecheck.check ast
+    with Typecheck.Error (msg, pos) -> frontend_error "type" msg pos
+  in
   let tprog = if config.Config.loop_peel then Peel.peel_program tprog else tprog in
   let prog = Lower.lower_program tprog in
   let static_stats = ref None in

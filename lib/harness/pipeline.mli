@@ -34,11 +34,24 @@ type engine = [ `Linked | `Ref | `Spec ]
     three produce bit-identical schedules, event streams and reports;
     only detector-internal statistics may differ under [`Spec]. *)
 
+exception Compile_error of string
+(** A frontend failure (lexing, parsing or typechecking), with the
+    source position rendered into the message.  Distinct from runtime
+    failures: a program that does not compile fails the same way every
+    run, so campaign runners treat it as fatal up front rather than as
+    per-run failure rows, and the CLI maps it to its usage-error exit
+    (the input is broken, not the data produced from it). *)
+
 val compile : Config.t -> source:string -> compiled
 (** Parse, typecheck, (optionally) peel, lower, analyze, instrument and
-    link one program.  Raises the frontend/typechecker exceptions on
-    invalid source and {!Drd_ir.Link.Link_error} on an unlinkable
-    program. *)
+    link one program.  Raises {!Compile_error} on invalid source and
+    {!Drd_ir.Link.Link_error} on an unlinkable program.
+
+    A [compiled] is freely reusable across runs ({!run} mutates no
+    compiled state) but must stay on the domain that compiled it:
+    instrumentation and linking mutate the IR in place and runs share
+    the image's site tables, so pool workers each compile their own
+    copy once and reuse it for every run they claim. *)
 
 type result = {
   races : string list;

@@ -107,6 +107,61 @@ let test_cli_misuse_is_exit_124 () =
   let code, _, _ = run [ "arena"; "-n"; "1"; "--fail-on-miss"; "bogus" ] in
   Alcotest.(check int) "unknown --fail-on-miss detector: exit 124" 124 code
 
+let test_compile_error_is_exit_124 () =
+  (* A program that fails to compile is command-line misuse — the user
+     pointed the tool at bad source — never a data error (2), an
+     internal crash (125), or a silent per-run failure row.  The
+     campaign compiles up-front, so the multi-domain pool must not
+     start at all: the diagnostic appears exactly once, not once per
+     worker. *)
+  let bad_source = "class Bad { int x\n" in
+  let with_source f =
+    let path = Filename.temp_file "drd_cli_src" ".java" in
+    write_file path bad_source;
+    Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+  in
+  with_source (fun src ->
+      let code, out, err = run [ "run"; src ] in
+      Alcotest.(check int) "run: exit 124" 124 code;
+      Alcotest.(check string) "run: stdout clean" "" out;
+      Alcotest.(check bool) "run: diagnostic names the parse error" true
+        (contains err "parse error");
+      let code, out, err =
+        run [ "explore"; src; "-n"; "8"; "-w"; "2"; "--json" ]
+      in
+      Alcotest.(check int) "explore -w 2: exit 124" 124 code;
+      Alcotest.(check string) "explore: no partial JSON on stdout" "" out;
+      Alcotest.(check bool) "explore: diagnostic names the parse error" true
+        (contains err "parse error");
+      let occurrences needle hay =
+        let n = String.length needle in
+        let count = ref 0 in
+        for i = 0 to String.length hay - n do
+          if String.sub hay i n = needle then incr count
+        done;
+        !count
+      in
+      Alcotest.(check int) "explore: diagnostic appears exactly once" 1
+        (occurrences "parse error" err))
+
+let test_explore_batch_flag () =
+  (* --batch is a hand-off granularity knob, never an output knob: any
+     batch size gives byte-identical JSON (timing suppressed), and a
+     nonsensical one is CLI misuse. *)
+  let args batch =
+    [
+      "explore"; "-b"; "needle"; "-n"; "12"; "-w"; "3"; "--batch"; batch;
+      "--no-timing"; "--json";
+    ]
+  in
+  let code1, out1, _ = run (args "1") in
+  let code2, out2, _ = run (args "5") in
+  Alcotest.(check int) "batch 1 exit 0" 0 code1;
+  Alcotest.(check int) "batch 5 exit 0" 0 code2;
+  Alcotest.(check string) "batch size never reaches the report" out1 out2;
+  let code, _, _ = run (args "0") in
+  Alcotest.(check int) "--batch 0 is exit 124" 124 code
+
 let test_run_detector_flag () =
   let code, out, _ =
     run [ "run"; "-b"; "figure2"; "--detector"; "eraser" ]
@@ -174,6 +229,10 @@ let suite =
       (fun () -> test_serve_stdin_matches_detect ());
     Alcotest.test_case "serve rejects malformed payload with exit 2" `Quick
       (fun () -> test_serve_stdin_malformed_is_exit_2 ());
+    Alcotest.test_case "compile failure is exit 124, campaign-fatal" `Quick
+      (fun () -> test_compile_error_is_exit_124 ());
+    Alcotest.test_case "explore --batch: invariant and validated" `Quick
+      (fun () -> test_explore_batch_flag ());
     Alcotest.test_case "run --detector selects registry rows" `Quick
       (fun () -> test_run_detector_flag ());
     Alcotest.test_case "arena --json is byte-deterministic" `Quick (fun () ->

@@ -102,6 +102,142 @@ let test_campaign_worker_invariant () =
   Alcotest.(check bool) "1 worker = 2 workers" true
     (strip_wall one = strip_wall two)
 
+(* The rendered report, minus machine-dependent timing: what must be
+   byte-identical whenever two campaigns are equivalent. *)
+let report_bytes ~target r =
+  ( Explore.report_text ~timing:false ~target r,
+    Explore.report_json ~timing:false r )
+
+let benchmark_source name =
+  match H.Programs.find name with
+  | Some b -> b.H.Programs.b_source
+  | None -> Alcotest.failf "%s benchmark missing" name
+
+let test_worker_matrix_bytes () =
+  (* The tentpole guarantee of the persistent pool: run indices are a
+     pure function of the spec, workers hand rows back in completion
+     order, and the fold re-sorts — so the rendered report is
+     byte-identical at every worker count.  Every benchmark × both
+     strategy families × both equivalence modes × workers {1,2,4}. *)
+  let strategies = [ ("sweep", Strategy.Sweep); ("pct", Strategy.Pct 3) ] in
+  let equivs = [ ("raw", Explore.Raw); ("hb", Explore.Hb) ] in
+  List.iter
+    (fun (b : H.Programs.benchmark) ->
+      let source = b.H.Programs.b_source in
+      let target = "-b " ^ b.H.Programs.b_name in
+      List.iter
+        (fun (sname, strategy) ->
+          List.iter
+            (fun (ename, equiv) ->
+              let mk workers =
+                Explore.spec ~strategy ~workers
+                  ~budget:(Explore.runs_budget 6) ~pct_horizon:5_000 ~equiv
+                  H.Config.full
+              in
+              let base =
+                report_bytes ~target (Explore.run_campaign (mk 1) ~source)
+              in
+              List.iter
+                (fun w ->
+                  Alcotest.(check (pair string string))
+                    (Printf.sprintf "%s/%s/%s: %d workers byte-identical"
+                       b.H.Programs.b_name sname ename w)
+                    base
+                    (report_bytes ~target
+                       (Explore.run_campaign (mk w) ~source)))
+                [ 2; 4 ])
+            equivs)
+        strategies)
+    H.Programs.benchmarks
+
+let test_batch_invariant () =
+  (* The work-queue claim granularity is a perf knob, never an output
+     knob: any batch size (including one larger than the budget) yields
+     the same bytes.  17 runs over 3 workers makes every batch size
+     produce ragged last chunks. *)
+  let sp = pct_spec ~workers:3 ~runs:17 () in
+  let target = "-b needle" in
+  let base =
+    report_bytes ~target
+      (Explore.run_campaign ~batch:1 sp ~source:needle_source)
+  in
+  List.iter
+    (fun b ->
+      Alcotest.(check (pair string string))
+        (Printf.sprintf "batch %d byte-identical to batch 1" b)
+        base
+        (report_bytes ~target
+           (Explore.run_campaign ~batch:b sp ~source:needle_source)))
+    [ 2; 5; 64 ]
+
+let test_pooled_shards_merge_identical () =
+  (* Sharding × the pool: each shard drives its slice with its own
+     multi-domain pool, and the wire-merged result still reproduces the
+     whole campaign byte for byte. *)
+  let sp = pct_spec ~workers:3 ~runs:24 () in
+  let whole = Explore.run_campaign sp ~source:needle_source in
+  let shards = 3 in
+  let rows =
+    List.concat_map
+      (fun i ->
+        let r =
+          Explore.run_campaign ~shard:(i, shards) sp ~source:needle_source
+        in
+        List.map
+          (fun row ->
+            match Explore.row_of_json (Explore.row_to_json row) with
+            | Ok row -> row
+            | Error m -> Alcotest.failf "wire round-trip: %s" m)
+          (Explore.rows_of_report r))
+      [ 0; 1; 2 ]
+  in
+  let merged = Explore.merge sp rows in
+  let target = "-b needle" in
+  Alcotest.(check (pair string string))
+    "pooled shards merge byte-identical"
+    (report_bytes ~target whole)
+    (report_bytes ~target merged)
+
+let test_campaign_loop_allocation () =
+  (* Allocation regression guard for the pool hot loop (the per-run
+     work a worker domain repeats): observe a run and serialize its row
+     into a reused scratch buffer, exactly as Explore.run_campaign's
+     worker body does.  Minor allocation per cycle on a warm tsp run is
+     dominated by the VM run itself and sits around 150k words; pin a
+     2x ceiling so a per-run allocation regression (per-run taps or
+     buffers growing into per-event ones, a dropped buffer reuse)
+     fails the suite, not just the bench.  Per-domain counter, so the
+     measuring loop runs on this domain like pool worker 0 does. *)
+  let compiled =
+    H.Pipeline.compile H.Config.full ~source:(benchmark_source "tsp")
+  in
+  let rsp =
+    Strategy.spec Strategy.Sweep ~base:H.Config.full ~pct_horizon:5_000 0
+  in
+  let scratch = Buffer.create 1024 in
+  let cycle () =
+    let o = Explore.observe_run compiled rsp in
+    Buffer.clear scratch;
+    E.Wire.row_to_buffer scratch (Aggregate.Run o);
+    Buffer.length scratch
+  in
+  (* Warm: interned locksets, site tables, detector tries, buffer. *)
+  ignore (cycle ());
+  ignore (cycle ());
+  let n = 8 in
+  let before = Gc.minor_words () in
+  for _ = 1 to n do
+    ignore (cycle ())
+  done;
+  let per_run = (Gc.minor_words () -. before) /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "campaign hot loop stays under the allocation ceiling (measured \
+        %.0f minor words/run)"
+       per_run)
+    true
+    (per_run < 3.0e5)
+
 let test_plateau_budget_stops_early () =
   (* An adaptive budget: once a long stretch of runs brings no new
      distinct race, the campaign stops instead of burning the rest of
@@ -118,14 +254,21 @@ let test_plateau_budget_stops_early () =
   | Aggregate.Plateau { p_window = 25; p_at = _ } -> ()
   | s -> Alcotest.failf "stop reason: %s" (Aggregate.describe_stop s));
   (* The cutoff is part of the deterministic fold: same spec, same
-     truncated report, regardless of runner overshoot or workers. *)
-  let again =
-    Explore.run_campaign
-      (pct_spec ~workers:2 ~runs ~plateau:25 ())
-      ~source:needle_source
-  in
-  Alcotest.(check bool) "plateau cutoff is worker-invariant" true
-    (strip_wall r = strip_wall again)
+     truncated report byte for byte, regardless of how far a wider pool
+     overshot the stop point with in-flight batches. *)
+  let target = "-b needle" in
+  List.iter
+    (fun w ->
+      let again =
+        Explore.run_campaign
+          (pct_spec ~workers:w ~runs ~plateau:25 ())
+          ~source:needle_source
+      in
+      Alcotest.(check (pair string string))
+        (Printf.sprintf "plateau cutoff byte-identical at %d workers" w)
+        (report_bytes ~target r)
+        (report_bytes ~target again))
+    [ 2; 4 ]
 
 let test_shard_merge_identity () =
   (* The distributed path: N shards, each owning the indices congruent
@@ -391,6 +534,14 @@ let suite =
       test_campaign_deterministic;
     Alcotest.test_case "worker-count invariant" `Quick
       test_campaign_worker_invariant;
+    Alcotest.test_case "worker matrix byte-identical" `Quick
+      test_worker_matrix_bytes;
+    Alcotest.test_case "batch size never reaches the report" `Quick
+      test_batch_invariant;
+    Alcotest.test_case "pooled shards merge byte-identical" `Quick
+      test_pooled_shards_merge_identical;
+    Alcotest.test_case "campaign hot loop allocation ceiling" `Quick
+      test_campaign_loop_allocation;
     Alcotest.test_case "jitter contrast" `Quick test_jitter_contrast;
     Alcotest.test_case "crash isolation" `Quick test_crash_isolation;
     Alcotest.test_case "plateau budget stops early" `Quick

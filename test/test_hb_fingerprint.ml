@@ -138,6 +138,38 @@ let test_commuted_runs_share_class_across_whole_log () =
   Alcotest.(check bool) "distinct raw fingerprints" false
     (raw_fp sequential = raw_fp interleaved)
 
+let test_no_affine_cancellation () =
+  (* Regression: QCheck once found this pair of genuinely inequivalent
+     schedules (the swapped pair conflicts on location 3, and the clock
+     snapshots provably differ) whose fingerprints still collided.  Each
+     FNV step is locally affine — (h ⊕ v) * prime — so snapshots
+     differing in one small clock component hash to values a small
+     multiple of a power of the prime apart, and three such correlated
+     differences cancelled exactly in the commutative sum.  The
+     avalanche finalizer in Hb_fingerprint breaks the affine structure;
+     this log must keep splitting. *)
+  let ops =
+    [
+      Rel (1, 52);
+      Rel (1, 50);
+      Acq (0, 51);
+      Acc (0, 3, Event.Write);
+      Rel (2, 52);
+      Rel (2, 50);
+      Acq (2, 50);
+      Acc (2, 3, Event.Read);
+      Acq (0, 52);
+      Acc (2, 4, Event.Write);
+      Acc (0, 3, Event.Write);
+      Acc (0, 3, Event.Write);
+      Acc (2, 3, Event.Read);
+      Acq (1, 52);
+      Acc (2, 4, Event.Read);
+    ]
+  in
+  Alcotest.(check bool) "conflicting swap splits the class" false
+    (hb_fp ops = hb_fp (swap_at 11 ops))
+
 (* ---- the QCheck commutation property over generated logs ---- *)
 
 let gen_log =
@@ -200,4 +232,6 @@ let suite =
         test_sync_ordered_pair_changed;
       Alcotest.test_case "whole-log commutation collapses to one class"
         `Quick test_commuted_runs_share_class_across_whole_log;
+      Alcotest.test_case "affine cancellation regression (avalanche)"
+        `Quick test_no_affine_cancellation;
     ]
