@@ -257,6 +257,45 @@ let explore_bench ~quick ~json () =
   in
   if not reports_identical then
     failwith "explore bench: reports differ across worker counts";
+  (* Zero-realloc contract: a campaign whose workers reuse one run
+     context each (the default) must render byte-for-byte what fresh
+     per-run state renders, at every worker count.  Refuse to stamp
+     throughput numbers measured on a pool that changed the output. *)
+  let ctx_reuse_identical =
+    List.for_all
+      (fun (workers, _, r, _) ->
+        let fresh =
+          E.Explore.run_campaign ~reuse_ctx:false (spec workers)
+            ~source:b.H.Programs.b_source
+        in
+        report_bytes fresh = report_bytes r)
+      rows
+  in
+  if not ctx_reuse_identical then
+    failwith "explore bench: context reuse changed the report";
+  (* Warm per-run allocation of the campaign hot loop: one reused
+     context, sweep spec, per-domain minor-word counter.  This is the
+     number the tentpole optimization moved (~150k -> <50k) and the
+     suite pins at 100k (test_explore_engine). *)
+  let minor_words_per_run =
+    let compiled =
+      H.Pipeline.compile H.Config.full ~source:b.H.Programs.b_source
+    in
+    let ctx = H.Pipeline.Run_ctx.create compiled in
+    let rsp =
+      E.Strategy.spec E.Strategy.Sweep ~base:H.Config.full ~pct_horizon:5_000 0
+    in
+    ignore (E.Explore.observe_run ~ctx compiled rsp);
+    ignore (E.Explore.observe_run ~ctx compiled rsp);
+    let n = 8 in
+    let before = Gc.minor_words () in
+    for _ = 1 to n do
+      ignore (E.Explore.observe_run ~ctx compiled rsp)
+    done;
+    (Gc.minor_words () -. before) /. float_of_int n
+  in
+  fpf "ctx reuse identical: %b; warm hot loop: %.0f minor words/run@."
+    ctx_reuse_identical minor_words_per_run;
   let rps_of w = match List.find_opt (fun (w', _, _, _) -> w' = w) rows with
     | Some (_, _, _, rps) -> rps
     | None -> 0.
@@ -340,6 +379,8 @@ let explore_bench ~quick ~json () =
         bpf "  \"runs_per_campaign\": %d,\n" runs;
         bpf "  \"recommended_domain_count\": %d,\n" cores;
         bpf "  \"reports_identical\": %b,\n" reports_identical;
+        bpf "  \"ctx_reuse_identical\": %b,\n" ctx_reuse_identical;
+        bpf "  \"minor_words_per_run\": %.0f,\n" minor_words_per_run;
         bpf "  \"workers\": [\n";
         bpf_elems buf rows (fun buf (workers, batch, r, rps) ->
             Printf.bprintf buf

@@ -259,6 +259,17 @@ let batch_arg =
            size; the knob only trades hand-off overhead against \
            adaptive-budget overshoot.")
 
+let no_ctx_reuse_arg =
+  Arg.(
+    value & flag
+    & info [ "no-ctx-reuse" ]
+        ~doc:
+          "Allocate fresh detector and VM state for every run instead of \
+           resetting each worker's pooled run context in place.  The \
+           report is byte-identical either way; the flag exists to \
+           demonstrate (and CI-check) exactly that, at a throughput \
+           cost.")
+
 let runs_arg =
   Arg.(
     value & opt int 64
@@ -826,8 +837,8 @@ let parse_shard = function
           | _ -> bad ()))
 
 let explore_impl file benchmark config_name strategy depth workers batch
-    runs max_seconds plateau seed quantum pct_horizon equiv shard emit_obs
-    no_timing json =
+    no_ctx_reuse runs max_seconds plateau seed quantum pct_horizon equiv shard
+    emit_obs no_timing json =
   or_compile_error @@ fun () ->
   match batch with
   | Some b when b < 1 ->
@@ -858,7 +869,10 @@ let explore_impl file benchmark config_name strategy depth workers batch
                       ~budget:(E.Explore.budget ?seconds:max_seconds ?plateau runs)
                       ~pct_horizon ~equiv config
                   in
-                  let r = E.Explore.run_campaign ?shard ?batch sp ~source in
+                  let r =
+                    E.Explore.run_campaign ?shard ?batch
+                      ~reuse_ctx:(not no_ctx_reuse) sp ~source
+                  in
                   let target = target_of file benchmark in
                   (match emit_obs with
                   | Some path ->
@@ -948,8 +962,8 @@ let explore_cmd =
     Term.(
       ret
         (const explore_impl $ file_arg $ benchmark_arg $ config_arg
-       $ strategy_arg $ depth_arg $ workers_arg $ batch_arg $ runs_arg
-       $ max_seconds
+       $ strategy_arg $ depth_arg $ workers_arg $ batch_arg
+       $ no_ctx_reuse_arg $ runs_arg $ max_seconds
        $ plateau $ seed_arg $ quantum_arg $ pct_horizon_arg $ equiv $ shard
        $ emit_obs $ no_timing_arg $ json_arg))
 

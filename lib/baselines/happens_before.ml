@@ -41,6 +41,18 @@ let create () =
     events = 0;
   }
 
+(* Zeroed clocks beyond the fresh length are indistinguishable from the
+   lazily-grown ones [clock_of] would create, so the grown arrays are
+   kept; per-location states are dropped (they are re-created on
+   demand and carry their own [reads] vector). *)
+let reset d =
+  Array.iter Vclock.reset d.clocks;
+  Hashtbl.clear d.lock_clocks;
+  Hashtbl.clear d.locs;
+  d.races <- [];
+  Hashtbl.clear d.reported;
+  d.events <- 0
+
 let clock_of d t =
   if t >= Array.length d.clocks then begin
     let n = max (t + 1) (2 * Array.length d.clocks) in

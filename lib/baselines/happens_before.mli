@@ -18,6 +18,10 @@ type t
 
 val create : unit -> t
 
+val reset : t -> unit
+(** Return the detector to its freshly-created state in place (see
+    {!Drd_core.Detector_intf.S}); grown clock arrays are kept, zeroed. *)
+
 val on_access_interned :
   t ->
   loc:Event.loc_id ->

@@ -33,6 +33,12 @@ let create () =
     events = 0;
   }
 
+let reset d =
+  Hashtbl.clear d.states;
+  d.races <- [];
+  Hashtbl.clear d.reported;
+  d.events <- 0
+
 let report d loc make_access =
   if not (Hashtbl.mem d.reported loc) then begin
     Hashtbl.replace d.reported loc ();

@@ -8,6 +8,8 @@ let create ?(n = size) () = Array.make n 0
 
 let copy = Array.copy
 
+let reset (v : t) = Array.fill v 0 (Array.length v) 0
+
 let get (v : t) i = if i < Array.length v then v.(i) else 0
 
 let tick (v : t) i = v.(i) <- v.(i) + 1

@@ -9,6 +9,9 @@ val create : ?n:int -> unit -> t
 
 val copy : t -> t
 
+val reset : t -> unit
+(** Zero every component in place. *)
+
 val get : t -> int -> int
 (** Reads beyond the width return 0. *)
 

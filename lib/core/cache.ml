@@ -89,6 +89,12 @@ let released c lock =
       warn_unheld lock;
       clear c
 
+let reset c =
+  clear c;
+  c.lock_stack <- [];
+  c.hits <- 0;
+  c.misses <- 0
+
 let evict_loc c loc =
   let kill arr =
     let e = arr.(index c loc) in

@@ -53,6 +53,13 @@ val evict_loc : t -> Event.loc_id -> unit
 val clear : t -> unit
 (** Drop every entry (the lock stack is preserved). *)
 
+val reset : t -> unit
+(** Return the cache pair to its freshly-created state without
+    reallocating the entry arrays: every entry is dropped, the lock
+    stack emptied and the hit/miss counters zeroed.  Entry stamps are
+    deliberately left alone — they only guard the (entry, stamp) pairs
+    recorded on lock frames, and the frames are discarded here. *)
+
 val hits : t -> int
 (** Number of lookups answered by a hit since creation. *)
 

@@ -267,7 +267,39 @@ let on_release d ~thread ~lock =
   if d.config.use_cache then Cache.released (cache_of d thread) lock
 
 let on_thread_exit d ~thread =
-  if thread < Array.length d.caches then d.caches.(thread) <- None
+  (* Reset in place rather than dropping the slot: thread ids are dense
+     and never reused within one execution, so an exited thread's slot
+     is only ever read again if a malformed stream keeps sending events
+     for it — and a reset cache observes exactly like the fresh one the
+     old [None] slot would have lazily created.  Keeping the arrays
+     allocated is what lets a pooled detector run reallocation-free. *)
+  if thread < Array.length d.caches then
+    match d.caches.(thread) with Some c -> Cache.reset c | None -> ()
+
+(* Return the detector to its freshly-created state without giving up
+   any grown capacity: trie tables, cache arrays, ownership and eviction
+   tables are all emptied in place.  The report collector is shared with
+   the caller and deliberately NOT reset here — pooled pipelines reset
+   it alongside.  The global [Lockset_id] interner also survives (it is
+   append-only and domain-local, so stale entries are merely a warm
+   cache for the next execution). *)
+let reset d =
+  (match d.history with
+  | Htries tries -> Hashtbl.clear tries
+  | Hpacked h -> Trie_packed.clear h);
+  Array.iter (function Some c -> Cache.reset c | None -> ()) d.caches;
+  Ownership.reset d.own;
+  (match d.evict with
+  | Some es ->
+      Hashtbl.clear es.last_access;
+      Hashtbl.clear es.ever_evicted;
+      es.evicted <- 0
+  | None -> ());
+  d.events_in <- 0;
+  d.cache_hits <- 0;
+  d.ownership_filtered <- 0;
+  d.weaker_filtered <- 0;
+  d.race_checks <- 0
 
 let evictions d = match d.evict with Some es -> es.evicted | None -> 0
 
@@ -351,6 +383,10 @@ module Standard = struct
   let on_thread_join _ ~joiner:_ ~joinee:_ = ()
 
   let on_thread_exit d ~thread = on_thread_exit d.det ~thread
+
+  let reset d =
+    reset d.det;
+    Report.reset d.coll
 
   let racy_locs d = Report.racy_locs d.coll
 

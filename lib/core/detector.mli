@@ -129,7 +129,20 @@ val on_release : t -> thread:Event.thread_id -> lock:Event.lock_id -> unit
 (** Outermost release of a real lock; triggers cache eviction. *)
 
 val on_thread_exit : t -> thread:Event.thread_id -> unit
-(** Discard the thread's caches. *)
+(** Discard the thread's caches (reset in place; the storage is kept
+    for reuse by a pooled detector). *)
+
+val reset : t -> unit
+(** Return the detector to its freshly-created state {e in place}:
+    access histories, caches, ownership, eviction bookkeeping and stats
+    counters are emptied while every grown table and array keeps its
+    capacity, so a reused detector allocates (almost) nothing on the
+    next execution and observes byte-identically to a fresh one.  The
+    attached {!Report.collector} is shared with the caller and is {e
+    not} reset here; pooled pipelines call {!Report.reset} alongside.
+    The hash-consed {!Lockset_id} interner deliberately survives: it is
+    domain-local and append-only, so retained entries are a warm cache,
+    never a behavioural difference. *)
 
 val evictions : t -> int
 (** Locations retired by the eviction policy so far (0 without one). *)

@@ -64,6 +64,13 @@ module type S = sig
 
   val on_thread_exit : t -> thread:Event.thread_id -> unit
 
+  val reset : t -> unit
+  (** Return the detector to its freshly-created state in place,
+      keeping grown table/array capacity.  A reset instance must be
+      observationally indistinguishable from [create ()]: pooled
+      pipelines replay a new execution into the same instance and
+      require byte-identical reports. *)
+
   val racy_locs : t -> Event.loc_id list
   (** Distinct racy locations, first report per location, in detection
       order. *)

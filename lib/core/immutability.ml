@@ -8,6 +8,8 @@ type t = { tbl : (Event.loc_id, state) Hashtbl.t }
 
 let create () = { tbl = Hashtbl.create 1024 }
 
+let reset t = Hashtbl.clear t.tbl
+
 (* Scalar entry point for the hot path; [find] + [Not_found] avoids the
    [Some] allocation of [find_opt] on every access. *)
 let record t ~thread ~loc ~(kind : Event.kind) =
@@ -39,15 +41,15 @@ type summary = {
 }
 
 let summary t =
-  Hashtbl.fold
-    (fun _ st acc ->
+  let local = ref 0 and imm = ref 0 and mut = ref 0 in
+  Hashtbl.iter
+    (fun _ st ->
       match st with
-      | Local _ -> { acc with thread_local = acc.thread_local + 1 }
-      | Shared false ->
-          { acc with shared_immutable = acc.shared_immutable + 1 }
-      | Shared true -> { acc with shared_mutable = acc.shared_mutable + 1 })
-    t.tbl
-    { thread_local = 0; shared_immutable = 0; shared_mutable = 0 }
+      | Local _ -> incr local
+      | Shared false -> incr imm
+      | Shared true -> incr mut)
+    t.tbl;
+  { thread_local = !local; shared_immutable = !imm; shared_mutable = !mut }
 
 let shared_mutable_locs t =
   Hashtbl.fold

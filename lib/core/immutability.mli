@@ -20,6 +20,9 @@ type t
 
 val create : unit -> t
 
+val reset : t -> unit
+(** Forget every classification in place, keeping table capacity. *)
+
 val on_access : t -> Event.t -> unit
 
 val record :

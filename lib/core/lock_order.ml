@@ -16,35 +16,47 @@ type t = {
 
 let create () = { held = Hashtbl.create 16; edges = Hashtbl.create 64 }
 
+let reset t =
+  Hashtbl.clear t.held;
+  Hashtbl.clear t.edges
+
 let stack_of t thread =
-  Option.value (Hashtbl.find_opt t.held thread) ~default:[]
+  match Hashtbl.find t.held thread with
+  | held -> held
+  | exception Not_found -> []
 
 let on_acquire t ~thread ~lock =
   let held = stack_of t thread in
-  let gates = Lockset_id.of_list held in
-  List.iter
-    (fun l1 ->
-      if l1 <> lock then begin
-        let key = (l1, lock) in
-        let r =
-          match Hashtbl.find_opt t.edges key with
-          | Some r -> r
-          | None ->
-              let r = ref [] in
-              Hashtbl.add t.edges key r;
-              r
-        in
-        let gate = Lockset_id.remove l1 (Lockset_id.remove lock gates) in
-        (* Keep only maximally-weak witnesses: a (thread, gates) pair is
-           subsumed by one with the same thread and a subset of gates. *)
-        if
-          not
-            (List.exists
-               (fun (th, g) -> th = thread && Lockset_id.subset g gate)
-               !r)
-        then r := (thread, gate) :: !r
-      end)
-    held;
+  (* Outermost acquisitions — the overwhelmingly common case in the
+     exploration hot loop — record no edge and intern nothing. *)
+  (match held with
+  | [] -> ()
+  | _ :: _ ->
+      let gates = Lockset_id.of_list held in
+      List.iter
+        (fun l1 ->
+          if l1 <> lock then begin
+            let key = (l1, lock) in
+            let r =
+              match Hashtbl.find_opt t.edges key with
+              | Some r -> r
+              | None ->
+                  let r = ref [] in
+                  Hashtbl.add t.edges key r;
+                  r
+            in
+            let gate = Lockset_id.remove l1 (Lockset_id.remove lock gates) in
+            (* Keep only maximally-weak witnesses: a (thread, gates) pair
+               is subsumed by one with the same thread and a subset of
+               gates. *)
+            if
+              not
+                (List.exists
+                   (fun (th, g) -> th = thread && Lockset_id.subset g gate)
+                   !r)
+            then r := (thread, gate) :: !r
+          end)
+        held);
   Hashtbl.replace t.held thread (lock :: held)
 
 let on_release t ~thread ~lock =

@@ -6,6 +6,12 @@ type verdict = Owned_skip | Became_shared | Already_shared
 
 let create () = { tbl = Hashtbl.create 1024; shared = 0 }
 
+(* [Hashtbl.clear] (not [reset]) keeps the grown bucket array, so a
+   reused table never re-resizes on the next execution. *)
+let reset o =
+  Hashtbl.clear o.tbl;
+  o.shared <- 0
+
 (* [Hashtbl.find] + [Not_found] rather than [find_opt]: the latter
    allocates a [Some] per call, and this runs once per non-cached access
    event. *)

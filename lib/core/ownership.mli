@@ -12,6 +12,10 @@ type t
 
 val create : unit -> t
 
+val reset : t -> unit
+(** Forget every location in place, keeping the table's grown bucket
+    capacity: equivalent to {!create} for all observable behaviour. *)
+
 (** Result of filtering one access. *)
 type verdict =
   | Owned_skip  (** The current thread owns the location: drop the event. *)

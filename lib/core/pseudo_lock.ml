@@ -5,6 +5,10 @@ type t = {
 
 let create () = { dummy = Hashtbl.create 16; held = Hashtbl.create 16 }
 
+let reset t =
+  Hashtbl.clear t.dummy;
+  Hashtbl.clear t.held
+
 let locks_of t tid =
   match Hashtbl.find t.held tid with
   | id -> id

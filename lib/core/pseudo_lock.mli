@@ -15,6 +15,10 @@ type t
 
 val create : unit -> t
 
+val reset : t -> unit
+(** Forget every registered pseudo-lock in place, keeping table
+    capacity. *)
+
 val on_thread_start : t -> Event.thread_id -> Event.lock_id -> unit
 (** Register [S_j] for a newly started thread [j] and add it to [j]'s
     pseudo-lockset.  The caller supplies the lock identity, which must

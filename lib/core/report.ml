@@ -20,6 +20,10 @@ type collector = {
 
 let collector () = { acc = []; seen = Hashtbl.create 64 }
 
+let reset c =
+  c.acc <- [];
+  Hashtbl.clear c.seen
+
 let add c r =
   if not (Hashtbl.mem c.seen r.loc) then begin
     Hashtbl.replace c.seen r.loc ();

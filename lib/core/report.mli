@@ -21,6 +21,10 @@ type collector
 
 val collector : unit -> collector
 
+val reset : collector -> unit
+(** Drop every recorded race in place; equivalent to a fresh
+    {!collector} but keeps the dedup table's bucket capacity. *)
+
 val add : collector -> race -> unit
 
 val races : collector -> race list

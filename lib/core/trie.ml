@@ -15,14 +15,48 @@ type node = {
   mutable children : node list; (* sorted by increasing label *)
 }
 
-type t = { root : node; mutable count : int }
+(* The traversal state of the event being processed lives in mutable
+   scratch fields rather than refs and closures: [process] runs on every
+   event that reaches trie storage, and a handful of heap blocks per
+   event is the difference between a reused run context allocating and
+   not.  The fields are meaningful only during one [process]/
+   [exists_weaker]/[find_race] call; tries are domain-local like the
+   detector that owns them, so there is no concurrent use to guard. *)
+type t = {
+  root : node;
+  mutable count : int;
+  mutable sc_weaker : bool;
+  mutable sc_found : bool; (* race found; racing node in [sc_node] *)
+  mutable sc_node : node;
+  mutable sc_path : int list; (* reversed path to [sc_node] *)
+}
 
 let mk_node label =
   { label; thread = Top; kind = Read; site = -1; children = [] }
 
-let create () = { root = mk_node (-1); count = 1 }
+let create () =
+  let root = mk_node (-1) in
+  {
+    root;
+    count = 1;
+    sc_weaker = false;
+    sc_found = false;
+    sc_node = root;
+    sc_path = [];
+  }
 
 let node_count h = h.count
+
+let clear h =
+  h.root.thread <- Top;
+  h.root.kind <- Read;
+  h.root.site <- -1;
+  h.root.children <- [];
+  h.count <- 1;
+  h.sc_weaker <- false;
+  h.sc_found <- false;
+  h.sc_node <- h.root;
+  h.sc_path <- []
 
 (* Binary search in the event's strictly increasing lock array; fetched
    once per traversal so membership costs no table lookup and no
@@ -35,24 +69,63 @@ let mem_arr (a : int array) l =
   done;
   !lo < Array.length a && a.(!lo) = l
 
-let node_weaker n (e : Event.t) =
-  n.thread <> Top
-  && thread_leq n.thread (Thread e.thread)
-  && kind_leq n.kind e.kind
+(* [tv] is the event's thread as a lattice value, boxed once per event
+   by the caller and reused across every node visited. *)
+let node_weaker n tv (e : Event.t) =
+  n.thread <> Top && thread_leq n.thread tv && kind_leq n.kind e.kind
+
+let node_races n tv (e : Event.t) =
+  (match thread_meet tv n.thread with Bot -> true | _ -> false)
+  && kind_meet e.kind n.kind = Write
 
 (* Weakness check: walk only edges labeled with locks of [e], so every
-   visited node's lockset is a subset of [e.locks]. *)
-let exists_weaker h e =
-  let locks = Lockset_id.sorted_array e.locks in
-  let rec go n =
-    node_weaker n e
-    || List.exists (fun c -> mem_arr locks c.label && go c) n.children
-  in
-  go h.root
+   visited node's lockset is a subset of [e.locks].  Top-level mutual
+   recursion with explicit arguments — no closures on the hot path. *)
+let rec weak_node h n tv e locks =
+  if node_weaker n tv e then h.sc_weaker <- true
+  else weak_children h n.children tv e locks
 
-(* [path] is the reversed list of edge labels to the current node; it is
-   interned only when a race is actually found, so the DFS allocates a
-   few list cells at most and nothing on the no-race path's fast exits. *)
+and weak_children h cs tv e locks =
+  match cs with
+  | [] -> ()
+  | c :: tl ->
+      if mem_arr locks c.label then weak_node h c tv e locks;
+      if not h.sc_weaker then weak_children h tl tv e locks
+
+(* Race check: walk only edges NOT labeled with locks of [e] (Case I
+   prunes common-lock subtrees); a node meeting to (Bot, Write) is a
+   race (Case II), otherwise recurse (Case III).  [path] is the reversed
+   list of edge labels, interned only when a race is actually found. *)
+let rec race_node h n tv e locks path =
+  if node_races n tv e then begin
+    h.sc_found <- true;
+    h.sc_node <- n;
+    h.sc_path <- path
+  end
+  else race_children h n.children tv e locks path
+
+and race_children h cs tv e locks path =
+  match cs with
+  | [] -> ()
+  | c :: tl ->
+      if not (mem_arr locks c.label) then
+        race_node h c tv e locks (c.label :: path);
+      if not h.sc_found then race_children h tl tv e locks path
+
+(* The fused top-level walk over the root's children: below the root the
+   weakness check and the race check explore disjoint parts of the trie
+   (subset edges vs. disjoint edges), so each child goes to exactly one
+   of them. *)
+let rec split_children h cs tv e locks =
+  match cs with
+  | [] -> ()
+  | c :: tl ->
+      (if mem_arr locks c.label then begin
+         if not h.sc_weaker then weak_node h c tv e locks
+       end
+       else if not h.sc_found then race_node h c tv e locks [ c.label ]);
+      split_children h tl tv e locks
+
 let prior_of n path =
   {
     p_thread = n.thread;
@@ -61,21 +134,33 @@ let prior_of n path =
     p_site = n.site;
   }
 
+let exists_weaker h e =
+  let locks = Lockset_id.sorted_array e.locks in
+  let tv = Thread e.thread in
+  h.sc_weaker <- false;
+  weak_node h h.root tv e locks;
+  h.sc_weaker
+
 let find_race h (e : Event.t) =
   let locks = Lockset_id.sorted_array e.locks in
-  let exception Found of prior in
-  let rec go n path =
-    (* Case II: at least two threads and at least one write. *)
-    if thread_meet (Thread e.thread) n.thread = Bot && kind_meet e.kind n.kind = Write
-    then raise (Found (prior_of n path));
-    (* Case III: recurse, skipping Case-I subtrees (common lock). *)
-    List.iter
-      (fun c -> if not (mem_arr locks c.label) then go c (c.label :: path))
-      n.children
-  in
-  match go h.root [] with
-  | () -> None
-  | exception Found p -> Some p
+  let tv = Thread e.thread in
+  h.sc_found <- false;
+  race_node h h.root tv e locks [];
+  if h.sc_found then Some (prior_of h.sc_node h.sc_path) else None
+
+(* Sorted-children search and insertion, kept closure-free: the hit path
+   of [find_child] allocates nothing (a constant exception signals
+   absence). *)
+let rec find_child l cs =
+  match cs with
+  | c :: _ when c.label = l -> c
+  | c :: tl when c.label < l -> find_child l tl
+  | _ -> raise Not_found
+
+let rec insert_sorted c cs =
+  match cs with
+  | x :: tl when x.label < c.label -> x :: insert_sorted c tl
+  | _ -> c :: cs
 
 (* Find or create the node addressed by the sorted lock array [path]
    starting at index [i]. *)
@@ -83,22 +168,13 @@ let rec descend h n (path : int array) i =
   if i >= Array.length path then n
   else begin
     let l = path.(i) in
-    let rec find = function
-      | c :: _ when c.label = l -> Some c
-      | c :: tl when c.label < l -> find tl
-      | _ -> None
-    in
     let child =
-      match find n.children with
-      | Some c -> c
-      | None ->
+      match find_child l n.children with
+      | c -> c
+      | exception Not_found ->
           let c = mk_node l in
           h.count <- h.count + 1;
-          let rec ins = function
-            | x :: tl when x.label < l -> x :: ins tl
-            | tl -> c :: tl
-          in
-          n.children <- ins n.children;
+          n.children <- insert_sorted c n.children;
           c
     in
     descend h child path (i + 1)
@@ -109,55 +185,60 @@ let rec descend h n (path : int array) i =
    garbage-collect empty leaves.  [required] is the sorted array of locks
    of the new access; [ri] indexes the first lock not yet seen on the
    current path.  Edge labels increase along paths, so a label above the
-   next required lock kills the whole subtree. *)
-let prune_stronger h keep (required : int array) tv av =
-  let nreq = Array.length required in
-  let rec go n ri =
-    let ri' =
-      if ri < nreq && n.label = required.(ri) then Some (ri + 1)
-      else if ri < nreq && n.label > required.(ri) then None
-      else Some ri
-    in
-    match ri' with
-    | None -> true
-    | Some ri ->
-        if
-          ri = nreq && n != keep && n.thread <> Top
-          && thread_leq tv n.thread && kind_leq av n.kind
-        then begin
-          n.thread <- Top;
-          n.kind <- Read;
-          n.site <- -1
-        end;
-        let survivors =
-          List.filter
-            (fun c ->
-              let live = go c ri in
-              if not live then h.count <- h.count - 1;
-              live)
-            n.children
-        in
-        n.children <- survivors;
-        n.thread <> Top || n.children <> [] || n == keep
-  in
-  ignore (go h.root 0)
-
-let update h e =
-  let locks = Lockset_id.sorted_array e.locks in
-  let n = descend h h.root locks 0 in
-  if n.thread = Top then begin
-    n.thread <- Thread e.thread;
-    n.kind <- e.kind;
-    n.site <- e.site
-  end
+   next required lock kills the whole subtree.  [prune_children] keeps
+   the original list spine whenever every child survives, so a pruning
+   pass over an already-minimal trie writes and allocates nothing. *)
+let rec prune_node h keep required nreq tv av n ri =
+  if ri < nreq && n.label > required.(ri) then true
   else begin
-    n.thread <- thread_meet n.thread (Thread e.thread);
-    (* Keep the site aligned with the strongest kind: once the summary
-       says WRITE, point at a write site. *)
-    if e.kind = Write && n.kind = Read then n.site <- e.site;
-    n.kind <- kind_meet n.kind e.kind
-  end;
+    let ri = if ri < nreq && n.label = required.(ri) then ri + 1 else ri in
+    if
+      ri = nreq && n != keep && n.thread <> Top
+      && thread_leq tv n.thread && kind_leq av n.kind
+    then begin
+      n.thread <- Top;
+      n.kind <- Read;
+      n.site <- -1
+    end;
+    let cs' = prune_children h keep required nreq tv av n.children ri in
+    if cs' != n.children then n.children <- cs';
+    n.thread <> Top
+    || (match n.children with [] -> false | _ :: _ -> true)
+    || n == keep
+  end
+
+and prune_children h keep required nreq tv av cs ri =
+  match cs with
+  | [] -> []
+  | c :: tl ->
+      let live = prune_node h keep required nreq tv av c ri in
+      let tl' = prune_children h keep required nreq tv av tl ri in
+      if live then if tl' == tl then cs else c :: tl'
+      else begin
+        h.count <- h.count - 1;
+        tl'
+      end
+
+let prune_stronger h keep (required : int array) tv av =
+  ignore (prune_node h keep required (Array.length required) tv av h.root 0)
+
+let update_at h (tv : thread_info) (e : Event.t) locks =
+  let n = descend h h.root locks 0 in
+  (match n.thread with
+  | Top ->
+      n.thread <- tv;
+      n.kind <- e.kind;
+      n.site <- e.site
+  | _ ->
+      n.thread <- thread_meet n.thread tv;
+      (* Keep the site aligned with the strongest kind: once the summary
+         says WRITE, point at a write site. *)
+      if e.kind = Write && n.kind = Read then n.site <- e.site;
+      n.kind <- kind_meet n.kind e.kind);
   prune_stronger h n locks n.thread n.kind
+
+let update h (e : Event.t) =
+  update_at h (Thread e.thread) e (Lockset_id.sorted_array e.locks)
 
 (* One event end-to-end.  The race check runs unconditionally — see the
    interface comment: gating it behind the weakness check, as the paper
@@ -172,43 +253,19 @@ let update h e =
    of the trie. *)
 let process h (e : Event.t) =
   let locks = Lockset_id.sorted_array e.locks in
-  let race = ref None in
-  let weaker = ref false in
-  let rec weak_dfs n =
-    (* Paths within e.L only. *)
-    if node_weaker n e then weaker := true
-    else
-      List.iter
-        (fun c -> if (not !weaker) && mem_arr locks c.label then weak_dfs c)
-        n.children
-  in
-  let rec race_dfs n path =
-    (* Paths disjoint from e.L only. *)
-    if
-      !race = None
-      && thread_meet (Thread e.thread) n.thread = Bot
-      && kind_meet e.kind n.kind = Write
-    then race := Some (prior_of n path)
-    else if !race = None then
-      List.iter
-        (fun c ->
-          if (not (mem_arr locks c.label)) && !race = None then
-            race_dfs c (c.label :: path))
-        n.children
-  in
-  (* The root participates in both: it is the ∅-lockset node. *)
-  if node_weaker h.root e then weaker := true;
-  if
-    thread_meet (Thread e.thread) h.root.thread = Bot
-    && kind_meet e.kind h.root.kind = Write
-  then race := Some (prior_of h.root []);
-  List.iter
-    (fun c ->
-      if mem_arr locks c.label then (if not !weaker then weak_dfs c)
-      else if !race = None then race_dfs c [ c.label ])
-    h.root.children;
-  if not !weaker then update h e;
-  (!race, !weaker)
+  let tv = Thread e.thread in
+  h.sc_weaker <- node_weaker h.root tv e;
+  h.sc_found <- false;
+  (* The root participates in both checks: it is the ∅-lockset node. *)
+  if node_races h.root tv e then begin
+    h.sc_found <- true;
+    h.sc_node <- h.root;
+    h.sc_path <- []
+  end;
+  split_children h h.root.children tv e locks;
+  if not h.sc_weaker then update_at h tv e locks;
+  let race = if h.sc_found then Some (prior_of h.sc_node h.sc_path) else None in
+  (race, h.sc_weaker)
 
 let fold_accesses f h init =
   let rec go n path acc =

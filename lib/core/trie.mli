@@ -41,6 +41,11 @@ val node_count : t -> int
 (** Number of trie nodes currently allocated, including the root; the
     space metric reported in Section 8.2. *)
 
+val clear : t -> unit
+(** Return the trie to its freshly-created state: the root summary and
+    all children are dropped in place, so the next execution replayed
+    against this trie observes exactly what a {!create}d one would. *)
+
 val exists_weaker : t -> Event.t -> bool
 (** [exists_weaker h e] is [true] iff the history holds an access weaker
     than [e], i.e. [e] is redundant and can be discarded without

@@ -24,6 +24,11 @@ let create () = { root = mk_node (-1); nodes = 1 }
 
 let node_count h = h.nodes
 
+let clear h =
+  Hashtbl.clear h.root.summaries;
+  h.root.children <- [];
+  h.nodes <- 1
+
 let summary_count h =
   let rec go n acc =
     List.fold_left (fun acc c -> go c acc) (acc + Hashtbl.length n.summaries) n.children

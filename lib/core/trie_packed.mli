@@ -26,6 +26,11 @@ val process : t -> Event.t -> Trie.prior option * bool
 val node_count : t -> int
 (** Trie nodes allocated — shared across all locations. *)
 
+val clear : t -> unit
+(** Return the packed trie to its freshly-created state in place: the
+    root's summary table keeps its bucket capacity, so a reused trie
+    observes identically to a fresh one but without the rebuild cost. *)
+
 val summary_count : t -> int
 (** Per-(lockset, location) access summaries stored — the analogue of
     the non-[Top] nodes of the per-location tries. *)

@@ -91,10 +91,14 @@ let fingerprint_tap () =
   in
   (tap, fun () -> !fp)
 
+(* Constant strings: this runs once per sighting per run in the
+   campaign hot loop, so no formatting machinery. *)
 let kinds_of (race : Report.race) =
-  let k = function Event.Read -> "read" | Event.Write -> "write" in
-  Printf.sprintf "%s vs %s" (k race.Report.current.Event.kind)
-    (k race.Report.prior.Trie.p_kind)
+  match (race.Report.current.Event.kind, race.Report.prior.Trie.p_kind) with
+  | Event.Read, Event.Read -> "read vs read"
+  | Event.Read, Event.Write -> "read vs write"
+  | Event.Write, Event.Read -> "write vs read"
+  | Event.Write, Event.Write -> "write vs write"
 
 let site_name (c : Pipeline.compiled) s =
   if s < 0 || s >= Site_table.count c.Pipeline.prog.Ir.p_sites then "<unknown>"
@@ -135,11 +139,11 @@ let vm_of (c : Pipeline.compiled) (sp : Strategy.run_spec) =
     policy = sp.Strategy.sp_policy;
   }
 
-let observe_run (c : Pipeline.compiled) (sp : Strategy.run_spec) :
+let observe_run ?ctx (c : Pipeline.compiled) (sp : Strategy.run_spec) :
     Aggregate.run_obs =
   let vm = vm_of c sp in
   let tap, fp = fingerprint_tap () in
-  let r = Pipeline.run ~vm ~tap c in
+  let r = Pipeline.run ?ctx ~vm ~tap c in
   {
     Aggregate.o_index = sp.Strategy.sp_index;
     o_seed = sp.Strategy.sp_seed;
@@ -202,18 +206,20 @@ let seen_sync journal seen =
       if not (Hashtbl.mem seen.sn_tbl hb) then Hashtbl.add seen.sn_tbl hb rep)
     news
 
-let observe_run_hb (c : Pipeline.compiled) (sp : Strategy.run_spec) ~seen :
+let observe_run_hb ?ctx (c : Pipeline.compiled) (sp : Strategy.run_spec) ~seen :
     Aggregate.run_obs =
   let vm = vm_of c sp in
   let raw_tap, raw_fp = fingerprint_tap () in
   let hb_tap, hb_fp = Hb_fingerprint.tap () in
-  let r1 = Pipeline.run ~vm ~tap:(Sink.tee raw_tap hb_tap) ~detect:false c in
+  let r1 =
+    Pipeline.run ?ctx ~vm ~tap:(Sink.tee raw_tap hb_tap) ~detect:false c
+  in
   let hb = hb_fp () in
   let sightings, objects, wall =
     match Hashtbl.find_opt seen.sn_tbl hb with
     | Some (sightings, objects) -> (sightings, objects, r1.Pipeline.wall_time)
     | None ->
-        let r2 = Pipeline.run ~vm c in
+        let r2 = Pipeline.run ?ctx ~vm c in
         let sightings = sightings_of c r2 in
         let objects = r2.Pipeline.racy_objects in
         Hashtbl.add seen.sn_tbl hb (sightings, objects);
@@ -376,7 +382,8 @@ let tracker_note tracker ordinal run_keys =
    for a bounded memory cost.  Throughput-only: reports cannot see it. *)
 let pool_gc_space_overhead = 240
 
-let run_campaign ?shard ?batch (sp : spec) ~source : report =
+let run_campaign ?shard ?batch ?(reuse_ctx = true) (sp : spec) ~source : report
+    =
   let shard_i, shard_n =
     match shard with
     | None -> (0, 1)
@@ -443,10 +450,18 @@ let run_campaign ?shard ?batch (sp : spec) ~source : report =
       if w = 0 then compiled0 else Pipeline.compile sp.e_config ~source
     in
     let seen = match sp.e_equiv with Hb -> Some (seen_make ()) | Raw -> None in
+    (* One run context per worker domain, alive for the whole campaign:
+       the hot loop resets state in place instead of re-allocating a
+       detector and a VM heap per run.  Reports are byte-identical
+       either way ([--no-ctx-reuse] exists to demonstrate exactly
+       that). *)
+    let ctx =
+      if reuse_ctx then Some (Pipeline.Run_ctx.create compiled) else None
+    in
     let observe =
       match seen with
-      | Some seen -> fun rsp -> observe_run_hb compiled rsp ~seen
-      | None -> observe_run compiled
+      | Some seen -> fun rsp -> observe_run_hb ?ctx compiled rsp ~seen
+      | None -> fun rsp -> observe_run ?ctx compiled rsp
     in
     let scratch = Buffer.create 1024 in
     let outbox = outboxes.(w) in

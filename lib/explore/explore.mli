@@ -123,12 +123,22 @@ val fingerprint_tap : unit -> Drd_vm.Sink.t * (unit -> int)
     tests. *)
 
 val observe_run :
-  Drd_harness.Pipeline.compiled -> Strategy.run_spec -> Aggregate.run_obs
+  ?ctx:Drd_harness.Pipeline.Run_ctx.t ->
+  Drd_harness.Pipeline.compiled ->
+  Strategy.run_spec ->
+  Aggregate.run_obs
 (** Execute one schedule and summarize it (races sighted, interleaving
-    fingerprint, throughput counters).  Exposed for tests. *)
+    fingerprint, throughput counters).  [?ctx] reuses a pooled run
+    context (see {!Drd_harness.Pipeline.Run_ctx}); the observation is
+    byte-identical with or without it.  Exposed for tests. *)
 
 val run_campaign :
-  ?shard:int * int -> ?batch:int -> spec -> source:string -> report
+  ?shard:int * int ->
+  ?batch:int ->
+  ?reuse_ctx:bool ->
+  spec ->
+  source:string ->
+  report
 (** Execute the campaign on a persistent worker-domain pool: domains
     are spawned once (the calling domain is worker 0), each compiles
     its own program copy, claims {e chunks} of run indices from a
@@ -139,6 +149,13 @@ val run_campaign :
     every batch size yields the byte-identical report, because rows are
     re-sorted by run index before folding.  Raises [Invalid_argument]
     on [batch < 1].
+
+    [?reuse_ctx] (default [true]) gives each worker domain one pooled
+    {!Drd_harness.Pipeline.Run_ctx.t} for the whole campaign, reset in
+    place between runs instead of re-allocating detector and VM state
+    per run.  Like [?batch], it is a pure throughput knob: reports are
+    byte-identical either way (the CLI's [--no-ctx-reuse] and CI's
+    fresh-vs-reused diff enforce this).
 
     A source that fails to compile raises
     {!Drd_harness.Pipeline.Compile_error} before any domain is spawned:

@@ -190,8 +190,108 @@ let sink_of_module (type a) (module D : Detector_intf.S with type t = a)
     spec = None;
   }
 
-let run ?vm ?tap ?(detect = true) ?(engine = (`Spec : engine))
+(* Pooled state for the [`Spec] engine's fast paths: the memo tables the
+   spec handler in {!run} closes over.  8k slots per table (see the
+   sizing note there); pooled so a campaign refills them instead of
+   reallocating ~135k words per run. *)
+let memo_bits = 13
+
+type spec_state = {
+  ss_memo : int array; (* Sfixed reached-event memo *)
+  ss_shared : int array; (* managed-cell cache mirror *)
+  ss_ro_seen : bool array; (* per-cell first-sighting flags *)
+  ss_own_map : (int, int) Hashtbl.t; (* managed location -> owner / -2 *)
+}
+
+let make_spec_state sp =
+  {
+    ss_memo = Array.make (1 lsl memo_bits) (-1);
+    ss_shared = Array.make (1 lsl memo_bits) (-1);
+    ss_ro_seen = Array.make sp.Link.sp_ncells false;
+    ss_own_map = Hashtbl.create 1024;
+  }
+
+let reset_spec_state ss =
+  Array.fill ss.ss_memo 0 (Array.length ss.ss_memo) (-1);
+  Array.fill ss.ss_shared 0 (Array.length ss.ss_shared) (-1);
+  Array.fill ss.ss_ro_seen 0 (Array.length ss.ss_ro_seen) false;
+  Hashtbl.clear ss.ss_own_map
+
+(* A detector-module instance packed with its module, so pooled
+   baseline detectors can be stored untyped and reset between runs. *)
+type pooled_detector =
+  | Pooled :
+      (module Detector_intf.S with type t = 'a) * 'a
+      -> pooled_detector
+
+let pool_detector (module D : Detector_intf.S) = Pooled ((module D), D.create ())
+
+(* A pooled, resettable run context: everything {!run} would otherwise
+   allocate per run — VM state, detector, collector, side analyses,
+   spec-handler memo tables — created once per (worker, compiled) pair
+   and reset at the start of every run that uses it.  Reports from a
+   reused context are byte-identical to fresh-context runs; the tests,
+   the CI diff step and the explore bench all assert this. *)
+module Run_ctx = struct
+  type t = {
+    rc_compiled : compiled;
+    rc_vm : Interp.ctx;
+    rc_collector : Report.collector;
+    rc_lock_order : Lock_order.t;
+    rc_immut : Immutability.t;
+    rc_det : Detector.t option; (* Config.Ours only *)
+    rc_baseline : pooled_detector option; (* baseline configs only *)
+    rc_spec : spec_state option; (* images with specialized cells only *)
+  }
+
+  let create (c : compiled) : t =
+    let collector = Report.collector () in
+    let det, baseline =
+      match c.config.Config.detector with
+      | Config.Ours ->
+          ( Some
+              (Detector.create
+                 ~config:
+                   {
+                     Detector.default_config with
+                     Detector.use_cache = c.config.Config.use_cache;
+                     use_ownership = c.config.Config.use_ownership;
+                   }
+                 collector),
+            None )
+      | (Config.Eraser | Config.ObjRace | Config.HappensBefore) as dv ->
+          let entry =
+            match Registry.of_detector dv with
+            | Some e -> e
+            | None -> assert false
+          in
+          (None, Some (pool_detector entry.Registry.impl))
+      | Config.NoDetect -> (None, None)
+    in
+    {
+      rc_compiled = c;
+      rc_vm = Interp.create_ctx c.image;
+      rc_collector = collector;
+      rc_lock_order = Lock_order.create ();
+      rc_immut = Immutability.create ();
+      rc_det = det;
+      rc_baseline = baseline;
+      rc_spec =
+        (match (c.config.Config.detector, c.image.Link.i_spec) with
+        | Config.Ours, Some sp -> Some (make_spec_state sp)
+        | _ -> None);
+    }
+
+  let compiled t = t.rc_compiled
+end
+
+let run ?ctx ?vm ?tap ?(detect = true) ?(engine = (`Spec : engine))
     ?(site_stats = false) (c : compiled) : result =
+  (match ctx with
+  | Some x when x.Run_ctx.rc_compiled != c ->
+      invalid_arg
+        "Pipeline.run: run context belongs to a different compiled program"
+  | _ -> ());
   let config = c.config in
   let events = ref 0 in
   let spec_events = ref 0 in
@@ -208,9 +308,22 @@ let run ?vm ?tap ?(detect = true) ?(engine = (`Spec : engine))
     bump site_ev site;
     f ~tid ~loc ~kind ~locks ~site
   in
-  let collector = Report.collector () in
-  let lock_order = Lock_order.create () in
-  let immut = Immutability.create () in
+  (* Pooled pieces come from the context, reset at the start of the
+     run; without a context they are created per run as before.  Only
+     the state this run will actually write is reset — a [detect:false]
+     (fingerprint-only) pass on a shared context must not pay for, or
+     disturb, the detector state a detecting run left behind. *)
+  let collector, lock_order, immut =
+    match ctx with
+    | Some x ->
+        if detect && config.Config.detector = Config.Ours then begin
+          Report.reset x.Run_ctx.rc_collector;
+          Lock_order.reset x.Run_ctx.rc_lock_order;
+          Immutability.reset x.Run_ctx.rc_immut
+        end;
+        (x.Run_ctx.rc_collector, x.Run_ctx.rc_lock_order, x.Run_ctx.rc_immut)
+    | None -> (Report.collector (), Lock_order.create (), Immutability.create ())
+  in
   let finishers = ref [] in
   let sink =
     (* [detect = false] runs the same instrumented program (so the
@@ -225,14 +338,19 @@ let run ?vm ?tap ?(detect = true) ?(engine = (`Spec : engine))
     | Config.NoDetect -> Sink.null
     | Config.Ours ->
         let det =
-          Detector.create
-            ~config:
-              {
-                Detector.default_config with
-                Detector.use_cache = config.Config.use_cache;
-                use_ownership = config.Config.use_ownership;
-              }
-            collector
+          match ctx with
+          | Some { Run_ctx.rc_det = Some det; _ } ->
+              Detector.reset det;
+              det
+          | _ ->
+              Detector.create
+                ~config:
+                  {
+                    Detector.default_config with
+                    Detector.use_cache = config.Config.use_cache;
+                    use_ownership = config.Config.use_ownership;
+                  }
+                collector
         in
         finishers :=
           [ (fun () -> `Ours (Detector.stats det)) ];
@@ -248,7 +366,6 @@ let run ?vm ?tap ?(detect = true) ?(engine = (`Spec : engine))
         let spec_handler =
           match (engine, c.image.Link.i_spec) with
           | `Spec, Some sp ->
-              let ncells = sp.Link.sp_ncells in
               let classes = sp.Link.sp_cell_class in
               let is_managed = sp.Link.sp_cell_managed in
               (* Memo of packed (loc, kind, locks, tid) keys of events
@@ -259,12 +376,18 @@ let run ?vm ?tap ?(detect = true) ?(engine = (`Spec : engine))
                  cell inserted the key — the theorem is per event, not
                  per site — and a collision merely falls back to the
                  exact generic path. *)
-              (* 8k slots per table: comfortably above the distinct-key
-                 count of a run's hot sites, small enough that the
-                 per-run zeroing cost stays negligible for short
+              (* 8k slots per table ([memo_bits]): comfortably above the
+                 distinct-key count of a run's hot sites, small enough
+                 that the per-run refill cost stays negligible for short
                  exploration replays. *)
-              let memo_bits = 13 in
-              let memo = Array.make (1 lsl memo_bits) (-1) in
+              let ss =
+                match ctx with
+                | Some { Run_ctx.rc_spec = Some ss; _ } ->
+                    reset_spec_state ss;
+                    ss
+                | _ -> make_spec_state sp
+              in
+              let memo = ss.ss_memo in
               let memo_idx key =
                 (key * 0x9E3779B1) lsr 11 land ((1 lsl memo_bits) - 1)
               in
@@ -277,14 +400,14 @@ let run ?vm ?tap ?(detect = true) ?(engine = (`Spec : engine))
                 else -1
               in
               (* Sro: whether the cell's first event was forwarded. *)
-              let ro_seen = Array.make ncells false in
+              let ro_seen = ss.ss_ro_seen in
               (* The shared location-owner map of the managed cells:
                  owner thread id, or -2 once the location saw a second
                  thread (demoted: owner shortcut off for good).  Every
                  traced site that can touch a mapped location is itself
                  a managed cell (Specialize's component closure), so
                  the map always witnesses the demoting event. *)
-              let own_map : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+              let own_map = ss.ss_own_map in
               let generic_event ~tid ~loc ~kind ~locks ~site =
                 Immutability.record immut ~thread:tid ~loc ~kind;
                 Detector.on_access_interned det ~loc ~thread:tid ~locks ~kind
@@ -330,7 +453,7 @@ let run ?vm ?tap ?(detect = true) ?(engine = (`Spec : engine))
                  Mirroring requires the cache to exist at all, hence the
                  [use_cache] gate. *)
               let cache_on = config.Config.use_cache in
-              let shared = Array.make (1 lsl memo_bits) (-1) in
+              let shared = ss.ss_shared in
               let pack_shared ~tid ~loc ~kind =
                 if cache_on && tid < 1 lsl 10 then
                   (loc lsl 11)
@@ -458,18 +581,26 @@ let run ?vm ?tap ?(detect = true) ?(engine = (`Spec : engine))
               Detector.on_release det ~thread:tid ~lock);
           thread_exit = (fun ~tid -> Detector.on_thread_exit det ~thread:tid);
         }
-    | (Config.Eraser | Config.ObjRace | Config.HappensBefore) as dv ->
+    | (Config.Eraser | Config.ObjRace | Config.HappensBefore) as dv -> (
         (* Every baseline goes through the registry's Detector_intf.S
-           module — no per-baseline plumbing. *)
-        let entry =
-          match Registry.of_detector dv with
-          | Some e -> e
-          | None -> assert false
+           module — no per-baseline plumbing.  A pooled instance is
+           reset; a fresh one is reset too, which is a no-op. *)
+        let pooled =
+          match ctx with
+          | Some { Run_ctx.rc_baseline = Some p; _ } -> p
+          | _ ->
+              let entry =
+                match Registry.of_detector dv with
+                | Some e -> e
+                | None -> assert false
+              in
+              pool_detector entry.Registry.impl
         in
-        let (module D : Detector_intf.S) = entry.Registry.impl in
-        let d = D.create () in
-        finishers := [ (fun () -> `Locs (D.racy_locs d)) ];
-        sink_of_module (module D) d ~wrap_access:count
+        match pooled with
+        | Pooled ((module D), d) ->
+            D.reset d;
+            finishers := [ (fun () -> `Locs (D.racy_locs d)) ];
+            sink_of_module (module D) d ~wrap_access:count)
   in
   let vm_config =
     match vm with Some v -> v | None -> vm_config_of config
@@ -477,11 +608,15 @@ let run ?vm ?tap ?(detect = true) ?(engine = (`Spec : engine))
   let sink = match tap with Some t -> Sink.tee sink t | None -> sink in
   let t0 = Unix.gettimeofday () in
   let r =
-    match engine with
+    match (engine, ctx) with
     (* [`Spec] and [`Linked] run the same image; they differ only in
-       whether the sink installed a [spec] handler above. *)
-    | `Linked | `Spec -> Interp.run ~config:vm_config ~sink c.image
-    | `Ref -> Interp_ref.run ~config:vm_config ~sink c.prog
+       whether the sink installed a [spec] handler above.  [`Ref] is
+       the frozen block interpreter and is never pooled — the context's
+       detector-side state still is. *)
+    | (`Linked | `Spec), Some x ->
+        Interp.run_ctx ~config:vm_config ~sink x.Run_ctx.rc_vm
+    | (`Linked | `Spec), None -> Interp.run ~config:vm_config ~sink c.image
+    | `Ref, _ -> Interp_ref.run ~config:vm_config ~sink c.prog
   in
   let wall = Unix.gettimeofday () -. t0 in
   let heap = r.Interp.r_heap in
@@ -682,10 +817,14 @@ let run_module ?vm ?(engine = (`Spec : engine))
 
 (* Post-mortem replay of a recorded log through any detector module:
    the generic sibling of {!detect_post_mortem} (which keeps the paper
-   detector's full stats). *)
-let replay_module (module D : Detector_intf.S) (log : Event_log.t) :
+   detector's full stats).  [replay_pooled] is the reusable form: the
+   instance is reset up front, so one pooled detector serves any number
+   of replays. *)
+let replay_pooled (p : pooled_detector) (log : Event_log.t) :
     Event.loc_id list * int =
-  let d = D.create () in
+  match p with
+  | Pooled ((module D), d) ->
+  D.reset d;
   Event_log.iter
     (fun entry ->
       match entry with
@@ -701,6 +840,10 @@ let replay_module (module D : Detector_intf.S) (log : Event_log.t) :
       | Event_log.Thread_exit t -> D.on_thread_exit d ~thread:t)
     log;
   (D.racy_locs d, D.events_seen d)
+
+let replay_module (m : (module Detector_intf.S)) (log : Event_log.t) :
+    Event.loc_id list * int =
+  replay_pooled (pool_detector m) log
 
 let names_of (c : compiled) (r : result) : Names.t =
   let names = Names.create () in

@@ -87,7 +87,38 @@ val vm_config_of : Config.t -> Interp.config
 (** The VM configuration a harness configuration denotes (seed, quantum,
     granularity, pseudo-locks, scheduling policy). *)
 
+type pooled_detector =
+  | Pooled :
+      (module Detector_intf.S with type t = 'a) * 'a
+      -> pooled_detector
+      (** A detector instance packed with its module, so it can be reset
+          and reused across runs without re-allocating. *)
+
+val pool_detector : (module Detector_intf.S) -> pooled_detector
+(** Allocate one instance of a detector module for pooling. *)
+
+(** A resettable per-worker run context: every piece of mutable state a
+    {!run} needs — the VM context (heap, thread/monitor tables, PCT
+    priorities), the detector with its tries, caches and ownership
+    table, the report collector, lock-order graph, immutability tracker
+    and (when the image carries static facts) the specialized-trace
+    scratch — allocated once and reset in place at the start of each
+    run.  A run with a context is byte-identical to one without; only
+    the allocation behaviour differs.  Contexts are single-domain and
+    bound to the [compiled] they were created from. *)
+module Run_ctx : sig
+  type t
+
+  val create : compiled -> t
+  (** Allocate a context sized for [compiled]'s configuration: the
+      detector matching [config.detector], plus VM and spec state. *)
+
+  val compiled : t -> compiled
+  (** The program this context is bound to. *)
+end
+
 val run :
+  ?ctx:Run_ctx.t ->
   ?vm:Interp.config ->
   ?tap:Drd_vm.Sink.t ->
   ?detect:bool ->
@@ -107,7 +138,16 @@ val run :
     [?engine] (default [`Spec]) selects the interpreter; [`Linked] and
     [`Ref] exist for golden-identity checking and benchmarking.
     [?site_stats:true] additionally counts events and fast-path drops
-    per trace site (a small per-event cost; off by default). *)
+    per trace site (a small per-event cost; off by default).
+
+    [?ctx] runs inside a pooled {!Run_ctx.t} instead of allocating fresh
+    state: the context is reset at the start of the run, and the report
+    is byte-identical to a fresh-context run.  The returned [heap] and
+    [report] alias the context's state — read them before the next run
+    on the same context.  Raises [Invalid_argument] if [ctx] was created
+    from a different [compiled].  If the run raises
+    {!Interp.Runtime_error}, the context stays valid and fully resets on
+    its next use. *)
 
 val run_source : Config.t -> string -> compiled * result
 
@@ -180,4 +220,9 @@ val replay_module :
   (module Detector_intf.S) -> Event_log.t -> Event.loc_id list * int
 (** Post-mortem replay of a recorded log through any detector module:
     [(racy locations, events seen)].  The generic sibling of
-    {!detect_post_mortem}. *)
+    {!detect_post_mortem}.  Equivalent to
+    [replay_pooled (pool_detector m) log]. *)
+
+val replay_pooled : pooled_detector -> Event_log.t -> Event.loc_id list * int
+(** Like {!replay_module}, but through a pooled instance that is reset
+    before the replay — one allocation serves any number of logs. *)

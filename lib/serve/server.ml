@@ -9,7 +9,12 @@ type conf = {
 
 (* ---- one connection's protocol state, transport-agnostic ---- *)
 
-type conn = { c_send : string -> unit; mutable c_session : Session.t option }
+type conn = {
+  c_send : string -> unit;
+  mutable c_session : Session.t option;
+  c_pool : Session.pool;
+      (* connection-lifetime detector state, reset per session *)
+}
 
 (* What one inbound line did to the connection. *)
 type outcome =
@@ -95,8 +100,8 @@ let handle_control conf metrics conn ~live = function
               Metrics.on_session_open metrics;
               conn.c_session <-
                 Some
-                  (Session.create ~id ~kind:c_kind ~config
-                     ~eviction:conf.sv_eviction);
+                  (Session.create ~pool:conn.c_pool ~id ~kind:c_kind ~config
+                     ~eviction:conf.sv_eviction ());
               conn.c_send (Protocol.hello_frame ~session:id ~kind:c_kind);
               Continue))
   | Protocol.Stats_req ->
@@ -124,8 +129,9 @@ let handle_line conf metrics conn ~live line =
                needs no framing at all. *)
             Metrics.on_session_open metrics;
             let s =
-              Session.create ~id:"default" ~kind:Protocol.Events
-                ~config:conf.sv_config ~eviction:conf.sv_eviction
+              Session.create ~pool:conn.c_pool ~id:"default"
+                ~kind:Protocol.Events ~config:conf.sv_config
+                ~eviction:conf.sv_eviction ()
             in
             conn.c_session <- Some s;
             s
@@ -152,7 +158,7 @@ let serve_channels conf ic oc =
     output_char oc '\n';
     flush oc
   in
-  let conn = { c_send = send; c_session = None } in
+  let conn = { c_send = send; c_session = None; c_pool = Session.pool () } in
   let live = live_of_conn conn in
   let next_stats =
     ref
@@ -223,7 +229,7 @@ let make_sconn fd =
     sc_fd = fd;
     sc_buf = Buffer.create 65536;
     sc_alive = alive;
-    sc_conn = { c_send = send; c_session = None };
+    sc_conn = { c_send = send; c_session = None; c_pool = Session.pool () };
   }
 
 let serve_socket conf ~path ?ready () =

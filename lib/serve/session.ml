@@ -24,7 +24,20 @@ type state = E of events_state | O of obs_state
 
 type t = { s_id : string; s_kind : Protocol.kind; state : state }
 
-let create ~id ~kind ~config ~eviction =
+(* A connection-lifetime pool of (detector, collector) pairs, keyed by
+   the detector knobs a session's configuration selects.  The daemon's
+   eviction policy is fixed per server, so it is not part of the key.
+   Reusing a pooled pair across the sessions of one connection — reset
+   in place at session open — keeps the detector's grown tables
+   (history, caches, ownership) warm instead of re-allocating them per
+   session; reports are byte-identical to fresh-detector sessions. *)
+type pool = {
+  mutable p_entries : ((bool * bool) * (Detector.t * Report.collector)) list;
+}
+
+let pool () = { p_entries = [] }
+
+let create ?pool ~id ~kind ~config ~eviction () =
   let state =
     match kind with
     | Protocol.Events ->
@@ -37,8 +50,27 @@ let create ~id ~kind ~config ~eviction =
             use_ownership = config.Config.use_ownership;
           }
         in
-        let collector = Report.collector () in
-        let detector = Detector.create ~config:dconfig ?eviction collector in
+        let fresh () =
+          let collector = Report.collector () in
+          let detector = Detector.create ~config:dconfig ?eviction collector in
+          (detector, collector)
+        in
+        let detector, collector =
+          match pool with
+          | None -> fresh ()
+          | Some p -> (
+              let key = (dconfig.Detector.use_cache, dconfig.Detector.use_ownership) in
+              match List.assoc_opt key p.p_entries with
+              | Some (d, c) ->
+                  (* Detector.reset leaves the collector to its owner. *)
+                  Detector.reset d;
+                  Report.reset c;
+                  (d, c)
+              | None ->
+                  let pair = fresh () in
+                  p.p_entries <- (key, pair) :: p.p_entries;
+                  pair)
+        in
         E { detector; collector; fed = 0; emitted = 0 }
     | Protocol.Obs ->
         O { spec = None; rows_rev = []; obs_fed = 0; obs_races = 0 }

@@ -18,15 +18,28 @@
 
 type t
 
+type pool
+(** A connection-lifetime pool of detector state: sessions opened with
+    the same detector knobs reuse one (detector, collector) pair, reset
+    in place at session open instead of re-allocated.  Pools are
+    single-connection (and single-domain) — never share one across
+    connections. *)
+
+val pool : unit -> pool
+
 val create :
+  ?pool:pool ->
   id:string ->
   kind:Protocol.kind ->
   config:Drd_harness.Config.t ->
   eviction:Drd_core.Detector.eviction option ->
+  unit ->
   t
 (** [config] supplies the detector knobs ([use_cache],
     [use_ownership]); the history is always [Per_location], the
-    representation eviction requires. *)
+    representation eviction requires.  [?pool] reuses the connection's
+    pooled detector state for an [Events] session; the session's frames
+    and report are byte-identical with or without it. *)
 
 val id : t -> string
 val kind : t -> Protocol.kind

@@ -191,7 +191,9 @@ let compute_prestart (pt : Pointsto.t) (may_start : (string, bool) Hashtbl.t)
   let stable = ref false in
   while not !stable do
     stable := true;
-    Hashtbl.reset clean_at;
+    (* [clear], not [reset]: keep the grown bucket array across fixpoint
+       rounds instead of shrinking it back to its initial size. *)
+    Hashtbl.clear clean_at;
     List.iter flow reachable;
     List.iter
       (fun key ->

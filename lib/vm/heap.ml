@@ -11,11 +11,23 @@ type kind =
 
 type t = { mutable data : kind array; mutable n : int }
 
-let create () = { data = Array.make 1024 (Opaque "<unallocated>"); n = 0 }
+(* One shared filler block: [create], growth and [clear] all fill with
+   the same physical value, so clearing a heap writes pointers only. *)
+let unallocated = Opaque "<unallocated>"
+
+let create () = { data = Array.make 1024 unallocated; n = 0 }
+
+(* Empty the heap in place, keeping the grown backing array: only the
+   first [n] slots can hold live objects, so filling that prefix with
+   the shared filler makes the heap indistinguishable from a fresh one
+   (ids restart at 0) while releasing every object for collection. *)
+let clear h =
+  Array.fill h.data 0 h.n unallocated;
+  h.n <- 0
 
 let alloc h kind =
   if h.n = Array.length h.data then begin
-    let data = Array.make (2 * h.n) (Opaque "<unallocated>") in
+    let data = Array.make (2 * h.n) unallocated in
     Array.blit h.data 0 data 0 h.n;
     h.data <- data
   end;

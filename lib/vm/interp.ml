@@ -75,11 +75,16 @@ type result = {
   r_heap : Heap.t;
 }
 
+(* All fields but the register file are mutable so returned frames can
+   be recycled through the per-context free list ([alloc_frame]): a
+   frame is reinitialized field by field on reuse, and its register
+   array — keyed by exact size — is refilled with [Vnull], making a
+   recycled frame indistinguishable from a fresh one. *)
 type frame = {
-  f_meth : lmethod;
+  mutable f_meth : lmethod;
   f_regs : Value.t array;
   mutable f_pc : int; (* index into [f_meth.m_code] *)
-  f_dst : Ir.reg option; (* caller register receiving the return value *)
+  mutable f_dst : Ir.reg option; (* caller register receiving the return value *)
 }
 
 type status =
@@ -146,6 +151,7 @@ type st = {
   class_obj_ids : int array; (* class id -> per-class lock heap id, or -1 *)
   templates : Value.t array array; (* class id -> default field values *)
   mutable ready_buf : int array; (* scratch: ready tids, newest first *)
+  frame_pool : frame list array; (* free frames, indexed by register count *)
   pseudo : Pseudo_lock.t;
   rng : Random.State.t;
   mutable steps : int;
@@ -259,11 +265,31 @@ let emit_access st thr ~loc ~kind ~site =
 let raw_access st thr ~loc ~kind =
   if st.cfg.all_accesses then emit_access st thr ~loc ~kind ~site:(-1)
 
+(* The call hot path: reuse a returned frame of the exact register
+   count when one is free, else allocate.  The refill makes reuse
+   unobservable — registers start [Vnull] either way. *)
+let alloc_frame st (m : lmethod) dst =
+  let n = m.m_nregs in
+  match st.frame_pool.(n) with
+  | fr :: tl ->
+      st.frame_pool.(n) <- tl;
+      Array.fill fr.f_regs 0 n Value.Vnull;
+      fr.f_meth <- m;
+      fr.f_pc <- m.m_entry;
+      fr.f_dst <- dst;
+      fr
+  | [] ->
+      { f_meth = m; f_regs = Array.make n Value.Vnull; f_pc = m.m_entry; f_dst = dst }
+
+let recycle_frame st fr =
+  let n = Array.length fr.f_regs in
+  st.frame_pool.(n) <- fr :: st.frame_pool.(n)
+
 let push_frame st thr mid dst ~copy_args =
   let m = st.image.i_methods.(mid) in
-  let regs = Array.make m.m_nregs Value.Vnull in
-  copy_args regs;
-  thr.t_frames <- { f_meth = m; f_regs = regs; f_pc = m.m_entry; f_dst = dst } :: thr.t_frames
+  let fr = alloc_frame st m dst in
+  copy_args fr.f_regs;
+  thr.t_frames <- fr :: thr.t_frames
 
 (* Execute one non-terminator instruction of the top frame.  [regs] is
    [frame.f_regs] and [pc] the instruction's slot (the slice loop keeps
@@ -486,12 +512,9 @@ let exec_instr st thr frame regs (op : lop) pc : bool =
       if mid < 0 then
         error "class %s has no run method" (Heap.class_of st.heap obj);
       let m = st.image.i_methods.(mid) in
-      let regs' = Array.make m.m_nregs Value.Vnull in
-      regs'.(0) <- Value.Vref obj;
-      let child =
-        new_thread st
-          [ { f_meth = m; f_regs = regs'; f_pc = m.m_entry; f_dst = None } ]
-      in
+      let fr = alloc_frame st m None in
+      fr.f_regs.(0) <- Value.Vref obj;
+      let child = new_thread st [ fr ] in
       st.thread_of_obj.(obj) <- child.t_id;
       st.sink.Sink.thread_start ~parent:thr.t_id ~child:child.t_id;
       true
@@ -617,7 +640,7 @@ let exec_instr st thr frame regs (op : lop) pc : bool =
 let exec_ret st thr frame v =
   let value = match v with Some r -> Some frame.f_regs.(r) | None -> None in
   thr.t_frames <- List.tl thr.t_frames;
-  match thr.t_frames with
+  (match thr.t_frames with
   | [] ->
       thr.t_status <- Finished;
       st.sink.Sink.thread_exit ~tid:thr.t_id
@@ -626,7 +649,10 @@ let exec_ret st thr frame v =
       | Some d, Some v -> caller.f_regs.(d) <- v
       | Some _, None ->
           error "method %s returned no value" frame.f_meth.m_key
-      | None, _ -> ())
+      | None, _ -> ()));
+  (* Recycle only after the return value has been read out of [f_regs]
+     and delivered. *)
+  recycle_frame st frame
 
 (* Can this thread make progress right now? *)
 let ready st t =
@@ -719,25 +745,90 @@ let run_slice st t n =
   done;
   !yielded
 
-let run ?(config = default_config) ~sink (image : image) : result =
-  let heap = Heap.create () in
-  (* Join pseudo-locks live in the heap id space, so they can never
-     collide with real lock (object) identities. *)
-  let pseudo = Pseudo_lock.create () in
+(* A resettable run context: every array and table one execution needs,
+   allocated once and reused across runs.  [run_ctx] resets it at the
+   {e start} of each run, so the previous run's [r_heap] stays readable
+   until the next run begins on the same context.  The initial sizes
+   below must match what [run] historically allocated per run — a reused
+   context must grow (and therefore behave) exactly like a fresh one. *)
+type ctx = {
+  cx_image : image;
+  cx_templates : Value.t array array; (* class id -> default field values *)
+  cx_globals0 : Value.t array; (* pristine static slots, blitted on reset *)
+  cx_globals : Value.t array;
+  cx_heap : Heap.t;
+  cx_pseudo : Pseudo_lock.t;
+  cx_class_obj_ids : int array;
+  mutable cx_threads : thread array;
+  mutable cx_monitors : monitor option array;
+  mutable cx_obj_cls : int array;
+  mutable cx_thread_of_obj : int array;
+  mutable cx_ready_buf : int array;
+  mutable cx_prio : int array; (* PCT priorities, tid-indexed *)
+  cx_frame_pool : frame list array; (* free frames, by register count *)
+  mutable cx_used : bool; (* a run has touched the context since reset *)
+}
+
+let create_ctx (image : image) : ctx =
   let tprog = image.i_prog.Ir.p_tprog in
-  let globals =
+  let globals0 =
     Array.map
       (fun (sf : Tast.sfield_info) -> Value.default_of sf.Tast.sf_ty)
       tprog.Tast.statics
   in
-  let templates =
-    Array.map
-      (fun fields ->
-        Array.map
-          (fun (f : Tast.field_info) -> Value.default_of f.Tast.fld_ty)
-          fields)
-      image.i_class_fields
-  in
+  {
+    cx_image = image;
+    cx_templates =
+      Array.map
+        (fun fields ->
+          Array.map
+            (fun (f : Tast.field_info) -> Value.default_of f.Tast.fld_ty)
+            fields)
+        image.i_class_fields;
+    cx_globals0 = globals0;
+    cx_globals = Array.copy globals0;
+    cx_heap = Heap.create ();
+    (* Join pseudo-locks live in the heap id space, so they can never
+       collide with real lock (object) identities. *)
+    cx_pseudo = Pseudo_lock.create ();
+    cx_class_obj_ids = Array.make (max (class_count image) 1) (-1);
+    cx_threads = Array.make 8 dummy_thread;
+    cx_monitors = Array.make 1024 None;
+    cx_obj_cls = Array.make 1024 (-1);
+    cx_thread_of_obj = Array.make 1024 (-1);
+    cx_ready_buf = Array.make 8 0;
+    cx_prio = Array.make 8 min_int;
+    cx_frame_pool =
+      (let max_nregs =
+         Array.fold_left
+           (fun acc (m : lmethod) -> max acc m.m_nregs)
+           0 image.i_methods
+       in
+       Array.make (max_nregs + 1) []);
+    cx_used = false;
+  }
+
+(* Whole-array fills rather than tracked dirty extents: the arrays are
+   a few thousand words, two orders of magnitude below what rebuilding
+   them allocated, and a full fill cannot miss a stale slot. *)
+let reset_ctx cx =
+  if cx.cx_used then begin
+    cx.cx_used <- false;
+    Array.blit cx.cx_globals0 0 cx.cx_globals 0 (Array.length cx.cx_globals);
+    Heap.clear cx.cx_heap;
+    Pseudo_lock.reset cx.cx_pseudo;
+    Array.fill cx.cx_class_obj_ids 0 (Array.length cx.cx_class_obj_ids) (-1);
+    Array.fill cx.cx_threads 0 (Array.length cx.cx_threads) dummy_thread;
+    Array.fill cx.cx_monitors 0 (Array.length cx.cx_monitors) None;
+    Array.fill cx.cx_obj_cls 0 (Array.length cx.cx_obj_cls) (-1);
+    Array.fill cx.cx_thread_of_obj 0 (Array.length cx.cx_thread_of_obj) (-1);
+    Array.fill cx.cx_prio 0 (Array.length cx.cx_prio) min_int
+  end
+
+let run_ctx ?(config = default_config) ~sink (cx : ctx) : result =
+  reset_ctx cx;
+  cx.cx_used <- true;
+  let image = cx.cx_image in
   let st =
     {
       image;
@@ -747,33 +838,28 @@ let run ?(config = default_config) ~sink (image : image) : result =
         (if config.all_accesses || config.granularity <> Memloc.Per_field then
            None
          else sink.Sink.spec);
-      heap;
-      globals;
-      threads = Array.make 8 dummy_thread;
+      heap = cx.cx_heap;
+      globals = cx.cx_globals;
+      threads = cx.cx_threads;
       nthreads = 0;
-      monitors = Array.make 1024 None;
-      obj_cls = Array.make 1024 (-1);
-      thread_of_obj = Array.make 1024 (-1);
-      class_obj_ids = Array.make (max (class_count image) 1) (-1);
-      templates;
-      ready_buf = Array.make 8 0;
-      pseudo;
+      monitors = cx.cx_monitors;
+      obj_cls = cx.cx_obj_cls;
+      thread_of_obj = cx.cx_thread_of_obj;
+      class_obj_ids = cx.cx_class_obj_ids;
+      templates = cx.cx_templates;
+      ready_buf = cx.cx_ready_buf;
+      (* Survives resets on purpose: parked frames carry no state a
+         reuse does not overwrite, and their registers are refilled with
+         [Vnull] before handing them out. *)
+      frame_pool = cx.cx_frame_pool;
+      pseudo = cx.cx_pseudo;
       rng = Random.State.make [| config.seed |];
       steps = 0;
       prints = [];
     }
   in
   let main = image.i_methods.(image.i_main) in
-  ignore
-    (new_thread st
-       [
-         {
-           f_meth = main;
-           f_regs = Array.make main.m_nregs Value.Vnull;
-           f_pc = main.m_entry;
-           f_dst = None;
-         };
-       ]);
+  ignore (new_thread st [ alloc_frame st main None ]);
   (* Scheduling policy (PCT state lives outside the thread records).
      PCT (Burckhardt et al., ASPLOS 2010): every thread gets a random
      priority above [depth]; the scheduler always runs the
@@ -887,10 +973,26 @@ let run ?(config = default_config) ~sink (image : image) : result =
       loop ()
     end
   in
-  loop ();
+  (* The run may replace the growable arrays ([ensure], [new_thread],
+     [prio_slot] all reallocate on demand); write them back to the
+     context on BOTH exits — normal completion and a [Runtime_error]
+     escape — so that resetting after an aborted run clears the arrays
+     the run actually used, never a stale pre-growth copy. *)
+  Fun.protect
+    ~finally:(fun () ->
+      cx.cx_threads <- st.threads;
+      cx.cx_monitors <- st.monitors;
+      cx.cx_obj_cls <- st.obj_cls;
+      cx.cx_thread_of_obj <- st.thread_of_obj;
+      cx.cx_ready_buf <- st.ready_buf;
+      cx.cx_prio <- !pct_prio)
+    loop;
   {
     r_prints = List.rev st.prints;
     r_steps = st.steps;
     r_max_threads = st.nthreads;
     r_heap = st.heap;
   }
+
+let run ?config ~sink (image : image) : result =
+  run_ctx ?config ~sink (create_ctx image)

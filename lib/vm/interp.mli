@@ -70,4 +70,24 @@ type result = {
 
 val run : ?config:config -> sink:Sink.t -> Link.image -> result
 (** Execute a linked image from its [main] method until every thread
-    terminates.  Raises {!Runtime_error} on fatal errors. *)
+    terminates.  Raises {!Runtime_error} on fatal errors.  Equivalent
+    to [run_ctx ?config ~sink (create_ctx image)]. *)
+
+type ctx
+(** A resettable run context: the heap, thread table, monitor table,
+    side tables and PCT priority array one execution needs, allocated
+    once and reused across runs.  Contexts are single-domain — use one
+    per worker. *)
+
+val create_ctx : Link.image -> ctx
+
+val run_ctx : ?config:config -> sink:Sink.t -> ctx -> result
+(** Like {!run}, but executes inside the given context, resetting it at
+    the {e start} of the run.  A run on a reused context is
+    byte-identical (schedule, RNG draws, heap/lock/location ids, event
+    stream, errors) to one on a fresh context — only the allocation
+    behaviour differs.  The returned [r_heap] aliases the context's
+    heap: it stays readable until the next [run_ctx] on the same
+    context begins.  If the run raises {!Runtime_error}, the context
+    remains valid and fully resets on its next use — an aborted run
+    leaks no state into the next one. *)

@@ -51,13 +51,16 @@ let describe (prog : Drd_lang.Tast.tprogram) heap loc =
       match Heap.get heap obj with
       | Heap.Obj { cls; _ } -> (
           let ci = Hashtbl.find prog.Drd_lang.Tast.classes cls in
-          match
-            Array.to_seq ci.Drd_lang.Tast.cls_fields
-            |> Seq.filter (fun (f : Drd_lang.Tast.field_info) ->
-                   f.fld_index = idx)
-            |> Seq.uncons
-          with
-          | Some (f, _) ->
-              Printf.sprintf "%s#%d.%s" cls obj f.Drd_lang.Tast.fld_name
-          | None -> Printf.sprintf "%s#%d.field%d" cls obj idx)
+          let fields = ci.Drd_lang.Tast.cls_fields in
+          let found = ref (-1) in
+          let i = ref 0 in
+          let n = Array.length fields in
+          while !found < 0 && !i < n do
+            if fields.(!i).Drd_lang.Tast.fld_index = idx then found := !i;
+            incr i
+          done;
+          match !found with
+          | j when j >= 0 ->
+              Printf.sprintf "%s#%d.%s" cls obj fields.(j).Drd_lang.Tast.fld_name
+          | _ -> Printf.sprintf "%s#%d.field%d" cls obj idx)
       | _ -> Printf.sprintf "%s.field%d" (Heap.describe heap obj) idx

@@ -1,0 +1,64 @@
+(* Scratch driver: where do the warm-run minor words go?  Not part of
+   the test suite. *)
+
+module H = Drd_harness
+module E = Drd_explore
+
+let measure name f =
+  ignore (f ());
+  ignore (f ());
+  let n = 8 in
+  let before = Gc.minor_words () in
+  for _ = 1 to n do
+    ignore (f ())
+  done;
+  let per = (Gc.minor_words () -. before) /. float_of_int n in
+  Printf.printf "%-40s %10.0f minor words/run\n%!" name per
+
+let () =
+  let b = Option.get (H.Programs.find "tsp") in
+  let source = b.H.Programs.b_source in
+  let compiled = H.Pipeline.compile H.Config.full ~source in
+  let ctx = H.Pipeline.Run_ctx.create compiled in
+  measure "run fresh" (fun () -> H.Pipeline.run compiled);
+  measure "run ctx" (fun () -> H.Pipeline.run ~ctx compiled);
+  measure "run ctx detect:false" (fun () ->
+      H.Pipeline.run ~ctx ~detect:false compiled);
+  measure "run ctx engine:`Linked" (fun () ->
+      H.Pipeline.run ~ctx ~engine:`Linked compiled);
+  measure "run ctx detect:false no-trace?" (fun () ->
+      H.Pipeline.run ~ctx ~detect:false ~engine:`Linked compiled);
+  let rsp =
+    E.Strategy.spec E.Strategy.Sweep ~base:H.Config.full ~pct_horizon:5_000 0
+  in
+  measure "observe_run ctx" (fun () -> E.Explore.observe_run ~ctx compiled rsp);
+  let r = H.Pipeline.run ~ctx compiled in
+  (match r.H.Pipeline.detector_stats with
+  | Some s ->
+      Printf.printf
+        "events_in=%d cache_hits=%d own_filtered=%d weaker=%d race_checks=%d\n"
+        s.Drd_core.Detector.events_in s.Drd_core.Detector.cache_hits
+        s.Drd_core.Detector.ownership_filtered s.Drd_core.Detector.weaker_filtered
+        s.Drd_core.Detector.race_checks
+  | None -> ());
+  Printf.printf "trie_nodes=%d locations=%d spec_events=%d events=%d\n"
+    r.H.Pipeline.trie_nodes r.H.Pipeline.locations_tracked
+    r.H.Pipeline.spec_events r.H.Pipeline.events;
+  Printf.printf "races=%d sightings=%d deadlocks=%d prints=%d\n"
+    (List.length r.H.Pipeline.races)
+    (match r.H.Pipeline.report with
+    | Some c -> List.length (Drd_core.Report.races c)
+    | None -> -1)
+    (List.length r.H.Pipeline.deadlocks)
+    (List.length r.H.Pipeline.prints);
+  let acq = ref 0 and rel = ref 0 and acc = ref 0 in
+  let tap =
+    {
+      Drd_vm.Sink.null with
+      Drd_vm.Sink.acquire = (fun ~tid:_ ~lock:_ -> incr acq);
+      release = (fun ~tid:_ ~lock:_ -> incr rel);
+      access = (fun ~tid:_ ~loc:_ ~kind:_ ~locks:_ ~site:_ -> incr acc);
+    }
+  in
+  ignore (H.Pipeline.run ~ctx ~tap compiled);
+  Printf.printf "acquires=%d releases=%d accesses(tap)=%d\n" !acq !rel !acc

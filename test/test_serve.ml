@@ -80,7 +80,7 @@ let test_session_byte_identity () =
   let run ~eviction =
     let s =
       S.Session.create ~id:"t" ~kind:S.Protocol.Events ~config:H.Config.full
-        ~eviction
+        ~eviction ()
     in
     List.iter (fun l -> ignore (feed_ok s l)) (log_lines log);
     match S.Session.close s with
@@ -97,7 +97,7 @@ let test_session_byte_identity () =
 let test_incremental_race_frames () =
   let s =
     S.Session.create ~id:"inc" ~kind:S.Protocol.Events ~config:H.Config.full
-      ~eviction:None
+      ~eviction:None ()
   in
   Alcotest.(check (list string)) "owned write: quiet" [] (feed_ok s "A 1 1 W 5");
   Alcotest.(check (list string)) "sharing read: quiet" [] (feed_ok s "A 1 2 R 6");
@@ -118,7 +118,7 @@ let test_incremental_race_frames () =
 let test_session_feed_errors () =
   let s =
     S.Session.create ~id:"bad" ~kind:S.Protocol.Events ~config:H.Config.full
-      ~eviction:None
+      ~eviction:None ()
   in
   (match S.Session.feed_line s "A nope" with
   | Error m ->
@@ -144,7 +144,7 @@ let test_obs_session_matches_merge () =
   in
   let s =
     S.Session.create ~id:"obs" ~kind:S.Protocol.Obs ~config:H.Config.full
-      ~eviction:None
+      ~eviction:None ()
   in
   ignore (feed_ok s (E.Explore.spec_to_json ~target:"-b needle" sp));
   List.iter (fun row -> ignore (feed_ok s (E.Explore.row_to_json row))) rows;
@@ -158,7 +158,7 @@ let test_obs_session_errors () =
   (* Closing before the header is refused. *)
   let s =
     S.Session.create ~id:"o1" ~kind:S.Protocol.Obs ~config:H.Config.full
-      ~eviction:None
+      ~eviction:None ()
   in
   (match S.Session.close s with
   | Error m -> Alcotest.(check bool) "names the header" true (contains m "header")
@@ -169,7 +169,7 @@ let test_obs_session_errors () =
   let rows = E.Explore.rows_of_report r in
   let s =
     S.Session.create ~id:"o2" ~kind:S.Protocol.Obs ~config:H.Config.full
-      ~eviction:None
+      ~eviction:None ()
   in
   ignore (feed_ok s (E.Explore.spec_to_json sp));
   (match rows with
