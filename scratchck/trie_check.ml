@@ -1,0 +1,18 @@
+open Drd_core
+let () =
+  let module E = Event in
+  let t = Trie.create () in
+  let empty = Lockset_id.of_list [] in
+  let e1 = E.make_interned ~loc:7 ~thread:0 ~locks:empty ~kind:E.Read ~site:1 in
+  let r1, _ = Trie.process t e1 in
+  assert (r1 = None);
+  let e2 = E.make_interned ~loc:7 ~thread:1 ~locks:empty ~kind:E.Write ~site:2 in
+  let r2, _ = Trie.process t e2 in
+  (match r2 with
+  | Some p ->
+      Printf.printf "prior thread = %s, kind = %s, site = %d\n"
+        (match p.Trie.p_thread with
+         | E.Top -> "Top" | E.Bot -> "Bot" | E.Thread i -> "Thread " ^ string_of_int i)
+        (match p.Trie.p_kind with E.Read -> "Read" | E.Write -> "Write")
+        p.Trie.p_site
+  | None -> print_endline "NO RACE FOUND")
